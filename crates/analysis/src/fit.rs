@@ -1,0 +1,126 @@
+//! Least-squares helpers for scaling-law checks.
+//!
+//! The ε-sweeps (Theorems 3.2/3.6) assert *linearity in ε* by fitting
+//! `regret = a + b·ε` and checking `R²`; the memory sweep fits a
+//! log-log slope.
+
+/// An ordinary least-squares line `y ≈ intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 for a perfect line; 0 when
+    /// the fit explains nothing or the input is degenerate).
+    pub r_squared: f64,
+}
+
+/// Fits `y = a + b·x` by least squares.
+///
+/// # Panics
+/// If the slices differ in length or have fewer than 2 points.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return LinearFit { intercept: my, slope: 0.0, r_squared: 0.0 };
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit { intercept, slope, r_squared }
+}
+
+/// The log-log slope of `(x, y)` pairs: the exponent `p` in `y ∝ x^p`.
+///
+/// Non-positive points are skipped (they have no logarithm); panics if
+/// fewer than 2 usable points remain.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len());
+    let (lx, ly): (Vec<f64>, Vec<f64>) = xs
+        .iter()
+        .zip(ys)
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.ln(), y.ln()))
+        .unzip();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_reasonable_r2() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| 2.0 * x + 5.0 + if x as u32 % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn degenerate_x_is_flat() {
+        let f = linear_fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 0.0);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_law_slope() {
+        // y = 3 x^{1.5}.
+        let xs: Vec<f64> = (1..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x.powf(1.5)).collect();
+        let f = loglog_slope(&xs, &ys);
+        assert!((f.slope - 1.5).abs() < 1e-9);
+        assert!((f.intercept - 3f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive() {
+        let f = loglog_slope(&[0.0, 1.0, 2.0, 4.0], &[5.0, 1.0, 2.0, 4.0]);
+        assert!((f.slope - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn fit_recovers_random_lines(
+            a in -100.0f64..100.0,
+            b in -100.0f64..100.0,
+            n in 3usize..30,
+        ) {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| a + b * x).collect();
+            let f = linear_fit(&xs, &ys);
+            prop_assert!((f.slope - b).abs() < 1e-6);
+            prop_assert!((f.intercept - a).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Analysis companions to the experiments: the paper's theorem bounds in
+//! executable form (so every experiment table can print a `paper`
+//! column), the concentration inequalities of Appendix E, and small
+//! regression helpers for scaling-law checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bounds;
+mod chernoff;
+mod fit;
+
+pub use bounds::{
+    thm31_average_regret_bound, thm31_total_regret_bound, thm32_average_regret,
+    thm33_regret_floor, thm35_regret_floor, thm36_average_regret,
+};
+pub use chernoff::{
+    chernoff_above, chernoff_below, chernoff_poisson_tail, median_amplification_failure,
+};
+pub use fit::{linear_fit, loglog_slope, LinearFit};

@@ -1,0 +1,167 @@
+//! ABL1 — ablations over Algorithm Ant's constants and the
+//! DESIGN.md §2 faithfulness decisions.
+//!
+//! 1. `c_s`/`c_d` grid around the paper's (2.5, 19): the proofs pin
+//!    `c_s ∈ [2.34, 2.5]`; we show what actually breaks outside it —
+//!    small `c_s` fails to straddle the grey zone (samples stop being
+//!    "spaced apart"), huge `c_s` pays a large oscillation every phase.
+//! 2. γ beyond 1/16: the admissible-window violation.
+//! 3. Precise Sigmoid's leave probability: the pseudocode's literal
+//!    `γ/(c_χ·c_d)` (which drops an ε) vs the proof-consistent
+//!    `εγ/(c_χ·c_d)` — the literal value overshoots the ε-narrow band.
+
+use antalloc_bench::{banner, fmt, steady_state, Table};
+use antalloc_core::{AntParams, PreciseSigmoidParams};
+use antalloc_env::InitialConfig;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, SimConfig};
+
+fn main() {
+    banner(
+        "ABL1",
+        "constants ablation: c_s, c_d, γ-window, PS leave probability",
+        "the paper's c_s = 2.5, c_d = 19 sit inside the narrow window \
+         the proofs allow (DESIGN.md §2)",
+    );
+    let n = 4000usize;
+    let demands = vec![400u64, 700, 300];
+    let sum_d: u64 = demands.iter().sum();
+    let lambda = 2.0;
+    let gamma = 1.0 / 16.0;
+
+    let mut table = Table::new(
+        "ablation_constants",
+        &["variant", "γ", "c_s", "c_d", "avg regret", "vs paper-constants", "note"],
+    );
+
+    let mut reference = f64::NAN;
+    for (label, g, cs, cd, note) in [
+        ("paper constants", gamma, 2.5, 19.0, ""),
+        ("c_s too small", gamma, 0.8, 19.0, "samples not spaced: dip stays in grey zone"),
+        ("c_s = proofs' lower edge", gamma, 2.34, 19.0, ""),
+        ("c_s too large", gamma, 8.0, 19.0, "dip = c_sγW overshoots: big oscillation"),
+        ("c_d small (leaves 4x)", gamma, 2.5, 4.75, "drains fast but churns"),
+        ("c_d large (leaves /4)", gamma, 2.5, 76.0, "slow drain: long transients"),
+        ("γ above window (0.125)", 0.125, 2.5, 19.0, "violates γ ≤ 1/16"),
+        ("γ tiny (0.01)", 0.01, 2.5, 19.0, "γ < γ*: samples inside grey zone"),
+    ] {
+        let params = AntParams { gamma: g, cs, cd };
+        let cfg = SimConfig::new(
+            n,
+            demands.clone(),
+            NoiseModel::Sigmoid { lambda },
+            ControllerSpec::Ant(params),
+            0xAB1,
+        );
+        let warmup = (8.0 * cd / g) as u64;
+        let m = steady_state(&cfg, g, warmup.min(60_000), 8000);
+        if label == "paper constants" {
+            reference = m.avg_regret;
+        }
+        table.row(vec![
+            label.to_string(),
+            fmt(g),
+            fmt(cs),
+            fmt(cd),
+            fmt(m.avg_regret),
+            fmt(m.avg_regret / reference),
+            note.to_string(),
+        ]);
+    }
+    table.finish();
+    println!(
+        "note: these rows run under benign sigmoid noise, where small \
+         c_s *reduces* regret (smaller deliberate oscillation) and tiny \
+         γ looks great — what those settings forfeit is the worst-case \
+         guarantee: c_s ≥ 2.34 is what makes the two samples straddle \
+         the grey zone against an adversary (part 3 below and BASE), \
+         and γ ≥ γ* is what keeps the sampling points reliable."
+    );
+
+    // Part 2: Precise Sigmoid leave-probability discrepancy.
+    println!("\nPS leave probability: pseudocode-literal vs proof-consistent");
+    let mut t2 = Table::new(
+        "ablation_ps_leave_prob",
+        &["mode", "leave prob", "avg regret", "note"],
+    );
+    let d = 5000u64;
+    let eps = 0.4;
+    for literal in [false, true] {
+        let mut params = PreciseSigmoidParams::new(gamma, eps);
+        params.paper_literal_leave_prob = literal;
+        let band = params.gamma_prime() * d as f64;
+        let phase = params.phase_len();
+        let mut cfg = SimConfig::new(
+            12_000,
+            vec![d],
+            NoiseModel::Sigmoid { lambda: 1.5 },
+            ControllerSpec::PreciseSigmoid(params),
+            0xAB2,
+        );
+        cfg.initial = InitialConfig::SaturatedPlus { extra: (band * 1.5) as u64 + 2 };
+        let m = steady_state(&cfg, gamma, 30 * phase, 90 * phase);
+        t2.row(vec![
+            if literal { "literal γ/(c_χc_d)" } else { "proof εγ/(c_χc_d)" }.into(),
+            fmt(params.leave_probability()),
+            fmt(m.avg_regret),
+            if literal {
+                "1/ε× larger steps: band overshoot risk".into()
+            } else {
+                format!("paper rate γεΣd = {}", fmt(gamma * eps * sum_d as f64))
+            },
+        ]);
+    }
+    t2.finish();
+    println!(
+        "note: at this scale both leave probabilities park in the same \
+         integer band, so the measured rates coincide; the discrepancy \
+         matters when γ'd is small enough that the larger literal step \
+         can cross the band (DESIGN.md §2.2)."
+    );
+
+    // Part 3: the Assumption 2.1 demand-scale threshold, exposed by an
+    // adversary. The pause dip is Binomial(W, c_sγ); the proofs'
+    // concentration event needs its relative deviation ≤ 10%, i.e.
+    // c_sγ·d ≳ 100. Below that, a grey-zone adversary can ride the dip
+    // fluctuations into the zone and trigger repeated join stampedes —
+    // and Theorem 3.1's bound genuinely fails.
+    println!("\ndemand scale under an inverted grey-zone adversary (γ_ad = 0.05):");
+    let mut t3 = Table::new(
+        "ablation_demand_scale",
+        &["n", "demands", "c_sγ·d_min", "avg regret", "bound 5γΣd+3", "bound holds?"],
+    );
+    for (n, demands) in [
+        (2000usize, vec![200u64, 350, 150]),
+        (4000, vec![400, 700, 300]),
+        (7000, vec![800, 1400, 600]),
+    ] {
+        let sum: u64 = demands.iter().sum();
+        let cfg = SimConfig::new(
+            n,
+            demands.clone(),
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: antalloc_noise::GreyZonePolicy::Inverted,
+            },
+            ControllerSpec::Ant(AntParams::new(gamma)),
+            0xAB4,
+        );
+        let m = steady_state(&cfg, gamma, 8000, 8000);
+        let bound = 5.0 * gamma * sum as f64 + 3.0;
+        let scale = 2.5 * gamma * *demands.iter().min().expect("non-empty") as f64;
+        t3.row(vec![
+            n.to_string(),
+            format!("{demands:?}"),
+            fmt(scale),
+            fmt(m.avg_regret),
+            fmt(bound),
+            if m.avg_regret <= bound { "yes" } else { "NO (below scale)" }.into(),
+        ]);
+    }
+    t3.finish();
+    println!(
+        "shape check: the bound holds exactly when c_sγ·d_min clears the \
+         concentration threshold — the finite-size content of \
+         Assumption 2.1's d = Ω(log n/γ²)."
+    );
+}

@@ -1,0 +1,117 @@
+//! TD1/TD2 — Appendix D: the trivial algorithm in the sequential vs
+//! synchronous models.
+//!
+//! Expected shape (the appendix's separation):
+//! * sequential (D.1): settles near the demand, average regret
+//!   Θ(γ*Σd)-scale;
+//! * synchronous (D.2): the whole colony reacts to the same signal and
+//!   flip-flops with amplitude Θ(n) — no convergence within any
+//!   feasible horizon (the paper proves e^{Ω(n)} steps).
+
+use antalloc_bench::{banner, fmt, Table};
+use antalloc_metrics::OscillationStats;
+use antalloc_noise::{critical_value_sigmoid, NoiseModel};
+use antalloc_sim::{ControllerSpec, FnObserver, RunSummary, SimConfig};
+
+fn main() {
+    banner(
+        "TD1/TD2",
+        "trivial algorithm: sequential settles, synchronous explodes",
+        "D.1: regret Θ(γ*Σd) sequentially; D.2: Θ(n) flip-flops for e^{Ω(n)} rounds",
+    );
+    let lambda = 1.0;
+
+    let mut table = Table::new(
+        "appendix_d_trivial",
+        &[
+            "model", "n", "d", "rounds", "avg regret (steady)",
+            "max |Δ|", "γ*Σd yardstick", "avg/(γ*Σd)", "flips/round",
+        ],
+    );
+
+    // D.2 synchronous: one task with d = n/4 (the paper's example).
+    for n in [400usize, 1000, 2000] {
+        let d = (n / 4) as u64;
+        let cv = critical_value_sigmoid(lambda, n, &[d], 2.0);
+        let cfg = SimConfig::new(
+            n,
+            vec![d],
+            NoiseModel::Sigmoid { lambda },
+            ControllerSpec::Trivial,
+            0xD2 + n as u64,
+        );
+        let mut engine = cfg.build();
+        let mut osc = OscillationStats::new(vec![1.0], 5, 50);
+        let mut summary = RunSummary::new();
+        let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+            osc.record(r.deficits);
+        });
+        let rounds = 20_000u64;
+        {
+            let mut both = antalloc_sim::Both(&mut summary, &mut obs);
+            // Both needs Observer for &mut: run with a small adapter.
+            engine.run(rounds, &mut both);
+        }
+        drop(obs);
+        let yard = cv.gamma_star * d as f64;
+        table.row(vec![
+            "synchronous (D.2)".into(),
+            n.to_string(),
+            d.to_string(),
+            rounds.to_string(),
+            fmt(summary.average_regret()),
+            osc.max_abs_deficit()[0].to_string(),
+            fmt(yard),
+            fmt(summary.average_regret() / yard),
+            fmt(osc.crossing_rate()),
+        ]);
+    }
+
+    // D.1 sequential: same colonies, one random ant per round.
+    for n in [400usize, 1000, 2000] {
+        let d = (n / 4) as u64;
+        let cv = critical_value_sigmoid(lambda, n, &[d], 2.0);
+        let cfg = SimConfig::new(
+            n,
+            vec![d],
+            NoiseModel::Sigmoid { lambda },
+            ControllerSpec::Trivial,
+            0xD1 + n as u64,
+        );
+        let mut engine = cfg.build_sequential();
+        // Sequential rounds move one ant: give it n× the rounds to be
+        // comparable in total activations, then measure.
+        let warm = 30 * n as u64;
+        let mut sink = antalloc_sim::NullObserver;
+        engine.run(warm, &mut sink);
+        let mut osc = OscillationStats::new(vec![1.0], 5, 50);
+        let mut summary = RunSummary::new();
+        let rounds = 50 * n as u64;
+        {
+            let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+                osc.record(r.deficits);
+            });
+            let mut both = antalloc_sim::Both(&mut summary, &mut obs);
+            engine.run(rounds, &mut both);
+        }
+        let yard = cv.gamma_star * d as f64;
+        table.row(vec![
+            "sequential (D.1)".into(),
+            n.to_string(),
+            d.to_string(),
+            rounds.to_string(),
+            fmt(summary.average_regret()),
+            osc.max_abs_deficit()[0].to_string(),
+            fmt(yard),
+            fmt(summary.average_regret() / yard),
+            fmt(osc.crossing_rate()),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nshape check: synchronous regret is Θ(n) (grows linearly with \
+         n, ~half the colony flip-flopping), sequential regret is a \
+         small multiple of γ*Σd and roughly flat in n — the Appendix D \
+         separation, and the motivation for two-sample phases."
+    );
+}

@@ -1,0 +1,111 @@
+//! FIG2 — Figure 2: a typical two-sample phase of Algorithm Ant.
+//!
+//! Paper: each phase the ants pause w.p. ~c_s·γ, producing a load dip;
+//! if both samples show overload a few ants leave permanently; once the
+//! first sample is overload and the second is lack, "no ant will join
+//! or leave the task for a polynomial number of steps" — the stable
+//! zone.
+//!
+//! We start one task moderately overloaded and print the exact per-round
+//! loads: odd rounds show the dip (W·(1−c_sγ)), even rounds the
+//! permanent decisions; the trace ends parked, with the paper's stable
+//! zone annotated.
+
+use antalloc_bench::{banner, Table};
+use antalloc_core::AntParams;
+use antalloc_env::InitialConfig;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, NullObserver, SimConfig, TraceRecorder};
+
+fn main() {
+    let n = 4000;
+    let d = 1000u64;
+    let gamma = 1.0 / 16.0;
+    let lambda = 2.0;
+    let params = AntParams::new(gamma);
+    banner(
+        "FIG2",
+        "one task through Algorithm Ant's phases (two samples per phase)",
+        "dip ≈ c_sγ·W each odd round; leaves only on double overload; \
+         parks once the dip straddles the demand",
+    );
+    println!(
+        "d = {d}, γ = {gamma:.4}, c_s = {}, c_d = {}; paper stable zone \
+         [d(1+γ), d(1+(0.9c_s−1)γ)] = [{:.0}, {:.0}]",
+        params.cs,
+        params.cd,
+        d as f64 * (1.0 + gamma),
+        d as f64 * (1.0 + (0.9 * params.cs - 1.0) * gamma)
+    );
+
+    let mut cfg = SimConfig::new(
+        n,
+        vec![d],
+        NoiseModel::Sigmoid { lambda },
+        ControllerSpec::Ant(params),
+        0xF162,
+    );
+    // +25%: well above the zone, so the trace shows the drain.
+    cfg.initial = InitialConfig::SaturatedPlus { extra: d / 4 };
+    let mut engine = cfg.build();
+
+    let head = 40u64;
+    let mut recorder = TraceRecorder::new(1, 50, head);
+    engine.run(2000, &mut recorder);
+
+    let mut table = Table::new(
+        "fig2_phase_trace",
+        &["round", "sub-round", "load W", "deficit", "phase event"],
+    );
+    // Permanent movement shows between consecutive *even* rounds; the
+    // odd-round dip is the temporary pause (those ants resume).
+    let mut prev_even: i64 = (d + d / 4) as i64;
+    let mut prev_load: i64 = prev_even;
+    for (i, loads) in recorder.head_loads().iter().enumerate() {
+        let t = i as u64 + 1;
+        let w = i64::from(loads[0]);
+        let event = if t % 2 == 1 {
+            format!("pause dip ({} temporarily idle)", prev_load - w)
+        } else {
+            let net = prev_even - w;
+            prev_even = w;
+            match net.cmp(&0) {
+                core::cmp::Ordering::Greater => {
+                    format!("paused ants resume; net {net} left permanently")
+                }
+                core::cmp::Ordering::Less => {
+                    format!("paused ants resume; net {} joined", -net)
+                }
+                core::cmp::Ordering::Equal => "paused ants resume; no net change".into(),
+            }
+        };
+        table.row(vec![
+            t.to_string(),
+            if t % 2 == 1 { "1st sample" } else { "2nd sample" }.to_string(),
+            w.to_string(),
+            (d as i64 - w).to_string(),
+            event,
+        ]);
+        prev_load = w;
+    }
+    table.finish();
+
+    // Long-run summary: where did it park?
+    let final_load = engine.colony().load(0);
+    let mut tail = antalloc_sim::RunSummary::new();
+    engine.run(2000, &mut tail);
+    let mut sink = NullObserver;
+    engine.run(1, &mut sink);
+    println!(
+        "\nparked at W = {final_load} (deficit {}); avg regret over the \
+         next 2000 rounds = {:.1} — within Theorem 3.1's 5γd + 3 = {:.1}",
+        d as i64 - final_load as i64,
+        tail.average_regret(),
+        5.0 * gamma * d as f64 + 3.0
+    );
+    println!(
+        "note: the *effective* stable band at finite λ is [d + O(1/λ), \
+         d/(1−c_sγ) − O(1/λ)] ⊃ the paper's asymptotic zone; the trace \
+         parks wherever the drain first enters it."
+    );
+}

@@ -1,0 +1,82 @@
+//! OPEN1 — §6's open problem: "it would be interesting to see if
+//! variations of this algorithm also work in settings of less
+//! synchronization."
+//!
+//! We take the most basic desynchronization: half the colony runs its
+//! two-round phase one round out of step with the other half. The
+//! collective pause — the mechanism that spaces the two samples apart —
+//! is destroyed: while half the ants dip the load for their second
+//! sample, the other half reads that dipped load as its *first* sample.
+//!
+//! Measured shape (recorded in EXPERIMENTS.md): staggering the phases
+//! halves the collective dip, which acts like halving the effective
+//! learning rate — with both of that trade's edges. At small γ the
+//! halved dip no longer clears the grey zone and the colony suffers
+//! episodic join stampedes (max regret an order of magnitude above the
+//! synchronized run); at large γ the halved dip still straddles the
+//! zone and the steady oscillation actually shrinks. Desynchronization
+//! is survivable but it silently rescales the one parameter the
+//! guarantees are calibrated against.
+
+use antalloc_bench::{banner, fmt, steady_state, Table};
+use antalloc_core::AntParams;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, SimConfig};
+
+fn main() {
+    banner(
+        "OPEN1",
+        "desynchronized phases (the §6 open problem, simplest variant)",
+        "the paper assumes all ants share phase boundaries; what if half \
+         the colony is one round out of step?",
+    );
+    let n = 4000usize;
+    let demands = vec![400u64, 700, 300];
+    let sum_d: u64 = demands.iter().sum();
+    let lambda = 2.0;
+    println!("n = {n}, Σd = {sum_d}, λ = {lambda}\n");
+
+    let mut table = Table::new(
+        "open_desync",
+        &[
+            "variant", "γ", "avg regret", "vs bound 5γΣd+3", "max regret",
+            "switches/ant/round",
+        ],
+    );
+    for gamma in [1.0 / 32.0, 1.0 / 16.0] {
+        let bound = 5.0 * gamma * sum_d as f64 + 3.0;
+        for (name, spec) in [
+            ("synchronized", ControllerSpec::Ant(AntParams::new(gamma))),
+            ("desynchronized (half offset)", ControllerSpec::AntDesync(AntParams::new(gamma))),
+        ] {
+            let cfg = SimConfig::new(
+                n,
+                demands.clone(),
+                NoiseModel::Sigmoid { lambda },
+                spec,
+                0x0BE1,
+            );
+            let warmup = (8.0 * 19.0 / gamma) as u64;
+            let m = steady_state(&cfg, gamma, warmup, 8000);
+            table.row(vec![
+                name.to_string(),
+                fmt(gamma),
+                fmt(m.avg_regret),
+                fmt(m.avg_regret / bound),
+                fmt(m.max_regret),
+                fmt(m.switches_per_ant_round),
+            ]);
+        }
+    }
+    table.finish();
+    println!(
+        "\nshape check: staggered phases halve the collective dip — an \
+         implicit γ_eff ≈ γ/2. At γ = 1/32 the halved dip stops clearing \
+         the grey zone: episodic join stampedes appear (compare max \
+         regret). At γ = 1/16 the halved dip still straddles the zone \
+         and steady regret even improves. Verdict on the §6 open \
+         problem: mild desynchronization is survivable but silently \
+         rescales the learning rate the guarantees are calibrated \
+         against — the safe window [γ*, 1/16] effectively shrinks."
+    );
+}

@@ -1,0 +1,64 @@
+//! ABL2 — Remark 3.4: the guarantees survive arbitrarily *correlated*
+//! feedback as long as the marginal error outside the grey zone stays
+//! polynomially small.
+//!
+//! We sweep the correlation ρ (probability that a (task, round) uses a
+//! single shared draw for every ant) from 0 (the i.i.d. model) to 1
+//! (fully correlated) and measure Algorithm Ant's steady regret.
+//!
+//! Expected shape: flat — correlation does not change the marginal
+//! error, and the algorithm's decisions hinge on samples taken outside
+//! the grey zone where even a shared coin is almost surely correct.
+
+use antalloc_bench::{banner, fmt, steady_state, Table};
+use antalloc_core::AntParams;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, SimConfig};
+
+fn main() {
+    banner(
+        "ABL2",
+        "Remark 3.4: correlated feedback",
+        "Theorem 3.1's guarantee holds under arbitrary correlation with \
+         small marginal error outside the grey zone",
+    );
+    let n = 4000usize;
+    let demands = vec![400u64, 700, 300];
+    let sum_d: u64 = demands.iter().sum();
+    let gamma = 1.0 / 16.0;
+    let lambda = 2.0;
+    let bound = 5.0 * gamma * sum_d as f64 + 3.0;
+    println!("n = {n}, Σd = {sum_d}, γ = {gamma:.4}; bound 5γΣd+3 = {bound:.0}\n");
+
+    let mut table = Table::new(
+        "remark34_correlated",
+        &["ρ (shared-draw prob)", "avg regret", "max regret", "within 5γΣd+3?"],
+    );
+    for rho in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let noise = if rho == 0.0 {
+            NoiseModel::Sigmoid { lambda }
+        } else {
+            NoiseModel::CorrelatedSigmoid { lambda, rho, seed: 0xC0 }
+        };
+        let cfg = SimConfig::new(
+            n,
+            demands.clone(),
+            noise,
+            ControllerSpec::Ant(AntParams::new(gamma)),
+            0xAB3,
+        );
+        let m = steady_state(&cfg, gamma, 6000, 8000);
+        table.row(vec![
+            fmt(rho),
+            fmt(m.avg_regret),
+            fmt(m.max_regret),
+            if m.avg_regret <= bound { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nshape check: regret flat in ρ — the per-round signals the \
+         algorithm acts on are outside the grey zone, where even a \
+         single shared coin is w.h.p. the truth (Remark 3.4)."
+    );
+}

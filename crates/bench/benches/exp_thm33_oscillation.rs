@@ -1,0 +1,138 @@
+//! T33b — Theorem 3.3's oscillation claim: "if the deficit for all
+//! tasks is below `2εγ*d` for a constant number of consecutive steps,
+//! then w.o.p. there will be a task with an oscillation of order
+//! `ω(γ*d)`."
+//!
+//! No algorithm can *hold* the deficit quiet (that is the claim), so we
+//! place the colony in the quiet zone directly — a saturated start,
+//! deficit exactly 0, where every signal is a fair coin — and measure:
+//!
+//! 1. the excursion that follows (the blow-up), and
+//! 2. whether the algorithm re-enters the quiet zone afterwards
+//!    (Trivial re-clamps toward 0 and blows up forever; Algorithm Ant
+//!    escapes once and then parks *outside* the grey zone — the paper's
+//!    prescription).
+
+use antalloc_bench::{banner, fmt, Table};
+use antalloc_core::AntParams;
+use antalloc_env::InitialConfig;
+use antalloc_noise::{critical_value_sigmoid, NoiseModel};
+use antalloc_sim::{ControllerSpec, FnObserver, SimConfig};
+
+struct Outcome {
+    blowup_200: u64,
+    quiet_rounds_steady: u64,
+    steady_rounds: u64,
+    crossings_steady: u64,
+    max_abs_steady: u64,
+}
+
+fn run(spec: ControllerSpec, quiet_band: f64) -> Outcome {
+    let n = 2000usize;
+    let d = 500u64;
+    let mut cfg = SimConfig::new(
+        n,
+        vec![d],
+        NoiseModel::Sigmoid { lambda: 1.0 },
+        spec,
+        0x7433B,
+    );
+    cfg.initial = InitialConfig::Saturated; // deficit 0: the quiet zone.
+    let mut engine = cfg.build();
+
+    let mut blowup_200 = 0u64;
+    let mut quiet_rounds = 0u64;
+    let mut crossings = 0u64;
+    let mut max_abs_steady = 0u64;
+    let mut last_sign = 0i8;
+    let steady_from = 5_000u64;
+    let horizon = 25_000u64;
+    let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+        let delta = r.deficits[0];
+        let abs = delta.unsigned_abs();
+        if r.round <= 200 {
+            blowup_200 = blowup_200.max(abs);
+        }
+        if r.round > steady_from {
+            if (abs as f64) <= quiet_band {
+                quiet_rounds += 1;
+            }
+            let sign = delta.signum() as i8;
+            if sign != 0 {
+                if last_sign != 0 && sign != last_sign {
+                    crossings += 1;
+                }
+                last_sign = sign;
+            }
+            max_abs_steady = max_abs_steady.max(abs);
+        }
+    });
+    engine.run(horizon, &mut obs);
+    drop(obs);
+    Outcome {
+        blowup_200,
+        quiet_rounds_steady: quiet_rounds,
+        steady_rounds: horizon - steady_from,
+        crossings_steady: crossings,
+        max_abs_steady,
+    }
+}
+
+fn main() {
+    let n = 2000usize;
+    let d = 500u64;
+    let lambda = 1.0;
+    let eps = 0.25;
+    let cv = critical_value_sigmoid(lambda, n, &[d], 2.0);
+    let gamma_star_d = cv.gamma_star * d as f64;
+    let quiet_band = 2.0 * eps * gamma_star_d;
+    banner(
+        "T33b",
+        "a quiet deficit cannot stay quiet: the ω(γ*d) blow-up",
+        "deficit inside 2εγ*d for a few steps ⇒ excursion ≫ γ*d (w.o.p.)",
+    );
+    println!(
+        "single task, d = {d}; γ*(q=2) = {:.4}, γ*d = {:.1} ants; quiet \
+         band 2εγ*d = {:.1} ants; start: saturated (deficit 0)\n",
+        cv.gamma_star, gamma_star_d, quiet_band
+    );
+
+    let mut table = Table::new(
+        "thm33_oscillation",
+        &[
+            "algorithm",
+            "blow-up in 200 rounds",
+            "(…)/γ*d",
+            "steady quiet-rounds/1k",
+            "steady 0-crossings/1k",
+            "steady max |Δ|",
+        ],
+    );
+    for (name, spec) in [
+        ("trivial (re-clamps at Δ≈0)", ControllerSpec::Trivial),
+        (
+            "algorithm ant γ=1/16 (exits the zone)",
+            ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        ),
+    ] {
+        let o = run(spec, quiet_band);
+        table.row(vec![
+            name.to_string(),
+            o.blowup_200.to_string(),
+            fmt(o.blowup_200 as f64 / gamma_star_d),
+            fmt(o.quiet_rounds_steady as f64 * 1000.0 / o.steady_rounds as f64),
+            fmt(o.crossings_steady as f64 * 1000.0 / o.steady_rounds as f64),
+            o.max_abs_steady.to_string(),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nshape check: both algorithms blow up by a large multiple of \
+         γ*d within 200 rounds of sitting at deficit 0 — the theorem's \
+         inevitability. The difference is what follows: Trivial keeps \
+         passing through the quiet zone (high quiet-round and crossing \
+         rates) and keeps exploding; Algorithm Ant leaves once and holds \
+         a deficit *outside* the grey zone (≈0 steady quiet rounds), \
+         converting the blow-up into a controlled, bounded oscillation."
+    );
+}

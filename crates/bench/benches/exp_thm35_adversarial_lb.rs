@@ -1,0 +1,130 @@
+//! T35 — Theorem 3.5: under adversarial noise, *no* algorithm beats
+//! `(1−o(1))·γ*·Σd` average regret.
+//!
+//! The Yao construction: demands `d` and `d' = d − 2τ` with a
+//! load-threshold adversary that answers identically for both. We run
+//! each algorithm once per demand vector (same seed): trajectories are
+//! verified identical, so the regret averaged over the pair is at least
+//! `k·τ` per round no matter what the algorithm does.
+//!
+//! Expected shape: every algorithm's pair-averaged regret ≥ ~0.9·k·τ,
+//! and the ratio to the γ*Σd yardstick approaches 1 from below.
+
+use antalloc_bench::{banner, fmt, worker_threads, Table};
+use antalloc_core::{AntParams, PreciseAdversarialParams};
+use antalloc_env::InitialConfig;
+use antalloc_noise::{yao_demand_pair, GreyZonePolicy, NoiseModel};
+use antalloc_sim::{ControllerSpec, FnObserver, NullObserver, RunSummary, SimConfig};
+
+fn run_pair(
+    name: &str,
+    spec: &ControllerSpec,
+    n: usize,
+    gamma_ad: f64,
+    table: &mut Table,
+) {
+    let k = 2usize;
+    let (d, dp, theta) = yao_demand_pair(n, k, gamma_ad);
+    let tau = (d[0] - dp[0]) / 2;
+    let noise = NoiseModel::Adversarial {
+        gamma_ad,
+        policy: GreyZonePolicy::LoadThreshold(theta),
+    };
+    let mut results = Vec::new();
+    let mut traces: Vec<Vec<u32>> = Vec::new();
+    for demands in [d.clone(), dp.clone()] {
+        let mut cfg = SimConfig::new(n, demands, noise.clone(), spec.clone(), 0x7435);
+        // Start at the d-vector's saturation point in BOTH worlds (the
+        // initial configuration may not depend on which world we are in,
+        // or it would break indistinguishability).
+        cfg.initial = InitialConfig::AllIdle;
+        let mut engine = cfg.build();
+        let mut sink = NullObserver;
+        engine.run_parallel(20_000, worker_threads(), &mut sink);
+        let mut sample_loads = Vec::new();
+        let mut steady = RunSummary::new();
+        {
+            let mut obs = antalloc_sim::Both(
+                RunSummary::new(),
+                FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+                    if r.round % 100 == 0 {
+                        sample_loads.extend_from_slice(r.loads);
+                    }
+                }),
+            );
+            engine.run_parallel(4000, worker_threads(), &mut obs);
+            steady = obs.0;
+        }
+        results.push(steady.average_regret());
+        traces.push(sample_loads);
+    }
+    let identical = traces[0] == traces[1];
+    let avg = 0.5 * (results[0] + results[1]);
+    let floor = (k as u64 * tau) as f64;
+    let yardstick = gamma_ad * (d[0] * k as u64) as f64;
+    table.row(vec![
+        name.to_string(),
+        format!("{}/{}", d[0], dp[0]),
+        tau.to_string(),
+        if identical { "yes" } else { "NO (BUG)" }.to_string(),
+        fmt(results[0]),
+        fmt(results[1]),
+        fmt(avg),
+        fmt(floor),
+        fmt(avg / yardstick),
+    ]);
+}
+
+fn main() {
+    banner(
+        "T35",
+        "adversarial lower bound via the Yao demand pair",
+        "E[R(t)]/t ≥ (1−o(1))·γ*·Σd for ANY algorithm",
+    );
+    let n = 4000usize;
+    let gamma_ad = 0.05;
+    println!("n = {n}, k = 2, γ_ad = γ* = {gamma_ad}\n");
+
+    let mut table = Table::new(
+        "thm35_adversarial_lb",
+        &[
+            "algorithm",
+            "d/d'",
+            "τ",
+            "identical traj?",
+            "avg r (d)",
+            "avg r (d')",
+            "pair avg",
+            "floor k·τ",
+            "avg/(γ*Σd)",
+        ],
+    );
+    run_pair(
+        "algorithm ant γ=γ*",
+        &ControllerSpec::Ant(AntParams::new(gamma_ad)),
+        n,
+        gamma_ad,
+        &mut table,
+    );
+    run_pair(
+        "precise adversarial ε=0.5",
+        &ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(gamma_ad, 0.5)),
+        n,
+        gamma_ad,
+        &mut table,
+    );
+    run_pair("trivial", &ControllerSpec::Trivial, n, gamma_ad, &mut table);
+    table.finish();
+    println!(
+        "\nshape check: identical trajectories under d and d' (the \
+         indistinguishability), pair-averaged regret above k·τ for every \
+         algorithm — even unlimited memory could not help."
+    );
+    println!(
+        "note: Precise Adversarial's permanent-leave probability is \
+         εγ/32 per phase, so its drain from the all-idle join stampede \
+         takes Θ(32·ln n/(εγ)) phases — it is still descending at this \
+         horizon. The floor claim (≥) is unaffected; its achievable rate \
+         is measured in T36 from a near-band start."
+    );
+}

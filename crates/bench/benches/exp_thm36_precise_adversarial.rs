@@ -1,0 +1,102 @@
+//! T36 — Theorem 3.6: Algorithm Precise Adversarial achieves
+//! `(1+ε)`-closeness under adversarial noise, and switches tasks less
+//! than Algorithm Ant.
+//!
+//! Expected shape: steady regret ≈ γ(1+ε)Σd, decreasing toward the
+//! Theorem 3.5 floor `γ*Σd` as ε shrinks; switches/ant/round an order
+//! of magnitude below Algorithm Ant's.
+
+use antalloc_analysis::{thm35_regret_floor, thm36_average_regret};
+use antalloc_bench::{banner, fmt, steady_state, Table};
+use antalloc_core::{AntParams, PreciseAdversarialParams};
+use antalloc_env::InitialConfig;
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+use antalloc_sim::{ControllerSpec, SimConfig};
+
+fn main() {
+    banner(
+        "T36",
+        "Precise Adversarial: (1+ε)-close under adversarial noise",
+        "lim R(t)/t = γ(1+ε)Σd + O(1); also fewer task switches than Ant",
+    );
+    let n = 6000usize;
+    let demands = vec![1200u64, 1200];
+    let sum_d: u64 = demands.iter().sum();
+    let gamma = 0.05; // = γ_ad = γ*.
+    let noise = NoiseModel::Adversarial {
+        gamma_ad: gamma,
+        policy: GreyZonePolicy::AlternateByRound,
+    };
+    println!(
+        "n = {n}, Σd = {sum_d}, γ = γ_ad = {gamma}; grey-zone policy: \
+         alternate by round (maximal oscillation pressure)\n"
+    );
+    println!("Theorem 3.5 floor γ*Σd = {}\n", fmt(thm35_regret_floor(gamma, sum_d)));
+
+    // The Theorem 3.6 remark: "if one changes the regret to incorporate
+    // costs for switching between tasks" — we report the combined
+    // objective r + c_sw·(switches/round) at c_sw = 1 as well.
+    let switch_cost = 1.0;
+    let mut table = Table::new(
+        "thm36_precise_adversarial",
+        &[
+            "algorithm", "ε", "phase len", "measured avg r", "paper γ(1+ε)Σd",
+            "meas/paper", "switches/ant/round", "r + switches/round",
+        ],
+    );
+
+    // Baseline: Algorithm Ant under the same adversary.
+    let ant_cfg = SimConfig::new(
+        n,
+        demands.clone(),
+        noise.clone(),
+        ControllerSpec::Ant(AntParams::new(gamma)),
+        0x7436,
+    );
+    let ant = steady_state(&ant_cfg, gamma, 6000, 8000);
+    table.row(vec![
+        "algorithm ant".into(),
+        "-".into(),
+        "2".into(),
+        fmt(ant.avg_regret),
+        fmt(5.0 * gamma * sum_d as f64 + 3.0),
+        fmt(ant.avg_regret / (5.0 * gamma * sum_d as f64 + 3.0)),
+        fmt(ant.switches_per_ant_round),
+        fmt(ant.avg_regret + switch_cost * ant.switches_per_ant_round * n as f64),
+    ]);
+
+    for eps in [0.8, 0.4, 0.2] {
+        let params = PreciseAdversarialParams::new(gamma, eps);
+        let phase = params.phase_len();
+        let mut cfg = SimConfig::new(
+            n,
+            demands.clone(),
+            noise.clone(),
+            ControllerSpec::PreciseAdversarial(params),
+            0x7436,
+        );
+        // Start saturated+band: the ramp sub-phase needs a surplus to
+        // walk through; the frozen sub-phase then holds it.
+        cfg.initial = InitialConfig::SaturatedPlus {
+            extra: (gamma * demands[0] as f64 * 1.2) as u64,
+        };
+        let m = steady_state(&cfg, gamma, 10 * phase, 30 * phase);
+        let paper = thm36_average_regret(gamma, eps, sum_d);
+        table.row(vec![
+            format!("precise adversarial"),
+            fmt(eps),
+            phase.to_string(),
+            fmt(m.avg_regret),
+            fmt(paper),
+            fmt(m.avg_regret / paper),
+            fmt(m.switches_per_ant_round),
+            fmt(m.avg_regret + switch_cost * m.switches_per_ant_round * n as f64),
+        ]);
+    }
+    table.finish();
+    println!(
+        "\nshape check: regret tracks γ(1+ε)Σd and sits near the \
+         Theorem 3.5 floor; switches/ant/round far below Algorithm Ant's \
+         (the pause machinery runs once per long phase, not every round)."
+    );
+}

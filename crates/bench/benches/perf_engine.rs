@@ -1,0 +1,90 @@
+//! PERF — engine throughput (criterion).
+//!
+//! Tracks ant-rounds/second for the serial and parallel paths and the
+//! per-algorithm step cost, so the experiment suite stays laptop-sized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use antalloc_core::{AntParams, PreciseSigmoidParams};
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let demands = vec![(n / 8) as u64, (n / 8) as u64, (n / 8) as u64];
+        let cfg = SimConfig::new(
+            n,
+            demands,
+            NoiseModel::Sigmoid { lambda: 2.0 },
+            ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+            1,
+        );
+        let rounds = 64u64;
+        group.throughput(Throughput::Elements(n as u64 * rounds));
+        group.bench_with_input(BenchmarkId::new("serial", n), &cfg, |b, cfg| {
+            let mut engine = cfg.build();
+            let mut obs = NullObserver;
+            b.iter(|| {
+                engine.run(rounds, &mut obs);
+                black_box(engine.colony().instant_regret())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &cfg, |b, cfg| {
+            let mut engine = cfg.build();
+            let mut obs = NullObserver;
+            let threads = antalloc_bench::worker_threads();
+            b.iter(|| {
+                engine.run_parallel(rounds, threads, &mut obs);
+                black_box(engine.colony().instant_regret())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn algorithm_step_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm_step_cost");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let demands = vec![2000u64, 2000];
+    let rounds = 64u64;
+    let specs: [(&str, ControllerSpec); 4] = [
+        ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+        (
+            "precise_sigmoid",
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+        ),
+        ("trivial", ControllerSpec::Trivial),
+        ("hysteresis8", ControllerSpec::Hysteresis { depth: 8, lazy: Some(0.5) }),
+    ];
+    for (name, spec) in specs {
+        let demands = if matches!(spec, ControllerSpec::Hysteresis { .. }) {
+            vec![2000u64]
+        } else {
+            demands.clone()
+        };
+        let cfg = SimConfig::new(
+            n,
+            demands,
+            NoiseModel::Sigmoid { lambda: 2.0 },
+            spec,
+            2,
+        );
+        group.throughput(Throughput::Elements(n as u64 * rounds));
+        group.bench_function(name, |b| {
+            let mut engine = cfg.build();
+            let mut obs = NullObserver;
+            b.iter(|| {
+                engine.run(rounds, &mut obs);
+                black_box(engine.colony().instant_regret())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, algorithm_step_cost);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! The per-ant controllers of *Self-Stabilizing Task Allocation In Spite
+//! of Noise* (SPAA 2020).
+//!
+//! Every algorithm in the paper is a small per-ant state machine driven
+//! only by the noisy feedback vector: no communication, no access to
+//! loads or demands. This crate implements them all:
+//!
+//! * [`AlgorithmAnt`] — §4: the constant-memory two-sample protocol
+//!   (Theorem 3.1).
+//! * [`PreciseSigmoid`] — §5: median-amplified samples, step size
+//!   `εγ/c_χ` (Theorem 3.2).
+//! * [`PreciseAdversarial`] — Appendix C: ramped first sub-phase and a
+//!   frozen second sub-phase (Theorem 3.6).
+//! * [`Trivial`] — Appendix D: the single-sample join/leave rule that
+//!   works sequentially but oscillates synchronously.
+//! * [`ExactGreedy`] — an exact-feedback baseline in the style of
+//!   Cornejo et al. \[11\], the noise-free comparison point.
+//! * [`TableFsm`] — an explicit finite-state machine with an
+//!   Assumption 2.2 reachability checker, used by the Theorem 3.3
+//!   memory-floor experiments.
+//!
+//! All controllers implement [`Controller`]; [`AnyController`] is the
+//! dispatch enum the simulator stores per ant.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ant;
+mod controller;
+mod exact_greedy;
+mod memory;
+mod params;
+mod precise_adversarial;
+mod precise_sigmoid;
+mod table_fsm;
+mod trivial;
+
+pub use ant::AlgorithmAnt;
+pub use controller::{AnyController, Controller};
+pub use exact_greedy::{ExactGreedy, ExactGreedyParams};
+pub use memory::{bits_for_states, closeness_floor, MemoryFootprint};
+pub use params::{AntParams, PreciseAdversarialParams, PreciseSigmoidParams};
+pub use precise_adversarial::PreciseAdversarial;
+pub use precise_sigmoid::PreciseSigmoid;
+pub use table_fsm::{FsmSpec, ReachabilityError, TableFsm};
+pub use trivial::Trivial;

@@ -1,0 +1,285 @@
+//! Algorithm parameters and the paper's constants.
+//!
+//! ## On `c_s = 2.5` and `c_d = 19`
+//!
+//! The PDF of the paper renders line 1 of Algorithm Ant as
+//! `c_d ← 19 and c_s ← 213`; the `213` is an extraction artifact. The
+//! analysis pins `c_s` tightly:
+//!
+//! * Claim 4.2 (no jumping over the stable zone) needs
+//!   `c_s ≥ 20/9 + 2/(c_d − 1) ≈ 2.334`;
+//! * Claim 4.4 (saturation is absorbing) needs `0.9·c_s ≥ 2`;
+//! * Claim 4.5's arithmetic `Σ(1+(1+1.2c_s)γ)d ≤ (1+1/4)n/2` at
+//!   `γ = 1/16` forces `(1+1.2c_s)·(1/16) ≤ 1/4`, i.e. `c_s ≤ 2.5`
+//!   (with equality exactly at 2.5 — which is how the printed constant
+//!   must have read);
+//! * a pause probability `c_s·γ` must satisfy `c_s·γ ≤ 1`, impossible
+//!   for `c_s = 213` at any admissible `γ`.
+//!
+//! We therefore default to `c_s = 2.5`, `c_d = 19`, both overridable for
+//! the ablation benches.
+
+/// Parameters of §4 Algorithm Ant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AntParams {
+    /// Learning rate `γ ∈ [γ*, 1/16]`.
+    pub gamma: f64,
+    /// Pause constant `c_s` (temporary drop-out probability `c_s·γ`).
+    pub cs: f64,
+    /// Leave constant `c_d` (permanent leave probability `γ/c_d`).
+    pub cd: f64,
+}
+
+impl AntParams {
+    /// The paper's constants with learning rate `gamma`.
+    pub fn new(gamma: f64) -> Self {
+        Self { gamma, cs: 2.5, cd: 19.0 }
+    }
+
+    /// Temporary pause probability `c_s·γ` (line 6 of Algorithm Ant).
+    #[inline]
+    pub fn pause_probability(&self) -> f64 {
+        self.cs * self.gamma
+    }
+
+    /// Permanent leave probability `γ/c_d` (line 13 of Algorithm Ant).
+    #[inline]
+    pub fn leave_probability(&self) -> f64 {
+        self.gamma / self.cd
+    }
+
+    /// Checks the admissible ranges: `γ ∈ (0, 1/16]`, `c_s·γ ≤ 1`,
+    /// `c_d ≥ 1`. Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.gamma > 0.0) {
+            return Err(format!("γ must be positive, got {}", self.gamma));
+        }
+        if self.gamma > 1.0 / 16.0 {
+            return Err(format!("γ ≤ 1/16 required by Theorem 3.1, got {}", self.gamma));
+        }
+        if self.pause_probability() > 1.0 {
+            return Err(format!(
+                "pause probability c_s·γ = {} exceeds 1",
+                self.pause_probability()
+            ));
+        }
+        if self.cd < 1.0 {
+            return Err(format!("c_d ≥ 1 required, got {}", self.cd));
+        }
+        Ok(())
+    }
+}
+
+impl Default for AntParams {
+    /// `γ = 1/32`, safely inside the admissible window for the test
+    /// colonies used across this workspace.
+    fn default() -> Self {
+        Self::new(1.0 / 32.0)
+    }
+}
+
+/// Parameters of §5 Algorithm Precise Sigmoid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PreciseSigmoidParams {
+    /// Learning rate `γ ≥ γ*` (the paper uses `γ < 1/2` here).
+    pub gamma: f64,
+    /// Precision `ε ∈ (0, 1)`; the phase has length `2m`,
+    /// `m = ⌈2c_χ/ε + 1⌉` (rounded up to odd for tie-free medians).
+    pub eps: f64,
+    /// Median-amplification constant `c_χ` (paper: 10).
+    pub c_chi: f64,
+    /// Pause constant `c_s` inherited from Algorithm Ant.
+    pub cs: f64,
+    /// Leave constant `c_d` inherited from Algorithm Ant.
+    pub cd: f64,
+    /// If true, use the pseudocode's literal leave probability
+    /// `γ/(c_χ·c_d)`; if false (default) use the proof-consistent
+    /// `εγ/(c_χ·c_d)` (the step size `γ' = εγ/c_χ` of Theorem 3.2's
+    /// proof divided by `c_d`). See DESIGN.md §2.2.
+    pub paper_literal_leave_prob: bool,
+}
+
+impl PreciseSigmoidParams {
+    /// Paper constants with the given `γ` and `ε`.
+    pub fn new(gamma: f64, eps: f64) -> Self {
+        Self { gamma, eps, c_chi: 10.0, cs: 2.5, cd: 19.0, paper_literal_leave_prob: false }
+    }
+
+    /// Samples per half-phase, `m = ⌈2c_χ/ε + 1⌉`, forced odd so medians
+    /// cannot tie.
+    pub fn m(&self) -> u64 {
+        let m = (2.0 * self.c_chi / self.eps + 1.0).ceil() as u64;
+        if m % 2 == 0 {
+            m + 1
+        } else {
+            m
+        }
+    }
+
+    /// Full phase length `2m` in rounds.
+    pub fn phase_len(&self) -> u64 {
+        2 * self.m()
+    }
+
+    /// The scaled step size `γ' = εγ/c_χ`.
+    #[inline]
+    pub fn gamma_prime(&self) -> f64 {
+        self.eps * self.gamma / self.c_chi
+    }
+
+    /// Temporary pause probability `ε·c_s·γ/c_χ = c_s·γ'` (line 12).
+    #[inline]
+    pub fn pause_probability(&self) -> f64 {
+        self.cs * self.gamma_prime()
+    }
+
+    /// Permanent leave probability (line 22; see
+    /// [`PreciseSigmoidParams::paper_literal_leave_prob`]).
+    #[inline]
+    pub fn leave_probability(&self) -> f64 {
+        if self.paper_literal_leave_prob {
+            self.gamma / (self.c_chi * self.cd)
+        } else {
+            self.gamma_prime() / self.cd
+        }
+    }
+
+    /// Range checks; mirrors [`AntParams::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.gamma > 0.0 && self.gamma < 0.5) {
+            return Err(format!("γ ∈ (0, 1/2) required, got {}", self.gamma));
+        }
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(format!("ε ∈ (0, 1) required, got {}", self.eps));
+        }
+        if self.pause_probability() > 1.0 {
+            return Err("pause probability exceeds 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of Appendix C Algorithm Precise Adversarial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PreciseAdversarialParams {
+    /// Learning rate `γ ∈ [γ*, 1/16]`.
+    pub gamma: f64,
+    /// Precision `ε ∈ (0, 1)`; sub-phase lengths are `r_1 = ⌈32/ε⌉` and
+    /// `r_2 = 4·r_1`.
+    pub eps: f64,
+}
+
+impl PreciseAdversarialParams {
+    /// Builds with the paper's sub-phase geometry.
+    pub fn new(gamma: f64, eps: f64) -> Self {
+        Self { gamma, eps }
+    }
+
+    /// First (ramp) sub-phase length `r_1 = ⌈32/ε⌉`.
+    pub fn r1(&self) -> u64 {
+        (32.0 / self.eps).ceil() as u64
+    }
+
+    /// Second (frozen) sub-phase length `r_2 = 4·r_1`.
+    pub fn r2(&self) -> u64 {
+        4 * self.r1()
+    }
+
+    /// Full phase length `r_1 + r_2`.
+    pub fn phase_len(&self) -> u64 {
+        self.r1() + self.r2()
+    }
+
+    /// Per-round ramp probability `εγ/32`, also the permanent leave
+    /// probability at the end of the phase.
+    #[inline]
+    pub fn ramp_probability(&self) -> f64 {
+        self.eps * self.gamma / 32.0
+    }
+
+    /// Range checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.gamma > 0.0 && self.gamma <= 1.0 / 16.0) {
+            return Err(format!("γ ∈ (0, 1/16] required, got {}", self.gamma));
+        }
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(format!("ε ∈ (0, 1) required, got {}", self.eps));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ant_probabilities() {
+        let p = AntParams::new(1.0 / 16.0);
+        assert!((p.pause_probability() - 2.5 / 16.0).abs() < 1e-12);
+        assert!((p.leave_probability() - 1.0 / (16.0 * 19.0)).abs() < 1e-12);
+        assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn ant_constraints_from_proofs_hold_for_defaults() {
+        let p = AntParams::default();
+        // Claim 4.2: c_s ≥ 20/9 + 2/(c_d − 1).
+        assert!(p.cs >= 20.0 / 9.0 + 2.0 / (p.cd - 1.0));
+        // Claim 4.4: 0.9 c_s ≥ 2.
+        assert!(0.9 * p.cs >= 2.0);
+        // Claim 4.5: (1 + 1.2 c_s)·(1/16) ≤ 1/4.
+        assert!((1.0 + 1.2 * p.cs) / 16.0 <= 0.25 + 1e-12);
+        // Stable zone [1+γ, 1+(0.9c_s−1)γ] is non-empty: 0.9c_s − 1 > 1.
+        assert!(0.9 * p.cs - 1.0 > 1.0);
+    }
+
+    #[test]
+    fn ant_validation_rejects_bad_gamma() {
+        assert!(AntParams::new(0.0).validate().is_err());
+        assert!(AntParams::new(0.1).validate().is_err());
+        assert!(AntParams { gamma: 0.05, cs: 25.0, cd: 19.0 }.validate().is_err());
+        assert!(AntParams { gamma: 0.05, cs: 2.5, cd: 0.5 }.validate().is_err());
+    }
+
+    #[test]
+    fn precise_sigmoid_geometry() {
+        let p = PreciseSigmoidParams::new(0.05, 0.1);
+        // m = ceil(200 + 1) = 201, already odd.
+        assert_eq!(p.m(), 201);
+        assert_eq!(p.phase_len(), 402);
+        assert!((p.gamma_prime() - 0.1 * 0.05 / 10.0).abs() < 1e-15);
+        assert_eq!(p.validate(), Ok(()));
+        // Even m is bumped to odd.
+        let p = PreciseSigmoidParams::new(0.05, 0.5);
+        // 2·10/0.5 + 1 = 41 (odd); try ε = 2/3 → 31; ε = 0.4 → 51; use a
+        // value that lands even: 2·10/0.8 + 1 = 26 → 27.
+        let p_even = PreciseSigmoidParams::new(0.05, 0.8);
+        assert_eq!(p_even.m() % 2, 1);
+        assert!(p.m() % 2 == 1);
+    }
+
+    #[test]
+    fn precise_sigmoid_leave_prob_modes() {
+        let mut p = PreciseSigmoidParams::new(0.05, 0.1);
+        let proof = p.leave_probability();
+        assert!((proof - p.gamma_prime() / p.cd).abs() < 1e-15);
+        p.paper_literal_leave_prob = true;
+        let literal = p.leave_probability();
+        assert!((literal - 0.05 / 190.0).abs() < 1e-15);
+        // The literal value is 1/ε times larger.
+        assert!((literal / proof - 1.0 / p.eps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precise_adversarial_geometry() {
+        let p = PreciseAdversarialParams::new(0.05, 0.1);
+        assert_eq!(p.r1(), 320);
+        assert_eq!(p.r2(), 1280);
+        assert_eq!(p.phase_len(), 1600);
+        assert!((p.ramp_probability() - 0.1 * 0.05 / 32.0).abs() < 1e-15);
+        assert_eq!(p.validate(), Ok(()));
+        assert!(PreciseAdversarialParams::new(0.2, 0.1).validate().is_err());
+        assert!(PreciseAdversarialParams::new(0.05, 1.5).validate().is_err());
+    }
+}

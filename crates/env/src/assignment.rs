@@ -1,0 +1,69 @@
+//! An ant's task assignment: `a_t ∈ {idle, 1, …, k}`.
+
+/// Where an ant is working (or not) at the end of a round.
+///
+/// The paper's state space per ant is `{idle, 1, …, k}`; tasks here are
+/// 0-indexed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Assignment {
+    /// Not working on any task.
+    Idle,
+    /// Working on the task with this index.
+    Task(u32),
+}
+
+impl Assignment {
+    /// The task index if working, else `None`.
+    #[inline]
+    pub fn task(self) -> Option<usize> {
+        match self {
+            Assignment::Idle => None,
+            Assignment::Task(j) => Some(j as usize),
+        }
+    }
+
+    /// True iff idle.
+    #[inline]
+    pub fn is_idle(self) -> bool {
+        matches!(self, Assignment::Idle)
+    }
+
+    /// Builds from an optional task index.
+    #[inline]
+    pub fn from_task(task: Option<usize>) -> Self {
+        match task {
+            None => Assignment::Idle,
+            Some(j) => Assignment::Task(j as u32),
+        }
+    }
+}
+
+impl core::fmt::Display for Assignment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Assignment::Idle => f.write_str("idle"),
+            Assignment::Task(j) => write!(f, "task {j}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_roundtrip() {
+        assert_eq!(Assignment::from_task(Some(3)), Assignment::Task(3));
+        assert_eq!(Assignment::from_task(None), Assignment::Idle);
+        assert_eq!(Assignment::Task(3).task(), Some(3));
+        assert_eq!(Assignment::Idle.task(), None);
+        assert!(Assignment::Idle.is_idle());
+        assert!(!Assignment::Task(0).is_idle());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Assignment::Idle.to_string(), "idle");
+        assert_eq!(Assignment::Task(2).to_string(), "task 2");
+    }
+}

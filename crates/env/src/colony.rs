@@ -1,0 +1,308 @@
+//! Ground-truth colony bookkeeping: assignments, loads, deficits.
+
+use crate::assignment::Assignment;
+use crate::demand::DemandVector;
+
+/// The observable-by-nobody global state: who works where.
+///
+/// Loads are maintained incrementally — applying one ant's decision is
+/// O(1) — and a full recount is available as a (debug-asserted)
+/// consistency check.
+#[derive(Clone, Debug)]
+pub struct ColonyState {
+    assignments: Vec<Assignment>,
+    loads: Vec<u32>,
+    demands: DemandVector,
+    idle: u32,
+}
+
+impl ColonyState {
+    /// A colony of `n` ants, all initially idle.
+    pub fn new(n: usize, demands: DemandVector) -> Self {
+        assert!(n > 0, "empty colony");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "colony size must fit in u32 loads"
+        );
+        let k = demands.num_tasks();
+        Self {
+            assignments: vec![Assignment::Idle; n],
+            loads: vec![0; k],
+            demands,
+            idle: n as u32,
+        }
+    }
+
+    /// Number of ants `n`.
+    #[inline]
+    pub fn num_ants(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of tasks `k`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Current load `W(j)`.
+    #[inline]
+    pub fn load(&self, j: usize) -> u64 {
+        u64::from(self.loads[j])
+    }
+
+    /// All loads.
+    #[inline]
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Number of idle ants.
+    #[inline]
+    pub fn idle_count(&self) -> u64 {
+        u64::from(self.idle)
+    }
+
+    /// The demand vector.
+    #[inline]
+    pub fn demands(&self) -> &DemandVector {
+        &self.demands
+    }
+
+    /// Mutable access to demands (for schedules).
+    #[inline]
+    pub fn demands_mut(&mut self) -> &mut DemandVector {
+        &mut self.demands
+    }
+
+    /// Assignment of ant `i`.
+    #[inline]
+    pub fn assignment(&self, i: usize) -> Assignment {
+        self.assignments[i]
+    }
+
+    /// All assignments.
+    #[inline]
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Deficit `Δ(j) = d(j) − W(j)` of task `j`.
+    #[inline]
+    pub fn deficit(&self, j: usize) -> i64 {
+        self.demands.demand(j) as i64 - i64::from(self.loads[j])
+    }
+
+    /// Writes all deficits into `out` (resized to `k`).
+    pub fn deficits_into(&self, out: &mut Vec<i64>) {
+        out.clear();
+        out.extend(
+            self.demands
+                .as_slice()
+                .iter()
+                .zip(&self.loads)
+                .map(|(&d, &w)| d as i64 - i64::from(w)),
+        );
+    }
+
+    /// Moves ant `i` to `next`, updating loads incrementally.
+    #[inline]
+    pub fn apply(&mut self, i: usize, next: Assignment) {
+        let prev = self.assignments[i];
+        if prev == next {
+            return;
+        }
+        match prev {
+            Assignment::Idle => self.idle -= 1,
+            Assignment::Task(j) => self.loads[j as usize] -= 1,
+        }
+        match next {
+            Assignment::Idle => self.idle += 1,
+            Assignment::Task(j) => self.loads[j as usize] += 1,
+        }
+        self.assignments[i] = next;
+    }
+
+    /// Applies a batch of per-thread load deltas plus the new assignment
+    /// array contents for a contiguous chunk — the parallel engine's
+    /// reduce step. `deltas[j]` is the signed change to `W(j)`;
+    /// `idle_delta` the signed change to the idle count.
+    pub fn apply_deltas(&mut self, deltas: &[i64], idle_delta: i64) {
+        assert_eq!(deltas.len(), self.loads.len());
+        for (load, &delta) in self.loads.iter_mut().zip(deltas) {
+            let next = i64::from(*load) + delta;
+            assert!(next >= 0, "load went negative");
+            *load = u32::try_from(next).expect("load fits u32");
+        }
+        let idle = i64::from(self.idle) + idle_delta;
+        assert!(idle >= 0, "idle count went negative");
+        self.idle = u32::try_from(idle).expect("idle fits u32");
+    }
+
+    /// Overwrites ant `i`'s assignment **without** touching loads; pair
+    /// with [`ColonyState::apply_deltas`] (parallel engine only).
+    #[inline]
+    pub fn set_assignment_raw(&mut self, i: usize, next: Assignment) {
+        self.assignments[i] = next;
+    }
+
+    /// Adds an idle ant; returns its index (self-stabilization under
+    /// births).
+    pub fn spawn_ant(&mut self) -> usize {
+        self.assignments.push(Assignment::Idle);
+        self.idle += 1;
+        self.assignments.len() - 1
+    }
+
+    /// Removes ant `i` by swap-removal; returns the index of the ant that
+    /// moved into slot `i` (the previous last ant), if any. Callers must
+    /// mirror the swap in any parallel per-ant arrays (controllers, RNGs).
+    pub fn kill_ant(&mut self, i: usize) -> Option<usize> {
+        match self.assignments[i] {
+            Assignment::Idle => self.idle -= 1,
+            Assignment::Task(j) => self.loads[j as usize] -= 1,
+        }
+        self.assignments.swap_remove(i);
+        if i < self.assignments.len() {
+            Some(self.assignments.len())
+        } else {
+            None
+        }
+    }
+
+    /// Full recount of loads and idle from assignments; true iff the
+    /// incremental bookkeeping matches. Used by tests and debug asserts.
+    pub fn recount_consistent(&self) -> bool {
+        let mut loads = vec![0u32; self.loads.len()];
+        let mut idle = 0u32;
+        for a in &self.assignments {
+            match a {
+                Assignment::Idle => idle += 1,
+                Assignment::Task(j) => loads[*j as usize] += 1,
+            }
+        }
+        loads == self.loads && idle == self.idle
+    }
+
+    /// Regret of the current configuration: `r = Σ_j |Δ(j)|`.
+    pub fn instant_regret(&self) -> u64 {
+        self.demands
+            .as_slice()
+            .iter()
+            .zip(&self.loads)
+            .map(|(&d, &w)| (d as i64 - i64::from(w)).unsigned_abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn colony() -> ColonyState {
+        ColonyState::new(10, DemandVector::new(vec![3, 4]))
+    }
+
+    #[test]
+    fn starts_all_idle() {
+        let c = colony();
+        assert_eq!(c.num_ants(), 10);
+        assert_eq!(c.num_tasks(), 2);
+        assert_eq!(c.idle_count(), 10);
+        assert_eq!(c.load(0), 0);
+        assert_eq!(c.deficit(0), 3);
+        assert_eq!(c.instant_regret(), 7);
+        assert!(c.recount_consistent());
+    }
+
+    #[test]
+    fn apply_moves_load() {
+        let mut c = colony();
+        c.apply(0, Assignment::Task(1));
+        c.apply(1, Assignment::Task(1));
+        assert_eq!(c.load(1), 2);
+        assert_eq!(c.idle_count(), 8);
+        assert_eq!(c.deficit(1), 2);
+        c.apply(0, Assignment::Task(0));
+        assert_eq!(c.load(0), 1);
+        assert_eq!(c.load(1), 1);
+        c.apply(0, Assignment::Idle);
+        assert_eq!(c.load(0), 0);
+        assert_eq!(c.idle_count(), 9);
+        assert!(c.recount_consistent());
+        // No-op apply is a no-op.
+        c.apply(5, Assignment::Idle);
+        assert!(c.recount_consistent());
+    }
+
+    #[test]
+    fn deficits_into_matches_deficit() {
+        let mut c = colony();
+        for i in 0..5 {
+            c.apply(i, Assignment::Task(1));
+        }
+        let mut buf = Vec::new();
+        c.deficits_into(&mut buf);
+        assert_eq!(buf, vec![3, -1]);
+        assert_eq!(c.deficit(1), -1);
+        assert_eq!(c.instant_regret(), 4);
+    }
+
+    #[test]
+    fn spawn_and_kill() {
+        let mut c = colony();
+        c.apply(9, Assignment::Task(0));
+        let idx = c.spawn_ant();
+        assert_eq!(idx, 10);
+        assert_eq!(c.num_ants(), 11);
+        assert_eq!(c.idle_count(), 10);
+        // Kill the working ant 9: ant 10 swaps into slot 9.
+        let moved = c.kill_ant(9);
+        assert_eq!(moved, Some(10));
+        assert_eq!(c.num_ants(), 10);
+        assert_eq!(c.load(0), 0);
+        assert!(c.recount_consistent());
+        // Killing the last ant reports no swap.
+        let last = c.num_ants() - 1;
+        assert_eq!(c.kill_ant(last), None);
+        assert!(c.recount_consistent());
+    }
+
+    #[test]
+    fn apply_deltas_reduces() {
+        let mut c = colony();
+        // Pretend a parallel chunk moved 3 ants to task 0, 1 to task 1.
+        c.set_assignment_raw(0, Assignment::Task(0));
+        c.set_assignment_raw(1, Assignment::Task(0));
+        c.set_assignment_raw(2, Assignment::Task(0));
+        c.set_assignment_raw(3, Assignment::Task(1));
+        c.apply_deltas(&[3, 1], -4);
+        assert!(c.recount_consistent());
+        assert_eq!(c.load(0), 3);
+        assert_eq!(c.idle_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn apply_deltas_rejects_negative_load() {
+        let mut c = colony();
+        c.apply_deltas(&[-1, 0], 1);
+    }
+
+    proptest! {
+        /// Any sequence of assignment moves keeps incremental bookkeeping
+        /// consistent with a recount, and total mass conserved.
+        #[test]
+        fn bookkeeping_is_consistent(moves in proptest::collection::vec((0usize..10, 0u32..3), 0..200)) {
+            let mut c = colony();
+            for (ant, target) in moves {
+                let next = if target == 2 { Assignment::Idle } else { Assignment::Task(target) };
+                c.apply(ant, next);
+                prop_assert!(c.recount_consistent());
+                let mass = c.idle_count() + c.load(0) + c.load(1);
+                prop_assert_eq!(mass, 10);
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Demand vectors and Assumptions 2.1.
+
+use antalloc_noise::CriticalValue;
+
+/// The demand vector `d = (d(1), …, d(k))`: how many ants each task needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DemandVector {
+    demands: Vec<u64>,
+}
+
+/// The outcome of checking a demand vector against Assumptions 2.1 (and
+/// the relaxed slack condition of §3.3's final remark).
+///
+/// The checks produce warnings, not panics: lower-bound and ablation
+/// experiments deliberately run outside the assumptions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssumptionReport {
+    /// `d(j) = Ω(log n)`: the smallest demand and the `c·ln n` floor used.
+    pub d_min: u64,
+    /// The logarithmic floor `c·ln n` the demands were compared against.
+    pub log_floor: f64,
+    /// Whether every demand clears the floor.
+    pub demands_logarithmic: bool,
+    /// `Σ_j (1+5γ*)·d(j) ≤ c*·n`: the measured left-hand side.
+    pub slack_lhs: f64,
+    /// The slack budget `c*·n`.
+    pub slack_rhs: f64,
+    /// Whether the slack condition holds.
+    pub slack_ok: bool,
+}
+
+impl AssumptionReport {
+    /// True iff all assumptions hold.
+    pub fn all_ok(&self) -> bool {
+        self.demands_logarithmic && self.slack_ok
+    }
+
+    /// Human-readable summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "demands ≥ {:.1} (min {}): {}; slack {:.0} ≤ {:.0}: {}",
+            self.log_floor,
+            self.d_min,
+            if self.demands_logarithmic { "ok" } else { "VIOLATED" },
+            self.slack_lhs,
+            self.slack_rhs,
+            if self.slack_ok { "ok" } else { "VIOLATED" },
+        )
+    }
+}
+
+impl DemandVector {
+    /// Builds a demand vector.
+    ///
+    /// # Panics
+    /// If `demands` is empty or any demand is zero (the paper's tasks all
+    /// need at least one worker; a zero-demand task is simply omitted).
+    pub fn new(demands: Vec<u64>) -> Self {
+        assert!(!demands.is_empty(), "at least one task");
+        assert!(demands.iter().all(|&d| d > 0), "demands must be positive");
+        Self { demands }
+    }
+
+    /// Uniform demands: `k` tasks of demand `d` each.
+    pub fn uniform(k: usize, d: u64) -> Self {
+        Self::new(vec![d; k])
+    }
+
+    /// Number of tasks `k`.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// The demands as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.demands
+    }
+
+    /// Demand of task `j`.
+    #[inline]
+    pub fn demand(&self, j: usize) -> u64 {
+        self.demands[j]
+    }
+
+    /// Sum of all demands `Σ_j d(j)`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.demands.iter().sum()
+    }
+
+    /// Smallest demand (drives the sigmoid critical value).
+    #[inline]
+    pub fn min(&self) -> u64 {
+        *self.demands.iter().min().expect("non-empty")
+    }
+
+    /// Replaces the demands in place (demand schedules); the task count
+    /// must stay fixed — the paper's model has a fixed set of tasks.
+    pub fn set(&mut self, new: &[u64]) {
+        assert_eq!(new.len(), self.demands.len(), "task count is fixed");
+        assert!(new.iter().all(|&d| d > 0), "demands must be positive");
+        self.demands.copy_from_slice(new);
+    }
+
+    /// Checks Assumptions 2.1 for a colony of `n` ants.
+    ///
+    /// * `d(j) = Ω(log n)` — compared against `log_constant · ln n`.
+    /// * Slack: `Σ (1+5γ*)·d(j) ≤ slack_constant · n` (the relaxed form;
+    ///   the paper's `Σd ≤ n/2` is the special case
+    ///   `slack_constant = (1+5γ*)/2`).
+    pub fn check_assumptions(
+        &self,
+        n: usize,
+        critical: &CriticalValue,
+        log_constant: f64,
+        slack_constant: f64,
+    ) -> AssumptionReport {
+        let log_floor = log_constant * (n as f64).ln();
+        let d_min = self.min();
+        let demands_logarithmic = d_min as f64 >= log_floor;
+        let slack_lhs = (1.0 + 5.0 * critical.gamma_star) * self.total() as f64;
+        let slack_rhs = slack_constant * n as f64;
+        AssumptionReport {
+            d_min,
+            log_floor,
+            demands_logarithmic,
+            slack_lhs,
+            slack_rhs,
+            slack_ok: slack_lhs <= slack_rhs,
+        }
+    }
+}
+
+impl From<Vec<u64>> for DemandVector {
+    fn from(demands: Vec<u64>) -> Self {
+        Self::new(demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_noise::critical_value_sigmoid;
+
+    #[test]
+    fn basic_accessors() {
+        let d = DemandVector::new(vec![10, 30, 20]);
+        assert_eq!(d.num_tasks(), 3);
+        assert_eq!(d.total(), 60);
+        assert_eq!(d.min(), 10);
+        assert_eq!(d.demand(1), 30);
+        assert_eq!(DemandVector::uniform(2, 5).as_slice(), &[5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn rejects_empty() {
+        DemandVector::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_demand() {
+        DemandVector::new(vec![5, 0]);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut d = DemandVector::new(vec![10, 20]);
+        d.set(&[15, 25]);
+        assert_eq!(d.as_slice(), &[15, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task count is fixed")]
+    fn set_rejects_resize() {
+        let mut d = DemandVector::new(vec![10, 20]);
+        d.set(&[15]);
+    }
+
+    #[test]
+    fn assumptions_pass_for_paper_regime() {
+        // n = 4000, demands well above ln n ≈ 8.3, Σd = 1400 ≤ n/2.
+        // λ is chosen so γ* ≈ 0.09 < 1/2 (the paper's standing assumption
+        // on γ*): γ* = q·ln n/(λ·d_min) needs λ·d_min ≳ 16·q·ln n for the
+        // algorithm's γ ∈ [γ*, 1/16] window to be non-empty.
+        let d = DemandVector::new(vec![400, 700, 300]);
+        let cv = critical_value_sigmoid(2.5, 4000, d.as_slice(), 8.0);
+        assert!(cv.gamma_star < 0.1, "γ* = {}", cv.gamma_star);
+        let report = d.check_assumptions(4000, &cv, 1.0, 0.9);
+        assert!(report.all_ok(), "{}", report.summary());
+    }
+
+    #[test]
+    fn assumptions_flag_small_demands_and_no_slack() {
+        let d = DemandVector::new(vec![2, 3]);
+        let cv = critical_value_sigmoid(0.5, 1_000_000, d.as_slice(), 8.0);
+        let report = d.check_assumptions(1_000_000, &cv, 1.0, 0.9);
+        assert!(!report.demands_logarithmic);
+        assert!(report.slack_ok);
+
+        let d = DemandVector::new(vec![600, 600]);
+        let cv = critical_value_sigmoid(0.5, 1000, d.as_slice(), 8.0);
+        let report = d.check_assumptions(1000, &cv, 1.0, 0.9);
+        assert!(!report.slack_ok);
+        assert!(report.summary().contains("VIOLATED"));
+    }
+}

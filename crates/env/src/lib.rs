@@ -1,0 +1,23 @@
+//! The colony environment of §2.1: `n` ants, `k` tasks with demands
+//! `d(j)`, loads `W(j)_t`, and deficits `Δ(j)_t = d(j) − W(j)_t`.
+//!
+//! This crate owns the *ground truth* the ants never see directly:
+//! assignments, loads, demand vectors and their validation against
+//! Assumptions 2.1, demand schedules (the paper's "changing demands"
+//! remark), and the perturbation vocabulary used by self-stabilization
+//! experiments (arbitrary initial configurations, ant death/birth).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod colony;
+mod demand;
+mod perturb;
+mod schedule;
+
+pub use assignment::Assignment;
+pub use colony::ColonyState;
+pub use demand::{AssumptionReport, DemandVector};
+pub use perturb::{InitialConfig, Perturbation};
+pub use schedule::DemandSchedule;

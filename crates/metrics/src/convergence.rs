@@ -1,0 +1,145 @@
+//! Saturation and stabilization detection (Claim 4.4 / Theorem 3.1).
+
+/// Detects the paper's saturation predicate — every task at load
+/// `W(j) ≥ (1−γ)·d(j)` — and the stronger "stable band" predicate
+/// `|Δ(j)| ≤ band·d(j)` holding for `stability_window` consecutive
+/// rounds, which the self-stabilization experiments use as their
+/// convergence criterion.
+#[derive(Clone, Debug)]
+pub struct SaturationDetector {
+    gamma: f64,
+    band: f64,
+    stability_window: u64,
+    first_saturated: Option<u64>,
+    stable_run: u64,
+    stabilized_at: Option<u64>,
+    rounds: u64,
+    saturated_rounds: u64,
+}
+
+impl SaturationDetector {
+    /// `gamma` for the saturation predicate, `band` (fraction of demand)
+    /// and `stability_window` for the stabilization predicate.
+    pub fn new(gamma: f64, band: f64, stability_window: u64) -> Self {
+        assert!(stability_window > 0);
+        Self {
+            gamma,
+            band,
+            stability_window,
+            first_saturated: None,
+            stable_run: 0,
+            stabilized_at: None,
+            rounds: 0,
+            saturated_rounds: 0,
+        }
+    }
+
+    /// Folds one round in. `loads[j] = W(j)`.
+    pub fn record(&mut self, round: u64, loads: &[u32], demands: &[u64]) {
+        debug_assert_eq!(loads.len(), demands.len());
+        self.rounds += 1;
+        let saturated = loads
+            .iter()
+            .zip(demands)
+            .all(|(&w, &d)| f64::from(w) >= (1.0 - self.gamma) * d as f64);
+        if saturated {
+            self.saturated_rounds += 1;
+            if self.first_saturated.is_none() {
+                self.first_saturated = Some(round);
+            }
+        }
+        let in_band = loads.iter().zip(demands).all(|(&w, &d)| {
+            let delta = (d as f64 - f64::from(w)).abs();
+            delta <= self.band * d as f64
+        });
+        if in_band {
+            self.stable_run += 1;
+            if self.stable_run >= self.stability_window && self.stabilized_at.is_none() {
+                self.stabilized_at = Some(round + 1 - self.stability_window);
+            }
+        } else {
+            self.stable_run = 0;
+        }
+    }
+
+    /// First round with all tasks saturated, if any.
+    pub fn first_saturated(&self) -> Option<u64> {
+        self.first_saturated
+    }
+
+    /// First round from which the stable band held for a full window.
+    pub fn stabilized_at(&self) -> Option<u64> {
+        self.stabilized_at
+    }
+
+    /// Fraction of recorded rounds that were saturated.
+    pub fn saturated_fraction(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.saturated_rounds as f64 / self.rounds as f64
+        }
+    }
+
+    /// Clears the stabilization state (call after injecting a
+    /// perturbation, so recovery time is measured afresh).
+    pub fn rearm(&mut self) {
+        self.first_saturated = None;
+        self.stable_run = 0;
+        self.stabilized_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_saturation_and_stability() {
+        let mut s = SaturationDetector::new(0.1, 0.2, 3);
+        // Round 1: task under-saturated and outside the stable band.
+        s.record(1, &[70], &[100]);
+        assert_eq!(s.first_saturated(), None);
+        // Rounds 2..4: inside both predicates.
+        s.record(2, &[95], &[100]);
+        s.record(3, &[105], &[100]);
+        s.record(4, &[100], &[100]);
+        assert_eq!(s.first_saturated(), Some(2));
+        assert_eq!(s.stabilized_at(), Some(2));
+        assert!((s.saturated_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_requires_consecutive_rounds() {
+        let mut s = SaturationDetector::new(0.1, 0.1, 3);
+        s.record(1, &[100], &[100]);
+        s.record(2, &[100], &[100]);
+        s.record(3, &[50], &[100]); // breaks the run
+        s.record(4, &[100], &[100]);
+        s.record(5, &[100], &[100]);
+        assert_eq!(s.stabilized_at(), None);
+        s.record(6, &[100], &[100]);
+        assert_eq!(s.stabilized_at(), Some(4));
+    }
+
+    #[test]
+    fn rearm_resets_for_recovery_measurement() {
+        let mut s = SaturationDetector::new(0.1, 0.1, 2);
+        s.record(1, &[100], &[100]);
+        s.record(2, &[100], &[100]);
+        assert!(s.stabilized_at().is_some());
+        s.rearm();
+        assert_eq!(s.stabilized_at(), None);
+        s.record(3, &[100], &[100]);
+        s.record(4, &[100], &[100]);
+        assert_eq!(s.stabilized_at(), Some(3));
+    }
+
+    #[test]
+    fn overload_counts_as_saturated_but_not_stable() {
+        let mut s = SaturationDetector::new(0.1, 0.05, 1);
+        s.record(1, &[150], &[100]);
+        assert_eq!(s.first_saturated(), Some(1));
+        assert_eq!(s.stabilized_at(), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! Measurement machinery for the paper's regret metric (§2.3) and the
+//! quantities its analysis decomposes it into (§4).
+//!
+//! Everything here consumes plain slices (`deficits`, `demands`) so the
+//! metrics are engine-agnostic and unit-testable in isolation:
+//!
+//! * [`RegretTracker`] — `R(t) = Σ_τ r(τ)` with the paper's three-way
+//!   split `R = R⁺ + R≈ + R⁻` and the deficit-bound violation counters
+//!   of Theorem 3.1.
+//! * [`ClosenessEstimator`] — the `c`-closeness of §2.3:
+//!   `lim R(t)/t` against `γ*·Σd`.
+//! * [`OscillationStats`] — zero crossings, amplitudes, and the
+//!   quiet-period blow-up detector for Theorem 3.3's second claim.
+//! * [`SaturationDetector`] — Claim 4.4's "all tasks saturated"
+//!   predicate and time-to-saturation/stability.
+//! * [`SwitchStats`] — task-switch counting (Theorem 3.6's remark).
+//! * [`Welford`], [`Histogram`], [`SeriesDownsampler`] — streaming
+//!   statistics shared by the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod closeness;
+mod convergence;
+mod oscillation;
+mod regret;
+mod stats;
+mod switches;
+mod weighted;
+
+pub use closeness::ClosenessEstimator;
+pub use convergence::SaturationDetector;
+pub use oscillation::OscillationStats;
+pub use regret::{RegretBreakdown, RegretTracker};
+pub use stats::{Histogram, SeriesDownsampler, Welford};
+pub use switches::SwitchStats;
+pub use weighted::WeightedRegret;

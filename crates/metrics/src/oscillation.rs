@@ -1,0 +1,178 @@
+//! Oscillation statistics and the Theorem 3.3 blow-up detector.
+//!
+//! The paper's qualitative claim: any algorithm that parks the deficit
+//! *too close to zero* (inside `2εγ*d`) for a stretch of rounds will —
+//! because feedback there is a fair coin — subsequently suffer an
+//! excursion of order `ω(γ*d)`. [`OscillationStats`] measures sign
+//! changes and amplitudes per task, and records the largest excursion
+//! observed within `horizon` rounds after every "quiet period".
+
+/// Per-task oscillation accounting.
+#[derive(Clone, Debug)]
+pub struct OscillationStats {
+    quiet_band: Vec<f64>,
+    quiet_len: u64,
+    horizon: u64,
+    /// Last non-zero deficit sign per task (0 until first non-zero).
+    last_sign: Vec<i8>,
+    /// Zero-crossing counts per task.
+    crossings: Vec<u64>,
+    /// Max |Δ| per task over the whole run.
+    max_abs: Vec<u64>,
+    /// Current consecutive quiet rounds per task.
+    quiet_run: Vec<u64>,
+    /// Rounds remaining in the post-quiet observation window per task.
+    watch: Vec<u64>,
+    /// Largest |Δ| seen inside any post-quiet window, per task.
+    post_quiet_max: Vec<u64>,
+    /// Number of completed quiet periods per task.
+    quiet_periods: Vec<u64>,
+    rounds: u64,
+}
+
+impl OscillationStats {
+    /// `quiet_band[j]`: a task is "quiet" when `|Δ(j)| ≤ quiet_band[j]`
+    /// (Theorem 3.3 uses `2εγ*d(j)`); a quiet period is `quiet_len`
+    /// consecutive quiet rounds; after one, the next `horizon` rounds
+    /// are watched for the blow-up.
+    pub fn new(quiet_band: Vec<f64>, quiet_len: u64, horizon: u64) -> Self {
+        let k = quiet_band.len();
+        assert!(k > 0 && quiet_len > 0 && horizon > 0);
+        Self {
+            quiet_band,
+            quiet_len,
+            horizon,
+            last_sign: vec![0; k],
+            crossings: vec![0; k],
+            max_abs: vec![0; k],
+            quiet_run: vec![0; k],
+            watch: vec![0; k],
+            post_quiet_max: vec![0; k],
+            quiet_periods: vec![0; k],
+            rounds: 0,
+        }
+    }
+
+    /// Folds one round's deficits in.
+    pub fn record(&mut self, deficits: &[i64]) {
+        debug_assert_eq!(deficits.len(), self.quiet_band.len());
+        self.rounds += 1;
+        for (j, &delta) in deficits.iter().enumerate() {
+            let abs = delta.unsigned_abs();
+            self.max_abs[j] = self.max_abs[j].max(abs);
+            let sign = match delta.cmp(&0) {
+                core::cmp::Ordering::Greater => 1i8,
+                core::cmp::Ordering::Less => -1,
+                core::cmp::Ordering::Equal => 0,
+            };
+            if sign != 0 {
+                if self.last_sign[j] != 0 && sign != self.last_sign[j] {
+                    self.crossings[j] += 1;
+                }
+                self.last_sign[j] = sign;
+            }
+            // Quiet-period tracking.
+            if abs as f64 <= self.quiet_band[j] {
+                self.quiet_run[j] += 1;
+                if self.quiet_run[j] == self.quiet_len {
+                    self.quiet_periods[j] += 1;
+                    self.watch[j] = self.horizon;
+                    self.quiet_run[j] = 0;
+                }
+            } else {
+                self.quiet_run[j] = 0;
+            }
+            if self.watch[j] > 0 {
+                self.post_quiet_max[j] = self.post_quiet_max[j].max(abs);
+                self.watch[j] -= 1;
+            }
+        }
+    }
+
+    /// Zero crossings per task.
+    pub fn crossings(&self) -> &[u64] {
+        &self.crossings
+    }
+
+    /// Maximum `|Δ(j)|` per task over the run.
+    pub fn max_abs_deficit(&self) -> &[u64] {
+        &self.max_abs
+    }
+
+    /// Completed quiet periods per task.
+    pub fn quiet_periods(&self) -> &[u64] {
+        &self.quiet_periods
+    }
+
+    /// Largest `|Δ(j)|` observed within the post-quiet windows — the
+    /// Theorem 3.3 blow-up statistic.
+    pub fn post_quiet_max(&self) -> &[u64] {
+        &self.post_quiet_max
+    }
+
+    /// Mean zero-crossings per round across tasks — an oscillation rate.
+    pub fn crossing_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.crossings.iter().sum();
+        total as f64 / (self.rounds as f64 * self.crossings.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sign_changes_ignoring_zero() {
+        let mut o = OscillationStats::new(vec![0.5], 10, 10);
+        for &d in &[3i64, 2, 0, -1, -2, 0, 0, 4, -4] {
+            o.record(&[d]);
+        }
+        // +→(0)→− is one crossing; −→(0,0)→+ another; +→− another.
+        assert_eq!(o.crossings(), &[3]);
+        assert_eq!(o.max_abs_deficit(), &[4]);
+    }
+
+    #[test]
+    fn quiet_period_then_blowup_is_captured() {
+        // Band 2, quiet_len 3, horizon 5.
+        let mut o = OscillationStats::new(vec![2.0], 3, 5);
+        for &d in &[1i64, -1, 2] {
+            o.record(&[d]);
+        }
+        assert_eq!(o.quiet_periods(), &[1]);
+        // Blow-up inside the watch window.
+        o.record(&[30]);
+        assert_eq!(o.post_quiet_max(), &[30]);
+        // Burn the rest of the window with non-quiet values (so no new
+        // quiet period re-arms it); the later excursion is unattributed.
+        for _ in 0..5 {
+            o.record(&[5]);
+        }
+        o.record(&[100]);
+        assert_eq!(o.post_quiet_max(), &[30]);
+        assert_eq!(o.quiet_periods(), &[1]);
+    }
+
+    #[test]
+    fn interrupted_quiet_runs_reset() {
+        let mut o = OscillationStats::new(vec![1.0], 3, 2);
+        for &d in &[1i64, 1, 5, 1, 1] {
+            o.record(&[d]);
+        }
+        assert_eq!(o.quiet_periods(), &[0]);
+        o.record(&[0]);
+        assert_eq!(o.quiet_periods(), &[1]);
+    }
+
+    #[test]
+    fn crossing_rate_normalizes() {
+        let mut o = OscillationStats::new(vec![0.0, 0.0], 1, 1);
+        o.record(&[1, 1]);
+        o.record(&[-1, 1]);
+        // 1 crossing over 2 rounds × 2 tasks.
+        assert!((o.crossing_rate() - 0.25).abs() < 1e-12);
+    }
+}

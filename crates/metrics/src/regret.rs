@@ -1,0 +1,227 @@
+//! The regret metric and its §4 decomposition.
+//!
+//! `r(t) = Σ_j |Δ(j)_t|`, `R(t) = Σ_{τ≤t} r(τ)`. The analysis splits
+//! `r` by how far the load sits from the demand, with
+//! `c⁺ = 1.2·c_s` and `c⁻ = 1 + 1.2·c_s`:
+//!
+//! * `r⁺` — mass above `(1 + c⁺γ)d` (significant overload),
+//! * `r⁻` — mass below `(1 − c⁻γ)d` (significant lack),
+//! * `r≈` — the remainder (the small controlled oscillation).
+//!
+//! Theorem 3.1's shape is: `R⁺` and `R⁻` are one-off `O(nk/γ)` costs,
+//! while `R≈` accrues `O(γΣd)` forever — the experiments print exactly
+//! these columns.
+
+/// Totals of the regret decomposition up to the current round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegretBreakdown {
+    /// Rounds accumulated.
+    pub rounds: u64,
+    /// Total regret `R(t)`.
+    pub total: u128,
+    /// Overload component `R⁺(t)`.
+    pub plus: u128,
+    /// Lack component `R⁻(t)`.
+    pub minus: u128,
+    /// Near-demand component `R≈(t)`.
+    pub near: u128,
+    /// Rounds with `r⁺ > 0` (Claim 4.3 bounds these by `O(k log n/γ)`).
+    pub rounds_plus_positive: u64,
+    /// Rounds with `r⁻ > 0`.
+    pub rounds_minus_positive: u64,
+    /// (round, task) pairs with `|Δ(j)| > 5γ·d(j)` (Theorem 3.1's
+    /// per-task deficit bound).
+    pub deficit_bound_violations: u64,
+}
+
+impl RegretBreakdown {
+    /// Average regret per round, `R(t)/t`.
+    pub fn average(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Streaming accumulator for [`RegretBreakdown`].
+///
+/// `gamma`, `c_s` configure the split thresholds; a `warmup` prefix of
+/// rounds can be excluded so steady-state rates aren't polluted by the
+/// initial transient (the paper's bounds separate exactly these two
+/// terms).
+#[derive(Clone, Debug)]
+pub struct RegretTracker {
+    gamma: f64,
+    c_plus: f64,
+    c_minus: f64,
+    warmup: u64,
+    seen: u64,
+    stats: RegretBreakdown,
+}
+
+impl RegretTracker {
+    /// A tracker with the paper's `c⁺/c⁻` derived from `c_s`.
+    pub fn new(gamma: f64, c_s: f64, warmup: u64) -> Self {
+        Self {
+            gamma,
+            c_plus: 1.2 * c_s,
+            c_minus: 1.0 + 1.2 * c_s,
+            warmup,
+            seen: 0,
+            stats: RegretBreakdown::default(),
+        }
+    }
+
+    /// Tracker with the default constants (`c_s = 2.5`) and no warmup.
+    pub fn with_gamma(gamma: f64) -> Self {
+        Self::new(gamma, 2.5, 0)
+    }
+
+    /// Folds one round's deficits in. `deficits[j] = d(j) − W(j)`.
+    pub fn record(&mut self, deficits: &[i64], demands: &[u64]) {
+        debug_assert_eq!(deficits.len(), demands.len());
+        self.seen += 1;
+        if self.seen <= self.warmup {
+            return;
+        }
+        let mut r_total = 0u64;
+        let mut r_plus = 0u64;
+        let mut r_minus = 0u64;
+        let mut violations = 0u64;
+        for (&delta, &d) in deficits.iter().zip(demands) {
+            let df = d as f64;
+            r_total += delta.unsigned_abs();
+            // Overload beyond (1 + c⁺γ)d ⟺ −Δ > c⁺γd.
+            let over = (-delta) as f64 - self.c_plus * self.gamma * df;
+            if over > 0.0 {
+                r_plus += over.ceil() as u64;
+            }
+            // Lack below (1 − c⁻γ)d ⟺ Δ > c⁻γd.
+            let lack = delta as f64 - self.c_minus * self.gamma * df;
+            if lack > 0.0 {
+                r_minus += lack.ceil() as u64;
+            }
+            if delta.unsigned_abs() as f64 > 5.0 * self.gamma * df {
+                violations += 1;
+            }
+        }
+        let s = &mut self.stats;
+        s.rounds += 1;
+        s.total += u128::from(r_total);
+        s.plus += u128::from(r_plus);
+        s.minus += u128::from(r_minus);
+        // Per task, the over/lack excess never exceeds |Δ| and a task is
+        // never both overloaded and lacking, so the subtraction is safe.
+        s.near += u128::from(r_total - r_plus - r_minus);
+        s.rounds_plus_positive += u64::from(r_plus > 0);
+        s.rounds_minus_positive += u64::from(r_minus > 0);
+        s.deficit_bound_violations += violations;
+    }
+
+    /// The totals so far (excluding warmup rounds).
+    pub fn breakdown(&self) -> RegretBreakdown {
+        self.stats
+    }
+
+    /// Rounds consumed, including warmup.
+    pub fn rounds_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn total_is_sum_of_absolute_deficits() {
+        let mut t = RegretTracker::with_gamma(0.05);
+        t.record(&[3, -4, 0], &[100, 100, 100]);
+        let b = t.breakdown();
+        assert_eq!(b.total, 7);
+        assert_eq!(b.rounds, 1);
+        assert_eq!(b.average(), 7.0);
+    }
+
+    #[test]
+    fn split_thresholds() {
+        // γ = 0.1, c_s = 2.5 → c⁺γd = 30, c⁻γd = 40 at d = 100… use
+        // d = 100: overload threshold 30, lack threshold 40.
+        let mut t = RegretTracker::new(0.1, 2.5, 0);
+        // Deficit −35: overload 35 > 30 → r⁺ = 5, rest near.
+        t.record(&[-35], &[100]);
+        let b = t.breakdown();
+        assert_eq!(b.plus, 5);
+        assert_eq!(b.minus, 0);
+        assert_eq!(b.near, 30);
+        assert_eq!(b.total, 35);
+        assert_eq!(b.rounds_plus_positive, 1);
+
+        // Deficit +45: lack 45 > 40 → r⁻ = 5.
+        let mut t = RegretTracker::new(0.1, 2.5, 0);
+        t.record(&[45], &[100]);
+        let b = t.breakdown();
+        assert_eq!(b.minus, 5);
+        assert_eq!(b.plus, 0);
+        assert_eq!(b.near, 40);
+
+        // Deficit within both thresholds: all near.
+        let mut t = RegretTracker::new(0.1, 2.5, 0);
+        t.record(&[-20], &[100]);
+        let b = t.breakdown();
+        assert_eq!(b.near, 20);
+        assert_eq!(b.rounds_plus_positive, 0);
+        assert_eq!(b.rounds_minus_positive, 0);
+    }
+
+    #[test]
+    fn deficit_bound_violations_use_5_gamma_d() {
+        // 5γd = 25 at γ=0.05, d=100.
+        let mut t = RegretTracker::with_gamma(0.05);
+        t.record(&[26, -26, 25], &[100, 100, 100]);
+        assert_eq!(t.breakdown().deficit_bound_violations, 2);
+    }
+
+    #[test]
+    fn warmup_is_excluded() {
+        let mut t = RegretTracker::new(0.05, 2.5, 2);
+        t.record(&[100], &[100]);
+        t.record(&[100], &[100]);
+        assert_eq!(t.breakdown().rounds, 0);
+        t.record(&[7], &[100]);
+        let b = t.breakdown();
+        assert_eq!(b.rounds, 1);
+        assert_eq!(b.total, 7);
+        assert_eq!(t.rounds_seen(), 3);
+    }
+
+    proptest! {
+        /// The decomposition always sums back to the total.
+        #[test]
+        fn split_sums_to_total(
+            deficits in proptest::collection::vec(-1_000i64..1_000, 1..8),
+            gamma in 0.01f64..0.0625,
+        ) {
+            let demands: Vec<u64> = vec![500; deficits.len()];
+            let mut t = RegretTracker::new(gamma, 2.5, 0);
+            t.record(&deficits, &demands);
+            let b = t.breakdown();
+            prop_assert_eq!(b.plus + b.minus + b.near, b.total);
+        }
+
+        /// Total equals the independent direct computation.
+        #[test]
+        fn total_matches_direct(
+            deficits in proptest::collection::vec(-10_000i64..10_000, 1..10),
+        ) {
+            let demands: Vec<u64> = vec![1000; deficits.len()];
+            let mut t = RegretTracker::with_gamma(0.03);
+            t.record(&deficits, &demands);
+            let want: u128 = deficits.iter().map(|d| u128::from(d.unsigned_abs())).sum();
+            prop_assert_eq!(t.breakdown().total, want);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Streaming statistics shared by the experiment harness.
+
+/// Welford's online mean/variance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds a sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn sem(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    under: u64,
+    over: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo && bins > 0);
+        Self { lo, hi, bins: vec![0; bins], under: 0, over: 0, count: 0 }
+    }
+
+    /// Folds a sample in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.under += 1;
+        } else if x >= self.hi {
+            self.over += 1;
+        } else {
+            let nbins = self.bins.len();
+            let w = (self.hi - self.lo) / nbins as f64;
+            let idx = (((x - self.lo) / w) as usize).min(nbins - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// (underflow, overflow) counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.under, self.over)
+    }
+
+    /// Approximate quantile `q ∈ [0,1]` (bin midpoint; underflow maps to
+    /// `lo`, overflow to `hi`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.under;
+        if seen >= target {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.lo + (i as f64 + 0.5) * w;
+            }
+        }
+        self.hi
+    }
+
+    /// Total samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Keeps a bounded-size view of a long series by averaging fixed-size
+/// round blocks — how the figure benches store deficit traces without
+/// holding every round in memory.
+#[derive(Clone, Debug)]
+pub struct SeriesDownsampler {
+    stride: u64,
+    acc: f64,
+    in_block: u64,
+    points: Vec<f64>,
+}
+
+impl SeriesDownsampler {
+    /// Averages every `stride` consecutive samples into one point.
+    pub fn new(stride: u64) -> Self {
+        assert!(stride > 0);
+        Self { stride, acc: 0.0, in_block: 0, points: Vec::new() }
+    }
+
+    /// Folds a sample in.
+    pub fn push(&mut self, x: f64) {
+        self.acc += x;
+        self.in_block += 1;
+        if self.in_block == self.stride {
+            self.points.push(self.acc / self.stride as f64);
+            self.acc = 0.0;
+            self.in_block = 0;
+        }
+    }
+
+    /// The completed block averages.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Flushes a trailing partial block (if any) and returns all points.
+    pub fn finish(mut self) -> Vec<f64> {
+        if self.in_block > 0 {
+            self.points.push(self.acc / self.in_block as f64);
+        }
+        self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert!(w.sem() > 0.0);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w = Welford::new();
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_quantiles() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(f64::from(i) / 10.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.bins().iter().sum::<u64>(), 100);
+        let median = h.quantile(0.5);
+        assert!((median - 5.0).abs() <= 1.0, "median {median}");
+        h.push(-1.0);
+        h.push(99.0);
+        assert_eq!(h.outliers(), (1, 1));
+    }
+
+    #[test]
+    fn downsampler_averages_blocks() {
+        let mut d = SeriesDownsampler::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            d.push(x);
+        }
+        assert_eq!(d.points(), &[2.0, 5.0]);
+        assert_eq!(d.finish(), vec![2.0, 5.0, 7.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_mean_in_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.push(x);
+            }
+            prop_assert!(w.mean() >= w.min() - 1e-9);
+            prop_assert!(w.mean() <= w.max() + 1e-9);
+            prop_assert!(w.variance() >= 0.0);
+        }
+
+        #[test]
+        fn histogram_quantiles_monotone(
+            xs in proptest::collection::vec(0.0f64..1.0, 10..200),
+        ) {
+            let mut h = Histogram::new(0.0, 1.0, 16);
+            for &x in &xs {
+                h.push(x);
+            }
+            prop_assert!(h.quantile(0.25) <= h.quantile(0.75) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Weighted regret — §2.3's stated future direction.
+//!
+//! The paper penalizes lack and overload equally and remarks: "we leave
+//! it as a future direction to use different weights". This tracker
+//! implements that generalization,
+//! `r_w(t) = Σ_j (w_lack·Δ⁺(j) + w_over·Δ⁻(j))`, optionally adding a
+//! per-switch cost (the Theorem 3.6 remark about incorporating
+//! switching costs into the regret).
+
+/// Streaming weighted-regret accumulator.
+#[derive(Clone, Debug)]
+pub struct WeightedRegret {
+    w_lack: f64,
+    w_overload: f64,
+    w_switch: f64,
+    total: f64,
+    lack_mass: f64,
+    overload_mass: f64,
+    switch_mass: f64,
+    rounds: u64,
+}
+
+impl WeightedRegret {
+    /// Weights for unmet demand (`w_lack`), wasted work (`w_overload`)
+    /// and per-assignment-change cost (`w_switch`). The paper's metric
+    /// is `(1, 1, 0)`.
+    pub fn new(w_lack: f64, w_overload: f64, w_switch: f64) -> Self {
+        assert!(w_lack >= 0.0 && w_overload >= 0.0 && w_switch >= 0.0);
+        Self {
+            w_lack,
+            w_overload,
+            w_switch,
+            total: 0.0,
+            lack_mass: 0.0,
+            overload_mass: 0.0,
+            switch_mass: 0.0,
+            rounds: 0,
+        }
+    }
+
+    /// The paper's unweighted metric.
+    pub fn paper() -> Self {
+        Self::new(1.0, 1.0, 0.0)
+    }
+
+    /// Folds one round in.
+    pub fn record(&mut self, deficits: &[i64], switches: u64) {
+        let mut lack = 0u64;
+        let mut over = 0u64;
+        for &delta in deficits {
+            if delta >= 0 {
+                lack += delta as u64;
+            } else {
+                over += delta.unsigned_abs();
+            }
+        }
+        self.lack_mass += self.w_lack * lack as f64;
+        self.overload_mass += self.w_overload * over as f64;
+        self.switch_mass += self.w_switch * switches as f64;
+        self.total = self.lack_mass + self.overload_mass + self.switch_mass;
+        self.rounds += 1;
+    }
+
+    /// Total weighted regret.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Average weighted regret per round.
+    pub fn average(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total / self.rounds as f64
+        }
+    }
+
+    /// (weighted lack, weighted overload, weighted switch) components.
+    pub fn components(&self) -> (f64, f64, f64) {
+        (self.lack_mass, self.overload_mass, self.switch_mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_weights_match_plain_regret() {
+        let mut w = WeightedRegret::paper();
+        w.record(&[3, -4, 0], 100);
+        assert_eq!(w.total(), 7.0);
+        assert_eq!(w.average(), 7.0);
+        let (lack, over, sw) = w.components();
+        assert_eq!((lack, over, sw), (3.0, 4.0, 0.0));
+    }
+
+    #[test]
+    fn asymmetric_weights() {
+        // Lack twice as bad as overload (work not done vs work wasted).
+        let mut w = WeightedRegret::new(2.0, 1.0, 0.0);
+        w.record(&[3, -4], 0);
+        assert_eq!(w.total(), 10.0);
+    }
+
+    #[test]
+    fn switch_costs_accumulate() {
+        let mut w = WeightedRegret::new(1.0, 1.0, 0.5);
+        w.record(&[0], 10);
+        w.record(&[2], 4);
+        assert_eq!(w.total(), 2.0 + 7.0);
+        assert_eq!(w.average(), 4.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_weights() {
+        WeightedRegret::new(-1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The critical feedback value `γ*` and grey zones (Definition 2.3).
+//!
+//! `γ*` is the smallest deficit-to-demand ratio at which *every* ant
+//! receives the correct signal with probability `1 − n^{−q}` (the paper
+//! fixes `q = 8`). Below that ratio — inside the *grey zone*
+//! `[−γ*·d, γ*·d]` — feedback is unreliable and the paper shows
+//! oscillations are unavoidable.
+
+use crate::sigmoid::logistic;
+
+/// The exponent `q` in the paper's `1/n^8` reliability target.
+pub const PAPER_RELIABILITY_EXPONENT: f64 = 8.0;
+
+/// A computed critical value together with the inputs that produced it,
+/// so experiment tables can echo their provenance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CriticalValue {
+    /// The critical ratio `γ*`.
+    pub gamma_star: f64,
+    /// The smallest demand, which determines `γ*` for sigmoid noise.
+    pub d_min: u64,
+    /// The reliability exponent `q` used (`8` in the paper).
+    pub exponent: f64,
+}
+
+/// Critical value for the sigmoid model.
+///
+/// Definition 2.3 asks for the smallest `γ` with
+/// `s(−γ·d(j)) ≤ n^{−q}` for all `j`; solving
+/// `1/(1 + e^{λγd}) = n^{−q}` gives `γ* = ln(n^q − 1)/(λ·d_min)`.
+///
+/// # Panics
+/// Panics if `lambda ≤ 0`, `n < 2`, or `demands` is empty or contains 0.
+pub fn critical_value_sigmoid(lambda: f64, n: usize, demands: &[u64], exponent: f64) -> CriticalValue {
+    assert!(lambda > 0.0, "sigmoid steepness must be positive");
+    assert!(n >= 2, "need at least two ants for n^q - 1 > 0");
+    let d_min = *demands.iter().min().expect("at least one task");
+    assert!(d_min > 0, "demands must be positive");
+    // ln(n^q − 1): for n^q above ~1e15 the −1 is below f64 resolution, so
+    // use q·ln(n) directly and avoid overflowing n^q for large n.
+    let q_ln_n = exponent * (n as f64).ln();
+    let ln_term = if q_ln_n > 34.0 {
+        q_ln_n
+    } else {
+        (q_ln_n.exp() - 1.0).ln()
+    };
+    CriticalValue {
+        gamma_star: ln_term / (lambda * d_min as f64),
+        d_min,
+        exponent,
+    }
+}
+
+/// Critical value for the adversarial model: by Definition 2.3 it is the
+/// adversary's own threshold `γ_ad`.
+pub fn critical_value_adversarial(gamma_ad: f64) -> CriticalValue {
+    CriticalValue { gamma_star: gamma_ad, d_min: 0, exponent: f64::NAN }
+}
+
+/// The grey zone `g_j = [−γ*·d(j), γ*·d(j)]` of a task (in deficit units).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GreyZone {
+    /// Lower deficit bound `−γ*·d(j)`.
+    pub lo: f64,
+    /// Upper deficit bound `γ*·d(j)`.
+    pub hi: f64,
+}
+
+impl GreyZone {
+    /// The grey zone for a task with demand `d` under critical ratio `γ`.
+    #[inline]
+    pub fn of(gamma: f64, demand: u64) -> Self {
+        let half = gamma * demand as f64;
+        Self { lo: -half, hi: half }
+    }
+
+    /// True iff `deficit` lies strictly inside the zone.
+    #[inline]
+    pub fn contains(&self, deficit: i64) -> bool {
+        let d = deficit as f64;
+        d > self.lo && d < self.hi
+    }
+
+    /// Width of the zone in ants (`2γd`).
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl CriticalValue {
+    /// Probability of *incorrect* feedback exactly at the grey-zone edge,
+    /// for a task of demand `d` under sigmoid steepness `lambda`. By
+    /// construction this is ≤ `n^{−q}`, with equality at `d = d_min`.
+    pub fn edge_error_probability(&self, lambda: f64, demand: u64) -> f64 {
+        logistic(-lambda * self.gamma_star * demand as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn closed_form_matches_definition() {
+        // For moderate n, check s(−γ*·d_min) == n^{−q} numerically.
+        let n = 1000;
+        let lambda = 0.2;
+        let demands = [120u64, 300, 80];
+        let cv = critical_value_sigmoid(lambda, n, &demands, 8.0);
+        let p = cv.edge_error_probability(lambda, cv.d_min);
+        let target = (n as f64).powf(-8.0);
+        assert!(
+            (p - target).abs() / target < 1e-6,
+            "p={p:e} target={target:e}"
+        );
+        assert_eq!(cv.d_min, 80);
+    }
+
+    #[test]
+    fn larger_demands_have_smaller_edge_error() {
+        let cv = critical_value_sigmoid(0.2, 1000, &[80, 300], 8.0);
+        assert!(
+            cv.edge_error_probability(0.2, 300) < cv.edge_error_probability(0.2, 80)
+        );
+    }
+
+    #[test]
+    fn large_n_path_is_continuous_with_small_n_path() {
+        // q·ln n just below and above the 34.0 switch must agree closely.
+        let lambda = 0.1;
+        let demands = [500u64];
+        // Find n so q ln n ~ 34: q=8 → ln n = 4.25 → n ≈ 70.
+        let lo = critical_value_sigmoid(lambda, 69, &demands, 8.0).gamma_star;
+        let hi = critical_value_sigmoid(lambda, 71, &demands, 8.0).gamma_star;
+        assert!((hi - lo).abs() / lo < 0.01);
+    }
+
+    #[test]
+    fn adversarial_critical_is_gamma_ad() {
+        assert_eq!(critical_value_adversarial(0.07).gamma_star, 0.07);
+    }
+
+    #[test]
+    fn grey_zone_membership() {
+        let z = GreyZone::of(0.1, 100); // [-10, 10]
+        assert!(z.contains(0));
+        assert!(z.contains(9));
+        assert!(z.contains(-9));
+        assert!(!z.contains(10));
+        assert!(!z.contains(-10));
+        assert_eq!(z.width(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "steepness")]
+    fn rejects_nonpositive_lambda() {
+        critical_value_sigmoid(0.0, 100, &[10], 8.0);
+    }
+
+    proptest! {
+        /// γ* decreases in λ (sharper sigmoid → smaller grey zone) and in
+        /// d_min (bigger tasks → relatively smaller zone).
+        #[test]
+        fn monotonicity(
+            lambda in 0.01f64..2.0,
+            n in 10usize..100_000,
+            d in 10u64..100_000,
+        ) {
+            let base = critical_value_sigmoid(lambda, n, &[d], 8.0).gamma_star;
+            let sharper = critical_value_sigmoid(lambda * 2.0, n, &[d], 8.0).gamma_star;
+            let bigger = critical_value_sigmoid(lambda, n, &[d * 2], 8.0).gamma_star;
+            prop_assert!(sharper < base);
+            prop_assert!(bigger < base);
+            prop_assert!(base > 0.0);
+        }
+
+        /// Outside the grey zone the error probability is at most n^{−q}.
+        #[test]
+        fn outside_zone_error_is_bounded(
+            lambda in 0.05f64..1.0,
+            n in 10usize..10_000,
+            d in 50u64..10_000,
+            slack in 1.0f64..3.0,
+        ) {
+            let cv = critical_value_sigmoid(lambda, n, &[d], 8.0);
+            // A deficit `slack` times the edge: error must be ≤ n^{-8}.
+            let deficit = (cv.gamma_star * d as f64 * slack).ceil();
+            let p_err = crate::sigmoid::logistic(-lambda * deficit);
+            prop_assert!(p_err <= (n as f64).powf(-8.0) * (1.0 + 1e-9));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The binary feedback signal.
+
+/// The feedback an ant receives about one task (the paper's "task
+/// stimulus"): the task either lacks workers or is overloaded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Feedback {
+    /// Too few workers (the deficit `Δ = d − W` is perceived positive).
+    Lack,
+    /// Too many workers (the deficit is perceived negative).
+    Overload,
+}
+
+impl Feedback {
+    /// The noise-free signal for a deficit: `Lack` iff `Δ ≥ 0`.
+    ///
+    /// The `Δ = 0` case maps to `Lack`, matching \[11\] where a task at
+    /// exactly its demand reports `lack` ("load below *or equal to* the
+    /// demand").
+    #[inline]
+    pub fn truth(deficit: i64) -> Self {
+        if deficit >= 0 {
+            Feedback::Lack
+        } else {
+            Feedback::Overload
+        }
+    }
+
+    /// The opposite signal.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            Feedback::Lack => Feedback::Overload,
+            Feedback::Overload => Feedback::Lack,
+        }
+    }
+
+    /// True iff this signal is `Lack`.
+    #[inline]
+    pub fn is_lack(self) -> bool {
+        matches!(self, Feedback::Lack)
+    }
+}
+
+impl core::fmt::Display for Feedback {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Feedback::Lack => f.write_str("lack"),
+            Feedback::Overload => f.write_str("overload"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_sign_convention() {
+        assert_eq!(Feedback::truth(5), Feedback::Lack);
+        assert_eq!(Feedback::truth(0), Feedback::Lack);
+        assert_eq!(Feedback::truth(-1), Feedback::Overload);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for f in [Feedback::Lack, Feedback::Overload] {
+            assert_eq!(f.flipped().flipped(), f);
+            assert_ne!(f.flipped(), f);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(Feedback::Lack.to_string(), "lack");
+        assert_eq!(Feedback::Overload.to_string(), "overload");
+    }
+}

@@ -1,0 +1,222 @@
+//! Grey-zone policies for the adversarial feedback model.
+//!
+//! §2.2 constrains the adversary only *outside* the grey zone
+//! `[−γ_ad·d, γ_ad·d]`, where feedback must be correct; inside it the
+//! signal may be "an arbitrary value". Each variant here is one such
+//! arbitrary choice. The Theorem 3.5 lower bound is realized by
+//! [`GreyZonePolicy::LoadThreshold`], which answers `lack` iff the load is
+//! at most a fixed per-task threshold — the construction that makes two
+//! different demand vectors produce identical feedback.
+
+use crate::feedback::Feedback;
+
+/// How the adversary answers inside the grey zone.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GreyZonePolicy {
+    /// Always report `lack` inside the zone (pulls ants in).
+    AlwaysLack,
+    /// Always report `overload` inside the zone (pushes ants out).
+    AlwaysOverload,
+    /// Report the true sign of the deficit even inside the zone — the
+    /// benign case; useful as a control in experiments.
+    Truthful,
+    /// Report the *opposite* of the truth inside the zone — the most
+    /// destabilizing memoryless policy.
+    Inverted,
+    /// Alternate `lack`/`overload` by round parity inside the zone,
+    /// manufacturing maximal oscillation pressure.
+    AlternateByRound,
+    /// Answer uniformly at random (per ant, i.i.d.) inside the zone with
+    /// the given probability of `lack`.
+    RandomLack(f64),
+    /// Ignore the deficit entirely and answer `lack` iff the task's load
+    /// `W` is at most the per-task threshold. Callers must pick thresholds
+    /// inside every task's grey zone or [`validate`] will reject them —
+    /// this is exactly the Yao-principle adversary of Theorem 3.5.
+    ///
+    /// [`validate`]: GreyZonePolicy::validate_load_thresholds
+    LoadThreshold(Vec<u64>),
+}
+
+impl GreyZonePolicy {
+    /// Resolves the policy for one task in one round, given the *true*
+    /// deficit. Returns `None` if the answer is per-ant random, in which
+    /// case the caller samples i.i.d. `lack` with the returned probability
+    /// in `Err`-like fashion via [`GreyZonePolicy::random_lack_probability`].
+    pub fn fixed_answer(&self, task: usize, round: u64, deficit: i64, demand: u64) -> Option<Feedback> {
+        match self {
+            GreyZonePolicy::AlwaysLack => Some(Feedback::Lack),
+            GreyZonePolicy::AlwaysOverload => Some(Feedback::Overload),
+            GreyZonePolicy::Truthful => Some(Feedback::truth(deficit)),
+            GreyZonePolicy::Inverted => Some(Feedback::truth(deficit).flipped()),
+            GreyZonePolicy::AlternateByRound => Some(if round % 2 == 0 {
+                Feedback::Lack
+            } else {
+                Feedback::Overload
+            }),
+            GreyZonePolicy::RandomLack(_) => None,
+            GreyZonePolicy::LoadThreshold(thresholds) => {
+                let load = demand as i64 - deficit;
+                Some(if load <= thresholds[task] as i64 {
+                    Feedback::Lack
+                } else {
+                    Feedback::Overload
+                })
+            }
+        }
+    }
+
+    /// For [`GreyZonePolicy::RandomLack`], the probability of `lack`.
+    pub fn random_lack_probability(&self) -> Option<f64> {
+        match self {
+            GreyZonePolicy::RandomLack(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Checks that a [`GreyZonePolicy::LoadThreshold`] policy is a *legal*
+    /// adversary for the given demands: each threshold must lie inside the
+    /// task's grey zone `[d(1−γ_ad), d(1+γ_ad)]` in load units, so that
+    /// outside the zone the answer coincides with the truth.
+    ///
+    /// Returns the offending task index on failure.
+    pub fn validate_load_thresholds(&self, gamma_ad: f64, demands: &[u64]) -> Result<(), usize> {
+        if let GreyZonePolicy::LoadThreshold(thresholds) = self {
+            assert_eq!(thresholds.len(), demands.len(), "one threshold per task");
+            for (j, (&theta, &d)) in thresholds.iter().zip(demands).enumerate() {
+                let lo = d as f64 * (1.0 - gamma_ad);
+                let hi = d as f64 * (1.0 + gamma_ad);
+                if (theta as f64) < lo || (theta as f64) > hi {
+                    return Err(j);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the Theorem 3.5 indistinguishable demand pair for `k` tasks.
+///
+/// Returns `(d, d_prime, thresholds)` where `d = n/(2k)` per task,
+/// `d' = d − 2τ` with `τ = ⌊γ_ad·d/(1+2γ_ad)⌋`, and `thresholds[j] = θ`
+/// is simultaneously inside both grey zones, so the
+/// [`GreyZonePolicy::LoadThreshold`] adversary with these thresholds is
+/// legal for *both* demand vectors while producing identical feedback for
+/// every load — the indistinguishability at the heart of the lower bound.
+pub fn yao_demand_pair(n: usize, k: usize, gamma_ad: f64) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    assert!(k >= 1 && n >= 4 * k, "need n/(2k) ≥ 2 ants per task");
+    assert!(gamma_ad > 0.0 && gamma_ad < 1.0);
+    let d = (n / (2 * k)) as u64;
+    let tau = ((gamma_ad * d as f64) / (1.0 + 2.0 * gamma_ad)).floor() as u64;
+    assert!(tau >= 1, "γ_ad·d too small to separate the demand pair");
+    let d_prime = d - 2 * tau;
+    // θ = d − τ must sit inside both grey zones (in load units):
+    //   θ ≥ d(1−γ)      ⟺ τ ≤ γd                  (true: τ ≤ γd/(1+2γ))
+    //   θ ≤ d'(1+γ)     ⟺ d−τ ≤ (d−2τ)(1+γ)
+    //                   ⟺ τ(1+2γ) ≤ γd             (true by choice of τ)
+    //   θ ≥ d'(1−γ)     follows from θ ≥ d(1−γ) > d'(1−γ).
+    let theta = d - tau;
+    (vec![d; k], vec![d_prime; k], vec![theta; k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_answers_match_intent() {
+        let p = GreyZonePolicy::AlwaysLack;
+        assert_eq!(p.fixed_answer(0, 0, -3, 10), Some(Feedback::Lack));
+        let p = GreyZonePolicy::AlwaysOverload;
+        assert_eq!(p.fixed_answer(0, 0, 3, 10), Some(Feedback::Overload));
+        let p = GreyZonePolicy::Truthful;
+        assert_eq!(p.fixed_answer(0, 0, 3, 10), Some(Feedback::Lack));
+        assert_eq!(p.fixed_answer(0, 0, -3, 10), Some(Feedback::Overload));
+        let p = GreyZonePolicy::Inverted;
+        assert_eq!(p.fixed_answer(0, 0, 3, 10), Some(Feedback::Overload));
+        let p = GreyZonePolicy::AlternateByRound;
+        assert_eq!(p.fixed_answer(0, 2, 0, 10), Some(Feedback::Lack));
+        assert_eq!(p.fixed_answer(0, 3, 0, 10), Some(Feedback::Overload));
+        assert_eq!(GreyZonePolicy::RandomLack(0.3).fixed_answer(0, 0, 0, 10), None);
+        assert_eq!(
+            GreyZonePolicy::RandomLack(0.3).random_lack_probability(),
+            Some(0.3)
+        );
+    }
+
+    #[test]
+    fn load_threshold_answers_by_load() {
+        let p = GreyZonePolicy::LoadThreshold(vec![100]);
+        // load = demand − deficit.
+        assert_eq!(p.fixed_answer(0, 0, 0, 100), Some(Feedback::Lack)); // W=100
+        assert_eq!(p.fixed_answer(0, 0, -1, 100), Some(Feedback::Overload)); // W=101
+        assert_eq!(p.fixed_answer(0, 0, 40, 100), Some(Feedback::Lack)); // W=60
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let demands = [100u64];
+        let ok = GreyZonePolicy::LoadThreshold(vec![95]);
+        assert_eq!(ok.validate_load_thresholds(0.1, &demands), Ok(()));
+        let low = GreyZonePolicy::LoadThreshold(vec![80]);
+        assert_eq!(low.validate_load_thresholds(0.1, &demands), Err(0));
+        let high = GreyZonePolicy::LoadThreshold(vec![111]);
+        assert_eq!(high.validate_load_thresholds(0.1, &demands), Err(0));
+        // Non-threshold policies always validate.
+        assert_eq!(
+            GreyZonePolicy::AlwaysLack.validate_load_thresholds(0.1, &demands),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn yao_pair_small_example() {
+        let (d, dp, theta) = yao_demand_pair(4000, 2, 0.25);
+        assert_eq!(d, vec![1000, 1000]);
+        // τ = ⌊0.25·1000/1.5⌋ = 166; d' = 1000 − 332 = 668; θ = 834.
+        assert_eq!(dp, vec![668, 668]);
+        assert_eq!(theta, vec![834, 834]);
+    }
+
+    proptest! {
+        /// The Yao thresholds are legal adversaries for BOTH demand
+        /// vectors — the indistinguishability precondition of Thm 3.5.
+        #[test]
+        fn yao_pair_is_doubly_legal(
+            n in 64usize..1_000_000,
+            k in 1usize..8,
+            gamma in 0.05f64..0.9,
+        ) {
+            prop_assume!(n >= 4 * k);
+            let d_base = (n / (2 * k)) as f64;
+            prop_assume!(gamma * d_base / (1.0 + gamma) >= 1.0);
+            let (d, dp, theta) = yao_demand_pair(n, k, gamma);
+            let policy = GreyZonePolicy::LoadThreshold(theta);
+            prop_assert_eq!(policy.validate_load_thresholds(gamma, &d), Ok(()));
+            prop_assert_eq!(policy.validate_load_thresholds(gamma, &dp), Ok(()));
+            // Demand separation 2τ is positive and d' stays positive.
+            prop_assert!(dp[0] >= 1);
+            prop_assert!(dp[0] < d[0]);
+        }
+
+        /// For any load, the threshold adversary gives the same answer
+        /// regardless of which demand vector generated the deficit.
+        #[test]
+        fn yao_pair_feedback_is_identical(
+            n in 64usize..100_000,
+            gamma in 0.05f64..0.9,
+            load in 0u64..200_000,
+        ) {
+            let k = 1usize;
+            prop_assume!(n >= 4 * k);
+            let d_base = (n / (2 * k)) as f64;
+            prop_assume!(gamma * d_base / (1.0 + gamma) >= 1.0);
+            let (d, dp, theta) = yao_demand_pair(n, k, gamma);
+            let policy = GreyZonePolicy::LoadThreshold(theta);
+            let fb_d = policy.fixed_answer(0, 0, d[0] as i64 - load as i64, d[0]);
+            let fb_dp = policy.fixed_answer(0, 0, dp[0] as i64 - load as i64, dp[0]);
+            prop_assert_eq!(fb_d, fb_dp);
+        }
+    }
+}

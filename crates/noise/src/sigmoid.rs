@@ -1,0 +1,110 @@
+//! The logistic sigmoid and its use as a feedback probability.
+//!
+//! The paper models the probability of receiving `lack` for a task with
+//! deficit `Δ` as `s(Δ) = 1/(1 + e^{−λΔ})` for a fixed steepness `λ`.
+//! All results only need `s` to be monotone, antisymmetric around
+//! `s(0) = 1/2` and exponentially decaying — properties the tests below
+//! pin down.
+
+/// Numerically stable logistic function `1/(1 + e^{−x})`.
+///
+/// Evaluates via the branch that keeps the exponent non-positive, so it
+/// never overflows and is exact to f64 rounding over the whole line.
+#[inline]
+pub fn logistic(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Inverse of [`logistic`]: `ln(p / (1−p))`.
+///
+/// Returns `±∞` at the endpoints and NaN outside `[0, 1]`.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+/// Probability that an ant receives `lack` for a task with the given
+/// deficit, under sigmoid noise with steepness `lambda`.
+///
+/// This is `s(λ·Δ)` — the deficit is taken in whole ants, matching the
+/// paper's `s(Δ_{t−1})` with `λ` folded into the function.
+#[inline]
+pub fn lack_probability(lambda: f64, deficit: i64) -> f64 {
+    logistic(lambda * deficit as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn midpoint_is_half() {
+        // Axiom (§2.2): at deficit 0 the uncertainty is maximal.
+        assert_eq!(lack_probability(0.5, 0), 0.5);
+        assert_eq!(logistic(0.0), 0.5);
+    }
+
+    #[test]
+    fn saturates_without_overflow() {
+        assert_eq!(logistic(1e9), 1.0);
+        assert_eq!(logistic(-1e9), 0.0);
+        assert!(logistic(-745.0) > 0.0 || logistic(-745.0) == 0.0);
+        assert!(!logistic(f64::MIN).is_nan());
+    }
+
+    #[test]
+    fn known_values() {
+        // s(ln 3) = 3/4 exactly in real arithmetic.
+        let x = 3.0f64.ln();
+        assert!((logistic(x) - 0.75).abs() < 1e-12);
+        assert!((logistic(-x) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logit_inverts_logistic() {
+        for &p in &[1e-9, 0.1, 0.25, 0.5, 0.9, 1.0 - 1e-9] {
+            let x = logit(p);
+            assert!((logistic(x) - p).abs() < 1e-9, "p={p}");
+        }
+        assert_eq!(logit(0.0), f64::NEG_INFINITY);
+        assert_eq!(logit(1.0), f64::INFINITY);
+    }
+
+    proptest! {
+        /// Antisymmetry: s(−x) = 1 − s(x) (Definition 2.3 relies on it).
+        #[test]
+        fn antisymmetric(x in -700.0f64..700.0) {
+            let lhs = logistic(-x);
+            let rhs = 1.0 - logistic(x);
+            prop_assert!((lhs - rhs).abs() < 1e-12);
+        }
+
+        /// Monotonicity in the deficit.
+        #[test]
+        fn monotone(a in -1_000i64..1_000, b in -1_000i64..1_000) {
+            prop_assume!(a < b);
+            let pa = lack_probability(0.3, a);
+            let pb = lack_probability(0.3, b);
+            prop_assert!(pa <= pb);
+        }
+
+        /// Output is always a probability.
+        #[test]
+        fn in_unit_interval(x in proptest::num::f64::NORMAL) {
+            let p = logistic(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        /// Exponential decay: for x ≥ 0, s(−x) ≤ e^{−x}.
+        #[test]
+        fn exponential_tail(x in 0.0f64..700.0) {
+            prop_assert!(logistic(-x) <= (-x).exp() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Threshold Bernoulli sampling.
+//!
+//! The simulator's hot loop draws an enormous number of Bernoulli variates
+//! whose success probabilities are fixed for a whole round (feedback
+//! probabilities, pause/leave probabilities). Precomputing the probability
+//! as a 64-bit integer threshold turns each draw into one generator call
+//! and one compare.
+
+use crate::xoshiro::Xoshiro256pp;
+
+/// A Bernoulli distribution with precomputed integer threshold.
+///
+/// `sample` returns `true` with probability `p` up to a quantization error
+/// of at most `2^-64` (exact for `p ∈ {0, 1}`).
+///
+/// ```
+/// use antalloc_rng::{Bernoulli, Xoshiro256pp};
+/// let mut rng = Xoshiro256pp::seed_from_u64(1);
+/// let fair = Bernoulli::new(0.5);
+/// let heads = (0..10_000).filter(|_| fair.sample(&mut rng)).count();
+/// assert!((4_700..5_300).contains(&heads));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bernoulli {
+    /// Success iff `rng.next_u64() < threshold`; `u64::MAX` plus the
+    /// `always` flag encodes probability exactly 1.
+    threshold: u64,
+    always: bool,
+}
+
+impl Bernoulli {
+    /// Builds the sampler for probability `p`.
+    ///
+    /// `p` is clamped to `[0, 1]`; NaN maps to probability 0 (the
+    /// conservative choice for "no action" probabilities).
+    #[inline]
+    pub fn new(p: f64) -> Self {
+        if !(p > 0.0) {
+            // Catches p <= 0 and NaN.
+            return Self { threshold: 0, always: false };
+        }
+        if p >= 1.0 {
+            return Self { threshold: u64::MAX, always: true };
+        }
+        // p * 2^64, computed in f64. For p in (0,1) this fits in u64
+        // because p <= 1 - 2^-53 implies p * 2^64 <= 2^64 - 2^11.
+        let threshold = (p * 18_446_744_073_709_551_616.0) as u64;
+        Self { threshold, always: false }
+    }
+
+    /// The success probability the sampler actually realizes.
+    #[inline]
+    pub fn probability(&self) -> f64 {
+        if self.always {
+            1.0
+        } else {
+            self.threshold as f64 / 18_446_744_073_709_551_616.0
+        }
+    }
+
+    /// Draws one variate.
+    #[inline(always)]
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> bool {
+        self.always || rng.next_u64() < self.threshold
+    }
+
+    /// True iff the probability is exactly 0 (useful to skip whole loops).
+    #[inline]
+    pub fn never(&self) -> bool {
+        self.threshold == 0 && !self.always
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degenerate_probabilities() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let zero = Bernoulli::new(0.0);
+        let one = Bernoulli::new(1.0);
+        for _ in 0..1000 {
+            assert!(!zero.sample(&mut rng));
+            assert!(one.sample(&mut rng));
+        }
+        assert!(zero.never());
+        assert!(!one.never());
+        assert!(Bernoulli::new(f64::NAN).never());
+        assert!(Bernoulli::new(-0.3).never());
+        assert!(Bernoulli::new(1.5).sample(&mut rng));
+    }
+
+    #[test]
+    fn tiny_probability_never_fires_below_resolution() {
+        // p < 2^-64 quantizes to 0: important for the paper's n^-8
+        // feedback-error probabilities at large n, which must simply never
+        // fire rather than panic or misbehave.
+        let b = Bernoulli::new(1e-30);
+        assert!(b.never());
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_p() {
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        for &p in &[0.01, 0.1, 0.25, 0.5, 0.9] {
+            let b = Bernoulli::new(p);
+            let n = 200_000u32;
+            let hits = (0..n).filter(|_| b.sample(&mut rng)).count() as f64;
+            let freq = hits / f64::from(n);
+            // 5-sigma band around p.
+            let sigma = (p * (1.0 - p) / f64::from(n)).sqrt();
+            assert!(
+                (freq - p).abs() < 5.0 * sigma + 1e-9,
+                "p={p} freq={freq}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn probability_roundtrip(p in 0.0f64..1.0) {
+            let b = Bernoulli::new(p);
+            prop_assert!((b.probability() - p).abs() < 1e-15);
+        }
+
+        #[test]
+        fn sample_is_monotone_in_p(p1 in 0.0f64..1.0, p2 in 0.0f64..1.0, seed: u64) {
+            // With a shared random source, a draw that succeeds under the
+            // smaller p must succeed under the larger p.
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let mut r1 = Xoshiro256pp::seed_from_u64(seed);
+            let mut r2 = Xoshiro256pp::seed_from_u64(seed);
+            let s_lo = Bernoulli::new(lo).sample(&mut r1);
+            let s_hi = Bernoulli::new(hi).sample(&mut r2);
+            prop_assert!(!s_lo || s_hi);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic pseudo-randomness substrate for the `antalloc` simulator.
+//!
+//! The simulator needs randomness with three properties that `rand`'s
+//! default generators do not provide out of the box:
+//!
+//! 1. **Per-agent streams.** Every ant owns an independent generator so the
+//!    simulation is bit-reproducible regardless of how ants are partitioned
+//!    across threads (see `antalloc-sim::parallel`).
+//! 2. **Cheap seeding.** Colonies have up to millions of ants; stream
+//!    derivation is a handful of multiplies ([`StreamSeeder`]), not a
+//!    cryptographic expansion.
+//! 3. **Branch-light sampling.** The hot loop draws one Bernoulli variate
+//!    per (ant, task) pair per round; [`Bernoulli`] reduces that to a
+//!    64-bit compare against a precomputed threshold.
+//!
+//! The generators are the public-domain reference designs:
+//! [`SplitMix64`] (stream derivation / state expansion) and
+//! [`Xoshiro256pp`] (the workhorse generator, with `jump`/`long_jump`).
+//! [`Xoshiro256pp`] also implements [`rand_core::RngCore`] so it can drive
+//! any `rand` distribution in tests and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bernoulli;
+mod splitmix;
+mod stream;
+mod uniform;
+mod xoshiro;
+
+pub use bernoulli::Bernoulli;
+pub use splitmix::SplitMix64;
+pub use stream::{reserved, StreamSeeder};
+pub use uniform::{uniform_f64, uniform_index, UniformRange};
+pub use xoshiro::Xoshiro256pp;
+
+/// The RNG type carried by every simulated ant.
+///
+/// A plain alias so call sites say what they mean; the concrete generator
+/// is an implementation detail that has changed once already during
+/// development and may change again.
+pub type AntRng = Xoshiro256pp;

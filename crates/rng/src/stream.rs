@@ -1,0 +1,128 @@
+//! Per-agent stream derivation.
+//!
+//! Each ant (and each engine subsystem) gets its own [`Xoshiro256pp`]
+//! derived from `(master_seed, stream_id)`. Because the derivation is a
+//! pure function of the pair, the simulation is reproducible no matter how
+//! ants are sharded across threads, and a checkpoint only has to store the
+//! generator states, not any global RNG position.
+
+use crate::splitmix::{mix, SplitMix64};
+use crate::xoshiro::Xoshiro256pp;
+
+/// Derives independent generator streams from a single master seed.
+///
+/// ```
+/// use antalloc_rng::StreamSeeder;
+/// let seeder = StreamSeeder::new(0xfeed);
+/// let mut ant0 = seeder.stream(0);
+/// let mut ant1 = seeder.stream(1);
+/// assert_ne!(ant0.next_u64(), ant1.next_u64());
+/// // Same pair, same stream:
+/// assert_eq!(
+///     seeder.stream(0).next_u64(),
+///     {
+///         let mut g = StreamSeeder::new(0xfeed).stream(0);
+///         g.next_u64()
+///     }
+/// );
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSeeder {
+    master: u64,
+}
+
+/// Reserved stream ids for engine subsystems, far above any ant index so
+/// the two namespaces cannot collide (ants are indexed from 0).
+pub mod reserved {
+    /// Engine-level decisions (sequential-model scheduling, perturbations).
+    pub const ENGINE: u64 = u64::MAX;
+    /// Noise-model internal randomness (e.g. correlated feedback coins).
+    pub const NOISE: u64 = u64::MAX - 1;
+    /// Initial-configuration scrambling.
+    pub const INIT: u64 = u64::MAX - 2;
+}
+
+impl StreamSeeder {
+    /// Creates a seeder for `master`.
+    #[inline]
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// Returns the master seed.
+    #[inline]
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the generator for `stream`.
+    ///
+    /// The state words come from a SplitMix64 run seeded with a bijective
+    /// mix of `(master, stream)`; distinct pairs therefore yield distinct
+    /// SplitMix64 counters and (with overwhelming probability over the
+    /// mixes) unrelated xoshiro states.
+    #[inline]
+    pub fn stream(&self, stream: u64) -> Xoshiro256pp {
+        // Mix the pair into a single 64-bit seed. `mix` is bijective, so
+        // for a fixed master all streams get distinct seeds.
+        let seed = mix(self.master ^ mix(stream));
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        sm.fill(&mut s);
+        Xoshiro256pp::from_state(s)
+    }
+
+    /// Convenience: the stream for ant `index`.
+    #[inline]
+    pub fn ant(&self, index: usize) -> Xoshiro256pp {
+        self.stream(index as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = StreamSeeder::new(77).stream(5).next_u64();
+        let b = StreamSeeder::new(77).stream(5).next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_differ_across_ids_and_masters() {
+        let seeder = StreamSeeder::new(123);
+        let mut seen = HashSet::new();
+        for id in 0..10_000u64 {
+            assert!(seen.insert(seeder.stream(id).next_u64()), "collision at {id}");
+        }
+        assert_ne!(
+            StreamSeeder::new(1).stream(0).next_u64(),
+            StreamSeeder::new(2).stream(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn reserved_ids_do_not_collide_with_small_ant_indices() {
+        let seeder = StreamSeeder::new(9);
+        let engine = seeder.stream(reserved::ENGINE).next_u64();
+        for ant in 0..1000 {
+            assert_ne!(engine, seeder.ant(ant).next_u64());
+        }
+    }
+
+    #[test]
+    fn first_outputs_look_uniform() {
+        // Cross-stream first outputs are the values the simulator actually
+        // consumes in round 1; check their mean.
+        let seeder = StreamSeeder::new(2024);
+        let n = 50_000u64;
+        let mean = (0..n)
+            .map(|id| seeder.stream(id).next_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

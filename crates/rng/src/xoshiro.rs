@@ -1,0 +1,272 @@
+//! Xoshiro256++: the simulator's workhorse generator.
+//!
+//! Public-domain design by Blackman & Vigna. 256 bits of state, period
+//! `2^256 − 1`, passes BigCrush, and the `++` output scrambler avoids the
+//! low-linear-complexity low bits of the `+` variant, which matters
+//! because [`crate::Bernoulli`] compares raw outputs against thresholds.
+
+use crate::splitmix::SplitMix64;
+
+/// Xoshiro256++ generator.
+///
+/// ```
+/// use antalloc_rng::Xoshiro256pp;
+/// let mut a = Xoshiro256pp::seed_from_u64(1);
+/// let mut b = Xoshiro256pp::seed_from_u64(1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+#[inline(always)]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+/// Polynomial for `jump()`: advances the stream by `2^128` steps.
+const JUMP: [u64; 4] = [
+    0x180e_c6d3_3cfd_0aba,
+    0xd5a6_1266_f0c9_392c,
+    0xa958_2618_e03f_c9aa,
+    0x39ab_dc45_29b1_661c,
+];
+
+/// Polynomial for `long_jump()`: advances the stream by `2^192` steps.
+const LONG_JUMP: [u64; 4] = [
+    0x76e1_5d3e_fefd_cbbf,
+    0xc500_4e44_1c52_2fb3,
+    0x7771_0069_854e_e241,
+    0x3910_9bb0_2acb_e635,
+];
+
+impl Xoshiro256pp {
+    /// Seeds the generator by expanding `seed` through SplitMix64, per the
+    /// reference implementation's recommendation.
+    #[inline]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        sm.fill(&mut s);
+        Self::from_state(s)
+    }
+
+    /// Builds a generator from raw state words.
+    ///
+    /// The all-zero state is a fixed point of the transition function and
+    /// is remapped to a fixed non-zero state.
+    #[inline]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0, 0, 0, 0] {
+            // Any non-zero constant works; this one is SplitMix64(0..4).
+            return Self::seed_from_u64(0);
+        }
+        Self { s }
+    }
+
+    /// Returns the raw state words (for checkpointing).
+    #[inline]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline(always)]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = rotl(s[0].wrapping_add(s[3]), 23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        result
+    }
+
+    /// Returns the next output truncated to 32 bits (upper half, which has
+    /// the better statistical quality).
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline(always)]
+    pub fn next_f64(&mut self) -> f64 {
+        // 2^-53 * top 53 bits: the canonical open-interval construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn apply_jump(&mut self, poly: &[u64; 4]) {
+        let mut acc = [0u64; 4];
+        for &word in poly {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    for (a, s) in acc.iter_mut().zip(self.s.iter()) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+
+    /// Advances the stream by `2^128` outputs. Two generators separated by
+    /// a jump never overlap in any feasible simulation.
+    pub fn jump(&mut self) {
+        self.apply_jump(&JUMP);
+    }
+
+    /// Advances the stream by `2^192` outputs.
+    pub fn long_jump(&mut self) {
+        self.apply_jump(&LONG_JUMP);
+    }
+}
+
+// rand_core 0.10 interop: implementing the infallible `TryRng` gives
+// `Rng` and `RngCore` through blanket impls, so `rand` distributions can
+// consume this generator in tests and examples.
+impl rand_core::TryRng for Xoshiro256pp {
+    type Error = core::convert::Infallible;
+
+    #[inline]
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok(Xoshiro256pp::next_u32(self))
+    }
+
+    #[inline]
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(Xoshiro256pp::next_u64(self))
+    }
+
+    #[inline]
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+        let mut chunks = dst.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&Xoshiro256pp::next_u64(self).to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = Xoshiro256pp::next_u64(self).to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+impl rand_core::SeedableRng for Xoshiro256pp {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Self::from_state(s)
+    }
+
+    fn seed_from_u64(seed: u64) -> Self {
+        Xoshiro256pp::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First outputs for the state produced by SplitMix64(0), checked
+    /// against the reference C implementation.
+    #[test]
+    fn reference_vector() {
+        let mut g = Xoshiro256pp::seed_from_u64(0);
+        assert_eq!(g.next_u64(), 0x5317_5d61_490b_23df);
+        assert_eq!(g.next_u64(), 0x61da_6f3d_c380_d507);
+        assert_eq!(g.next_u64(), 0x5c0f_df91_ec9a_7bfc);
+        assert_eq!(g.next_u64(), 0x02ee_bf8c_3bbe_5e1a);
+    }
+
+    #[test]
+    fn zero_state_is_remapped() {
+        let g = Xoshiro256pp::from_state([0; 4]);
+        assert_ne!(g.state(), [0; 4]);
+        // And it must still generate (not be stuck at zero).
+        let mut g = g;
+        assert_ne!(g.next_u64(), g.next_u64());
+    }
+
+    #[test]
+    fn jump_changes_stream_deterministically() {
+        let mut a = Xoshiro256pp::seed_from_u64(9);
+        let mut b = Xoshiro256pp::seed_from_u64(9);
+        a.jump();
+        b.jump();
+        assert_eq!(a.state(), b.state());
+        let mut c = Xoshiro256pp::seed_from_u64(9);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn long_jump_differs_from_jump() {
+        let mut a = Xoshiro256pp::seed_from_u64(9);
+        let mut b = Xoshiro256pp::seed_from_u64(9);
+        a.jump();
+        b.long_jump();
+        assert_ne!(a.state(), b.state());
+    }
+
+    #[test]
+    fn f64_range_and_mean() {
+        let mut g = Xoshiro256pp::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_lengths() {
+        use rand_core::Rng as _;
+        for len in [0usize, 1, 7, 8, 9, 31, 64] {
+            let mut g = Xoshiro256pp::seed_from_u64(5);
+            let mut buf = vec![0u8; len];
+            g.fill_bytes(&mut buf);
+            if len >= 8 {
+                // First 8 bytes must equal the first raw output.
+                let mut h = Xoshiro256pp::seed_from_u64(5);
+                assert_eq!(&buf[..8], &h.next_u64().to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn chi_square_on_bytes_is_plausible() {
+        // 256-bin chi-square over 1<<16 byte draws; generous 4-sigma band.
+        let mut g = Xoshiro256pp::seed_from_u64(11);
+        let mut counts = [0u32; 256];
+        let draws = 1 << 16;
+        for _ in 0..draws / 8 {
+            for byte in g.next_u64().to_le_bytes() {
+                counts[usize::from(byte)] += 1;
+            }
+        }
+        let expect = f64::from(draws) / 256.0;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let diff = f64::from(c) - expect;
+                diff * diff / expect
+            })
+            .sum();
+        // dof = 255, sigma = sqrt(2*255) ~ 22.6.
+        assert!(chi2 < 255.0 + 4.0 * 22.6, "chi2 {chi2}");
+    }
+}

@@ -1,0 +1,672 @@
+//! Versioned binary checkpoints.
+//!
+//! A checkpoint captures everything a [`SyncEngine`] needs to continue a
+//! run bit-identically: the config (including noise model, controller
+//! spec and schedule), the current demands, every ant's assignment and
+//! RNG state, and the round counter.
+//!
+//! **Exactness contract.** Controllers are rebuilt from their spec and
+//! `reset_to(assignment)` — their *per-phase scratch* (partial samples,
+//! medians in progress) is not serialized. At a phase boundary
+//! (`round % phase_len == 0`) that scratch is empty by construction, so
+//! [`Checkpoint::capture`] refuses to snapshot anywhere else; restored
+//! runs then replay exactly (`tests/checkpoint_replay.rs` asserts
+//! bit-identical trajectories).
+//!
+//! Exceptions: `ControllerSpec::AntDesync` has, by construction, no
+//! global phase boundary — the offset half of the colony is always
+//! mid-phase — so its restores are *approximate* (the offset half skips
+//! one decision and self-stabilizes); likewise kill-perturbations
+//! reshuffle which index carries which offset.
+
+use std::path::Path;
+
+use antalloc_core::{
+    AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams,
+};
+use antalloc_env::{Assignment, DemandSchedule, DemandVector, InitialConfig};
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+use bytes::{Buf, BufMut};
+
+use crate::config::{ControllerSpec, SimConfig};
+use crate::engine::SyncEngine;
+
+const MAGIC: u32 = 0x414E_5441; // "ANTA"
+const VERSION: u32 = 1;
+
+/// Why a checkpoint could not be captured or decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Capture attempted off a phase boundary.
+    NotAtPhaseBoundary {
+        /// The engine's round.
+        round: u64,
+        /// The controller's phase length.
+        phase: u64,
+    },
+    /// The byte stream is not a valid checkpoint.
+    Corrupt(String),
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::NotAtPhaseBoundary { round, phase } => write!(
+                f,
+                "checkpoint requires round % phase == 0 (round {round}, phase {phase})"
+            ),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A captured simulation state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    config: SimConfig,
+    current_demands: Vec<u64>,
+    assignments: Vec<Assignment>,
+    rng_states: Vec<[u64; 4]>,
+    round: u64,
+    next_stream: u64,
+}
+
+impl Checkpoint {
+    /// Snapshots the engine. Fails off phase boundaries (see module docs).
+    pub fn capture(engine: &SyncEngine) -> Result<Self, CheckpointError> {
+        let (config, colony, rngs, round, next_stream) = engine.state_parts();
+        let phase = config.controller.phase_len(colony.num_tasks());
+        if round % phase != 0 {
+            return Err(CheckpointError::NotAtPhaseBoundary { round, phase });
+        }
+        Ok(Self {
+            config: config.clone(),
+            current_demands: colony.demands().as_slice().to_vec(),
+            assignments: colony.assignments().to_vec(),
+            rng_states: rngs.iter().map(|r| r.state()).collect(),
+            round,
+            next_stream,
+        })
+    }
+
+    /// Rebuilds a running engine.
+    pub fn restore(&self) -> SyncEngine {
+        SyncEngine::from_parts(
+            self.config.clone(),
+            DemandVector::new(self.current_demands.clone()),
+            &self.assignments,
+            self.rng_states.clone(),
+            self.round,
+            self.next_stream,
+        )
+    }
+
+    /// The captured round.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Serializes to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.assignments.len() * 36);
+        out.put_u32_le(MAGIC);
+        out.put_u32_le(VERSION);
+        out.put_u64_le(self.round);
+        out.put_u64_le(self.next_stream);
+        out.put_u64_le(self.config.seed);
+        out.put_u64_le(self.config.n as u64);
+        put_u64s(&mut out, &self.config.demands);
+        put_u64s(&mut out, &self.current_demands);
+        put_noise(&mut out, &self.config.noise);
+        put_spec(&mut out, &self.config.controller);
+        put_schedule(&mut out, &self.config.schedule);
+        put_initial(&mut out, &self.config.initial);
+        out.put_u64_le(self.assignments.len() as u64);
+        for a in &self.assignments {
+            out.put_u32_le(match a {
+                Assignment::Idle => u32::MAX,
+                Assignment::Task(j) => *j,
+            });
+        }
+        for s in &self.rng_states {
+            for &w in s {
+                out.put_u64_le(w);
+            }
+        }
+        out
+    }
+
+    /// Deserializes from [`Checkpoint::to_bytes`] output.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, CheckpointError> {
+        let magic = get_u32(&mut buf)?;
+        if magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = get_u32(&mut buf)?;
+        if version != VERSION {
+            return Err(corrupt(format!("unsupported version {version}")));
+        }
+        let round = get_u64(&mut buf)?;
+        let next_stream = get_u64(&mut buf)?;
+        let seed = get_u64(&mut buf)?;
+        let n = get_u64(&mut buf)? as usize;
+        let demands = get_u64s(&mut buf)?;
+        let current_demands = get_u64s(&mut buf)?;
+        let noise = get_noise(&mut buf)?;
+        let controller = get_spec(&mut buf)?;
+        let schedule = get_schedule(&mut buf)?;
+        let initial = get_initial(&mut buf)?;
+        let ants = get_u64(&mut buf)? as usize;
+        // Validate the claimed count against the bytes actually present
+        // (4 per assignment + 32 per RNG state) before any allocation —
+        // a corrupted count must not drive `with_capacity` to OOM.
+        let per_ant = 4usize + 32;
+        if buf.remaining() / per_ant < ants {
+            return Err(corrupt(format!(
+                "ant count {ants} exceeds remaining payload"
+            )));
+        }
+        let mut assignments = Vec::with_capacity(ants);
+        for _ in 0..ants {
+            let raw = get_u32(&mut buf)?;
+            assignments.push(if raw == u32::MAX {
+                Assignment::Idle
+            } else {
+                Assignment::Task(raw)
+            });
+        }
+        let mut rng_states = Vec::with_capacity(ants);
+        for _ in 0..ants {
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = get_u64(&mut buf)?;
+            }
+            rng_states.push(s);
+        }
+        if !buf.is_empty() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Self {
+            config: SimConfig { n, demands, noise, controller, seed, schedule, initial },
+            current_demands,
+            assignments,
+            rng_states,
+            round,
+            next_stream,
+        })
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| corrupt(format!("read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Corrupt(msg.into())
+}
+
+// ---- primitive readers (length-checked) --------------------------------
+
+fn need(buf: &&[u8], n: usize) -> Result<(), CheckpointError> {
+    if buf.remaining() < n {
+        Err(corrupt(format!("truncated: need {n} more bytes")))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, CheckpointError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, CheckpointError> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, CheckpointError> {
+    need(buf, 8)?;
+    Ok(buf.get_f64_le())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8, CheckpointError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn get_bool(buf: &mut &[u8]) -> Result<bool, CheckpointError> {
+    Ok(get_u8(buf)? != 0)
+}
+
+fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
+    out.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        out.put_u64_le(x);
+    }
+}
+
+fn get_u64s(buf: &mut &[u8]) -> Result<Vec<u64>, CheckpointError> {
+    let len = get_u64(buf)? as usize;
+    if len > 1 << 32 {
+        return Err(corrupt("implausible vector length"));
+    }
+    let mut xs = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        xs.push(get_u64(buf)?);
+    }
+    Ok(xs)
+}
+
+// ---- enum codecs --------------------------------------------------------
+
+fn put_noise(out: &mut Vec<u8>, noise: &NoiseModel) {
+    match noise {
+        NoiseModel::Sigmoid { lambda } => {
+            out.put_u8(0);
+            out.put_f64_le(*lambda);
+        }
+        NoiseModel::CorrelatedSigmoid { lambda, rho, seed } => {
+            out.put_u8(1);
+            out.put_f64_le(*lambda);
+            out.put_f64_le(*rho);
+            out.put_u64_le(*seed);
+        }
+        NoiseModel::Adversarial { gamma_ad, policy } => {
+            out.put_u8(2);
+            out.put_f64_le(*gamma_ad);
+            put_policy(out, policy);
+        }
+        NoiseModel::Exact => out.put_u8(3),
+    }
+}
+
+fn get_noise(buf: &mut &[u8]) -> Result<NoiseModel, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => NoiseModel::Sigmoid { lambda: get_f64(buf)? },
+        1 => NoiseModel::CorrelatedSigmoid {
+            lambda: get_f64(buf)?,
+            rho: get_f64(buf)?,
+            seed: get_u64(buf)?,
+        },
+        2 => NoiseModel::Adversarial { gamma_ad: get_f64(buf)?, policy: get_policy(buf)? },
+        3 => NoiseModel::Exact,
+        t => return Err(corrupt(format!("unknown noise tag {t}"))),
+    })
+}
+
+fn put_policy(out: &mut Vec<u8>, policy: &GreyZonePolicy) {
+    match policy {
+        GreyZonePolicy::AlwaysLack => out.put_u8(0),
+        GreyZonePolicy::AlwaysOverload => out.put_u8(1),
+        GreyZonePolicy::Truthful => out.put_u8(2),
+        GreyZonePolicy::Inverted => out.put_u8(3),
+        GreyZonePolicy::AlternateByRound => out.put_u8(4),
+        GreyZonePolicy::RandomLack(p) => {
+            out.put_u8(5);
+            out.put_f64_le(*p);
+        }
+        GreyZonePolicy::LoadThreshold(thresholds) => {
+            out.put_u8(6);
+            put_u64s(out, thresholds);
+        }
+    }
+}
+
+fn get_policy(buf: &mut &[u8]) -> Result<GreyZonePolicy, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => GreyZonePolicy::AlwaysLack,
+        1 => GreyZonePolicy::AlwaysOverload,
+        2 => GreyZonePolicy::Truthful,
+        3 => GreyZonePolicy::Inverted,
+        4 => GreyZonePolicy::AlternateByRound,
+        5 => GreyZonePolicy::RandomLack(get_f64(buf)?),
+        6 => GreyZonePolicy::LoadThreshold(get_u64s(buf)?),
+        t => return Err(corrupt(format!("unknown policy tag {t}"))),
+    })
+}
+
+fn put_spec(out: &mut Vec<u8>, spec: &ControllerSpec) {
+    match spec {
+        ControllerSpec::Ant(p) => {
+            out.put_u8(0);
+            out.put_f64_le(p.gamma);
+            out.put_f64_le(p.cs);
+            out.put_f64_le(p.cd);
+        }
+        ControllerSpec::PreciseSigmoid(p) => {
+            out.put_u8(1);
+            out.put_f64_le(p.gamma);
+            out.put_f64_le(p.eps);
+            out.put_f64_le(p.c_chi);
+            out.put_f64_le(p.cs);
+            out.put_f64_le(p.cd);
+            out.put_u8(u8::from(p.paper_literal_leave_prob));
+        }
+        ControllerSpec::PreciseAdversarial(p) => {
+            out.put_u8(2);
+            out.put_f64_le(p.gamma);
+            out.put_f64_le(p.eps);
+        }
+        ControllerSpec::Trivial => out.put_u8(3),
+        ControllerSpec::ExactGreedy(p) => {
+            out.put_u8(4);
+            out.put_f64_le(p.p_join);
+            out.put_f64_le(p.p_leave);
+        }
+        ControllerSpec::Hysteresis { depth, lazy } => {
+            out.put_u8(5);
+            out.put_u16_le(*depth);
+            match lazy {
+                None => out.put_u8(0),
+                Some(p) => {
+                    out.put_u8(1);
+                    out.put_f64_le(*p);
+                }
+            }
+        }
+        ControllerSpec::AntDesync(p) => {
+            out.put_u8(6);
+            out.put_f64_le(p.gamma);
+            out.put_f64_le(p.cs);
+            out.put_f64_le(p.cd);
+        }
+    }
+}
+
+fn get_spec(buf: &mut &[u8]) -> Result<ControllerSpec, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => ControllerSpec::Ant(AntParams {
+            gamma: get_f64(buf)?,
+            cs: get_f64(buf)?,
+            cd: get_f64(buf)?,
+        }),
+        1 => ControllerSpec::PreciseSigmoid(PreciseSigmoidParams {
+            gamma: get_f64(buf)?,
+            eps: get_f64(buf)?,
+            c_chi: get_f64(buf)?,
+            cs: get_f64(buf)?,
+            cd: get_f64(buf)?,
+            paper_literal_leave_prob: get_bool(buf)?,
+        }),
+        2 => ControllerSpec::PreciseAdversarial(PreciseAdversarialParams {
+            gamma: get_f64(buf)?,
+            eps: get_f64(buf)?,
+        }),
+        3 => ControllerSpec::Trivial,
+        4 => ControllerSpec::ExactGreedy(ExactGreedyParams {
+            p_join: get_f64(buf)?,
+            p_leave: get_f64(buf)?,
+        }),
+        5 => {
+            need(buf, 2)?;
+            let depth = buf.get_u16_le();
+            let lazy = if get_bool(buf)? { Some(get_f64(buf)?) } else { None };
+            ControllerSpec::Hysteresis { depth, lazy }
+        }
+        6 => ControllerSpec::AntDesync(AntParams {
+            gamma: get_f64(buf)?,
+            cs: get_f64(buf)?,
+            cd: get_f64(buf)?,
+        }),
+        t => return Err(corrupt(format!("unknown controller tag {t}"))),
+    })
+}
+
+fn put_schedule(out: &mut Vec<u8>, schedule: &DemandSchedule) {
+    match schedule {
+        DemandSchedule::Static => out.put_u8(0),
+        DemandSchedule::Step { at, demands } => {
+            out.put_u8(1);
+            out.put_u64_le(*at);
+            put_u64s(out, demands);
+        }
+        DemandSchedule::Steps(steps) => {
+            out.put_u8(2);
+            out.put_u64_le(steps.len() as u64);
+            for (at, demands) in steps {
+                out.put_u64_le(*at);
+                put_u64s(out, demands);
+            }
+        }
+        DemandSchedule::Alternating { a, b, half_period } => {
+            out.put_u8(3);
+            put_u64s(out, a);
+            put_u64s(out, b);
+            out.put_u64_le(*half_period);
+        }
+    }
+}
+
+fn get_schedule(buf: &mut &[u8]) -> Result<DemandSchedule, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => DemandSchedule::Static,
+        1 => DemandSchedule::Step { at: get_u64(buf)?, demands: get_u64s(buf)? },
+        2 => {
+            let len = get_u64(buf)? as usize;
+            let mut steps = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                steps.push((get_u64(buf)?, get_u64s(buf)?));
+            }
+            DemandSchedule::Steps(steps)
+        }
+        3 => DemandSchedule::Alternating {
+            a: get_u64s(buf)?,
+            b: get_u64s(buf)?,
+            half_period: get_u64(buf)?,
+        },
+        t => return Err(corrupt(format!("unknown schedule tag {t}"))),
+    })
+}
+
+fn put_initial(out: &mut Vec<u8>, initial: &InitialConfig) {
+    match initial {
+        InitialConfig::AllIdle => out.put_u8(0),
+        InitialConfig::AllOnTask(j) => {
+            out.put_u8(1);
+            out.put_u64_le(*j as u64);
+        }
+        InitialConfig::UniformRandom => out.put_u8(2),
+        InitialConfig::Saturated => out.put_u8(3),
+        InitialConfig::Inverted => out.put_u8(4),
+        InitialConfig::SaturatedPlus { extra } => {
+            out.put_u8(5);
+            out.put_u64_le(*extra);
+        }
+    }
+}
+
+fn get_initial(buf: &mut &[u8]) -> Result<InitialConfig, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => InitialConfig::AllIdle,
+        1 => InitialConfig::AllOnTask(get_u64(buf)? as usize),
+        2 => InitialConfig::UniformRandom,
+        3 => InitialConfig::Saturated,
+        4 => InitialConfig::Inverted,
+        5 => InitialConfig::SaturatedPlus { extra: get_u64(buf)? },
+        t => return Err(corrupt(format!("unknown initial-config tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use antalloc_core::AntParams;
+
+    fn config() -> SimConfig {
+        SimConfig::new(
+            200,
+            vec![30, 40],
+            NoiseModel::Sigmoid { lambda: 2.0 },
+            ControllerSpec::Ant(AntParams::default()),
+            99,
+        )
+    }
+
+    #[test]
+    fn capture_requires_phase_boundary() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.step(&mut obs); // round 1, phase 2 → not a boundary.
+        assert!(matches!(
+            Checkpoint::capture(&e),
+            Err(CheckpointError::NotAtPhaseBoundary { round: 1, phase: 2 })
+        ));
+        e.step(&mut obs); // round 2 → boundary.
+        assert!(Checkpoint::capture(&e).is_ok());
+    }
+
+    #[test]
+    fn bytes_roundtrip_exactly() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(10, &mut obs);
+        let cp = Checkpoint::capture(&e).unwrap();
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(back.round(), 10);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(2, &mut obs);
+        let bytes = Checkpoint::capture(&e).unwrap().to_bytes();
+        // Truncation.
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(Checkpoint::from_bytes(&bad).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Checkpoint::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn restore_then_run_matches_uninterrupted_run() {
+        let mut full = config().build();
+        let mut obs = NullObserver;
+        full.run(40, &mut obs);
+
+        let mut half = config().build();
+        half.run(20, &mut obs);
+        let cp = Checkpoint::capture(&half).unwrap();
+        let mut resumed = Checkpoint::restore(&cp);
+        resumed.run(20, &mut obs);
+
+        assert_eq!(full.colony().loads(), resumed.colony().loads());
+        assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+        assert_eq!(full.round(), resumed.round());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(4, &mut obs);
+        let cp = Checkpoint::capture(&e).unwrap();
+        let dir = std::env::temp_dir().join("antalloc_ckpt_test");
+        let path = dir.join("state.ckpt");
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(cp, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn random_byte_mutations_never_panic() {
+        // Fuzz the decoder: flipping any single byte must yield either a
+        // clean error or a decoded checkpoint — never a panic. (Length
+        // fields are validated before allocation.)
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(4, &mut obs);
+        let bytes = Checkpoint::capture(&e).unwrap().to_bytes();
+        for i in 0..bytes.len().min(512) {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x5A;
+            let _ = Checkpoint::from_bytes(&mutated);
+        }
+        // Random truncations likewise.
+        for len in [0usize, 1, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
+            let _ = Checkpoint::from_bytes(&bytes[..len]);
+        }
+    }
+
+    #[test]
+    fn all_enum_variants_roundtrip() {
+        // Exercise every codec arm via synthetic configs.
+        let specs = [
+            ControllerSpec::Trivial,
+            ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+            ControllerSpec::Hysteresis { depth: 3, lazy: Some(0.5) },
+            ControllerSpec::Hysteresis { depth: 1, lazy: None },
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.03, 0.5)),
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5)),
+        ];
+        let noises = [
+            NoiseModel::Exact,
+            NoiseModel::CorrelatedSigmoid { lambda: 1.0, rho: 0.3, seed: 5 },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.1,
+                policy: GreyZonePolicy::LoadThreshold(vec![9, 9]),
+            },
+            NoiseModel::Adversarial { gamma_ad: 0.1, policy: GreyZonePolicy::RandomLack(0.4) },
+        ];
+        let schedules = [
+            DemandSchedule::Step { at: 5, demands: vec![4, 4] },
+            DemandSchedule::Steps(vec![(3, vec![5, 5]), (9, vec![6, 6])]),
+            DemandSchedule::Alternating { a: vec![3, 3], b: vec![4, 4], half_period: 7 },
+        ];
+        for (i, spec) in specs.iter().enumerate() {
+            let k = match spec {
+                ControllerSpec::Hysteresis { .. } => 1,
+                _ => 2,
+            };
+            let demands = vec![8u64; k];
+            let cfg = SimConfig {
+                n: 20,
+                demands: demands.clone(),
+                noise: noises[i % noises.len()].clone(),
+                controller: spec.clone(),
+                seed: i as u64,
+                schedule: if k == 2 {
+                    schedules[i % schedules.len()].clone()
+                } else {
+                    DemandSchedule::Static
+                },
+                initial: [
+                    InitialConfig::AllIdle,
+                    InitialConfig::AllOnTask(0),
+                    InitialConfig::UniformRandom,
+                    InitialConfig::Saturated,
+                    InitialConfig::Inverted,
+                    InitialConfig::SaturatedPlus { extra: 2 },
+                ][i % 6]
+                    .clone(),
+            };
+            let e = cfg.build();
+            let cp = Checkpoint::capture(&e).unwrap();
+            let back = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+            assert_eq!(cp, back, "spec {i}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulation configuration and controller construction.
+
+use std::sync::Arc;
+
+use antalloc_core::{
+    AlgorithmAnt, AntParams, AnyController, ExactGreedy, ExactGreedyParams, FsmSpec,
+    PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid, PreciseSigmoidParams,
+    TableFsm, Trivial,
+};
+use antalloc_env::{DemandSchedule, DemandVector, InitialConfig};
+use antalloc_noise::NoiseModel;
+
+use crate::engine::SyncEngine;
+use crate::sequential::SequentialEngine;
+
+/// Which algorithm every ant runs (plus its parameters).
+///
+/// A *spec* rather than a prototype instance so checkpoints can encode
+/// it compactly and engines can rebuild controllers for spawned ants.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ControllerSpec {
+    /// §4 Algorithm Ant.
+    Ant(AntParams),
+    /// Algorithm Ant with desynchronized phases: ant `i` runs its
+    /// two-round phase at offset `i mod 2`, so at any instant half the
+    /// colony is first-sampling while the other half decides. This is
+    /// §6's "less synchronization" open problem in its most basic form;
+    /// `exp_open_desync` measures the cost.
+    AntDesync(AntParams),
+    /// §5 Algorithm Precise Sigmoid.
+    PreciseSigmoid(PreciseSigmoidParams),
+    /// Appendix C Algorithm Precise Adversarial.
+    PreciseAdversarial(PreciseAdversarialParams),
+    /// Appendix D trivial algorithm.
+    Trivial,
+    /// Exact-feedback baseline.
+    ExactGreedy(ExactGreedyParams),
+    /// Single-task hysteresis FSM of the given depth; `lazy` makes the
+    /// switching edges fire with that probability instead of 1.
+    Hysteresis {
+        /// Consecutive contrary signals required before switching.
+        depth: u16,
+        /// Optional switching probability (lazy machines).
+        lazy: Option<f64>,
+    },
+}
+
+impl ControllerSpec {
+    /// Builds one controller for a colony with `num_tasks` tasks.
+    ///
+    /// For `Hysteresis`, prefer [`ControllerSpec::build_many`] which
+    /// shares the transition table across the colony.
+    pub fn build(&self, num_tasks: usize) -> AnyController {
+        match self {
+            ControllerSpec::Ant(p) => AlgorithmAnt::new(num_tasks, *p).into(),
+            // A lone desync build gets offset 0; build_many staggers.
+            ControllerSpec::AntDesync(p) => AlgorithmAnt::new(num_tasks, *p).into(),
+            ControllerSpec::PreciseSigmoid(p) => PreciseSigmoid::new(num_tasks, *p).into(),
+            ControllerSpec::PreciseAdversarial(p) => {
+                PreciseAdversarial::new(num_tasks, *p).into()
+            }
+            ControllerSpec::Trivial => Trivial::new(num_tasks).into(),
+            ControllerSpec::ExactGreedy(p) => ExactGreedy::new(num_tasks, *p).into(),
+            ControllerSpec::Hysteresis { depth, lazy } => {
+                TableFsm::new(Arc::new(Self::hysteresis_spec(*depth, *lazy))).into()
+            }
+        }
+    }
+
+    /// Builds `n` controllers, sharing immutable structure where the
+    /// variant allows it.
+    pub fn build_many(&self, num_tasks: usize, n: usize) -> Vec<AnyController> {
+        match self {
+            ControllerSpec::Hysteresis { depth, lazy } => {
+                let spec = Arc::new(Self::hysteresis_spec(*depth, *lazy));
+                (0..n).map(|_| TableFsm::new(spec.clone()).into()).collect()
+            }
+            ControllerSpec::AntDesync(p) => (0..n)
+                .map(|i| {
+                    AlgorithmAnt::with_phase_offset(num_tasks, *p, (i % 2) as u64).into()
+                })
+                .collect(),
+            other => (0..n).map(|_| other.build(num_tasks)).collect(),
+        }
+    }
+
+    fn hysteresis_spec(depth: u16, lazy: Option<f64>) -> FsmSpec {
+        match lazy {
+            None => FsmSpec::hysteresis(depth),
+            Some(p) => FsmSpec::lazy_hysteresis(depth, p),
+        }
+    }
+
+    /// The phase length in rounds — the granularity at which checkpoints
+    /// are exact and the step probabilities repeat.
+    pub fn phase_len(&self, _num_tasks: usize) -> u64 {
+        match self {
+            ControllerSpec::Ant(_) | ControllerSpec::AntDesync(_) => 2,
+            ControllerSpec::PreciseSigmoid(p) => p.phase_len(),
+            ControllerSpec::PreciseAdversarial(p) => p.phase_len(),
+            ControllerSpec::Trivial
+            | ControllerSpec::ExactGreedy(_)
+            | ControllerSpec::Hysteresis { .. } => 1,
+        }
+    }
+}
+
+/// Everything needed to reproduce a run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Number of ants `n`.
+    pub n: usize,
+    /// Task demands `d(j)`.
+    pub demands: Vec<u64>,
+    /// The feedback generator.
+    pub noise: NoiseModel,
+    /// The algorithm every ant runs.
+    pub controller: ControllerSpec,
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Demand schedule (defaults to static).
+    pub schedule: DemandSchedule,
+    /// Initial configuration (defaults to all-idle).
+    pub initial: InitialConfig,
+}
+
+impl SimConfig {
+    /// A static-demand, all-idle-start configuration.
+    pub fn new(
+        n: usize,
+        demands: Vec<u64>,
+        noise: NoiseModel,
+        controller: ControllerSpec,
+        seed: u64,
+    ) -> Self {
+        Self {
+            n,
+            demands,
+            noise,
+            controller,
+            seed,
+            schedule: DemandSchedule::Static,
+            initial: InitialConfig::AllIdle,
+        }
+    }
+
+    /// Builds the synchronous engine.
+    pub fn build(&self) -> SyncEngine {
+        let demands = DemandVector::new(self.demands.clone());
+        if let Err(msg) = self.schedule.validate(demands.num_tasks()) {
+            panic!("invalid demand schedule: {msg}");
+        }
+        SyncEngine::new(self.clone(), demands)
+    }
+
+    /// Builds the sequential-model engine (Appendix D.1).
+    pub fn build_sequential(&self) -> SequentialEngine {
+        let demands = DemandVector::new(self.demands.clone());
+        SequentialEngine::new(self.clone(), demands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_core::Controller as _;
+    use antalloc_env::Assignment;
+
+    #[test]
+    fn build_constructs_each_variant() {
+        for spec in [
+            ControllerSpec::Ant(AntParams::default()),
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.03, 0.5)),
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5)),
+            ControllerSpec::Trivial,
+            ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+        ] {
+            let c = spec.build(3);
+            assert_eq!(c.assignment(), Assignment::Idle, "{spec:?}");
+            assert!(spec.phase_len(3) >= 1);
+        }
+        let fsm = ControllerSpec::Hysteresis { depth: 2, lazy: None }.build(1);
+        assert!(!fsm.assignment().is_idle() || fsm.assignment().is_idle());
+    }
+
+    #[test]
+    fn build_many_shares_hysteresis_spec() {
+        let spec = ControllerSpec::Hysteresis { depth: 3, lazy: Some(0.5) };
+        let many = spec.build_many(1, 10);
+        assert_eq!(many.len(), 10);
+    }
+
+    #[test]
+    fn phase_lengths() {
+        assert_eq!(ControllerSpec::Ant(AntParams::default()).phase_len(2), 2);
+        assert_eq!(
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.03, 0.5)).phase_len(2),
+            82
+        );
+        assert_eq!(ControllerSpec::Trivial.phase_len(2), 1);
+    }
+}

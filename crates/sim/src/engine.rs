@@ -1,0 +1,565 @@
+//! The synchronous round engine (§2.1).
+
+use antalloc_core::{AnyController, Controller};
+use antalloc_env::{Assignment, ColonyState, DemandVector, InitialConfig, Perturbation};
+use antalloc_noise::{FeedbackProbe, NoiseModel, PreparedRound};
+use antalloc_rng::{reserved, AntRng, StreamSeeder};
+
+use crate::config::SimConfig;
+use crate::observer::Observer;
+
+/// What an [`Observer`] sees after each round.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRecord<'a> {
+    /// The round `t` just completed (1-based).
+    pub round: u64,
+    /// Post-decision deficits `Δ(j)_t`.
+    pub deficits: &'a [i64],
+    /// Demands `d(j)` in force this round.
+    pub demands: &'a [u64],
+    /// Post-decision loads `W(j)_t`.
+    pub loads: &'a [u32],
+    /// Idle ants after this round.
+    pub idle: u64,
+    /// Number of ants whose assignment changed this round.
+    pub switches: u64,
+}
+
+impl RoundRecord<'_> {
+    /// Instantaneous regret `r(t) = Σ|Δ(j)_t|`.
+    pub fn instant_regret(&self) -> u64 {
+        self.deficits.iter().map(|d| d.unsigned_abs()).sum()
+    }
+}
+
+/// The synchronous simulation engine.
+///
+/// One [`SyncEngine::step`] is the paper's round: sub-round 1 exposes
+/// the previous round's loads to every ant through its private noisy
+/// feedback; sub-round 2 applies all decisions simultaneously.
+pub struct SyncEngine {
+    config: SimConfig,
+    colony: ColonyState,
+    controllers: Vec<AnyController>,
+    rngs: Vec<AntRng>,
+    noise: NoiseModel,
+    seeder: StreamSeeder,
+    init_rng: AntRng,
+    round: u64,
+    /// Deficits frozen at the end of the previous round (sensing input).
+    pre_deficits: Vec<i64>,
+    /// Deficits after this round's decisions (observation output).
+    post_deficits: Vec<i64>,
+    /// Stream ids handed out so far (spawned ants get fresh streams).
+    next_stream: u64,
+}
+
+impl SyncEngine {
+    pub(crate) fn new(config: SimConfig, demands: DemandVector) -> Self {
+        let n = config.n;
+        let k = demands.num_tasks();
+        let seeder = StreamSeeder::new(config.seed);
+        let controllers = config.controller.build_many(k, n);
+        let rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let mut engine = Self {
+            colony: ColonyState::new(n, demands),
+            controllers,
+            rngs,
+            noise: config.noise.clone(),
+            seeder,
+            init_rng: seeder.stream(reserved::INIT),
+            round: 0,
+            pre_deficits: vec![0; k],
+            post_deficits: vec![0; k],
+            next_stream: n as u64,
+            config,
+        };
+        let initial = engine.config.initial.clone();
+        engine.set_initial(&initial);
+        engine
+    }
+
+    /// Applies an initial configuration (Theorem 3.1's "arbitrary
+    /// initial allocation"), syncing controllers to the environment.
+    pub fn set_initial(&mut self, initial: &InitialConfig) {
+        initial.apply(&mut self.colony, &mut self.init_rng);
+        for (i, c) in self.controllers.iter_mut().enumerate() {
+            c.reset_to(self.colony.assignment(i));
+        }
+    }
+
+    /// The current round number (rounds are 1-based; 0 before any step).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The colony's ground truth.
+    pub fn colony(&self) -> &ColonyState {
+        &self.colony
+    }
+
+    /// The configuration this engine was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Total memory used by one ant's controller, in bits.
+    pub fn controller_memory_bits(&self) -> u32 {
+        self.controllers.first().map_or(0, |c| c.memory_bits())
+    }
+
+    fn begin_round(&mut self) -> PreparedRound {
+        self.round += 1;
+        if let Some(new) = self.config.schedule.update(self.round) {
+            self.colony.demands_mut().set(new);
+        }
+        self.colony.deficits_into(&mut self.pre_deficits);
+        self.noise.prepare(
+            self.round,
+            &self.pre_deficits,
+            self.colony.demands().as_slice(),
+        )
+    }
+
+    fn finish_round(&mut self, switches: u64, observer: &mut impl Observer) {
+        self.colony.deficits_into(&mut self.post_deficits);
+        let record = RoundRecord {
+            round: self.round,
+            deficits: &self.post_deficits,
+            demands: self.colony.demands().as_slice(),
+            loads: self.colony.loads(),
+            idle: self.colony.idle_count(),
+            switches,
+        };
+        observer.on_round(&record);
+    }
+
+    /// Runs one synchronous round on the current thread.
+    pub fn step(&mut self, observer: &mut impl Observer) {
+        let prepared = self.begin_round();
+        let mut switches = 0u64;
+        for i in 0..self.controllers.len() {
+            let mut probe = FeedbackProbe::new(&prepared, &mut self.rngs[i]);
+            let next = self.controllers[i].step(&mut probe);
+            if next != self.colony.assignment(i) {
+                switches += 1;
+                self.colony.apply(i, next);
+            }
+        }
+        self.finish_round(switches, observer);
+    }
+
+    /// Runs `rounds` rounds serially.
+    pub fn run(&mut self, rounds: u64, observer: &mut impl Observer) {
+        for _ in 0..rounds {
+            self.step(observer);
+        }
+    }
+
+    /// Runs one round with ants partitioned across worker threads.
+    ///
+    /// Bit-identical to [`SyncEngine::step`]. Prefer
+    /// [`SyncEngine::run_parallel`] for multi-round runs — it amortizes
+    /// worker startup across the whole run.
+    pub fn step_parallel(&mut self, threads: usize, observer: &mut impl Observer) {
+        self.run_parallel(1, threads, observer);
+    }
+
+    /// Runs `rounds` rounds with ants partitioned across `threads`
+    /// worker threads, bit-identical to the serial path.
+    ///
+    /// Workers are spawned **once per call** and synchronize with the
+    /// coordinator through two [`std::sync::Barrier`] crossings per
+    /// round: the coordinator prepares the round's feedback state,
+    /// workers step their fixed chunk of ants — writing decisions into a
+    /// shared atomic buffer — and the coordinator applies decisions in
+    /// ant order. Determinism is unconditional: every ant consumes only
+    /// its own RNG stream, whatever the partition.
+    ///
+    /// Falls back to the serial path when the colony is too small for
+    /// the per-round synchronization to pay off.
+    pub fn run_parallel(&mut self, rounds: u64, threads: usize, observer: &mut impl Observer) {
+        // Two barrier crossings cost ~10µs/round; an ant-step ~30ns.
+        // Below ~8k ants per worker the serial path wins.
+        self.run_parallel_impl(rounds, threads, 8_000, observer)
+    }
+
+    /// Like [`SyncEngine::run_parallel`] but always takes the pooled
+    /// path, however small the colony. Exists so tests can exercise the
+    /// worker machinery at sizes where production code would fall back
+    /// to serial; not useful for performance.
+    #[doc(hidden)]
+    pub fn run_parallel_forced(
+        &mut self,
+        rounds: u64,
+        threads: usize,
+        observer: &mut impl Observer,
+    ) {
+        self.run_parallel_impl(rounds, threads, 1, observer)
+    }
+
+    fn run_parallel_impl(
+        &mut self,
+        rounds: u64,
+        threads: usize,
+        min_ants_per_worker: usize,
+        observer: &mut impl Observer,
+    ) {
+        use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+        assert!(threads >= 1);
+        let n = self.controllers.len();
+        if threads == 1 || n < 2 * min_ants_per_worker {
+            return self.run(rounds, observer);
+        }
+        let workers = threads.min(n / min_ants_per_worker).max(2);
+        let chunk = n.div_ceil(workers);
+
+        // Decision buffer: u32 task index with MAX = idle. Workers store
+        // with relaxed ordering; the `done` barrier orders those stores
+        // before the coordinator's reads.
+        let decisions: Vec<AtomicU32> =
+            (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        // The coordinator publishes each round's prepared feedback here;
+        // workers only read it between the two barriers of a round.
+        let shared: parking_lot::RwLock<Option<PreparedRound>> =
+            parking_lot::RwLock::new(None);
+        // Participants: (workers − 1) spawned threads + the coordinator,
+        // which steps chunk 0 itself.
+        let start = std::sync::Barrier::new(workers);
+        let done = std::sync::Barrier::new(workers);
+        let stop = AtomicBool::new(false);
+
+        // Partition controllers and RNGs once for the whole run.
+        let mut c_rest: &mut [AnyController] = &mut self.controllers[..];
+        let mut r_rest: &mut [AntRng] = &mut self.rngs[..];
+        let mut parts = Vec::with_capacity(workers);
+        let mut offset = 0usize;
+        for _ in 0..workers {
+            let take = chunk.min(c_rest.len());
+            let (c_chunk, c_tail) = c_rest.split_at_mut(take);
+            let (r_chunk, r_tail) = r_rest.split_at_mut(take);
+            c_rest = c_tail;
+            r_rest = r_tail;
+            parts.push((offset, c_chunk, r_chunk));
+            offset += take;
+        }
+
+        // Fields the coordinator keeps for itself during the scope.
+        let colony = &mut self.colony;
+        let noise = &self.noise;
+        let schedule = &self.config.schedule;
+        let round = &mut self.round;
+        let pre_deficits = &mut self.pre_deficits;
+        let post_deficits = &mut self.post_deficits;
+
+        crossbeam::thread::scope(|scope| {
+            // The coordinator doubles as the worker for chunk 0, so the
+            // run uses exactly `workers` OS threads (no oversubscription
+            // from a dedicated coordinator).
+            let mut parts = parts.into_iter();
+            let (own_offset, own_controllers, own_rngs) =
+                parts.next().expect("at least one chunk");
+            for (offset, c_chunk, r_chunk) in parts {
+                let decisions = &decisions;
+                let shared = &shared;
+                let start = &start;
+                let done = &done;
+                let stop = &stop;
+                scope.spawn(move |_| loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let guard = shared.read();
+                    let prepared = guard.as_ref().expect("round prepared");
+                    for (i, (c, rng)) in
+                        c_chunk.iter_mut().zip(&mut *r_chunk).enumerate()
+                    {
+                        let mut probe = FeedbackProbe::new(prepared, rng);
+                        let next = c.step(&mut probe);
+                        let raw = match next {
+                            Assignment::Idle => u32::MAX,
+                            Assignment::Task(j) => j,
+                        };
+                        decisions[offset + i].store(raw, Ordering::Relaxed);
+                    }
+                    drop(guard);
+                    done.wait();
+                });
+            }
+
+            for _ in 0..rounds {
+                // Exclusive window: begin the round.
+                *round += 1;
+                if let Some(new) = schedule.update(*round) {
+                    colony.demands_mut().set(new);
+                }
+                colony.deficits_into(pre_deficits);
+                let prepared =
+                    noise.prepare(*round, pre_deficits, colony.demands().as_slice());
+                *shared.write() = Some(prepared.clone());
+                start.wait();
+                // Step the coordinator's own chunk alongside the workers.
+                for (i, (c, rng)) in
+                    own_controllers.iter_mut().zip(&mut *own_rngs).enumerate()
+                {
+                    let mut probe = FeedbackProbe::new(&prepared, rng);
+                    let next = c.step(&mut probe);
+                    let raw = match next {
+                        Assignment::Idle => u32::MAX,
+                        Assignment::Task(j) => j,
+                    };
+                    decisions[own_offset + i].store(raw, Ordering::Relaxed);
+                }
+                done.wait();
+                // Exclusive window: apply decisions in ant order.
+                let mut switches = 0u64;
+                for (i, slot) in decisions.iter().enumerate() {
+                    let raw = slot.load(Ordering::Relaxed);
+                    let next = if raw == u32::MAX {
+                        Assignment::Idle
+                    } else {
+                        Assignment::Task(raw)
+                    };
+                    if next != colony.assignment(i) {
+                        switches += 1;
+                        colony.apply(i, next);
+                    }
+                }
+                colony.deficits_into(post_deficits);
+                let record = RoundRecord {
+                    round: *round,
+                    deficits: post_deficits,
+                    demands: colony.demands().as_slice(),
+                    loads: colony.loads(),
+                    idle: colony.idle_count(),
+                    switches,
+                };
+                observer.on_round(&record);
+            }
+            stop.store(true, Ordering::Release);
+            start.wait();
+        })
+        .expect("worker thread panicked");
+    }
+
+    /// Applies a mid-run perturbation, keeping controllers, RNG streams
+    /// and the environment mutually consistent.
+    pub fn perturb(&mut self, p: &Perturbation) {
+        let swaps = p.apply(&mut self.colony, &mut self.init_rng);
+        match p {
+            Perturbation::KillRandom { .. } => {
+                for &(slot, _) in &swaps {
+                    self.controllers.swap_remove(slot);
+                    self.rngs.swap_remove(slot);
+                }
+                // Kills without swaps (victim was last) still shrink us.
+                while self.controllers.len() > self.colony.num_ants() {
+                    self.controllers.pop();
+                    self.rngs.pop();
+                }
+            }
+            Perturbation::Spawn { count } => {
+                let k = self.colony.num_tasks();
+                for _ in 0..*count {
+                    self.controllers.push(self.config.controller.build(k));
+                    self.rngs.push(self.seeder.stream(self.next_stream));
+                    self.next_stream += 1;
+                }
+            }
+            Perturbation::Scramble | Perturbation::StampedeTo(_) => {
+                for (i, c) in self.controllers.iter_mut().enumerate() {
+                    c.reset_to(self.colony.assignment(i));
+                }
+            }
+        }
+        debug_assert!(self.colony.recount_consistent());
+        debug_assert_eq!(self.controllers.len(), self.colony.num_ants());
+    }
+
+    /// Accessors used by checkpointing.
+    pub(crate) fn state_parts(
+        &self,
+    ) -> (&SimConfig, &ColonyState, &[AntRng], u64, u64) {
+        (&self.config, &self.colony, &self.rngs, self.round, self.next_stream)
+    }
+
+    /// Rebuilds an engine from checkpointed parts.
+    pub(crate) fn from_parts(
+        config: SimConfig,
+        demands: DemandVector,
+        assignments: &[Assignment],
+        rng_states: Vec<[u64; 4]>,
+        round: u64,
+        next_stream: u64,
+    ) -> Self {
+        let n = assignments.len();
+        let k = demands.num_tasks();
+        let seeder = StreamSeeder::new(config.seed);
+        let mut controllers = config.controller.build_many(k, n);
+        let mut colony = ColonyState::new(n, demands);
+        for (i, (&a, c)) in assignments.iter().zip(controllers.iter_mut()).enumerate() {
+            colony.apply(i, a);
+            c.reset_to(a);
+        }
+        let rngs = rng_states.into_iter().map(AntRng::from_state).collect();
+        Self {
+            colony,
+            controllers,
+            rngs,
+            noise: config.noise.clone(),
+            seeder,
+            init_rng: seeder.stream(reserved::INIT),
+            round,
+            pre_deficits: vec![0; k],
+            post_deficits: vec![0; k],
+            next_stream,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerSpec;
+    use crate::observer::{NullObserver, RunSummary};
+    use antalloc_core::AntParams;
+    use antalloc_noise::NoiseModel;
+
+    fn config() -> SimConfig {
+        SimConfig::new(
+            800,
+            vec![100, 150],
+            NoiseModel::Sigmoid { lambda: 2.0 },
+            ControllerSpec::Ant(AntParams::default()),
+            7,
+        )
+    }
+
+    #[test]
+    fn rounds_advance_and_mass_is_conserved() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(10, &mut obs);
+        assert_eq!(e.round(), 10);
+        assert!(e.colony().recount_consistent());
+        let mass: u64 = e.colony().idle_count()
+            + (0..e.colony().num_tasks()).map(|j| e.colony().load(j)).sum::<u64>();
+        assert_eq!(mass, 800);
+    }
+
+    #[test]
+    fn ant_algorithm_fills_tasks_from_idle_start() {
+        // From all-idle, every ant joins in phase 1 (the one-off Θ(n)
+        // overshoot of Claim 4.5) and the excess then drains at rate
+        // γ/c_d per phase (Claim 4.3): γ = 1/16 ⇒ ~300 phases from 400
+        // down to ~110. Run well past that and check the band.
+        let mut cfg = config();
+        cfg.controller = ControllerSpec::Ant(AntParams::new(1.0 / 16.0));
+        let mut e = cfg.build();
+        let mut obs = RunSummary::new();
+        e.run(3000, &mut obs);
+        for j in 0..2 {
+            let d = e.colony().demands().demand(j) as f64;
+            let w = e.colony().load(j) as f64;
+            assert!(
+                (w - d).abs() < 0.3 * d,
+                "task {j}: load {w} demand {d} after {} rounds",
+                e.round()
+            );
+        }
+        assert!(obs.rounds() == 3000);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let mut serial = config().build();
+        let mut par2 = config().build();
+        let mut par4 = config().build();
+        let mut o1 = NullObserver;
+        serial.run(101, &mut o1);
+        // Force the pooled path even at this small size.
+        par2.run_parallel_forced(101, 2, &mut o1);
+        par4.run_parallel_forced(101, 4, &mut o1);
+        assert_eq!(serial.colony().loads(), par2.colony().loads());
+        assert_eq!(serial.colony().loads(), par4.colony().loads());
+        assert_eq!(serial.colony().assignments(), par2.colony().assignments());
+        assert_eq!(serial.colony().assignments(), par4.colony().assignments());
+    }
+
+    #[test]
+    fn parallel_observer_sees_same_rounds_as_serial() {
+        let mut serial = config().build();
+        let mut par = config().build();
+        let mut serial_trace = Vec::new();
+        let mut par_trace = Vec::new();
+        {
+            let mut obs = crate::observer::FnObserver::new(|r: &RoundRecord<'_>| {
+                serial_trace.push((r.round, r.instant_regret(), r.switches));
+            });
+            serial.run(60, &mut obs);
+        }
+        {
+            let mut obs = crate::observer::FnObserver::new(|r: &RoundRecord<'_>| {
+                par_trace.push((r.round, r.instant_regret(), r.switches));
+            });
+            par.run_parallel_forced(60, 3, &mut obs);
+        }
+        assert_eq!(serial_trace, par_trace);
+    }
+
+    #[test]
+    fn initial_config_syncs_controllers() {
+        let mut e = config().build();
+        e.set_initial(&InitialConfig::AllOnTask(1));
+        assert_eq!(e.colony().load(1), 800);
+        // Controllers believe it too: run a round; no panic, consistent.
+        let mut obs = NullObserver;
+        e.step(&mut obs);
+        assert!(e.colony().recount_consistent());
+    }
+
+    #[test]
+    fn kills_and_spawns_keep_arrays_aligned() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(50, &mut obs);
+        e.perturb(&Perturbation::KillRandom { count: 300 });
+        assert_eq!(e.colony().num_ants(), 500);
+        e.run(10, &mut obs);
+        assert!(e.colony().recount_consistent());
+        e.perturb(&Perturbation::Spawn { count: 100 });
+        assert_eq!(e.colony().num_ants(), 600);
+        e.run(10, &mut obs);
+        assert!(e.colony().recount_consistent());
+    }
+
+    #[test]
+    fn scramble_resyncs_controllers() {
+        let mut e = config().build();
+        let mut obs = NullObserver;
+        e.run(20, &mut obs);
+        e.perturb(&Perturbation::Scramble);
+        assert!(e.colony().recount_consistent());
+        e.run(20, &mut obs);
+        assert!(e.colony().recount_consistent());
+    }
+
+    #[test]
+    fn observer_sees_post_decision_state() {
+        let mut e = config().build();
+        let mut seen = Vec::new();
+        let mut obs = crate::observer::FnObserver::new(|r: &RoundRecord<'_>| {
+            let load_sum: u64 = r.loads.iter().map(|&w| u64::from(w)).sum();
+            seen.push((r.round, load_sum + r.idle));
+        });
+        e.run(5, &mut obs);
+        assert_eq!(seen.len(), 5);
+        for (round, mass) in seen {
+            assert!(round >= 1 && round <= 5);
+            assert_eq!(mass, 800);
+        }
+    }
+}

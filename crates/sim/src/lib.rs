@@ -1,0 +1,32 @@
+//! Simulation engines for *Self-Stabilizing Task Allocation In Spite of
+//! Noise*.
+//!
+//! * [`SyncEngine`] — the paper's synchronous model (§2.1): every round,
+//!   all ants observe feedback frozen at the end of the previous round,
+//!   then act simultaneously. Supports deterministic multi-threaded
+//!   stepping ([`SyncEngine::run_parallel`]) whose results are
+//!   bit-identical to the serial path for any thread count.
+//! * [`SequentialEngine`] — Appendix D.1's model: one uniformly random
+//!   ant acts per round.
+//! * [`Observer`] — per-round measurement hook; [`BasicObserver`]
+//!   bundles the standard metrics, [`TraceRecorder`] stores downsampled
+//!   series and writes CSV.
+//! * [`Checkpoint`] — versioned binary snapshots, exact at phase
+//!   boundaries (see `checkpoint` module docs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod config;
+mod engine;
+mod observer;
+mod recorder;
+mod sequential;
+
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use config::{ControllerSpec, SimConfig};
+pub use engine::{RoundRecord, SyncEngine};
+pub use observer::{BasicObserver, Both, FnObserver, NullObserver, Observer, RunSummary};
+pub use recorder::TraceRecorder;
+pub use sequential::SequentialEngine;

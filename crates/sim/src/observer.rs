@@ -1,0 +1,186 @@
+//! Per-round measurement hooks.
+
+use antalloc_metrics::{RegretTracker, SwitchStats, Welford};
+
+use crate::engine::RoundRecord;
+
+/// A per-round measurement hook driven by the engines.
+pub trait Observer {
+    /// Called once after every completed round.
+    fn on_round(&mut self, record: &RoundRecord<'_>);
+}
+
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        (**self).on_round(record)
+    }
+}
+
+/// Observes nothing (the fastest observer).
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_round(&mut self, _record: &RoundRecord<'_>) {}
+}
+
+/// Adapts a closure into an [`Observer`].
+pub struct FnObserver<F: FnMut(&RoundRecord<'_>)> {
+    f: F,
+}
+
+impl<F: FnMut(&RoundRecord<'_>)> FnObserver<F> {
+    /// Wraps the closure.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<F: FnMut(&RoundRecord<'_>)> Observer for FnObserver<F> {
+    #[inline]
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        (self.f)(record)
+    }
+}
+
+/// Chains two observers.
+pub struct Both<A, B>(pub A, pub B);
+
+impl<A: Observer, B: Observer> Observer for Both<A, B> {
+    #[inline]
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.0.on_round(record);
+        self.1.on_round(record);
+    }
+}
+
+/// Counts rounds and accumulates total/average regret — the minimal
+/// summary nearly every test wants.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    rounds: u64,
+    total_regret: u128,
+    max_instant_regret: u64,
+}
+
+impl RunSummary {
+    /// A fresh summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rounds observed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total regret `R(t)`.
+    pub fn total_regret(&self) -> u128 {
+        self.total_regret
+    }
+
+    /// Average regret per round.
+    pub fn average_regret(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_regret as f64 / self.rounds as f64
+        }
+    }
+
+    /// Largest single-round regret.
+    pub fn max_instant_regret(&self) -> u64 {
+        self.max_instant_regret
+    }
+}
+
+impl Observer for RunSummary {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        let r = record.instant_regret();
+        self.rounds += 1;
+        self.total_regret += u128::from(r);
+        self.max_instant_regret = self.max_instant_regret.max(r);
+    }
+}
+
+/// The standard measurement bundle used by the experiment benches:
+/// regret decomposition, switch statistics, and a Welford over the
+/// instantaneous regret.
+pub struct BasicObserver {
+    /// Regret decomposition tracker.
+    pub regret: RegretTracker,
+    /// Switch statistics.
+    pub switches: SwitchStats,
+    /// Distribution of the instantaneous regret (post-warmup rounds).
+    pub instant: Welford,
+    warmup: u64,
+    seen: u64,
+}
+
+impl BasicObserver {
+    /// Bundles trackers with a shared warmup (rounds excluded from all).
+    pub fn new(gamma: f64, c_s: f64, warmup: u64) -> Self {
+        Self {
+            regret: RegretTracker::new(gamma, c_s, warmup),
+            switches: SwitchStats::new(),
+            instant: Welford::new(),
+            warmup,
+            seen: 0,
+        }
+    }
+}
+
+impl Observer for BasicObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.regret.record(record.deficits, record.demands);
+        self.seen += 1;
+        if self.seen > self.warmup {
+            self.switches.record(record.switches);
+            self.instant.push(record.instant_regret() as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record<'a>(
+        deficits: &'a [i64],
+        demands: &'a [u64],
+        loads: &'a [u32],
+        switches: u64,
+    ) -> RoundRecord<'a> {
+        RoundRecord { round: 1, deficits, demands, loads, idle: 0, switches }
+    }
+
+    #[test]
+    fn run_summary_accumulates() {
+        let mut s = RunSummary::new();
+        s.on_round(&record(&[2, -3], &[10, 10], &[8, 13], 1));
+        s.on_round(&record(&[1, 0], &[10, 10], &[9, 10], 0));
+        assert_eq!(s.rounds(), 2);
+        assert_eq!(s.total_regret(), 6);
+        assert_eq!(s.max_instant_regret(), 5);
+        assert!((s.average_regret() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basic_observer_respects_warmup() {
+        let mut b = BasicObserver::new(0.05, 2.5, 1);
+        b.on_round(&record(&[100], &[100], &[0], 50));
+        b.on_round(&record(&[2], &[100], &[98], 3));
+        assert_eq!(b.regret.breakdown().rounds, 1);
+        assert_eq!(b.switches.total(), 3);
+        assert_eq!(b.instant.count(), 1);
+    }
+
+    #[test]
+    fn both_fans_out() {
+        let mut pair = Both(RunSummary::new(), RunSummary::new());
+        pair.on_round(&record(&[1], &[10], &[9], 0));
+        assert_eq!(pair.0.rounds(), 1);
+        assert_eq!(pair.1.rounds(), 1);
+    }
+}

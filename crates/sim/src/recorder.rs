@@ -1,0 +1,141 @@
+//! Downsampled trace recording and CSV output for the figure benches.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use antalloc_metrics::SeriesDownsampler;
+
+use crate::engine::RoundRecord;
+use crate::observer::Observer;
+
+/// Records per-task deficit traces and the regret series, downsampled by
+/// a fixed stride so multi-million-round runs stay small, plus an exact
+/// (non-downsampled) head of the run for phase-level figures.
+pub struct TraceRecorder {
+    deficit_series: Vec<SeriesDownsampler>,
+    regret_series: SeriesDownsampler,
+    head_rounds: u64,
+    head: Vec<Vec<i64>>,
+    head_loads: Vec<Vec<u32>>,
+    rounds: u64,
+}
+
+impl TraceRecorder {
+    /// `num_tasks` tasks, averaging blocks of `stride` rounds, keeping
+    /// the first `head_rounds` rounds exactly.
+    pub fn new(num_tasks: usize, stride: u64, head_rounds: u64) -> Self {
+        Self {
+            deficit_series: (0..num_tasks).map(|_| SeriesDownsampler::new(stride)).collect(),
+            regret_series: SeriesDownsampler::new(stride),
+            head_rounds,
+            head: Vec::new(),
+            head_loads: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// Rounds recorded.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The exact deficit vectors of the first `head_rounds` rounds.
+    pub fn head(&self) -> &[Vec<i64>] {
+        &self.head
+    }
+
+    /// The exact load vectors of the first `head_rounds` rounds.
+    pub fn head_loads(&self) -> &[Vec<u32>] {
+        &self.head_loads
+    }
+
+    /// Downsampled deficit trace of task `j`.
+    pub fn deficit_trace(&self, j: usize) -> &[f64] {
+        self.deficit_series[j].points()
+    }
+
+    /// Downsampled regret trace.
+    pub fn regret_trace(&self) -> &[f64] {
+        self.regret_series.points()
+    }
+
+    /// Writes the downsampled traces as CSV:
+    /// `block,regret,deficit_0,…,deficit_{k−1}`.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(out, "block,regret")?;
+        for j in 0..self.deficit_series.len() {
+            write!(out, ",deficit_{j}")?;
+        }
+        writeln!(out)?;
+        let blocks = self.regret_series.points().len();
+        for b in 0..blocks {
+            write!(out, "{b},{}", self.regret_series.points()[b])?;
+            for series in &self.deficit_series {
+                let v = series.points().get(b).copied().unwrap_or(f64::NAN);
+                write!(out, ",{v}")?;
+            }
+            writeln!(out)?;
+        }
+        out.flush()
+    }
+}
+
+impl Observer for TraceRecorder {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.rounds += 1;
+        if self.rounds <= self.head_rounds {
+            self.head.push(record.deficits.to_vec());
+            self.head_loads.push(record.loads.to_vec());
+        }
+        for (series, &delta) in self.deficit_series.iter_mut().zip(record.deficits) {
+            series.push(delta as f64);
+        }
+        self.regret_series.push(record.instant_regret() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record<'a>(deficits: &'a [i64], demands: &'a [u64], loads: &'a [u32]) -> RoundRecord<'a> {
+        RoundRecord { round: 1, deficits, demands, loads, idle: 0, switches: 0 }
+    }
+
+    #[test]
+    fn records_head_and_downsamples() {
+        let mut r = TraceRecorder::new(2, 2, 3);
+        for i in 0..6i64 {
+            r.on_round(&record(&[i, -i], &[10, 10], &[5, 5]));
+        }
+        assert_eq!(r.rounds(), 6);
+        assert_eq!(r.head().len(), 3);
+        assert_eq!(r.head()[2], vec![2, -2]);
+        assert_eq!(r.head_loads()[0], vec![5, 5]);
+        // Blocks of 2: deficits averaged pairwise.
+        assert_eq!(r.deficit_trace(0), &[0.5, 2.5, 4.5]);
+        assert_eq!(r.deficit_trace(1), &[-0.5, -2.5, -4.5]);
+        // Regret = 2i per round → block averages 1, 5, 9.
+        assert_eq!(r.regret_trace(), &[1.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut r = TraceRecorder::new(1, 1, 0);
+        r.on_round(&record(&[3], &[10], &[7]));
+        r.on_round(&record(&[-2], &[10], &[12]));
+        let dir = std::env::temp_dir().join("antalloc_test_recorder");
+        let path = dir.join("trace.csv");
+        r.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("block,regret,deficit_0"));
+        assert_eq!(lines.next(), Some("0,3,3"));
+        assert_eq!(lines.next(), Some("1,2,-2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

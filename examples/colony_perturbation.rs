@@ -1,0 +1,65 @@
+//! Shock therapy: kill a third of the colony, scramble the rest, and
+//! watch Algorithm Ant recover — Theorem 3.1's "arbitrary initial
+//! allocation" premise exercised as live perturbations.
+//!
+//! ```text
+//! cargo run --release -p colony-examples --example colony_perturbation
+//! ```
+
+use antalloc_core::AntParams;
+use antalloc_env::Perturbation;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, RunSummary, SimConfig};
+
+fn report(engine: &antalloc_sim::SyncEngine, label: &str) {
+    let c = engine.colony();
+    let loads: Vec<u64> = (0..c.num_tasks()).map(|j| c.load(j)).collect();
+    println!(
+        "{label:<34} n = {:<5} loads = {loads:?} regret = {}",
+        c.num_ants(),
+        c.instant_regret()
+    );
+}
+
+fn settle(engine: &mut antalloc_sim::SyncEngine, rounds: u64) -> f64 {
+    let mut summary = RunSummary::new();
+    engine.run(rounds, &mut summary);
+    summary.average_regret()
+}
+
+fn main() {
+    let config = SimConfig::new(
+        9000,
+        vec![900, 1300, 800],
+        NoiseModel::Sigmoid { lambda: 2.0 },
+        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        0xBEE,
+    );
+    let mut engine = config.build();
+
+    settle(&mut engine, 4000);
+    report(&engine, "settled");
+
+    println!("\n>>> killing 3000 random ants");
+    engine.perturb(&Perturbation::KillRandom { count: 3000 });
+    report(&engine, "immediately after the kill");
+    let avg = settle(&mut engine, 4000);
+    report(&engine, format!("4000 rounds later (avg r {avg:.0})").as_str());
+
+    println!("\n>>> spawning 3000 fresh idle ants");
+    engine.perturb(&Perturbation::Spawn { count: 3000 });
+    let avg = settle(&mut engine, 4000);
+    report(&engine, format!("4000 rounds later (avg r {avg:.0})").as_str());
+
+    println!("\n>>> scrambling every assignment uniformly at random");
+    engine.perturb(&Perturbation::Scramble);
+    report(&engine, "immediately after the scramble");
+    let avg = settle(&mut engine, 4000);
+    report(&engine, format!("4000 rounds later (avg r {avg:.0})").as_str());
+
+    println!("\n>>> stampede: every ant onto task 0");
+    engine.perturb(&Perturbation::StampedeTo(0));
+    report(&engine, "immediately after the stampede");
+    let avg = settle(&mut engine, 6000);
+    report(&engine, format!("6000 rounds later (avg r {avg:.0})").as_str());
+}

@@ -1,0 +1,73 @@
+//! One colony, three feedback worlds, four algorithms.
+//!
+//! Runs every algorithm under exact, sigmoid, and adversarial feedback
+//! and prints the average steady-state regret — the paper's story in
+//! one table: the trivial single-sample rule collapses under synchrony
+//! + noise, the two-sample Algorithm Ant does not.
+//!
+//! ```text
+//! cargo run --release -p colony-examples --example noise_showdown
+//! ```
+
+use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams};
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+use antalloc_sim::{ControllerSpec, RunSummary, SimConfig};
+
+fn run(noise: &NoiseModel, controller: &ControllerSpec) -> f64 {
+    let config = SimConfig::new(
+        4000,
+        vec![500, 800],
+        noise.clone(),
+        controller.clone(),
+        7,
+    );
+    let mut engine = config.build();
+    let mut warmup = RunSummary::new();
+    engine.run(6_000, &mut warmup);
+    let mut steady = RunSummary::new();
+    engine.run(4_000, &mut steady);
+    steady.average_regret()
+}
+
+fn main() {
+    let gamma = 1.0 / 16.0;
+    let noises: [(&str, NoiseModel); 3] = [
+        ("exact", NoiseModel::Exact),
+        ("sigmoid λ=2", NoiseModel::Sigmoid { lambda: 2.0 }),
+        (
+            "adversarial γ_ad=0.05 (inverted)",
+            NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::Inverted },
+        ),
+    ];
+    let algorithms: [(&str, ControllerSpec); 4] = [
+        ("Algorithm Ant", ControllerSpec::Ant(AntParams::new(gamma))),
+        (
+            "Precise Adversarial ε=0.5",
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(gamma, 0.5)),
+        ),
+        ("Trivial (App. D)", ControllerSpec::Trivial),
+        (
+            "ExactGreedy [11]-style",
+            ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+        ),
+    ];
+
+    println!("average steady-state regret per round (Σd = 1300, 4000 ants)\n");
+    print!("{:<28}", "algorithm \\ noise");
+    for (name, _) in &noises {
+        print!("{name:>34}");
+    }
+    println!();
+    for (alg_name, spec) in &algorithms {
+        print!("{alg_name:<28}");
+        for (_, noise) in &noises {
+            let avg = run(noise, spec);
+            print!("{avg:>34.1}");
+        }
+        println!();
+    }
+    println!(
+        "\nreference: 5γΣd + 3 = {:.0} (Theorem 3.1's steady bound for Ant)",
+        5.0 * gamma * 1300.0 + 3.0
+    );
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a noisy colony, run Algorithm Ant, watch it settle.
+//!
+//! ```text
+//! cargo run --release -p colony-examples --example quickstart
+//! ```
+
+use antalloc_core::AntParams;
+use antalloc_noise::{critical_value_sigmoid, NoiseModel};
+use antalloc_sim::{ControllerSpec, FnObserver, SimConfig};
+use colony_examples::{bar, fmt_deficits};
+
+fn main() {
+    // A colony of 4000 ants, three tasks, sigmoid feedback.
+    let n = 4000;
+    let demands = vec![400u64, 700, 300];
+    let lambda = 2.0;
+    let gamma = 1.0 / 16.0;
+
+    let cv = critical_value_sigmoid(lambda, n, &demands, 2.0);
+    println!("n = {n}, demands = {demands:?}, λ = {lambda}, γ = {gamma:.4}");
+    println!("critical value γ* ≈ {:.4} (reliability exponent 2)\n", cv.gamma_star);
+
+    let config = SimConfig::new(
+        n,
+        demands.clone(),
+        NoiseModel::Sigmoid { lambda },
+        ControllerSpec::Ant(AntParams::new(gamma)),
+        0xC0FFEE,
+    );
+    let mut engine = config.build();
+
+    println!("{:>6}  {:>24}  {:>10}  loads", "round", "deficits", "regret");
+    let mut engine_obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+        if r.round % 250 == 0 || r.round <= 2 {
+            let bars: Vec<String> = r
+                .loads
+                .iter()
+                .zip(r.demands)
+                .map(|(&w, &d)| format!("{} {w}/{d}", bar(f64::from(w), d as f64 * 1.5, 12)))
+                .collect();
+            println!(
+                "{:>6}  {:>24}  {:>10}  {}",
+                r.round,
+                fmt_deficits(r.deficits),
+                r.instant_regret(),
+                bars.join("  ")
+            );
+        }
+    });
+    engine.run(3000, &mut engine_obs);
+
+    let final_regret = engine.colony().instant_regret();
+    println!("\nfinal regret: {final_regret} (≈5γΣd bound: {:.0})", {
+        let sum: u64 = demands.iter().sum();
+        5.0 * gamma * sum as f64 + 3.0
+    });
+}

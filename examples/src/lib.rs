@@ -1,0 +1,47 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples live at the package root (`examples/*.rs`) and are run
+//! with `cargo run --release -p colony-examples --example <name>`.
+
+/// Formats a deficit vector as a compact signed list, e.g. `[+3 -1 0]`.
+pub fn fmt_deficits(deficits: &[i64]) -> String {
+    let body: Vec<String> = deficits
+        .iter()
+        .map(|d| {
+            if *d > 0 {
+                format!("+{d}")
+            } else {
+                format!("{d}")
+            }
+        })
+        .collect();
+    format!("[{}]", body.join(" "))
+}
+
+/// Renders `value` as a horizontal unicode bar of at most `width` cells,
+/// scaled so that `max` fills the bar. Used by examples to sketch loads.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || !value.is_finite() {
+        return String::new();
+    }
+    let cells = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "█".repeat(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deficit_formatting() {
+        assert_eq!(fmt_deficits(&[3, -1, 0]), "[+3 -1 0]");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(2.0, 1.0, 4), "████");
+        assert_eq!(bar(0.5, 1.0, 4), "██");
+        assert_eq!(bar(-1.0, 1.0, 4), "");
+        assert_eq!(bar(1.0, 0.0, 4), "");
+    }
+}

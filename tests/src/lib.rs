@@ -1,0 +1,36 @@
+//! Shared fixtures for the integration-test package.
+//!
+//! The actual integration tests live in `tests/tests/*.rs` and span
+//! multiple workspace crates; this small library holds builders they
+//! share so each test file stays focused on one claim.
+
+/// A standard small colony used across integration tests: big enough for
+/// concentration to visibly kick in, small enough to run in CI seconds.
+pub struct SmallColony {
+    /// Number of ants.
+    pub n: usize,
+    /// Task demands.
+    pub demands: Vec<u64>,
+    /// Sigmoid steepness.
+    pub lambda: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SmallColony {
+    fn default() -> Self {
+        Self { n: 4000, demands: vec![400, 700, 300], lambda: 0.15, seed: 0xA17 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_colony_satisfies_slack() {
+        let c = SmallColony::default();
+        let sum: u64 = c.demands.iter().sum();
+        assert!(sum <= c.n as u64 / 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Checkpoint/restore produces bit-identical continuations, including
+//! for long-phase controllers and non-trivial noise models.
+
+use antalloc_core::{AntParams, PreciseAdversarialParams, PreciseSigmoidParams};
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+use antalloc_sim::{Checkpoint, CheckpointError, ControllerSpec, NullObserver, SimConfig};
+
+fn replay_equivalence(cfg: SimConfig, split: u64, tail: u64) {
+    let mut obs = NullObserver;
+    let mut full = cfg.build();
+    full.run(split + tail, &mut obs);
+
+    let mut head = cfg.build();
+    head.run(split, &mut obs);
+    let cp = Checkpoint::capture(&head).unwrap_or_else(|e| panic!("capture: {e}"));
+    let bytes = cp.to_bytes();
+    let cp2 = Checkpoint::from_bytes(&bytes).unwrap();
+    let mut resumed = cp2.restore();
+    resumed.run(tail, &mut obs);
+
+    assert_eq!(full.round(), resumed.round());
+    assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+    assert_eq!(full.colony().loads(), resumed.colony().loads());
+}
+
+#[test]
+fn ant_replays_exactly() {
+    let cfg = SimConfig::new(
+        1000,
+        vec![150, 200],
+        NoiseModel::Sigmoid { lambda: 2.0 },
+        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        3,
+    );
+    replay_equivalence(cfg, 600, 400); // 600 % 2 == 0: phase boundary.
+}
+
+#[test]
+fn precise_sigmoid_replays_exactly_at_phase_boundary() {
+    let params = PreciseSigmoidParams::new(0.05, 0.5); // phase 82
+    let cfg = SimConfig::new(
+        800,
+        vec![100, 120],
+        NoiseModel::Sigmoid { lambda: 2.0 },
+        ControllerSpec::PreciseSigmoid(params),
+        4,
+    );
+    replay_equivalence(cfg, 82 * 5, 82 * 3);
+}
+
+#[test]
+fn precise_adversarial_replays_under_adversarial_noise() {
+    let params = PreciseAdversarialParams::new(0.05, 0.5); // phase 320
+    let cfg = SimConfig::new(
+        600,
+        vec![100],
+        NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::AlternateByRound },
+        ControllerSpec::PreciseAdversarial(params),
+        5,
+    );
+    replay_equivalence(cfg, 320 * 2, 320);
+}
+
+#[test]
+fn off_boundary_capture_is_refused() {
+    let params = PreciseSigmoidParams::new(0.05, 0.5); // phase 82
+    let cfg = SimConfig::new(
+        100,
+        vec![20],
+        NoiseModel::Sigmoid { lambda: 2.0 },
+        ControllerSpec::PreciseSigmoid(params),
+        6,
+    );
+    let mut engine = cfg.build();
+    let mut obs = NullObserver;
+    engine.run(83, &mut obs);
+    match Checkpoint::capture(&engine) {
+        Err(CheckpointError::NotAtPhaseBoundary { round: 83, phase: 82 }) => {}
+        other => panic!("expected boundary refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn correlated_noise_replays_exactly() {
+    // CorrelatedSigmoid derives shared draws from (seed, round, task):
+    // restores must regenerate the identical shared coins.
+    let cfg = SimConfig::new(
+        700,
+        vec![90, 110],
+        NoiseModel::CorrelatedSigmoid { lambda: 2.0, rho: 0.5, seed: 99 },
+        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        8,
+    );
+    replay_equivalence(cfg, 400, 300);
+}

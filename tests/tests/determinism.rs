@@ -1,0 +1,91 @@
+//! Determinism guarantees: the simulation is a pure function of its
+//! config, independent of thread count and of checkpoint/restore.
+
+use antalloc_core::{AntParams, PreciseSigmoidParams};
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
+
+fn config(seed: u64) -> SimConfig {
+    SimConfig::new(
+        1500,
+        vec![200, 300, 150],
+        NoiseModel::Sigmoid { lambda: 2.0 },
+        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        seed,
+    )
+}
+
+#[test]
+fn serial_and_parallel_trajectories_are_bit_identical() {
+    let mut serial = config(1).build();
+    let mut obs = NullObserver;
+    serial.run(501, &mut obs);
+
+    for threads in [2usize, 3, 8] {
+        let mut par = config(1).build();
+        // Forced: production run_parallel would fall back to serial at
+        // this colony size, which would make the test vacuous.
+        par.run_parallel_forced(501, threads, &mut obs);
+        assert_eq!(
+            serial.colony().assignments(),
+            par.colony().assignments(),
+            "threads = {threads}"
+        );
+        assert_eq!(serial.colony().loads(), par.colony().loads());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_trajectories() {
+    let mut a = config(1).build();
+    let mut b = config(2).build();
+    let mut obs = NullObserver;
+    a.run(100, &mut obs);
+    b.run(100, &mut obs);
+    assert_ne!(a.colony().assignments(), b.colony().assignments());
+}
+
+#[test]
+fn mixed_serial_parallel_interleaving_is_identical() {
+    // Switching between serial and parallel stepping mid-run must not
+    // change anything: determinism is per-ant, not per-schedule.
+    let mut pure = config(9).build();
+    let mut mixed = config(9).build();
+    let mut obs = NullObserver;
+    pure.run(300, &mut obs);
+    mixed.run(100, &mut obs);
+    mixed.run_parallel_forced(100, 4, &mut obs);
+    mixed.run(100, &mut obs);
+    assert_eq!(pure.colony().assignments(), mixed.colony().assignments());
+}
+
+#[test]
+fn precise_sigmoid_parallel_determinism() {
+    // A controller with long phases and heavier per-round state.
+    let spec = ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5));
+    let mut cfg = config(5);
+    cfg.controller = spec;
+    let mut serial = cfg.build();
+    let mut par = cfg.build();
+    let mut obs = NullObserver;
+    serial.run(250, &mut obs);
+    par.run_parallel_forced(250, 4, &mut obs);
+    assert_eq!(serial.colony().assignments(), par.colony().assignments());
+}
+
+#[test]
+fn sequential_engine_is_deterministic() {
+    let cfg = SimConfig::new(
+        500,
+        vec![120],
+        NoiseModel::Sigmoid { lambda: 1.0 },
+        ControllerSpec::Trivial,
+        77,
+    );
+    let mut a = cfg.build_sequential();
+    let mut b = cfg.build_sequential();
+    let mut obs = NullObserver;
+    a.run(2000, &mut obs);
+    b.run(2000, &mut obs);
+    assert_eq!(a.colony().assignments(), b.colony().assignments());
+}

@@ -1,0 +1,125 @@
+//! Cross-crate smoke and contract tests: every shipped controller runs
+//! under every noise model, respects the environment's information
+//! hiding, and reaches both of its output states (Assumption 2.2 in
+//! behavioural form).
+
+use antalloc_core::{
+    AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams,
+};
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+use antalloc_sim::{BasicObserver, ControllerSpec, FnObserver, NullObserver, SimConfig};
+
+fn all_specs() -> Vec<ControllerSpec> {
+    vec![
+        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+        ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.05, 0.5)),
+        ControllerSpec::Trivial,
+        ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+    ]
+}
+
+fn all_noises() -> Vec<NoiseModel> {
+    vec![
+        NoiseModel::Exact,
+        NoiseModel::Sigmoid { lambda: 1.5 },
+        NoiseModel::CorrelatedSigmoid { lambda: 1.5, rho: 0.4, seed: 9 },
+        NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::Inverted },
+        NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::RandomLack(0.5) },
+    ]
+}
+
+#[test]
+fn every_controller_runs_under_every_noise_model() {
+    for spec in all_specs() {
+        for noise in all_noises() {
+            let cfg = SimConfig::new(400, vec![60, 80], noise.clone(), spec.clone(), 12);
+            let mut engine = cfg.build();
+            let mut obs = NullObserver;
+            engine.run(700, &mut obs);
+            assert!(engine.colony().recount_consistent(), "{spec:?} under {noise:?}");
+        }
+    }
+}
+
+#[test]
+fn every_controller_visits_both_working_and_idle_states() {
+    // Behavioural Assumption 2.2: over a long noisy run, the population
+    // must exercise joins and leaves (no absorbing states).
+    for spec in all_specs() {
+        let cfg = SimConfig::new(
+            300,
+            vec![50, 50],
+            NoiseModel::Sigmoid { lambda: 0.5 },
+            spec.clone(),
+            13,
+        );
+        let mut engine = cfg.build();
+        let mut saw_workers = false;
+        let mut saw_idle = false;
+        let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+            saw_workers |= r.loads.iter().any(|&w| w > 0);
+            saw_idle |= r.idle > 0;
+        });
+        engine.run(2500, &mut obs);
+        drop(obs);
+        assert!(saw_workers, "{spec:?} never put anyone to work");
+        assert!(saw_idle, "{spec:?} never had an idle ant");
+    }
+}
+
+#[test]
+fn hysteresis_spec_runs_single_task_colonies() {
+    for depth in [1u16, 3, 8] {
+        let cfg = SimConfig::new(
+            500,
+            vec![125],
+            NoiseModel::Sigmoid { lambda: 1.0 },
+            ControllerSpec::Hysteresis { depth, lazy: Some(0.25) },
+            14,
+        );
+        let mut engine = cfg.build();
+        let mut obs = BasicObserver::new(0.05, 2.5, 500);
+        engine.run(3000, &mut obs);
+        assert!(engine.colony().recount_consistent());
+        // The machine allocates *some* workers.
+        assert!(engine.colony().load(0) > 0);
+    }
+}
+
+#[test]
+fn metrics_pipeline_integrates_with_engine() {
+    let cfg = SimConfig::new(
+        1000,
+        vec![150, 200],
+        NoiseModel::Sigmoid { lambda: 2.0 },
+        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+        15,
+    );
+    let mut engine = cfg.build();
+    let mut obs = BasicObserver::new(1.0 / 16.0, 2.5, 2000);
+    engine.run(5000, &mut obs);
+    let b = obs.regret.breakdown();
+    assert_eq!(b.rounds, 3000);
+    assert_eq!(b.total, b.plus + b.minus + b.near);
+    // Steady state: significant lack should be gone.
+    assert_eq!(b.minus, 0, "steady-state lack component {}", b.minus);
+    assert!(obs.instant.mean() > 0.0);
+    assert!(obs.switches.per_ant_round(1000) < 0.2);
+}
+
+#[test]
+fn memory_accounting_is_ordered_sensibly() {
+    // Trivial < Ant < PreciseSigmoid, and PreciseSigmoid grows with 1/ε.
+    let k = 4;
+    let trivial = ControllerSpec::Trivial.build(k);
+    let ant = ControllerSpec::Ant(AntParams::default()).build(k);
+    let ps_coarse =
+        ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)).build(k);
+    let ps_fine =
+        ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.05)).build(k);
+    use antalloc_core::Controller as _;
+    assert!(trivial.memory_bits() < ant.memory_bits());
+    assert!(ant.memory_bits() < ps_coarse.memory_bits());
+    assert!(ps_coarse.memory_bits() < ps_fine.memory_bits());
+}

@@ -1,0 +1,191 @@
+//! Statistical validation of the theorem-level claims on small colonies.
+//!
+//! These are seeded, so they are deterministic; the tolerances come from
+//! the paper's bounds with documented slack.
+
+use antalloc_analysis::thm31_average_regret_bound;
+use antalloc_core::{AntParams, PreciseSigmoidParams};
+use antalloc_env::InitialConfig;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, NullObserver, RunSummary, SimConfig};
+
+/// n = 2000 colony in the γ ≥ γ* regime (reliability exponent 2, λ = 4:
+/// γ*(q=2) = 2·ln 2000/(4·250) ≈ 0.0152 ≤ γ = 1/16).
+fn ant_config(seed: u64, gamma: f64) -> SimConfig {
+    SimConfig::new(
+        2000,
+        vec![250, 400, 350],
+        NoiseModel::Sigmoid { lambda: 4.0 },
+        ControllerSpec::Ant(AntParams::new(gamma)),
+        seed,
+    )
+}
+
+#[test]
+fn thm31_steady_state_regret_is_within_bound() {
+    let gamma = 1.0 / 16.0;
+    let sum_d = 1000u64;
+    let bound = thm31_average_regret_bound(gamma, sum_d); // 315.5
+    for seed in [1u64, 2, 3] {
+        let mut engine = ant_config(seed, gamma).build();
+        let mut warm = NullObserver;
+        engine.run(4000, &mut warm);
+        let mut steady = RunSummary::new();
+        engine.run(4000, &mut steady);
+        assert!(
+            steady.average_regret() <= bound,
+            "seed {seed}: avg regret {} > bound {bound}",
+            steady.average_regret()
+        );
+        // And it's not trivially zero: noise forces some standing regret.
+        assert!(steady.average_regret() > 0.0);
+    }
+}
+
+#[test]
+fn thm31_holds_from_adversarial_initial_configurations() {
+    let gamma = 1.0 / 16.0;
+    let bound = thm31_average_regret_bound(gamma, 1000);
+    for initial in [
+        InitialConfig::AllOnTask(0),
+        InitialConfig::Inverted,
+        InitialConfig::UniformRandom,
+    ] {
+        let mut cfg = ant_config(11, gamma);
+        cfg.initial = initial.clone();
+        let mut engine = cfg.build();
+        let mut warm = NullObserver;
+        engine.run(6000, &mut warm);
+        let mut steady = RunSummary::new();
+        engine.run(4000, &mut steady);
+        assert!(
+            steady.average_regret() <= bound,
+            "{initial:?}: avg regret {} > {bound}",
+            steady.average_regret()
+        );
+    }
+}
+
+#[test]
+fn thm32_precise_sigmoid_band_is_narrower_than_ants() {
+    // Theorem 3.2 vs Theorem 3.1 is a statement about the *achievable
+    // steady band*: Algorithm Ant's stable parking band is γ-wide (any
+    // load in [d(1+γ), ~d/(1−c_sγ)] is stable, so it can legally hold a
+    // Θ(γΣd) surplus forever), while Precise Sigmoid's band is ε·γ-thin.
+    //
+    // Finite-size caveat (see EXPERIMENTS.md): PS's band is only
+    // non-empty when γ'·d ≳ 10 ants, γ' = εγ/c_χ — the Theorem 3.2
+    // shadow of Assumption 2.1's d = Ω(log n/γ²) applied at step γ'.
+    // Below that, the band leaks to deficit 0 and the grey-zone
+    // coin-flip triggers a join stampede. Hence the large demand here.
+    let gamma = 1.0 / 16.0;
+    let eps = 0.5;
+    let demands = vec![2560u64];
+    let n = 6000;
+    let sum_d = 2560u64;
+    let noise = NoiseModel::Sigmoid { lambda: 1.5 };
+
+    // Ant, parked high inside its legal band (+200 ≈ 7.8%·d: the pause
+    // dip c_sγW ≈ 430 still crosses below demand, so it is stable).
+    let mut ant_cfg = SimConfig::new(
+        n,
+        demands.clone(),
+        noise.clone(),
+        ControllerSpec::Ant(AntParams::new(gamma)),
+        21,
+    );
+    ant_cfg.initial = InitialConfig::SaturatedPlus { extra: 200 };
+    let mut ant = ant_cfg.build();
+
+    // Precise Sigmoid started at +10, inside its own band
+    // [d+1, d+~γ'c_s d] ≈ [2561, 2580].
+    let ps = PreciseSigmoidParams::new(gamma, eps);
+    let phase = ps.phase_len(); // 82
+    let mut ps_cfg = SimConfig::new(
+        n,
+        demands,
+        noise,
+        ControllerSpec::PreciseSigmoid(ps),
+        21,
+    );
+    ps_cfg.initial = InitialConfig::SaturatedPlus { extra: 10 };
+    let mut precise = ps_cfg.build();
+
+    let mut warm = NullObserver;
+    ant.run(10 * phase, &mut warm);
+    precise.run(10 * phase, &mut warm);
+
+    let mut ant_steady = RunSummary::new();
+    let mut ps_steady = RunSummary::new();
+    ant.run(30 * phase, &mut ant_steady);
+    precise.run(30 * phase, &mut ps_steady);
+
+    // Ant holds its (legal!) ~200-ant surplus: Θ(γΣd)-scale regret.
+    assert!(
+        ant_steady.average_regret() > 100.0,
+        "ant should park high in its band, got {}",
+        ant_steady.average_regret()
+    );
+    // Precise Sigmoid holds the ε-scale band: γεΣd = 80 here.
+    let ps_bound = gamma * eps * sum_d as f64; // Theorem 3.2's rate.
+    assert!(
+        ps_steady.average_regret() < ps_bound,
+        "precise sigmoid regret {} above the γεΣd = {ps_bound} rate",
+        ps_steady.average_regret()
+    );
+    assert!(
+        ps_steady.average_regret() < ant_steady.average_regret(),
+        "precise {} !< ant {}",
+        ps_steady.average_regret(),
+        ant_steady.average_regret()
+    );
+}
+
+#[test]
+fn trivial_synchronous_oscillates_with_theta_n_amplitude() {
+    // Appendix D.2: one task, d = n/4, all ants see the same (almost
+    // noise-free) signal and flip-flop between joining and leaving.
+    let n = 1000;
+    let cfg = SimConfig::new(
+        n,
+        vec![(n / 4) as u64],
+        NoiseModel::Sigmoid { lambda: 1.0 },
+        ControllerSpec::Trivial,
+        31,
+    );
+    let mut engine = cfg.build();
+    let mut max_regret = 0u64;
+    let mut obs = antalloc_sim::FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
+        max_regret = max_regret.max(r.instant_regret());
+    });
+    engine.run(400, &mut obs);
+    drop(obs);
+    assert!(
+        max_regret as f64 > 0.5 * n as f64,
+        "expected Θ(n) oscillation, max regret {max_regret}"
+    );
+}
+
+#[test]
+fn trivial_sequential_settles_near_demand() {
+    // Appendix D.1: the same algorithm under one-ant-per-round
+    // scheduling hovers near the demand.
+    let cfg = SimConfig::new(
+        1000,
+        vec![250],
+        NoiseModel::Sigmoid { lambda: 1.0 },
+        ControllerSpec::Trivial,
+        33,
+    );
+    let mut engine = cfg.build_sequential();
+    let mut warm = NullObserver;
+    engine.run(20_000, &mut warm);
+    let mut steady = RunSummary::new();
+    engine.run(20_000, &mut steady);
+    assert!(
+        steady.average_regret() < 40.0,
+        "sequential trivial avg regret {}",
+        steady.average_regret()
+    );
+    // Orders of magnitude below the synchronous Θ(n) flip-flop.
+}
