@@ -64,9 +64,7 @@ mod tests {
         let b2 = thm31_total_regret_bound(1.0, 1000, 2, 0.05, 400, 20_000);
         assert!(b2 / b1 > 1.8 && b2 / b1 < 2.2);
         // Average bound is linear in γ and Σd.
-        assert!(
-            thm31_average_regret_bound(0.02, 400) < thm31_average_regret_bound(0.04, 400)
-        );
+        assert!(thm31_average_regret_bound(0.02, 400) < thm31_average_regret_bound(0.04, 400));
         let a = thm31_average_regret_bound(0.05, 100);
         let b = thm31_average_regret_bound(0.05, 200);
         assert!((b - 3.0) / (a - 3.0) - 2.0 < 1e-12);
@@ -75,7 +73,7 @@ mod tests {
     #[test]
     fn transient_term_dominates_small_t() {
         let b = thm31_total_regret_bound(1.0, 10_000, 4, 0.01, 100, 1);
-        assert!(b > 4_000_000.0* 0.9);
+        assert!(b > 4_000_000.0 * 0.9);
     }
 
     #[test]
@@ -84,7 +82,10 @@ mod tests {
         let r2 = thm32_average_regret(0.05, 0.2, 1000);
         assert!((r2 / r1 - 2.0).abs() < 1e-12);
         let f1 = thm33_regret_floor(0.1, 0.05, 1000);
-        assert!((f1 - r1).abs() < 1e-12, "floor matches Thm 3.2 rate at γ = γ*");
+        assert!(
+            (f1 - r1).abs() < 1e-12,
+            "floor matches Thm 3.2 rate at γ = γ*"
+        );
     }
 
     #[test]

@@ -35,12 +35,24 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
         syy += (y - my) * (y - my);
     }
     if sxx == 0.0 {
-        return LinearFit { intercept: my, slope: 0.0, r_squared: 0.0 };
+        return LinearFit {
+            intercept: my,
+            slope: 0.0,
+            r_squared: 0.0,
+        };
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    LinearFit { intercept, slope, r_squared }
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LinearFit {
+        intercept,
+        slope,
+        r_squared,
+    }
 }
 
 /// The log-log slope of `(x, y)` pairs: the exponent `p` in `y ∝ x^p`.
@@ -78,7 +90,15 @@ mod tests {
         let xs: Vec<f64> = (0..50).map(f64::from).collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|&x| 2.0 * x + 5.0 + if x as u32 % 2 == 0 { 0.5 } else { -0.5 })
+            .map(|&x| {
+                2.0 * x
+                    + 5.0
+                    + if (x as u32).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
             .collect();
         let f = linear_fit(&xs, &ys);
         assert!((f.slope - 2.0).abs() < 0.01);

@@ -11,8 +11,8 @@ mod chernoff;
 mod fit;
 
 pub use bounds::{
-    thm31_average_regret_bound, thm31_total_regret_bound, thm32_average_regret,
-    thm33_regret_floor, thm35_regret_floor, thm36_average_regret,
+    thm31_average_regret_bound, thm31_total_regret_bound, thm32_average_regret, thm33_regret_floor,
+    thm35_regret_floor, thm36_average_regret,
 };
 pub use chernoff::{
     chernoff_above, chernoff_below, chernoff_poisson_tail, median_amplification_failure,

@@ -31,28 +31,74 @@ fn main() {
 
     let mut table = Table::new(
         "ablation_constants",
-        &["variant", "γ", "c_s", "c_d", "avg regret", "vs paper-constants", "note"],
+        &[
+            "variant",
+            "γ",
+            "c_s",
+            "c_d",
+            "avg regret",
+            "vs paper-constants",
+            "note",
+        ],
     );
 
     let mut reference = f64::NAN;
     for (label, g, cs, cd, note) in [
         ("paper constants", gamma, 2.5, 19.0, ""),
-        ("c_s too small", gamma, 0.8, 19.0, "samples not spaced: dip stays in grey zone"),
+        (
+            "c_s too small",
+            gamma,
+            0.8,
+            19.0,
+            "samples not spaced: dip stays in grey zone",
+        ),
         ("c_s = proofs' lower edge", gamma, 2.34, 19.0, ""),
-        ("c_s too large", gamma, 8.0, 19.0, "dip = c_sγW overshoots: big oscillation"),
-        ("c_d small (leaves 4x)", gamma, 2.5, 4.75, "drains fast but churns"),
-        ("c_d large (leaves /4)", gamma, 2.5, 76.0, "slow drain: long transients"),
-        ("γ above window (0.125)", 0.125, 2.5, 19.0, "violates γ ≤ 1/16"),
-        ("γ tiny (0.01)", 0.01, 2.5, 19.0, "γ < γ*: samples inside grey zone"),
+        (
+            "c_s too large",
+            gamma,
+            8.0,
+            19.0,
+            "dip = c_sγW overshoots: big oscillation",
+        ),
+        (
+            "c_d small (leaves 4x)",
+            gamma,
+            2.5,
+            4.75,
+            "drains fast but churns",
+        ),
+        (
+            "c_d large (leaves /4)",
+            gamma,
+            2.5,
+            76.0,
+            "slow drain: long transients",
+        ),
+        (
+            "γ above window (0.125)",
+            0.125,
+            2.5,
+            19.0,
+            "violates γ ≤ 1/16",
+        ),
+        (
+            "γ tiny (0.01)",
+            0.01,
+            2.5,
+            19.0,
+            "γ < γ*: samples inside grey zone",
+        ),
     ] {
         let params = AntParams { gamma: g, cs, cd };
-        let cfg = SimConfig::new(
-            n,
-            demands.clone(),
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::Ant(params),
-            0xAB1,
-        );
+        let cfg = SimConfig::builder(n, demands.clone())
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::Ant(params))
+            .seed(0xAB1)
+            // Several rows deliberately leave the admissible window
+            // (that is the point of the ablation).
+            .out_of_spec_params()
+            .build()
+            .expect("structurally valid scenario");
         let warmup = (8.0 * cd / g) as u64;
         let m = steady_state(&cfg, g, warmup.min(60_000), 8000);
         if label == "paper constants" {
@@ -91,17 +137,23 @@ fn main() {
         params.paper_literal_leave_prob = literal;
         let band = params.gamma_prime() * d as f64;
         let phase = params.phase_len();
-        let mut cfg = SimConfig::new(
-            12_000,
-            vec![d],
-            NoiseModel::Sigmoid { lambda: 1.5 },
-            ControllerSpec::PreciseSigmoid(params),
-            0xAB2,
-        );
-        cfg.initial = InitialConfig::SaturatedPlus { extra: (band * 1.5) as u64 + 2 };
+        let cfg = SimConfig::builder(12_000, vec![d])
+            .noise(NoiseModel::Sigmoid { lambda: 1.5 })
+            .controller(ControllerSpec::PreciseSigmoid(params))
+            .seed(0xAB2)
+            .initial(InitialConfig::SaturatedPlus {
+                extra: (band * 1.5) as u64 + 2,
+            })
+            .build()
+            .expect("valid scenario");
         let m = steady_state(&cfg, gamma, 30 * phase, 90 * phase);
         t2.row(vec![
-            if literal { "literal γ/(c_χc_d)" } else { "proof εγ/(c_χc_d)" }.into(),
+            if literal {
+                "literal γ/(c_χc_d)"
+            } else {
+                "proof εγ/(c_χc_d)"
+            }
+            .into(),
             fmt(params.leave_probability()),
             fmt(m.avg_regret),
             if literal {
@@ -128,7 +180,14 @@ fn main() {
     println!("\ndemand scale under an inverted grey-zone adversary (γ_ad = 0.05):");
     let mut t3 = Table::new(
         "ablation_demand_scale",
-        &["n", "demands", "c_sγ·d_min", "avg regret", "bound 5γΣd+3", "bound holds?"],
+        &[
+            "n",
+            "demands",
+            "c_sγ·d_min",
+            "avg regret",
+            "bound 5γΣd+3",
+            "bound holds?",
+        ],
     );
     for (n, demands) in [
         (2000usize, vec![200u64, 350, 150]),
@@ -136,16 +195,15 @@ fn main() {
         (7000, vec![800, 1400, 600]),
     ] {
         let sum: u64 = demands.iter().sum();
-        let cfg = SimConfig::new(
-            n,
-            demands.clone(),
-            NoiseModel::Adversarial {
+        let cfg = SimConfig::builder(n, demands.clone())
+            .noise(NoiseModel::Adversarial {
                 gamma_ad: 0.05,
                 policy: antalloc_noise::GreyZonePolicy::Inverted,
-            },
-            ControllerSpec::Ant(AntParams::new(gamma)),
-            0xAB4,
-        );
+            })
+            .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+            .seed(0xAB4)
+            .build()
+            .expect("valid scenario");
         let m = steady_state(&cfg, gamma, 8000, 8000);
         let bound = 5.0 * gamma * sum as f64 + 3.0;
         let scale = 2.5 * gamma * *demands.iter().min().expect("non-empty") as f64;
@@ -155,7 +213,12 @@ fn main() {
             fmt(scale),
             fmt(m.avg_regret),
             fmt(bound),
-            if m.avg_regret <= bound { "yes" } else { "NO (below scale)" }.into(),
+            if m.avg_regret <= bound {
+                "yes"
+            } else {
+                "NO (below scale)"
+            }
+            .into(),
         ]);
     }
     t3.finish();

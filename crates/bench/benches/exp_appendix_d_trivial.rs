@@ -24,8 +24,15 @@ fn main() {
     let mut table = Table::new(
         "appendix_d_trivial",
         &[
-            "model", "n", "d", "rounds", "avg regret (steady)",
-            "max |Δ|", "γ*Σd yardstick", "avg/(γ*Σd)", "flips/round",
+            "model",
+            "n",
+            "d",
+            "rounds",
+            "avg regret (steady)",
+            "max |Δ|",
+            "γ*Σd yardstick",
+            "avg/(γ*Σd)",
+            "flips/round",
         ],
     );
 
@@ -33,13 +40,12 @@ fn main() {
     for n in [400usize, 1000, 2000] {
         let d = (n / 4) as u64;
         let cv = critical_value_sigmoid(lambda, n, &[d], 2.0);
-        let cfg = SimConfig::new(
-            n,
-            vec![d],
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::Trivial,
-            0xD2 + n as u64,
-        );
+        let cfg = SimConfig::builder(n, vec![d])
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::Trivial)
+            .seed(0xD2 + n as u64)
+            .build()
+            .expect("valid scenario");
         let mut engine = cfg.build();
         let mut osc = OscillationStats::new(vec![1.0], 5, 50);
         let mut summary = RunSummary::new();
@@ -52,7 +58,7 @@ fn main() {
             // Both needs Observer for &mut: run with a small adapter.
             engine.run(rounds, &mut both);
         }
-        drop(obs);
+        let _ = obs; // closure borrows end here
         let yard = cv.gamma_star * d as f64;
         table.row(vec![
             "synchronous (D.2)".into(),
@@ -71,13 +77,12 @@ fn main() {
     for n in [400usize, 1000, 2000] {
         let d = (n / 4) as u64;
         let cv = critical_value_sigmoid(lambda, n, &[d], 2.0);
-        let cfg = SimConfig::new(
-            n,
-            vec![d],
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::Trivial,
-            0xD1 + n as u64,
-        );
+        let cfg = SimConfig::builder(n, vec![d])
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::Trivial)
+            .seed(0xD1 + n as u64)
+            .build()
+            .expect("valid scenario");
         let mut engine = cfg.build_sequential();
         // Sequential rounds move one ant: give it n× the rounds to be
         // comparable in total activations, then measure.

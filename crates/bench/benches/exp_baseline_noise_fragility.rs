@@ -30,8 +30,16 @@ struct Outcome {
 fn run(spec: ControllerSpec, noise: NoiseModel) -> Outcome {
     let n = 2000usize;
     let step_round = 12_000u64;
-    let mut cfg = SimConfig::new(n, vec![200, 350, 150], noise, spec, 0xBA5E);
-    cfg.schedule = DemandSchedule::Step { at: step_round, demands: vec![260, 455, 195] };
+    let cfg = SimConfig::builder(n, vec![200, 350, 150])
+        .noise(noise)
+        .controller(spec)
+        .seed(0xBA5E)
+        .schedule(DemandSchedule::Step {
+            at: step_round,
+            demands: vec![260, 455, 195],
+        })
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut sink = NullObserver;
     engine.run_parallel(8_000, worker_threads(), &mut sink);
@@ -61,7 +69,7 @@ fn run(spec: ControllerSpec, noise: NoiseModel) -> Outcome {
         }
     });
     engine.run_parallel(4_000 + 36_000, worker_threads(), &mut obs);
-    drop(obs);
+    let _ = obs; // closure borrows end here
     Outcome {
         steady_regret: steady_sum as f64 / steady_rounds as f64,
         band,
@@ -84,7 +92,13 @@ fn main() {
 
     let mut table = Table::new(
         "baseline_noise_fragility",
-        &["algorithm", "feedback", "steady avg r", "recovery band", "recovery rounds"],
+        &[
+            "algorithm",
+            "feedback",
+            "steady avg r",
+            "recovery band",
+            "recovery rounds",
+        ],
     );
     let worlds: Vec<(String, NoiseModel)> = vec![
         ("exact".into(), NoiseModel::Exact),
@@ -92,14 +106,20 @@ fn main() {
         ("sigmoid λ=1".into(), NoiseModel::Sigmoid { lambda: 1.0 }),
         (
             "adversarial γ_ad=0.05 inverted".into(),
-            NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::Inverted },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::Inverted,
+            },
         ),
     ];
     for (world, noise) in &worlds {
         for (name, spec) in [
             (
                 "baseline p=0.2",
-                ControllerSpec::ExactGreedy(ExactGreedyParams { p_join: 0.2, p_leave: 0.2 }),
+                ControllerSpec::ExactGreedy(ExactGreedyParams {
+                    p_join: 0.2,
+                    p_leave: 0.2,
+                }),
             ),
             (
                 "baseline p=0.02",
@@ -108,7 +128,10 @@ fn main() {
                     p_leave: 0.02,
                 }),
             ),
-            ("algorithm ant γ=1/16", ControllerSpec::Ant(AntParams::new(gamma))),
+            (
+                "algorithm ant γ=1/16",
+                ControllerSpec::Ant(AntParams::new(gamma)),
+            ),
         ] {
             let o = run(spec, noise.clone());
             table.row(vec![

@@ -24,17 +24,16 @@ fn main() {
     let lambda = 2.0;
 
     // Part 1: a demand schedule with two steps.
-    let mut cfg = SimConfig::new(
-        n,
-        vec![800, 1200],
-        NoiseModel::Sigmoid { lambda },
-        ControllerSpec::Ant(AntParams::new(gamma)),
-        0xD1A,
-    );
-    cfg.schedule = DemandSchedule::Steps(vec![
-        (8_000, vec![1200, 800]),
-        (16_000, vec![500, 500]),
-    ]);
+    let cfg = SimConfig::builder(n, vec![800, 1200])
+        .noise(NoiseModel::Sigmoid { lambda })
+        .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+        .seed(0xD1A)
+        .schedule(DemandSchedule::Steps(vec![
+            (8_000, vec![1200, 800]),
+            (16_000, vec![500, 500]),
+        ]))
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut detector = SaturationDetector::new(gamma, 5.0 * gamma, 100);
     let mut events: Vec<(u64, Option<u64>)> = Vec::new();
@@ -48,7 +47,7 @@ fn main() {
         detector.record(r.round, r.loads, r.demands);
     });
     engine.run_parallel(24_000, worker_threads(), &mut obs);
-    drop(obs);
+    let _ = obs; // closure borrows end here
     events.push((last_event, detector.stabilized_at()));
 
     let mut table = Table::new(
@@ -68,15 +67,19 @@ fn main() {
     println!("\npopulation shocks (steady regret after each, 4000-round recovery):");
     let mut t2 = Table::new(
         "dynamic_demands_shocks",
-        &["shock", "n after", "avg regret after recovery", "bound 5γΣd+3"],
+        &[
+            "shock",
+            "n after",
+            "avg regret after recovery",
+            "bound 5γΣd+3",
+        ],
     );
-    let cfg = SimConfig::new(
-        n,
-        vec![800, 1200],
-        NoiseModel::Sigmoid { lambda },
-        ControllerSpec::Ant(AntParams::new(gamma)),
-        0xD1B,
-    );
+    let cfg = SimConfig::builder(n, vec![800, 1200])
+        .noise(NoiseModel::Sigmoid { lambda })
+        .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+        .seed(0xD1B)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut sink = antalloc_sim::NullObserver;
     engine.run_parallel(6000, worker_threads(), &mut sink);

@@ -75,18 +75,30 @@ fn main() {
         let empirical = f64::from(overloads as u32) / f64::from(draws);
         // Is the adversary forced to tell the truth here?
         let adv = adversarial.marginal_lack_probability(delta, d);
-        let forced = match adv {
-            Some(p) if p == 1.0 => "lack",
-            Some(p) if p == 0.0 => "overload",
-            _ => "free",
+        let forced = if adv == Some(1.0) {
+            "lack"
+        } else if adv == Some(0.0) {
+            "overload"
+        } else {
+            "free"
         };
         table.row(vec![
             delta.to_string(),
             fmt(analytic),
             fmt(empirical),
             fmt((analytic - empirical).abs()),
-            if zone8.contains(delta) { "grey" } else { "clear" }.to_string(),
-            if zone2.contains(delta) { "grey" } else { "clear" }.to_string(),
+            if zone8.contains(delta) {
+                "grey"
+            } else {
+                "clear"
+            }
+            .to_string(),
+            if zone2.contains(delta) {
+                "grey"
+            } else {
+                "clear"
+            }
+            .to_string(),
             forced.to_string(),
         ]);
     }
@@ -94,7 +106,9 @@ fn main() {
 
     println!("\nchecks:");
     println!("  s(0) = 1/2 at deficit 0 (maximal uncertainty)  [axiom §2.2]");
-    println!("  error at the q=8 zone edge: {:.2e} (target n^-8 = {:.2e})",
+    println!(
+        "  error at the q=8 zone edge: {:.2e} (target n^-8 = {:.2e})",
         cv8.edge_error_probability(lambda, d),
-        (n as f64).powf(-8.0));
+        (n as f64).powf(-8.0)
+    );
 }

@@ -38,15 +38,14 @@ fn main() {
         d as f64 * (1.0 + (0.9 * params.cs - 1.0) * gamma)
     );
 
-    let mut cfg = SimConfig::new(
-        n,
-        vec![d],
-        NoiseModel::Sigmoid { lambda },
-        ControllerSpec::Ant(params),
-        0xF162,
-    );
-    // +25%: well above the zone, so the trace shows the drain.
-    cfg.initial = InitialConfig::SaturatedPlus { extra: d / 4 };
+    let cfg = SimConfig::builder(n, vec![d])
+        .noise(NoiseModel::Sigmoid { lambda })
+        .controller(ControllerSpec::Ant(params))
+        .seed(0xF162)
+        // +25%: well above the zone, so the trace shows the drain.
+        .initial(InitialConfig::SaturatedPlus { extra: d / 4 })
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
 
     let head = 40u64;
@@ -81,7 +80,12 @@ fn main() {
         };
         table.row(vec![
             t.to_string(),
-            if t % 2 == 1 { "1st sample" } else { "2nd sample" }.to_string(),
+            if t % 2 == 1 {
+                "1st sample"
+            } else {
+                "2nd sample"
+            }
+            .to_string(),
             w.to_string(),
             (d as i64 - w).to_string(),
             event,

@@ -39,7 +39,11 @@ fn main() {
     let mut table = Table::new(
         "open_desync",
         &[
-            "variant", "γ", "avg regret", "vs bound 5γΣd+3", "max regret",
+            "variant",
+            "γ",
+            "avg regret",
+            "vs bound 5γΣd+3",
+            "max regret",
             "switches/ant/round",
         ],
     );
@@ -47,15 +51,17 @@ fn main() {
         let bound = 5.0 * gamma * sum_d as f64 + 3.0;
         for (name, spec) in [
             ("synchronized", ControllerSpec::Ant(AntParams::new(gamma))),
-            ("desynchronized (half offset)", ControllerSpec::AntDesync(AntParams::new(gamma))),
+            (
+                "desynchronized (half offset)",
+                ControllerSpec::AntDesync(AntParams::new(gamma)),
+            ),
         ] {
-            let cfg = SimConfig::new(
-                n,
-                demands.clone(),
-                NoiseModel::Sigmoid { lambda },
-                spec,
-                0x0BE1,
-            );
+            let cfg = SimConfig::builder(n, demands.clone())
+                .noise(NoiseModel::Sigmoid { lambda })
+                .controller(spec)
+                .seed(0x0BE1)
+                .build()
+                .expect("valid scenario");
             let warmup = (8.0 * 19.0 / gamma) as u64;
             let m = steady_state(&cfg, gamma, warmup, 8000);
             table.row(vec![

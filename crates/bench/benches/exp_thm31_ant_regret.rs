@@ -22,8 +22,17 @@ fn main() {
     let mut table = Table::new(
         "thm31_ant_regret",
         &[
-            "n", "k", "Σd", "γ", "γ/γ*", "measured avg r", "±sem", "paper bound",
-            "meas/bound", "|Δ|>5γd frac", "switches/ant/round",
+            "n",
+            "k",
+            "Σd",
+            "γ",
+            "γ/γ*",
+            "measured avg r",
+            "±sem",
+            "paper bound",
+            "meas/bound",
+            "|Δ|>5γd frac",
+            "switches/ant/round",
         ],
     );
 
@@ -40,13 +49,12 @@ fn main() {
         let cv = critical_value_sigmoid(lambda, n, &demands, 2.0);
         for mult in [1.0, 1.5, 2.0] {
             let gamma = (cv.gamma_star * mult).min(1.0 / 16.0);
-            let cfg = SimConfig::new(
-                n,
-                demands.clone(),
-                NoiseModel::Sigmoid { lambda },
-                ControllerSpec::Ant(AntParams::new(gamma)),
-                0x7431 + (mult * 10.0) as u64,
-            );
+            let cfg = SimConfig::builder(n, demands.clone())
+                .noise(NoiseModel::Sigmoid { lambda })
+                .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+                .seed(0x7431 + (mult * 10.0) as u64)
+                .build()
+                .expect("valid scenario");
             // Warmup: the all-idle cold start overshoots by Θ(n) and
             // drains at γ/c_d per phase: budget ~8·c_d/γ rounds.
             let warmup = (8.0 * 19.0 / gamma) as u64;

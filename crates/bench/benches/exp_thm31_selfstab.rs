@@ -25,9 +25,11 @@ fn main() {
     let gamma = 1.0 / 16.0;
     let lambda = 2.0;
     let horizon = 30_000u64;
-    let klogn_over_gamma =
-        demands.len() as f64 * (n as f64).ln() / gamma;
-    println!("k·ln(n)/γ = {:.0}; horizon = {horizon} rounds\n", klogn_over_gamma);
+    let klogn_over_gamma = demands.len() as f64 * (n as f64).ln() / gamma;
+    println!(
+        "k·ln(n)/γ = {:.0}; horizon = {horizon} rounds\n",
+        klogn_over_gamma
+    );
 
     let mut table = Table::new(
         "thm31_selfstab",
@@ -48,14 +50,13 @@ fn main() {
         ("uniform random", InitialConfig::UniformRandom),
         ("saturated (control)", InitialConfig::Saturated),
     ] {
-        let mut cfg = SimConfig::new(
-            n,
-            demands.clone(),
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::Ant(AntParams::new(gamma)),
-            0x7431B,
-        );
-        cfg.initial = initial;
+        let cfg = SimConfig::builder(n, demands.clone())
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+            .seed(0x7431B)
+            .initial(initial)
+            .build()
+            .expect("valid scenario");
         let mut engine = cfg.build();
         let mut out_of_band = 0u64;
         let mut first_in_band: Option<u64> = None;
@@ -63,11 +64,10 @@ fn main() {
         let mut tail_rounds = 0u64;
         let demands_ref = demands.clone();
         let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
-            let in_band = r
-                .deficits
-                .iter()
-                .zip(&demands_ref)
-                .all(|(&delta, &d)| delta.unsigned_abs() as f64 <= 5.0 * gamma * d as f64 + 3.0);
+            let in_band =
+                r.deficits.iter().zip(&demands_ref).all(|(&delta, &d)| {
+                    delta.unsigned_abs() as f64 <= 5.0 * gamma * d as f64 + 3.0
+                });
             if !in_band {
                 out_of_band += 1;
             } else if first_in_band.is_none() {
@@ -79,7 +79,7 @@ fn main() {
             }
         });
         engine.run_parallel(horizon, worker_threads(), &mut obs);
-        drop(obs);
+        let _ = obs; // closure borrows end here
         table.row(vec![
             name.to_string(),
             out_of_band.to_string(),

@@ -35,8 +35,14 @@ fn main() {
     let mut table = Table::new(
         "thm32_precise_sigmoid",
         &[
-            "ε", "phase len", "memory bits", "γ'd (band, ants)",
-            "measured avg r", "paper γεΣd", "meas/paper", "switches/ant/round",
+            "ε",
+            "phase len",
+            "memory bits",
+            "γ'd (band, ants)",
+            "measured avg r",
+            "paper γεΣd",
+            "meas/paper",
+            "switches/ant/round",
         ],
     );
 
@@ -46,16 +52,17 @@ fn main() {
         let params = PreciseSigmoidParams::new(gamma, eps);
         let phase = params.phase_len();
         let band = params.gamma_prime() * d as f64;
-        let mut cfg = SimConfig::new(
-            n,
-            vec![d],
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::PreciseSigmoid(params),
-            0x7432,
-        );
-        // Start just above the band top so the run includes the final
-        // approach and the hold.
-        cfg.initial = InitialConfig::SaturatedPlus { extra: (band * 1.5) as u64 + 2 };
+        let cfg = SimConfig::builder(n, vec![d])
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::PreciseSigmoid(params))
+            .seed(0x7432)
+            // Start just above the band top so the run includes the
+            // final approach and the hold.
+            .initial(InitialConfig::SaturatedPlus {
+                extra: (band * 1.5) as u64 + 2,
+            })
+            .build()
+            .expect("valid scenario");
         let warmup = 40 * phase;
         let measure = 120 * phase;
         let m = steady_state(&cfg, gamma, warmup, measure);

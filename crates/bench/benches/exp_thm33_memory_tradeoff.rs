@@ -38,7 +38,13 @@ fn main() {
 
     let mut table = Table::new(
         "thm33_memory_tradeoff",
-        &["algorithm", "memory bits", "avg regret", "closeness c", "notes"],
+        &[
+            "algorithm",
+            "memory bits",
+            "avg regret",
+            "closeness c",
+            "notes",
+        ],
     );
 
     let mut bits_series = Vec::new();
@@ -51,13 +57,15 @@ fn main() {
     // Depths whose 4^h exceeds the horizon therefore *appear* to beat
     // the floor; the theorem is a t → ∞ statement (see EXPERIMENTS.md).
     for depth in [1u16, 2, 4, 8, 16, 32] {
-        let cfg = SimConfig::new(
-            n,
-            vec![d],
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::Hysteresis { depth, lazy: Some(0.5) },
-            0x7433 + u64::from(depth),
-        );
+        let cfg = SimConfig::builder(n, vec![d])
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::Hysteresis {
+                depth,
+                lazy: Some(0.5),
+            })
+            .seed(0x7433 + u64::from(depth))
+            .build()
+            .expect("valid scenario");
         let m = steady_state(&cfg, cv.gamma_star, 20_000, 30_000);
         let closeness = m.avg_regret / yardstick;
         let bits = m.engine.controller_memory_bits();
@@ -83,14 +91,15 @@ fn main() {
         let params = PreciseSigmoidParams::new(gamma, eps);
         let phase = params.phase_len();
         let band = params.gamma_prime() * d as f64;
-        let mut cfg = SimConfig::new(
-            n,
-            vec![d],
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::PreciseSigmoid(params),
-            0x7433AA,
-        );
-        cfg.initial = InitialConfig::SaturatedPlus { extra: (band * 1.2) as u64 + 2 };
+        let cfg = SimConfig::builder(n, vec![d])
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::PreciseSigmoid(params))
+            .seed(0x7433AA)
+            .initial(InitialConfig::SaturatedPlus {
+                extra: (band * 1.2) as u64 + 2,
+            })
+            .build()
+            .expect("valid scenario");
         let m = steady_state(&cfg, gamma, 30 * phase, 90 * phase);
         let closeness = m.avg_regret / yardstick;
         table.row(vec![

@@ -30,14 +30,13 @@ struct Outcome {
 fn run(spec: ControllerSpec, quiet_band: f64) -> Outcome {
     let n = 2000usize;
     let d = 500u64;
-    let mut cfg = SimConfig::new(
-        n,
-        vec![d],
-        NoiseModel::Sigmoid { lambda: 1.0 },
-        spec,
-        0x7433B,
-    );
-    cfg.initial = InitialConfig::Saturated; // deficit 0: the quiet zone.
+    let cfg = SimConfig::builder(n, vec![d])
+        .noise(NoiseModel::Sigmoid { lambda: 1.0 })
+        .controller(spec)
+        .seed(0x7433B)
+        .initial(InitialConfig::Saturated) // deficit 0: the quiet zone.
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
 
     let mut blowup_200 = 0u64;
@@ -68,7 +67,7 @@ fn run(spec: ControllerSpec, quiet_band: f64) -> Outcome {
         }
     });
     engine.run(horizon, &mut obs);
-    drop(obs);
+    let _ = obs; // closure borrows end here
     Outcome {
         blowup_200,
         quiet_rounds_steady: quiet_rounds,

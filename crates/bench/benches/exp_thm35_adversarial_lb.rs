@@ -16,13 +16,7 @@ use antalloc_env::InitialConfig;
 use antalloc_noise::{yao_demand_pair, GreyZonePolicy, NoiseModel};
 use antalloc_sim::{ControllerSpec, FnObserver, NullObserver, RunSummary, SimConfig};
 
-fn run_pair(
-    name: &str,
-    spec: &ControllerSpec,
-    n: usize,
-    gamma_ad: f64,
-    table: &mut Table,
-) {
+fn run_pair(name: &str, spec: &ControllerSpec, n: usize, gamma_ad: f64, table: &mut Table) {
     let k = 2usize;
     let (d, dp, theta) = yao_demand_pair(n, k, gamma_ad);
     let tau = (d[0] - dp[0]) / 2;
@@ -33,21 +27,26 @@ fn run_pair(
     let mut results = Vec::new();
     let mut traces: Vec<Vec<u32>> = Vec::new();
     for demands in [d.clone(), dp.clone()] {
-        let mut cfg = SimConfig::new(n, demands, noise.clone(), spec.clone(), 0x7435);
         // Start at the d-vector's saturation point in BOTH worlds (the
         // initial configuration may not depend on which world we are in,
         // or it would break indistinguishability).
-        cfg.initial = InitialConfig::AllIdle;
+        let cfg = SimConfig::builder(n, demands)
+            .noise(noise.clone())
+            .controller(spec.clone())
+            .seed(0x7435)
+            .initial(InitialConfig::AllIdle)
+            .build()
+            .expect("valid scenario");
         let mut engine = cfg.build();
         let mut sink = NullObserver;
         engine.run_parallel(20_000, worker_threads(), &mut sink);
         let mut sample_loads = Vec::new();
-        let mut steady = RunSummary::new();
+        let steady;
         {
             let mut obs = antalloc_sim::Both(
                 RunSummary::new(),
                 FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
-                    if r.round % 100 == 0 {
+                    if r.round.is_multiple_of(100) {
                         sample_loads.extend_from_slice(r.loads);
                     }
                 }),

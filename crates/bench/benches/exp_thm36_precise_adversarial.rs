@@ -31,7 +31,10 @@ fn main() {
         "n = {n}, Σd = {sum_d}, γ = γ_ad = {gamma}; grey-zone policy: \
          alternate by round (maximal oscillation pressure)\n"
     );
-    println!("Theorem 3.5 floor γ*Σd = {}\n", fmt(thm35_regret_floor(gamma, sum_d)));
+    println!(
+        "Theorem 3.5 floor γ*Σd = {}\n",
+        fmt(thm35_regret_floor(gamma, sum_d))
+    );
 
     // The Theorem 3.6 remark: "if one changes the regret to incorporate
     // costs for switching between tasks" — we report the combined
@@ -40,19 +43,24 @@ fn main() {
     let mut table = Table::new(
         "thm36_precise_adversarial",
         &[
-            "algorithm", "ε", "phase len", "measured avg r", "paper γ(1+ε)Σd",
-            "meas/paper", "switches/ant/round", "r + switches/round",
+            "algorithm",
+            "ε",
+            "phase len",
+            "measured avg r",
+            "paper γ(1+ε)Σd",
+            "meas/paper",
+            "switches/ant/round",
+            "r + switches/round",
         ],
     );
 
     // Baseline: Algorithm Ant under the same adversary.
-    let ant_cfg = SimConfig::new(
-        n,
-        demands.clone(),
-        noise.clone(),
-        ControllerSpec::Ant(AntParams::new(gamma)),
-        0x7436,
-    );
+    let ant_cfg = SimConfig::builder(n, demands.clone())
+        .noise(noise.clone())
+        .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+        .seed(0x7436)
+        .build()
+        .expect("valid scenario");
     let ant = steady_state(&ant_cfg, gamma, 6000, 8000);
     table.row(vec![
         "algorithm ant".into(),
@@ -68,18 +76,17 @@ fn main() {
     for eps in [0.8, 0.4, 0.2] {
         let params = PreciseAdversarialParams::new(gamma, eps);
         let phase = params.phase_len();
-        let mut cfg = SimConfig::new(
-            n,
-            demands.clone(),
-            noise.clone(),
-            ControllerSpec::PreciseAdversarial(params),
-            0x7436,
-        );
-        // Start saturated+band: the ramp sub-phase needs a surplus to
-        // walk through; the frozen sub-phase then holds it.
-        cfg.initial = InitialConfig::SaturatedPlus {
-            extra: (gamma * demands[0] as f64 * 1.2) as u64,
-        };
+        let cfg = SimConfig::builder(n, demands.clone())
+            .noise(noise.clone())
+            .controller(ControllerSpec::PreciseAdversarial(params))
+            .seed(0x7436)
+            // Start saturated+band: the ramp sub-phase needs a surplus
+            // to walk through; the frozen sub-phase then holds it.
+            .initial(InitialConfig::SaturatedPlus {
+                extra: (gamma * demands[0] as f64 * 1.2) as u64,
+            })
+            .build()
+            .expect("valid scenario");
         let m = steady_state(&cfg, gamma, 10 * phase, 30 * phase);
         let paper = thm36_average_regret(gamma, eps, sum_d);
         table.row(vec![

@@ -15,13 +15,12 @@ fn engine_throughput(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[1_000usize, 10_000, 100_000] {
         let demands = vec![(n / 8) as u64, (n / 8) as u64, (n / 8) as u64];
-        let cfg = SimConfig::new(
-            n,
-            demands,
-            NoiseModel::Sigmoid { lambda: 2.0 },
-            ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
-            1,
-        );
+        let cfg = SimConfig::builder(n, demands)
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+            .seed(1)
+            .build()
+            .expect("valid scenario");
         let rounds = 64u64;
         group.throughput(Throughput::Elements(n as u64 * rounds));
         group.bench_with_input(BenchmarkId::new("serial", n), &cfg, |b, cfg| {
@@ -58,7 +57,13 @@ fn algorithm_step_cost(c: &mut Criterion) {
             ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
         ),
         ("trivial", ControllerSpec::Trivial),
-        ("hysteresis8", ControllerSpec::Hysteresis { depth: 8, lazy: Some(0.5) }),
+        (
+            "hysteresis8",
+            ControllerSpec::Hysteresis {
+                depth: 8,
+                lazy: Some(0.5),
+            },
+        ),
     ];
     for (name, spec) in specs {
         let demands = if matches!(spec, ControllerSpec::Hysteresis { .. }) {
@@ -66,13 +71,12 @@ fn algorithm_step_cost(c: &mut Criterion) {
         } else {
             demands.clone()
         };
-        let cfg = SimConfig::new(
-            n,
-            demands,
-            NoiseModel::Sigmoid { lambda: 2.0 },
-            spec,
-            2,
-        );
+        let cfg = SimConfig::builder(n, demands)
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(spec)
+            .seed(2)
+            .build()
+            .expect("valid scenario");
         group.throughput(Throughput::Elements(n as u64 * rounds));
         group.bench_function(name, |b| {
             let mut engine = cfg.build();

@@ -12,7 +12,7 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use antalloc_sim::{BasicObserver, NullObserver, SimConfig, SyncEngine};
+use antalloc_sim::{BasicObserver, NullObserver, RunOutcome, SimConfig, SyncEngine};
 
 /// Prints the experiment banner: id, title and the paper's claim.
 pub fn banner(id: &str, title: &str, claim: &str) {
@@ -24,8 +24,7 @@ pub fn banner(id: &str, title: &str, claim: &str) {
 
 /// Where experiment CSVs land (`target/experiments`).
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create target/experiments");
     dir
 }
@@ -77,9 +76,8 @@ impl Table {
         }
 
         let path = out_dir().join(format!("{}.csv", self.name));
-        let mut out = std::io::BufWriter::new(
-            std::fs::File::create(&path).expect("create experiment csv"),
-        );
+        let mut out =
+            std::io::BufWriter::new(std::fs::File::create(&path).expect("create experiment csv"));
         writeln!(out, "{}", self.headers.join(",")).unwrap();
         for row in &self.rows {
             writeln!(out, "{}", row.join(",")).unwrap();
@@ -121,8 +119,7 @@ pub fn steady_state(cfg: &SimConfig, gamma: f64, warmup: u64, measure: u64) -> M
         regret_sem: obs.instant.sem(),
         max_regret: obs.instant.max(),
         switches_per_ant_round: obs.switches.per_ant_round(n),
-        violation_fraction: b.deficit_bound_violations as f64
-            / (b.rounds as f64 * k as f64),
+        violation_fraction: b.deficit_bound_violations as f64 / (b.rounds as f64 * k as f64),
         engine,
     }
 }
@@ -133,12 +130,41 @@ pub fn steady_state(cfg: &SimConfig, gamma: f64, warmup: u64, measure: u64) -> M
 /// contends with itself and the serial path wins, so this returns 1
 /// there (the engine's own small-colony fallback also applies).
 pub fn worker_threads() -> usize {
-    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     if hw <= 2 {
         1
     } else {
         hw.min(8)
     }
+}
+
+/// Renders [`Batch`](antalloc_sim::Batch)/[`Sweep`](antalloc_sim::Sweep)
+/// outcomes as a [`Table`]: one row per run, one column per sweep axis,
+/// plus the standard regret aggregates. Call [`Table::finish`] on the
+/// result to print and mirror it to CSV.
+pub fn batch_table(name: &str, outcomes: &[RunOutcome]) -> Table {
+    let axis_names: Vec<String> = outcomes
+        .first()
+        .map(|o| o.params.iter().map(|(n, _)| n.clone()).collect())
+        .unwrap_or_default();
+    let mut headers: Vec<&str> = vec!["seed"];
+    headers.extend(axis_names.iter().map(String::as_str));
+    headers.extend(["rounds", "avg regret", "max regret", "final regret"]);
+    let mut table = Table::new(name, &headers);
+    for o in outcomes {
+        let mut row = vec![o.seed.to_string()];
+        row.extend(o.params.iter().map(|(_, v)| fmt(*v)));
+        row.extend([
+            o.rounds.to_string(),
+            fmt(o.summary.average_regret()),
+            fmt(o.summary.max_instant_regret() as f64),
+            o.final_regret.to_string(),
+        ]);
+        table.row(row);
+    }
+    table
 }
 
 /// Compact float formatting for tables: 4 significant-ish digits.
@@ -165,6 +191,25 @@ mod tests {
         assert_eq!(fmt(1.23456), "1.235");
         assert!(fmt(1.0e6).contains('e'));
         assert!(fmt(0.0001).contains('e'));
+    }
+
+    #[test]
+    fn batch_table_shapes_rows_from_outcomes() {
+        let config = SimConfig::builder(100, vec![20]).build().unwrap();
+        let outcomes = antalloc_sim::Sweep::new(config)
+            .axis("lambda", [1.0, 2.0], |cfg, lambda| {
+                cfg.noise = antalloc_noise::NoiseModel::Sigmoid { lambda };
+            })
+            .seeds([3, 4])
+            .rounds(20)
+            .threads(2)
+            .run()
+            .unwrap();
+        let table = batch_table("batch_table_test", &outcomes);
+        assert_eq!(table.headers.len(), 1 + 1 + 4);
+        assert_eq!(table.rows.len(), 4);
+        assert_eq!(table.rows[0][0], "3");
+        assert_eq!(table.rows[1][0], "4");
     }
 
     #[test]

@@ -123,9 +123,7 @@ impl AlgorithmAnt {
                 for j in 0..self.s2_all.len() {
                     self.s2_all[j] = probe.sample(j);
                 }
-                let joinable = |j: usize| {
-                    self.s1_all[j].is_lack() && self.s2_all[j].is_lack()
-                };
+                let joinable = |j: usize| self.s1_all[j].is_lack() && self.s2_all[j].is_lack();
                 let count = if self.have_s1 {
                     (0..self.s1_all.len()).filter(|&j| joinable(j)).count()
                 } else {
@@ -146,9 +144,7 @@ impl AlgorithmAnt {
                 // Lines 12–13: leave permanently w.p. γ/c_d iff both
                 // samples said overload; otherwise resume.
                 let s2 = probe.sample(j as usize);
-                let both_overload = self.have_s1
-                    && !self.s1_current.is_lack()
-                    && !s2.is_lack();
+                let both_overload = self.have_s1 && !self.s1_current.is_lack() && !s2.is_lack();
                 self.assignment = if both_overload && self.leave.sample(probe.rng()) {
                     Assignment::Idle
                 } else {
@@ -338,7 +334,11 @@ mod tests {
     fn statistical_leave_rate_matches_gamma_over_cd() {
         // With both samples overloaded every phase, the per-phase leave
         // probability must be γ/c_d.
-        let params = AntParams { gamma: 1.0 / 16.0, cs: 0.0, cd: 4.0 };
+        let params = AntParams {
+            gamma: 1.0 / 16.0,
+            cs: 0.0,
+            cd: 4.0,
+        };
         let p_leave = params.leave_probability(); // 1/64
         let trials = 40_000u32;
         let mut left = 0u32;
@@ -353,7 +353,10 @@ mod tests {
         }
         let freq = f64::from(left) / f64::from(trials);
         let sigma = (p_leave * (1.0 - p_leave) / f64::from(trials)).sqrt();
-        assert!((freq - p_leave).abs() < 5.0 * sigma, "freq {freq} want {p_leave}");
+        assert!(
+            (freq - p_leave).abs() < 5.0 * sigma,
+            "freq {freq} want {p_leave}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Default for ExactGreedyParams {
     /// Damping that converges quickly under exact feedback without large
     /// overshoot at the colony sizes used in the experiments.
     fn default() -> Self {
-        Self { p_join: 0.5, p_leave: 0.25 }
+        Self {
+            p_join: 0.5,
+            p_leave: 0.25,
+        }
     }
 }
 
@@ -131,7 +134,13 @@ mod tests {
     #[test]
     fn deterministic_extremes() {
         let mut rng = Xoshiro256pp::seed_from_u64(1);
-        let mut ant = ExactGreedy::new(2, ExactGreedyParams { p_join: 1.0, p_leave: 1.0 });
+        let mut ant = ExactGreedy::new(
+            2,
+            ExactGreedyParams {
+                p_join: 1.0,
+                p_leave: 1.0,
+            },
+        );
         let prep = fixed_round(1, &[O, L]);
         let mut probe = FeedbackProbe::new(&prep, &mut rng);
         assert_eq!(ant.step(&mut probe), Assignment::Task(1));
@@ -143,7 +152,13 @@ mod tests {
     #[test]
     fn zero_probabilities_freeze() {
         let mut rng = Xoshiro256pp::seed_from_u64(2);
-        let mut ant = ExactGreedy::new(1, ExactGreedyParams { p_join: 0.0, p_leave: 0.0 });
+        let mut ant = ExactGreedy::new(
+            1,
+            ExactGreedyParams {
+                p_join: 0.0,
+                p_leave: 0.0,
+            },
+        );
         let prep = fixed_round(1, &[L]);
         let mut probe = FeedbackProbe::new(&prep, &mut rng);
         assert_eq!(ant.step(&mut probe), Assignment::Idle);

@@ -33,7 +33,11 @@ pub struct AntParams {
 impl AntParams {
     /// The paper's constants with learning rate `gamma`.
     pub fn new(gamma: f64) -> Self {
-        Self { gamma, cs: 2.5, cd: 19.0 }
+        Self {
+            gamma,
+            cs: 2.5,
+            cd: 19.0,
+        }
     }
 
     /// Temporary pause probability `c_s·γ` (line 6 of Algorithm Ant).
@@ -51,11 +55,14 @@ impl AntParams {
     /// Checks the admissible ranges: `γ ∈ (0, 1/16]`, `c_s·γ ≤ 1`,
     /// `c_d ≥ 1`. Returns a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.gamma > 0.0) {
+        if self.gamma <= 0.0 || self.gamma.is_nan() {
             return Err(format!("γ must be positive, got {}", self.gamma));
         }
         if self.gamma > 1.0 / 16.0 {
-            return Err(format!("γ ≤ 1/16 required by Theorem 3.1, got {}", self.gamma));
+            return Err(format!(
+                "γ ≤ 1/16 required by Theorem 3.1, got {}",
+                self.gamma
+            ));
         }
         if self.pause_probability() > 1.0 {
             return Err(format!(
@@ -102,14 +109,21 @@ pub struct PreciseSigmoidParams {
 impl PreciseSigmoidParams {
     /// Paper constants with the given `γ` and `ε`.
     pub fn new(gamma: f64, eps: f64) -> Self {
-        Self { gamma, eps, c_chi: 10.0, cs: 2.5, cd: 19.0, paper_literal_leave_prob: false }
+        Self {
+            gamma,
+            eps,
+            c_chi: 10.0,
+            cs: 2.5,
+            cd: 19.0,
+            paper_literal_leave_prob: false,
+        }
     }
 
     /// Samples per half-phase, `m = ⌈2c_χ/ε + 1⌉`, forced odd so medians
     /// cannot tie.
     pub fn m(&self) -> u64 {
         let m = (2.0 * self.c_chi / self.eps + 1.0).ceil() as u64;
-        if m % 2 == 0 {
+        if m.is_multiple_of(2) {
             m + 1
         } else {
             m
@@ -238,8 +252,20 @@ mod tests {
     fn ant_validation_rejects_bad_gamma() {
         assert!(AntParams::new(0.0).validate().is_err());
         assert!(AntParams::new(0.1).validate().is_err());
-        assert!(AntParams { gamma: 0.05, cs: 25.0, cd: 19.0 }.validate().is_err());
-        assert!(AntParams { gamma: 0.05, cs: 2.5, cd: 0.5 }.validate().is_err());
+        assert!(AntParams {
+            gamma: 0.05,
+            cs: 25.0,
+            cd: 19.0
+        }
+        .validate()
+        .is_err());
+        assert!(AntParams {
+            gamma: 0.05,
+            cs: 2.5,
+            cd: 0.5
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -130,11 +130,11 @@ impl Controller for PreciseAdversarial {
 
         if (2..self.r1).contains(&r) {
             // Ramp: still-working ants pause w.p. εγ/32 and stay paused.
-            if self.current_task != Assignment::Idle && self.assignment == self.current_task
+            if self.current_task != Assignment::Idle
+                && self.assignment == self.current_task
+                && self.ramp.sample(probe.rng())
             {
-                if self.ramp.sample(probe.rng()) {
-                    self.assignment = Assignment::Idle;
-                }
+                self.assignment = Assignment::Idle;
             }
             self.resolve_pending_first_lack();
         } else if r == self.r1 {
@@ -142,8 +142,7 @@ impl Controller for PreciseAdversarial {
             self.resolve_pending_first_lack();
             if self.current_task != Assignment::Idle {
                 let still_working = self.assignment == self.current_task;
-                self.frozen_working =
-                    self.working_at_first_lack.unwrap_or(still_working);
+                self.frozen_working = self.working_at_first_lack.unwrap_or(still_working);
                 self.assignment = if self.frozen_working {
                     self.current_task
                 } else {
@@ -174,8 +173,7 @@ impl Controller for PreciseAdversarial {
                     };
                 }
                 Assignment::Task(j) => {
-                    self.assignment = if self.all_overload && self.ramp.sample(probe.rng())
-                    {
+                    self.assignment = if self.all_overload && self.ramp.sample(probe.rng()) {
                         Assignment::Idle
                     } else {
                         Assignment::Task(j)
@@ -378,8 +376,8 @@ mod tests {
     #[test]
     fn memory_is_small_and_k_linear() {
         let small = controller(false).memory_bits();
-        let big = PreciseAdversarial::new(64, PreciseAdversarialParams::new(0.05, 0.5))
-            .memory_bits();
+        let big =
+            PreciseAdversarial::new(64, PreciseAdversarialParams::new(0.05, 0.5)).memory_bits();
         assert!(small < big);
         assert!(big <= 64 + 16);
     }

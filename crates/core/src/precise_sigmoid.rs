@@ -74,14 +74,21 @@ impl PreciseSigmoid {
             Assignment::Task(j) => {
                 let j = j as usize;
                 let lack = probe.sample(j).is_lack();
-                let counts = if second_half { &mut self.count2 } else { &mut self.count1 };
+                let counts = if second_half {
+                    &mut self.count2
+                } else {
+                    &mut self.count1
+                };
                 counts[j] += u16::from(lack);
             }
             Assignment::Idle => {
                 for j in 0..self.count1.len() {
                     let lack = probe.sample(j).is_lack();
-                    let counts =
-                        if second_half { &mut self.count2 } else { &mut self.count1 };
+                    let counts = if second_half {
+                        &mut self.count2
+                    } else {
+                        &mut self.count1
+                    };
                     counts[j] += u16::from(lack);
                 }
             }
@@ -125,8 +132,9 @@ impl Controller for PreciseSigmoid {
                     let joinable = |this: &Self, j: usize| {
                         this.shat1_lack[j] && this.median_is_lack(this.count2[j])
                     };
-                    let count =
-                        (0..self.count1.len()).filter(|&j| joinable(self, j)).count();
+                    let count = (0..self.count1.len())
+                        .filter(|&j| joinable(self, j))
+                        .count();
                     self.assignment = if count == 0 {
                         Assignment::Idle
                     } else {
@@ -140,8 +148,8 @@ impl Controller for PreciseSigmoid {
                 }
                 Assignment::Task(j) => {
                     let ju = j as usize;
-                    let both_overload = !self.shat1_lack[ju]
-                        && !self.median_is_lack(self.count2[ju]);
+                    let both_overload =
+                        !self.shat1_lack[ju] && !self.median_is_lack(self.count2[ju]);
                     self.assignment = if both_overload && self.leave.sample(probe.rng()) {
                         Assignment::Idle
                     } else {
@@ -197,7 +205,11 @@ mod tests {
         let mut p = PreciseSigmoidParams::new(0.05, eps);
         // Make the probabilistic branches deterministic:
         // pause prob = c_s·εγ/c_χ = 1 requires c_s = c_χ/(εγ).
-        p.cs = if pause { p.c_chi / (eps * p.gamma) } else { 0.0 };
+        p.cs = if pause {
+            p.c_chi / (eps * p.gamma)
+        } else {
+            0.0
+        };
         // leave prob = εγ/(c_χ·c_d) = 1 requires c_d = εγ/c_χ.
         p.cd = if leave { eps * p.gamma / p.c_chi } else { 1e18 };
         p
@@ -242,7 +254,7 @@ mod tests {
         let a = run_phase(&mut ant, 1, |t| {
             let r = t % (2 * m);
             // A quarter of each half-phase disagrees.
-            if r % 4 == 0 {
+            if r.is_multiple_of(4) {
                 vec![O]
             } else {
                 vec![L]

@@ -65,12 +65,18 @@ impl FsmSpec {
                     "state {i} obs {obs}: weights sum to {total}"
                 );
                 for &(target, p) in cell {
-                    assert!(usize::from(target) < s, "state {i}: target {target} out of range");
+                    assert!(
+                        usize::from(target) < s,
+                        "state {i}: target {target} out of range"
+                    );
                     assert!(p >= 0.0, "negative probability");
                 }
             }
         }
-        Self { working, transitions }
+        Self {
+            working,
+            transitions,
+        }
     }
 
     /// Number of states.
@@ -147,7 +153,7 @@ impl FsmSpec {
         let h = usize::from(depth);
         // States 0..h are W_0..W_{h−1}; h..2h are I_0..I_{h−1}.
         let mut working = vec![true; h];
-        working.extend(std::iter::repeat(false).take(h));
+        working.extend(std::iter::repeat_n(false, h));
         let mut transitions = Vec::with_capacity(2 * h);
         for c in 0..h {
             // W_c: lack → W_0; overload → W_{c+1} (or leave to I_0).
@@ -209,7 +215,11 @@ impl TableFsm {
         } else {
             Assignment::Idle
         };
-        Self { spec, state: 0, assignment }
+        Self {
+            spec,
+            state: 0,
+            assignment,
+        }
     }
 
     /// The machine's current state.
@@ -218,8 +228,7 @@ impl TableFsm {
     }
 
     fn transition(&mut self, obs: Feedback, rng: &mut AntRng) {
-        let cell = &self.spec.transitions[usize::from(self.state)]
-            [usize::from(!obs.is_lack())];
+        let cell = &self.spec.transitions[usize::from(self.state)][usize::from(!obs.is_lack())];
         self.state = if cell.len() == 1 {
             cell[0].0
         } else {
@@ -401,10 +410,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "weights sum")]
     fn spec_rejects_bad_weights() {
-        FsmSpec::new(vec![true, false], vec![
-            [vec![(0, 0.5)], vec![(1, 1.0)]],
-            [vec![(0, 1.0)], vec![(1, 1.0)]],
-        ]);
+        FsmSpec::new(
+            vec![true, false],
+            vec![
+                [vec![(0, 0.5)], vec![(1, 1.0)]],
+                [vec![(0, 1.0)], vec![(1, 1.0)]],
+            ],
+        );
     }
 
     #[test]

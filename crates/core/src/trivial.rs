@@ -27,7 +27,11 @@ impl Trivial {
     /// A controller for a colony with `num_tasks` tasks.
     pub fn new(num_tasks: usize) -> Self {
         assert!(num_tasks >= 1, "at least one task");
-        Self { num_tasks, assignment: Assignment::Idle, lacking: vec![false; num_tasks] }
+        Self {
+            num_tasks,
+            assignment: Assignment::Idle,
+            lacking: vec![false; num_tasks],
+        }
     }
 }
 

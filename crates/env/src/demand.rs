@@ -41,7 +41,11 @@ impl AssumptionReport {
             "demands ≥ {:.1} (min {}): {}; slack {:.0} ≤ {:.0}: {}",
             self.log_floor,
             self.d_min,
-            if self.demands_logarithmic { "ok" } else { "VIOLATED" },
+            if self.demands_logarithmic {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
             self.slack_lhs,
             self.slack_rhs,
             if self.slack_ok { "ok" } else { "VIOLATED" },

@@ -40,9 +40,7 @@ impl DemandSchedule {
     pub fn update(&self, round: u64) -> Option<&[u64]> {
         match self {
             DemandSchedule::Static => None,
-            DemandSchedule::Step { at, demands } => {
-                (round == *at).then_some(demands.as_slice())
-            }
+            DemandSchedule::Step { at, demands } => (round == *at).then_some(demands.as_slice()),
             DemandSchedule::Steps(steps) => steps
                 .iter()
                 .find(|(at, _)| *at == round)
@@ -51,11 +49,15 @@ impl DemandSchedule {
                 if round == 0 {
                     return Some(a.as_slice());
                 }
-                if round % half_period != 0 {
+                if !round.is_multiple_of(*half_period) {
                     return None;
                 }
                 let phase = (round / half_period) % 2;
-                Some(if phase == 0 { a.as_slice() } else { b.as_slice() })
+                Some(if phase == 0 {
+                    a.as_slice()
+                } else {
+                    b.as_slice()
+                })
             }
         }
     }
@@ -70,7 +72,7 @@ impl DemandSchedule {
                     d.len()
                 ));
             }
-            if d.iter().any(|&x| x == 0) {
+            if d.contains(&0) {
                 return Err("schedule contains a zero demand".to_string());
             }
             Ok(())
@@ -120,7 +122,10 @@ mod tests {
 
     #[test]
     fn step_fires_once() {
-        let s = DemandSchedule::Step { at: 10, demands: vec![5, 6] };
+        let s = DemandSchedule::Step {
+            at: 10,
+            demands: vec![5, 6],
+        };
         assert_eq!(s.update(9), None);
         assert_eq!(s.update(10), Some(&[5u64, 6][..]));
         assert_eq!(s.update(11), None);
@@ -158,7 +163,11 @@ mod tests {
         assert_eq!(s.update(8), Some(&[10u64][..]));
         assert_eq!(s.update(12), Some(&[20u64][..]));
         assert_eq!(s.validate(1), Ok(()));
-        let bad = DemandSchedule::Alternating { a: vec![1], b: vec![1], half_period: 0 };
+        let bad = DemandSchedule::Alternating {
+            a: vec![1],
+            b: vec![1],
+            half_period: 0,
+        };
         assert!(bad.validate(1).is_err());
     }
 }

@@ -13,7 +13,13 @@ pub struct Welford {
 impl Welford {
     /// A fresh accumulator.
     pub fn new() -> Self {
-        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Folds a sample in.
@@ -89,7 +95,14 @@ impl Histogram {
     /// `bins` equal-width bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0);
-        Self { lo, hi, bins: vec![0; bins], under: 0, over: 0, count: 0 }
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            under: 0,
+            over: 0,
+            count: 0,
+        }
     }
 
     /// Folds a sample in.
@@ -160,7 +173,12 @@ impl SeriesDownsampler {
     /// Averages every `stride` consecutive samples into one point.
     pub fn new(stride: u64) -> Self {
         assert!(stride > 0);
-        Self { stride, acc: 0.0, in_block: 0, points: Vec::new() }
+        Self {
+            stride,
+            acc: 0.0,
+            in_block: 0,
+            points: Vec::new(),
+        }
     }
 
     /// Folds a sample in.

@@ -31,7 +31,12 @@ pub struct CriticalValue {
 ///
 /// # Panics
 /// Panics if `lambda ≤ 0`, `n < 2`, or `demands` is empty or contains 0.
-pub fn critical_value_sigmoid(lambda: f64, n: usize, demands: &[u64], exponent: f64) -> CriticalValue {
+pub fn critical_value_sigmoid(
+    lambda: f64,
+    n: usize,
+    demands: &[u64],
+    exponent: f64,
+) -> CriticalValue {
     assert!(lambda > 0.0, "sigmoid steepness must be positive");
     assert!(n >= 2, "need at least two ants for n^q - 1 > 0");
     let d_min = *demands.iter().min().expect("at least one task");
@@ -54,7 +59,11 @@ pub fn critical_value_sigmoid(lambda: f64, n: usize, demands: &[u64], exponent: 
 /// Critical value for the adversarial model: by Definition 2.3 it is the
 /// adversary's own threshold `γ_ad`.
 pub fn critical_value_adversarial(gamma_ad: f64) -> CriticalValue {
-    CriticalValue { gamma_star: gamma_ad, d_min: 0, exponent: f64::NAN }
+    CriticalValue {
+        gamma_star: gamma_ad,
+        d_min: 0,
+        exponent: f64::NAN,
+    }
 }
 
 /// The grey zone `g_j = [−γ*·d(j), γ*·d(j)]` of a task (in deficit units).
@@ -71,7 +80,10 @@ impl GreyZone {
     #[inline]
     pub fn of(gamma: f64, demand: u64) -> Self {
         let half = gamma * demand as f64;
-        Self { lo: -half, hi: half }
+        Self {
+            lo: -half,
+            hi: half,
+        }
     }
 
     /// True iff `deficit` lies strictly inside the zone.
@@ -121,9 +133,7 @@ mod tests {
     #[test]
     fn larger_demands_have_smaller_edge_error() {
         let cv = critical_value_sigmoid(0.2, 1000, &[80, 300], 8.0);
-        assert!(
-            cv.edge_error_probability(0.2, 300) < cv.edge_error_probability(0.2, 80)
-        );
+        assert!(cv.edge_error_probability(0.2, 300) < cv.edge_error_probability(0.2, 80));
     }
 
     #[test]

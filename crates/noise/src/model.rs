@@ -147,12 +147,8 @@ impl NoiseModel {
                         GreyZonePolicy::RandomLack(p) => Some(*p),
                         GreyZonePolicy::AlwaysLack => Some(1.0),
                         GreyZonePolicy::AlwaysOverload => Some(0.0),
-                        GreyZonePolicy::Truthful => {
-                            Some(if deficit >= 0 { 1.0 } else { 0.0 })
-                        }
-                        GreyZonePolicy::Inverted => {
-                            Some(if deficit >= 0 { 0.0 } else { 1.0 })
-                        }
+                        GreyZonePolicy::Truthful => Some(if deficit >= 0 { 1.0 } else { 0.0 }),
+                        GreyZonePolicy::Inverted => Some(if deficit >= 0 { 0.0 } else { 1.0 }),
                         _ => None,
                     }
                 }
@@ -317,7 +313,11 @@ mod tests {
     fn correlated_marginal_matches_sigmoid() {
         // Average over many (round, task) preparations: the marginal
         // P[lack] must track s(λΔ) even though draws are shared.
-        let model = NoiseModel::CorrelatedSigmoid { lambda: 0.2, rho: 0.7, seed: 5 };
+        let model = NoiseModel::CorrelatedSigmoid {
+            lambda: 0.2,
+            rho: 0.7,
+            seed: 5,
+        };
         let delta = 3i64;
         let want = lack_probability(0.2, delta);
         let mut rng = Xoshiro256pp::seed_from_u64(11);
@@ -335,7 +335,11 @@ mod tests {
 
     #[test]
     fn correlated_shared_rounds_are_deterministic() {
-        let model = NoiseModel::CorrelatedSigmoid { lambda: 0.2, rho: 1.0, seed: 5 };
+        let model = NoiseModel::CorrelatedSigmoid {
+            lambda: 0.2,
+            rho: 1.0,
+            seed: 5,
+        };
         let a = model.prepare(3, &[1], &[100]);
         let b = model.prepare(3, &[1], &[100]);
         assert_eq!(a.tasks()[0], b.tasks()[0]);

@@ -43,13 +43,19 @@ impl GreyZonePolicy {
     /// deficit. Returns `None` if the answer is per-ant random, in which
     /// case the caller samples i.i.d. `lack` with the returned probability
     /// in `Err`-like fashion via [`GreyZonePolicy::random_lack_probability`].
-    pub fn fixed_answer(&self, task: usize, round: u64, deficit: i64, demand: u64) -> Option<Feedback> {
+    pub fn fixed_answer(
+        &self,
+        task: usize,
+        round: u64,
+        deficit: i64,
+        demand: u64,
+    ) -> Option<Feedback> {
         match self {
             GreyZonePolicy::AlwaysLack => Some(Feedback::Lack),
             GreyZonePolicy::AlwaysOverload => Some(Feedback::Overload),
             GreyZonePolicy::Truthful => Some(Feedback::truth(deficit)),
             GreyZonePolicy::Inverted => Some(Feedback::truth(deficit).flipped()),
-            GreyZonePolicy::AlternateByRound => Some(if round % 2 == 0 {
+            GreyZonePolicy::AlternateByRound => Some(if round.is_multiple_of(2) {
                 Feedback::Lack
             } else {
                 Feedback::Overload
@@ -138,7 +144,10 @@ mod tests {
         let p = GreyZonePolicy::AlternateByRound;
         assert_eq!(p.fixed_answer(0, 2, 0, 10), Some(Feedback::Lack));
         assert_eq!(p.fixed_answer(0, 3, 0, 10), Some(Feedback::Overload));
-        assert_eq!(GreyZonePolicy::RandomLack(0.3).fixed_answer(0, 0, 0, 10), None);
+        assert_eq!(
+            GreyZonePolicy::RandomLack(0.3).fixed_answer(0, 0, 0, 10),
+            None
+        );
         assert_eq!(
             GreyZonePolicy::RandomLack(0.3).random_lack_probability(),
             Some(0.3)

@@ -35,17 +35,25 @@ impl Bernoulli {
     /// conservative choice for "no action" probabilities).
     #[inline]
     pub fn new(p: f64) -> Self {
-        if !(p > 0.0) {
-            // Catches p <= 0 and NaN.
-            return Self { threshold: 0, always: false };
+        if p <= 0.0 || p.is_nan() {
+            return Self {
+                threshold: 0,
+                always: false,
+            };
         }
         if p >= 1.0 {
-            return Self { threshold: u64::MAX, always: true };
+            return Self {
+                threshold: u64::MAX,
+                always: true,
+            };
         }
         // p * 2^64, computed in f64. For p in (0,1) this fits in u64
         // because p <= 1 - 2^-53 implies p * 2^64 <= 2^64 - 2^11.
         let threshold = (p * 18_446_744_073_709_551_616.0) as u64;
-        Self { threshold, always: false }
+        Self {
+            threshold,
+            always: false,
+        }
     }
 
     /// The success probability the sampler actually realizes.
@@ -111,10 +119,7 @@ mod tests {
             let freq = hits / f64::from(n);
             // 5-sigma band around p.
             let sigma = (p * (1.0 - p) / f64::from(n)).sqrt();
-            assert!(
-                (freq - p).abs() < 5.0 * sigma + 1e-9,
-                "p={p} freq={freq}"
-            );
+            assert!((freq - p).abs() < 5.0 * sigma + 1e-9, "p={p} freq={freq}");
         }
     }
 

@@ -96,7 +96,10 @@ mod tests {
         let seeder = StreamSeeder::new(123);
         let mut seen = HashSet::new();
         for id in 0..10_000u64 {
-            assert!(seen.insert(seeder.stream(id).next_u64()), "collision at {id}");
+            assert!(
+                seen.insert(seeder.stream(id).next_u64()),
+                "collision at {id}"
+            );
         }
         assert_ne!(
             StreamSeeder::new(1).stream(0).next_u64(),
@@ -119,10 +122,7 @@ mod tests {
         // consumes in round 1; check their mean.
         let seeder = StreamSeeder::new(2024);
         let n = 50_000u64;
-        let mean = (0..n)
-            .map(|id| seeder.stream(id).next_f64())
-            .sum::<f64>()
-            / n as f64;
+        let mean = (0..n).map(|id| seeder.stream(id).next_f64()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

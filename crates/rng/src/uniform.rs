@@ -43,7 +43,10 @@ impl UniformRange {
     pub fn new(bound: usize) -> Self {
         assert!(bound > 0, "UniformRange: empty range");
         let bound = bound as u64;
-        Self { bound, threshold: bound.wrapping_neg() % bound }
+        Self {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        }
     }
 
     /// Draws one index.

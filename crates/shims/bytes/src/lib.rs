@@ -1,0 +1,136 @@
+//! Std-only stand-in for the `bytes` crate.
+//!
+//! Implements exactly the little-endian [`Buf`]/[`BufMut`] surface the
+//! checkpoint codec uses, over `&[u8]` and `Vec<u8>`. Semantics match
+//! the real crate for that surface: readers advance the slice and panic
+//! when the buffer is too short (callers length-check via
+//! [`Buf::remaining`] first).
+
+#![forbid(unsafe_code)]
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        let (head, tail) = self.split_at(1);
+        *self = tail;
+        head[0]
+    }
+
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, tail) = self.split_at(2);
+        *self = tail;
+        u16::from_le_bytes(head.try_into().expect("2 bytes"))
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Sequential little-endian writes into a byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16_le(0xBEEF);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_f64_le(-1.5);
+        let mut buf = out.as_slice();
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16_le(), 0xBEEF);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_f64_le(), -1.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_reads_panic() {
+        let mut buf: &[u8] = &[1, 2];
+        let _ = buf.get_u32_le();
+    }
+}

@@ -1,0 +1,207 @@
+//! Std-only stand-in for the slice of `criterion` the perf benches use.
+//!
+//! Provides [`criterion_group!`]/[`criterion_main!`], benchmark groups
+//! with `sample_size`/`throughput`/`bench_function`/`bench_with_input`,
+//! and a [`Bencher`] whose `iter` measures wall-clock time. Output is a
+//! plain table line per benchmark (mean ns/iter plus derived
+//! throughput) — no statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors criterion's CLI hook; accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work done per iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs a benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&id.to_string(), self.throughput);
+        self
+    }
+
+    /// Ends the group (criterion parity; nothing buffered here).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over warmup + measured iterations.
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            mean_ns: f64::NAN,
+        }
+    }
+
+    /// Measures `routine`, keeping its return value alive via a sink so
+    /// the optimizer cannot delete the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup: one-eighth of the samples, at least one.
+        for _ in 0..(self.samples / 8).max(1) {
+            std::hint::black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            total += start.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.mean_ns.is_nan() {
+            println!("  {label:<40} (no measurement: iter never called)");
+            return;
+        }
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / (self.mean_ns * 1e-9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / (self.mean_ns * 1e-9))
+            }
+            None => String::new(),
+        };
+        println!("  {label:<40} {:>14.1} ns/iter{rate}", self.mean_ns);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..10).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("sum_to", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        smoke();
+    }
+}

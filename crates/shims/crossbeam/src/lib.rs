@@ -1,0 +1,80 @@
+//! Std-only stand-in for the `crossbeam::thread` scoped-spawn API,
+//! implemented over [`std::thread::scope`] (stable since 1.63).
+//!
+//! One semantic difference: on a worker panic, `std::thread::scope`
+//! propagates the panic after joining instead of returning `Err`, so
+//! [`thread::scope`] here only ever returns `Ok` — callers that
+//! `.expect(..)` the result behave identically (abort on panic).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// The result of a scope: `Ok` unless a worker panicked (in which
+    /// case the panic propagates before this is ever constructed).
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; crossbeam passes it to every spawned closure so
+    /// workers can spawn further workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker; the closure receives the scope again,
+        /// mirroring crossbeam's `spawn(|scope| ...)` signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let total = AtomicU64::new(0);
+        let data = vec![1u64, 2, 3, 4];
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let total = &total;
+                scope.spawn(move |_| {
+                    total.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let flag = AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            let flag = &flag;
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    flag.store(7, Ordering::Release);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(flag.load(Ordering::Acquire), 7);
+    }
+}

@@ -1,0 +1,599 @@
+//! Std-only stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Supported surface: the [`proptest!`] macro (with `pat in strategy`
+//! and `name: Type` parameters), [`prop_assert!`], [`prop_assert_eq!`],
+//! [`prop_assert_ne!`], [`prop_assume!`], [`prop_oneof!`], range and
+//! tuple strategies, [`Just`], [`Strategy::prop_map`],
+//! [`collection::vec`], [`num::f64::NORMAL`], and [`arbitrary::any`].
+//!
+//! No shrinking: a failing case panics with the sampled inputs'
+//! recorded seed so the run reproduces exactly (the generator is
+//! deterministic per test name). Case count defaults to 64 and is
+//! overridable via `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+}
+
+/// The deterministic generator driving all sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name so every property has its own stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis.
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, bound)`.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty choice");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps a non-empty choice list.
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        Self { choices }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.next_index(self.choices.len());
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Primitive types uniformly samplable from half-open/closed ranges.
+pub trait SampleRange: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_range_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + off) as $t
+            }
+
+            fn sample_range_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+
+            fn sample_range_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range");
+                // Include the top endpoint by scaling a closed unit draw.
+                let u = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+impl<T: SampleRange> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleRange> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_range_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SampleRange, Strategy, TestRng};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = usize::sample_range_inclusive(self.size.lo, self.size.hi_inclusive, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric special-value strategies.
+
+    #[allow(nonstandard_style)]
+    pub mod f64 {
+        //! `f64` strategies.
+
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over *normal* floats: finite, non-zero, non-subnormal,
+        /// either sign.
+        #[derive(Clone, Copy, Debug)]
+        pub struct NormalStrategy;
+
+        /// All normal `f64` values.
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = core::primitive::f64;
+
+            fn sample(&self, rng: &mut TestRng) -> core::primitive::f64 {
+                loop {
+                    let x = core::primitive::f64::from_bits(rng.next_u64());
+                    if x.is_normal() {
+                        return x;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for the `name: Type` parameter form.
+
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+/// Runs one property: samples cases until the target count passes,
+/// skipping rejects, panicking on the first failure. Used by the
+/// [`proptest!`] expansion; not part of the public surface.
+#[doc(hidden)]
+pub fn __run_proptest<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(64),
+            "property `{name}`: too many prop_assume! rejections \
+             ({accepted}/{cases} cases after {attempts} attempts)"
+        );
+        let state_before = rng.clone();
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{name}` failed at case {accepted} \
+                 (rng state {:#x}): {msg}",
+                state_before.state
+            ),
+        }
+    }
+}
+
+/// Defines property tests. See module docs for the supported surface.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_proptest(
+                    stringify!($name),
+                    |__proptest_rng: &mut $crate::TestRng|
+                        -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Parameter-list muncher for [`proptest!`]; internal.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:ident : $t:ty $(, $($rest:tt)*)?) => {
+        let $p: $t = $crate::Strategy::sample(
+            &$crate::arbitrary::any::<$t>(),
+            $rng,
+        );
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $p:pat in $s:expr $(, $($rest:tt)*)?) => {
+        let $p = $crate::Strategy::sample(&($s), $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Property-scoped assertion: fails the current case without panicking
+/// through the sampling machinery.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b
+            )));
+        }
+    }};
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                __a
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its sampled inputs are out of scope.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let __choices: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($s)),+];
+        $crate::Union::new(__choices)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(
+            x in -50i64..50,
+            y in 0.0f64..1.0,
+            z in (10usize..=20),
+            w: u64,
+        ) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((10..=20).contains(&z));
+            let _ = w;
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            xs in crate::collection::vec((0usize..5, -2i32..3), 1..40),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 40);
+            for (a, b) in xs {
+                prop_assert!(a < 5);
+                prop_assert!((-2..3).contains(&b));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_and_oneof_mixes(a in 0u32..100, b in 0u32..100) {
+            prop_assume!(a != b);
+            let strat = prop_oneof![Just(1u8), Just(2u8), (3u8..5).prop_map(|v| v)];
+            let mut rng = crate::TestRng::from_name("inner");
+            let mut seen_small = false;
+            for _ in 0..64 {
+                let v = strat.sample(&mut rng);
+                prop_assert!((1..5).contains(&v));
+                seen_small |= v < 3;
+            }
+            prop_assert!(seen_small);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in crate::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        crate::__run_proptest("always_fails", |_rng| {
+            prop_assert!(false, "boom");
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

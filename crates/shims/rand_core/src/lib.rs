@@ -1,0 +1,132 @@
+//! Std-only stand-in for `rand_core` (0.10-style trait split).
+//!
+//! Provides the fallible [`TryRng`] trait plus the infallible [`Rng`]
+//! blanket that `antalloc-rng` implements against, and [`SeedableRng`]
+//! with the SplitMix64 `seed_from_u64` default the real crate documents.
+
+#![forbid(unsafe_code)]
+
+use core::convert::Infallible;
+
+/// A random generator whose draws may fail.
+pub trait TryRng {
+    /// The failure type (use [`Infallible`] for deterministic PRNGs).
+    type Error: core::fmt::Debug;
+
+    /// Returns the next `u32`, or an error.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Returns the next `u64`, or an error.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dst` with random bytes, or reports an error.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// Infallible random generation; blanket-implemented for every
+/// [`TryRng`] whose error is [`Infallible`].
+pub trait Rng: TryRng<Error = Infallible> {
+    /// Returns the next `u32`.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.try_next_u32().unwrap()
+    }
+
+    /// Returns the next `u64`.
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.try_next_u64().unwrap()
+    }
+
+    /// Fills `dst` with random bytes.
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        self.try_fill_bytes(dst).unwrap()
+    }
+}
+
+impl<T: TryRng<Error = Infallible> + ?Sized> Rng for T {}
+
+/// Compatibility alias: the pre-0.10 name for the infallible trait.
+pub trait RngCore: Rng {}
+
+impl<T: Rng + ?Sized> RngCore for T {}
+
+/// A generator seedable from a fixed-width byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (e.g. `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, then seeds.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 reference step.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let take = chunk.len();
+            chunk.copy_from_slice(&bytes[..take]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok(self.try_next_u64()? as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 += 1;
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            for b in dst {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    impl SeedableRng for Counter {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Counter(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn blanket_rng_works() {
+        let mut c = Counter(0);
+        assert_eq!(c.next_u64(), 1);
+        let mut buf = [0u8; 3];
+        c.fill_bytes(&mut buf);
+        assert_eq!(buf, [2, 3, 4]);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_nontrivial() {
+        let a = Counter::seed_from_u64(9);
+        let b = Counter::seed_from_u64(9);
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.0, 0);
+    }
+}

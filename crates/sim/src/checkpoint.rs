@@ -21,9 +21,7 @@
 
 use std::path::Path;
 
-use antalloc_core::{
-    AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams,
-};
+use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
 use antalloc_env::{Assignment, DemandSchedule, DemandVector, InitialConfig};
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 use bytes::{Buf, BufMut};
@@ -108,6 +106,14 @@ impl Checkpoint {
         self.round
     }
 
+    /// The configuration embedded in this checkpoint.
+    ///
+    /// Together with [`crate::SimConfig::to_toml`] this lets a
+    /// checkpoint publish the scenario that produced it verbatim.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// Serializes to the versioned binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.assignments.len() * 36);
@@ -189,7 +195,15 @@ impl Checkpoint {
             return Err(corrupt("trailing bytes"));
         }
         Ok(Self {
-            config: SimConfig { n, demands, noise, controller, seed, schedule, initial },
+            config: SimConfig {
+                n,
+                demands,
+                noise,
+                controller,
+                seed,
+                schedule,
+                initial,
+            },
             current_demands,
             assignments,
             rng_states,
@@ -208,8 +222,8 @@ impl Checkpoint {
 
     /// Reads a checkpoint from a file.
     pub fn load(path: &Path) -> Result<Self, CheckpointError> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| corrupt(format!("read {}: {e}", path.display())))?;
+        let bytes =
+            std::fs::read(path).map_err(|e| corrupt(format!("read {}: {e}", path.display())))?;
         Self::from_bytes(&bytes)
     }
 }
@@ -296,13 +310,18 @@ fn put_noise(out: &mut Vec<u8>, noise: &NoiseModel) {
 
 fn get_noise(buf: &mut &[u8]) -> Result<NoiseModel, CheckpointError> {
     Ok(match get_u8(buf)? {
-        0 => NoiseModel::Sigmoid { lambda: get_f64(buf)? },
+        0 => NoiseModel::Sigmoid {
+            lambda: get_f64(buf)?,
+        },
         1 => NoiseModel::CorrelatedSigmoid {
             lambda: get_f64(buf)?,
             rho: get_f64(buf)?,
             seed: get_u64(buf)?,
         },
-        2 => NoiseModel::Adversarial { gamma_ad: get_f64(buf)?, policy: get_policy(buf)? },
+        2 => NoiseModel::Adversarial {
+            gamma_ad: get_f64(buf)?,
+            policy: get_policy(buf)?,
+        },
         3 => NoiseModel::Exact,
         t => return Err(corrupt(format!("unknown noise tag {t}"))),
     })
@@ -414,7 +433,11 @@ fn get_spec(buf: &mut &[u8]) -> Result<ControllerSpec, CheckpointError> {
         5 => {
             need(buf, 2)?;
             let depth = buf.get_u16_le();
-            let lazy = if get_bool(buf)? { Some(get_f64(buf)?) } else { None };
+            let lazy = if get_bool(buf)? {
+                Some(get_f64(buf)?)
+            } else {
+                None
+            };
             ControllerSpec::Hysteresis { depth, lazy }
         }
         6 => ControllerSpec::AntDesync(AntParams {
@@ -454,7 +477,10 @@ fn put_schedule(out: &mut Vec<u8>, schedule: &DemandSchedule) {
 fn get_schedule(buf: &mut &[u8]) -> Result<DemandSchedule, CheckpointError> {
     Ok(match get_u8(buf)? {
         0 => DemandSchedule::Static,
-        1 => DemandSchedule::Step { at: get_u64(buf)?, demands: get_u64s(buf)? },
+        1 => DemandSchedule::Step {
+            at: get_u64(buf)?,
+            demands: get_u64s(buf)?,
+        },
         2 => {
             let len = get_u64(buf)? as usize;
             let mut steps = Vec::with_capacity(len.min(1 << 16));
@@ -496,7 +522,9 @@ fn get_initial(buf: &mut &[u8]) -> Result<InitialConfig, CheckpointError> {
         2 => InitialConfig::UniformRandom,
         3 => InitialConfig::Saturated,
         4 => InitialConfig::Inverted,
-        5 => InitialConfig::SaturatedPlus { extra: get_u64(buf)? },
+        5 => InitialConfig::SaturatedPlus {
+            extra: get_u64(buf)?,
+        },
         t => return Err(corrupt(format!("unknown initial-config tag {t}"))),
     })
 }
@@ -508,13 +536,12 @@ mod tests {
     use antalloc_core::AntParams;
 
     fn config() -> SimConfig {
-        SimConfig::new(
-            200,
-            vec![30, 40],
-            NoiseModel::Sigmoid { lambda: 2.0 },
-            ControllerSpec::Ant(AntParams::default()),
-            99,
-        )
+        SimConfig::builder(200, vec![30, 40])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::default()))
+            .seed(99)
+            .build()
+            .expect("valid scenario")
     }
 
     #[test]
@@ -617,24 +644,44 @@ mod tests {
         let specs = [
             ControllerSpec::Trivial,
             ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
-            ControllerSpec::Hysteresis { depth: 3, lazy: Some(0.5) },
-            ControllerSpec::Hysteresis { depth: 1, lazy: None },
+            ControllerSpec::Hysteresis {
+                depth: 3,
+                lazy: Some(0.5),
+            },
+            ControllerSpec::Hysteresis {
+                depth: 1,
+                lazy: None,
+            },
             ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.03, 0.5)),
             ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5)),
         ];
         let noises = [
             NoiseModel::Exact,
-            NoiseModel::CorrelatedSigmoid { lambda: 1.0, rho: 0.3, seed: 5 },
+            NoiseModel::CorrelatedSigmoid {
+                lambda: 1.0,
+                rho: 0.3,
+                seed: 5,
+            },
             NoiseModel::Adversarial {
                 gamma_ad: 0.1,
                 policy: GreyZonePolicy::LoadThreshold(vec![9, 9]),
             },
-            NoiseModel::Adversarial { gamma_ad: 0.1, policy: GreyZonePolicy::RandomLack(0.4) },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.1,
+                policy: GreyZonePolicy::RandomLack(0.4),
+            },
         ];
         let schedules = [
-            DemandSchedule::Step { at: 5, demands: vec![4, 4] },
+            DemandSchedule::Step {
+                at: 5,
+                demands: vec![4, 4],
+            },
             DemandSchedule::Steps(vec![(3, vec![5, 5]), (9, vec![6, 6])]),
-            DemandSchedule::Alternating { a: vec![3, 3], b: vec![4, 4], half_period: 7 },
+            DemandSchedule::Alternating {
+                a: vec![3, 3],
+                b: vec![4, 4],
+                half_period: 7,
+            },
         ];
         for (i, spec) in specs.iter().enumerate() {
             let k = match spec {
@@ -642,10 +689,21 @@ mod tests {
                 _ => 2,
             };
             let demands = vec![8u64; k];
+            // Shape-dependent noise: threshold vectors must match k.
+            let noise = match &noises[i % noises.len()] {
+                NoiseModel::Adversarial {
+                    gamma_ad,
+                    policy: GreyZonePolicy::LoadThreshold(_),
+                } => NoiseModel::Adversarial {
+                    gamma_ad: *gamma_ad,
+                    policy: GreyZonePolicy::LoadThreshold(vec![9; k]),
+                },
+                other => other.clone(),
+            };
             let cfg = SimConfig {
                 n: 20,
                 demands: demands.clone(),
-                noise: noises[i % noises.len()].clone(),
+                noise,
                 controller: spec.clone(),
                 seed: i as u64,
                 schedule: if k == 2 {

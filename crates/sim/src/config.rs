@@ -4,8 +4,8 @@ use std::sync::Arc;
 
 use antalloc_core::{
     AlgorithmAnt, AntParams, AnyController, ExactGreedy, ExactGreedyParams, FsmSpec,
-    PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid, PreciseSigmoidParams,
-    TableFsm, Trivial,
+    PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid, PreciseSigmoidParams, TableFsm,
+    Trivial,
 };
 use antalloc_env::{DemandSchedule, DemandVector, InitialConfig};
 use antalloc_noise::NoiseModel;
@@ -56,9 +56,7 @@ impl ControllerSpec {
             // A lone desync build gets offset 0; build_many staggers.
             ControllerSpec::AntDesync(p) => AlgorithmAnt::new(num_tasks, *p).into(),
             ControllerSpec::PreciseSigmoid(p) => PreciseSigmoid::new(num_tasks, *p).into(),
-            ControllerSpec::PreciseAdversarial(p) => {
-                PreciseAdversarial::new(num_tasks, *p).into()
-            }
+            ControllerSpec::PreciseAdversarial(p) => PreciseAdversarial::new(num_tasks, *p).into(),
             ControllerSpec::Trivial => Trivial::new(num_tasks).into(),
             ControllerSpec::ExactGreedy(p) => ExactGreedy::new(num_tasks, *p).into(),
             ControllerSpec::Hysteresis { depth, lazy } => {
@@ -76,9 +74,7 @@ impl ControllerSpec {
                 (0..n).map(|_| TableFsm::new(spec.clone()).into()).collect()
             }
             ControllerSpec::AntDesync(p) => (0..n)
-                .map(|i| {
-                    AlgorithmAnt::with_phase_offset(num_tasks, *p, (i % 2) as u64).into()
-                })
+                .map(|i| AlgorithmAnt::with_phase_offset(num_tasks, *p, (i % 2) as u64).into())
                 .collect(),
             other => (0..n).map(|_| other.build(num_tasks)).collect(),
         }
@@ -125,38 +121,42 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A static-demand, all-idle-start configuration.
-    pub fn new(
-        n: usize,
-        demands: Vec<u64>,
-        noise: NoiseModel,
-        controller: ControllerSpec,
-        seed: u64,
-    ) -> Self {
-        Self {
-            n,
-            demands,
-            noise,
-            controller,
-            seed,
-            schedule: DemandSchedule::Static,
-            initial: InitialConfig::AllIdle,
-        }
-    }
-
-    /// Builds the synchronous engine.
+    /// Builds the synchronous engine after structural validation.
+    ///
+    /// # Panics
+    /// If the config is structurally invalid; prefer
+    /// [`SimConfig::try_build`] (or constructing through
+    /// [`crate::ScenarioBuilder`], which validates up front).
     pub fn build(&self) -> SyncEngine {
-        let demands = DemandVector::new(self.demands.clone());
-        if let Err(msg) = self.schedule.validate(demands.num_tasks()) {
-            panic!("invalid demand schedule: {msg}");
-        }
-        SyncEngine::new(self.clone(), demands)
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
     }
 
-    /// Builds the sequential-model engine (Appendix D.1).
-    pub fn build_sequential(&self) -> SequentialEngine {
+    /// Builds the synchronous engine, reporting invalid configs as
+    /// [`crate::ConfigError`] instead of panicking.
+    pub fn try_build(&self) -> Result<SyncEngine, crate::ConfigError> {
+        self.validate_structure()?;
         let demands = DemandVector::new(self.demands.clone());
-        SequentialEngine::new(self.clone(), demands)
+        Ok(SyncEngine::new(self.clone(), demands))
+    }
+
+    /// Builds the sequential-model engine (Appendix D.1) after the same
+    /// structural validation as [`SimConfig::build`].
+    ///
+    /// # Panics
+    /// If the config is structurally invalid; prefer
+    /// [`SimConfig::try_build_sequential`].
+    pub fn build_sequential(&self) -> SequentialEngine {
+        self.try_build_sequential()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Builds the sequential-model engine, reporting invalid configs as
+    /// [`crate::ConfigError`].
+    pub fn try_build_sequential(&self) -> Result<SequentialEngine, crate::ConfigError> {
+        self.validate_structure()?;
+        let demands = DemandVector::new(self.demands.clone());
+        Ok(SequentialEngine::new(self.clone(), demands))
     }
 }
 
@@ -179,13 +179,48 @@ mod tests {
             assert_eq!(c.assignment(), Assignment::Idle, "{spec:?}");
             assert!(spec.phase_len(3) >= 1);
         }
-        let fsm = ControllerSpec::Hysteresis { depth: 2, lazy: None }.build(1);
-        assert!(!fsm.assignment().is_idle() || fsm.assignment().is_idle());
+        // Hysteresis state 0 is W_0 (working), so a fresh machine starts
+        // assigned to its single task.
+        let fsm = ControllerSpec::Hysteresis {
+            depth: 2,
+            lazy: None,
+        }
+        .build(1);
+        assert_eq!(fsm.assignment(), Assignment::Task(0));
+    }
+
+    #[test]
+    fn both_engines_reject_the_same_invalid_schedule() {
+        // `build_sequential` must route through the identical validated
+        // path as `build`: a schedule the sync engine rejects can never
+        // silently start sequentially.
+        let cfg = SimConfig {
+            n: 10,
+            demands: vec![4, 4],
+            noise: NoiseModel::Exact,
+            controller: ControllerSpec::Trivial,
+            seed: 1,
+            schedule: DemandSchedule::Step {
+                at: 3,
+                demands: vec![9],
+            },
+            initial: InitialConfig::AllIdle,
+        };
+        let sync_err = cfg.try_build().err().expect("sync engine must reject");
+        let seq_err = cfg
+            .try_build_sequential()
+            .err()
+            .expect("sequential engine must reject");
+        assert_eq!(sync_err, seq_err);
+        assert!(matches!(sync_err, crate::ConfigError::Schedule(_)));
     }
 
     #[test]
     fn build_many_shares_hysteresis_spec() {
-        let spec = ControllerSpec::Hysteresis { depth: 3, lazy: Some(0.5) };
+        let spec = ControllerSpec::Hysteresis {
+            depth: 3,
+            lazy: Some(0.5),
+        };
         let many = spec.build_many(1, 10);
         assert_eq!(many.len(), 10);
     }

@@ -218,12 +218,10 @@ impl SyncEngine {
         // Decision buffer: u32 task index with MAX = idle. Workers store
         // with relaxed ordering; the `done` barrier orders those stores
         // before the coordinator's reads.
-        let decisions: Vec<AtomicU32> =
-            (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        let decisions: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
         // The coordinator publishes each round's prepared feedback here;
         // workers only read it between the two barriers of a round.
-        let shared: parking_lot::RwLock<Option<PreparedRound>> =
-            parking_lot::RwLock::new(None);
+        let shared: parking_lot::RwLock<Option<PreparedRound>> = parking_lot::RwLock::new(None);
         // Participants: (workers − 1) spawned threads + the coordinator,
         // which steps chunk 0 itself.
         let start = std::sync::Barrier::new(workers);
@@ -258,8 +256,7 @@ impl SyncEngine {
             // run uses exactly `workers` OS threads (no oversubscription
             // from a dedicated coordinator).
             let mut parts = parts.into_iter();
-            let (own_offset, own_controllers, own_rngs) =
-                parts.next().expect("at least one chunk");
+            let (own_offset, own_controllers, own_rngs) = parts.next().expect("at least one chunk");
             for (offset, c_chunk, r_chunk) in parts {
                 let decisions = &decisions;
                 let shared = &shared;
@@ -273,9 +270,7 @@ impl SyncEngine {
                     }
                     let guard = shared.read();
                     let prepared = guard.as_ref().expect("round prepared");
-                    for (i, (c, rng)) in
-                        c_chunk.iter_mut().zip(&mut *r_chunk).enumerate()
-                    {
+                    for (i, (c, rng)) in c_chunk.iter_mut().zip(&mut *r_chunk).enumerate() {
                         let mut probe = FeedbackProbe::new(prepared, rng);
                         let next = c.step(&mut probe);
                         let raw = match next {
@@ -296,14 +291,11 @@ impl SyncEngine {
                     colony.demands_mut().set(new);
                 }
                 colony.deficits_into(pre_deficits);
-                let prepared =
-                    noise.prepare(*round, pre_deficits, colony.demands().as_slice());
+                let prepared = noise.prepare(*round, pre_deficits, colony.demands().as_slice());
                 *shared.write() = Some(prepared.clone());
                 start.wait();
                 // Step the coordinator's own chunk alongside the workers.
-                for (i, (c, rng)) in
-                    own_controllers.iter_mut().zip(&mut *own_rngs).enumerate()
-                {
+                for (i, (c, rng)) in own_controllers.iter_mut().zip(&mut *own_rngs).enumerate() {
                     let mut probe = FeedbackProbe::new(&prepared, rng);
                     let next = c.step(&mut probe);
                     let raw = match next {
@@ -379,10 +371,14 @@ impl SyncEngine {
     }
 
     /// Accessors used by checkpointing.
-    pub(crate) fn state_parts(
-        &self,
-    ) -> (&SimConfig, &ColonyState, &[AntRng], u64, u64) {
-        (&self.config, &self.colony, &self.rngs, self.round, self.next_stream)
+    pub(crate) fn state_parts(&self) -> (&SimConfig, &ColonyState, &[AntRng], u64, u64) {
+        (
+            &self.config,
+            &self.colony,
+            &self.rngs,
+            self.round,
+            self.next_stream,
+        )
     }
 
     /// Rebuilds an engine from checkpointed parts.
@@ -429,13 +425,12 @@ mod tests {
     use antalloc_noise::NoiseModel;
 
     fn config() -> SimConfig {
-        SimConfig::new(
-            800,
-            vec![100, 150],
-            NoiseModel::Sigmoid { lambda: 2.0 },
-            ControllerSpec::Ant(AntParams::default()),
-            7,
-        )
+        SimConfig::builder(800, vec![100, 150])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::default()))
+            .seed(7)
+            .build()
+            .expect("valid scenario")
     }
 
     #[test]
@@ -446,7 +441,9 @@ mod tests {
         assert_eq!(e.round(), 10);
         assert!(e.colony().recount_consistent());
         let mass: u64 = e.colony().idle_count()
-            + (0..e.colony().num_tasks()).map(|j| e.colony().load(j)).sum::<u64>();
+            + (0..e.colony().num_tasks())
+                .map(|j| e.colony().load(j))
+                .sum::<u64>();
         assert_eq!(mass, 800);
     }
 
@@ -558,7 +555,7 @@ mod tests {
         e.run(5, &mut obs);
         assert_eq!(seen.len(), 5);
         for (round, mass) in seen {
-            assert!(round >= 1 && round <= 5);
+            assert!((1..=5).contains(&round));
             assert_eq!(mass, 800);
         }
     }

@@ -1,5 +1,33 @@
-//! Simulation engines for *Self-Stabilizing Task Allocation In Spite of
-//! Noise*.
+//! Simulation engines and the scenario layer for *Self-Stabilizing Task
+//! Allocation In Spite of Noise*.
+//!
+//! ## Describing a run
+//!
+//! Scenarios are built fluently and validated up front — everything
+//! that used to panic mid-run is a typed [`ConfigError`] at build time:
+//!
+//! ```
+//! use antalloc_core::AntParams;
+//! use antalloc_noise::NoiseModel;
+//! use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
+//!
+//! let config = SimConfig::builder(800, vec![100, 150])
+//!     .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+//!     .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid scenario");
+//! let mut engine = config.build();
+//! engine.run(100, &mut NullObserver);
+//! assert_eq!(engine.round(), 100);
+//! ```
+//!
+//! The same scenario is a declarative TOML (or JSON) document via
+//! [`Scenario`], and [`Batch`]/[`Sweep`] fan a scenario out over seed
+//! lists and parameter grids on OS threads with per-seed results
+//! bit-identical to serial runs. See the [`scenario`] module docs.
+//!
+//! ## Running
 //!
 //! * [`SyncEngine`] — the paper's synchronous model (§2.1): every round,
 //!   all ants observe feedback frozen at the end of the previous round,
@@ -12,7 +40,9 @@
 //!   bundles the standard metrics, [`TraceRecorder`] stores downsampled
 //!   series and writes CSV.
 //! * [`Checkpoint`] — versioned binary snapshots, exact at phase
-//!   boundaries (see `checkpoint` module docs).
+//!   boundaries (see `checkpoint` module docs); restored engines carry
+//!   their full [`SimConfig`], so a checkpoint can always be re-encoded
+//!   as a scenario file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +52,7 @@ mod config;
 mod engine;
 mod observer;
 mod recorder;
+pub mod scenario;
 mod sequential;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
@@ -29,4 +60,5 @@ pub use config::{ControllerSpec, SimConfig};
 pub use engine::{RoundRecord, SyncEngine};
 pub use observer::{BasicObserver, Both, FnObserver, NullObserver, Observer, RunSummary};
 pub use recorder::TraceRecorder;
+pub use scenario::{Batch, ConfigError, RunOutcome, Scenario, ScenarioBuilder, Sweep};
 pub use sequential::SequentialEngine;

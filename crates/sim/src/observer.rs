@@ -152,7 +152,14 @@ mod tests {
         loads: &'a [u32],
         switches: u64,
     ) -> RoundRecord<'a> {
-        RoundRecord { round: 1, deficits, demands, loads, idle: 0, switches }
+        RoundRecord {
+            round: 1,
+            deficits,
+            demands,
+            loads,
+            idle: 0,
+            switches,
+        }
     }
 
     #[test]

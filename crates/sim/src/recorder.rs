@@ -25,7 +25,9 @@ impl TraceRecorder {
     /// the first `head_rounds` rounds exactly.
     pub fn new(num_tasks: usize, stride: u64, head_rounds: u64) -> Self {
         Self {
-            deficit_series: (0..num_tasks).map(|_| SeriesDownsampler::new(stride)).collect(),
+            deficit_series: (0..num_tasks)
+                .map(|_| SeriesDownsampler::new(stride))
+                .collect(),
             regret_series: SeriesDownsampler::new(stride),
             head_rounds,
             head: Vec::new(),
@@ -103,7 +105,14 @@ mod tests {
     use super::*;
 
     fn record<'a>(deficits: &'a [i64], demands: &'a [u64], loads: &'a [u32]) -> RoundRecord<'a> {
-        RoundRecord { round: 1, deficits, demands, loads, idle: 0, switches: 0 }
+        RoundRecord {
+            round: 1,
+            deficits,
+            demands,
+            loads,
+            idle: 0,
+            switches: 0,
+        }
     }
 
     #[test]

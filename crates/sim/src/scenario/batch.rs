@@ -1,0 +1,421 @@
+//! Multi-seed batches and parameter sweeps over OS threads.
+//!
+//! A [`Batch`] fans one scenario out over a seed list; a [`Sweep`] adds
+//! parameter axes (a full Cartesian grid). Runs execute on a pool of
+//! worker threads pulling jobs from a shared queue — the same
+//! fixed-thread discipline as the engine's `run_parallel` — but each
+//! *run* steps serially, so every per-seed result is bit-identical to
+//! running that seed alone. Results stream to the caller in completion
+//! order via [`Batch::run_with`] / [`Sweep::run_with`], or arrive
+//! sorted in job order from `run()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use crate::config::SimConfig;
+use crate::observer::{NullObserver, RunSummary};
+use crate::scenario::ConfigError;
+
+/// The measured outcome of one run in a batch or sweep.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Position in the batch's job order (stable across thread counts).
+    pub index: usize,
+    /// The seed this run used.
+    pub seed: u64,
+    /// Sweep-axis values applied to the base config (empty for plain
+    /// batches), as `(axis name, value)` pairs.
+    pub params: Vec<(String, f64)>,
+    /// Rounds measured (after warmup).
+    pub rounds: u64,
+    /// Regret summary over the measured window.
+    pub summary: RunSummary,
+    /// Instantaneous regret at the end of the run.
+    pub final_regret: u64,
+    /// Final per-task loads.
+    pub final_loads: Vec<u64>,
+}
+
+/// Runs one scenario across many seeds.
+#[derive(Clone)]
+pub struct Batch {
+    config: SimConfig,
+    seeds: Vec<u64>,
+    warmup: u64,
+    rounds: u64,
+    threads: usize,
+}
+
+impl Batch {
+    /// A batch measuring `rounds` rounds per run; seeds default to the
+    /// config's own seed, warmup to 0, threads to the available
+    /// parallelism.
+    pub fn new(config: SimConfig, rounds: u64) -> Self {
+        let seed = config.seed;
+        Self {
+            config,
+            seeds: vec![seed],
+            warmup: 0,
+            rounds,
+            threads: default_threads(),
+        }
+    }
+
+    /// Replaces the seed list (e.g. `0..32`).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Unobserved rounds before measurement starts.
+    pub fn warmup(mut self, rounds: u64) -> Self {
+        self.warmup = rounds;
+        self
+    }
+
+    /// Worker threads for the batch (runs themselves stay serial).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs every seed; results are in seed-list order.
+    pub fn run(&self) -> Result<Vec<RunOutcome>, ConfigError> {
+        self.as_sweep().run()
+    }
+
+    /// Runs every seed, streaming each outcome (in completion order) to
+    /// `on_outcome` as it lands; returns the full sorted list.
+    pub fn run_with(
+        &self,
+        on_outcome: impl FnMut(&RunOutcome),
+    ) -> Result<Vec<RunOutcome>, ConfigError> {
+        self.as_sweep().run_with(on_outcome)
+    }
+
+    fn as_sweep(&self) -> Sweep {
+        Sweep {
+            base: self.config.clone(),
+            axes: Vec::new(),
+            seeds: self.seeds.clone(),
+            warmup: self.warmup,
+            rounds: self.rounds,
+            threads: self.threads,
+        }
+    }
+}
+
+/// A sweep-axis setter: rewrites the config for one axis value.
+type AxisSetter = Arc<dyn Fn(&mut SimConfig, f64) + Send + Sync>;
+
+/// One sweep dimension: named values applied to the config by a setter.
+struct Axis {
+    name: String,
+    values: Vec<f64>,
+    apply: AxisSetter,
+}
+
+/// Runs a scenario over a parameter grid × seed list.
+///
+/// ```
+/// use antalloc_sim::{Batch, SimConfig, Sweep};
+///
+/// let base = SimConfig::builder(400, vec![60, 80]).build().unwrap();
+/// let outcomes = Sweep::new(base)
+///     .axis("lambda", [1.0, 4.0], |cfg, lambda| {
+///         cfg.noise = antalloc_noise::NoiseModel::Sigmoid { lambda };
+///     })
+///     .seeds(0..2)
+///     .rounds(50)
+///     .threads(2)
+///     .run()
+///     .unwrap();
+/// assert_eq!(outcomes.len(), 4); // 2 grid points × 2 seeds
+/// ```
+pub struct Sweep {
+    base: SimConfig,
+    axes: Vec<Axis>,
+    seeds: Vec<u64>,
+    warmup: u64,
+    rounds: u64,
+    threads: usize,
+}
+
+impl Sweep {
+    /// A sweep with no axes yet (equivalent to a one-seed batch of 0
+    /// rounds until configured).
+    pub fn new(base: SimConfig) -> Self {
+        let seed = base.seed;
+        Self {
+            base,
+            axes: Vec::new(),
+            seeds: vec![seed],
+            warmup: 0,
+            rounds: 0,
+            threads: default_threads(),
+        }
+    }
+
+    /// Adds a grid axis: for each of `values`, `apply` rewrites the
+    /// config before the run.
+    pub fn axis(
+        mut self,
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = f64>,
+        apply: impl Fn(&mut SimConfig, f64) + Send + Sync + 'static,
+    ) -> Self {
+        self.axes.push(Axis {
+            name: name.into(),
+            values: values.into_iter().collect(),
+            apply: Arc::new(apply),
+        });
+        self
+    }
+
+    /// Replaces the seed list.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Unobserved rounds before measurement.
+    pub fn warmup(mut self, rounds: u64) -> Self {
+        self.warmup = rounds;
+        self
+    }
+
+    /// Measured rounds per run.
+    pub fn rounds(mut self, rounds: u64) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs the full grid × seed matrix; results in job order (grid
+    /// outermost, seeds innermost).
+    pub fn run(&self) -> Result<Vec<RunOutcome>, ConfigError> {
+        self.run_with(|_| {})
+    }
+
+    /// Like [`Sweep::run`], streaming outcomes in completion order.
+    pub fn run_with(
+        &self,
+        mut on_outcome: impl FnMut(&RunOutcome),
+    ) -> Result<Vec<RunOutcome>, ConfigError> {
+        let jobs = self.jobs()?;
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<RunOutcome>();
+        let workers = self.threads.min(jobs.len()).max(1);
+        let warmup = self.warmup;
+        let rounds = self.rounds;
+
+        let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
+        outcomes.resize_with(jobs.len(), || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let jobs = &jobs;
+                let next = &next;
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { return };
+                    let outcome = run_one(i, job, warmup, rounds);
+                    if tx.send(outcome).is_err() {
+                        return;
+                    }
+                });
+            }
+            drop(tx);
+            // Stream results on the caller's thread as workers finish.
+            for outcome in rx {
+                on_outcome(&outcome);
+                let slot = outcome.index;
+                outcomes[slot] = Some(outcome);
+            }
+        });
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every job ran"))
+            .collect())
+    }
+
+    /// Materializes and validates the job list.
+    fn jobs(&self) -> Result<Vec<Job>, ConfigError> {
+        let mut grid: Vec<(SimConfig, Vec<(String, f64)>)> = vec![(self.base.clone(), Vec::new())];
+        for axis in &self.axes {
+            let mut expanded = Vec::with_capacity(grid.len() * axis.values.len());
+            for (config, params) in &grid {
+                for &value in &axis.values {
+                    let mut config = config.clone();
+                    (axis.apply)(&mut config, value);
+                    let mut params = params.clone();
+                    params.push((axis.name.clone(), value));
+                    expanded.push((config, params));
+                }
+            }
+            grid = expanded;
+        }
+        let mut jobs = Vec::with_capacity(grid.len() * self.seeds.len());
+        for (config, params) in grid {
+            // A setter may have produced an unusable config; catch it
+            // here once rather than panicking inside a worker.
+            config.validate_structure()?;
+            for &seed in &self.seeds {
+                let mut config = config.clone();
+                config.seed = seed;
+                jobs.push(Job {
+                    config,
+                    params: params.clone(),
+                    seed,
+                });
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+struct Job {
+    config: SimConfig,
+    params: Vec<(String, f64)>,
+    seed: u64,
+}
+
+fn run_one(index: usize, job: &Job, warmup: u64, rounds: u64) -> RunOutcome {
+    // Serial stepping: bit-identical to running this seed on its own.
+    let mut engine = job.config.build();
+    let mut sink = NullObserver;
+    engine.run(warmup, &mut sink);
+    let mut summary = RunSummary::new();
+    engine.run(rounds, &mut summary);
+    let colony = engine.colony();
+    RunOutcome {
+        index,
+        seed: job.seed,
+        params: job.params.clone(),
+        rounds,
+        final_regret: colony.instant_regret(),
+        final_loads: (0..colony.num_tasks()).map(|j| colony.load(j)).collect(),
+        summary,
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ControllerSpec;
+    use antalloc_core::AntParams;
+    use antalloc_noise::NoiseModel;
+
+    fn base() -> SimConfig {
+        SimConfig::builder(300, vec![40, 60])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_individual_serial_runs() {
+        let outcomes = Batch::new(base(), 120)
+            .seeds(0..8)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert_eq!(outcomes.len(), 8);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.seed, i as u64);
+            let mut config = base();
+            config.seed = outcome.seed;
+            let mut engine = config.build();
+            let mut summary = RunSummary::new();
+            engine.run(120, &mut summary);
+            assert_eq!(outcome.summary.total_regret(), summary.total_regret());
+            assert_eq!(outcome.final_regret, engine.colony().instant_regret());
+            let loads: Vec<u64> = (0..2).map(|j| engine.colony().load(j)).collect();
+            assert_eq!(outcome.final_loads, loads);
+        }
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let one = Batch::new(base(), 80).seeds(0..6).threads(1).run().unwrap();
+        let many = Batch::new(base(), 80).seeds(0..6).threads(8).run().unwrap();
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.summary.total_regret(), b.summary.total_regret());
+            assert_eq!(a.final_loads, b.final_loads);
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid_in_order() {
+        let outcomes = Sweep::new(base())
+            .axis("gamma", [0.03125, 0.0625], |cfg, g| {
+                cfg.controller = ControllerSpec::Ant(AntParams::new(g));
+            })
+            .axis("lambda", [1.0, 2.0, 4.0], |cfg, lambda| {
+                cfg.noise = NoiseModel::Sigmoid { lambda };
+            })
+            .seeds([7, 8])
+            .rounds(40)
+            .threads(3)
+            .run()
+            .unwrap();
+        assert_eq!(outcomes.len(), 2 * 3 * 2);
+        // Job order: gamma outermost, then lambda, then seeds.
+        assert_eq!(
+            outcomes[0].params,
+            vec![("gamma".into(), 0.03125), ("lambda".into(), 1.0)]
+        );
+        assert_eq!(outcomes[0].seed, 7);
+        assert_eq!(outcomes[1].seed, 8);
+        assert_eq!(
+            outcomes[5].params,
+            vec![("gamma".into(), 0.03125), ("lambda".into(), 4.0)]
+        );
+        assert_eq!(
+            outcomes[11].params,
+            vec![("gamma".into(), 0.0625), ("lambda".into(), 4.0)]
+        );
+        for o in &outcomes {
+            assert_eq!(o.rounds, 40);
+            assert!(o.summary.rounds() == 40);
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_configs_broken_by_setters() {
+        let err = Sweep::new(base())
+            .axis("demand", [0.0], |cfg, d| {
+                cfg.demands = vec![d as u64];
+            })
+            .rounds(10)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroDemand { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn run_with_streams_every_outcome() {
+        let mut streamed = 0usize;
+        let outcomes = Batch::new(base(), 30)
+            .seeds(0..5)
+            .threads(2)
+            .run_with(|_o| streamed += 1)
+            .unwrap();
+        assert_eq!(streamed, 5);
+        assert_eq!(outcomes.len(), 5);
+    }
+}

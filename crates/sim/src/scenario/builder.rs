@@ -1,0 +1,377 @@
+//! The fluent, validating scenario builder.
+
+use antalloc_env::{DemandSchedule, InitialConfig};
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+
+use crate::config::{ControllerSpec, SimConfig};
+use crate::scenario::ConfigError;
+
+/// How much validation a build performs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Strictness {
+    /// Structural checks plus the papers' admissible parameter windows.
+    Strict,
+    /// Structural checks only — for ablation and lower-bound scenarios
+    /// that deliberately run outside the assumptions.
+    OutOfSpec,
+}
+
+/// Builds a validated [`SimConfig`].
+///
+/// Replaces the old panic-prone `SimConfig::new(..)` + `build()` flow:
+/// every constraint that used to explode mid-run (or silently produce a
+/// meaningless run) is checked here, and violations come back as a
+/// typed [`ConfigError`].
+///
+/// ```
+/// use antalloc_core::AntParams;
+/// use antalloc_noise::NoiseModel;
+/// use antalloc_sim::{ControllerSpec, SimConfig};
+///
+/// let config = SimConfig::builder(4000, vec![400, 700, 300])
+///     .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+///     .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+///     .seed(0xC0FFEE)
+///     .build()
+///     .expect("valid scenario");
+/// assert_eq!(config.n, 4000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    config: SimConfig,
+    strictness: Strictness,
+}
+
+impl ScenarioBuilder {
+    /// Starts from a colony size and demand vector, with defaults for
+    /// everything else: sigmoid noise (λ = 2), Algorithm Ant at its
+    /// default γ, seed 0, static demands, all-idle start.
+    pub fn new(n: usize, demands: Vec<u64>) -> Self {
+        Self {
+            config: SimConfig {
+                n,
+                demands,
+                noise: NoiseModel::Sigmoid { lambda: 2.0 },
+                controller: ControllerSpec::Ant(antalloc_core::AntParams::default()),
+                seed: 0,
+                schedule: DemandSchedule::Static,
+                initial: InitialConfig::AllIdle,
+            },
+            strictness: Strictness::Strict,
+        }
+    }
+
+    /// Continues from an existing config (e.g. one loaded from a file).
+    pub fn from_config(config: SimConfig) -> Self {
+        Self {
+            config,
+            strictness: Strictness::Strict,
+        }
+    }
+
+    /// Sets the feedback generator.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.config.noise = noise;
+        self
+    }
+
+    /// Sets the algorithm every ant runs.
+    pub fn controller(mut self, controller: ControllerSpec) -> Self {
+        self.config.controller = controller;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the demand schedule.
+    pub fn schedule(mut self, schedule: DemandSchedule) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Sets the initial configuration.
+    pub fn initial(mut self, initial: InitialConfig) -> Self {
+        self.config.initial = initial;
+        self
+    }
+
+    /// Skips the admissible-parameter-window checks (γ ranges, pause
+    /// probabilities, …) while keeping all structural validation.
+    ///
+    /// For ablation and lower-bound scenarios that deliberately violate
+    /// the papers' assumptions; the run is still well-defined, just not
+    /// covered by the theorems.
+    pub fn out_of_spec_params(mut self) -> Self {
+        self.strictness = Strictness::OutOfSpec;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        validate(&self.config, self.strictness)?;
+        Ok(self.config)
+    }
+}
+
+impl SimConfig {
+    /// Starts a [`ScenarioBuilder`]; see its docs for the defaults.
+    pub fn builder(n: usize, demands: Vec<u64>) -> ScenarioBuilder {
+        ScenarioBuilder::new(n, demands)
+    }
+
+    /// Full validation: structural soundness plus the papers'
+    /// admissible parameter windows.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        validate(self, Strictness::Strict)
+    }
+
+    /// Structural validation only — everything that would make a run
+    /// panic or be ill-defined, ignoring parameter windows. This is the
+    /// check both engines perform at build time.
+    pub fn validate_structure(&self) -> Result<(), ConfigError> {
+        validate(self, Strictness::OutOfSpec)
+    }
+}
+
+pub(crate) fn validate(config: &SimConfig, strictness: Strictness) -> Result<(), ConfigError> {
+    if config.n == 0 {
+        return Err(ConfigError::EmptyColony);
+    }
+    if config.demands.is_empty() {
+        return Err(ConfigError::NoTasks);
+    }
+    if let Some(task) = config.demands.iter().position(|&d| d == 0) {
+        return Err(ConfigError::ZeroDemand { task });
+    }
+    let k = config.demands.len();
+    validate_controller(&config.controller, k, strictness)?;
+    validate_noise(&config.noise, k)?;
+    config.schedule.validate(k).map_err(ConfigError::Schedule)?;
+    validate_initial(&config.initial, k)?;
+    Ok(())
+}
+
+fn validate_controller(
+    spec: &ControllerSpec,
+    num_tasks: usize,
+    strictness: Strictness,
+) -> Result<(), ConfigError> {
+    // Structural checks: shapes that make the machine itself nonsensical.
+    match spec {
+        ControllerSpec::Hysteresis { depth, lazy } => {
+            if *depth == 0 {
+                return Err(ConfigError::Controller(
+                    "hysteresis depth must be at least 1".into(),
+                ));
+            }
+            if let Some(p) = lazy {
+                if !(p.is_finite() && *p > 0.0 && *p <= 1.0) {
+                    return Err(ConfigError::Controller(format!(
+                        "lazy switching probability must be in (0, 1], got {p}"
+                    )));
+                }
+            }
+            if num_tasks != 1 && strictness == Strictness::Strict {
+                return Err(ConfigError::Controller(format!(
+                    "hysteresis machines observe a single task, colony has {num_tasks}"
+                )));
+            }
+        }
+        ControllerSpec::ExactGreedy(p) => {
+            for (name, v) in [("p_join", p.p_join), ("p_leave", p.p_leave)] {
+                if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                    return Err(ConfigError::Controller(format!(
+                        "{name} must be a probability, got {v}"
+                    )));
+                }
+            }
+        }
+        _ => {}
+    }
+    if strictness == Strictness::OutOfSpec {
+        return Ok(());
+    }
+    // Admissible windows, per the algorithms' own validators.
+    match spec {
+        ControllerSpec::Ant(p) | ControllerSpec::AntDesync(p) => {
+            p.validate().map_err(ConfigError::Controller)
+        }
+        ControllerSpec::PreciseSigmoid(p) => p.validate().map_err(ConfigError::Controller),
+        ControllerSpec::PreciseAdversarial(p) => p.validate().map_err(ConfigError::Controller),
+        ControllerSpec::Trivial
+        | ControllerSpec::ExactGreedy(_)
+        | ControllerSpec::Hysteresis { .. } => Ok(()),
+    }
+}
+
+fn validate_noise(noise: &NoiseModel, num_tasks: usize) -> Result<(), ConfigError> {
+    match noise {
+        NoiseModel::Sigmoid { lambda } => {
+            if !(lambda.is_finite() && *lambda > 0.0) {
+                return Err(ConfigError::Noise(format!(
+                    "sigmoid steepness λ must be positive and finite, got {lambda}"
+                )));
+            }
+        }
+        NoiseModel::CorrelatedSigmoid { lambda, rho, .. } => {
+            if !(lambda.is_finite() && *lambda > 0.0) {
+                return Err(ConfigError::Noise(format!(
+                    "sigmoid steepness λ must be positive and finite, got {lambda}"
+                )));
+            }
+            if !(rho.is_finite() && (0.0..=1.0).contains(rho)) {
+                return Err(ConfigError::Noise(format!(
+                    "correlation ρ must be in [0, 1], got {rho}"
+                )));
+            }
+        }
+        NoiseModel::Adversarial { gamma_ad, policy } => {
+            if !(gamma_ad.is_finite() && (0.0..1.0).contains(gamma_ad)) {
+                return Err(ConfigError::Noise(format!(
+                    "grey-zone width γ_ad must be in [0, 1), got {gamma_ad}"
+                )));
+            }
+            match policy {
+                GreyZonePolicy::RandomLack(p) if !(p.is_finite() && (0.0..=1.0).contains(p)) => {
+                    return Err(ConfigError::Noise(format!(
+                        "random-lack probability must be in [0, 1], got {p}"
+                    )));
+                }
+                GreyZonePolicy::LoadThreshold(thresholds) if thresholds.len() != num_tasks => {
+                    return Err(ConfigError::Noise(format!(
+                        "load-threshold policy has {} thresholds, colony has \
+                             {num_tasks} tasks",
+                        thresholds.len()
+                    )));
+                }
+                _ => {}
+            }
+        }
+        NoiseModel::Exact => {}
+    }
+    Ok(())
+}
+
+fn validate_initial(initial: &InitialConfig, num_tasks: usize) -> Result<(), ConfigError> {
+    if let InitialConfig::AllOnTask(j) = initial {
+        if *j >= num_tasks {
+            return Err(ConfigError::Initial(format!(
+                "all-on-task references task {j}, colony has {num_tasks} tasks"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_core::AntParams;
+
+    fn base() -> ScenarioBuilder {
+        SimConfig::builder(100, vec![20, 30])
+    }
+
+    #[test]
+    fn defaults_build() {
+        let cfg = base().build().expect("defaults are valid");
+        assert_eq!(cfg.schedule, DemandSchedule::Static);
+        assert_eq!(cfg.initial, InitialConfig::AllIdle);
+    }
+
+    #[test]
+    fn zero_ants_and_empty_or_zero_demands_are_rejected() {
+        assert_eq!(
+            SimConfig::builder(0, vec![1]).build().unwrap_err(),
+            ConfigError::EmptyColony
+        );
+        assert_eq!(
+            SimConfig::builder(10, vec![]).build().unwrap_err(),
+            ConfigError::NoTasks
+        );
+        assert_eq!(
+            SimConfig::builder(10, vec![5, 0]).build().unwrap_err(),
+            ConfigError::ZeroDemand { task: 1 }
+        );
+    }
+
+    #[test]
+    fn schedule_mismatch_is_rejected_at_build_time() {
+        let err = base()
+            .schedule(DemandSchedule::Step {
+                at: 5,
+                demands: vec![1, 2, 3],
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Schedule(_)), "{err:?}");
+    }
+
+    #[test]
+    fn controller_window_violations_are_rejected_unless_relaxed() {
+        let spec = ControllerSpec::Ant(AntParams::new(0.125)); // γ > 1/16
+        let err = base().controller(spec.clone()).build().unwrap_err();
+        assert!(matches!(err, ConfigError::Controller(_)), "{err:?}");
+        let cfg = base()
+            .controller(spec)
+            .out_of_spec_params()
+            .build()
+            .expect("out-of-spec builds relaxed");
+        assert!(cfg.validate().is_err());
+        assert!(cfg.validate_structure().is_ok());
+    }
+
+    #[test]
+    fn structural_controller_errors_survive_relaxation() {
+        let err = SimConfig::builder(10, vec![5])
+            .controller(ControllerSpec::Hysteresis {
+                depth: 0,
+                lazy: None,
+            })
+            .out_of_spec_params()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Controller(_)));
+    }
+
+    #[test]
+    fn noise_violations_are_rejected() {
+        for noise in [
+            NoiseModel::Sigmoid { lambda: 0.0 },
+            NoiseModel::CorrelatedSigmoid {
+                lambda: 1.0,
+                rho: 1.5,
+                seed: 0,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 1.0,
+                policy: GreyZonePolicy::Truthful,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.1,
+                policy: GreyZonePolicy::RandomLack(-0.1),
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.1,
+                policy: GreyZonePolicy::LoadThreshold(vec![5]),
+            },
+        ] {
+            let err = base().noise(noise.clone()).build().unwrap_err();
+            assert!(matches!(err, ConfigError::Noise(_)), "{noise:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn initial_task_out_of_range_is_rejected() {
+        let err = base()
+            .initial(InitialConfig::AllOnTask(2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Initial(_)));
+        assert!(base().initial(InitialConfig::AllOnTask(1)).build().is_ok());
+    }
+}

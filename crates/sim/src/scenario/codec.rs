@@ -1,0 +1,710 @@
+//! Declarative encoding of every configuration type onto the [`Value`]
+//! tree — the schema both the TOML and JSON scenario formats share.
+//!
+//! Schema sketch (TOML syntax):
+//!
+//! ```toml
+//! name = "quickstart"        # optional
+//! n = 4000
+//! demands = [400, 700, 300]
+//! seed = 12648430
+//! out_of_spec = false        # optional: skip parameter-window checks
+//!
+//! [controller]
+//! kind = "ant"               # ant | ant-desync | precise-sigmoid |
+//!                            # precise-adversarial | trivial |
+//!                            # exact-greedy | hysteresis
+//! gamma = 0.0625
+//!
+//! [noise]
+//! kind = "sigmoid"           # sigmoid | correlated-sigmoid |
+//! lambda = 2.0               # adversarial | exact
+//!
+//! [schedule]                 # optional (defaults to static)
+//! kind = "steps"
+//! steps = [{ at = 4000, demands = [1200, 800] }]
+//!
+//! [initial]                  # optional (defaults to all-idle)
+//! kind = "saturated-plus"
+//! extra = 10
+//! ```
+//!
+//! Every enum uses a `kind` discriminant with kebab-case variant names;
+//! optional parameters fall back to the same defaults the Rust
+//! constructors use, so minimal files stay minimal.
+
+use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
+use antalloc_env::{DemandSchedule, InitialConfig, Perturbation};
+use antalloc_noise::{GreyZonePolicy, NoiseModel};
+
+use crate::config::{ControllerSpec, SimConfig};
+use crate::scenario::value::{u64_array, Value};
+use crate::scenario::ConfigError;
+
+fn bad(what: &str, msg: impl core::fmt::Display) -> ConfigError {
+    ConfigError::Parse(format!("{what}: {msg}"))
+}
+
+/// Rejects unknown keys: a typo'd key or section must fail loudly, not
+/// silently run a different scenario with the default value.
+fn check_keys(v: &Value, what: &str, allowed: &[&str]) -> Result<(), ConfigError> {
+    if let Value::Table(pairs) = v {
+        for (key, _) in pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(bad(
+                    what,
+                    format!(
+                        "unknown key `{key}` (expected one of: {})",
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn float(x: f64) -> Value {
+    Value::Float(x)
+}
+
+fn int(x: u64) -> Value {
+    Value::Int(i128::from(x))
+}
+
+// ---- SimConfig ----------------------------------------------------------
+
+/// Encodes a config (plus optional scenario metadata) as a value tree.
+pub fn config_to_value(config: &SimConfig, name: Option<&str>, out_of_spec: bool) -> Value {
+    let mut root = Value::table();
+    if let Some(name) = name {
+        root.insert("name", Value::Str(name.to_string()));
+    }
+    root.insert("n", int(config.n as u64));
+    root.insert("demands", u64_array(&config.demands));
+    root.insert("seed", int(config.seed));
+    if out_of_spec {
+        root.insert("out_of_spec", Value::Bool(true));
+    }
+    root.insert("controller", controller_to_value(&config.controller));
+    root.insert("noise", noise_to_value(&config.noise));
+    if config.schedule != DemandSchedule::Static {
+        root.insert("schedule", schedule_to_value(&config.schedule));
+    }
+    if config.initial != InitialConfig::AllIdle {
+        root.insert("initial", initial_to_value(&config.initial));
+    }
+    root
+}
+
+/// Decodes a config (plus metadata) from a value tree. Purely
+/// syntactic: run the scenario-level validation separately.
+pub fn config_from_value(root: &Value) -> Result<(SimConfig, Option<String>, bool), ConfigError> {
+    check_keys(
+        root,
+        "scenario",
+        &[
+            "name",
+            "n",
+            "demands",
+            "seed",
+            "out_of_spec",
+            "controller",
+            "noise",
+            "schedule",
+            "initial",
+        ],
+    )?;
+    let name = match root.get("name") {
+        Some(v) => Some(v.as_str("name")?.to_string()),
+        None => None,
+    };
+    let out_of_spec = match root.get("out_of_spec") {
+        Some(v) => v.as_bool("out_of_spec")?,
+        None => false,
+    };
+    let config = SimConfig {
+        n: root.want("n")?.as_usize("n")?,
+        demands: root.want("demands")?.as_u64_array("demands")?,
+        seed: match root.get("seed") {
+            Some(v) => v.as_u64("seed")?,
+            None => 0,
+        },
+        controller: controller_from_value(root.want("controller")?)?,
+        noise: noise_from_value(root.want("noise")?)?,
+        schedule: match root.get("schedule") {
+            Some(v) => schedule_from_value(v)?,
+            None => DemandSchedule::Static,
+        },
+        initial: match root.get("initial") {
+            Some(v) => initial_from_value(v)?,
+            None => InitialConfig::AllIdle,
+        },
+    };
+    Ok((config, name, out_of_spec))
+}
+
+// ---- ControllerSpec -----------------------------------------------------
+
+/// Encodes a controller spec.
+pub fn controller_to_value(spec: &ControllerSpec) -> Value {
+    let mut t = Value::table();
+    match spec {
+        ControllerSpec::Ant(p) | ControllerSpec::AntDesync(p) => {
+            t.insert(
+                "kind",
+                Value::Str(
+                    if matches!(spec, ControllerSpec::Ant(_)) {
+                        "ant"
+                    } else {
+                        "ant-desync"
+                    }
+                    .into(),
+                ),
+            );
+            t.insert("gamma", float(p.gamma));
+            t.insert("cs", float(p.cs));
+            t.insert("cd", float(p.cd));
+        }
+        ControllerSpec::PreciseSigmoid(p) => {
+            t.insert("kind", Value::Str("precise-sigmoid".into()));
+            t.insert("gamma", float(p.gamma));
+            t.insert("eps", float(p.eps));
+            t.insert("c_chi", float(p.c_chi));
+            t.insert("cs", float(p.cs));
+            t.insert("cd", float(p.cd));
+            if p.paper_literal_leave_prob {
+                t.insert("paper_literal_leave_prob", Value::Bool(true));
+            }
+        }
+        ControllerSpec::PreciseAdversarial(p) => {
+            t.insert("kind", Value::Str("precise-adversarial".into()));
+            t.insert("gamma", float(p.gamma));
+            t.insert("eps", float(p.eps));
+        }
+        ControllerSpec::Trivial => {
+            t.insert("kind", Value::Str("trivial".into()));
+        }
+        ControllerSpec::ExactGreedy(p) => {
+            t.insert("kind", Value::Str("exact-greedy".into()));
+            t.insert("p_join", float(p.p_join));
+            t.insert("p_leave", float(p.p_leave));
+        }
+        ControllerSpec::Hysteresis { depth, lazy } => {
+            t.insert("kind", Value::Str("hysteresis".into()));
+            t.insert("depth", int(u64::from(*depth)));
+            if let Some(p) = lazy {
+                t.insert("lazy", float(*p));
+            }
+        }
+    }
+    t
+}
+
+/// Decodes a controller spec.
+pub fn controller_from_value(v: &Value) -> Result<ControllerSpec, ConfigError> {
+    let what = "controller";
+    let kind = v.want("kind")?.as_str("controller.kind")?;
+    let allowed: &[&str] = match kind {
+        "ant" | "ant-desync" => &["kind", "gamma", "cs", "cd"],
+        "precise-sigmoid" => &[
+            "kind",
+            "gamma",
+            "eps",
+            "c_chi",
+            "cs",
+            "cd",
+            "paper_literal_leave_prob",
+        ],
+        "precise-adversarial" => &["kind", "gamma", "eps"],
+        "trivial" => &["kind"],
+        "exact-greedy" => &["kind", "p_join", "p_leave"],
+        "hysteresis" => &["kind", "depth", "lazy"],
+        _ => &["kind"], // unknown kind errors below
+    };
+    check_keys(v, what, allowed)?;
+    let opt_f64 = |key: &str, default: f64| -> Result<f64, ConfigError> {
+        match v.get(key) {
+            Some(x) => x.as_f64(key),
+            None => Ok(default),
+        }
+    };
+    match kind {
+        "ant" | "ant-desync" => {
+            let mut p = AntParams::new(v.want("gamma")?.as_f64("controller.gamma")?);
+            p.cs = opt_f64("cs", p.cs)?;
+            p.cd = opt_f64("cd", p.cd)?;
+            Ok(if kind == "ant" {
+                ControllerSpec::Ant(p)
+            } else {
+                ControllerSpec::AntDesync(p)
+            })
+        }
+        "precise-sigmoid" => {
+            let mut p = PreciseSigmoidParams::new(
+                v.want("gamma")?.as_f64("controller.gamma")?,
+                v.want("eps")?.as_f64("controller.eps")?,
+            );
+            p.c_chi = opt_f64("c_chi", p.c_chi)?;
+            p.cs = opt_f64("cs", p.cs)?;
+            p.cd = opt_f64("cd", p.cd)?;
+            if let Some(flag) = v.get("paper_literal_leave_prob") {
+                p.paper_literal_leave_prob = flag.as_bool("paper_literal_leave_prob")?;
+            }
+            Ok(ControllerSpec::PreciseSigmoid(p))
+        }
+        "precise-adversarial" => Ok(ControllerSpec::PreciseAdversarial(
+            PreciseAdversarialParams::new(
+                v.want("gamma")?.as_f64("controller.gamma")?,
+                v.want("eps")?.as_f64("controller.eps")?,
+            ),
+        )),
+        "trivial" => Ok(ControllerSpec::Trivial),
+        "exact-greedy" => {
+            let mut p = ExactGreedyParams::default();
+            p.p_join = opt_f64("p_join", p.p_join)?;
+            p.p_leave = opt_f64("p_leave", p.p_leave)?;
+            Ok(ControllerSpec::ExactGreedy(p))
+        }
+        "hysteresis" => {
+            let depth64 = v.want("depth")?.as_u64("controller.depth")?;
+            let depth = u16::try_from(depth64)
+                .map_err(|_| bad(what, format!("depth {depth64} exceeds u16")))?;
+            let lazy = match v.get("lazy") {
+                Some(x) => Some(x.as_f64("controller.lazy")?),
+                None => None,
+            };
+            Ok(ControllerSpec::Hysteresis { depth, lazy })
+        }
+        other => Err(bad(what, format!("unknown kind `{other}`"))),
+    }
+}
+
+// ---- NoiseModel ---------------------------------------------------------
+
+/// Encodes a noise model.
+pub fn noise_to_value(noise: &NoiseModel) -> Value {
+    let mut t = Value::table();
+    match noise {
+        NoiseModel::Sigmoid { lambda } => {
+            t.insert("kind", Value::Str("sigmoid".into()));
+            t.insert("lambda", float(*lambda));
+        }
+        NoiseModel::CorrelatedSigmoid { lambda, rho, seed } => {
+            t.insert("kind", Value::Str("correlated-sigmoid".into()));
+            t.insert("lambda", float(*lambda));
+            t.insert("rho", float(*rho));
+            t.insert("seed", int(*seed));
+        }
+        NoiseModel::Adversarial { gamma_ad, policy } => {
+            t.insert("kind", Value::Str("adversarial".into()));
+            t.insert("gamma_ad", float(*gamma_ad));
+            t.insert("policy", policy_to_value(policy));
+        }
+        NoiseModel::Exact => {
+            t.insert("kind", Value::Str("exact".into()));
+        }
+    }
+    t
+}
+
+/// Decodes a noise model.
+pub fn noise_from_value(v: &Value) -> Result<NoiseModel, ConfigError> {
+    let kind = v.want("kind")?.as_str("noise.kind")?;
+    let allowed: &[&str] = match kind {
+        "sigmoid" => &["kind", "lambda"],
+        "correlated-sigmoid" => &["kind", "lambda", "rho", "seed"],
+        "adversarial" => &["kind", "gamma_ad", "policy"],
+        _ => &["kind"],
+    };
+    check_keys(v, "noise", allowed)?;
+    match kind {
+        "sigmoid" => Ok(NoiseModel::Sigmoid {
+            lambda: v.want("lambda")?.as_f64("noise.lambda")?,
+        }),
+        "correlated-sigmoid" => Ok(NoiseModel::CorrelatedSigmoid {
+            lambda: v.want("lambda")?.as_f64("noise.lambda")?,
+            rho: v.want("rho")?.as_f64("noise.rho")?,
+            seed: match v.get("seed") {
+                Some(s) => s.as_u64("noise.seed")?,
+                None => 0,
+            },
+        }),
+        "adversarial" => Ok(NoiseModel::Adversarial {
+            gamma_ad: v.want("gamma_ad")?.as_f64("noise.gamma_ad")?,
+            policy: policy_from_value(v.want("policy")?)?,
+        }),
+        "exact" => Ok(NoiseModel::Exact),
+        other => Err(bad("noise", format!("unknown kind `{other}`"))),
+    }
+}
+
+fn policy_to_value(policy: &GreyZonePolicy) -> Value {
+    let mut t = Value::table();
+    match policy {
+        GreyZonePolicy::AlwaysLack => t.insert("kind", Value::Str("always-lack".into())),
+        GreyZonePolicy::AlwaysOverload => t.insert("kind", Value::Str("always-overload".into())),
+        GreyZonePolicy::Truthful => t.insert("kind", Value::Str("truthful".into())),
+        GreyZonePolicy::Inverted => t.insert("kind", Value::Str("inverted".into())),
+        GreyZonePolicy::AlternateByRound => {
+            t.insert("kind", Value::Str("alternate-by-round".into()))
+        }
+        GreyZonePolicy::RandomLack(p) => {
+            t.insert("kind", Value::Str("random-lack".into()));
+            t.insert("p", float(*p));
+        }
+        GreyZonePolicy::LoadThreshold(thresholds) => {
+            t.insert("kind", Value::Str("load-threshold".into()));
+            t.insert("thresholds", u64_array(thresholds));
+        }
+    }
+    t
+}
+
+fn policy_from_value(v: &Value) -> Result<GreyZonePolicy, ConfigError> {
+    let kind = v.want("kind")?.as_str("policy.kind")?;
+    let allowed: &[&str] = match kind {
+        "random-lack" => &["kind", "p"],
+        "load-threshold" => &["kind", "thresholds"],
+        _ => &["kind"],
+    };
+    check_keys(v, "policy", allowed)?;
+    match kind {
+        "always-lack" => Ok(GreyZonePolicy::AlwaysLack),
+        "always-overload" => Ok(GreyZonePolicy::AlwaysOverload),
+        "truthful" => Ok(GreyZonePolicy::Truthful),
+        "inverted" => Ok(GreyZonePolicy::Inverted),
+        "alternate-by-round" => Ok(GreyZonePolicy::AlternateByRound),
+        "random-lack" => Ok(GreyZonePolicy::RandomLack(v.want("p")?.as_f64("policy.p")?)),
+        "load-threshold" => Ok(GreyZonePolicy::LoadThreshold(
+            v.want("thresholds")?.as_u64_array("policy.thresholds")?,
+        )),
+        other => Err(bad("policy", format!("unknown kind `{other}`"))),
+    }
+}
+
+// ---- DemandSchedule -----------------------------------------------------
+
+/// Encodes a demand schedule.
+pub fn schedule_to_value(schedule: &DemandSchedule) -> Value {
+    let mut t = Value::table();
+    match schedule {
+        DemandSchedule::Static => t.insert("kind", Value::Str("static".into())),
+        DemandSchedule::Step { at, demands } => {
+            t.insert("kind", Value::Str("step".into()));
+            t.insert("at", int(*at));
+            t.insert("demands", u64_array(demands));
+        }
+        DemandSchedule::Steps(steps) => {
+            t.insert("kind", Value::Str("steps".into()));
+            t.insert(
+                "steps",
+                Value::Array(
+                    steps
+                        .iter()
+                        .map(|(at, demands)| {
+                            let mut s = Value::table();
+                            s.insert("at", int(*at));
+                            s.insert("demands", u64_array(demands));
+                            s
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        DemandSchedule::Alternating { a, b, half_period } => {
+            t.insert("kind", Value::Str("alternating".into()));
+            t.insert("a", u64_array(a));
+            t.insert("b", u64_array(b));
+            t.insert("half_period", int(*half_period));
+        }
+    }
+    t
+}
+
+/// Decodes a demand schedule.
+pub fn schedule_from_value(v: &Value) -> Result<DemandSchedule, ConfigError> {
+    let kind = v.want("kind")?.as_str("schedule.kind")?;
+    let allowed: &[&str] = match kind {
+        "step" => &["kind", "at", "demands"],
+        "steps" => &["kind", "steps"],
+        "alternating" => &["kind", "a", "b", "half_period"],
+        _ => &["kind"],
+    };
+    check_keys(v, "schedule", allowed)?;
+    match kind {
+        "static" => Ok(DemandSchedule::Static),
+        "step" => Ok(DemandSchedule::Step {
+            at: v.want("at")?.as_u64("schedule.at")?,
+            demands: v.want("demands")?.as_u64_array("schedule.demands")?,
+        }),
+        "steps" => {
+            let steps = v
+                .want("steps")?
+                .as_array("schedule.steps")?
+                .iter()
+                .map(|s| {
+                    check_keys(s, "schedule.steps entry", &["at", "demands"])?;
+                    Ok((
+                        s.want("at")?.as_u64("step.at")?,
+                        s.want("demands")?.as_u64_array("step.demands")?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, ConfigError>>()?;
+            Ok(DemandSchedule::Steps(steps))
+        }
+        "alternating" => Ok(DemandSchedule::Alternating {
+            a: v.want("a")?.as_u64_array("schedule.a")?,
+            b: v.want("b")?.as_u64_array("schedule.b")?,
+            half_period: v.want("half_period")?.as_u64("schedule.half_period")?,
+        }),
+        other => Err(bad("schedule", format!("unknown kind `{other}`"))),
+    }
+}
+
+// ---- InitialConfig ------------------------------------------------------
+
+/// Encodes an initial configuration.
+pub fn initial_to_value(initial: &InitialConfig) -> Value {
+    let mut t = Value::table();
+    match initial {
+        InitialConfig::AllIdle => t.insert("kind", Value::Str("all-idle".into())),
+        InitialConfig::AllOnTask(j) => {
+            t.insert("kind", Value::Str("all-on-task".into()));
+            t.insert("task", int(*j as u64));
+        }
+        InitialConfig::UniformRandom => t.insert("kind", Value::Str("uniform-random".into())),
+        InitialConfig::Saturated => t.insert("kind", Value::Str("saturated".into())),
+        InitialConfig::SaturatedPlus { extra } => {
+            t.insert("kind", Value::Str("saturated-plus".into()));
+            t.insert("extra", int(*extra));
+        }
+        InitialConfig::Inverted => t.insert("kind", Value::Str("inverted".into())),
+    }
+    t
+}
+
+/// Decodes an initial configuration.
+pub fn initial_from_value(v: &Value) -> Result<InitialConfig, ConfigError> {
+    let kind = v.want("kind")?.as_str("initial.kind")?;
+    let allowed: &[&str] = match kind {
+        "all-on-task" => &["kind", "task"],
+        "saturated-plus" => &["kind", "extra"],
+        _ => &["kind"],
+    };
+    check_keys(v, "initial", allowed)?;
+    match kind {
+        "all-idle" => Ok(InitialConfig::AllIdle),
+        "all-on-task" => Ok(InitialConfig::AllOnTask(
+            v.want("task")?.as_usize("initial.task")?,
+        )),
+        "uniform-random" => Ok(InitialConfig::UniformRandom),
+        "saturated" => Ok(InitialConfig::Saturated),
+        "saturated-plus" => Ok(InitialConfig::SaturatedPlus {
+            extra: v.want("extra")?.as_u64("initial.extra")?,
+        }),
+        "inverted" => Ok(InitialConfig::Inverted),
+        other => Err(bad("initial", format!("unknown kind `{other}`"))),
+    }
+}
+
+// ---- Perturbation -------------------------------------------------------
+
+/// Encodes a perturbation (for scenario files that script shocks).
+pub fn perturbation_to_value(p: &Perturbation) -> Value {
+    let mut t = Value::table();
+    match p {
+        Perturbation::KillRandom { count } => {
+            t.insert("kind", Value::Str("kill-random".into()));
+            t.insert("count", int(*count as u64));
+        }
+        Perturbation::Spawn { count } => {
+            t.insert("kind", Value::Str("spawn".into()));
+            t.insert("count", int(*count as u64));
+        }
+        Perturbation::Scramble => t.insert("kind", Value::Str("scramble".into())),
+        Perturbation::StampedeTo(j) => {
+            t.insert("kind", Value::Str("stampede-to".into()));
+            t.insert("task", int(*j as u64));
+        }
+    }
+    t
+}
+
+/// Decodes a perturbation.
+pub fn perturbation_from_value(v: &Value) -> Result<Perturbation, ConfigError> {
+    let kind = v.want("kind")?.as_str("perturbation.kind")?;
+    let allowed: &[&str] = match kind {
+        "kill-random" | "spawn" => &["kind", "count"],
+        "stampede-to" => &["kind", "task"],
+        _ => &["kind"],
+    };
+    check_keys(v, "perturbation", allowed)?;
+    match kind {
+        "kill-random" => Ok(Perturbation::KillRandom {
+            count: v.want("count")?.as_usize("perturbation.count")?,
+        }),
+        "spawn" => Ok(Perturbation::Spawn {
+            count: v.want("count")?.as_usize("perturbation.count")?,
+        }),
+        "scramble" => Ok(Perturbation::Scramble),
+        "stampede-to" => Ok(Perturbation::StampedeTo(
+            v.want("task")?.as_usize("perturbation.task")?,
+        )),
+        other => Err(bad("perturbation", format!("unknown kind `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_controllers() -> Vec<ControllerSpec> {
+        vec![
+            ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+            ControllerSpec::AntDesync(AntParams {
+                gamma: 0.05,
+                cs: 2.4,
+                cd: 18.0,
+            }),
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.4)),
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams {
+                paper_literal_leave_prob: true,
+                ..PreciseSigmoidParams::new(0.05, 0.4)
+            }),
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.05, 0.3)),
+            ControllerSpec::Trivial,
+            ControllerSpec::ExactGreedy(ExactGreedyParams {
+                p_join: 0.4,
+                p_leave: 0.1,
+            }),
+            ControllerSpec::Hysteresis {
+                depth: 4,
+                lazy: None,
+            },
+            ControllerSpec::Hysteresis {
+                depth: 2,
+                lazy: Some(0.5),
+            },
+        ]
+    }
+
+    fn all_noises() -> Vec<NoiseModel> {
+        vec![
+            NoiseModel::Sigmoid { lambda: 2.0 },
+            NoiseModel::CorrelatedSigmoid {
+                lambda: 1.5,
+                rho: 0.3,
+                seed: 99,
+            },
+            NoiseModel::Exact,
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::AlwaysLack,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::AlwaysOverload,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::Truthful,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::Inverted,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::AlternateByRound,
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::RandomLack(0.25),
+            },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::LoadThreshold(vec![7, 9]),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_controller_roundtrips() {
+        for spec in all_controllers() {
+            let back = controller_from_value(&controller_to_value(&spec)).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn every_noise_roundtrips() {
+        for noise in all_noises() {
+            let back = noise_from_value(&noise_to_value(&noise)).unwrap();
+            assert_eq!(back, noise);
+        }
+    }
+
+    #[test]
+    fn every_schedule_and_initial_roundtrips() {
+        for schedule in [
+            DemandSchedule::Static,
+            DemandSchedule::Step {
+                at: 10,
+                demands: vec![5, 6],
+            },
+            DemandSchedule::Steps(vec![(3, vec![1, 2]), (9, vec![4, 5])]),
+            DemandSchedule::Alternating {
+                a: vec![1, 2],
+                b: vec![2, 1],
+                half_period: 7,
+            },
+        ] {
+            let back = schedule_from_value(&schedule_to_value(&schedule)).unwrap();
+            assert_eq!(back, schedule);
+        }
+        for initial in [
+            InitialConfig::AllIdle,
+            InitialConfig::AllOnTask(2),
+            InitialConfig::UniformRandom,
+            InitialConfig::Saturated,
+            InitialConfig::SaturatedPlus { extra: 11 },
+            InitialConfig::Inverted,
+        ] {
+            let back = initial_from_value(&initial_to_value(&initial)).unwrap();
+            assert_eq!(back, initial);
+        }
+    }
+
+    #[test]
+    fn every_perturbation_roundtrips() {
+        for p in [
+            Perturbation::KillRandom { count: 5 },
+            Perturbation::Spawn { count: 9 },
+            Perturbation::Scramble,
+            Perturbation::StampedeTo(1),
+        ] {
+            let back = perturbation_from_value(&perturbation_to_value(&p)).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn unknown_kinds_are_parse_errors() {
+        let mut t = Value::table();
+        t.insert("kind", Value::Str("quantum".into()));
+        assert!(controller_from_value(&t).is_err());
+        assert!(noise_from_value(&t).is_err());
+        assert!(schedule_from_value(&t).is_err());
+        assert!(initial_from_value(&t).is_err());
+        assert!(perturbation_from_value(&t).is_err());
+    }
+
+    #[test]
+    fn missing_required_keys_are_parse_errors() {
+        let mut t = Value::table();
+        t.insert("kind", Value::Str("sigmoid".into()));
+        let err = noise_from_value(&t).unwrap_err();
+        assert!(err.to_string().contains("lambda"), "{err}");
+    }
+}

@@ -1,0 +1,57 @@
+//! The typed configuration error.
+
+/// Why a scenario cannot be built (or parsed).
+///
+/// Construction through [`crate::ScenarioBuilder`] reports the first
+/// problem found as one of these variants instead of panicking at run
+/// time. The enum is `#[non_exhaustive]`: future validation passes may
+/// add variants without breaking callers.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `n == 0`: a colony with no ants cannot allocate anything.
+    EmptyColony,
+    /// The demand vector is empty (the model has `k ≥ 1` tasks).
+    NoTasks,
+    /// Task `task` has demand zero (zero-demand tasks are omitted, not
+    /// listed — `DemandVector` would panic on them at engine start).
+    ZeroDemand {
+        /// Index of the offending task.
+        task: usize,
+    },
+    /// The controller spec is outside its admissible parameter window
+    /// or structurally unusable.
+    Controller(String),
+    /// The noise model has out-of-range parameters or a policy whose
+    /// shape disagrees with the task count.
+    Noise(String),
+    /// The demand schedule is inconsistent (wrong task count, zero
+    /// demand, unordered steps, zero period).
+    Schedule(String),
+    /// The initial configuration references a nonexistent task.
+    Initial(String),
+    /// A scenario file could not be parsed.
+    Parse(String),
+    /// A scenario file could not be read or written.
+    Io(String),
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::EmptyColony => write!(f, "colony has zero ants"),
+            ConfigError::NoTasks => write!(f, "demand vector is empty"),
+            ConfigError::ZeroDemand { task } => {
+                write!(f, "task {task} has zero demand (omit zero-demand tasks)")
+            }
+            ConfigError::Controller(msg) => write!(f, "invalid controller: {msg}"),
+            ConfigError::Noise(msg) => write!(f, "invalid noise model: {msg}"),
+            ConfigError::Schedule(msg) => write!(f, "invalid demand schedule: {msg}"),
+            ConfigError::Initial(msg) => write!(f, "invalid initial configuration: {msg}"),
+            ConfigError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
+            ConfigError::Io(msg) => write!(f, "scenario io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -1,0 +1,683 @@
+//! A self-contained TOML subset: enough for declarative scenario files,
+//! with no external dependencies.
+//!
+//! Supported: `[section]` / `[nested.section]` headers, `key = value`
+//! pairs, bare and quoted keys, strings with the common escapes,
+//! integers (sign, underscores, `0x`/`0o`/`0b`), floats (including
+//! `inf`/`nan` forms), booleans, (possibly multiline) arrays, and
+//! inline tables. Not supported: array-of-tables headers (`[[x]]`),
+//! dotted keys, datetimes, multi-line strings.
+
+use crate::scenario::value::Value;
+use crate::scenario::ConfigError;
+
+/// Parses a TOML document into a [`Value::Table`].
+///
+/// Duplicate keys and duplicate `[section]` headers are errors, not
+/// last-wins: a scenario file where the same parameter appears twice
+/// would otherwise silently run with whichever value came last.
+pub fn parse(text: &str) -> Result<Value, ConfigError> {
+    let mut parser = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut root = Value::table();
+    let mut path: Vec<String> = Vec::new();
+    let mut seen_headers: Vec<Vec<String>> = Vec::new();
+    loop {
+        parser.skip_trivia();
+        if parser.at_end() {
+            return Ok(root);
+        }
+        if parser.peek() == Some('[') {
+            parser.bump();
+            if parser.peek() == Some('[') {
+                return Err(parser.error("array-of-tables headers are not supported"));
+            }
+            path = parser.key_path()?;
+            parser.expect(']')?;
+            parser.expect_line_end()?;
+            if seen_headers.contains(&path) {
+                return Err(parser.error(format!("duplicate section `[{}]`", path.join("."))));
+            }
+            seen_headers.push(path.clone());
+            // Create the table eagerly so empty sections round-trip.
+            navigate(&mut root, &path, &mut |_t| Ok(()))?;
+        } else {
+            let key = parser.key()?;
+            parser.skip_inline_ws();
+            parser.expect('=')?;
+            let value = parser.value()?;
+            parser.expect_line_end()?;
+            let line = parser.line;
+            navigate(&mut root, &path, &mut |t| {
+                if t.get(&key).is_some() {
+                    return Err(ConfigError::Parse(format!(
+                        "line {line}: duplicate key `{key}`"
+                    )));
+                }
+                t.insert(key.clone(), value.clone());
+                Ok(())
+            })?;
+        }
+    }
+}
+
+/// Serializes a [`Value::Table`] as TOML.
+///
+/// Scalars and arrays print inline at their table's level; sub-tables
+/// become `[section]` headers (depth-first, insertion order). Tables
+/// nested inside arrays print as inline tables.
+pub fn write(root: &Value) -> String {
+    let mut out = String::new();
+    let Value::Table(_) = root else {
+        // Scenario documents are always tables; degrade gracefully.
+        write_inline(root, &mut out);
+        out.push('\n');
+        return out;
+    };
+    write_table(root, &mut Vec::new(), &mut out);
+    out
+}
+
+fn write_table(table: &Value, path: &mut Vec<String>, out: &mut String) {
+    let Value::Table(pairs) = table else {
+        unreachable!()
+    };
+    for (key, value) in pairs {
+        if !matches!(value, Value::Table(_)) {
+            out.push_str(&key_text(key));
+            out.push_str(" = ");
+            write_inline(value, out);
+            out.push('\n');
+        }
+    }
+    for (key, value) in pairs {
+        if let Value::Table(_) = value {
+            path.push(key.clone());
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push('[');
+            out.push_str(
+                &path
+                    .iter()
+                    .map(|k| key_text(k))
+                    .collect::<Vec<_>>()
+                    .join("."),
+            );
+            out.push_str("]\n");
+            write_table(value, path, out);
+            path.pop();
+        }
+    }
+}
+
+fn write_inline(value: &Value, out: &mut String) {
+    match value {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => out.push_str(&float_text(*x)),
+        Value::Str(s) => out.push_str(&string_text(s)),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(item, out);
+            }
+            out.push(']');
+        }
+        Value::Table(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push(' ');
+                out.push_str(&key_text(k));
+                out.push_str(" = ");
+                write_inline(v, out);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+fn key_text(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        string_text(key)
+    }
+}
+
+fn string_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{{{:x}}}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn float_text(x: f64) -> String {
+    if x.is_nan() {
+        "nan".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        }
+    } else {
+        // `{:?}` is the shortest representation that round-trips and
+        // always contains a `.` or exponent, keeping the value a float.
+        format!("{x:?}")
+    }
+}
+
+fn navigate(
+    root: &mut Value,
+    path: &[String],
+    f: &mut dyn FnMut(&mut Value) -> Result<(), ConfigError>,
+) -> Result<(), ConfigError> {
+    let mut node = root;
+    for part in path {
+        if node.get(part).is_none() {
+            node.insert(part.clone(), Value::table());
+        }
+        let Value::Table(pairs) = node else {
+            unreachable!()
+        };
+        let slot = pairs
+            .iter_mut()
+            .find(|(k, _)| k == part)
+            .map(|(_, v)| v)
+            .expect("just inserted");
+        if !matches!(slot, Value::Table(_)) {
+            return Err(ConfigError::Parse(format!(
+                "key `{part}` is both a value and a table"
+            )));
+        }
+        node = slot;
+    }
+    f(node)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ConfigError {
+        ConfigError::Parse(format!("line {}: {}", self.line, msg.into()))
+    }
+
+    /// Skips spaces/tabs on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace (including newlines) and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ' | '\t' | '\n' | '\r') => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ConfigError> {
+        self.skip_inline_ws();
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(format!("expected `{want}`, found `{c}`"))),
+            None => Err(self.error(format!("expected `{want}`, found end of input"))),
+        }
+    }
+
+    /// Consumes end-of-line (allowing a trailing comment) or end of input.
+    fn expect_line_end(&mut self) -> Result<(), ConfigError> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.bump();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') | Some('\r') => {
+                self.bump();
+                Ok(())
+            }
+            Some(c) => Err(self.error(format!("expected end of line, found `{c}`"))),
+        }
+    }
+
+    fn key(&mut self) -> Result<String, ConfigError> {
+        self.skip_inline_ws();
+        match self.peek() {
+            Some('"') => {
+                let Value::Str(s) = self.string()? else {
+                    unreachable!()
+                };
+                Ok(s)
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let mut key = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        key.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(key)
+            }
+            Some(c) => Err(self.error(format!("expected key, found `{c}`"))),
+            None => Err(self.error("expected key, found end of input")),
+        }
+    }
+
+    fn key_path(&mut self) -> Result<Vec<String>, ConfigError> {
+        let mut path = vec![self.key()?];
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+                path.push(self.key()?);
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ConfigError> {
+        self.skip_inline_ws();
+        match self.peek() {
+            Some('"') => self.string(),
+            Some('[') => self.array(),
+            Some('{') => self.inline_table(),
+            Some('t') | Some('f') | Some('i') | Some('n') => self.word(),
+            Some(c) if c == '+' || c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("expected value, found `{c}`"))),
+            None => Err(self.error("expected value, found end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<Value, ConfigError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => return Ok(Value::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        if self.bump() != Some('{') {
+                            return Err(self.error("expected `{` after \\u"));
+                        }
+                        let mut hex = String::new();
+                        loop {
+                            match self.bump() {
+                                Some('}') => break,
+                                Some(c) if c.is_ascii_hexdigit() => hex.push(c),
+                                _ => return Err(self.error("bad \\u escape")),
+                            }
+                        }
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| self.error("bad \\u escape"))?;
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid scalar value"))?,
+                        );
+                    }
+                    Some(c) => return Err(self.error(format!("unknown escape \\{c}"))),
+                    None => return Err(self.error("unterminated escape")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ConfigError> {
+        self.bump(); // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.bump();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.bump();
+                }
+                Some(']') => {}
+                Some(c) => return Err(self.error(format!("expected `,` or `]`, found `{c}`"))),
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+    }
+
+    fn inline_table(&mut self) -> Result<Value, ConfigError> {
+        self.bump(); // `{`
+        let mut table = Value::table();
+        self.skip_inline_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(table);
+        }
+        loop {
+            let key = self.key()?;
+            self.expect('=')?;
+            let value = self.value()?;
+            if table.get(&key).is_some() {
+                return Err(self.error(format!("duplicate key `{key}` in inline table")));
+            }
+            table.insert(key, value);
+            self.skip_inline_ws();
+            match self.bump() {
+                Some(',') => {
+                    self.skip_inline_ws();
+                }
+                Some('}') => return Ok(table),
+                Some(c) => return Err(self.error(format!("expected `,` or `}}`, found `{c}`"))),
+                None => return Err(self.error("unterminated inline table")),
+            }
+        }
+    }
+
+    fn word(&mut self) -> Result<Value, ConfigError> {
+        let mut w = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() {
+                w.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match w.as_str() {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            "inf" => Ok(Value::Float(f64::INFINITY)),
+            "nan" => Ok(Value::Float(f64::NAN)),
+            other => Err(self.error(format!("unknown literal `{other}`"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ConfigError> {
+        let mut text = String::new();
+        let negative = match self.peek() {
+            Some('+') => {
+                self.bump();
+                false
+            }
+            Some('-') => {
+                self.bump();
+                true
+            }
+            _ => false,
+        };
+        // Named float forms after a sign.
+        if self.peek() == Some('i') || self.peek() == Some('n') {
+            let Value::Float(x) = self.word()? else {
+                unreachable!()
+            };
+            return Ok(Value::Float(if negative { -x } else { x }));
+        }
+        // Radix prefixes.
+        if self.peek() == Some('0') {
+            if let Some(radix_char) = self.chars.get(self.pos + 1).copied() {
+                let radix = match radix_char {
+                    'x' | 'X' => Some(16),
+                    'o' | 'O' => Some(8),
+                    'b' | 'B' => Some(2),
+                    _ => None,
+                };
+                if let Some(radix) = radix {
+                    self.bump();
+                    self.bump();
+                    let mut digits = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() {
+                            digits.push(c);
+                            self.bump();
+                        } else if c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let magnitude = i128::from_str_radix(&digits, radix)
+                        .map_err(|e| self.error(format!("bad integer: {e}")))?;
+                    return Ok(Value::Int(if negative { -magnitude } else { magnitude }));
+                }
+            }
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => {
+                    text.push(c);
+                    self.bump();
+                }
+                '_' => {
+                    self.bump();
+                }
+                '.' | 'e' | 'E' => {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                }
+                '+' | '-' if text.ends_with('e') || text.ends_with('E') => {
+                    text.push(c);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if is_float {
+            let x: f64 = text
+                .parse()
+                .map_err(|e| self.error(format!("bad float `{text}`: {e}")))?;
+            Ok(Value::Float(if negative { -x } else { x }))
+        } else {
+            let i: i128 = text
+                .parse()
+                .map_err(|e| self.error(format!("bad integer `{text}`: {e}")))?;
+            Ok(Value::Int(if negative { -i } else { i }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_sections_and_comments() {
+        let doc = parse(
+            r#"
+# scenario
+n = 4000
+seed = 0xC0FFEE
+name = "quick \"start\""
+ratio = 2.5e-1
+ok = true
+
+[controller]
+gamma = 0.0625
+kind = "ant"
+
+[schedule.inner]
+period = 1_000
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("n"), Some(&Value::Int(4000)));
+        assert_eq!(doc.get("seed"), Some(&Value::Int(0xC0FFEE)));
+        assert_eq!(doc.get("name"), Some(&Value::Str("quick \"start\"".into())));
+        assert_eq!(doc.get("ratio"), Some(&Value::Float(0.25)));
+        assert_eq!(doc.get("ok"), Some(&Value::Bool(true)));
+        let ctrl = doc.get("controller").unwrap();
+        assert_eq!(ctrl.get("kind"), Some(&Value::Str("ant".into())));
+        let inner = doc.get("schedule").unwrap().get("inner").unwrap();
+        assert_eq!(inner.get("period"), Some(&Value::Int(1000)));
+    }
+
+    #[test]
+    fn parses_arrays_and_inline_tables() {
+        let doc = parse(
+            "steps = [\n  { at = 3, demands = [5, 5] },\n  { at = 9, demands = [6, 6] },\n]\nmixed = [1, -2.5, \"x\"]\n",
+        )
+        .unwrap();
+        let steps = doc.get("steps").unwrap().as_array("steps").unwrap();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[1].get("at"), Some(&Value::Int(9)));
+        assert_eq!(
+            steps[0]
+                .get("demands")
+                .unwrap()
+                .as_u64_array("demands")
+                .unwrap(),
+            vec![5, 5]
+        );
+        let mixed = doc.get("mixed").unwrap().as_array("mixed").unwrap();
+        assert_eq!(mixed[1], Value::Float(-2.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "n = ",
+            "n 4",
+            "[unclosed",
+            "x = [1, 2",
+            "s = \"oops",
+            "t = { a = 1",
+            "[[aot]]\n",
+            "n = 1 extra",
+            "e = @",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(matches!(err, ConfigError::Parse(_)), "`{bad}` gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_errors_not_last_wins() {
+        // A repeated key or section must fail loudly: last-wins would
+        // silently run whichever value came second.
+        for bad in [
+            "seed = 1\nseed = 2\n",
+            "[controller]\ngamma = 0.1\n[controller]\ngamma = 0.2\n",
+            "[a]\nx = 1\n[a]\ny = 2\n",
+            "t = { a = 1, a = 2 }\n",
+            "[a]\nx = 1\nx = 2\n",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.to_string().contains("duplicate"),
+                "`{bad}` gave {err:?}"
+            );
+        }
+        // Nested headers that merely share a prefix are fine.
+        let ok = parse("[a]\nx = 1\n[a.b]\ny = 2\n").unwrap();
+        assert_eq!(
+            ok.get("a").unwrap().get("b").unwrap().get("y"),
+            Some(&Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn writer_output_reparses_identically() {
+        let mut doc = Value::table();
+        doc.insert("n", Value::Int(4000));
+        doc.insert(
+            "demands",
+            crate::scenario::value::u64_array(&[400, 700, 300]),
+        );
+        doc.insert("label", Value::Str("a \"b\"\nc".into()));
+        let mut sub = Value::table();
+        sub.insert("gamma", Value::Float(1.0 / 16.0));
+        sub.insert("big", Value::Int(i128::from(u64::MAX)));
+        let mut steps = Value::table();
+        steps.insert("at", Value::Int(3));
+        steps.insert("demands", crate::scenario::value::u64_array(&[5, 5]));
+        sub.insert("steps", Value::Array(vec![steps]));
+        doc.insert("controller", sub);
+        let text = write(&doc);
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(back, doc, "document drifted through write/parse:\n{text}");
+    }
+
+    #[test]
+    fn float_specials_roundtrip() {
+        let mut doc = Value::table();
+        doc.insert("a", Value::Float(f64::INFINITY));
+        doc.insert("b", Value::Float(f64::NEG_INFINITY));
+        doc.insert("c", Value::Float(2.0));
+        let text = write(&doc);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("a"), Some(&Value::Float(f64::INFINITY)));
+        assert_eq!(back.get("b"), Some(&Value::Float(f64::NEG_INFINITY)));
+        assert_eq!(back.get("c"), Some(&Value::Float(2.0)));
+    }
+}

@@ -113,13 +113,12 @@ mod tests {
     use crate::observer::{NullObserver, RunSummary};
 
     fn config() -> SimConfig {
-        SimConfig::new(
-            400,
-            vec![100],
-            NoiseModel::Sigmoid { lambda: 2.0 },
-            ControllerSpec::Trivial,
-            11,
-        )
+        SimConfig::builder(400, vec![100])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Trivial)
+            .seed(11)
+            .build()
+            .expect("valid scenario")
     }
 
     #[test]

@@ -28,13 +28,12 @@ fn settle(engine: &mut antalloc_sim::SyncEngine, rounds: u64) -> f64 {
 }
 
 fn main() {
-    let config = SimConfig::new(
-        9000,
-        vec![900, 1300, 800],
-        NoiseModel::Sigmoid { lambda: 2.0 },
-        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
-        0xBEE,
-    );
+    let config = SimConfig::builder(9000, vec![900, 1300, 800])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(0xBEE)
+        .build()
+        .expect("valid scenario");
     let mut engine = config.build();
 
     settle(&mut engine, 4000);
@@ -44,22 +43,34 @@ fn main() {
     engine.perturb(&Perturbation::KillRandom { count: 3000 });
     report(&engine, "immediately after the kill");
     let avg = settle(&mut engine, 4000);
-    report(&engine, format!("4000 rounds later (avg r {avg:.0})").as_str());
+    report(
+        &engine,
+        format!("4000 rounds later (avg r {avg:.0})").as_str(),
+    );
 
     println!("\n>>> spawning 3000 fresh idle ants");
     engine.perturb(&Perturbation::Spawn { count: 3000 });
     let avg = settle(&mut engine, 4000);
-    report(&engine, format!("4000 rounds later (avg r {avg:.0})").as_str());
+    report(
+        &engine,
+        format!("4000 rounds later (avg r {avg:.0})").as_str(),
+    );
 
     println!("\n>>> scrambling every assignment uniformly at random");
     engine.perturb(&Perturbation::Scramble);
     report(&engine, "immediately after the scramble");
     let avg = settle(&mut engine, 4000);
-    report(&engine, format!("4000 rounds later (avg r {avg:.0})").as_str());
+    report(
+        &engine,
+        format!("4000 rounds later (avg r {avg:.0})").as_str(),
+    );
 
     println!("\n>>> stampede: every ant onto task 0");
     engine.perturb(&Perturbation::StampedeTo(0));
     report(&engine, "immediately after the stampede");
     let avg = settle(&mut engine, 6000);
-    report(&engine, format!("6000 rounds later (avg r {avg:.0})").as_str());
+    report(
+        &engine,
+        format!("6000 rounds later (avg r {avg:.0})").as_str(),
+    );
 }

@@ -15,23 +15,25 @@ use antalloc_sim::{ControllerSpec, FnObserver, SimConfig};
 
 fn main() {
     let gamma = 1.0 / 16.0;
-    let mut config = SimConfig::new(
-        6000,
-        vec![800, 1200],
-        NoiseModel::Sigmoid { lambda: 2.0 },
-        ControllerSpec::Ant(AntParams::new(gamma)),
-        42,
-    );
-    // At round 4000 the environment flips the two demands; at 8000 both
-    // shrink (a "cold snap": less foraging needed).
-    config.schedule = DemandSchedule::Steps(vec![
-        (4000, vec![1200, 800]),
-        (8000, vec![500, 500]),
-    ]);
+    let config = SimConfig::builder(6000, vec![800, 1200])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+        .seed(42)
+        // At round 4000 the environment flips the two demands; at 8000
+        // both shrink (a "cold snap": less foraging needed).
+        .schedule(DemandSchedule::Steps(vec![
+            (4000, vec![1200, 800]),
+            (8000, vec![500, 500]),
+        ]))
+        .build()
+        .expect("valid scenario");
 
     let mut engine = config.build();
     let mut detector = SaturationDetector::new(gamma, 0.25, 50);
-    println!("{:>6} {:>8} {:>8} {:>8} {:>9}", "round", "W(0)", "W(1)", "regret", "event");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>9}",
+        "round", "W(0)", "W(1)", "regret", "event"
+    );
 
     let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
         detector.record(r.round, r.loads, r.demands);
@@ -40,7 +42,7 @@ fn main() {
             8000 => "demands shrink!",
             _ => "",
         };
-        if r.round % 500 == 0 || !event.is_empty() {
+        if r.round.is_multiple_of(500) || !event.is_empty() {
             println!(
                 "{:>6} {:>8} {:>8} {:>8} {:>9}",
                 r.round,

@@ -5,7 +5,7 @@
 //! cargo run --release -p colony-examples --example memory_tradeoff
 //! ```
 
-use antalloc_core::{PreciseSigmoidParams};
+use antalloc_core::PreciseSigmoidParams;
 use antalloc_env::InitialConfig;
 use antalloc_noise::{critical_value_sigmoid, NoiseModel};
 use antalloc_sim::{ControllerSpec, RunSummary, SimConfig};
@@ -17,7 +17,10 @@ fn main() {
     let gamma = 0.04;
     let cv = critical_value_sigmoid(lambda, n, &demands, 2.0);
     let sum_d: u64 = demands.iter().sum();
-    println!("γ = {gamma}, γ*(q=2) ≈ {:.4}, Σd = {sum_d}\n", cv.gamma_star);
+    println!(
+        "γ = {gamma}, γ*(q=2) ≈ {:.4}, Σd = {sum_d}\n",
+        cv.gamma_star
+    );
     println!(
         "{:>6} {:>8} {:>12} {:>14} {:>14} {:>12}",
         "ε", "phase", "memory bits", "avg regret", "paper γεΣd", "ratio"
@@ -25,16 +28,15 @@ fn main() {
 
     for eps in [0.8, 0.4, 0.2, 0.1] {
         let params = PreciseSigmoidParams::new(gamma, eps);
-        let mut config = SimConfig::new(
-            n,
-            demands.clone(),
-            NoiseModel::Sigmoid { lambda },
-            ControllerSpec::PreciseSigmoid(params),
-            0xE5,
-        );
-        // Start saturated: Theorem 3.2 is about the perpetual rate, and
-        // the tiny step size makes cold-start transients very long.
-        config.initial = InitialConfig::Saturated;
+        let config = SimConfig::builder(n, demands.clone())
+            .noise(NoiseModel::Sigmoid { lambda })
+            .controller(ControllerSpec::PreciseSigmoid(params))
+            .seed(0xE5)
+            // Start saturated: Theorem 3.2 is about the perpetual rate,
+            // and the tiny step size makes cold-start transients long.
+            .initial(InitialConfig::Saturated)
+            .build()
+            .expect("valid scenario");
         let mut engine = config.build();
         let phase = params.phase_len();
         let mut warmup = RunSummary::new();

@@ -14,13 +14,12 @@ use antalloc_noise::{GreyZonePolicy, NoiseModel};
 use antalloc_sim::{ControllerSpec, RunSummary, SimConfig};
 
 fn run(noise: &NoiseModel, controller: &ControllerSpec) -> f64 {
-    let config = SimConfig::new(
-        4000,
-        vec![500, 800],
-        noise.clone(),
-        controller.clone(),
-        7,
-    );
+    let config = SimConfig::builder(4000, vec![500, 800])
+        .noise(noise.clone())
+        .controller(controller.clone())
+        .seed(7)
+        .build()
+        .expect("valid scenario");
     let mut engine = config.build();
     let mut warmup = RunSummary::new();
     engine.run(6_000, &mut warmup);
@@ -36,7 +35,10 @@ fn main() {
         ("sigmoid λ=2", NoiseModel::Sigmoid { lambda: 2.0 }),
         (
             "adversarial γ_ad=0.05 (inverted)",
-            NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::Inverted },
+            NoiseModel::Adversarial {
+                gamma_ad: 0.05,
+                policy: GreyZonePolicy::Inverted,
+            },
         ),
     ];
     let algorithms: [(&str, ControllerSpec); 4] = [

@@ -19,7 +19,24 @@ pub struct SmallColony {
 
 impl Default for SmallColony {
     fn default() -> Self {
-        Self { n: 4000, demands: vec![400, 700, 300], lambda: 0.15, seed: 0xA17 }
+        Self {
+            n: 4000,
+            demands: vec![400, 700, 300],
+            lambda: 0.15,
+            seed: 0xA17,
+        }
+    }
+}
+
+impl SmallColony {
+    /// Starts a scenario builder preloaded with this fixture (sigmoid
+    /// noise at the fixture's λ); tests chain their controller onto it.
+    pub fn scenario(&self) -> antalloc_sim::ScenarioBuilder {
+        antalloc_sim::SimConfig::builder(self.n, self.demands.clone())
+            .noise(antalloc_noise::NoiseModel::Sigmoid {
+                lambda: self.lambda,
+            })
+            .seed(self.seed)
     }
 }
 

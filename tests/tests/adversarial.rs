@@ -12,24 +12,23 @@ const K: usize = 2;
 const GAMMA_AD: f64 = 0.05;
 
 fn run_with_demands(demands: Vec<u64>, thresholds: Vec<u64>) -> (Vec<Vec<u32>>, f64) {
-    let cfg = SimConfig::new(
-        N,
-        demands,
-        NoiseModel::Adversarial {
+    let cfg = SimConfig::builder(N, demands)
+        .noise(NoiseModel::Adversarial {
             gamma_ad: GAMMA_AD,
             policy: GreyZonePolicy::LoadThreshold(thresholds),
-        },
+        })
         // γ = γ* = γ_ad, as Theorem 3.1 wants.
-        ControllerSpec::Ant(AntParams::new(GAMMA_AD)),
-        0xA110C,
-    );
+        .controller(ControllerSpec::Ant(AntParams::new(GAMMA_AD)))
+        .seed(0xA110C)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut loads_trace: Vec<Vec<u32>> = Vec::new();
     let mut obs = FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
         loads_trace.push(r.loads.to_vec());
     });
     engine.run(3000, &mut obs);
-    drop(obs);
+    let _ = obs; // closure borrows end here
     let mut steady = RunSummary::new();
     engine.run(2000, &mut steady);
     (loads_trace, steady.average_regret())

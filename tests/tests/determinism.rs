@@ -6,13 +6,12 @@ use antalloc_noise::NoiseModel;
 use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
 
 fn config(seed: u64) -> SimConfig {
-    SimConfig::new(
-        1500,
-        vec![200, 300, 150],
-        NoiseModel::Sigmoid { lambda: 2.0 },
-        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
-        seed,
-    )
+    SimConfig::builder(1500, vec![200, 300, 150])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
 }
 
 #[test]
@@ -75,13 +74,12 @@ fn precise_sigmoid_parallel_determinism() {
 
 #[test]
 fn sequential_engine_is_deterministic() {
-    let cfg = SimConfig::new(
-        500,
-        vec![120],
-        NoiseModel::Sigmoid { lambda: 1.0 },
-        ControllerSpec::Trivial,
-        77,
-    );
+    let cfg = SimConfig::builder(500, vec![120])
+        .noise(NoiseModel::Sigmoid { lambda: 1.0 })
+        .controller(ControllerSpec::Trivial)
+        .seed(77)
+        .build()
+        .expect("valid scenario");
     let mut a = cfg.build_sequential();
     let mut b = cfg.build_sequential();
     let mut obs = NullObserver;

@@ -3,9 +3,7 @@
 //! hiding, and reaches both of its output states (Assumption 2.2 in
 //! behavioural form).
 
-use antalloc_core::{
-    AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams,
-};
+use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 use antalloc_sim::{BasicObserver, ControllerSpec, FnObserver, NullObserver, SimConfig};
 
@@ -23,9 +21,19 @@ fn all_noises() -> Vec<NoiseModel> {
     vec![
         NoiseModel::Exact,
         NoiseModel::Sigmoid { lambda: 1.5 },
-        NoiseModel::CorrelatedSigmoid { lambda: 1.5, rho: 0.4, seed: 9 },
-        NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::Inverted },
-        NoiseModel::Adversarial { gamma_ad: 0.05, policy: GreyZonePolicy::RandomLack(0.5) },
+        NoiseModel::CorrelatedSigmoid {
+            lambda: 1.5,
+            rho: 0.4,
+            seed: 9,
+        },
+        NoiseModel::Adversarial {
+            gamma_ad: 0.05,
+            policy: GreyZonePolicy::Inverted,
+        },
+        NoiseModel::Adversarial {
+            gamma_ad: 0.05,
+            policy: GreyZonePolicy::RandomLack(0.5),
+        },
     ]
 }
 
@@ -33,11 +41,19 @@ fn all_noises() -> Vec<NoiseModel> {
 fn every_controller_runs_under_every_noise_model() {
     for spec in all_specs() {
         for noise in all_noises() {
-            let cfg = SimConfig::new(400, vec![60, 80], noise.clone(), spec.clone(), 12);
+            let cfg = SimConfig::builder(400, vec![60, 80])
+                .noise(noise.clone())
+                .controller(spec.clone())
+                .seed(12)
+                .build()
+                .expect("valid scenario");
             let mut engine = cfg.build();
             let mut obs = NullObserver;
             engine.run(700, &mut obs);
-            assert!(engine.colony().recount_consistent(), "{spec:?} under {noise:?}");
+            assert!(
+                engine.colony().recount_consistent(),
+                "{spec:?} under {noise:?}"
+            );
         }
     }
 }
@@ -47,13 +63,12 @@ fn every_controller_visits_both_working_and_idle_states() {
     // Behavioural Assumption 2.2: over a long noisy run, the population
     // must exercise joins and leaves (no absorbing states).
     for spec in all_specs() {
-        let cfg = SimConfig::new(
-            300,
-            vec![50, 50],
-            NoiseModel::Sigmoid { lambda: 0.5 },
-            spec.clone(),
-            13,
-        );
+        let cfg = SimConfig::builder(300, vec![50, 50])
+            .noise(NoiseModel::Sigmoid { lambda: 0.5 })
+            .controller(spec.clone())
+            .seed(13)
+            .build()
+            .expect("valid scenario");
         let mut engine = cfg.build();
         let mut saw_workers = false;
         let mut saw_idle = false;
@@ -62,7 +77,7 @@ fn every_controller_visits_both_working_and_idle_states() {
             saw_idle |= r.idle > 0;
         });
         engine.run(2500, &mut obs);
-        drop(obs);
+        let _ = obs; // closure borrows end here
         assert!(saw_workers, "{spec:?} never put anyone to work");
         assert!(saw_idle, "{spec:?} never had an idle ant");
     }
@@ -71,13 +86,15 @@ fn every_controller_visits_both_working_and_idle_states() {
 #[test]
 fn hysteresis_spec_runs_single_task_colonies() {
     for depth in [1u16, 3, 8] {
-        let cfg = SimConfig::new(
-            500,
-            vec![125],
-            NoiseModel::Sigmoid { lambda: 1.0 },
-            ControllerSpec::Hysteresis { depth, lazy: Some(0.25) },
-            14,
-        );
+        let cfg = SimConfig::builder(500, vec![125])
+            .noise(NoiseModel::Sigmoid { lambda: 1.0 })
+            .controller(ControllerSpec::Hysteresis {
+                depth,
+                lazy: Some(0.25),
+            })
+            .seed(14)
+            .build()
+            .expect("valid scenario");
         let mut engine = cfg.build();
         let mut obs = BasicObserver::new(0.05, 2.5, 500);
         engine.run(3000, &mut obs);
@@ -89,13 +106,12 @@ fn hysteresis_spec_runs_single_task_colonies() {
 
 #[test]
 fn metrics_pipeline_integrates_with_engine() {
-    let cfg = SimConfig::new(
-        1000,
-        vec![150, 200],
-        NoiseModel::Sigmoid { lambda: 2.0 },
-        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
-        15,
-    );
+    let cfg = SimConfig::builder(1000, vec![150, 200])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(15)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut obs = BasicObserver::new(1.0 / 16.0, 2.5, 2000);
     engine.run(5000, &mut obs);
@@ -114,10 +130,8 @@ fn memory_accounting_is_ordered_sensibly() {
     let k = 4;
     let trivial = ControllerSpec::Trivial.build(k);
     let ant = ControllerSpec::Ant(AntParams::default()).build(k);
-    let ps_coarse =
-        ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)).build(k);
-    let ps_fine =
-        ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.05)).build(k);
+    let ps_coarse = ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)).build(k);
+    let ps_fine = ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.05)).build(k);
     use antalloc_core::Controller as _;
     assert!(trivial.memory_bits() < ant.memory_bits());
     assert!(ant.memory_bits() < ps_coarse.memory_bits());

@@ -6,18 +6,15 @@ use antalloc_core::AntParams;
 use antalloc_env::Perturbation;
 use antalloc_metrics::WeightedRegret;
 use antalloc_noise::NoiseModel;
-use antalloc_sim::{
-    Checkpoint, ControllerSpec, FnObserver, NullObserver, RunSummary, SimConfig,
-};
+use antalloc_sim::{Checkpoint, ControllerSpec, FnObserver, NullObserver, RunSummary, SimConfig};
 
 fn desync_config(seed: u64, gamma: f64) -> SimConfig {
-    SimConfig::new(
-        2000,
-        vec![300, 400],
-        NoiseModel::Sigmoid { lambda: 2.0 },
-        ControllerSpec::AntDesync(AntParams::new(gamma)),
-        seed,
-    )
+    SimConfig::builder(2000, vec![300, 400])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::AntDesync(AntParams::new(gamma)))
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
 }
 
 #[test]
@@ -82,13 +79,12 @@ fn desync_checkpoint_roundtrips_structurally() {
 
 #[test]
 fn weighted_regret_integrates_with_engine() {
-    let cfg = SimConfig::new(
-        1500,
-        vec![200, 300],
-        NoiseModel::Sigmoid { lambda: 2.0 },
-        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
-        4,
-    );
+    let cfg = SimConfig::builder(1500, vec![200, 300])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(4)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut warm = NullObserver;
     engine.run(4000, &mut warm);

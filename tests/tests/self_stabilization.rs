@@ -6,13 +6,12 @@ use antalloc_noise::NoiseModel;
 use antalloc_sim::{ControllerSpec, NullObserver, RunSummary, SimConfig};
 
 fn config(seed: u64) -> SimConfig {
-    SimConfig::new(
-        2000,
-        vec![300, 400],
-        NoiseModel::Sigmoid { lambda: 3.0 },
-        ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
-        seed,
-    )
+    SimConfig::builder(2000, vec![300, 400])
+        .noise(NoiseModel::Sigmoid { lambda: 3.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
 }
 
 fn steady_regret(engine: &mut antalloc_sim::SyncEngine, settle: u64, measure: u64) -> f64 {
@@ -65,7 +64,10 @@ fn spawned_ants_integrate() {
 #[test]
 fn tracks_step_demand_changes() {
     let mut cfg = config(4);
-    cfg.schedule = DemandSchedule::Step { at: 5000, demands: vec![400, 300] };
+    cfg.schedule = DemandSchedule::Step {
+        at: 5000,
+        demands: vec![400, 300],
+    };
     let mut engine = cfg.build();
     let before = steady_regret(&mut engine, 4000, 900); // rounds 1..4900
     let after = steady_regret(&mut engine, 4000, 1000); // past the step

@@ -12,13 +12,12 @@ use antalloc_sim::{ControllerSpec, NullObserver, RunSummary, SimConfig};
 /// n = 2000 colony in the γ ≥ γ* regime (reliability exponent 2, λ = 4:
 /// γ*(q=2) = 2·ln 2000/(4·250) ≈ 0.0152 ≤ γ = 1/16).
 fn ant_config(seed: u64, gamma: f64) -> SimConfig {
-    SimConfig::new(
-        2000,
-        vec![250, 400, 350],
-        NoiseModel::Sigmoid { lambda: 4.0 },
-        ControllerSpec::Ant(AntParams::new(gamma)),
-        seed,
-    )
+    SimConfig::builder(2000, vec![250, 400, 350])
+        .noise(NoiseModel::Sigmoid { lambda: 4.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
 }
 
 #[test]
@@ -87,28 +86,26 @@ fn thm32_precise_sigmoid_band_is_narrower_than_ants() {
 
     // Ant, parked high inside its legal band (+200 ≈ 7.8%·d: the pause
     // dip c_sγW ≈ 430 still crosses below demand, so it is stable).
-    let mut ant_cfg = SimConfig::new(
-        n,
-        demands.clone(),
-        noise.clone(),
-        ControllerSpec::Ant(AntParams::new(gamma)),
-        21,
-    );
-    ant_cfg.initial = InitialConfig::SaturatedPlus { extra: 200 };
+    let ant_cfg = SimConfig::builder(n, demands.clone())
+        .noise(noise.clone())
+        .controller(ControllerSpec::Ant(AntParams::new(gamma)))
+        .seed(21)
+        .initial(InitialConfig::SaturatedPlus { extra: 200 })
+        .build()
+        .expect("valid scenario");
     let mut ant = ant_cfg.build();
 
     // Precise Sigmoid started at +10, inside its own band
     // [d+1, d+~γ'c_s d] ≈ [2561, 2580].
     let ps = PreciseSigmoidParams::new(gamma, eps);
     let phase = ps.phase_len(); // 82
-    let mut ps_cfg = SimConfig::new(
-        n,
-        demands,
-        noise,
-        ControllerSpec::PreciseSigmoid(ps),
-        21,
-    );
-    ps_cfg.initial = InitialConfig::SaturatedPlus { extra: 10 };
+    let ps_cfg = SimConfig::builder(n, demands)
+        .noise(noise)
+        .controller(ControllerSpec::PreciseSigmoid(ps))
+        .seed(21)
+        .initial(InitialConfig::SaturatedPlus { extra: 10 })
+        .build()
+        .expect("valid scenario");
     let mut precise = ps_cfg.build();
 
     let mut warm = NullObserver;
@@ -146,20 +143,19 @@ fn trivial_synchronous_oscillates_with_theta_n_amplitude() {
     // Appendix D.2: one task, d = n/4, all ants see the same (almost
     // noise-free) signal and flip-flop between joining and leaving.
     let n = 1000;
-    let cfg = SimConfig::new(
-        n,
-        vec![(n / 4) as u64],
-        NoiseModel::Sigmoid { lambda: 1.0 },
-        ControllerSpec::Trivial,
-        31,
-    );
+    let cfg = SimConfig::builder(n, vec![(n / 4) as u64])
+        .noise(NoiseModel::Sigmoid { lambda: 1.0 })
+        .controller(ControllerSpec::Trivial)
+        .seed(31)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut max_regret = 0u64;
     let mut obs = antalloc_sim::FnObserver::new(|r: &antalloc_sim::RoundRecord<'_>| {
         max_regret = max_regret.max(r.instant_regret());
     });
     engine.run(400, &mut obs);
-    drop(obs);
+    let _ = obs; // closure borrows end here
     assert!(
         max_regret as f64 > 0.5 * n as f64,
         "expected Θ(n) oscillation, max regret {max_regret}"
@@ -170,13 +166,12 @@ fn trivial_synchronous_oscillates_with_theta_n_amplitude() {
 fn trivial_sequential_settles_near_demand() {
     // Appendix D.1: the same algorithm under one-ant-per-round
     // scheduling hovers near the demand.
-    let cfg = SimConfig::new(
-        1000,
-        vec![250],
-        NoiseModel::Sigmoid { lambda: 1.0 },
-        ControllerSpec::Trivial,
-        33,
-    );
+    let cfg = SimConfig::builder(1000, vec![250])
+        .noise(NoiseModel::Sigmoid { lambda: 1.0 })
+        .controller(ControllerSpec::Trivial)
+        .seed(33)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build_sequential();
     let mut warm = NullObserver;
     engine.run(20_000, &mut warm);
