@@ -1,0 +1,153 @@
+//! MIX1 — heterogeneous colonies: Ant vs ExactGreedy vs Hysteresis
+//! racing head-to-head *inside one colony* under sigmoid noise.
+//!
+//! The paper's colonies are homogeneous by construction; related swarm
+//! work (Balachandran–Harasha–Lynch 2024, Silva–Edwards–Hsieh 2022)
+//! studies mixed populations explicitly. `ControllerSpec::Mix` makes
+//! that a first-class scenario: one colony, one noisy environment,
+//! weighted fractions of controllers. Expected shape:
+//!
+//! * noise-robust Ant fractions end up *holding* the task — the greedy
+//!   baseline churns near Δ ≈ 0 (phantom overloads every round, cf.
+//!   `exp_baseline_noise_fragility`) while Ant parks in its stable
+//!   band;
+//! * colony-level regret degrades as the noise-fragile fraction grows;
+//! * deep-hysteresis machines are sticky: they hold what they grab but
+//!   are slow to let go after shocks.
+//!
+//! Every mix runs under the batch runner across seeds, streaming each
+//! seed's outcome through a `JsonlSink` (the constant-memory path a
+//! million-run sweep would use).
+
+use antalloc_bench::{banner, fmt, out_dir, Table};
+use antalloc_core::{AntParams, ExactGreedyParams};
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{Batch, ControllerSpec, JsonlSink, NullObserver, RunSink as _, SimConfig};
+
+fn ant() -> ControllerSpec {
+    ControllerSpec::Ant(AntParams::new(1.0 / 16.0))
+}
+
+fn greedy() -> ControllerSpec {
+    ControllerSpec::ExactGreedy(ExactGreedyParams::default())
+}
+
+fn hysteresis() -> ControllerSpec {
+    ControllerSpec::Hysteresis {
+        depth: 4,
+        lazy: Some(0.5),
+    }
+}
+
+fn spec_label(spec: &ControllerSpec) -> &'static str {
+    match spec {
+        ControllerSpec::Ant(_) => "ant",
+        ControllerSpec::ExactGreedy(_) => "greedy",
+        ControllerSpec::Hysteresis { .. } => "hysteresis",
+        _ => "other",
+    }
+}
+
+fn main() {
+    banner(
+        "MIX1",
+        "mixed colonies: Ant vs ExactGreedy vs Hysteresis in one colony",
+        "noise-robust fractions hold the task; regret grows with the fragile fraction",
+    );
+
+    let n = 3000usize;
+    let demand = (n / 4) as u64; // single task: hysteresis machines observe one task
+    let rounds = 4000u64;
+    let warmup = 2000u64;
+    let seeds = 0..8u64;
+
+    // Mix grid: pure colonies as anchors, then Ant fraction sweeps with
+    // the remainder split between the two baselines.
+    let mixes: Vec<(String, ControllerSpec)> = vec![
+        ("ant 100%".into(), ant()),
+        ("greedy 100%".into(), greedy()),
+        ("hysteresis 100%".into(), hysteresis()),
+        (
+            "ant 80 / greedy 10 / hyst 10".into(),
+            ControllerSpec::Mix(vec![(8.0, ant()), (1.0, greedy()), (1.0, hysteresis())]),
+        ),
+        (
+            "ant 50 / greedy 25 / hyst 25".into(),
+            ControllerSpec::Mix(vec![(2.0, ant()), (1.0, greedy()), (1.0, hysteresis())]),
+        ),
+        (
+            "ant 20 / greedy 40 / hyst 40".into(),
+            ControllerSpec::Mix(vec![(1.0, ant()), (2.0, greedy()), (2.0, hysteresis())]),
+        ),
+    ];
+
+    let mut table = Table::new(
+        "exp_mixed_colony",
+        &[
+            "mix",
+            "avg regret",
+            "max |r|",
+            "ant share of work",
+            "greedy share",
+            "hyst share",
+        ],
+    );
+
+    let jsonl_path = out_dir().join("exp_mixed_colony.jsonl");
+    let mut sink = JsonlSink::create(&jsonl_path).expect("create jsonl sink");
+
+    for (label, spec) in &mixes {
+        let cfg = SimConfig::builder(n, vec![demand])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(spec.clone())
+            .seed(0x1113)
+            .build()
+            .expect("valid mixed scenario");
+
+        // One batch across seeds: each outcome streams to the JSONL
+        // sink AND folds into the table aggregates as it completes.
+        let batch = Batch::new(cfg.clone(), rounds)
+            .seeds(seeds.clone())
+            .warmup(warmup);
+        let mut avg = 0.0f64;
+        let mut max_r = 0.0f64;
+        let runs = batch
+            .for_each(|o| {
+                sink.on_outcome(o).expect("jsonl write");
+                avg += o.summary.average_regret() / 8.0;
+                max_r = max_r.max(o.summary.max_instant_regret() as f64);
+            })
+            .expect("mixed batch runs under the batch runner");
+        assert_eq!(runs, 8);
+
+        // Census on one representative run: who ends up holding the task?
+        let mut engine = cfg.build();
+        engine.run(warmup + rounds, &mut NullObserver);
+        let census = engine.bank_census();
+        let total_working: u64 = census.iter().map(|b| b.working).sum();
+        let share = |name: &str| -> f64 {
+            let w: u64 = census
+                .iter()
+                .filter(|b| spec_label(&b.spec) == name)
+                .map(|b| b.working)
+                .sum();
+            if total_working == 0 {
+                0.0
+            } else {
+                w as f64 / total_working as f64
+            }
+        };
+
+        table.row(vec![
+            label.clone(),
+            fmt(avg),
+            fmt(max_r),
+            fmt(share("ant")),
+            fmt(share("greedy")),
+            fmt(share("hysteresis")),
+        ]);
+    }
+    table.finish();
+    sink.finish().expect("flush jsonl sink");
+    println!("  [jsonl: {}]", jsonl_path.display());
+}

@@ -2,13 +2,28 @@
 //!
 //! Tracks ant-rounds/second for the serial and parallel paths and the
 //! per-algorithm step cost, so the experiment suite stays laptop-sized.
+//!
+//! The `banks_vs_seed` comparison races the banked engine against a
+//! faithful replica of the pre-bank (array-of-enums, per-ant-probe)
+//! loop on a million-ant homogeneous Ant colony, asserts the two are
+//! bit-identical, and emits `target/experiments/BENCH_engine.json` —
+//! the artifact the `perf-smoke` CI job uploads so the repo keeps a
+//! perf trajectory. Set `PERF_QUICK=1` for a CI-sized run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
 
-use antalloc_core::{AntParams, PreciseSigmoidParams};
-use antalloc_noise::NoiseModel;
+use antalloc_core::{AntParams, AnyController, Controller, PreciseSigmoidParams};
+use antalloc_env::ColonyState;
+use antalloc_noise::{FeedbackProbe, NoiseModel};
+use antalloc_rng::{AntRng, StreamSeeder};
 use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
+
+fn quick() -> bool {
+    std::env::var("PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 fn engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
@@ -50,7 +65,7 @@ fn algorithm_step_cost(c: &mut Criterion) {
     let n = 10_000usize;
     let demands = vec![2000u64, 2000];
     let rounds = 64u64;
-    let specs: [(&str, ControllerSpec); 4] = [
+    let specs: [(&str, ControllerSpec); 5] = [
         ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
         (
             "precise_sigmoid",
@@ -64,9 +79,26 @@ fn algorithm_step_cost(c: &mut Criterion) {
                 lazy: Some(0.5),
             },
         ),
+        (
+            "mix_ant_greedy_hyst",
+            ControllerSpec::Mix(vec![
+                (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                (1.0, ControllerSpec::ExactGreedy(Default::default())),
+                (
+                    1.0,
+                    ControllerSpec::Hysteresis {
+                        depth: 4,
+                        lazy: Some(0.5),
+                    },
+                ),
+            ]),
+        ),
     ];
     for (name, spec) in specs {
-        let demands = if matches!(spec, ControllerSpec::Hysteresis { .. }) {
+        let demands = if matches!(
+            spec,
+            ControllerSpec::Hysteresis { .. } | ControllerSpec::Mix(_)
+        ) {
             vec![2000u64]
         } else {
             demands.clone()
@@ -90,5 +122,164 @@ fn algorithm_step_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, algorithm_step_cost);
+/// A faithful replica of the pre-bank engine loop: `Vec<AnyController>`
+/// with one enum dispatch and one probe per ant per round, decisions
+/// applied in ant order as they are made. The controllers are cloned
+/// out of a banked engine so the initial state matches exactly.
+struct SeedReplica {
+    controllers: Vec<AnyController>,
+    rngs: Vec<AntRng>,
+    colony: ColonyState,
+    noise: NoiseModel,
+    round: u64,
+    deficits: Vec<i64>,
+}
+
+impl SeedReplica {
+    fn new(cfg: &SimConfig) -> Self {
+        let engine = cfg.build();
+        let controllers = engine.reference_controllers();
+        let seeder = StreamSeeder::new(cfg.seed);
+        let rngs = (0..cfg.n).map(|i| seeder.ant(i)).collect();
+        let colony = ColonyState::new(cfg.n, antalloc_env::DemandVector::new(cfg.demands.clone()));
+        // cfg.initial is AllIdle here; the fresh colony already is.
+        let k = colony.num_tasks();
+        Self {
+            controllers,
+            rngs,
+            colony,
+            noise: cfg.noise.clone(),
+            round: 0,
+            deficits: vec![0; k],
+        }
+    }
+
+    fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.round += 1;
+            self.colony.deficits_into(&mut self.deficits);
+            let prepared =
+                self.noise
+                    .prepare(self.round, &self.deficits, self.colony.demands().as_slice());
+            for i in 0..self.controllers.len() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut self.rngs[i]);
+                let next = self.controllers[i].step(&mut probe);
+                if next != self.colony.assignment(i) {
+                    self.colony.apply(i, next);
+                }
+            }
+        }
+    }
+}
+
+/// Times `step` over `samples` batches of `rounds` rounds; returns the
+/// best ant-rounds/second (max over samples, the standard perf metric
+/// for throughput floors).
+fn measure(n: usize, rounds: u64, samples: usize, mut step: impl FnMut(u64)) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        step(rounds);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.max(n as f64 * rounds as f64 / dt);
+    }
+    best
+}
+
+fn banks_vs_seed(_c: &mut Criterion) {
+    let (n, rounds, samples) = if quick() {
+        (150_000usize, 8u64, 3usize)
+    } else {
+        (1_000_000usize, 16u64, 5usize)
+    };
+    let demands = vec![(n / 8) as u64; 3];
+    let cfg = SimConfig::builder(n, demands)
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(3)
+        .build()
+        .expect("valid scenario");
+
+    println!("\nbenchmark group: banks_vs_seed (n = {n}, {rounds} rounds × {samples} samples)");
+
+    // Warm both to the same steady state, asserting bit-identity on the
+    // way — the comparison is meaningless if the layouts diverge.
+    let warm = 32u64;
+    let mut banked = cfg.build();
+    let mut obs = NullObserver;
+    banked.run(warm, &mut obs);
+    let mut seed = SeedReplica::new(&cfg);
+    seed.run(warm);
+    assert_eq!(
+        banked.colony().loads(),
+        seed.colony.loads(),
+        "bank layout diverged from the seed layout"
+    );
+
+    let seed_tput = measure(n, rounds, samples, |r| seed.run(r));
+    let banks_tput = measure(n, rounds, samples, |r| banked.run(r, &mut NullObserver));
+    let threads = antalloc_bench::worker_threads();
+    let banks_par_tput = measure(n, rounds, samples, |r| {
+        banked.run_parallel(r, threads, &mut NullObserver)
+    });
+    // Catch the seed replica up (banked ran one extra measurement
+    // block on the parallel path) and re-check bit-identity.
+    seed.run(rounds * samples as u64);
+    assert_eq!(
+        banked.colony().loads(),
+        seed.colony.loads(),
+        "layouts diverged during measurement"
+    );
+
+    let speedup = banks_tput / seed_tput;
+    let mut table = antalloc_bench::Table::new(
+        "perf_engine_banks_vs_seed",
+        &["layout", "ant_rounds_per_sec", "speedup_vs_seed"],
+    );
+    table.row(vec![
+        "seed_per_ant".into(),
+        format!("{seed_tput:.3e}"),
+        "1.00".into(),
+    ]);
+    table.row(vec![
+        "banks_serial".into(),
+        format!("{banks_tput:.3e}"),
+        format!("{speedup:.2}"),
+    ]);
+    table.row(vec![
+        format!("banks_parallel_{threads}"),
+        format!("{banks_par_tput:.3e}"),
+        format!("{:.2}", banks_par_tput / seed_tput),
+    ]);
+    table.finish();
+
+    let path = antalloc_bench::out_dir().join("BENCH_engine.json");
+    let mut out = std::fs::File::create(&path).expect("create BENCH_engine.json");
+    writeln!(
+        out,
+        "{{\n  \"bench\": \"perf_engine/banks_vs_seed\",\n  \"quick\": {},\n  \
+         \"n\": {n},\n  \"tasks\": 3,\n  \"rounds_per_sample\": {rounds},\n  \
+         \"samples\": {samples},\n  \"threads\": {threads},\n  \"layouts\": {{\n    \
+         \"seed_per_ant\": {{ \"ant_rounds_per_sec\": {seed_tput:.1} }},\n    \
+         \"banks_serial\": {{ \"ant_rounds_per_sec\": {banks_tput:.1} }},\n    \
+         \"banks_parallel\": {{ \"ant_rounds_per_sec\": {banks_par_tput:.1} }}\n  }},\n  \
+         \"speedup_serial_vs_seed\": {speedup:.3},\n  \
+         \"speedup_parallel_vs_seed\": {:.3}\n}}",
+        quick(),
+        banks_par_tput / seed_tput,
+    )
+    .expect("write BENCH_engine.json");
+    println!("  [json: {}]", path.display());
+    assert!(
+        speedup > 0.0 && speedup.is_finite(),
+        "nonsensical speedup {speedup}"
+    );
+}
+
+criterion_group!(
+    benches,
+    engine_throughput,
+    algorithm_step_cost,
+    banks_vs_seed
+);
 criterion_main!(benches);

@@ -17,8 +17,8 @@
 //! parks there (Theorem 3.1).
 
 use antalloc_env::Assignment;
-use antalloc_noise::{Feedback, FeedbackProbe};
-use antalloc_rng::{uniform_index, Bernoulli};
+use antalloc_noise::{Feedback, FeedbackProbe, RoundView};
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
 use crate::controller::Controller;
 use crate::params::AntParams;
@@ -88,6 +88,63 @@ impl AlgorithmAnt {
         self.phase_offset
     }
 
+    /// Number of tasks this controller observes.
+    pub fn num_tasks(&self) -> usize {
+        self.s1_all.len()
+    }
+
+    /// Bank-loop entry point: steps a homogeneous slice of Algorithm Ant
+    /// controllers against one shared [`RoundView`].
+    ///
+    /// Bit-identical to per-ant [`Controller::step`] (the reference
+    /// semantics); phase offsets are honoured per ant, so desynchronized
+    /// banks work too. Offset-0 colonies get the structure-of-arrays
+    /// fast path instead — see [`crate::AntBank`].
+    pub fn step_bank(
+        ants: &mut [Self],
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        out: &mut [Assignment],
+    ) {
+        crate::controller::step_slice(ants, view, rngs, out)
+    }
+
+    /// Copies the persistent per-ant state out, for transposition into
+    /// the structure-of-arrays bank. Lossless together with
+    /// [`AlgorithmAnt::from_bank_state`]: only `s2_all` is omitted, and
+    /// that is pure within-round scratch (fully overwritten before any
+    /// read in `step_second_sample`).
+    pub(crate) fn bank_state(&self) -> AntBankState {
+        AntBankState {
+            current_task: self.current_task,
+            assignment: self.assignment,
+            s1_lack: self.s1_all.iter().map(|f| f.is_lack()).collect(),
+            s1_current_lack: self.s1_current.is_lack(),
+            have_s1: self.have_s1,
+        }
+    }
+
+    /// Rebuilds a phase-offset-0 controller from transposed bank state.
+    pub(crate) fn from_bank_state(num_tasks: usize, params: AntParams, s: AntBankState) -> Self {
+        let mut ant = Self::new(num_tasks, params);
+        ant.current_task = s.current_task;
+        ant.assignment = s.assignment;
+        for (slot, lack) in ant.s1_all.iter_mut().zip(&s.s1_lack) {
+            *slot = if *lack {
+                Feedback::Lack
+            } else {
+                Feedback::Overload
+            };
+        }
+        ant.s1_current = if s.s1_current_lack {
+            Feedback::Lack
+        } else {
+            Feedback::Overload
+        };
+        ant.have_s1 = s.have_s1;
+        ant
+    }
+
     fn step_first_sample(&mut self, probe: &mut FeedbackProbe<'_>) -> Assignment {
         // Line 4: currentTask ← a_{t−1}.
         self.current_task = self.assignment;
@@ -155,6 +212,16 @@ impl AlgorithmAnt {
         self.have_s1 = false;
         self.assignment
     }
+}
+
+/// Persistent per-ant state in transposable form (see
+/// [`AlgorithmAnt::bank_state`]).
+pub(crate) struct AntBankState {
+    pub current_task: Assignment,
+    pub assignment: Assignment,
+    pub s1_lack: Vec<bool>,
+    pub s1_current_lack: bool,
+    pub have_s1: bool,
 }
 
 impl Controller for AlgorithmAnt {

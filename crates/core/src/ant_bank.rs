@@ -1,0 +1,453 @@
+//! Structure-of-arrays bank for §4 Algorithm Ant — the hot layout.
+//!
+//! A million-ant Ant colony is memory-bound: stepping a `Vec` of
+//! per-ant structs streams ~200 bytes per ant per round (struct, two
+//! heap sample buffers, RNG). This bank transposes the persistent state
+//! into flat arrays — ~13 bytes per ant plus the RNG — and hoists the
+//! phase-parity branch and the shared pause/leave samplers out of the
+//! loop.
+//!
+//! **Reference semantics.** [`crate::AlgorithmAnt`] is the truth;
+//! [`AntBank`] must consume every ant's RNG stream in exactly the order
+//! `Controller::step` would (samples, then pause/leave/join coins, with
+//! the same short-circuits), so bank runs are bit-identical to per-ant
+//! runs. The bank property tests compare the two round for round;
+//! conversion in and out ([`AntBank::push_controller`] /
+//! [`AntBank::to_controller`]) is lossless for the persistent state.
+//!
+//! Only phase-offset-0 ants live here; desynchronized (`AntDesync`)
+//! colonies keep the per-ant layout.
+
+use antalloc_env::Assignment;
+use antalloc_noise::RoundView;
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
+
+use crate::ant::{AlgorithmAnt, AntBankState};
+use crate::params::AntParams;
+
+/// `current`/`assignment` encoding: task index, or `IDLE`.
+const IDLE: u32 = u32::MAX;
+
+#[inline(always)]
+fn enc(a: Assignment) -> u32 {
+    match a {
+        Assignment::Idle => IDLE,
+        Assignment::Task(j) => j,
+    }
+}
+
+#[inline(always)]
+fn dec(x: u32) -> Assignment {
+    if x == IDLE {
+        Assignment::Idle
+    } else {
+        Assignment::Task(x)
+    }
+}
+
+/// The `pick`-th (0-based) set bit of `mask`, as a bit index.
+#[inline(always)]
+fn nth_set_bit(mut mask: u64, pick: usize) -> usize {
+    for _ in 0..pick {
+        mask &= mask - 1;
+    }
+    mask.trailing_zeros() as usize
+}
+
+/// A homogeneous, phase-synchronized Algorithm Ant population in
+/// structure-of-arrays layout.
+#[derive(Clone, Debug)]
+pub struct AntBank {
+    params: AntParams,
+    pause: Bernoulli,
+    leave: Bernoulli,
+    num_tasks: usize,
+    /// `currentTask` per ant (`IDLE` when idle).
+    current: Vec<u32>,
+    /// Output assignment `a_t` per ant.
+    assignment: Vec<u32>,
+    /// Working-path first sample of the current task: 1 = lack.
+    s1_current: Vec<u8>,
+    /// First-sample-valid flag per ant.
+    have_s1: Vec<u8>,
+    /// Idle-path first samples, ant-major `num_tasks` bytes per ant.
+    s1_all: Vec<u8>,
+}
+
+impl AntBank {
+    /// An all-idle bank of `n` fresh ants.
+    pub fn new(num_tasks: usize, params: AntParams, n: usize) -> Self {
+        assert!(num_tasks >= 1, "at least one task");
+        Self {
+            params,
+            pause: Bernoulli::new(params.pause_probability()),
+            leave: Bernoulli::new(params.leave_probability()),
+            num_tasks,
+            current: vec![IDLE; n],
+            assignment: vec![IDLE; n],
+            s1_current: vec![0; n],
+            have_s1: vec![0; n],
+            s1_all: vec![0; n * num_tasks],
+        }
+    }
+
+    /// Number of ants.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True iff the bank holds no ants.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// The parameters every ant in the bank runs.
+    pub fn params(&self) -> &AntParams {
+        &self.params
+    }
+
+    /// Appends a per-ant controller, transposing its state in.
+    ///
+    /// # Panics
+    /// If the controller is desynchronized (non-zero phase offset) —
+    /// those keep the per-ant layout.
+    pub fn push_controller(&mut self, ant: &AlgorithmAnt) {
+        assert_eq!(
+            ant.phase_offset(),
+            0,
+            "desynchronized ants do not fit a synchronized bank"
+        );
+        let s = ant.bank_state();
+        self.current.push(enc(s.current_task));
+        self.assignment.push(enc(s.assignment));
+        self.s1_current.push(u8::from(s.s1_current_lack));
+        self.have_s1.push(u8::from(s.have_s1));
+        debug_assert_eq!(s.s1_lack.len(), self.num_tasks);
+        self.s1_all.extend(s.s1_lack.iter().map(|&l| u8::from(l)));
+    }
+
+    /// Reconstructs the per-ant controller at `slot` (reference
+    /// extraction; lossless for the persistent state).
+    pub fn to_controller(&self, slot: usize) -> AlgorithmAnt {
+        let k = self.num_tasks;
+        AlgorithmAnt::from_bank_state(
+            k,
+            self.params,
+            AntBankState {
+                current_task: dec(self.current[slot]),
+                assignment: dec(self.assignment[slot]),
+                s1_lack: self.s1_all[slot * k..slot * k + k]
+                    .iter()
+                    .map(|&b| b == 1)
+                    .collect(),
+                s1_current_lack: self.s1_current[slot] == 1,
+                have_s1: self.have_s1[slot] == 1,
+            },
+        )
+    }
+
+    /// The assignment of the ant at `slot`.
+    pub fn assignment(&self, slot: usize) -> Assignment {
+        dec(self.assignment[slot])
+    }
+
+    /// Forces the ant at `slot` into `a` (see
+    /// [`crate::Controller::reset_to`]).
+    pub fn reset_slot(&mut self, slot: usize, a: Assignment) {
+        let x = enc(a);
+        self.assignment[slot] = x;
+        self.current[slot] = x;
+        self.have_s1[slot] = 0;
+    }
+
+    /// Persistent memory in bits (same accounting as
+    /// [`crate::Controller::memory_bits`] on [`AlgorithmAnt`]).
+    pub fn memory_bits(&self) -> u32 {
+        let k = self.num_tasks as u32;
+        crate::memory::bits_for_states(self.num_tasks + 1) + k + 1
+    }
+
+    /// Removes the ant at `slot` by swap-removal.
+    pub fn swap_remove(&mut self, slot: usize) {
+        let k = self.num_tasks;
+        let last = self.len() - 1;
+        self.current.swap_remove(slot);
+        self.assignment.swap_remove(slot);
+        self.s1_current.swap_remove(slot);
+        self.have_s1.swap_remove(slot);
+        if slot != last {
+            let (head, tail) = self.s1_all.split_at_mut(last * k);
+            head[slot * k..slot * k + k].copy_from_slice(&tail[..k]);
+        }
+        self.s1_all.truncate(last * k);
+    }
+
+    /// The whole bank as a splittable mutable slice.
+    pub fn as_slice_mut(&mut self) -> AntSliceMut<'_> {
+        AntSliceMut {
+            pause: self.pause,
+            leave: self.leave,
+            num_tasks: self.num_tasks,
+            current: &mut self.current,
+            assignment: &mut self.assignment,
+            s1_current: &mut self.s1_current,
+            have_s1: &mut self.have_s1,
+            s1_all: &mut self.s1_all,
+        }
+    }
+
+    /// Steps the single ant at `slot` (the sequential model's path) —
+    /// the same kernel as the bank loop, on a one-ant chunk.
+    pub fn step_slot(&mut self, slot: usize, view: RoundView<'_>, rng: &mut AntRng) -> Assignment {
+        let k = self.num_tasks;
+        let mut slice = AntSliceMut {
+            pause: self.pause,
+            leave: self.leave,
+            num_tasks: k,
+            current: &mut self.current[slot..slot + 1],
+            assignment: &mut self.assignment[slot..slot + 1],
+            s1_current: &mut self.s1_current[slot..slot + 1],
+            have_s1: &mut self.have_s1[slot..slot + 1],
+            s1_all: &mut self.s1_all[slot * k..slot * k + k],
+        };
+        if view.round() % 2 == 1 {
+            slice.first_sample_round(0, view, rng)
+        } else {
+            slice.second_sample_round(0, view, rng)
+        }
+    }
+}
+
+/// A disjoint mutable chunk of an [`AntBank`].
+#[derive(Debug)]
+pub struct AntSliceMut<'a> {
+    pause: Bernoulli,
+    leave: Bernoulli,
+    num_tasks: usize,
+    current: &'a mut [u32],
+    assignment: &'a mut [u32],
+    s1_current: &'a mut [u8],
+    have_s1: &'a mut [u8],
+    s1_all: &'a mut [u8],
+}
+
+impl<'a> AntSliceMut<'a> {
+    /// Number of ants in the chunk.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True iff the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Splits the chunk at `mid` into two disjoint chunks.
+    pub fn split_at_mut(self, mid: usize) -> (AntSliceMut<'a>, AntSliceMut<'a>) {
+        let k = self.num_tasks;
+        let (c1, c2) = self.current.split_at_mut(mid);
+        let (a1, a2) = self.assignment.split_at_mut(mid);
+        let (s1, s2) = self.s1_current.split_at_mut(mid);
+        let (h1, h2) = self.have_s1.split_at_mut(mid);
+        let (r1, r2) = self.s1_all.split_at_mut(mid * k);
+        (
+            AntSliceMut {
+                pause: self.pause,
+                leave: self.leave,
+                num_tasks: k,
+                current: c1,
+                assignment: a1,
+                s1_current: s1,
+                have_s1: h1,
+                s1_all: r1,
+            },
+            AntSliceMut {
+                pause: self.pause,
+                leave: self.leave,
+                num_tasks: k,
+                current: c2,
+                assignment: a2,
+                s1_current: s2,
+                have_s1: h2,
+                s1_all: r2,
+            },
+        )
+    }
+
+    /// Steps every ant in the chunk. Bit-identical to per-ant
+    /// [`crate::Controller::step`] on [`AlgorithmAnt`]: same samples,
+    /// same coins, same short-circuits, per ant in slot order.
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, out.len(), "one decision slot per ant");
+        if view.round() % 2 == 1 {
+            for i in 0..n {
+                out[i] = self.first_sample_round(i, view, &mut rngs[i]);
+            }
+        } else {
+            for i in 0..n {
+                out[i] = self.second_sample_round(i, view, &mut rngs[i]);
+            }
+        }
+    }
+
+    /// Odd rounds: adopt `a_{t−1}`, take the first sample, maybe pause.
+    #[inline(always)]
+    fn first_sample_round(
+        &mut self,
+        i: usize,
+        view: RoundView<'_>,
+        rng: &mut AntRng,
+    ) -> Assignment {
+        let k = self.num_tasks;
+        let cur = self.assignment[i];
+        self.current[i] = cur;
+        if cur != IDLE {
+            self.s1_current[i] = u8::from(view.sample(cur as usize, rng).is_lack());
+            self.have_s1[i] = 1;
+            if self.pause.sample(rng) {
+                self.assignment[i] = IDLE;
+            }
+        } else {
+            let row = &mut self.s1_all[i * k..i * k + k];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = u8::from(view.sample(j, rng).is_lack());
+            }
+            self.have_s1[i] = 1;
+        }
+        dec(self.assignment[i])
+    }
+
+    /// Even rounds: second sample, then the leave/join decision.
+    #[inline(always)]
+    fn second_sample_round(
+        &mut self,
+        i: usize,
+        view: RoundView<'_>,
+        rng: &mut AntRng,
+    ) -> Assignment {
+        let k = self.num_tasks;
+        let cur = self.current[i];
+        if cur != IDLE {
+            let s2_lack = view.sample(cur as usize, rng).is_lack();
+            let both_overload = self.have_s1[i] == 1 && self.s1_current[i] == 0 && !s2_lack;
+            self.assignment[i] = if both_overload && self.leave.sample(rng) {
+                IDLE
+            } else {
+                cur
+            };
+        } else {
+            let row = &self.s1_all[i * k..i * k + k];
+            self.assignment[i] = if k <= 64 {
+                // Bit-packed join: sample all tasks (every draw must
+                // happen), AND the two sample vectors, pick uniformly.
+                let mut joinable = 0u64;
+                for (j, &s1) in row.iter().enumerate() {
+                    let s2 = view.sample(j, rng).is_lack();
+                    joinable |= u64::from(s2 && s1 == 1) << j;
+                }
+                if self.have_s1[i] == 0 {
+                    joinable = 0;
+                }
+                match joinable.count_ones() as usize {
+                    0 => IDLE,
+                    count => nth_set_bit(joinable, uniform_index(rng, count)) as u32,
+                }
+            } else {
+                let mut s2 = vec![0u8; k];
+                for (j, slot) in s2.iter_mut().enumerate() {
+                    *slot = u8::from(view.sample(j, rng).is_lack());
+                }
+                let joinable = |j: usize| row[j] == 1 && s2[j] == 1;
+                let count = if self.have_s1[i] == 1 {
+                    (0..k).filter(|&j| joinable(j)).count()
+                } else {
+                    0
+                };
+                match count {
+                    0 => IDLE,
+                    count => {
+                        let pick = uniform_index(rng, count);
+                        (0..k)
+                            .filter(|&j| joinable(j))
+                            .nth(pick)
+                            .expect("pick < count") as u32
+                    }
+                }
+            };
+        }
+        self.have_s1[i] = 0;
+        dec(self.assignment[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use antalloc_noise::{FeedbackProbe, NoiseModel};
+    use antalloc_rng::StreamSeeder;
+
+    #[test]
+    fn soa_bank_matches_per_ant_stepping() {
+        let n = 200;
+        let k = 3;
+        let params = AntParams::new(1.0 / 16.0);
+        let seeder = StreamSeeder::new(9);
+        let mut bank = AntBank::new(k, params, n);
+        let mut reference: Vec<AlgorithmAnt> =
+            (0..n).map(|_| AlgorithmAnt::new(k, params)).collect();
+        let mut bank_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let mut ref_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let model = NoiseModel::Sigmoid { lambda: 1.0 };
+        let mut out = vec![Assignment::Idle; n];
+        for round in 1..=40u64 {
+            let prepared = model.prepare(round, &[4, 0, -4], &[20, 20, 20]);
+            bank.as_slice_mut()
+                .step_batch(prepared.view(), &mut bank_rngs, &mut out);
+            for (i, ant) in reference.iter_mut().enumerate() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[i]);
+                assert_eq!(ant.step(&mut probe), out[i], "ant {i} round {round}");
+                assert_eq!(ant.assignment(), bank.assignment(i), "ant {i}");
+            }
+        }
+        // Conversion out matches the reference controllers' behaviour on
+        // the next round too (persistent state is lossless).
+        let prepared = model.prepare(41, &[4, 0, -4], &[20, 20, 20]);
+        for i in 0..n {
+            let mut rebuilt = bank.to_controller(i);
+            let mut rng_a = bank_rngs[i].clone();
+            let mut probe = FeedbackProbe::new(&prepared, &mut rng_a);
+            let a = rebuilt.step(&mut probe);
+            let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[i]);
+            let b = reference[i].step(&mut probe);
+            assert_eq!(a, b, "rebuilt ant {i} diverges");
+        }
+    }
+
+    #[test]
+    fn swap_remove_moves_last_row() {
+        let mut bank = AntBank::new(2, AntParams::default(), 3);
+        bank.reset_slot(0, Assignment::Task(0));
+        bank.reset_slot(1, Assignment::Task(1));
+        bank.reset_slot(2, Assignment::Idle);
+        bank.swap_remove(0);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.assignment(0), Assignment::Idle); // old slot 2
+        assert_eq!(bank.assignment(1), Assignment::Task(1));
+    }
+
+    #[test]
+    fn push_and_reconstruct_roundtrip() {
+        let params = AntParams::default();
+        let mut bank = AntBank::new(2, params, 0);
+        let mut ant = AlgorithmAnt::new(2, params);
+        ant.reset_to(Assignment::Task(1));
+        bank.push_controller(&ant);
+        assert_eq!(bank.len(), 1);
+        assert_eq!(bank.assignment(0), Assignment::Task(1));
+        let back = bank.to_controller(0);
+        assert_eq!(back.assignment(), Assignment::Task(1));
+    }
+}

@@ -1,0 +1,351 @@
+//! Homogeneous controller banks: the data-oriented engine core.
+//!
+//! A colony that runs one algorithm should pay its dispatch once per
+//! **bank** per round, not once per ant. A [`ControllerBank`] stores all
+//! ants of one controller kind contiguously and steps them through the
+//! kind's `step_bank` entry point — a tight monomorphic loop over a
+//! shared [`RoundView`] — with the per-ant [`Controller`] impls as the
+//! reference semantics (bank-stepping is bit-identical to per-ant
+//! stepping because every ant consumes only its own RNG stream, in the
+//! same order).
+//!
+//! Heterogeneous (mixed-controller) colonies are a `Vec` of banks; the
+//! engine layer owns the ant → (bank, slot) index. Parallel engines
+//! split a bank into disjoint [`BankSliceMut`] chunks, one per worker.
+
+use antalloc_env::Assignment;
+use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_rng::AntRng;
+
+use crate::ant::AlgorithmAnt;
+use crate::ant_bank::{AntBank, AntSliceMut};
+use crate::controller::{AnyController, Controller};
+use crate::exact_greedy::ExactGreedy;
+use crate::precise_adversarial::PreciseAdversarial;
+use crate::precise_sigmoid::PreciseSigmoid;
+use crate::table_fsm::TableFsm;
+use crate::trivial::Trivial;
+
+/// A contiguous, homogeneous population of controllers of one kind.
+///
+/// One variant per shipped controller; the enum dispatch happens once
+/// per bank per round (in [`ControllerBank::step_batch`]), after which
+/// the kind's monomorphic bank loop runs.
+#[derive(Clone, Debug)]
+pub enum ControllerBank {
+    /// §4 Algorithm Ant, phase offset 0, in the structure-of-arrays
+    /// fast layout (see [`AntBank`]). This is the hot variant: a
+    /// homogeneous Ant colony streams ~an order of magnitude fewer
+    /// bytes per ant per round than the per-ant struct layout.
+    AntSoA(AntBank),
+    /// §4 Algorithm Ant with per-ant phase offsets (`AntDesync`).
+    Ant(Vec<AlgorithmAnt>),
+    /// §5 Algorithm Precise Sigmoid.
+    PreciseSigmoid(Vec<PreciseSigmoid>),
+    /// Appendix C Algorithm Precise Adversarial.
+    PreciseAdversarial(Vec<PreciseAdversarial>),
+    /// Appendix D trivial algorithm.
+    Trivial(Vec<Trivial>),
+    /// Exact-feedback baseline.
+    ExactGreedy(Vec<ExactGreedy>),
+    /// Explicit finite-state machines.
+    Table(Vec<TableFsm>),
+}
+
+macro_rules! each_bank {
+    ($self:ident, $soa:ident => $soa_body:expr, $v:ident => $body:expr) => {
+        match $self {
+            ControllerBank::AntSoA($soa) => $soa_body,
+            ControllerBank::Ant($v) => $body,
+            ControllerBank::PreciseSigmoid($v) => $body,
+            ControllerBank::PreciseAdversarial($v) => $body,
+            ControllerBank::Trivial($v) => $body,
+            ControllerBank::ExactGreedy($v) => $body,
+            ControllerBank::Table($v) => $body,
+        }
+    };
+}
+
+impl ControllerBank {
+    /// An empty bank of the same kind as `c` (for engines that create
+    /// banks lazily from a prototype controller). Offset-0 Ant
+    /// controllers get the SoA layout.
+    pub fn empty_like(c: &AnyController) -> Self {
+        match c {
+            AnyController::Ant(a) if a.phase_offset() == 0 => {
+                ControllerBank::AntSoA(AntBank::new(a.num_tasks(), *a.params(), 0))
+            }
+            AnyController::Ant(_) => ControllerBank::Ant(Vec::new()),
+            AnyController::PreciseSigmoid(_) => ControllerBank::PreciseSigmoid(Vec::new()),
+            AnyController::PreciseAdversarial(_) => ControllerBank::PreciseAdversarial(Vec::new()),
+            AnyController::Trivial(_) => ControllerBank::Trivial(Vec::new()),
+            AnyController::ExactGreedy(_) => ControllerBank::ExactGreedy(Vec::new()),
+            AnyController::Table(_) => ControllerBank::Table(Vec::new()),
+        }
+    }
+
+    /// Number of ants in the bank.
+    pub fn len(&self) -> usize {
+        each_bank!(self, b => b.len(), v => v.len())
+    }
+
+    /// True iff the bank holds no ants.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Steps every ant in the bank against one shared [`RoundView`],
+    /// writing decisions into `out` (one slot per ant, bank order).
+    ///
+    /// Bit-identical to calling [`Controller::step`] per ant.
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        self.as_slice_mut().step_batch(view, rngs, out)
+    }
+
+    /// The whole bank as a splittable mutable slice (for partitioning
+    /// across workers).
+    pub fn as_slice_mut(&mut self) -> BankSliceMut<'_> {
+        match self {
+            ControllerBank::AntSoA(b) => BankSliceMut::AntSoA(b.as_slice_mut()),
+            ControllerBank::Ant(v) => BankSliceMut::Ant(v),
+            ControllerBank::PreciseSigmoid(v) => BankSliceMut::PreciseSigmoid(v),
+            ControllerBank::PreciseAdversarial(v) => BankSliceMut::PreciseAdversarial(v),
+            ControllerBank::Trivial(v) => BankSliceMut::Trivial(v),
+            ControllerBank::ExactGreedy(v) => BankSliceMut::ExactGreedy(v),
+            ControllerBank::Table(v) => BankSliceMut::Table(v),
+        }
+    }
+
+    /// Steps the single ant at `slot` (sequential-model engines).
+    pub fn step_slot(&mut self, slot: usize, view: RoundView<'_>, rng: &mut AntRng) -> Assignment {
+        each_bank!(self,
+        b => b.step_slot(slot, view, rng),
+        v => {
+            let mut probe = FeedbackProbe::from_view(view, rng);
+            v[slot].step(&mut probe)
+        })
+    }
+
+    /// The assignment of the ant at `slot`.
+    pub fn assignment(&self, slot: usize) -> Assignment {
+        each_bank!(self, b => b.assignment(slot), v => v[slot].assignment())
+    }
+
+    /// Forces the ant at `slot` into `a` (see [`Controller::reset_to`]).
+    pub fn reset_slot(&mut self, slot: usize, a: Assignment) {
+        each_bank!(self, b => b.reset_slot(slot, a), v => v[slot].reset_to(a))
+    }
+
+    /// Persistent memory of the ant at `slot`, in bits.
+    pub fn memory_bits(&self, slot: usize) -> u32 {
+        each_bank!(self, b => { let _ = slot; b.memory_bits() }, v => v[slot].memory_bits())
+    }
+
+    /// Appends a controller to the bank.
+    ///
+    /// # Panics
+    /// If the controller's kind does not match the bank's — banks are
+    /// homogeneous by construction.
+    pub fn push(&mut self, c: AnyController) {
+        match (self, c) {
+            (ControllerBank::AntSoA(b), AnyController::Ant(c)) => b.push_controller(&c),
+            (ControllerBank::Ant(v), AnyController::Ant(c)) => v.push(c),
+            (ControllerBank::PreciseSigmoid(v), AnyController::PreciseSigmoid(c)) => v.push(c),
+            (ControllerBank::PreciseAdversarial(v), AnyController::PreciseAdversarial(c)) => {
+                v.push(c)
+            }
+            (ControllerBank::Trivial(v), AnyController::Trivial(c)) => v.push(c),
+            (ControllerBank::ExactGreedy(v), AnyController::ExactGreedy(c)) => v.push(c),
+            (ControllerBank::Table(v), AnyController::Table(c)) => v.push(c),
+            _ => panic!("controller kind does not match bank kind"),
+        }
+    }
+
+    /// Removes the ant at `slot` by swap-removal (the last ant moves
+    /// into `slot`). Callers must mirror the swap in any parallel
+    /// per-slot arrays (RNGs, ant-id maps).
+    pub fn swap_remove(&mut self, slot: usize) {
+        each_bank!(self, b => b.swap_remove(slot), v => {
+            v.swap_remove(slot);
+        })
+    }
+
+    /// A clone of the ant at `slot`, boxed into the dispatch enum
+    /// (reference extraction for tests and baseline replays).
+    pub fn to_any(&self, slot: usize) -> AnyController {
+        each_bank!(self, b => b.to_controller(slot).into(), v => v[slot].clone().into())
+    }
+}
+
+/// A disjoint mutable chunk of one bank, steppable independently.
+///
+/// Parallel engines split each bank's population once per run and hand
+/// every worker its own set of chunks; bit-identity is unconditional
+/// because each ant still consumes only its own RNG stream.
+#[derive(Debug)]
+pub enum BankSliceMut<'a> {
+    /// Chunk of a structure-of-arrays Ant bank.
+    AntSoA(AntSliceMut<'a>),
+    /// Chunk of a per-ant Algorithm Ant bank (desynchronized offsets).
+    Ant(&'a mut [AlgorithmAnt]),
+    /// Chunk of a Precise Sigmoid bank.
+    PreciseSigmoid(&'a mut [PreciseSigmoid]),
+    /// Chunk of a Precise Adversarial bank.
+    PreciseAdversarial(&'a mut [PreciseAdversarial]),
+    /// Chunk of a trivial bank.
+    Trivial(&'a mut [Trivial]),
+    /// Chunk of an exact-greedy bank.
+    ExactGreedy(&'a mut [ExactGreedy]),
+    /// Chunk of a table-machine bank.
+    Table(&'a mut [TableFsm]),
+}
+
+macro_rules! each_slice {
+    ($self:ident, $v:ident => $body:expr) => {
+        match $self {
+            BankSliceMut::AntSoA($v) => $body,
+            BankSliceMut::Ant($v) => $body,
+            BankSliceMut::PreciseSigmoid($v) => $body,
+            BankSliceMut::PreciseAdversarial($v) => $body,
+            BankSliceMut::Trivial($v) => $body,
+            BankSliceMut::ExactGreedy($v) => $body,
+            BankSliceMut::Table($v) => $body,
+        }
+    };
+}
+
+impl<'a> BankSliceMut<'a> {
+    /// Number of ants in the chunk.
+    pub fn len(&self) -> usize {
+        each_slice!(self, v => v.len())
+    }
+
+    /// True iff the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits the chunk at `mid` into two disjoint chunks.
+    pub fn split_at_mut(self, mid: usize) -> (BankSliceMut<'a>, BankSliceMut<'a>) {
+        match self {
+            BankSliceMut::AntSoA(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (BankSliceMut::AntSoA(a), BankSliceMut::AntSoA(b))
+            }
+            BankSliceMut::Ant(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (BankSliceMut::Ant(a), BankSliceMut::Ant(b))
+            }
+            BankSliceMut::PreciseSigmoid(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (
+                    BankSliceMut::PreciseSigmoid(a),
+                    BankSliceMut::PreciseSigmoid(b),
+                )
+            }
+            BankSliceMut::PreciseAdversarial(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (
+                    BankSliceMut::PreciseAdversarial(a),
+                    BankSliceMut::PreciseAdversarial(b),
+                )
+            }
+            BankSliceMut::Trivial(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (BankSliceMut::Trivial(a), BankSliceMut::Trivial(b))
+            }
+            BankSliceMut::ExactGreedy(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (BankSliceMut::ExactGreedy(a), BankSliceMut::ExactGreedy(b))
+            }
+            BankSliceMut::Table(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (BankSliceMut::Table(a), BankSliceMut::Table(b))
+            }
+        }
+    }
+
+    /// Steps every ant in the chunk (same contract as
+    /// [`ControllerBank::step_batch`]).
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        match self {
+            BankSliceMut::AntSoA(v) => v.step_batch(view, rngs, out),
+            BankSliceMut::Ant(v) => AlgorithmAnt::step_bank(v, view, rngs, out),
+            BankSliceMut::PreciseSigmoid(v) => PreciseSigmoid::step_bank(v, view, rngs, out),
+            BankSliceMut::PreciseAdversarial(v) => {
+                PreciseAdversarial::step_bank(v, view, rngs, out)
+            }
+            BankSliceMut::Trivial(v) => Trivial::step_bank(v, view, rngs, out),
+            BankSliceMut::ExactGreedy(v) => ExactGreedy::step_bank(v, view, rngs, out),
+            BankSliceMut::Table(v) => TableFsm::step_bank(v, view, rngs, out),
+        }
+    }
+}
+
+impl FromIterator<AnyController> for ControllerBank {
+    /// Collects controllers into a bank; they must all be of one kind.
+    ///
+    /// # Panics
+    /// On an empty iterator (the kind would be unknown) or a kind
+    /// mismatch.
+    fn from_iter<T: IntoIterator<Item = AnyController>>(iter: T) -> Self {
+        let mut iter = iter.into_iter();
+        let first = iter.next().expect("cannot infer the kind of an empty bank");
+        let mut bank = ControllerBank::empty_like(&first);
+        bank.push(first);
+        for c in iter {
+            bank.push(c);
+        }
+        bank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AntParams;
+    use antalloc_noise::NoiseModel;
+    use antalloc_rng::StreamSeeder;
+
+    #[test]
+    fn bank_stepping_matches_per_ant_stepping() {
+        let n = 64;
+        let seeder = StreamSeeder::new(42);
+        let mut bank: ControllerBank = (0..n)
+            .map(|_| AnyController::from(AlgorithmAnt::new(2, AntParams::default())))
+            .collect();
+        let mut reference: Vec<AnyController> = (0..n)
+            .map(|_| AlgorithmAnt::new(2, AntParams::default()).into())
+            .collect();
+        let mut bank_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let mut ref_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let model = NoiseModel::Sigmoid { lambda: 1.0 };
+        let mut out = vec![Assignment::Idle; n];
+        for round in 1..=20u64 {
+            let prepared = model.prepare(round, &[3, -2], &[10, 10]);
+            bank.step_batch(prepared.view(), &mut bank_rngs, &mut out);
+            for (i, c) in reference.iter_mut().enumerate() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[i]);
+                assert_eq!(c.step(&mut probe), out[i], "ant {i} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_chunks_cover_the_bank() {
+        let bank_vec: Vec<Trivial> = (0..10).map(|_| Trivial::new(1)).collect();
+        let mut bank = ControllerBank::Trivial(bank_vec);
+        let slice = bank.as_slice_mut();
+        assert_eq!(slice.len(), 10);
+        let (a, b) = slice.split_at_mut(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_push_panics() {
+        let mut bank = ControllerBank::Trivial(Vec::new());
+        bank.push(AlgorithmAnt::new(1, AntParams::default()).into());
+    }
+}

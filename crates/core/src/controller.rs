@@ -1,7 +1,8 @@
 //! The controller abstraction and the static-dispatch enum.
 
 use antalloc_env::Assignment;
-use antalloc_noise::FeedbackProbe;
+use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_rng::AntRng;
 
 use crate::ant::AlgorithmAnt;
 use crate::exact_greedy::ExactGreedy;
@@ -37,6 +38,29 @@ pub trait Controller {
     /// accounting (phase position excluded: the paper provides the global
     /// clock via synchronization).
     fn memory_bits(&self) -> u32;
+}
+
+/// Steps a homogeneous slice of controllers in one tight monomorphic
+/// loop — the bank-stepping primitive behind [`crate::ControllerBank`].
+///
+/// Semantically identical to calling [`Controller::step`] per ant with a
+/// fresh probe: ant `i` of the slice consumes exactly the draws it would
+/// have consumed under per-ant stepping (each ant owns its RNG stream),
+/// so bank-stepped colonies are bit-identical to per-ant-stepped ones.
+/// The win is dispatch: the controller type is fixed for the whole
+/// slice, so `step` inlines and the per-ant enum branch disappears.
+pub fn step_slice<C: Controller>(
+    ants: &mut [C],
+    view: RoundView<'_>,
+    rngs: &mut [AntRng],
+    out: &mut [Assignment],
+) {
+    assert_eq!(ants.len(), rngs.len(), "one RNG stream per ant");
+    assert_eq!(ants.len(), out.len(), "one decision slot per ant");
+    for ((ant, rng), slot) in ants.iter_mut().zip(rngs.iter_mut()).zip(out.iter_mut()) {
+        let mut probe = FeedbackProbe::from_view(view, rng);
+        *slot = ant.step(&mut probe);
+    }
 }
 
 /// Static-dispatch union of every shipped controller.

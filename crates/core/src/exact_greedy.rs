@@ -13,8 +13,8 @@
 //! `exp_baseline_noise_fragility`).
 
 use antalloc_env::Assignment;
-use antalloc_noise::FeedbackProbe;
-use antalloc_rng::{uniform_index, Bernoulli};
+use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
 use crate::controller::Controller;
 
@@ -66,6 +66,18 @@ impl ExactGreedy {
     /// The parameters in use.
     pub fn params(&self) -> &ExactGreedyParams {
         &self.params
+    }
+
+    /// Bank-loop entry point: steps a homogeneous slice of baseline
+    /// controllers against one shared [`RoundView`]. Bit-identical to
+    /// per-ant [`Controller::step`].
+    pub fn step_bank(
+        ants: &mut [Self],
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        out: &mut [Assignment],
+    ) {
+        crate::controller::step_slice(ants, view, rngs, out)
     }
 }
 

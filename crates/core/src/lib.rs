@@ -19,13 +19,19 @@
 //!   Assumption 2.2 reachability checker, used by the Theorem 3.3
 //!   memory-floor experiments.
 //!
-//! All controllers implement [`Controller`]; [`AnyController`] is the
-//! dispatch enum the simulator stores per ant.
+//! All controllers implement [`Controller`]. Engines store ants in
+//! homogeneous [`ControllerBank`]s — one bank per controller kind,
+//! stepped in a tight monomorphic loop ([`step_slice`]) that is
+//! bit-identical to per-ant stepping; [`AnyController`] is the
+//! per-ant dispatch enum used for spawning, reference replays, and
+//! tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ant;
+mod ant_bank;
+mod bank;
 mod controller;
 mod exact_greedy;
 mod memory;
@@ -36,7 +42,9 @@ mod table_fsm;
 mod trivial;
 
 pub use ant::AlgorithmAnt;
-pub use controller::{AnyController, Controller};
+pub use ant_bank::{AntBank, AntSliceMut};
+pub use bank::{BankSliceMut, ControllerBank};
+pub use controller::{step_slice, AnyController, Controller};
 pub use exact_greedy::{ExactGreedy, ExactGreedyParams};
 pub use memory::{bits_for_states, closeness_floor, MemoryFootprint};
 pub use params::{AntParams, PreciseAdversarialParams, PreciseSigmoidParams};

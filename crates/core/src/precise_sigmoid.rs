@@ -10,8 +10,8 @@
 //! `O(log 1/ε)` extra memory for the counters.
 
 use antalloc_env::Assignment;
-use antalloc_noise::FeedbackProbe;
-use antalloc_rng::{uniform_index, Bernoulli};
+use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
 use crate::controller::Controller;
 use crate::params::PreciseSigmoidParams;
@@ -60,6 +60,18 @@ impl PreciseSigmoid {
     /// The parameters in use.
     pub fn params(&self) -> &PreciseSigmoidParams {
         &self.params
+    }
+
+    /// Bank-loop entry point: steps a homogeneous slice of Precise
+    /// Sigmoid controllers against one shared [`RoundView`].
+    /// Bit-identical to per-ant [`Controller::step`].
+    pub fn step_bank(
+        ants: &mut [Self],
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        out: &mut [Assignment],
+    ) {
+        crate::controller::step_slice(ants, view, rngs, out)
     }
 
     /// Median threshold: a batch of `m` samples is `lack` iff strictly

@@ -9,8 +9,8 @@
 //! (D.2) — the motivating failure for the two-sample design of §4.
 
 use antalloc_env::Assignment;
-use antalloc_noise::FeedbackProbe;
-use antalloc_rng::uniform_index;
+use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_rng::{uniform_index, AntRng};
 
 use crate::controller::Controller;
 
@@ -32,6 +32,18 @@ impl Trivial {
             assignment: Assignment::Idle,
             lacking: vec![false; num_tasks],
         }
+    }
+
+    /// Bank-loop entry point: steps a homogeneous slice of trivial
+    /// controllers against one shared [`RoundView`]. Bit-identical to
+    /// per-ant [`Controller::step`].
+    pub fn step_bank(
+        ants: &mut [Self],
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        out: &mut [Assignment],
+    ) {
+        crate::controller::step_slice(ants, view, rngs, out)
     }
 }
 

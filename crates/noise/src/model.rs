@@ -183,6 +183,49 @@ fn bernoulli_task(p: f64) -> TaskFeedback {
     }
 }
 
+/// A borrowed, `Copy` view of one round's sampling state.
+///
+/// Engines that step ants bank-wise construct the view **once per bank
+/// per round** and hand it to every ant in the bank, instead of
+/// re-borrowing the owning [`PreparedRound`] through a fresh probe per
+/// ant. The view is two words (slice pointer + round), so cloning it
+/// into a [`crate::FeedbackProbe`] is free.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundView<'a> {
+    tasks: &'a [TaskFeedback],
+    round: u64,
+}
+
+impl RoundView<'_> {
+    /// Number of tasks visible this round.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The round these signals describe.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Draws the signal for `task` for one ant (see
+    /// [`PreparedRound::sample`] for the at-most-once contract).
+    #[inline(always)]
+    pub fn sample(&self, task: usize, rng: &mut AntRng) -> Feedback {
+        match self.tasks[task] {
+            TaskFeedback::Fixed(f) => f,
+            TaskFeedback::Random { lack_threshold } => {
+                if rng.next_u64() < lack_threshold {
+                    Feedback::Lack
+                } else {
+                    Feedback::Overload
+                }
+            }
+        }
+    }
+}
+
 impl PreparedRound {
     /// Number of tasks.
     #[inline]
@@ -196,6 +239,15 @@ impl PreparedRound {
         self.round
     }
 
+    /// A borrowed slice-level view for bank-wise stepping.
+    #[inline]
+    pub fn view(&self) -> RoundView<'_> {
+        RoundView {
+            tasks: &self.tasks,
+            round: self.round,
+        }
+    }
+
     /// Draws the signal for `task` for one ant.
     ///
     /// Each (ant, task) pair must draw **at most once per round** — the
@@ -203,16 +255,7 @@ impl PreparedRound {
     /// enforces this in debug builds.
     #[inline(always)]
     pub fn sample(&self, task: usize, rng: &mut AntRng) -> Feedback {
-        match self.tasks[task] {
-            TaskFeedback::Fixed(f) => f,
-            TaskFeedback::Random { lack_threshold } => {
-                if rng.next_u64() < lack_threshold {
-                    Feedback::Lack
-                } else {
-                    Feedback::Overload
-                }
-            }
-        }
+        self.view().sample(task, rng)
     }
 
     /// The per-task states (for diagnostics and tests).

@@ -10,11 +10,11 @@
 use antalloc_rng::AntRng;
 
 use crate::feedback::Feedback;
-use crate::model::PreparedRound;
+use crate::model::{PreparedRound, RoundView};
 
 /// One ant's view of one round's feedback.
 pub struct FeedbackProbe<'a> {
-    prepared: &'a PreparedRound,
+    view: RoundView<'a>,
     rng: &'a mut AntRng,
     #[cfg(debug_assertions)]
     sampled: u128,
@@ -26,8 +26,15 @@ impl<'a> FeedbackProbe<'a> {
     /// Wraps a prepared round and an ant's RNG.
     #[inline]
     pub fn new(prepared: &'a PreparedRound, rng: &'a mut AntRng) -> Self {
+        Self::from_view(prepared.view(), rng)
+    }
+
+    /// Wraps an already-constructed [`RoundView`] and an ant's RNG.
+    /// Bank loops use this to share one view across a whole bank.
+    #[inline]
+    pub fn from_view(view: RoundView<'a>, rng: &'a mut AntRng) -> Self {
         Self {
-            prepared,
+            view,
             rng,
             #[cfg(debug_assertions)]
             sampled: 0,
@@ -39,13 +46,13 @@ impl<'a> FeedbackProbe<'a> {
     /// Number of tasks visible this round.
     #[inline]
     pub fn num_tasks(&self) -> usize {
-        self.prepared.num_tasks()
+        self.view.num_tasks()
     }
 
     /// The current round index (drives the algorithms' phase clocks).
     #[inline]
     pub fn round(&self) -> u64 {
-        self.prepared.round()
+        self.view.round()
     }
 
     /// Draws this ant's signal for `task`.
@@ -56,7 +63,7 @@ impl<'a> FeedbackProbe<'a> {
     pub fn sample(&mut self, task: usize) -> Feedback {
         #[cfg(debug_assertions)]
         self.mark(task);
-        self.prepared.sample(task, self.rng)
+        self.view.sample(task, self.rng)
     }
 
     /// Draws signals for all tasks into `out` (cleared first).
@@ -81,7 +88,7 @@ impl<'a> FeedbackProbe<'a> {
             assert!(
                 self.sampled & bit == 0,
                 "task {task} sampled twice in round {}",
-                self.prepared.round()
+                self.view.round()
             );
             self.sampled |= bit;
         } else {
@@ -91,7 +98,7 @@ impl<'a> FeedbackProbe<'a> {
             assert!(
                 !self.sampled_overflow[task],
                 "task {task} sampled twice in round {}",
-                self.prepared.round()
+                self.view.round()
             );
             self.sampled_overflow[task] = true;
         }

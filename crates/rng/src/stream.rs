@@ -40,6 +40,10 @@ pub mod reserved {
     pub const NOISE: u64 = u64::MAX - 1;
     /// Initial-configuration scrambling.
     pub const INIT: u64 = u64::MAX - 2;
+    /// Mixed-colony membership: the stream whose first output re-seeds
+    /// the dedicated sub-seeder that assigns ants to controller
+    /// sub-specs (initial shuffle and spawn draws).
+    pub const MIX: u64 = u64::MAX - 3;
 }
 
 impl StreamSeeder {

@@ -30,7 +30,10 @@ use crate::config::{ControllerSpec, SimConfig};
 use crate::engine::SyncEngine;
 
 const MAGIC: u32 = 0x414E_5441; // "ANTA"
-const VERSION: u32 = 1;
+/// Format history: v1 was homogeneous-only; v2 appends the per-ant bank
+/// membership vector for `ControllerSpec::Mix` colonies (kills permute
+/// memberships, so they cannot be recomputed from the seed).
+const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured or decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,12 +72,15 @@ pub struct Checkpoint {
     rng_states: Vec<[u64; 4]>,
     round: u64,
     next_stream: u64,
+    /// Per-ant bank membership for `ControllerSpec::Mix` colonies
+    /// (which sub-spec each global ant id runs); empty otherwise.
+    members: Vec<u16>,
 }
 
 impl Checkpoint {
     /// Snapshots the engine. Fails off phase boundaries (see module docs).
     pub fn capture(engine: &SyncEngine) -> Result<Self, CheckpointError> {
-        let (config, colony, rngs, round, next_stream) = engine.state_parts();
+        let (config, colony, rng_states, round, next_stream, members) = engine.state_parts();
         let phase = config.controller.phase_len(colony.num_tasks());
         if round % phase != 0 {
             return Err(CheckpointError::NotAtPhaseBoundary { round, phase });
@@ -83,9 +89,10 @@ impl Checkpoint {
             config: config.clone(),
             current_demands: colony.demands().as_slice().to_vec(),
             assignments: colony.assignments().to_vec(),
-            rng_states: rngs.iter().map(|r| r.state()).collect(),
+            rng_states,
             round,
             next_stream,
+            members: members.unwrap_or_default(),
         })
     }
 
@@ -98,6 +105,7 @@ impl Checkpoint {
             self.rng_states.clone(),
             self.round,
             self.next_stream,
+            &self.members,
         )
     }
 
@@ -139,6 +147,13 @@ impl Checkpoint {
         for s in &self.rng_states {
             for &w in s {
                 out.put_u64_le(w);
+            }
+        }
+        // v2: per-ant bank membership, present iff the spec is a Mix.
+        if matches!(self.config.controller, ControllerSpec::Mix(_)) {
+            out.put_u64_le(self.members.len() as u64);
+            for &m in &self.members {
+                out.put_u16_le(m);
             }
         }
         out
@@ -191,6 +206,28 @@ impl Checkpoint {
             }
             rng_states.push(s);
         }
+        let members = if let ControllerSpec::Mix(parts) = &controller {
+            let len = get_u64(&mut buf)? as usize;
+            if len != ants {
+                return Err(corrupt(format!(
+                    "membership length {len} disagrees with ant count {ants}"
+                )));
+            }
+            let mut members = Vec::with_capacity(len);
+            for _ in 0..len {
+                need(&buf, 2)?;
+                let m = buf.get_u16_le();
+                if usize::from(m) >= parts.len() {
+                    return Err(corrupt(format!(
+                        "membership {m} references unknown sub-spec"
+                    )));
+                }
+                members.push(m);
+            }
+            members
+        } else {
+            Vec::new()
+        };
         if !buf.is_empty() {
             return Err(corrupt("trailing bytes"));
         }
@@ -209,6 +246,7 @@ impl Checkpoint {
             rng_states,
             round,
             next_stream,
+            members,
         })
     }
 
@@ -403,6 +441,14 @@ fn put_spec(out: &mut Vec<u8>, spec: &ControllerSpec) {
             out.put_f64_le(p.cs);
             out.put_f64_le(p.cd);
         }
+        ControllerSpec::Mix(parts) => {
+            out.put_u8(7);
+            out.put_u64_le(parts.len() as u64);
+            for (weight, sub) in parts {
+                out.put_f64_le(*weight);
+                put_spec(out, sub);
+            }
+        }
     }
 }
 
@@ -445,6 +491,22 @@ fn get_spec(buf: &mut &[u8]) -> Result<ControllerSpec, CheckpointError> {
             cs: get_f64(buf)?,
             cd: get_f64(buf)?,
         }),
+        7 => {
+            let len = get_u64(buf)? as usize;
+            if len == 0 || len > u16::MAX as usize {
+                return Err(corrupt(format!("implausible mix arity {len}")));
+            }
+            let mut parts = Vec::with_capacity(len.min(1 << 10));
+            for _ in 0..len {
+                let weight = get_f64(buf)?;
+                let sub = get_spec(buf)?;
+                if matches!(sub, ControllerSpec::Mix(_)) {
+                    return Err(corrupt("nested mix in checkpoint"));
+                }
+                parts.push((weight, sub));
+            }
+            ControllerSpec::Mix(parts)
+        }
         t => return Err(corrupt(format!("unknown controller tag {t}"))),
     })
 }
@@ -616,6 +678,34 @@ mod tests {
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(cp, back);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mix_checkpoints_roundtrip_with_membership() {
+        let cfg = SimConfig::builder(60, vec![10, 10])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Mix(vec![
+                (1.0, ControllerSpec::Ant(AntParams::default())),
+                (1.0, ControllerSpec::Trivial),
+            ]))
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut e = cfg.build();
+        let mut obs = NullObserver;
+        e.run(6, &mut obs); // phase lcm(2, 1) = 2 → boundary.
+        let cp = Checkpoint::capture(&e).unwrap();
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(cp, back);
+        // Membership corruption is detected: an out-of-range bank index
+        // must fail cleanly. The members vector is the last section, so
+        // patch its final u16.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 2;
+        bad[last] = 0xFF;
+        bad[last + 1] = 0xFF;
+        assert!(Checkpoint::from_bytes(&bad).is_err());
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use antalloc_core::{
-    AlgorithmAnt, AntParams, AnyController, ExactGreedy, ExactGreedyParams, FsmSpec,
-    PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid, PreciseSigmoidParams, TableFsm,
-    Trivial,
+    AlgorithmAnt, AntBank, AntParams, AnyController, ControllerBank, ExactGreedy,
+    ExactGreedyParams, FsmSpec, PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid,
+    PreciseSigmoidParams, TableFsm, Trivial,
 };
 use antalloc_env::{DemandSchedule, DemandVector, InitialConfig};
 use antalloc_noise::NoiseModel;
@@ -43,17 +43,34 @@ pub enum ControllerSpec {
         /// Optional switching probability (lazy machines).
         lazy: Option<f64>,
     },
+    /// A heterogeneous colony: each ant runs one of the weighted
+    /// sub-specs, racing the algorithms head-to-head *inside one
+    /// colony*.
+    ///
+    /// Ant counts per sub-spec are exact largest-remainder quotas of the
+    /// weights; which ant runs which sub-spec is a deterministic seeded
+    /// shuffle (derived from the master seed via the reserved `MIX`
+    /// stream), so mixed runs are as reproducible as homogeneous ones.
+    /// Sub-specs may not themselves be `Mix`, weights must be positive
+    /// and finite, and the list must be non-empty — all enforced by the
+    /// scenario validation as typed [`crate::ConfigError`]s.
+    Mix(Vec<(f64, ControllerSpec)>),
 }
 
 impl ControllerSpec {
     /// Builds one controller for a colony with `num_tasks` tasks.
     ///
-    /// For `Hysteresis`, prefer [`ControllerSpec::build_many`] which
+    /// For `Hysteresis`, prefer [`ControllerSpec::build_bank`] which
     /// shares the transition table across the colony.
+    ///
+    /// # Panics
+    /// For `Mix`: a heterogeneous colony has no single controller;
+    /// engines build one bank per sub-spec (validation guarantees they
+    /// never reach this).
     pub fn build(&self, num_tasks: usize) -> AnyController {
         match self {
             ControllerSpec::Ant(p) => AlgorithmAnt::new(num_tasks, *p).into(),
-            // A lone desync build gets offset 0; build_many staggers.
+            // A lone desync build gets offset 0; build_bank staggers.
             ControllerSpec::AntDesync(p) => AlgorithmAnt::new(num_tasks, *p).into(),
             ControllerSpec::PreciseSigmoid(p) => PreciseSigmoid::new(num_tasks, *p).into(),
             ControllerSpec::PreciseAdversarial(p) => PreciseAdversarial::new(num_tasks, *p).into(),
@@ -62,11 +79,16 @@ impl ControllerSpec {
             ControllerSpec::Hysteresis { depth, lazy } => {
                 TableFsm::new(Arc::new(Self::hysteresis_spec(*depth, *lazy))).into()
             }
+            ControllerSpec::Mix(_) => panic!("Mix has no single controller; build banks"),
         }
     }
 
     /// Builds `n` controllers, sharing immutable structure where the
-    /// variant allows it.
+    /// variant allows it. Per-ant equivalent of [`ControllerSpec::build_bank`]
+    /// over ids `0..n`; kept for reference replays and tests.
+    ///
+    /// # Panics
+    /// For `Mix` (see [`ControllerSpec::build`]).
     pub fn build_many(&self, num_tasks: usize, n: usize) -> Vec<AnyController> {
         match self {
             ControllerSpec::Hysteresis { depth, lazy } => {
@@ -80,6 +102,53 @@ impl ControllerSpec {
         }
     }
 
+    /// Builds one homogeneous bank for the ants with global ids `ids`.
+    ///
+    /// Identical per-ant semantics to [`ControllerSpec::build_many`]:
+    /// hysteresis machines share one transition table per bank, and
+    /// `AntDesync` staggers phase offsets by **global** ant id (so a
+    /// desynchronized sub-population stays half-and-half however the
+    /// mix interleaves it).
+    ///
+    /// # Panics
+    /// For `Mix`: banks are built per sub-spec.
+    pub fn build_bank(&self, num_tasks: usize, ids: &[u32]) -> ControllerBank {
+        match self {
+            // Synchronized Ant colonies get the SoA fast layout.
+            ControllerSpec::Ant(p) => {
+                ControllerBank::AntSoA(AntBank::new(num_tasks, *p, ids.len()))
+            }
+            ControllerSpec::AntDesync(p) => ControllerBank::Ant(
+                ids.iter()
+                    .map(|&i| AlgorithmAnt::with_phase_offset(num_tasks, *p, u64::from(i % 2)))
+                    .collect(),
+            ),
+            ControllerSpec::PreciseSigmoid(p) => ControllerBank::PreciseSigmoid(
+                ids.iter()
+                    .map(|_| PreciseSigmoid::new(num_tasks, *p))
+                    .collect(),
+            ),
+            ControllerSpec::PreciseAdversarial(p) => ControllerBank::PreciseAdversarial(
+                ids.iter()
+                    .map(|_| PreciseAdversarial::new(num_tasks, *p))
+                    .collect(),
+            ),
+            ControllerSpec::Trivial => {
+                ControllerBank::Trivial(ids.iter().map(|_| Trivial::new(num_tasks)).collect())
+            }
+            ControllerSpec::ExactGreedy(p) => ControllerBank::ExactGreedy(
+                ids.iter()
+                    .map(|_| ExactGreedy::new(num_tasks, *p))
+                    .collect(),
+            ),
+            ControllerSpec::Hysteresis { depth, lazy } => {
+                let spec = Arc::new(Self::hysteresis_spec(*depth, *lazy));
+                ControllerBank::Table(ids.iter().map(|_| TableFsm::new(spec.clone())).collect())
+            }
+            ControllerSpec::Mix(_) => panic!("Mix builds one bank per sub-spec"),
+        }
+    }
+
     fn hysteresis_spec(depth: u16, lazy: Option<f64>) -> FsmSpec {
         match lazy {
             None => FsmSpec::hysteresis(depth),
@@ -88,8 +157,11 @@ impl ControllerSpec {
     }
 
     /// The phase length in rounds — the granularity at which checkpoints
-    /// are exact and the step probabilities repeat.
-    pub fn phase_len(&self, _num_tasks: usize) -> u64 {
+    /// are exact and the step probabilities repeat. For `Mix` this is
+    /// the least common multiple of the sub-specs' phase lengths
+    /// (saturating at `u64::MAX` for pathological combinations).
+    #[allow(clippy::only_used_in_recursion)] // `num_tasks` is API surface
+    pub fn phase_len(&self, num_tasks: usize) -> u64 {
         match self {
             ControllerSpec::Ant(_) | ControllerSpec::AntDesync(_) => 2,
             ControllerSpec::PreciseSigmoid(p) => p.phase_len(),
@@ -97,8 +169,34 @@ impl ControllerSpec {
             ControllerSpec::Trivial
             | ControllerSpec::ExactGreedy(_)
             | ControllerSpec::Hysteresis { .. } => 1,
+            ControllerSpec::Mix(parts) => parts
+                .iter()
+                .map(|(_, spec)| spec.phase_len(num_tasks))
+                .fold(1u64, lcm),
         }
     }
+
+    /// The weighted sub-specs of a mix (`None` for homogeneous specs).
+    pub fn mix_parts(&self) -> Option<&[(f64, ControllerSpec)]> {
+        match self {
+            ControllerSpec::Mix(parts) => Some(parts),
+            _ => None,
+        }
+    }
+}
+
+/// Least common multiple, saturating at `u64::MAX`.
+fn lcm(a: u64, b: u64) -> u64 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    if a == 0 || b == 0 {
+        return a.max(b).max(1);
+    }
+    (a / gcd(a, b)).saturating_mul(b)
 }
 
 /// Everything needed to reproduce a run.
@@ -233,5 +331,25 @@ mod tests {
             82
         );
         assert_eq!(ControllerSpec::Trivial.phase_len(2), 1);
+        // Mix: LCM of the parts. lcm(2, 82) = 82; lcm(2, 1) = 2.
+        assert_eq!(
+            ControllerSpec::Mix(vec![
+                (1.0, ControllerSpec::Ant(AntParams::default())),
+                (
+                    1.0,
+                    ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.03, 0.5))
+                ),
+            ])
+            .phase_len(2),
+            82
+        );
+        assert_eq!(
+            ControllerSpec::Mix(vec![
+                (3.0, ControllerSpec::Ant(AntParams::default())),
+                (1.0, ControllerSpec::Trivial),
+            ])
+            .phase_len(2),
+            2
+        );
     }
 }

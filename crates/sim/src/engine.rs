@@ -1,12 +1,45 @@
-//! The synchronous round engine (§2.1).
+//! The synchronous round engine (§2.1), stepping bank-wise.
+//!
+//! ## Data-oriented core
+//!
+//! Ants live in homogeneous [`antalloc_core::ControllerBank`]s owned by
+//! a [`crate::population::Population`] (see its docs for the full
+//! ant → (bank, slot) index invariants): one bank per controller kind,
+//! so a homogeneous colony pays its controller dispatch once per round
+//! and the hot loop is monomorphic. `ControllerSpec::Mix` colonies are
+//! simply several banks over one colony; every engine operation —
+//! stepping, perturbation, checkpointing, parallel partitioning — is
+//! bank-wise.
+//!
+//! ## The bit-identity contract
+//!
+//! The non-negotiable spine of the engine: for a fixed config and seed,
+//! every stepping path produces **bit-identical** loads, assignments
+//! and round traces —
+//!
+//! * serial [`SyncEngine::run`] versus multi-threaded
+//!   [`SyncEngine::run_parallel`] at any thread count,
+//! * bank-wise stepping versus per-ant reference stepping (each ant
+//!   consumes only its own RNG stream, in the same order; see
+//!   [`antalloc_core::step_slice`]),
+//! * a checkpoint captured at a phase boundary, restored and resumed,
+//!   versus the uninterrupted run.
+//!
+//! Decisions are double-buffered per round (sub-round 1 observes, sub-
+//! round 2 applies), so *application* order is immaterial: per-ant load
+//! transitions commute and the switch count is a sum. Consumption order
+//! of randomness is what matters, and that is per-ant by construction.
+//! `tests/determinism.rs` and the bank property tests in
+//! `tests/banks.rs` hold this contract down.
 
-use antalloc_core::{AnyController, Controller};
+use antalloc_core::AnyController;
 use antalloc_env::{Assignment, ColonyState, DemandVector, InitialConfig, Perturbation};
-use antalloc_noise::{FeedbackProbe, NoiseModel, PreparedRound};
+use antalloc_noise::{NoiseModel, PreparedRound};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
 
-use crate::config::SimConfig;
+use crate::config::{ControllerSpec, SimConfig};
 use crate::observer::Observer;
+use crate::population::Population;
 
 /// What an [`Observer`] sees after each round.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +65,28 @@ impl RoundRecord<'_> {
     }
 }
 
+/// Checkpointable state: config, colony, RNG states (global ant
+/// order), round, next stream id, mixed membership (if any).
+pub(crate) type StateParts<'a> = (
+    &'a SimConfig,
+    &'a ColonyState,
+    Vec<[u64; 4]>,
+    u64,
+    u64,
+    Option<Vec<u16>>,
+);
+
+/// One bank's slice of the colony, as seen by [`SyncEngine::bank_census`].
+#[derive(Clone, Debug)]
+pub struct BankCensus {
+    /// The (non-`Mix`) spec this bank runs.
+    pub spec: ControllerSpec,
+    /// Ants currently in the bank.
+    pub ants: usize,
+    /// How many of them are working on some task.
+    pub working: u64,
+}
+
 /// The synchronous simulation engine.
 ///
 /// One [`SyncEngine::step`] is the paper's round: sub-round 1 exposes
@@ -40,8 +95,7 @@ impl RoundRecord<'_> {
 pub struct SyncEngine {
     config: SimConfig,
     colony: ColonyState,
-    controllers: Vec<AnyController>,
-    rngs: Vec<AntRng>,
+    population: Population,
     noise: NoiseModel,
     seeder: StreamSeeder,
     init_rng: AntRng,
@@ -59,12 +113,10 @@ impl SyncEngine {
         let n = config.n;
         let k = demands.num_tasks();
         let seeder = StreamSeeder::new(config.seed);
-        let controllers = config.controller.build_many(k, n);
-        let rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let population = Population::build(&config.controller, config.seed, k, n);
         let mut engine = Self {
             colony: ColonyState::new(n, demands),
-            controllers,
-            rngs,
+            population,
             noise: config.noise.clone(),
             seeder,
             init_rng: seeder.stream(reserved::INIT),
@@ -83,9 +135,7 @@ impl SyncEngine {
     /// initial allocation"), syncing controllers to the environment.
     pub fn set_initial(&mut self, initial: &InitialConfig) {
         initial.apply(&mut self.colony, &mut self.init_rng);
-        for (i, c) in self.controllers.iter_mut().enumerate() {
-            c.reset_to(self.colony.assignment(i));
-        }
+        self.population.reset_to_colony(&self.colony);
     }
 
     /// The current round number (rounds are 1-based; 0 before any step).
@@ -103,9 +153,43 @@ impl SyncEngine {
         &self.config
     }
 
-    /// Total memory used by one ant's controller, in bits.
+    /// Total memory used by one ant's controller, in bits (ant 0; for
+    /// mixed colonies see [`SyncEngine::bank_census`] per sub-spec).
     pub fn controller_memory_bits(&self) -> u32 {
-        self.controllers.first().map_or(0, |c| c.memory_bits())
+        if self.population.len() == 0 {
+            0
+        } else {
+            self.population.memory_bits(0)
+        }
+    }
+
+    /// Per-bank population and load census: which controller kind holds
+    /// how much of the colony right now. Homogeneous colonies report a
+    /// single bank.
+    pub fn bank_census(&self) -> Vec<BankCensus> {
+        self.population
+            .banks()
+            .iter()
+            .map(|bank| BankCensus {
+                spec: bank.spec.clone(),
+                ants: bank.len(),
+                working: bank
+                    .ants
+                    .iter()
+                    .filter(|&&i| !self.colony.assignment(i as usize).is_idle())
+                    .count() as u64,
+            })
+            .collect()
+    }
+
+    /// Clones every controller into the per-ant dispatch enum, in
+    /// global ant order — the *reference* representation. Bank-wise
+    /// stepping is bit-identical to stepping these with
+    /// [`antalloc_core::Controller::step`] against per-ant probes; the
+    /// bank property tests and the `perf_engine` pre-bank baseline lean
+    /// on this.
+    pub fn reference_controllers(&self) -> Vec<AnyController> {
+        self.population.reference_controllers()
     }
 
     fn begin_round(&mut self) -> PreparedRound {
@@ -137,15 +221,7 @@ impl SyncEngine {
     /// Runs one synchronous round on the current thread.
     pub fn step(&mut self, observer: &mut impl Observer) {
         let prepared = self.begin_round();
-        let mut switches = 0u64;
-        for i in 0..self.controllers.len() {
-            let mut probe = FeedbackProbe::new(&prepared, &mut self.rngs[i]);
-            let next = self.controllers[i].step(&mut probe);
-            if next != self.colony.assignment(i) {
-                switches += 1;
-                self.colony.apply(i, next);
-            }
-        }
+        let switches = self.population.step_round(&prepared, &mut self.colony);
         self.finish_round(switches, observer);
     }
 
@@ -171,7 +247,7 @@ impl SyncEngine {
     /// Workers are spawned **once per call** and synchronize with the
     /// coordinator through two [`std::sync::Barrier`] crossings per
     /// round: the coordinator prepares the round's feedback state,
-    /// workers step their fixed chunk of ants — writing decisions into a
+    /// workers step their fixed bank chunks — writing decisions into a
     /// shared atomic buffer — and the coordinator applies decisions in
     /// ant order. Determinism is unconditional: every ant consumes only
     /// its own RNG stream, whatever the partition.
@@ -208,11 +284,15 @@ impl SyncEngine {
         use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
         assert!(threads >= 1);
-        let n = self.controllers.len();
-        if threads == 1 || n < 2 * min_ants_per_worker {
+        let n = self.population.len();
+        // Size the pool by how many workers the colony can keep busy,
+        // clamped by the requested thread count — `workers` can never
+        // exceed `threads`. Anything that cannot sustain two busy
+        // workers runs serially.
+        let workers = (n / min_ants_per_worker.max(1)).min(threads);
+        if workers < 2 {
             return self.run(rounds, observer);
         }
-        let workers = threads.min(n / min_ants_per_worker).max(2);
         let chunk = n.div_ceil(workers);
 
         // Decision buffer: u32 task index with MAX = idle. Workers store
@@ -228,20 +308,10 @@ impl SyncEngine {
         let done = std::sync::Barrier::new(workers);
         let stop = AtomicBool::new(false);
 
-        // Partition controllers and RNGs once for the whole run.
-        let mut c_rest: &mut [AnyController] = &mut self.controllers[..];
-        let mut r_rest: &mut [AntRng] = &mut self.rngs[..];
-        let mut parts = Vec::with_capacity(workers);
-        let mut offset = 0usize;
-        for _ in 0..workers {
-            let take = chunk.min(c_rest.len());
-            let (c_chunk, c_tail) = c_rest.split_at_mut(take);
-            let (r_chunk, r_tail) = r_rest.split_at_mut(take);
-            c_rest = c_tail;
-            r_rest = r_tail;
-            parts.push((offset, c_chunk, r_chunk));
-            offset += take;
-        }
+        // Partition the banks once for the whole run: each worker owns
+        // a disjoint set of (bank chunk, RNG chunk, ant-id chunk)
+        // triples covering ~`chunk` ants.
+        let parts = self.population.partition_mut(workers, chunk);
 
         // Fields the coordinator keeps for itself during the scope.
         let colony = &mut self.colony;
@@ -251,39 +321,52 @@ impl SyncEngine {
         let pre_deficits = &mut self.pre_deficits;
         let post_deficits = &mut self.post_deficits;
 
+        let store = |decisions: &[AtomicU32], ids: &[u32], out: &[Assignment]| {
+            for (&id, &next) in ids.iter().zip(out) {
+                let raw = match next {
+                    Assignment::Idle => u32::MAX,
+                    Assignment::Task(j) => j,
+                };
+                decisions[id as usize].store(raw, Ordering::Relaxed);
+            }
+        };
+
         crossbeam::thread::scope(|scope| {
             // The coordinator doubles as the worker for chunk 0, so the
             // run uses exactly `workers` OS threads (no oversubscription
             // from a dedicated coordinator).
             let mut parts = parts.into_iter();
-            let (own_offset, own_controllers, own_rngs) = parts.next().expect("at least one chunk");
-            for (offset, c_chunk, r_chunk) in parts {
+            let mut own_part = parts.next().expect("at least one chunk");
+            for part in parts {
                 let decisions = &decisions;
                 let shared = &shared;
                 let start = &start;
                 let done = &done;
                 let stop = &stop;
-                scope.spawn(move |_| loop {
-                    start.wait();
-                    if stop.load(Ordering::Acquire) {
-                        return;
+                let store = &store;
+                let mut part = part;
+                scope.spawn(move |_| {
+                    let mut out: Vec<Assignment> = Vec::new();
+                    loop {
+                        start.wait();
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let guard = shared.read();
+                        let prepared = guard.as_ref().expect("round prepared");
+                        for (slice, rngs, ids) in part.iter_mut() {
+                            out.clear();
+                            out.resize(slice.len(), Assignment::Idle);
+                            slice.step_batch(prepared.view(), rngs, &mut out);
+                            store(decisions, ids, &out);
+                        }
+                        drop(guard);
+                        done.wait();
                     }
-                    let guard = shared.read();
-                    let prepared = guard.as_ref().expect("round prepared");
-                    for (i, (c, rng)) in c_chunk.iter_mut().zip(&mut *r_chunk).enumerate() {
-                        let mut probe = FeedbackProbe::new(prepared, rng);
-                        let next = c.step(&mut probe);
-                        let raw = match next {
-                            Assignment::Idle => u32::MAX,
-                            Assignment::Task(j) => j,
-                        };
-                        decisions[offset + i].store(raw, Ordering::Relaxed);
-                    }
-                    drop(guard);
-                    done.wait();
                 });
             }
 
+            let mut own_out: Vec<Assignment> = Vec::new();
             for _ in 0..rounds {
                 // Exclusive window: begin the round.
                 *round += 1;
@@ -294,15 +377,12 @@ impl SyncEngine {
                 let prepared = noise.prepare(*round, pre_deficits, colony.demands().as_slice());
                 *shared.write() = Some(prepared.clone());
                 start.wait();
-                // Step the coordinator's own chunk alongside the workers.
-                for (i, (c, rng)) in own_controllers.iter_mut().zip(&mut *own_rngs).enumerate() {
-                    let mut probe = FeedbackProbe::new(&prepared, rng);
-                    let next = c.step(&mut probe);
-                    let raw = match next {
-                        Assignment::Idle => u32::MAX,
-                        Assignment::Task(j) => j,
-                    };
-                    decisions[own_offset + i].store(raw, Ordering::Relaxed);
+                // Step the coordinator's own chunks alongside the workers.
+                for (slice, rngs, ids) in own_part.iter_mut() {
+                    own_out.clear();
+                    own_out.resize(slice.len(), Assignment::Idle);
+                    slice.step_batch(prepared.view(), rngs, &mut own_out);
+                    store(&decisions, ids, &own_out);
                 }
                 done.wait();
                 // Exclusive window: apply decisions in ant order.
@@ -343,45 +423,52 @@ impl SyncEngine {
         match p {
             Perturbation::KillRandom { .. } => {
                 for &(slot, _) in &swaps {
-                    self.controllers.swap_remove(slot);
-                    self.rngs.swap_remove(slot);
+                    self.population.remove(slot);
                 }
                 // Kills without swaps (victim was last) still shrink us.
-                while self.controllers.len() > self.colony.num_ants() {
-                    self.controllers.pop();
-                    self.rngs.pop();
+                while self.population.len() > self.colony.num_ants() {
+                    let last = self.population.len() - 1;
+                    self.population.remove(last);
                 }
             }
             Perturbation::Spawn { count } => {
                 let k = self.colony.num_tasks();
                 for _ in 0..*count {
-                    self.controllers.push(self.config.controller.build(k));
-                    self.rngs.push(self.seeder.stream(self.next_stream));
+                    let rng = self.seeder.stream(self.next_stream);
+                    self.population.spawn(k, self.next_stream, rng);
                     self.next_stream += 1;
                 }
             }
             Perturbation::Scramble | Perturbation::StampedeTo(_) => {
-                for (i, c) in self.controllers.iter_mut().enumerate() {
-                    c.reset_to(self.colony.assignment(i));
-                }
+                self.population.reset_to_colony(&self.colony);
             }
         }
         debug_assert!(self.colony.recount_consistent());
-        debug_assert_eq!(self.controllers.len(), self.colony.num_ants());
+        debug_assert_eq!(self.population.len(), self.colony.num_ants());
+        debug_assert!(self.population.check_invariants());
     }
 
-    /// Accessors used by checkpointing.
-    pub(crate) fn state_parts(&self) -> (&SimConfig, &ColonyState, &[AntRng], u64, u64) {
+    /// Accessors used by checkpointing: config, colony, per-ant RNG
+    /// states (global ant order), round, next stream id, and — for
+    /// mixed colonies — the per-ant bank membership.
+    pub(crate) fn state_parts(&self) -> StateParts<'_> {
+        let members = if self.population.is_mixed() {
+            Some(self.population.members())
+        } else {
+            None
+        };
         (
             &self.config,
             &self.colony,
-            &self.rngs,
+            self.population.rng_states(),
             self.round,
             self.next_stream,
+            members,
         )
     }
 
-    /// Rebuilds an engine from checkpointed parts.
+    /// Rebuilds an engine from checkpointed parts. `members` carries the
+    /// per-ant bank membership for mixed colonies (empty otherwise).
     pub(crate) fn from_parts(
         config: SimConfig,
         demands: DemandVector,
@@ -389,21 +476,25 @@ impl SyncEngine {
         rng_states: Vec<[u64; 4]>,
         round: u64,
         next_stream: u64,
+        members: &[u16],
     ) -> Self {
         let n = assignments.len();
         let k = demands.num_tasks();
         let seeder = StreamSeeder::new(config.seed);
-        let mut controllers = config.controller.build_many(k, n);
+        let mut population = if members.is_empty() {
+            Population::build(&config.controller, config.seed, k, n)
+        } else {
+            Population::from_members(&config.controller, config.seed, k, members)
+        };
         let mut colony = ColonyState::new(n, demands);
-        for (i, (&a, c)) in assignments.iter().zip(controllers.iter_mut()).enumerate() {
+        for (i, &a) in assignments.iter().enumerate() {
             colony.apply(i, a);
-            c.reset_to(a);
         }
-        let rngs = rng_states.into_iter().map(AntRng::from_state).collect();
+        population.reset_to_colony(&colony);
+        population.set_rng_states(&rng_states);
         Self {
             colony,
-            controllers,
-            rngs,
+            population,
             noise: config.noise.clone(),
             seeder,
             init_rng: seeder.stream(reserved::INIT),
@@ -431,6 +522,19 @@ mod tests {
             .seed(7)
             .build()
             .expect("valid scenario")
+    }
+
+    fn mixed_config() -> SimConfig {
+        SimConfig::builder(600, vec![80, 120])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Mix(vec![
+                (1.0, ControllerSpec::Ant(AntParams::default())),
+                (1.0, ControllerSpec::ExactGreedy(Default::default())),
+                (1.0, ControllerSpec::Trivial),
+            ]))
+            .seed(21)
+            .build()
+            .expect("valid mixed scenario")
     }
 
     #[test]
@@ -487,6 +591,17 @@ mod tests {
     }
 
     #[test]
+    fn mixed_parallel_is_bit_identical_to_serial() {
+        let mut serial = mixed_config().build();
+        let mut par = mixed_config().build();
+        let mut obs = NullObserver;
+        serial.run(80, &mut obs);
+        par.run_parallel_forced(80, 3, &mut obs);
+        assert_eq!(serial.colony().loads(), par.colony().loads());
+        assert_eq!(serial.colony().assignments(), par.colony().assignments());
+    }
+
+    #[test]
     fn parallel_observer_sees_same_rounds_as_serial() {
         let mut serial = config().build();
         let mut par = config().build();
@@ -505,6 +620,23 @@ mod tests {
             par.run_parallel_forced(60, 3, &mut obs);
         }
         assert_eq!(serial_trace, par_trace);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_requested_threads() {
+        // Regression: with n just above one worker's minimum, the old
+        // heuristic `threads.min(n / min).max(2)` ran 2 undersized
+        // workers; the pool must instead fall back to serial. We can't
+        // observe thread counts directly, but the path must stay
+        // bit-identical to serial either way.
+        let mut serial = config().build();
+        let mut pooled = config().build();
+        let mut obs = NullObserver;
+        serial.run(20, &mut obs);
+        // 800 ants / 8000 min = 0 workers → serial fallback.
+        pooled.run_parallel(20, 8, &mut obs);
+        assert_eq!(serial.colony().loads(), pooled.colony().loads());
+        assert_eq!(serial.colony().assignments(), pooled.colony().assignments());
     }
 
     #[test]
@@ -534,6 +666,28 @@ mod tests {
     }
 
     #[test]
+    fn mixed_colony_survives_kill_spawn_scramble() {
+        let mut e = mixed_config().build();
+        let mut obs = NullObserver;
+        e.run(30, &mut obs);
+        let before: usize = e.bank_census().iter().map(|b| b.ants).sum();
+        assert_eq!(before, 600);
+        e.perturb(&Perturbation::KillRandom { count: 200 });
+        assert_eq!(e.colony().num_ants(), 400);
+        let after: usize = e.bank_census().iter().map(|b| b.ants).sum();
+        assert_eq!(after, 400);
+        e.perturb(&Perturbation::Spawn { count: 150 });
+        assert_eq!(e.colony().num_ants(), 550);
+        e.perturb(&Perturbation::Scramble);
+        e.run(30, &mut obs);
+        assert!(e.colony().recount_consistent());
+        // All three banks are still populated after the churn.
+        let census = e.bank_census();
+        assert_eq!(census.len(), 3);
+        assert!(census.iter().all(|b| b.ants > 0), "{census:?}");
+    }
+
+    #[test]
     fn scramble_resyncs_controllers() {
         let mut e = config().build();
         let mut obs = NullObserver;
@@ -557,6 +711,17 @@ mod tests {
         for (round, mass) in seen {
             assert!((1..=5).contains(&round));
             assert_eq!(mass, 800);
+        }
+    }
+
+    #[test]
+    fn mixed_census_matches_quotas() {
+        let e = mixed_config().build();
+        let census = e.bank_census();
+        assert_eq!(census.len(), 3);
+        assert_eq!(census.iter().map(|b| b.ants).sum::<usize>(), 600);
+        for b in &census {
+            assert_eq!(b.ants, 200, "equal weights split 600 three ways");
         }
     }
 }

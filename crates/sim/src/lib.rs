@@ -51,14 +51,17 @@ mod checkpoint;
 mod config;
 mod engine;
 mod observer;
+mod population;
 mod recorder;
 pub mod scenario;
 mod sequential;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ControllerSpec, SimConfig};
-pub use engine::{RoundRecord, SyncEngine};
+pub use engine::{BankCensus, RoundRecord, SyncEngine};
 pub use observer::{BasicObserver, Both, FnObserver, NullObserver, Observer, RunSummary};
 pub use recorder::TraceRecorder;
-pub use scenario::{Batch, ConfigError, RunOutcome, Scenario, ScenarioBuilder, Sweep};
+pub use scenario::{
+    Batch, ConfigError, CsvSink, JsonlSink, RunOutcome, RunSink, Scenario, ScenarioBuilder, Sweep,
+};
 pub use sequential::SequentialEngine;

@@ -1,0 +1,490 @@
+//! The banked ant population shared by both engines.
+//!
+//! A [`Population`] owns one [`ControllerBank`] per controller kind
+//! plus a stable **ant → (bank, slot) index**. All engine operations —
+//! stepping, perturbations, checkpointing, parallel partitioning — are
+//! bank-wise; the index is the only piece that thinks in global ant
+//! ids.
+//!
+//! ## Index invariants
+//!
+//! For every global ant id `i` and every bank `b` with slot `s`:
+//!
+//! * `index.len()` equals the colony population `n`;
+//! * `index[i] == (b, s)`  ⇔  `banks[b].ants[s] == i` (the two maps are
+//!   mutual inverses);
+//! * within a bank, `controllers`, `rngs`, `ants` and the `decisions`
+//!   scratch all share one length;
+//! * a homogeneous colony has exactly one bank and (absent kills that
+//!   are later refilled) `ants[s] == s`;
+//! * banks may be empty (a mix fraction can be killed off entirely) but
+//!   are never dropped, so spawns can always rejoin their sub-spec.
+//!
+//! Kills mirror the colony's swap-removal: the victim's bank slot is
+//! swap-removed, then the *global* last ant takes over the victim's
+//! global id — both maps are patched in O(1).
+//!
+//! ## Mixed-colony membership
+//!
+//! `ControllerSpec::Mix` assigns ants to sub-specs deterministically
+//! from the master seed: exact largest-remainder quotas of the weights,
+//! interleaved by a seeded Fisher–Yates shuffle (the dedicated
+//! [`reserved::MIX`] stream). Spawned ants draw their sub-spec from a
+//! stream keyed by their RNG stream id, so checkpoint + spawn replays
+//! bit-identically to an uninterrupted run.
+
+use antalloc_core::{AnyController, BankSliceMut, ControllerBank};
+use antalloc_env::{Assignment, ColonyState};
+use antalloc_noise::PreparedRound;
+use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
+
+use crate::config::ControllerSpec;
+
+/// One worker's share of the colony: disjoint (controller chunk, RNG
+/// chunk, global-id chunk) triples (see [`Population::partition_mut`]).
+pub(crate) type WorkerPart<'a> = Vec<(BankSliceMut<'a>, &'a mut [AntRng], &'a [u32])>;
+
+/// One homogeneous sub-population: controllers plus their per-slot
+/// parallel arrays.
+pub(crate) struct Bank {
+    /// The (non-`Mix`) spec this bank runs; used for spawns and census.
+    pub spec: ControllerSpec,
+    /// The controllers, in slot order.
+    pub controllers: ControllerBank,
+    /// Per-slot RNG streams (ant `ants[s]` owns `rngs[s]`).
+    pub rngs: Vec<AntRng>,
+    /// Slot → global ant id.
+    pub ants: Vec<u32>,
+    /// Per-slot decision scratch for the serial step path.
+    pub decisions: Vec<Assignment>,
+}
+
+impl Bank {
+    fn new(spec: ControllerSpec, num_tasks: usize, ids: Vec<u32>, seeder: &StreamSeeder) -> Self {
+        let controllers = spec.build_bank(num_tasks, &ids);
+        let rngs = ids.iter().map(|&i| seeder.ant(i as usize)).collect();
+        let decisions = vec![Assignment::Idle; ids.len()];
+        Self {
+            spec,
+            controllers,
+            rngs,
+            ants: ids,
+            decisions,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ants.len()
+    }
+}
+
+/// The banked population: banks plus the stable two-way ant index.
+pub(crate) struct Population {
+    banks: Vec<Bank>,
+    /// Global ant id → (bank, slot).
+    index: Vec<(u32, u32)>,
+    /// Mixed-colony membership machinery (`None` for homogeneous).
+    mix: Option<MixMembership>,
+}
+
+/// Deterministic sub-spec assignment for `ControllerSpec::Mix`.
+struct MixMembership {
+    weights: Vec<f64>,
+    /// Sub-seeder derived from the master seed's `MIX` stream.
+    seeder: StreamSeeder,
+}
+
+impl MixMembership {
+    fn new(seed: u64, weights: Vec<f64>) -> Self {
+        Self {
+            weights,
+            seeder: mix_seeder(seed),
+        }
+    }
+
+    /// The sub-spec a *spawned* ant with RNG stream id `stream` joins:
+    /// one weighted draw from a stream keyed by `(master seed, stream)`,
+    /// so the pick depends on nothing but checkpointed state.
+    fn pick_spawn(&self, stream: u64) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        let x = self.seeder.stream(stream).next_f64() * total;
+        let mut acc = 0.0;
+        for (b, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if x < acc {
+                return b;
+            }
+        }
+        self.weights.len() - 1
+    }
+}
+
+/// The sub-seeder every mixed-membership draw derives from.
+fn mix_seeder(seed: u64) -> StreamSeeder {
+    StreamSeeder::new(StreamSeeder::new(seed).stream(reserved::MIX).next_u64())
+}
+
+/// Exact largest-remainder quotas: `quotas[i]` ants for weight
+/// `weights[i]`, summing to `n`. Ties go to the lower index.
+pub(crate) fn mix_quotas(weights: &[f64], n: usize) -> Vec<usize> {
+    let total: f64 = weights.iter().sum();
+    let exact: Vec<f64> = weights.iter().map(|&w| w / total * n as f64).collect();
+    let mut quotas: Vec<usize> = exact.iter().map(|&x| x.floor() as usize).collect();
+    let assigned: usize = quotas.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for i in 0..n.saturating_sub(assigned) {
+        quotas[order[i % order.len()]] += 1;
+    }
+    quotas
+}
+
+/// Deterministic initial membership: bank index per global ant id.
+///
+/// Quotas first, then a Fisher–Yates shuffle driven by the dedicated
+/// mix sub-seeder — a pure function of `(seed, weights, n)`.
+pub(crate) fn mix_members(seed: u64, weights: &[f64], n: usize) -> Vec<u16> {
+    let quotas = mix_quotas(weights, n);
+    let mut members = Vec::with_capacity(n);
+    for (b, &q) in quotas.iter().enumerate() {
+        members.extend(std::iter::repeat_n(b as u16, q));
+    }
+    let mut rng = mix_seeder(seed).stream(reserved::INIT);
+    for i in (1..members.len()).rev() {
+        members.swap(i, uniform_index(&mut rng, i + 1));
+    }
+    members
+}
+
+impl Population {
+    /// Builds the population for `spec` with ants `0..n`.
+    pub fn build(spec: &ControllerSpec, seed: u64, num_tasks: usize, n: usize) -> Self {
+        match spec.mix_parts() {
+            None => {
+                let seeder = StreamSeeder::new(seed);
+                let ids: Vec<u32> = (0..n as u32).collect();
+                let bank = Bank::new(spec.clone(), num_tasks, ids, &seeder);
+                Self {
+                    index: (0..n as u32).map(|s| (0, s)).collect(),
+                    banks: vec![bank],
+                    mix: None,
+                }
+            }
+            Some(parts) => {
+                let weights: Vec<f64> = parts.iter().map(|(w, _)| *w).collect();
+                let members = mix_members(seed, &weights, n);
+                Self::from_members(spec, seed, num_tasks, &members)
+            }
+        }
+    }
+
+    /// Rebuilds a population from an explicit membership vector (the
+    /// checkpoint-restore path; kills permute memberships, so they
+    /// cannot be recomputed from the seed).
+    pub fn from_members(
+        spec: &ControllerSpec,
+        seed: u64,
+        num_tasks: usize,
+        members: &[u16],
+    ) -> Self {
+        let seeder = StreamSeeder::new(seed);
+        match spec.mix_parts() {
+            None => Self::build(spec, seed, num_tasks, members.len()),
+            Some(parts) => {
+                let mut bank_ids: Vec<Vec<u32>> = vec![Vec::new(); parts.len()];
+                let mut index = vec![(0u32, 0u32); members.len()];
+                for (i, &b) in members.iter().enumerate() {
+                    let b = b as usize;
+                    assert!(b < parts.len(), "membership references unknown sub-spec");
+                    index[i] = (b as u32, bank_ids[b].len() as u32);
+                    bank_ids[b].push(i as u32);
+                }
+                let banks = parts
+                    .iter()
+                    .zip(bank_ids)
+                    .map(|((_, sub), ids)| Bank::new(sub.clone(), num_tasks, ids, &seeder))
+                    .collect();
+                let weights = parts.iter().map(|(w, _)| *w).collect();
+                Self {
+                    banks,
+                    index,
+                    mix: Some(MixMembership::new(seed, weights)),
+                }
+            }
+        }
+    }
+
+    /// Number of ants.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The banks (census, diagnostics).
+    pub fn banks(&self) -> &[Bank] {
+        &self.banks
+    }
+
+    /// The bank index of every ant, in global ant order — the
+    /// checkpointed representation of mixed membership.
+    pub fn members(&self) -> Vec<u16> {
+        self.index.iter().map(|&(b, _)| b as u16).collect()
+    }
+
+    /// Whether this population carries mixed membership.
+    pub fn is_mixed(&self) -> bool {
+        self.mix.is_some()
+    }
+
+    /// One synchronous round over every bank: sub-round 1 steps a
+    /// bank's ants against `prepared` (decisions buffered in the bank's
+    /// scratch — no ant observes another's move), sub-round 2 applies
+    /// that bank's buffer to the colony while it is still cache-hot.
+    /// Returns the number of ants whose assignment changed.
+    ///
+    /// Application order (bank-major here, ant-major in the parallel
+    /// engine) is immaterial: decisions were fixed before any apply,
+    /// per-ant load transitions commute, and the switch count is a sum.
+    pub fn step_round(&mut self, prepared: &PreparedRound, colony: &mut ColonyState) -> u64 {
+        let mut switches = 0u64;
+        for bank in &mut self.banks {
+            bank.controllers
+                .step_batch(prepared.view(), &mut bank.rngs, &mut bank.decisions);
+            for (&id, &next) in bank.ants.iter().zip(&bank.decisions) {
+                let i = id as usize;
+                if next != colony.assignment(i) {
+                    switches += 1;
+                    colony.apply(i, next);
+                }
+            }
+        }
+        switches
+    }
+
+    /// Steps the single ant `i` (the sequential model's round).
+    pub fn step_one(&mut self, i: usize, prepared: &PreparedRound) -> Assignment {
+        let (b, s) = self.index[i];
+        let bank = &mut self.banks[b as usize];
+        bank.controllers
+            .step_slot(s as usize, prepared.view(), &mut bank.rngs[s as usize])
+    }
+
+    /// Forces every controller to its colony assignment (initial
+    /// configurations, scramble/stampede perturbations).
+    pub fn reset_to_colony(&mut self, colony: &ColonyState) {
+        for bank in &mut self.banks {
+            for s in 0..bank.len() {
+                let a = colony.assignment(bank.ants[s] as usize);
+                bank.controllers.reset_slot(s, a);
+            }
+        }
+    }
+
+    /// Persistent memory of ant `i`'s controller, in bits.
+    pub fn memory_bits(&self, i: usize) -> u32 {
+        let (b, s) = self.index[i];
+        self.banks[b as usize].controllers.memory_bits(s as usize)
+    }
+
+    /// Removes the ant with global id `victim`, mirroring the colony's
+    /// swap-removal: the global last ant takes over id `victim`.
+    pub fn remove(&mut self, victim: usize) {
+        let last = self.index.len() - 1;
+        let (b, s) = self.index[victim];
+        let (b, s) = (b as usize, s as usize);
+        let bank = &mut self.banks[b];
+        bank.controllers.swap_remove(s);
+        bank.rngs.swap_remove(s);
+        bank.decisions.pop();
+        bank.ants.swap_remove(s);
+        if s < bank.ants.len() {
+            // The bank's last ant moved into slot `s`.
+            self.index[bank.ants[s] as usize] = (b as u32, s as u32);
+        }
+        if victim != last {
+            let home = self.index[last];
+            self.index[victim] = home;
+            self.banks[home.0 as usize].ants[home.1 as usize] = victim as u32;
+        }
+        self.index.pop();
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Appends a freshly spawned ant (global id `len()`) with RNG
+    /// stream `stream`. Homogeneous colonies spawn into their single
+    /// bank; mixes draw the sub-spec deterministically from `stream`.
+    pub fn spawn(&mut self, num_tasks: usize, stream: u64, rng: AntRng) {
+        let b = match &self.mix {
+            None => 0,
+            Some(mix) => mix.pick_spawn(stream),
+        };
+        let id = self.index.len() as u32;
+        let bank = &mut self.banks[b];
+        // Spawns use the spec's plain single-ant build (desync spawns
+        // get offset 0, matching the pre-bank engines).
+        bank.controllers.push(bank.spec.build(num_tasks));
+        bank.rngs.push(rng);
+        bank.decisions.push(Assignment::Idle);
+        self.index.push((b as u32, bank.ants.len() as u32));
+        bank.ants.push(id);
+        debug_assert!(self.check_invariants());
+    }
+
+    /// Every ant's RNG state, in global ant order (checkpoint capture).
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        self.index
+            .iter()
+            .map(|&(b, s)| self.banks[b as usize].rngs[s as usize].state())
+            .collect()
+    }
+
+    /// Overwrites every ant's RNG state, in global ant order
+    /// (checkpoint restore).
+    pub fn set_rng_states(&mut self, states: &[[u64; 4]]) {
+        assert_eq!(states.len(), self.index.len());
+        for (i, &st) in states.iter().enumerate() {
+            let (b, s) = self.index[i];
+            self.banks[b as usize].rngs[s as usize] = AntRng::from_state(st);
+        }
+    }
+
+    /// Clones every controller into the per-ant dispatch enum, in
+    /// global ant order — the reference representation the bank
+    /// equivalence tests and the pre-bank baseline replay use.
+    pub fn reference_controllers(&self) -> Vec<AnyController> {
+        self.index
+            .iter()
+            .map(|&(b, s)| self.banks[b as usize].controllers.to_any(s as usize))
+            .collect()
+    }
+
+    /// Splits the whole population into `workers` disjoint parts of
+    /// ~`chunk` ants each, cutting across banks as needed. Each part is
+    /// a list of (controller chunk, RNG chunk, global-id chunk)
+    /// triples; the parallel engine hands one part to each worker for a
+    /// whole run. The final part absorbs any remainder.
+    pub fn partition_mut(&mut self, workers: usize, chunk: usize) -> Vec<WorkerPart<'_>> {
+        assert!(workers >= 1 && chunk >= 1);
+        let mut parts: Vec<WorkerPart<'_>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut cur = 0usize;
+        let mut fill = 0usize;
+        for bank in &mut self.banks {
+            let mut slice = bank.controllers.as_slice_mut();
+            let mut rngs: &mut [AntRng] = &mut bank.rngs;
+            let mut ids: &[u32] = &bank.ants;
+            while !slice.is_empty() {
+                if fill == chunk && cur + 1 < workers {
+                    cur += 1;
+                    fill = 0;
+                }
+                let room = if cur + 1 < workers {
+                    chunk - fill
+                } else {
+                    usize::MAX
+                };
+                let take = room.min(slice.len());
+                let (head, tail) = slice.split_at_mut(take);
+                let (rng_head, rng_tail) = rngs.split_at_mut(take);
+                let (id_head, id_tail) = ids.split_at(take);
+                parts[cur].push((head, rng_head, id_head));
+                fill += take;
+                slice = tail;
+                rngs = rng_tail;
+                ids = id_tail;
+            }
+        }
+        parts
+    }
+
+    /// Full invariant check (debug asserts and tests).
+    pub fn check_invariants(&self) -> bool {
+        if self.index.len() != self.banks.iter().map(Bank::len).sum::<usize>() {
+            return false;
+        }
+        for (b, bank) in self.banks.iter().enumerate() {
+            if bank.controllers.len() != bank.ants.len()
+                || bank.rngs.len() != bank.ants.len()
+                || bank.decisions.len() != bank.ants.len()
+            {
+                return false;
+            }
+            for (s, &id) in bank.ants.iter().enumerate() {
+                if self.index.get(id as usize) != Some(&(b as u32, s as u32)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_core::AntParams;
+
+    fn mix_spec() -> ControllerSpec {
+        ControllerSpec::Mix(vec![
+            (2.0, ControllerSpec::Ant(AntParams::default())),
+            (1.0, ControllerSpec::Trivial),
+            (1.0, ControllerSpec::ExactGreedy(Default::default())),
+        ])
+    }
+
+    #[test]
+    fn quotas_are_exact_largest_remainder() {
+        assert_eq!(mix_quotas(&[2.0, 1.0, 1.0], 100), vec![50, 25, 25]);
+        assert_eq!(mix_quotas(&[1.0, 1.0, 1.0], 10), vec![4, 3, 3]);
+        assert_eq!(mix_quotas(&[1.0], 7), vec![7]);
+        let q = mix_quotas(&[0.7, 0.2, 0.1], 9);
+        assert_eq!(q.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn membership_is_deterministic_and_matches_quotas() {
+        let a = mix_members(7, &[2.0, 1.0, 1.0], 200);
+        let b = mix_members(7, &[2.0, 1.0, 1.0], 200);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|&&m| m == 0).count(), 100);
+        assert_eq!(a.iter().filter(|&&m| m == 1).count(), 50);
+        // A different seed shuffles differently.
+        assert_ne!(a, mix_members(8, &[2.0, 1.0, 1.0], 200));
+        // ... but not sorted: the shuffle interleaves.
+        assert!(a.windows(2).any(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn build_upholds_invariants_through_kill_and_spawn() {
+        let spec = mix_spec();
+        let mut p = Population::build(&spec, 3, 2, 40);
+        assert!(p.check_invariants());
+        assert_eq!(p.banks().len(), 3);
+        assert_eq!(p.len(), 40);
+        // Kill a few ants from the middle and the end.
+        p.remove(5);
+        p.remove(30);
+        p.remove(p.len() - 1);
+        assert_eq!(p.len(), 37);
+        assert!(p.check_invariants());
+        // Spawn back; membership picks stay in range.
+        let seeder = StreamSeeder::new(3);
+        for stream in 40..45u64 {
+            p.spawn(2, stream, seeder.stream(stream));
+        }
+        assert_eq!(p.len(), 42);
+        assert!(p.check_invariants());
+    }
+
+    #[test]
+    fn members_roundtrip_through_from_members() {
+        let spec = mix_spec();
+        let p = Population::build(&spec, 11, 2, 30);
+        let members = p.members();
+        let q = Population::from_members(&spec, 11, 2, &members);
+        assert_eq!(q.members(), members);
+        assert!(q.check_invariants());
+    }
+}

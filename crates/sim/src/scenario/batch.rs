@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use crate::config::SimConfig;
 use crate::observer::{NullObserver, RunSummary};
+use crate::scenario::sink::RunSink;
 use crate::scenario::ConfigError;
 
 /// The measured outcome of one run in a batch or sweep.
@@ -45,6 +46,7 @@ pub struct Batch {
     warmup: u64,
     rounds: u64,
     threads: usize,
+    threads_per_job: usize,
 }
 
 impl Batch {
@@ -59,6 +61,7 @@ impl Batch {
             warmup: 0,
             rounds,
             threads: default_threads(),
+            threads_per_job: 1,
         }
     }
 
@@ -74,9 +77,28 @@ impl Batch {
         self
     }
 
-    /// Worker threads for the batch (runs themselves stay serial).
+    /// Worker threads for the batch (runs themselves stay serial unless
+    /// [`Batch::threads_per_job`] raises the per-job count).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Threads each *job* may use internally via the engine's
+    /// `run_parallel` (default 1: jobs step serially).
+    ///
+    /// **Thread-split policy.** Prefer batch-level parallelism first —
+    /// independent seeds scale embarrassingly and share nothing, so
+    /// `threads(t)` with serial jobs is the default and wins whenever
+    /// there are at least as many jobs as cores. Raise
+    /// `threads_per_job` only for huge single colonies (≫ 100k ants)
+    /// where per-run latency matters or where few jobs would leave
+    /// cores idle; keep `threads × threads_per_job` within the machine.
+    /// Per-seed results are bit-identical either way (the engine's
+    /// parallel path guarantees it), so this knob trades latency
+    /// against throughput, never reproducibility.
+    pub fn threads_per_job(mut self, threads: usize) -> Self {
+        self.threads_per_job = threads.max(1);
         self
     }
 
@@ -94,6 +116,19 @@ impl Batch {
         self.as_sweep().run_with(on_outcome)
     }
 
+    /// Runs every seed, streaming each outcome to `on_outcome` and
+    /// **dropping it afterwards** — memory stays flat however many
+    /// seeds run. Returns the number of runs completed.
+    pub fn for_each(&self, on_outcome: impl FnMut(&RunOutcome)) -> Result<usize, ConfigError> {
+        self.as_sweep().for_each(on_outcome)
+    }
+
+    /// Streams every outcome into `sink` (completion order) without
+    /// accumulating; sink IO failures surface as [`ConfigError::Io`].
+    pub fn stream_into(&self, sink: &mut dyn RunSink) -> Result<usize, ConfigError> {
+        self.as_sweep().stream_into(sink)
+    }
+
     fn as_sweep(&self) -> Sweep {
         Sweep {
             base: self.config.clone(),
@@ -102,6 +137,7 @@ impl Batch {
             warmup: self.warmup,
             rounds: self.rounds,
             threads: self.threads,
+            threads_per_job: self.threads_per_job,
         }
     }
 }
@@ -140,6 +176,7 @@ pub struct Sweep {
     warmup: u64,
     rounds: u64,
     threads: usize,
+    threads_per_job: usize,
 }
 
 impl Sweep {
@@ -154,6 +191,7 @@ impl Sweep {
             warmup: 0,
             rounds: 0,
             threads: default_threads(),
+            threads_per_job: 1,
         }
     }
 
@@ -191,9 +229,16 @@ impl Sweep {
         self
     }
 
-    /// Worker threads.
+    /// Worker threads (see [`Batch::threads`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Threads each job may use internally; see
+    /// [`Batch::threads_per_job`] for the thread-split policy.
+    pub fn threads_per_job(mut self, threads: usize) -> Self {
+        self.threads_per_job = threads.max(1);
         self
     }
 
@@ -208,15 +253,73 @@ impl Sweep {
         &self,
         mut on_outcome: impl FnMut(&RunOutcome),
     ) -> Result<Vec<RunOutcome>, ConfigError> {
+        let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
+        let count = self.run_pool(|outcome| {
+            on_outcome(&outcome);
+            let slot = outcome.index;
+            if outcomes.len() <= slot {
+                outcomes.resize_with(slot + 1, || None);
+            }
+            outcomes[slot] = Some(outcome);
+            true
+        })?;
+        debug_assert_eq!(count, outcomes.len());
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every job ran"))
+            .collect())
+    }
+
+    /// Streams every outcome to `on_outcome` (completion order) and
+    /// drops it afterwards — the constant-memory path for huge sweeps.
+    /// Returns the number of runs completed.
+    pub fn for_each(&self, mut on_outcome: impl FnMut(&RunOutcome)) -> Result<usize, ConfigError> {
+        self.run_pool(|outcome| {
+            on_outcome(&outcome);
+            true
+        })
+    }
+
+    /// Streams every outcome into `sink` without accumulating; sink IO
+    /// failures surface as [`ConfigError::Io`] and **abort the sweep**
+    /// — a full disk must not burn the remaining million runs.
+    pub fn stream_into(&self, sink: &mut dyn RunSink) -> Result<usize, ConfigError> {
+        let mut io_error: Option<std::io::Error> = None;
+        let count = self.run_pool(|outcome| match sink.on_outcome(&outcome) {
+            Ok(()) => true,
+            Err(e) => {
+                io_error = Some(e);
+                false
+            }
+        })?;
+        if io_error.is_none() {
+            if let Err(e) = sink.finish() {
+                io_error = Some(e);
+            }
+        }
+        match io_error {
+            Some(e) => Err(ConfigError::Io(format!("run sink: {e}"))),
+            None => Ok(count),
+        }
+    }
+
+    /// The shared worker pool: runs every job, handing each outcome to
+    /// `on_outcome` in completion order. Returning `false` from the
+    /// callback aborts the pool: no further jobs are claimed, and
+    /// in-flight outcomes are discarded.
+    fn run_pool(
+        &self,
+        mut on_outcome: impl FnMut(RunOutcome) -> bool,
+    ) -> Result<usize, ConfigError> {
         let jobs = self.jobs()?;
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<RunOutcome>();
         let workers = self.threads.min(jobs.len()).max(1);
         let warmup = self.warmup;
         let rounds = self.rounds;
+        let threads_per_job = self.threads_per_job;
+        let mut delivered = 0usize;
 
-        let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
-        outcomes.resize_with(jobs.len(), || None);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let jobs = &jobs;
@@ -225,7 +328,7 @@ impl Sweep {
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(i) else { return };
-                    let outcome = run_one(i, job, warmup, rounds);
+                    let outcome = run_one(i, job, warmup, rounds, threads_per_job);
                     if tx.send(outcome).is_err() {
                         return;
                     }
@@ -233,16 +336,22 @@ impl Sweep {
             }
             drop(tx);
             // Stream results on the caller's thread as workers finish.
+            let mut aborted = false;
             for outcome in rx {
-                on_outcome(&outcome);
-                let slot = outcome.index;
-                outcomes[slot] = Some(outcome);
+                if aborted {
+                    continue; // drain so workers' sends don't block
+                }
+                if on_outcome(outcome) {
+                    delivered += 1;
+                } else {
+                    // Park the job cursor past the end: idle workers
+                    // stop claiming; at most `workers` runs finish.
+                    next.store(usize::MAX - workers, Ordering::Relaxed);
+                    aborted = true;
+                }
             }
         });
-        Ok(outcomes
-            .into_iter()
-            .map(|o| o.expect("every job ran"))
-            .collect())
+        Ok(delivered)
     }
 
     /// Materializes and validates the job list.
@@ -286,13 +395,25 @@ struct Job {
     seed: u64,
 }
 
-fn run_one(index: usize, job: &Job, warmup: u64, rounds: u64) -> RunOutcome {
-    // Serial stepping: bit-identical to running this seed on its own.
+fn run_one(
+    index: usize,
+    job: &Job,
+    warmup: u64,
+    rounds: u64,
+    threads_per_job: usize,
+) -> RunOutcome {
+    // Serial by default — and bit-identical when a job parallelizes
+    // internally, because the engine's parallel path guarantees it.
     let mut engine = job.config.build();
     let mut sink = NullObserver;
-    engine.run(warmup, &mut sink);
     let mut summary = RunSummary::new();
-    engine.run(rounds, &mut summary);
+    if threads_per_job > 1 {
+        engine.run_parallel(warmup, threads_per_job, &mut sink);
+        engine.run_parallel(rounds, threads_per_job, &mut summary);
+    } else {
+        engine.run(warmup, &mut sink);
+        engine.run(rounds, &mut summary);
+    }
     let colony = engine.colony();
     RunOutcome {
         index,
@@ -417,5 +538,78 @@ mod tests {
             .unwrap();
         assert_eq!(streamed, 5);
         assert_eq!(outcomes.len(), 5);
+    }
+
+    #[test]
+    fn for_each_streams_without_accumulating() {
+        let mut seen = Vec::new();
+        let count = Batch::new(base(), 25)
+            .seeds(0..6)
+            .threads(3)
+            .for_each(|o| seen.push(o.seed))
+            .unwrap();
+        assert_eq!(count, 6);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stream_into_writes_one_row_per_run() {
+        use crate::scenario::sink::CsvSink;
+        let mut sink = CsvSink::new(Vec::new());
+        let count = Batch::new(base(), 20)
+            .seeds(0..4)
+            .threads(2)
+            .stream_into(&mut sink)
+            .unwrap();
+        assert_eq!(count, 4);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 5, "header + 4 rows:\n{text}");
+        assert!(text.starts_with("index,seed,"));
+    }
+
+    #[test]
+    fn failing_sink_aborts_the_sweep_with_io_error() {
+        struct FailingSink {
+            rows: usize,
+        }
+        impl crate::scenario::sink::RunSink for FailingSink {
+            fn on_outcome(&mut self, _o: &RunOutcome) -> std::io::Result<()> {
+                self.rows += 1;
+                if self.rows >= 2 {
+                    Err(std::io::Error::other("disk full"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let mut sink = FailingSink { rows: 0 };
+        let err = Batch::new(base(), 10)
+            .seeds(0..64)
+            .threads(2)
+            .stream_into(&mut sink)
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Io(_)), "{err:?}");
+        // The pool aborted: nowhere near all 64 outcomes were offered.
+        assert!(sink.rows < 64, "sink saw {} rows", sink.rows);
+    }
+
+    #[test]
+    fn threads_per_job_is_bit_identical_to_serial_jobs() {
+        // A job that parallelizes internally must produce the same
+        // per-seed results (the engine's parallel path guarantees it;
+        // this holds the Batch wiring down).
+        let serial = Batch::new(base(), 60).seeds(0..3).threads(1).run().unwrap();
+        let split = Batch::new(base(), 60)
+            .seeds(0..3)
+            .threads(1)
+            .threads_per_job(4)
+            .run()
+            .unwrap();
+        for (a, b) in serial.iter().zip(&split) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.summary.total_regret(), b.summary.total_regret());
+            assert_eq!(a.final_loads, b.final_loads);
+        }
     }
 }

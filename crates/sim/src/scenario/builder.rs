@@ -160,6 +160,38 @@ fn validate_controller(
     num_tasks: usize,
     strictness: Strictness,
 ) -> Result<(), ConfigError> {
+    // Mixes validate recursively: shape here, each sub-spec in full.
+    if let ControllerSpec::Mix(parts) = spec {
+        if parts.is_empty() {
+            return Err(ConfigError::Controller(
+                "mix must contain at least one sub-spec".into(),
+            ));
+        }
+        if parts.len() > usize::from(u16::MAX) {
+            return Err(ConfigError::Controller(format!(
+                "mix has {} sub-specs; at most {} are supported",
+                parts.len(),
+                u16::MAX
+            )));
+        }
+        for (i, (weight, sub)) in parts.iter().enumerate() {
+            if !(weight.is_finite() && *weight > 0.0) {
+                return Err(ConfigError::Controller(format!(
+                    "mix part {i}: weight must be positive and finite, got {weight}"
+                )));
+            }
+            if matches!(sub, ControllerSpec::Mix(_)) {
+                return Err(ConfigError::Controller(format!(
+                    "mix part {i}: nested mixes are not allowed"
+                )));
+            }
+            // Sub-specs see the full validation at the caller's
+            // strictness (structural always; windows when strict).
+            validate_controller(sub, num_tasks, strictness)
+                .map_err(|e| ConfigError::Controller(format!("mix part {i}: {e}")))?;
+        }
+        return Ok(());
+    }
     // Structural checks: shapes that make the machine itself nonsensical.
     match spec {
         ControllerSpec::Hysteresis { depth, lazy } => {
@@ -205,6 +237,8 @@ fn validate_controller(
         ControllerSpec::Trivial
         | ControllerSpec::ExactGreedy(_)
         | ControllerSpec::Hysteresis { .. } => Ok(()),
+        // Handled (recursively) by the structural pass above.
+        ControllerSpec::Mix(_) => Ok(()),
     }
 }
 

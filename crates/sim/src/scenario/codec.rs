@@ -197,6 +197,23 @@ pub fn controller_to_value(spec: &ControllerSpec) -> Value {
                 t.insert("lazy", float(*p));
             }
         }
+        ControllerSpec::Mix(parts) => {
+            t.insert("kind", Value::Str("mix".into()));
+            t.insert(
+                "parts",
+                Value::Array(
+                    parts
+                        .iter()
+                        .map(|(weight, sub)| {
+                            let mut part = Value::table();
+                            part.insert("weight", float(*weight));
+                            part.insert("controller", controller_to_value(sub));
+                            part
+                        })
+                        .collect(),
+                ),
+            );
+        }
     }
     t
 }
@@ -220,6 +237,7 @@ pub fn controller_from_value(v: &Value) -> Result<ControllerSpec, ConfigError> {
         "trivial" => &["kind"],
         "exact-greedy" => &["kind", "p_join", "p_leave"],
         "hysteresis" => &["kind", "depth", "lazy"],
+        "mix" => &["kind", "parts"],
         _ => &["kind"], // unknown kind errors below
     };
     check_keys(v, what, allowed)?;
@@ -275,6 +293,20 @@ pub fn controller_from_value(v: &Value) -> Result<ControllerSpec, ConfigError> {
                 None => None,
             };
             Ok(ControllerSpec::Hysteresis { depth, lazy })
+        }
+        "mix" => {
+            let parts = v
+                .want("parts")?
+                .as_array("controller.parts")?
+                .iter()
+                .map(|part| {
+                    check_keys(part, "controller.parts entry", &["weight", "controller"])?;
+                    let weight = part.want("weight")?.as_f64("mix.weight")?;
+                    let sub = controller_from_value(part.want("controller")?)?;
+                    Ok((weight, sub))
+                })
+                .collect::<Result<Vec<_>, ConfigError>>()?;
+            Ok(ControllerSpec::Mix(parts))
         }
         other => Err(bad(what, format!("unknown kind `{other}`"))),
     }
@@ -586,6 +618,23 @@ mod tests {
                 depth: 2,
                 lazy: Some(0.5),
             },
+            ControllerSpec::Mix(vec![
+                (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                (
+                    1.0,
+                    ControllerSpec::ExactGreedy(ExactGreedyParams {
+                        p_join: 0.4,
+                        p_leave: 0.1,
+                    }),
+                ),
+                (
+                    0.5,
+                    ControllerSpec::Hysteresis {
+                        depth: 3,
+                        lazy: None,
+                    },
+                ),
+            ]),
         ]
     }
 

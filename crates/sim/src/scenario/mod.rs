@@ -38,6 +38,7 @@ mod builder;
 mod codec;
 mod error;
 pub mod json;
+mod sink;
 pub mod toml;
 mod value;
 
@@ -51,6 +52,7 @@ pub use codec::{
     perturbation_from_value, perturbation_to_value, schedule_from_value, schedule_to_value,
 };
 pub use error::ConfigError;
+pub use sink::{CsvSink, JsonlSink, RunSink};
 pub use value::Value;
 
 use crate::config::SimConfig;

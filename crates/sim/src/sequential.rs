@@ -6,21 +6,25 @@
 //! sequential colony settles near the demands, the synchronous one
 //! flip-flops with amplitude `Θ(n)`.
 
-use antalloc_core::{AnyController, Controller};
 use antalloc_env::{ColonyState, DemandVector, InitialConfig};
-use antalloc_noise::{FeedbackProbe, NoiseModel};
+use antalloc_noise::NoiseModel;
 use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
 
 use crate::config::SimConfig;
 use crate::engine::RoundRecord;
 use crate::observer::Observer;
+use crate::population::Population;
 
 /// The sequential-model engine.
+///
+/// Owns the same banked [`Population`] as [`crate::SyncEngine`] — one
+/// homogeneous bank per controller kind plus the ant → (bank, slot)
+/// index — so `ControllerSpec::Mix` colonies run under the sequential
+/// model too; only one ant (bank slot) steps per round.
 pub struct SequentialEngine {
     config: SimConfig,
     colony: ColonyState,
-    controllers: Vec<AnyController>,
-    rngs: Vec<AntRng>,
+    population: Population,
     noise: NoiseModel,
     scheduler_rng: AntRng,
     init_rng: AntRng,
@@ -34,12 +38,10 @@ impl SequentialEngine {
         let n = config.n;
         let k = demands.num_tasks();
         let seeder = StreamSeeder::new(config.seed);
-        let controllers = config.controller.build_many(k, n);
-        let rngs = (0..n).map(|i| seeder.ant(i)).collect();
+        let population = Population::build(&config.controller, config.seed, k, n);
         let mut engine = Self {
             colony: ColonyState::new(n, demands),
-            controllers,
-            rngs,
+            population,
             noise: config.noise.clone(),
             scheduler_rng: seeder.stream(reserved::ENGINE),
             init_rng: seeder.stream(reserved::INIT),
@@ -56,9 +58,7 @@ impl SequentialEngine {
     /// Applies an initial configuration and syncs controllers.
     pub fn set_initial(&mut self, initial: &InitialConfig) {
         initial.apply(&mut self.colony, &mut self.init_rng);
-        for (i, c) in self.controllers.iter_mut().enumerate() {
-            c.reset_to(self.colony.assignment(i));
-        }
+        self.population.reset_to_colony(&self.colony);
     }
 
     /// The current round (1-based after the first step).
@@ -81,9 +81,8 @@ impl SequentialEngine {
         let prepared =
             self.noise
                 .prepare(self.round, &self.deficits, self.colony.demands().as_slice());
-        let i = uniform_index(&mut self.scheduler_rng, self.controllers.len());
-        let mut probe = FeedbackProbe::new(&prepared, &mut self.rngs[i]);
-        let next = self.controllers[i].step(&mut probe);
+        let i = uniform_index(&mut self.scheduler_rng, self.population.len());
+        let next = self.population.step_one(i, &prepared);
         let switches = u64::from(next != self.colony.assignment(i));
         self.colony.apply(i, next);
         self.colony.deficits_into(&mut self.post_deficits);
