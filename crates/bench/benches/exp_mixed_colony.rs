@@ -15,14 +15,16 @@
 //! * deep-hysteresis machines are sticky: they hold what they grab but
 //!   are slow to let go after shocks.
 //!
-//! Every mix runs under the batch runner across seeds, streaming each
-//! seed's outcome through a `JsonlSink` (the constant-memory path a
-//! million-run sweep would use).
+//! Both experiment grids run through the `Sweep` machinery with
+//! *labeled* axes — the mix compositions are one categorical axis, and
+//! the Ant weight fraction is a numeric axis that rewrites the mix
+//! weights in place — streaming every seed's outcome through a
+//! `JsonlSink` (the constant-memory path a million-run sweep would use).
 
 use antalloc_bench::{banner, fmt, out_dir, Table};
 use antalloc_core::{AntParams, ExactGreedyParams};
 use antalloc_noise::NoiseModel;
-use antalloc_sim::{Batch, ControllerSpec, JsonlSink, NullObserver, RunSink as _, SimConfig};
+use antalloc_sim::{ControllerSpec, JsonlSink, NullObserver, RunSink as _, SimConfig, Sweep};
 
 fn ant() -> ControllerSpec {
     ControllerSpec::Ant(AntParams::new(1.0 / 16.0))
@@ -59,10 +61,17 @@ fn main() {
     let demand = (n / 4) as u64; // single task: hysteresis machines observe one task
     let rounds = 4000u64;
     let warmup = 2000u64;
-    let seeds = 0..8u64;
 
-    // Mix grid: pure colonies as anchors, then Ant fraction sweeps with
-    // the remainder split between the two baselines.
+    let base = SimConfig::builder(n, vec![demand])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ant())
+        .seed(0x1113)
+        .build()
+        .expect("valid scenario");
+
+    // Grid 1: mix *compositions* as a labeled controller-kind axis —
+    // pure colonies as anchors, then Ant fraction sweeps with the
+    // remainder split between the two baselines.
     let mixes: Vec<(String, ControllerSpec)> = vec![
         ("ant 100%".into(), ant()),
         ("greedy 100%".into(), greedy()),
@@ -81,6 +90,20 @@ fn main() {
         ),
     ];
 
+    let jsonl_path = out_dir().join("exp_mixed_colony.jsonl");
+    let mut sink = JsonlSink::create(&jsonl_path).expect("create jsonl sink");
+
+    let outcomes = Sweep::new(base.clone())
+        .axis_labeled("mix", mixes.clone(), |cfg, spec| {
+            cfg.controller = spec.clone();
+        })
+        .seeds(0..8)
+        .warmup(warmup)
+        .rounds(rounds)
+        .run_with(|o| sink.on_outcome(o).expect("jsonl write"))
+        .expect("mixed sweep runs under the batch runner");
+    assert_eq!(outcomes.len(), mixes.len() * 8);
+
     let mut table = Table::new(
         "exp_mixed_colony",
         &[
@@ -92,35 +115,18 @@ fn main() {
             "hyst share",
         ],
     );
-
-    let jsonl_path = out_dir().join("exp_mixed_colony.jsonl");
-    let mut sink = JsonlSink::create(&jsonl_path).expect("create jsonl sink");
-
-    for (label, spec) in &mixes {
-        let cfg = SimConfig::builder(n, vec![demand])
-            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
-            .controller(spec.clone())
-            .seed(0x1113)
-            .build()
-            .expect("valid mixed scenario");
-
-        // One batch across seeds: each outcome streams to the JSONL
-        // sink AND folds into the table aggregates as it completes.
-        let batch = Batch::new(cfg.clone(), rounds)
-            .seeds(seeds.clone())
-            .warmup(warmup);
-        let mut avg = 0.0f64;
-        let mut max_r = 0.0f64;
-        let runs = batch
-            .for_each(|o| {
-                sink.on_outcome(o).expect("jsonl write");
-                avg += o.summary.average_regret() / 8.0;
-                max_r = max_r.max(o.summary.max_instant_regret() as f64);
-            })
-            .expect("mixed batch runs under the batch runner");
-        assert_eq!(runs, 8);
+    for (m, (label, spec)) in mixes.iter().enumerate() {
+        let runs = &outcomes[m * 8..(m + 1) * 8];
+        let avg = runs.iter().map(|o| o.summary.average_regret()).sum::<f64>() / 8.0;
+        let max_r = runs
+            .iter()
+            .map(|o| o.summary.max_instant_regret())
+            .max()
+            .unwrap_or(0) as f64;
 
         // Census on one representative run: who ends up holding the task?
+        let mut cfg = base.clone();
+        cfg.controller = spec.clone();
         let mut engine = cfg.build();
         engine.run(warmup + rounds, &mut NullObserver);
         let census = engine.bank_census();
@@ -148,6 +154,37 @@ fn main() {
         ]);
     }
     table.finish();
+
+    // Grid 2: mix *weights* as a first-class numeric axis. The setter
+    // rewrites the Ant weight in place, holding the greedy fraction's
+    // weight at the remainder — a continuous slice through the same
+    // composition space the labeled axis samples.
+    println!("\nant weight fraction sweep (ant w / greedy 1−w, 8 seeds each):");
+    let weighted = Sweep::new(base.clone())
+        .axis("ant_weight", [0.2, 0.4, 0.6, 0.8], |cfg, w| {
+            cfg.controller = ControllerSpec::Mix(vec![(w, ant()), (1.0 - w, greedy())]);
+        })
+        .seeds(0..8)
+        .warmup(warmup)
+        .rounds(rounds)
+        .run_with(|o| sink.on_outcome(o).expect("jsonl write"))
+        .expect("weight sweep runs");
+    let mut t2 = Table::new(
+        "exp_mixed_colony_weights",
+        &["ant weight", "avg regret", "max |r|"],
+    );
+    for (i, w) in [0.2, 0.4, 0.6, 0.8].iter().enumerate() {
+        let runs = &weighted[i * 8..(i + 1) * 8];
+        let avg = runs.iter().map(|o| o.summary.average_regret()).sum::<f64>() / 8.0;
+        let max_r = runs
+            .iter()
+            .map(|o| o.summary.max_instant_regret())
+            .max()
+            .unwrap_or(0) as f64;
+        t2.row(vec![fmt(*w), fmt(avg), fmt(max_r)]);
+    }
+    t2.finish();
+
     sink.finish().expect("flush jsonl sink");
     println!("  [jsonl: {}]", jsonl_path.display());
 }

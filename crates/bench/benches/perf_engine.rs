@@ -15,15 +15,12 @@ use std::hint::black_box;
 use std::io::Write as _;
 use std::time::Instant;
 
+use antalloc_bench::perf_quick as quick;
 use antalloc_core::{AntParams, AnyController, Controller, PreciseSigmoidParams};
 use antalloc_env::ColonyState;
 use antalloc_noise::{FeedbackProbe, NoiseModel};
 use antalloc_rng::{AntRng, StreamSeeder};
 use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
-
-fn quick() -> bool {
-    std::env::var("PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
-}
 
 fn engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
@@ -276,10 +273,75 @@ fn banks_vs_seed(_c: &mut Criterion) {
     );
 }
 
+/// Regression guard for the timeline cursor: consuming a long event
+/// script must cost O(1) per round, not O(events). The old
+/// `DemandSchedule::Steps::update` did a linear `find` over all steps
+/// every round; the cursor replaced it. With 50k pending events the
+/// linear scan would be orders of magnitude slower — assert the scripted
+/// run stays within 2× of the static run (generous noise margin).
+fn timeline_cursor_scaling(_c: &mut Criterion) {
+    use antalloc_env::{Event, Timeline};
+
+    let n = 2_000usize;
+    let rounds = 2_000u64;
+    let demands = vec![(n / 8) as u64; 2];
+    let base = SimConfig::builder(n, demands.clone())
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(4)
+        .build()
+        .expect("valid scenario");
+    // 50k one-shot events, all far beyond the horizon: the cursor must
+    // never scan them.
+    let mut timeline = Timeline::new();
+    for i in 0..50_000u64 {
+        timeline = timeline.at(1_000_000 + i, Event::SetDemands(demands.clone()));
+    }
+    let mut scripted = base.clone();
+    scripted.timeline = timeline;
+
+    let samples = 5usize;
+    let mut static_engine = base.build();
+    let mut scripted_engine = scripted.build(); // validates the script too
+                                                // Warm both once to even out allocation effects.
+    static_engine.run(rounds, &mut NullObserver);
+    scripted_engine.run(rounds, &mut NullObserver);
+    let static_tput = measure(n, rounds, samples, |r| {
+        static_engine.run(r, &mut NullObserver)
+    });
+    let scripted_tput = measure(n, rounds, samples, |r| {
+        scripted_engine.run(r, &mut NullObserver)
+    });
+    let slowdown = static_tput / scripted_tput;
+
+    println!("\nbenchmark group: timeline_cursor_scaling (n = {n}, 50k pending events)");
+    let mut table = antalloc_bench::Table::new(
+        "perf_engine_timeline_cursor",
+        &["timeline", "ant_rounds_per_sec", "slowdown_vs_static"],
+    );
+    table.row(vec![
+        "static".into(),
+        format!("{static_tput:.3e}"),
+        "1.00".into(),
+    ]);
+    table.row(vec![
+        "50k_pending_events".into(),
+        format!("{scripted_tput:.3e}"),
+        format!("{slowdown:.2}"),
+    ]);
+    table.finish();
+    assert!(
+        slowdown < 2.0,
+        "timeline consumption regressed to O(events)/round: {slowdown:.2}x slower \
+         ({static_tput:.3e} vs {scripted_tput:.3e} ant-rounds/s)"
+    );
+}
+
 criterion_group!(
     benches,
     engine_throughput,
     algorithm_step_cost,
-    banks_vs_seed
+    banks_vs_seed,
+    timeline_cursor_scaling
 );
 criterion_main!(benches);

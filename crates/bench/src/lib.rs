@@ -124,6 +124,13 @@ pub fn steady_state(cfg: &SimConfig, gamma: f64, warmup: u64, measure: u64) -> M
     }
 }
 
+/// Whether `PERF_QUICK` asks for a CI-sized run (`0`/empty = off).
+/// Shared by every bench that scales its workload down for the
+/// `perf-smoke` job.
+pub fn perf_quick() -> bool {
+    std::env::var("PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 /// Worker threads for the parallel engine, capped at 8.
 ///
 /// On boxes with ≤ 2 hardware threads the coordinator+worker pair
@@ -155,7 +162,10 @@ pub fn batch_table(name: &str, outcomes: &[RunOutcome]) -> Table {
     let mut table = Table::new(name, &headers);
     for o in outcomes {
         let mut row = vec![o.seed.to_string()];
-        row.extend(o.params.iter().map(|(_, v)| fmt(*v)));
+        row.extend(o.params.iter().map(|(_, v)| match v {
+            antalloc_sim::AxisValue::Float(x) => fmt(*x),
+            antalloc_sim::AxisValue::Text(s) => s.clone(),
+        }));
         row.extend([
             o.rounds.to_string(),
             fmt(o.summary.average_regret()),

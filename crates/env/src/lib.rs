@@ -3,9 +3,12 @@
 //!
 //! This crate owns the *ground truth* the ants never see directly:
 //! assignments, loads, demand vectors and their validation against
-//! Assumptions 2.1, demand schedules (the paper's "changing demands"
-//! remark), and the perturbation vocabulary used by self-stabilization
-//! experiments (arbitrary initial configurations, ant death/birth).
+//! Assumptions 2.1, the perturbation vocabulary used by
+//! self-stabilization experiments (arbitrary initial configurations,
+//! ant death/birth), and the [`Timeline`] subsystem that scripts every
+//! kind of mid-run dynamism — demand steps, population shocks and
+//! noise-regime switches — as one ordered, cursor-consumed event
+//! stream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,9 +18,11 @@ mod colony;
 mod demand;
 mod perturb;
 mod schedule;
+mod timeline;
 
 pub use assignment::Assignment;
 pub use colony::ColonyState;
 pub use demand::{AssumptionReport, DemandVector};
 pub use perturb::{InitialConfig, Perturbation};
 pub use schedule::DemandSchedule;
+pub use timeline::{Cycle, Event, TimedEvent, Timeline};

@@ -1,9 +1,11 @@
 //! Demand schedules: the paper's "our results trivially extend to
-//! changing demands" remark, made testable.
+//! changing demands" remark, as a compact description vocabulary.
 //!
-//! A schedule maps round numbers to demand vectors. The engine polls
-//! [`DemandSchedule::update`] once per round; self-stabilization is then
-//! measured as the regret transient after each change.
+//! Since the timeline refactor this type is no longer engine-facing:
+//! it is a thin constructor into [`crate::Timeline`] (via `From`), which
+//! both engines consume through a cursor. Scenario builders accept a
+//! `DemandSchedule` for convenience and compile it down immediately;
+//! validation happens on the resulting timeline.
 
 /// A time-varying demand specification.
 #[derive(Clone, Debug, PartialEq)]
@@ -18,156 +20,17 @@ pub enum DemandSchedule {
         demands: Vec<u64>,
     },
     /// A sequence of steps, each `(round, demands)`, applied in order.
-    /// Rounds must be strictly increasing.
+    /// Rounds must be non-decreasing.
     Steps(Vec<(u64, Vec<u64>)>),
     /// Demands alternate between `a` and `b` every `half_period` rounds,
     /// starting with `a` — a standing oscillation in the environment.
+    /// Compiles to a two-event [`crate::Cycle`].
     Alternating {
-        /// First demand vector (rounds `[0, half_period)`, etc.).
+        /// First demand vector (the colony starts on these).
         a: Vec<u64>,
         /// Second demand vector.
         b: Vec<u64>,
         /// Half the oscillation period, in rounds.
         half_period: u64,
     },
-}
-
-impl DemandSchedule {
-    /// If the demands change at `round`, returns the new vector.
-    ///
-    /// The engine calls this exactly once per round with increasing round
-    /// numbers; the method is pure, so replays agree.
-    pub fn update(&self, round: u64) -> Option<&[u64]> {
-        match self {
-            DemandSchedule::Static => None,
-            DemandSchedule::Step { at, demands } => (round == *at).then_some(demands.as_slice()),
-            DemandSchedule::Steps(steps) => steps
-                .iter()
-                .find(|(at, _)| *at == round)
-                .map(|(_, d)| d.as_slice()),
-            DemandSchedule::Alternating { a, b, half_period } => {
-                if round == 0 {
-                    return Some(a.as_slice());
-                }
-                if !round.is_multiple_of(*half_period) {
-                    return None;
-                }
-                let phase = (round / half_period) % 2;
-                Some(if phase == 0 {
-                    a.as_slice()
-                } else {
-                    b.as_slice()
-                })
-            }
-        }
-    }
-
-    /// Validates internal consistency (sorted steps, equal task counts).
-    /// Returns a description of the first problem found.
-    pub fn validate(&self, num_tasks: usize) -> Result<(), String> {
-        let check_len = |d: &[u64]| -> Result<(), String> {
-            if d.len() != num_tasks {
-                return Err(format!(
-                    "schedule demand vector has {} tasks, colony has {num_tasks}",
-                    d.len()
-                ));
-            }
-            if d.contains(&0) {
-                return Err("schedule contains a zero demand".to_string());
-            }
-            Ok(())
-        };
-        match self {
-            DemandSchedule::Static => Ok(()),
-            DemandSchedule::Step { demands, .. } => check_len(demands),
-            DemandSchedule::Steps(steps) => {
-                let mut prev: Option<u64> = None;
-                for (at, d) in steps {
-                    check_len(d)?;
-                    if let Some(p) = prev {
-                        if *at <= p {
-                            return Err(format!(
-                                "step rounds must strictly increase ({p} then {at})"
-                            ));
-                        }
-                    }
-                    prev = Some(*at);
-                }
-                Ok(())
-            }
-            DemandSchedule::Alternating { a, b, half_period } => {
-                check_len(a)?;
-                check_len(b)?;
-                if *half_period == 0 {
-                    return Err("half_period must be positive".to_string());
-                }
-                Ok(())
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn static_never_updates() {
-        let s = DemandSchedule::Static;
-        for r in 0..100 {
-            assert_eq!(s.update(r), None);
-        }
-        assert_eq!(s.validate(3), Ok(()));
-    }
-
-    #[test]
-    fn step_fires_once() {
-        let s = DemandSchedule::Step {
-            at: 10,
-            demands: vec![5, 6],
-        };
-        assert_eq!(s.update(9), None);
-        assert_eq!(s.update(10), Some(&[5u64, 6][..]));
-        assert_eq!(s.update(11), None);
-        assert_eq!(s.validate(2), Ok(()));
-        assert!(s.validate(3).is_err());
-    }
-
-    #[test]
-    fn steps_fire_in_order() {
-        let s = DemandSchedule::Steps(vec![(5, vec![1, 1]), (9, vec![2, 2])]);
-        assert_eq!(s.update(5), Some(&[1u64, 1][..]));
-        assert_eq!(s.update(7), None);
-        assert_eq!(s.update(9), Some(&[2u64, 2][..]));
-        assert_eq!(s.validate(2), Ok(()));
-    }
-
-    #[test]
-    fn steps_validation_catches_disorder_and_zero() {
-        let s = DemandSchedule::Steps(vec![(9, vec![1]), (5, vec![2])]);
-        assert!(s.validate(1).is_err());
-        let s = DemandSchedule::Steps(vec![(3, vec![0])]);
-        assert!(s.validate(1).is_err());
-    }
-
-    #[test]
-    fn alternating_cycles() {
-        let s = DemandSchedule::Alternating {
-            a: vec![10],
-            b: vec![20],
-            half_period: 4,
-        };
-        assert_eq!(s.update(0), Some(&[10u64][..]));
-        assert_eq!(s.update(1), None);
-        assert_eq!(s.update(4), Some(&[20u64][..]));
-        assert_eq!(s.update(8), Some(&[10u64][..]));
-        assert_eq!(s.update(12), Some(&[20u64][..]));
-        assert_eq!(s.validate(1), Ok(()));
-        let bad = DemandSchedule::Alternating {
-            a: vec![1],
-            b: vec![1],
-            half_period: 0,
-        };
-        assert!(bad.validate(1).is_err());
-    }
 }

@@ -1,0 +1,456 @@
+//! Event timelines: the unified dynamic-environment subsystem.
+//!
+//! A [`Timeline`] is an ordered stream of typed [`Event`]s — demand
+//! steps, population shocks, noise-regime switches — plus periodic
+//! [`Cycle`] generators for standing oscillations. Engines consume the
+//! one-shot stream through a monotone cursor (O(1) per round, however
+//! long the script) and evaluate cycles as pure functions of the round,
+//! so a timeline-driven run stays a pure function of `(config, seed)`:
+//! serial, parallel and checkpoint-restored runs replay bit-identically.
+//!
+//! This subsumes the three ad-hoc dynamism mechanisms that used to live
+//! in separate places: the engine-polled `DemandSchedule` (kept as a
+//! thin constructor via `From<DemandSchedule>`), imperative
+//! `engine.perturb(..)` calls in bench code, and fixed-for-life noise
+//! parameters. Rounds are 1-based; events fire at the *start* of their
+//! round, before any ant observes feedback.
+
+use antalloc_noise::NoiseModel;
+
+use crate::perturb::Perturbation;
+use crate::schedule::DemandSchedule;
+
+/// One typed mid-run change to the environment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// Replace the demand vector (the paper's "changing demands").
+    SetDemands(Vec<u64>),
+    /// Kill this many ants, chosen uniformly at random (§6 population
+    /// changes). Clamped at runtime so at least one ant survives.
+    Kill {
+        /// Number of ants to remove.
+        count: usize,
+    },
+    /// Spawn this many new idle ants.
+    Spawn {
+        /// Number of ants to add.
+        count: usize,
+    },
+    /// Re-draw every ant's assignment uniformly over `{idle, 1..k}`,
+    /// leaving controller memory untouched.
+    Scramble,
+    /// Force every ant onto one task (the worst overload shock).
+    StampedeTo(usize),
+    /// Switch the feedback generator from this round on — a noise-regime
+    /// change mid-run.
+    SetNoise(NoiseModel),
+}
+
+impl Event {
+    /// The equivalent colony-level [`Perturbation`], if this event is a
+    /// population shock (`None` for demand and noise changes).
+    pub fn as_perturbation(&self) -> Option<Perturbation> {
+        match self {
+            Event::Kill { count } => Some(Perturbation::KillRandom { count: *count }),
+            Event::Spawn { count } => Some(Perturbation::Spawn { count: *count }),
+            Event::Scramble => Some(Perturbation::Scramble),
+            Event::StampedeTo(j) => Some(Perturbation::StampedeTo(*j)),
+            Event::SetDemands(_) | Event::SetNoise(_) => None,
+        }
+    }
+
+    /// Checks the event against a colony with `num_tasks` tasks.
+    fn validate(&self, num_tasks: usize) -> Result<(), String> {
+        match self {
+            Event::SetDemands(demands) => {
+                if demands.len() != num_tasks {
+                    return Err(format!(
+                        "set-demands vector has {} tasks, colony has {num_tasks}",
+                        demands.len()
+                    ));
+                }
+                if demands.contains(&0) {
+                    return Err("set-demands contains a zero demand".into());
+                }
+                Ok(())
+            }
+            Event::StampedeTo(j) => {
+                if *j >= num_tasks {
+                    return Err(format!(
+                        "stampede-to references task {j}, colony has {num_tasks} tasks"
+                    ));
+                }
+                Ok(())
+            }
+            Event::SetNoise(model) => model.validate(num_tasks),
+            Event::Kill { .. } | Event::Spawn { .. } | Event::Scramble => Ok(()),
+        }
+    }
+}
+
+/// A one-shot event scheduled for a specific round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// The round at which the event fires (rounds are 1-based).
+    pub at: u64,
+    /// What happens.
+    pub event: Event,
+}
+
+/// A repeating generator: fires at rounds `start`, `start + period`,
+/// `start + 2·period`, …, cycling through `events` one per firing.
+///
+/// The old `DemandSchedule::Alternating` is the two-event special case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cycle {
+    /// First firing round (must be ≥ 1).
+    pub start: u64,
+    /// Rounds between firings (must be ≥ 1).
+    pub period: u64,
+    /// Events applied cyclically, one per firing.
+    pub events: Vec<Event>,
+}
+
+impl Cycle {
+    /// Whether the cycle fires at `round`.
+    #[inline]
+    pub fn fires_at(&self, round: u64) -> bool {
+        round >= self.start && (round - self.start).is_multiple_of(self.period)
+    }
+
+    /// The event fired at `round` (caller checked [`Cycle::fires_at`]).
+    #[inline]
+    pub fn event_at(&self, round: u64) -> &Event {
+        let i = (round - self.start) / self.period;
+        &self.events[(i % self.events.len() as u64) as usize]
+    }
+
+    /// The earliest firing round strictly after `after`.
+    fn next_firing(&self, after: u64) -> u64 {
+        if after < self.start {
+            self.start
+        } else {
+            self.start + self.period * ((after - self.start) / self.period + 1)
+        }
+    }
+}
+
+/// An ordered stream of one-shot events plus periodic generators.
+///
+/// Empty timelines (the default) describe a static environment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Timeline {
+    /// One-shot events, sorted by non-decreasing `at` (several events
+    /// may share a round; they apply in list order).
+    pub events: Vec<TimedEvent>,
+    /// Periodic generators, evaluated after the one-shots each round.
+    pub cycles: Vec<Cycle>,
+}
+
+impl Timeline {
+    /// An empty (static-environment) timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a one-shot event (builder style). Events must be pushed
+    /// in non-decreasing round order; validation enforces it.
+    pub fn at(mut self, round: u64, event: Event) -> Self {
+        self.events.push(TimedEvent { at: round, event });
+        self
+    }
+
+    /// Appends a periodic generator (builder style).
+    pub fn every(mut self, start: u64, period: u64, events: Vec<Event>) -> Self {
+        self.cycles.push(Cycle {
+            start,
+            period,
+            events,
+        });
+        self
+    }
+
+    /// Whether the timeline contains no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.cycles.is_empty()
+    }
+
+    /// Validates the timeline against a colony of `n` ants and
+    /// `num_tasks` tasks. Returns a description of the first problem:
+    /// unsorted or round-zero events, demand-length mismatches, task
+    /// indices out of range, kills that would empty the colony, bad
+    /// noise parameters, degenerate cycles.
+    ///
+    /// Population tracking is exact over the one-shot stream; kills
+    /// inside cycles cannot be tracked statically and instead clamp at
+    /// runtime (at least one ant always survives).
+    pub fn validate(&self, num_tasks: usize, n: usize) -> Result<(), String> {
+        let mut prev = 0u64;
+        let mut population = n as i128;
+        for (i, timed) in self.events.iter().enumerate() {
+            if timed.at == 0 {
+                return Err(format!(
+                    "event {i} fires at round 0; events fire at the start of a \
+                     round and rounds are 1-based"
+                ));
+            }
+            if timed.at < prev {
+                return Err(format!(
+                    "events must be sorted by round ({prev} then {} at event {i})",
+                    timed.at
+                ));
+            }
+            prev = timed.at;
+            timed
+                .event
+                .validate(num_tasks)
+                .map_err(|e| format!("event {i} (round {}): {e}", timed.at))?;
+            match &timed.event {
+                Event::Kill { count } => {
+                    population -= *count as i128;
+                    if population < 1 {
+                        return Err(format!(
+                            "event {i} (round {}): kill of {count} drops the \
+                             population below 1",
+                            timed.at
+                        ));
+                    }
+                }
+                Event::Spawn { count } => population += *count as i128,
+                _ => {}
+            }
+        }
+        for (i, cycle) in self.cycles.iter().enumerate() {
+            if cycle.start == 0 {
+                return Err(format!("cycle {i}: start must be ≥ 1 (rounds are 1-based)"));
+            }
+            if cycle.period == 0 {
+                return Err(format!("cycle {i}: period must be positive"));
+            }
+            if cycle.events.is_empty() {
+                return Err(format!("cycle {i}: needs at least one event"));
+            }
+            for (j, event) in cycle.events.iter().enumerate() {
+                event
+                    .validate(num_tasks)
+                    .map_err(|e| format!("cycle {i} event {j}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The earliest round strictly after `after` at which anything
+    /// fires, given the one-shot cursor (`None` if the environment is
+    /// static from here on). Engines use this to split parallel runs
+    /// into event-free segments.
+    pub fn next_firing(&self, after: u64, cursor: usize) -> Option<u64> {
+        let mut next = self.events.get(cursor).map(|timed| timed.at.max(after + 1));
+        for cycle in &self.cycles {
+            let r = cycle.next_firing(after);
+            next = Some(next.map_or(r, |n| n.min(r)));
+        }
+        next
+    }
+
+    /// Collects the events firing at `round` (one-shots in list order,
+    /// then cycles in list order), advancing the cursor past every
+    /// one-shot with `at ≤ round`.
+    pub fn fire_into(&self, round: u64, cursor: &mut usize, out: &mut Vec<Event>) {
+        while let Some(timed) = self.events.get(*cursor) {
+            if timed.at > round {
+                break;
+            }
+            if timed.at == round {
+                out.push(timed.event.clone());
+            }
+            *cursor += 1;
+        }
+        for cycle in &self.cycles {
+            if cycle.fires_at(round) {
+                out.push(cycle.event_at(round).clone());
+            }
+        }
+    }
+
+    /// The cursor position after all rounds `≤ round` have fired — the
+    /// recomputation used to cross-check checkpointed cursors.
+    pub fn cursor_at(&self, round: u64) -> usize {
+        self.events.partition_point(|timed| timed.at <= round)
+    }
+}
+
+/// The legacy demand-schedule vocabulary compiles down to a timeline:
+/// `Step`/`Steps` become one-shot `SetDemands` events, `Alternating`
+/// becomes a two-event [`Cycle`]. Firing rounds are identical to the
+/// old engine-polled semantics.
+impl From<DemandSchedule> for Timeline {
+    fn from(schedule: DemandSchedule) -> Self {
+        match schedule {
+            DemandSchedule::Static => Timeline::new(),
+            DemandSchedule::Step { at, demands } => {
+                Timeline::new().at(at, Event::SetDemands(demands))
+            }
+            DemandSchedule::Steps(steps) => {
+                let mut t = Timeline::new();
+                for (at, demands) in steps {
+                    t = t.at(at, Event::SetDemands(demands));
+                }
+                t
+            }
+            DemandSchedule::Alternating { a, b, half_period } => Timeline::new().every(
+                half_period,
+                half_period,
+                vec![Event::SetDemands(b), Event::SetDemands(a)],
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired(t: &Timeline, round: u64, cursor: &mut usize) -> Vec<Event> {
+        let mut out = Vec::new();
+        t.fire_into(round, cursor, &mut out);
+        out
+    }
+
+    #[test]
+    fn one_shots_fire_once_in_order() {
+        let t = Timeline::new()
+            .at(5, Event::SetDemands(vec![1, 1]))
+            .at(5, Event::Kill { count: 2 })
+            .at(9, Event::Scramble);
+        let mut cursor = 0;
+        assert!(fired(&t, 4, &mut cursor).is_empty());
+        assert_eq!(
+            fired(&t, 5, &mut cursor),
+            vec![Event::SetDemands(vec![1, 1]), Event::Kill { count: 2 }]
+        );
+        assert!(fired(&t, 6, &mut cursor).is_empty());
+        assert_eq!(fired(&t, 9, &mut cursor), vec![Event::Scramble]);
+        assert!(fired(&t, 10, &mut cursor).is_empty());
+        assert_eq!(cursor, 3);
+    }
+
+    #[test]
+    fn cycles_repeat_and_alternate() {
+        let t: Timeline = DemandSchedule::Alternating {
+            a: vec![10],
+            b: vec![20],
+            half_period: 4,
+        }
+        .into();
+        let mut cursor = 0;
+        assert!(fired(&t, 1, &mut cursor).is_empty());
+        assert_eq!(fired(&t, 4, &mut cursor), vec![Event::SetDemands(vec![20])]);
+        assert_eq!(fired(&t, 8, &mut cursor), vec![Event::SetDemands(vec![10])]);
+        assert_eq!(
+            fired(&t, 12, &mut cursor),
+            vec![Event::SetDemands(vec![20])]
+        );
+    }
+
+    #[test]
+    fn next_firing_accounts_for_cursor_and_cycles() {
+        let t = Timeline::new()
+            .at(5, Event::Scramble)
+            .every(8, 8, vec![Event::Spawn { count: 1 }]);
+        assert_eq!(t.next_firing(0, 0), Some(5));
+        assert_eq!(t.next_firing(5, 1), Some(8));
+        assert_eq!(t.next_firing(8, 1), Some(16));
+        let static_t = Timeline::new();
+        assert_eq!(static_t.next_firing(0, 0), None);
+    }
+
+    #[test]
+    fn cursor_recomputation_matches_firing() {
+        let t = Timeline::new()
+            .at(3, Event::Scramble)
+            .at(3, Event::Kill { count: 1 })
+            .at(7, Event::Spawn { count: 1 });
+        let mut cursor = 0;
+        for round in 1..=10 {
+            let mut out = Vec::new();
+            t.fire_into(round, &mut cursor, &mut out);
+            assert_eq!(cursor, t.cursor_at(round), "round {round}");
+        }
+    }
+
+    #[test]
+    fn validation_catches_each_defect() {
+        let k = 2;
+        let n = 100;
+        let ok = Timeline::new()
+            .at(5, Event::Kill { count: 99 })
+            .at(6, Event::Spawn { count: 50 });
+        assert_eq!(ok.validate(k, n), Ok(()));
+
+        // Unsorted.
+        let t = Timeline::new()
+            .at(9, Event::Scramble)
+            .at(5, Event::Scramble);
+        assert!(t.validate(k, n).unwrap_err().contains("sorted"));
+        // Round zero.
+        let t = Timeline::new().at(0, Event::Scramble);
+        assert!(t.validate(k, n).unwrap_err().contains("1-based"));
+        // Demand-length mismatch and zero demand.
+        let t = Timeline::new().at(5, Event::SetDemands(vec![1]));
+        assert!(t.validate(k, n).unwrap_err().contains("tasks"));
+        let t = Timeline::new().at(5, Event::SetDemands(vec![1, 0]));
+        assert!(t.validate(k, n).unwrap_err().contains("zero"));
+        // Kill below zero population (tracked through spawns).
+        let t = Timeline::new().at(5, Event::Kill { count: 100 });
+        assert!(t.validate(k, n).unwrap_err().contains("below 1"));
+        let t = Timeline::new()
+            .at(4, Event::Spawn { count: 10 })
+            .at(5, Event::Kill { count: 105 });
+        assert_eq!(t.validate(k, n), Ok(()));
+        // Task out of range.
+        let t = Timeline::new().at(5, Event::StampedeTo(2));
+        assert!(t.validate(k, n).unwrap_err().contains("stampede"));
+        // Bad noise switch.
+        let t = Timeline::new().at(5, Event::SetNoise(NoiseModel::Sigmoid { lambda: -1.0 }));
+        assert!(t.validate(k, n).unwrap_err().contains("λ"));
+        // Degenerate cycles.
+        let t = Timeline::new().every(0, 4, vec![Event::Scramble]);
+        assert!(t.validate(k, n).unwrap_err().contains("start"));
+        let t = Timeline::new().every(4, 0, vec![Event::Scramble]);
+        assert!(t.validate(k, n).unwrap_err().contains("period"));
+        let t = Timeline::new().every(4, 4, vec![]);
+        assert!(t.validate(k, n).unwrap_err().contains("at least one"));
+    }
+
+    #[test]
+    fn schedule_conversions_preserve_firing_rounds() {
+        // Step fires once at `at`.
+        let t: Timeline = DemandSchedule::Step {
+            at: 10,
+            demands: vec![5, 6],
+        }
+        .into();
+        let mut cursor = 0;
+        assert!(fired(&t, 9, &mut cursor).is_empty());
+        assert_eq!(
+            fired(&t, 10, &mut cursor),
+            vec![Event::SetDemands(vec![5, 6])]
+        );
+        assert!(fired(&t, 11, &mut cursor).is_empty());
+        // Steps fire in order.
+        let t: Timeline = DemandSchedule::Steps(vec![(5, vec![1, 1]), (9, vec![2, 2])]).into();
+        let mut cursor = 0;
+        assert_eq!(
+            fired(&t, 5, &mut cursor),
+            vec![Event::SetDemands(vec![1, 1])]
+        );
+        assert!(fired(&t, 7, &mut cursor).is_empty());
+        assert_eq!(
+            fired(&t, 9, &mut cursor),
+            vec![Event::SetDemands(vec![2, 2])]
+        );
+        // Static is empty.
+        let t: Timeline = DemandSchedule::Static.into();
+        assert!(t.is_empty());
+    }
+}

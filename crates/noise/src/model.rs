@@ -63,6 +63,60 @@ pub struct PreparedRound {
 }
 
 impl NoiseModel {
+    /// Checks the model's parameters against a colony with `num_tasks`
+    /// tasks, returning a description of the first problem found.
+    ///
+    /// Scenario-level validation (and timeline `set-noise` events) call
+    /// this so a noise model that would produce meaningless feedback is
+    /// rejected at build time instead of mid-run.
+    pub fn validate(&self, num_tasks: usize) -> Result<(), String> {
+        match self {
+            NoiseModel::Sigmoid { lambda } => {
+                if !(lambda.is_finite() && *lambda > 0.0) {
+                    return Err(format!(
+                        "sigmoid steepness λ must be positive and finite, got {lambda}"
+                    ));
+                }
+            }
+            NoiseModel::CorrelatedSigmoid { lambda, rho, .. } => {
+                if !(lambda.is_finite() && *lambda > 0.0) {
+                    return Err(format!(
+                        "sigmoid steepness λ must be positive and finite, got {lambda}"
+                    ));
+                }
+                if !(rho.is_finite() && (0.0..=1.0).contains(rho)) {
+                    return Err(format!("correlation ρ must be in [0, 1], got {rho}"));
+                }
+            }
+            NoiseModel::Adversarial { gamma_ad, policy } => {
+                if !(gamma_ad.is_finite() && (0.0..1.0).contains(gamma_ad)) {
+                    return Err(format!(
+                        "grey-zone width γ_ad must be in [0, 1), got {gamma_ad}"
+                    ));
+                }
+                match policy {
+                    GreyZonePolicy::RandomLack(p)
+                        if !(p.is_finite() && (0.0..=1.0).contains(p)) =>
+                    {
+                        return Err(format!(
+                            "random-lack probability must be in [0, 1], got {p}"
+                        ));
+                    }
+                    GreyZonePolicy::LoadThreshold(thresholds) if thresholds.len() != num_tasks => {
+                        return Err(format!(
+                            "load-threshold policy has {} thresholds, colony has \
+                             {num_tasks} tasks",
+                            thresholds.len()
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            NoiseModel::Exact => {}
+        }
+        Ok(())
+    }
+
     /// Folds a round's deficits into per-task sampling state.
     ///
     /// `deficits[j] = d(j) − W(j)` at the end of the previous round;

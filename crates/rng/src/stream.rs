@@ -44,6 +44,12 @@ pub mod reserved {
     /// the dedicated sub-seeder that assigns ants to controller
     /// sub-specs (initial shuffle and spawn draws).
     pub const MIX: u64 = u64::MAX - 3;
+    /// Timeline events: the stream whose first output re-seeds the
+    /// dedicated sub-seeder that hands each event round its own
+    /// generator (a pure function of `(master seed, round)`, so
+    /// scripted shocks replay bit-identically across serial, parallel
+    /// and checkpoint-restored runs).
+    pub const EVENT: u64 = u64::MAX - 4;
 }
 
 impl StreamSeeder {

@@ -2,8 +2,11 @@
 //!
 //! A checkpoint captures everything a [`SyncEngine`] needs to continue a
 //! run bit-identically: the config (including noise model, controller
-//! spec and schedule), the current demands, every ant's assignment and
-//! RNG state, and the round counter.
+//! spec and the full event timeline), the current demands, the noise
+//! model currently in force, the timeline cursor, every ant's
+//! assignment and RNG state, and the round counter — so a capture taken
+//! *mid-timeline* (after kills, spawns, demand steps or noise switches)
+//! resumes exactly where the script left off.
 //!
 //! **Exactness contract.** Controllers are rebuilt from their spec and
 //! `reset_to(assignment)` — their *per-phase scratch* (partial samples,
@@ -22,7 +25,9 @@
 use std::path::Path;
 
 use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
-use antalloc_env::{Assignment, DemandSchedule, DemandVector, InitialConfig};
+use antalloc_env::{
+    Assignment, Cycle, DemandSchedule, DemandVector, Event, InitialConfig, TimedEvent, Timeline,
+};
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 use bytes::{Buf, BufMut};
 
@@ -30,10 +35,16 @@ use crate::config::{ControllerSpec, SimConfig};
 use crate::engine::SyncEngine;
 
 const MAGIC: u32 = 0x414E_5441; // "ANTA"
-/// Format history: v1 was homogeneous-only; v2 appends the per-ant bank
-/// membership vector for `ControllerSpec::Mix` colonies (kills permute
-/// memberships, so they cannot be recomputed from the seed).
-const VERSION: u32 = 2;
+/// Format history: v1 was homogeneous-only; v2 appended the per-ant
+/// bank membership vector for `ControllerSpec::Mix` colonies (kills
+/// permute memberships, so they cannot be recomputed from the seed);
+/// v3 replaced the demand schedule with the event timeline and added
+/// the live noise model plus the timeline cursor, so mid-timeline
+/// captures replay exactly. v2 checkpoints still load: their schedule
+/// compiles to the equivalent timeline and the cursor is recomputed
+/// from the round.
+const VERSION: u32 = 3;
+const MIN_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured or decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +79,11 @@ impl std::error::Error for CheckpointError {}
 pub struct Checkpoint {
     config: SimConfig,
     current_demands: Vec<u64>,
+    /// The noise model in force at capture time (a timeline `SetNoise`
+    /// event may have switched it away from `config.noise`).
+    current_noise: NoiseModel,
+    /// One-shot timeline events consumed before the captured round.
+    cursor: u64,
     assignments: Vec<Assignment>,
     rng_states: Vec<[u64; 4]>,
     round: u64,
@@ -80,19 +96,24 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Snapshots the engine. Fails off phase boundaries (see module docs).
     pub fn capture(engine: &SyncEngine) -> Result<Self, CheckpointError> {
-        let (config, colony, rng_states, round, next_stream, members) = engine.state_parts();
-        let phase = config.controller.phase_len(colony.num_tasks());
-        if round % phase != 0 {
-            return Err(CheckpointError::NotAtPhaseBoundary { round, phase });
+        let state = engine.state_parts();
+        let phase = state.config.controller.phase_len(state.colony.num_tasks());
+        if !state.round.is_multiple_of(phase) {
+            return Err(CheckpointError::NotAtPhaseBoundary {
+                round: state.round,
+                phase,
+            });
         }
         Ok(Self {
-            config: config.clone(),
-            current_demands: colony.demands().as_slice().to_vec(),
-            assignments: colony.assignments().to_vec(),
-            rng_states,
-            round,
-            next_stream,
-            members: members.unwrap_or_default(),
+            config: state.config.clone(),
+            current_demands: state.colony.demands().as_slice().to_vec(),
+            current_noise: state.noise.clone(),
+            cursor: state.cursor,
+            assignments: state.colony.assignments().to_vec(),
+            rng_states: state.rng_states,
+            round: state.round,
+            next_stream: state.next_stream,
+            members: state.members.unwrap_or_default(),
         })
     }
 
@@ -101,10 +122,12 @@ impl Checkpoint {
         SyncEngine::from_parts(
             self.config.clone(),
             DemandVector::new(self.current_demands.clone()),
+            self.current_noise.clone(),
             &self.assignments,
             self.rng_states.clone(),
             self.round,
             self.next_stream,
+            self.cursor,
             &self.members,
         )
     }
@@ -134,8 +157,12 @@ impl Checkpoint {
         put_u64s(&mut out, &self.config.demands);
         put_u64s(&mut out, &self.current_demands);
         put_noise(&mut out, &self.config.noise);
+        // v3: the live noise model and the timeline (with its cursor)
+        // replace v2's demand schedule.
+        put_noise(&mut out, &self.current_noise);
         put_spec(&mut out, &self.config.controller);
-        put_schedule(&mut out, &self.config.schedule);
+        put_timeline(&mut out, &self.config.timeline);
+        out.put_u64_le(self.cursor);
         put_initial(&mut out, &self.config.initial);
         out.put_u64_le(self.assignments.len() as u64);
         for a in &self.assignments {
@@ -166,7 +193,7 @@ impl Checkpoint {
             return Err(corrupt("bad magic"));
         }
         let version = get_u32(&mut buf)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(corrupt(format!("unsupported version {version}")));
         }
         let round = get_u64(&mut buf)?;
@@ -176,8 +203,30 @@ impl Checkpoint {
         let demands = get_u64s(&mut buf)?;
         let current_demands = get_u64s(&mut buf)?;
         let noise = get_noise(&mut buf)?;
+        let current_noise = if version >= 3 {
+            get_noise(&mut buf)?
+        } else {
+            noise.clone()
+        };
         let controller = get_spec(&mut buf)?;
-        let schedule = get_schedule(&mut buf)?;
+        let (timeline, cursor) = if version >= 3 {
+            let timeline = get_timeline(&mut buf)?;
+            let cursor = get_u64(&mut buf)?;
+            if cursor as usize > timeline.events.len() {
+                return Err(corrupt(format!(
+                    "timeline cursor {cursor} exceeds {} events",
+                    timeline.events.len()
+                )));
+            }
+            (timeline, cursor)
+        } else {
+            // v2 stored a demand schedule; compile it to the equivalent
+            // timeline and recompute the cursor from the round (both
+            // fire at identical rounds, so the continuation is exact).
+            let timeline: Timeline = get_schedule(&mut buf)?.into();
+            let cursor = timeline.cursor_at(round) as u64;
+            (timeline, cursor)
+        };
         let initial = get_initial(&mut buf)?;
         let ants = get_u64(&mut buf)? as usize;
         // Validate the claimed count against the bytes actually present
@@ -238,10 +287,12 @@ impl Checkpoint {
                 noise,
                 controller,
                 seed,
-                schedule,
+                timeline,
                 initial,
             },
             current_demands,
+            current_noise,
+            cursor,
             assignments,
             rng_states,
             round,
@@ -511,31 +562,7 @@ fn get_spec(buf: &mut &[u8]) -> Result<ControllerSpec, CheckpointError> {
     })
 }
 
-fn put_schedule(out: &mut Vec<u8>, schedule: &DemandSchedule) {
-    match schedule {
-        DemandSchedule::Static => out.put_u8(0),
-        DemandSchedule::Step { at, demands } => {
-            out.put_u8(1);
-            out.put_u64_le(*at);
-            put_u64s(out, demands);
-        }
-        DemandSchedule::Steps(steps) => {
-            out.put_u8(2);
-            out.put_u64_le(steps.len() as u64);
-            for (at, demands) in steps {
-                out.put_u64_le(*at);
-                put_u64s(out, demands);
-            }
-        }
-        DemandSchedule::Alternating { a, b, half_period } => {
-            out.put_u8(3);
-            put_u64s(out, a);
-            put_u64s(out, b);
-            out.put_u64_le(*half_period);
-        }
-    }
-}
-
+/// v2 read-compat only: v3 writes timelines instead.
 fn get_schedule(buf: &mut &[u8]) -> Result<DemandSchedule, CheckpointError> {
     Ok(match get_u8(buf)? {
         0 => DemandSchedule::Static,
@@ -558,6 +585,102 @@ fn get_schedule(buf: &mut &[u8]) -> Result<DemandSchedule, CheckpointError> {
         },
         t => return Err(corrupt(format!("unknown schedule tag {t}"))),
     })
+}
+
+fn put_event(out: &mut Vec<u8>, event: &Event) {
+    match event {
+        Event::SetDemands(demands) => {
+            out.put_u8(0);
+            put_u64s(out, demands);
+        }
+        Event::Kill { count } => {
+            out.put_u8(1);
+            out.put_u64_le(*count as u64);
+        }
+        Event::Spawn { count } => {
+            out.put_u8(2);
+            out.put_u64_le(*count as u64);
+        }
+        Event::Scramble => out.put_u8(3),
+        Event::StampedeTo(j) => {
+            out.put_u8(4);
+            out.put_u64_le(*j as u64);
+        }
+        Event::SetNoise(model) => {
+            out.put_u8(5);
+            put_noise(out, model);
+        }
+    }
+}
+
+fn get_event(buf: &mut &[u8]) -> Result<Event, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => Event::SetDemands(get_u64s(buf)?),
+        1 => Event::Kill {
+            count: get_u64(buf)? as usize,
+        },
+        2 => Event::Spawn {
+            count: get_u64(buf)? as usize,
+        },
+        3 => Event::Scramble,
+        4 => Event::StampedeTo(get_u64(buf)? as usize),
+        5 => Event::SetNoise(get_noise(buf)?),
+        t => return Err(corrupt(format!("unknown event tag {t}"))),
+    })
+}
+
+fn put_timeline(out: &mut Vec<u8>, timeline: &Timeline) {
+    out.put_u64_le(timeline.events.len() as u64);
+    for timed in &timeline.events {
+        out.put_u64_le(timed.at);
+        put_event(out, &timed.event);
+    }
+    out.put_u64_le(timeline.cycles.len() as u64);
+    for cycle in &timeline.cycles {
+        out.put_u64_le(cycle.start);
+        out.put_u64_le(cycle.period);
+        out.put_u64_le(cycle.events.len() as u64);
+        for event in &cycle.events {
+            put_event(out, event);
+        }
+    }
+}
+
+fn get_timeline(buf: &mut &[u8]) -> Result<Timeline, CheckpointError> {
+    let len = get_u64(buf)? as usize;
+    if len > 1 << 32 {
+        return Err(corrupt("implausible timeline length"));
+    }
+    let mut events = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        events.push(TimedEvent {
+            at: get_u64(buf)?,
+            event: get_event(buf)?,
+        });
+    }
+    let cycles_len = get_u64(buf)? as usize;
+    if cycles_len > 1 << 20 {
+        return Err(corrupt("implausible cycle count"));
+    }
+    let mut cycles = Vec::with_capacity(cycles_len.min(1 << 10));
+    for _ in 0..cycles_len {
+        let start = get_u64(buf)?;
+        let period = get_u64(buf)?;
+        let n_events = get_u64(buf)? as usize;
+        if n_events > 1 << 20 {
+            return Err(corrupt("implausible cycle event count"));
+        }
+        let mut cycle_events = Vec::with_capacity(n_events.min(1 << 10));
+        for _ in 0..n_events {
+            cycle_events.push(get_event(buf)?);
+        }
+        cycles.push(Cycle {
+            start,
+            period,
+            events: cycle_events,
+        });
+    }
+    Ok(Timeline { events, cycles })
 }
 
 fn put_initial(out: &mut Vec<u8>, initial: &InitialConfig) {
@@ -761,17 +884,24 @@ mod tests {
                 policy: GreyZonePolicy::RandomLack(0.4),
             },
         ];
-        let schedules = [
+        let timelines: [Timeline; 3] = [
             DemandSchedule::Step {
                 at: 5,
                 demands: vec![4, 4],
-            },
-            DemandSchedule::Steps(vec![(3, vec![5, 5]), (9, vec![6, 6])]),
+            }
+            .into(),
+            Timeline::new()
+                .at(3, Event::Kill { count: 2 })
+                .at(9, Event::SetNoise(NoiseModel::Exact))
+                .at(9, Event::StampedeTo(1))
+                .at(11, Event::Spawn { count: 4 })
+                .at(12, Event::Scramble),
             DemandSchedule::Alternating {
                 a: vec![3, 3],
                 b: vec![4, 4],
                 half_period: 7,
-            },
+            }
+            .into(),
         ];
         for (i, spec) in specs.iter().enumerate() {
             let k = match spec {
@@ -796,10 +926,10 @@ mod tests {
                 noise,
                 controller: spec.clone(),
                 seed: i as u64,
-                schedule: if k == 2 {
-                    schedules[i % schedules.len()].clone()
+                timeline: if k == 2 {
+                    timelines[i % timelines.len()].clone()
                 } else {
-                    DemandSchedule::Static
+                    Timeline::new()
                 },
                 initial: [
                     InitialConfig::AllIdle,

@@ -7,7 +7,7 @@ use antalloc_core::{
     ExactGreedyParams, FsmSpec, PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid,
     PreciseSigmoidParams, TableFsm, Trivial,
 };
-use antalloc_env::{DemandSchedule, DemandVector, InitialConfig};
+use antalloc_env::{DemandVector, InitialConfig, Timeline};
 use antalloc_noise::NoiseModel;
 
 use crate::engine::SyncEngine;
@@ -206,14 +206,17 @@ pub struct SimConfig {
     pub n: usize,
     /// Task demands `d(j)`.
     pub demands: Vec<u64>,
-    /// The feedback generator.
+    /// The feedback generator in force at round 1 (timeline `set-noise`
+    /// events may switch it mid-run).
     pub noise: NoiseModel,
     /// The algorithm every ant runs.
     pub controller: ControllerSpec,
     /// Master seed; everything downstream derives from it.
     pub seed: u64,
-    /// Demand schedule (defaults to static).
-    pub schedule: DemandSchedule,
+    /// Scripted mid-run events: demand steps, population shocks,
+    /// noise-regime switches (defaults to empty — a static
+    /// environment). Legacy `DemandSchedule`s convert via `.into()`.
+    pub timeline: Timeline,
     /// Initial configuration (defaults to all-idle).
     pub initial: InitialConfig,
 }
@@ -288,9 +291,9 @@ mod tests {
     }
 
     #[test]
-    fn both_engines_reject_the_same_invalid_schedule() {
+    fn both_engines_reject_the_same_invalid_timeline() {
         // `build_sequential` must route through the identical validated
-        // path as `build`: a schedule the sync engine rejects can never
+        // path as `build`: a timeline the sync engine rejects can never
         // silently start sequentially.
         let cfg = SimConfig {
             n: 10,
@@ -298,10 +301,11 @@ mod tests {
             noise: NoiseModel::Exact,
             controller: ControllerSpec::Trivial,
             seed: 1,
-            schedule: DemandSchedule::Step {
+            timeline: antalloc_env::DemandSchedule::Step {
                 at: 3,
                 demands: vec![9],
-            },
+            }
+            .into(),
             initial: InitialConfig::AllIdle,
         };
         let sync_err = cfg.try_build().err().expect("sync engine must reject");
@@ -310,7 +314,7 @@ mod tests {
             .err()
             .expect("sequential engine must reject");
         assert_eq!(sync_err, seq_err);
-        assert!(matches!(sync_err, crate::ConfigError::Schedule(_)));
+        assert!(matches!(sync_err, crate::ConfigError::Timeline(_)));
     }
 
     #[test]

@@ -33,13 +33,84 @@
 //! `tests/banks.rs` hold this contract down.
 
 use antalloc_core::AnyController;
-use antalloc_env::{Assignment, ColonyState, DemandVector, InitialConfig, Perturbation};
+use antalloc_env::{Assignment, ColonyState, DemandVector, Event, InitialConfig, Perturbation};
 use antalloc_noise::{NoiseModel, PreparedRound};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
 
 use crate::config::{ControllerSpec, SimConfig};
 use crate::observer::Observer;
 use crate::population::Population;
+
+/// The sub-seeder every timeline-event draw derives from: a pure
+/// function of the master seed, keyed per firing round, so scripted
+/// shocks consume identical randomness on every stepping path.
+pub(crate) fn event_seeder(seed: u64) -> StreamSeeder {
+    StreamSeeder::new(StreamSeeder::new(seed).stream(reserved::EVENT).next_u64())
+}
+
+/// Applies a colony-level perturbation, keeping controllers, RNG
+/// streams and the environment mutually consistent. Shared by
+/// [`SyncEngine::perturb`], the timeline event executor, and the
+/// sequential engine.
+pub(crate) fn apply_perturbation(
+    p: &Perturbation,
+    colony: &mut ColonyState,
+    population: &mut Population,
+    rng: &mut AntRng,
+    seeder: &StreamSeeder,
+    next_stream: &mut u64,
+) {
+    let swaps = p.apply(colony, rng);
+    match p {
+        Perturbation::KillRandom { .. } => {
+            for &(slot, _) in &swaps {
+                population.remove(slot);
+            }
+            // Kills without swaps (victim was last) still shrink us.
+            while population.len() > colony.num_ants() {
+                let last = population.len() - 1;
+                population.remove(last);
+            }
+        }
+        Perturbation::Spawn { count } => {
+            let k = colony.num_tasks();
+            for _ in 0..*count {
+                let stream = seeder.stream(*next_stream);
+                population.spawn(k, *next_stream, stream);
+                *next_stream += 1;
+            }
+        }
+        Perturbation::Scramble | Perturbation::StampedeTo(_) => {
+            population.reset_to_colony(colony);
+        }
+    }
+    debug_assert!(colony.recount_consistent());
+    debug_assert_eq!(population.len(), colony.num_ants());
+    debug_assert!(population.check_invariants());
+}
+
+/// Applies one timeline event. Population shocks route through
+/// [`apply_perturbation`]; demand and noise rewrites are pure.
+pub(crate) fn apply_event(
+    event: &Event,
+    colony: &mut ColonyState,
+    population: &mut Population,
+    noise: &mut NoiseModel,
+    rng: &mut AntRng,
+    seeder: &StreamSeeder,
+    next_stream: &mut u64,
+) {
+    match event {
+        Event::SetDemands(demands) => colony.demands_mut().set(demands),
+        Event::SetNoise(model) => *noise = model.clone(),
+        shock => {
+            let p = shock
+                .as_perturbation()
+                .expect("non-pure events are perturbations");
+            apply_perturbation(&p, colony, population, rng, seeder, next_stream);
+        }
+    }
+}
 
 /// What an [`Observer`] sees after each round.
 #[derive(Clone, Copy, Debug)]
@@ -65,16 +136,26 @@ impl RoundRecord<'_> {
     }
 }
 
-/// Checkpointable state: config, colony, RNG states (global ant
-/// order), round, next stream id, mixed membership (if any).
-pub(crate) type StateParts<'a> = (
-    &'a SimConfig,
-    &'a ColonyState,
-    Vec<[u64; 4]>,
-    u64,
-    u64,
-    Option<Vec<u16>>,
-);
+/// Checkpointable engine state, borrowed from a live engine.
+pub(crate) struct EngineState<'a> {
+    /// The configuration (including the full timeline).
+    pub config: &'a SimConfig,
+    /// Ground truth (current demands and assignments).
+    pub colony: &'a ColonyState,
+    /// The noise model currently in force (timeline `SetNoise` events
+    /// may have switched it away from `config.noise`).
+    pub noise: &'a NoiseModel,
+    /// Per-ant RNG states in global ant order.
+    pub rng_states: Vec<[u64; 4]>,
+    /// The current round.
+    pub round: u64,
+    /// Next RNG stream id for spawned ants.
+    pub next_stream: u64,
+    /// One-shot timeline events already consumed.
+    pub cursor: u64,
+    /// Per-ant bank membership for mixed colonies.
+    pub members: Option<Vec<u16>>,
+}
 
 /// One bank's slice of the colony, as seen by [`SyncEngine::bank_census`].
 #[derive(Clone, Debug)]
@@ -98,8 +179,11 @@ pub struct SyncEngine {
     population: Population,
     noise: NoiseModel,
     seeder: StreamSeeder,
+    event_seeder: StreamSeeder,
     init_rng: AntRng,
     round: u64,
+    /// One-shot timeline events consumed so far (monotone cursor).
+    cursor: usize,
     /// Deficits frozen at the end of the previous round (sensing input).
     pre_deficits: Vec<i64>,
     /// Deficits after this round's decisions (observation output).
@@ -119,8 +203,10 @@ impl SyncEngine {
             population,
             noise: config.noise.clone(),
             seeder,
+            event_seeder: event_seeder(config.seed),
             init_rng: seeder.stream(reserved::INIT),
             round: 0,
+            cursor: 0,
             pre_deficits: vec![0; k],
             post_deficits: vec![0; k],
             next_stream: n as u64,
@@ -192,11 +278,35 @@ impl SyncEngine {
         self.population.reference_controllers()
     }
 
+    /// Fires every timeline event scheduled for the current round:
+    /// one-shots past the cursor, then cycle generators. All events of
+    /// one round share a generator derived purely from
+    /// `(master seed, round)`, so firing is stepping-path independent.
+    fn fire_events(&mut self) {
+        let mut fired = Vec::new();
+        self.config
+            .timeline
+            .fire_into(self.round, &mut self.cursor, &mut fired);
+        if fired.is_empty() {
+            return;
+        }
+        let mut rng = self.event_seeder.stream(self.round);
+        for event in &fired {
+            apply_event(
+                event,
+                &mut self.colony,
+                &mut self.population,
+                &mut self.noise,
+                &mut rng,
+                &self.seeder,
+                &mut self.next_stream,
+            );
+        }
+    }
+
     fn begin_round(&mut self) -> PreparedRound {
         self.round += 1;
-        if let Some(new) = self.config.schedule.update(self.round) {
-            self.colony.demands_mut().set(new);
-        }
+        self.fire_events();
         self.colony.deficits_into(&mut self.pre_deficits);
         self.noise.prepare(
             self.round,
@@ -244,13 +354,16 @@ impl SyncEngine {
     /// Runs `rounds` rounds with ants partitioned across `threads`
     /// worker threads, bit-identical to the serial path.
     ///
-    /// Workers are spawned **once per call** and synchronize with the
-    /// coordinator through two [`std::sync::Barrier`] crossings per
-    /// round: the coordinator prepares the round's feedback state,
-    /// workers step their fixed bank chunks — writing decisions into a
-    /// shared atomic buffer — and the coordinator applies decisions in
-    /// ant order. Determinism is unconditional: every ant consumes only
-    /// its own RNG stream, whatever the partition.
+    /// Workers are spawned **once per event-free segment** (once per
+    /// call for a static timeline) and synchronize with the coordinator
+    /// through two [`std::sync::Barrier`] crossings per round: the
+    /// coordinator prepares the round's feedback state, workers step
+    /// their fixed bank chunks — writing decisions into a shared atomic
+    /// buffer — and the coordinator applies decisions in ant order.
+    /// Rounds at which a timeline event fires step serially (events may
+    /// resize the population under the workers' partition); determinism
+    /// is unconditional either way, because every ant consumes only its
+    /// own RNG stream and events only reserved per-round streams.
     ///
     /// Falls back to the serial path when the colony is too small for
     /// the per-round synchronization to pay off.
@@ -274,7 +387,41 @@ impl SyncEngine {
         self.run_parallel_impl(rounds, threads, 1, observer)
     }
 
+    /// The segmenting wrapper around the pooled path: timeline events
+    /// may resize the population or scramble controllers, which would
+    /// invalidate the per-run bank partition workers hold — so the run
+    /// splits into event-free parallel segments, and each event round
+    /// steps serially (bit-identical to the pooled path by the engine's
+    /// contract). Timelines are sparse, so the serial rounds are noise.
     fn run_parallel_impl(
+        &mut self,
+        rounds: u64,
+        threads: usize,
+        min_ants_per_worker: usize,
+        observer: &mut impl Observer,
+    ) {
+        let mut remaining = rounds;
+        while remaining > 0 {
+            match self.config.timeline.next_firing(self.round, self.cursor) {
+                Some(r) if r - self.round <= remaining => {
+                    let quiet = r - self.round - 1;
+                    if quiet > 0 {
+                        self.run_parallel_segment(quiet, threads, min_ants_per_worker, observer);
+                    }
+                    self.step(observer);
+                    remaining -= quiet + 1;
+                }
+                _ => {
+                    self.run_parallel_segment(remaining, threads, min_ants_per_worker, observer);
+                    remaining = 0;
+                }
+            }
+        }
+    }
+
+    /// Runs `rounds` event-free rounds on the worker pool (the caller
+    /// guarantees no timeline event fires inside the segment).
+    fn run_parallel_segment(
         &mut self,
         rounds: u64,
         threads: usize,
@@ -316,7 +463,6 @@ impl SyncEngine {
         // Fields the coordinator keeps for itself during the scope.
         let colony = &mut self.colony;
         let noise = &self.noise;
-        let schedule = &self.config.schedule;
         let round = &mut self.round;
         let pre_deficits = &mut self.pre_deficits;
         let post_deficits = &mut self.post_deficits;
@@ -368,11 +514,9 @@ impl SyncEngine {
 
             let mut own_out: Vec<Assignment> = Vec::new();
             for _ in 0..rounds {
-                // Exclusive window: begin the round.
+                // Exclusive window: begin the round (event-free by the
+                // segment contract).
                 *round += 1;
-                if let Some(new) = schedule.update(*round) {
-                    colony.demands_mut().set(new);
-                }
                 colony.deficits_into(pre_deficits);
                 let prepared = noise.prepare(*round, pre_deficits, colony.demands().as_slice());
                 *shared.write() = Some(prepared.clone());
@@ -418,64 +562,56 @@ impl SyncEngine {
 
     /// Applies a mid-run perturbation, keeping controllers, RNG streams
     /// and the environment mutually consistent.
+    ///
+    /// Imperative shocks draw from the engine's init stream; prefer
+    /// scripting shocks in the config's [`antalloc_env::Timeline`],
+    /// whose events draw from per-round reserved streams and therefore
+    /// survive checkpoint-restore bit-identically.
     pub fn perturb(&mut self, p: &Perturbation) {
-        let swaps = p.apply(&mut self.colony, &mut self.init_rng);
-        match p {
-            Perturbation::KillRandom { .. } => {
-                for &(slot, _) in &swaps {
-                    self.population.remove(slot);
-                }
-                // Kills without swaps (victim was last) still shrink us.
-                while self.population.len() > self.colony.num_ants() {
-                    let last = self.population.len() - 1;
-                    self.population.remove(last);
-                }
-            }
-            Perturbation::Spawn { count } => {
-                let k = self.colony.num_tasks();
-                for _ in 0..*count {
-                    let rng = self.seeder.stream(self.next_stream);
-                    self.population.spawn(k, self.next_stream, rng);
-                    self.next_stream += 1;
-                }
-            }
-            Perturbation::Scramble | Perturbation::StampedeTo(_) => {
-                self.population.reset_to_colony(&self.colony);
-            }
-        }
-        debug_assert!(self.colony.recount_consistent());
-        debug_assert_eq!(self.population.len(), self.colony.num_ants());
-        debug_assert!(self.population.check_invariants());
+        apply_perturbation(
+            p,
+            &mut self.colony,
+            &mut self.population,
+            &mut self.init_rng,
+            &self.seeder,
+            &mut self.next_stream,
+        );
     }
 
-    /// Accessors used by checkpointing: config, colony, per-ant RNG
-    /// states (global ant order), round, next stream id, and — for
-    /// mixed colonies — the per-ant bank membership.
-    pub(crate) fn state_parts(&self) -> StateParts<'_> {
+    /// Accessors used by checkpointing; see [`EngineState`].
+    pub(crate) fn state_parts(&self) -> EngineState<'_> {
         let members = if self.population.is_mixed() {
             Some(self.population.members())
         } else {
             None
         };
-        (
-            &self.config,
-            &self.colony,
-            self.population.rng_states(),
-            self.round,
-            self.next_stream,
+        EngineState {
+            config: &self.config,
+            colony: &self.colony,
+            noise: &self.noise,
+            rng_states: self.population.rng_states(),
+            round: self.round,
+            next_stream: self.next_stream,
+            cursor: self.cursor as u64,
             members,
-        )
+        }
     }
 
     /// Rebuilds an engine from checkpointed parts. `members` carries the
-    /// per-ant bank membership for mixed colonies (empty otherwise).
+    /// per-ant bank membership for mixed colonies (empty otherwise);
+    /// `noise` is the model in force at capture time (it may differ
+    /// from `config.noise` after a `SetNoise` event); `cursor` is the
+    /// number of one-shot timeline events already consumed.
+    #[allow(clippy::too_many_arguments)] // checkpoint-internal plumbing
     pub(crate) fn from_parts(
         config: SimConfig,
         demands: DemandVector,
+        noise: NoiseModel,
         assignments: &[Assignment],
         rng_states: Vec<[u64; 4]>,
         round: u64,
         next_stream: u64,
+        cursor: u64,
         members: &[u16],
     ) -> Self {
         let n = assignments.len();
@@ -495,10 +631,12 @@ impl SyncEngine {
         Self {
             colony,
             population,
-            noise: config.noise.clone(),
+            noise,
             seeder,
+            event_seeder: event_seeder(config.seed),
             init_rng: seeder.stream(reserved::INIT),
             round,
+            cursor: cursor as usize,
             pre_deficits: vec![0; k],
             post_deficits: vec![0; k],
             next_stream,

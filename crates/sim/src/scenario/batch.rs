@@ -18,6 +18,46 @@ use crate::observer::{NullObserver, RunSummary};
 use crate::scenario::sink::RunSink;
 use crate::scenario::ConfigError;
 
+/// One sweep-axis coordinate as recorded in a [`RunOutcome`].
+///
+/// Numeric axes ([`Sweep::axis`]) record the value itself; labeled
+/// axes ([`Sweep::axis_labeled`] — controller kinds, timelines, mix
+/// weights, anything non-numeric) record the point's label.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AxisValue {
+    /// A numeric grid point.
+    Float(f64),
+    /// A labeled (categorical) grid point.
+    Text(String),
+}
+
+impl core::fmt::Display for AxisValue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AxisValue::Float(x) => write!(f, "{x}"),
+            AxisValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<f64> for AxisValue {
+    fn from(x: f64) -> Self {
+        AxisValue::Float(x)
+    }
+}
+
+impl From<String> for AxisValue {
+    fn from(s: String) -> Self {
+        AxisValue::Text(s)
+    }
+}
+
+impl From<&str> for AxisValue {
+    fn from(s: &str) -> Self {
+        AxisValue::Text(s.to_string())
+    }
+}
+
 /// The measured outcome of one run in a batch or sweep.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
@@ -27,7 +67,7 @@ pub struct RunOutcome {
     pub seed: u64,
     /// Sweep-axis values applied to the base config (empty for plain
     /// batches), as `(axis name, value)` pairs.
-    pub params: Vec<(String, f64)>,
+    pub params: Vec<(String, AxisValue)>,
     /// Rounds measured (after warmup).
     pub rounds: u64,
     /// Regret summary over the measured window.
@@ -142,14 +182,17 @@ impl Batch {
     }
 }
 
-/// A sweep-axis setter: rewrites the config for one axis value.
-type AxisSetter = Arc<dyn Fn(&mut SimConfig, f64) + Send + Sync>;
+/// A prepared grid point: the recorded coordinate plus a rewriter
+/// already bound to the point's value.
+type AxisPoint = (AxisValue, Arc<dyn Fn(&mut SimConfig) + Send + Sync>);
 
-/// One sweep dimension: named values applied to the config by a setter.
+/// One sweep dimension: a named list of prepared grid points. Numeric
+/// and labeled axes both lower to this, so the grid machinery never
+/// cares what a point *is* — controller kinds, whole timelines and mix
+/// weights sweep exactly like `f64` parameters.
 struct Axis {
     name: String,
-    values: Vec<f64>,
-    apply: AxisSetter,
+    points: Vec<AxisPoint>,
 }
 
 /// Runs a scenario over a parameter grid × seed list.
@@ -195,18 +238,65 @@ impl Sweep {
         }
     }
 
-    /// Adds a grid axis: for each of `values`, `apply` rewrites the
-    /// config before the run.
+    /// Adds a numeric grid axis: for each of `values`, `apply` rewrites
+    /// the config before the run.
     pub fn axis(
-        mut self,
+        self,
         name: impl Into<String>,
         values: impl IntoIterator<Item = f64>,
         apply: impl Fn(&mut SimConfig, f64) + Send + Sync + 'static,
     ) -> Self {
+        let apply = Arc::new(apply);
+        self.axis_labeled(
+            name,
+            values.into_iter().map(|v| (AxisValue::Float(v), v)),
+            move |cfg, &v| apply(cfg, v),
+        )
+    }
+
+    /// Adds a labeled grid axis over arbitrary values: each point is a
+    /// `(label, value)` pair and `apply` rewrites the config from the
+    /// value. This is how non-`f64` dimensions sweep — controller
+    /// *kinds*, whole timelines, mix weight vectors:
+    ///
+    /// ```
+    /// use antalloc_core::{AntParams, ExactGreedyParams};
+    /// use antalloc_sim::{ControllerSpec, SimConfig, Sweep};
+    ///
+    /// let base = SimConfig::builder(400, vec![60, 80]).build().unwrap();
+    /// let outcomes = Sweep::new(base)
+    ///     .axis_labeled(
+    ///         "controller",
+    ///         [
+    ///             ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+    ///             ("greedy", ControllerSpec::ExactGreedy(ExactGreedyParams::default())),
+    ///         ],
+    ///         |cfg, spec| cfg.controller = spec.clone(),
+    ///     )
+    ///     .rounds(20)
+    ///     .threads(2)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(outcomes.len(), 2);
+    /// ```
+    pub fn axis_labeled<T: Send + Sync + 'static>(
+        mut self,
+        name: impl Into<String>,
+        points: impl IntoIterator<Item = (impl Into<AxisValue>, T)>,
+        apply: impl Fn(&mut SimConfig, &T) + Send + Sync + 'static,
+    ) -> Self {
+        let apply = Arc::new(apply);
         self.axes.push(Axis {
             name: name.into(),
-            values: values.into_iter().collect(),
-            apply: Arc::new(apply),
+            points: points
+                .into_iter()
+                .map(|(label, value)| {
+                    let apply = apply.clone();
+                    let setter: Arc<dyn Fn(&mut SimConfig) + Send + Sync> =
+                        Arc::new(move |cfg: &mut SimConfig| apply(cfg, &value));
+                    (label.into(), setter)
+                })
+                .collect(),
         });
         self
     }
@@ -356,15 +446,16 @@ impl Sweep {
 
     /// Materializes and validates the job list.
     fn jobs(&self) -> Result<Vec<Job>, ConfigError> {
-        let mut grid: Vec<(SimConfig, Vec<(String, f64)>)> = vec![(self.base.clone(), Vec::new())];
+        let mut grid: Vec<(SimConfig, Vec<(String, AxisValue)>)> =
+            vec![(self.base.clone(), Vec::new())];
         for axis in &self.axes {
-            let mut expanded = Vec::with_capacity(grid.len() * axis.values.len());
+            let mut expanded = Vec::with_capacity(grid.len() * axis.points.len());
             for (config, params) in &grid {
-                for &value in &axis.values {
+                for (label, setter) in &axis.points {
                     let mut config = config.clone();
-                    (axis.apply)(&mut config, value);
+                    setter(&mut config);
                     let mut params = params.clone();
-                    params.push((axis.name.clone(), value));
+                    params.push((axis.name.clone(), label.clone()));
                     expanded.push((config, params));
                 }
             }
@@ -391,7 +482,7 @@ impl Sweep {
 
 struct Job {
     config: SimConfig,
-    params: Vec<(String, f64)>,
+    params: Vec<(String, AxisValue)>,
     seed: u64,
 }
 
@@ -498,22 +589,82 @@ mod tests {
         // Job order: gamma outermost, then lambda, then seeds.
         assert_eq!(
             outcomes[0].params,
-            vec![("gamma".into(), 0.03125), ("lambda".into(), 1.0)]
+            vec![
+                ("gamma".into(), AxisValue::Float(0.03125)),
+                ("lambda".into(), AxisValue::Float(1.0))
+            ]
         );
         assert_eq!(outcomes[0].seed, 7);
         assert_eq!(outcomes[1].seed, 8);
         assert_eq!(
             outcomes[5].params,
-            vec![("gamma".into(), 0.03125), ("lambda".into(), 4.0)]
+            vec![
+                ("gamma".into(), AxisValue::Float(0.03125)),
+                ("lambda".into(), AxisValue::Float(4.0))
+            ]
         );
         assert_eq!(
             outcomes[11].params,
-            vec![("gamma".into(), 0.0625), ("lambda".into(), 4.0)]
+            vec![
+                ("gamma".into(), AxisValue::Float(0.0625)),
+                ("lambda".into(), AxisValue::Float(4.0))
+            ]
         );
         for o in &outcomes {
             assert_eq!(o.rounds, 40);
             assert!(o.summary.rounds() == 40);
         }
+    }
+
+    #[test]
+    fn labeled_axes_sweep_controller_kinds_and_timelines() {
+        use antalloc_env::{Event, Timeline};
+
+        // Controller *kinds* and whole timelines as grid dimensions —
+        // the non-f64 axes the old setter signature could not express.
+        let outcomes = Sweep::new(base())
+            .axis_labeled(
+                "controller",
+                [
+                    ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                    ("greedy", ControllerSpec::ExactGreedy(Default::default())),
+                ],
+                |cfg, spec| cfg.controller = spec.clone(),
+            )
+            .axis_labeled(
+                "shock",
+                [
+                    ("none", Timeline::new()),
+                    (
+                        "kill-a-third",
+                        Timeline::new().at(10, Event::Kill { count: 100 }),
+                    ),
+                ],
+                |cfg, timeline| cfg.timeline = timeline.clone(),
+            )
+            .seeds([1])
+            .rounds(30)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(
+            outcomes[0].params,
+            vec![
+                ("controller".into(), AxisValue::Text("ant".into())),
+                ("shock".into(), AxisValue::Text("none".into()))
+            ]
+        );
+        assert_eq!(
+            outcomes[3].params,
+            vec![
+                ("controller".into(), AxisValue::Text("greedy".into())),
+                ("shock".into(), AxisValue::Text("kill-a-third".into()))
+            ]
+        );
+        // The timeline axis really applied: the kill shrank the colony.
+        let total = |o: &RunOutcome| o.final_loads.iter().sum::<u64>();
+        assert!(total(&outcomes[1]) <= total(&outcomes[0]));
     }
 
     #[test]

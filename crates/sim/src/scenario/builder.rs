@@ -1,7 +1,7 @@
 //! The fluent, validating scenario builder.
 
-use antalloc_env::{DemandSchedule, InitialConfig};
-use antalloc_noise::{GreyZonePolicy, NoiseModel};
+use antalloc_env::{DemandSchedule, Event, InitialConfig, Timeline};
+use antalloc_noise::NoiseModel;
 
 use crate::config::{ControllerSpec, SimConfig};
 use crate::scenario::ConfigError;
@@ -54,7 +54,7 @@ impl ScenarioBuilder {
                 noise: NoiseModel::Sigmoid { lambda: 2.0 },
                 controller: ControllerSpec::Ant(antalloc_core::AntParams::default()),
                 seed: 0,
-                schedule: DemandSchedule::Static,
+                timeline: Timeline::new(),
                 initial: InitialConfig::AllIdle,
             },
             strictness: Strictness::Strict,
@@ -87,9 +87,25 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the demand schedule.
+    /// Sets the event timeline (replacing any previous one).
+    pub fn timeline(mut self, timeline: Timeline) -> Self {
+        self.config.timeline = timeline;
+        self
+    }
+
+    /// Appends one scripted event to the timeline (builder sugar; see
+    /// [`Timeline::at`]).
+    pub fn event(mut self, round: u64, event: Event) -> Self {
+        let timeline = std::mem::take(&mut self.config.timeline);
+        self.config.timeline = timeline.at(round, event);
+        self
+    }
+
+    /// Sets the timeline from a legacy demand schedule (thin
+    /// constructor: steps become `SetDemands` events, alternation a
+    /// two-event cycle). Replaces any previous timeline.
     pub fn schedule(mut self, schedule: DemandSchedule) -> Self {
-        self.config.schedule = schedule;
+        self.config.timeline = schedule.into();
         self
     }
 
@@ -149,8 +165,11 @@ pub(crate) fn validate(config: &SimConfig, strictness: Strictness) -> Result<(),
     }
     let k = config.demands.len();
     validate_controller(&config.controller, k, strictness)?;
-    validate_noise(&config.noise, k)?;
-    config.schedule.validate(k).map_err(ConfigError::Schedule)?;
+    config.noise.validate(k).map_err(ConfigError::Noise)?;
+    config
+        .timeline
+        .validate(k, config.n)
+        .map_err(ConfigError::Timeline)?;
     validate_initial(&config.initial, k)?;
     Ok(())
 }
@@ -242,54 +261,6 @@ fn validate_controller(
     }
 }
 
-fn validate_noise(noise: &NoiseModel, num_tasks: usize) -> Result<(), ConfigError> {
-    match noise {
-        NoiseModel::Sigmoid { lambda } => {
-            if !(lambda.is_finite() && *lambda > 0.0) {
-                return Err(ConfigError::Noise(format!(
-                    "sigmoid steepness λ must be positive and finite, got {lambda}"
-                )));
-            }
-        }
-        NoiseModel::CorrelatedSigmoid { lambda, rho, .. } => {
-            if !(lambda.is_finite() && *lambda > 0.0) {
-                return Err(ConfigError::Noise(format!(
-                    "sigmoid steepness λ must be positive and finite, got {lambda}"
-                )));
-            }
-            if !(rho.is_finite() && (0.0..=1.0).contains(rho)) {
-                return Err(ConfigError::Noise(format!(
-                    "correlation ρ must be in [0, 1], got {rho}"
-                )));
-            }
-        }
-        NoiseModel::Adversarial { gamma_ad, policy } => {
-            if !(gamma_ad.is_finite() && (0.0..1.0).contains(gamma_ad)) {
-                return Err(ConfigError::Noise(format!(
-                    "grey-zone width γ_ad must be in [0, 1), got {gamma_ad}"
-                )));
-            }
-            match policy {
-                GreyZonePolicy::RandomLack(p) if !(p.is_finite() && (0.0..=1.0).contains(p)) => {
-                    return Err(ConfigError::Noise(format!(
-                        "random-lack probability must be in [0, 1], got {p}"
-                    )));
-                }
-                GreyZonePolicy::LoadThreshold(thresholds) if thresholds.len() != num_tasks => {
-                    return Err(ConfigError::Noise(format!(
-                        "load-threshold policy has {} thresholds, colony has \
-                             {num_tasks} tasks",
-                        thresholds.len()
-                    )));
-                }
-                _ => {}
-            }
-        }
-        NoiseModel::Exact => {}
-    }
-    Ok(())
-}
-
 fn validate_initial(initial: &InitialConfig, num_tasks: usize) -> Result<(), ConfigError> {
     if let InitialConfig::AllOnTask(j) = initial {
         if *j >= num_tasks {
@@ -305,6 +276,7 @@ fn validate_initial(initial: &InitialConfig, num_tasks: usize) -> Result<(), Con
 mod tests {
     use super::*;
     use antalloc_core::AntParams;
+    use antalloc_noise::GreyZonePolicy;
 
     fn base() -> ScenarioBuilder {
         SimConfig::builder(100, vec![20, 30])
@@ -313,7 +285,7 @@ mod tests {
     #[test]
     fn defaults_build() {
         let cfg = base().build().expect("defaults are valid");
-        assert_eq!(cfg.schedule, DemandSchedule::Static);
+        assert!(cfg.timeline.is_empty());
         assert_eq!(cfg.initial, InitialConfig::AllIdle);
     }
 
@@ -342,7 +314,51 @@ mod tests {
             })
             .build()
             .unwrap_err();
-        assert!(matches!(err, ConfigError::Schedule(_)), "{err:?}");
+        assert!(matches!(err, ConfigError::Timeline(_)), "{err:?}");
+    }
+
+    #[test]
+    fn timeline_defects_are_rejected_at_build_time() {
+        // Unsorted events.
+        let err = base()
+            .event(9, Event::Scramble)
+            .event(5, Event::Scramble)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Timeline(_)), "{err:?}");
+        // Kill below zero population (colony has 100 ants).
+        let err = base()
+            .event(5, Event::Kill { count: 100 })
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("below 1"), "{err}");
+        // Stampede onto a nonexistent task.
+        let err = base().event(5, Event::StampedeTo(7)).build().unwrap_err();
+        assert!(matches!(err, ConfigError::Timeline(_)), "{err:?}");
+        // A noise switch to an invalid model.
+        let err = base()
+            .event(5, Event::SetNoise(NoiseModel::Sigmoid { lambda: -2.0 }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Timeline(_)), "{err:?}");
+        // Alternating with zero half-period compiles to a degenerate
+        // cycle, caught here instead of dividing by zero at run time.
+        let err = base()
+            .schedule(DemandSchedule::Alternating {
+                a: vec![20, 30],
+                b: vec![30, 20],
+                half_period: 0,
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Timeline(_)), "{err:?}");
+        // A well-formed shock script builds.
+        assert!(base()
+            .event(5, Event::Kill { count: 50 })
+            .event(8, Event::SetDemands(vec![10, 15]))
+            .event(12, Event::Scramble)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -20,9 +20,22 @@
 //! kind = "sigmoid"           # sigmoid | correlated-sigmoid |
 //! lambda = 2.0               # adversarial | exact
 //!
-//! [schedule]                 # optional (defaults to static)
-//! kind = "steps"
-//! steps = [{ at = 4000, demands = [1200, 800] }]
+//! [[timeline]]               # optional: scripted mid-run events
+//! at = 4000
+//! kind = "set-demands"
+//! demands = [1200, 800]
+//!
+//! [[timeline]]
+//! at = 6000
+//! kind = "kill"              # set-demands | kill | spawn | scramble |
+//! count = 2000               # stampede-to | set-noise | cycle
+//!
+//! [[timeline]]
+//! kind = "cycle"             # a repeating generator
+//! start = 8000
+//! period = 500
+//! events = [ { kind = "set-demands", demands = [800, 1200] },
+//!            { kind = "set-demands", demands = [1200, 800] } ]
 //!
 //! [initial]                  # optional (defaults to all-idle)
 //! kind = "saturated-plus"
@@ -31,10 +44,12 @@
 //!
 //! Every enum uses a `kind` discriminant with kebab-case variant names;
 //! optional parameters fall back to the same defaults the Rust
-//! constructors use, so minimal files stay minimal.
+//! constructors use, so minimal files stay minimal. The legacy
+//! `[schedule]` section is still accepted on input (it compiles to the
+//! equivalent timeline); output always uses `[[timeline]]`.
 
 use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
-use antalloc_env::{DemandSchedule, InitialConfig, Perturbation};
+use antalloc_env::{Cycle, DemandSchedule, Event, InitialConfig, TimedEvent, Timeline};
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 
 use crate::config::{ControllerSpec, SimConfig};
@@ -88,8 +103,8 @@ pub fn config_to_value(config: &SimConfig, name: Option<&str>, out_of_spec: bool
     }
     root.insert("controller", controller_to_value(&config.controller));
     root.insert("noise", noise_to_value(&config.noise));
-    if config.schedule != DemandSchedule::Static {
-        root.insert("schedule", schedule_to_value(&config.schedule));
+    if !config.timeline.is_empty() {
+        root.insert("timeline", timeline_to_value(&config.timeline));
     }
     if config.initial != InitialConfig::AllIdle {
         root.insert("initial", initial_to_value(&config.initial));
@@ -111,6 +126,7 @@ pub fn config_from_value(root: &Value) -> Result<(SimConfig, Option<String>, boo
             "out_of_spec",
             "controller",
             "noise",
+            "timeline",
             "schedule",
             "initial",
         ],
@@ -123,6 +139,18 @@ pub fn config_from_value(root: &Value) -> Result<(SimConfig, Option<String>, boo
         Some(v) => v.as_bool("out_of_spec")?,
         None => false,
     };
+    let timeline = match (root.get("timeline"), root.get("schedule")) {
+        (Some(_), Some(_)) => {
+            return Err(bad(
+                "scenario",
+                "give either `timeline` or the legacy `schedule`, not both",
+            ));
+        }
+        (Some(v), None) => timeline_from_value(v)?,
+        // Legacy sugar: a demand schedule compiles to its timeline.
+        (None, Some(v)) => schedule_from_value(v)?.into(),
+        (None, None) => Timeline::new(),
+    };
     let config = SimConfig {
         n: root.want("n")?.as_usize("n")?,
         demands: root.want("demands")?.as_u64_array("demands")?,
@@ -132,10 +160,7 @@ pub fn config_from_value(root: &Value) -> Result<(SimConfig, Option<String>, boo
         },
         controller: controller_from_value(root.want("controller")?)?,
         noise: noise_from_value(root.want("noise")?)?,
-        schedule: match root.get("schedule") {
-            Some(v) => schedule_from_value(v)?,
-            None => DemandSchedule::Static,
-        },
+        timeline,
         initial: match root.get("initial") {
             Some(v) => initial_from_value(v)?,
             None => InitialConfig::AllIdle,
@@ -415,46 +440,10 @@ fn policy_from_value(v: &Value) -> Result<GreyZonePolicy, ConfigError> {
     }
 }
 
-// ---- DemandSchedule -----------------------------------------------------
+// ---- DemandSchedule (legacy input sugar) --------------------------------
 
-/// Encodes a demand schedule.
-pub fn schedule_to_value(schedule: &DemandSchedule) -> Value {
-    let mut t = Value::table();
-    match schedule {
-        DemandSchedule::Static => t.insert("kind", Value::Str("static".into())),
-        DemandSchedule::Step { at, demands } => {
-            t.insert("kind", Value::Str("step".into()));
-            t.insert("at", int(*at));
-            t.insert("demands", u64_array(demands));
-        }
-        DemandSchedule::Steps(steps) => {
-            t.insert("kind", Value::Str("steps".into()));
-            t.insert(
-                "steps",
-                Value::Array(
-                    steps
-                        .iter()
-                        .map(|(at, demands)| {
-                            let mut s = Value::table();
-                            s.insert("at", int(*at));
-                            s.insert("demands", u64_array(demands));
-                            s
-                        })
-                        .collect(),
-                ),
-            );
-        }
-        DemandSchedule::Alternating { a, b, half_period } => {
-            t.insert("kind", Value::Str("alternating".into()));
-            t.insert("a", u64_array(a));
-            t.insert("b", u64_array(b));
-            t.insert("half_period", int(*half_period));
-        }
-    }
-    t
-}
-
-/// Decodes a demand schedule.
+/// Decodes a legacy `[schedule]` section; callers compile the result to
+/// a [`Timeline`] immediately (output always uses `timeline`).
 pub fn schedule_from_value(v: &Value) -> Result<DemandSchedule, ConfigError> {
     let kind = v.want("kind")?.as_str("schedule.kind")?;
     let allowed: &[&str] = match kind {
@@ -540,51 +529,153 @@ pub fn initial_from_value(v: &Value) -> Result<InitialConfig, ConfigError> {
     }
 }
 
-// ---- Perturbation -------------------------------------------------------
+// ---- Timeline -----------------------------------------------------------
 
-/// Encodes a perturbation (for scenario files that script shocks).
-pub fn perturbation_to_value(p: &Perturbation) -> Value {
-    let mut t = Value::table();
-    match p {
-        Perturbation::KillRandom { count } => {
-            t.insert("kind", Value::Str("kill-random".into()));
+/// Writes an event's `kind` and payload into an existing table (used
+/// both for `[[timeline]]` entries and the events inside a cycle).
+fn event_into_table(event: &Event, t: &mut Value) {
+    match event {
+        Event::SetDemands(demands) => {
+            t.insert("kind", Value::Str("set-demands".into()));
+            t.insert("demands", u64_array(demands));
+        }
+        Event::Kill { count } => {
+            t.insert("kind", Value::Str("kill".into()));
             t.insert("count", int(*count as u64));
         }
-        Perturbation::Spawn { count } => {
+        Event::Spawn { count } => {
             t.insert("kind", Value::Str("spawn".into()));
             t.insert("count", int(*count as u64));
         }
-        Perturbation::Scramble => t.insert("kind", Value::Str("scramble".into())),
-        Perturbation::StampedeTo(j) => {
+        Event::Scramble => t.insert("kind", Value::Str("scramble".into())),
+        Event::StampedeTo(j) => {
             t.insert("kind", Value::Str("stampede-to".into()));
             t.insert("task", int(*j as u64));
         }
+        Event::SetNoise(model) => {
+            t.insert("kind", Value::Str("set-noise".into()));
+            t.insert("noise", noise_to_value(model));
+        }
     }
+}
+
+/// Encodes one scripted event (no scheduling fields).
+pub fn event_to_value(event: &Event) -> Value {
+    let mut t = Value::table();
+    event_into_table(event, &mut t);
     t
 }
 
-/// Decodes a perturbation.
-pub fn perturbation_from_value(v: &Value) -> Result<Perturbation, ConfigError> {
-    let kind = v.want("kind")?.as_str("perturbation.kind")?;
-    let allowed: &[&str] = match kind {
-        "kill-random" | "spawn" => &["kind", "count"],
-        "stampede-to" => &["kind", "task"],
-        _ => &["kind"],
+/// The payload keys each event kind allows, shared by one-shot entries
+/// (which add `at`) and cycle events. `None` for unknown kinds, so the
+/// caller reports the bad `kind` instead of flagging its payload keys.
+fn event_keys(kind: &str, with_at: bool) -> Option<Vec<&'static str>> {
+    let mut keys: Vec<&'static str> = if with_at {
+        vec!["at", "kind"]
+    } else {
+        vec!["kind"]
     };
-    check_keys(v, "perturbation", allowed)?;
+    let payload: &[&str] = match kind {
+        "set-demands" => &["demands"],
+        "kill" | "spawn" => &["count"],
+        "stampede-to" => &["task"],
+        "set-noise" => &["noise"],
+        "scramble" => &[],
+        _ => return None,
+    };
+    keys.extend(payload);
+    Some(keys)
+}
+
+fn event_from_table(v: &Value, what: &str) -> Result<Event, ConfigError> {
+    let kind = v.want("kind")?.as_str("event.kind")?;
     match kind {
-        "kill-random" => Ok(Perturbation::KillRandom {
-            count: v.want("count")?.as_usize("perturbation.count")?,
-        }),
-        "spawn" => Ok(Perturbation::Spawn {
-            count: v.want("count")?.as_usize("perturbation.count")?,
-        }),
-        "scramble" => Ok(Perturbation::Scramble),
-        "stampede-to" => Ok(Perturbation::StampedeTo(
-            v.want("task")?.as_usize("perturbation.task")?,
+        "set-demands" => Ok(Event::SetDemands(
+            v.want("demands")?.as_u64_array("event.demands")?,
         )),
-        other => Err(bad("perturbation", format!("unknown kind `{other}`"))),
+        "kill" => Ok(Event::Kill {
+            count: v.want("count")?.as_usize("event.count")?,
+        }),
+        "spawn" => Ok(Event::Spawn {
+            count: v.want("count")?.as_usize("event.count")?,
+        }),
+        "scramble" => Ok(Event::Scramble),
+        "stampede-to" => Ok(Event::StampedeTo(v.want("task")?.as_usize("event.task")?)),
+        "set-noise" => Ok(Event::SetNoise(noise_from_value(v.want("noise")?)?)),
+        other => Err(bad(what, format!("unknown event kind `{other}`"))),
     }
+}
+
+/// Decodes one scripted event.
+pub fn event_from_value(v: &Value) -> Result<Event, ConfigError> {
+    if let Some(keys) = v
+        .get("kind")
+        .and_then(|k| k.as_str("kind").ok())
+        .and_then(|kind| event_keys(kind, false))
+    {
+        check_keys(v, "event", &keys)?;
+    }
+    event_from_table(v, "event")
+}
+
+/// Encodes a timeline as an array of entry tables: one-shot events
+/// carry an `at` round, cycles use `kind = "cycle"`.
+pub fn timeline_to_value(timeline: &Timeline) -> Value {
+    let mut entries = Vec::with_capacity(timeline.events.len() + timeline.cycles.len());
+    for timed in &timeline.events {
+        let mut t = Value::table();
+        t.insert("at", int(timed.at));
+        event_into_table(&timed.event, &mut t);
+        entries.push(t);
+    }
+    for cycle in &timeline.cycles {
+        let mut t = Value::table();
+        t.insert("kind", Value::Str("cycle".into()));
+        t.insert("start", int(cycle.start));
+        t.insert("period", int(cycle.period));
+        t.insert(
+            "events",
+            Value::Array(cycle.events.iter().map(event_to_value).collect()),
+        );
+        entries.push(t);
+    }
+    Value::Array(entries)
+}
+
+/// Decodes a timeline from an array of entry tables.
+pub fn timeline_from_value(v: &Value) -> Result<Timeline, ConfigError> {
+    let what = "timeline";
+    let mut timeline = Timeline::new();
+    for entry in v.as_array(what)? {
+        let kind = entry.want("kind")?.as_str("timeline.kind")?;
+        if kind == "cycle" {
+            check_keys(
+                entry,
+                "timeline cycle",
+                &["kind", "start", "period", "events"],
+            )?;
+            let events = entry
+                .want("events")?
+                .as_array("cycle.events")?
+                .iter()
+                .map(event_from_value)
+                .collect::<Result<Vec<_>, ConfigError>>()?;
+            timeline.cycles.push(Cycle {
+                start: entry.want("start")?.as_u64("cycle.start")?,
+                period: entry.want("period")?.as_u64("cycle.period")?,
+                events,
+            });
+        } else {
+            if let Some(keys) = event_keys(kind, true) {
+                check_keys(entry, "timeline entry", &keys)?;
+            }
+            timeline.events.push(TimedEvent {
+                at: entry.want("at")?.as_u64("timeline.at")?,
+                event: event_from_table(entry, what)?,
+            });
+        }
+    }
+    Ok(timeline)
 }
 
 #[cfg(test)]
@@ -695,23 +786,7 @@ mod tests {
     }
 
     #[test]
-    fn every_schedule_and_initial_roundtrips() {
-        for schedule in [
-            DemandSchedule::Static,
-            DemandSchedule::Step {
-                at: 10,
-                demands: vec![5, 6],
-            },
-            DemandSchedule::Steps(vec![(3, vec![1, 2]), (9, vec![4, 5])]),
-            DemandSchedule::Alternating {
-                a: vec![1, 2],
-                b: vec![2, 1],
-                half_period: 7,
-            },
-        ] {
-            let back = schedule_from_value(&schedule_to_value(&schedule)).unwrap();
-            assert_eq!(back, schedule);
-        }
+    fn every_initial_roundtrips() {
         for initial in [
             InitialConfig::AllIdle,
             InitialConfig::AllOnTask(2),
@@ -726,16 +801,60 @@ mod tests {
     }
 
     #[test]
-    fn every_perturbation_roundtrips() {
-        for p in [
-            Perturbation::KillRandom { count: 5 },
-            Perturbation::Spawn { count: 9 },
-            Perturbation::Scramble,
-            Perturbation::StampedeTo(1),
-        ] {
-            let back = perturbation_from_value(&perturbation_to_value(&p)).unwrap();
-            assert_eq!(back, p);
+    fn every_timeline_roundtrips() {
+        let timelines = [
+            Timeline::new().at(5, Event::Kill { count: 5 }),
+            Timeline::new()
+                .at(3, Event::SetDemands(vec![4, 4]))
+                .at(3, Event::Spawn { count: 9 })
+                .at(8, Event::Scramble)
+                .at(9, Event::StampedeTo(1))
+                .at(12, Event::SetNoise(NoiseModel::Sigmoid { lambda: 4.0 })),
+            Timeline::new()
+                .at(
+                    2,
+                    Event::SetNoise(NoiseModel::Adversarial {
+                        gamma_ad: 0.05,
+                        policy: GreyZonePolicy::AlwaysLack,
+                    }),
+                )
+                .every(
+                    10,
+                    5,
+                    vec![Event::SetDemands(vec![1, 2]), Event::SetDemands(vec![2, 1])],
+                ),
+        ];
+        for timeline in timelines {
+            let back = timeline_from_value(&timeline_to_value(&timeline)).unwrap();
+            assert_eq!(back, timeline);
         }
+    }
+
+    #[test]
+    fn legacy_schedules_decode_to_their_timeline() {
+        // `[schedule]` sections still load; the decoded config carries
+        // the compiled timeline.
+        let mut root = Value::table();
+        root.insert("n", Value::Int(100));
+        root.insert("demands", u64_array(&[20, 30]));
+        root.insert("controller", controller_to_value(&ControllerSpec::Trivial));
+        root.insert("noise", noise_to_value(&NoiseModel::Exact));
+        let mut schedule = Value::table();
+        schedule.insert("kind", Value::Str("step".into()));
+        schedule.insert("at", Value::Int(10));
+        schedule.insert("demands", u64_array(&[30, 20]));
+        root.insert("schedule", schedule.clone());
+        let (config, _, _) = config_from_value(&root).unwrap();
+        let expected: Timeline = DemandSchedule::Step {
+            at: 10,
+            demands: vec![30, 20],
+        }
+        .into();
+        assert_eq!(config.timeline, expected);
+        // ...but giving both forms at once is an error.
+        root.insert("timeline", timeline_to_value(&expected));
+        let err = config_from_value(&root).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
     }
 
     #[test]
@@ -746,7 +865,8 @@ mod tests {
         assert!(noise_from_value(&t).is_err());
         assert!(schedule_from_value(&t).is_err());
         assert!(initial_from_value(&t).is_err());
-        assert!(perturbation_from_value(&t).is_err());
+        assert!(event_from_value(&t).is_err());
+        assert!(timeline_from_value(&Value::Array(vec![t])).is_err());
     }
 
     #[test]

@@ -25,9 +25,10 @@ pub enum ConfigError {
     /// The noise model has out-of-range parameters or a policy whose
     /// shape disagrees with the task count.
     Noise(String),
-    /// The demand schedule is inconsistent (wrong task count, zero
-    /// demand, unordered steps, zero period).
-    Schedule(String),
+    /// The event timeline is inconsistent (unsorted events, wrong
+    /// demand length, kills below zero population, task index out of
+    /// range, degenerate cycle, bad noise switch).
+    Timeline(String),
     /// The initial configuration references a nonexistent task.
     Initial(String),
     /// A scenario file could not be parsed.
@@ -46,7 +47,7 @@ impl core::fmt::Display for ConfigError {
             }
             ConfigError::Controller(msg) => write!(f, "invalid controller: {msg}"),
             ConfigError::Noise(msg) => write!(f, "invalid noise model: {msg}"),
-            ConfigError::Schedule(msg) => write!(f, "invalid demand schedule: {msg}"),
+            ConfigError::Timeline(msg) => write!(f, "invalid timeline: {msg}"),
             ConfigError::Initial(msg) => write!(f, "invalid initial configuration: {msg}"),
             ConfigError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
             ConfigError::Io(msg) => write!(f, "scenario io error: {msg}"),

@@ -44,12 +44,12 @@ mod value;
 
 use std::path::Path;
 
-pub use batch::{Batch, RunOutcome, Sweep};
+pub use batch::{AxisValue, Batch, RunOutcome, Sweep};
 pub use builder::ScenarioBuilder;
 pub use codec::{
     config_from_value, config_to_value, controller_from_value, controller_to_value,
-    initial_from_value, initial_to_value, noise_from_value, noise_to_value,
-    perturbation_from_value, perturbation_to_value, schedule_from_value, schedule_to_value,
+    event_from_value, event_to_value, initial_from_value, initial_to_value, noise_from_value,
+    noise_to_value, schedule_from_value, timeline_from_value, timeline_to_value,
 };
 pub use error::ConfigError;
 pub use sink::{CsvSink, JsonlSink, RunSink};
@@ -240,7 +240,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.config.seed, 0);
-        assert_eq!(s.config.schedule, DemandSchedule::Static);
+        assert!(s.config.timeline.is_empty());
         assert_eq!(s.config.initial, InitialConfig::AllIdle);
         assert_eq!(s.name, None);
     }
@@ -253,12 +253,12 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ConfigError::EmptyColony);
-        // Schedule task-count mismatch.
+        // Schedule task-count mismatch (legacy section, timeline error).
         let err = Scenario::from_toml(
             "n = 10\ndemands = [5, 5]\n[controller]\nkind = \"trivial\"\n[noise]\nkind = \"exact\"\n[schedule]\nkind = \"step\"\nat = 3\ndemands = [1]\n",
         )
         .unwrap_err();
-        assert!(matches!(err, ConfigError::Schedule(_)), "{err:?}");
+        assert!(matches!(err, ConfigError::Timeline(_)), "{err:?}");
         // Parameter window violation (γ > 1/16) is strict by default...
         let gamma_high =
             "n = 10\ndemands = [5]\n[controller]\nkind = \"ant\"\ngamma = 0.125\n[noise]\nkind = \"exact\"\n";

@@ -78,7 +78,7 @@ impl<W: Write> RunSink for CsvSink<W> {
             self.num_loads = outcome.final_loads.len();
             write!(self.out, "index,seed")?;
             for axis in &self.axes {
-                write!(self.out, ",{}", axis.replace([',', '\n'], "_"))?;
+                write!(self.out, ",{}", axis.replace([',', '\n', '\r'], "_"))?;
             }
             write!(
                 self.out,
@@ -98,7 +98,13 @@ impl<W: Write> RunSink for CsvSink<W> {
         }
         write!(self.out, "{},{}", outcome.index, outcome.seed)?;
         for (_, value) in &outcome.params {
-            write!(self.out, ",{value}")?;
+            // Labeled axis values may contain arbitrary text; keep the
+            // row parseable.
+            write!(
+                self.out,
+                ",{}",
+                value.to_string().replace([',', '\n', '\r'], "_")
+            )?;
         }
         write!(
             self.out,
@@ -174,7 +180,14 @@ impl<W: Write> RunSink for JsonlSink<W> {
                 if i > 0 {
                     write!(self.out, ",")?;
                 }
-                write!(self.out, "\"{}\":{value}", json_escape(name))?;
+                match value {
+                    crate::scenario::batch::AxisValue::Float(x) => {
+                        write!(self.out, "\"{}\":{x}", json_escape(name))?;
+                    }
+                    crate::scenario::batch::AxisValue::Text(s) => {
+                        write!(self.out, "\"{}\":\"{}\"", json_escape(name), json_escape(s))?;
+                    }
+                }
             }
             write!(self.out, "}}")?;
         }
@@ -211,12 +224,36 @@ mod tests {
         RunOutcome {
             index,
             seed,
-            params: vec![("lambda".into(), 2.0)],
+            params: vec![("lambda".into(), crate::scenario::AxisValue::Float(2.0))],
             rounds: 10,
             summary: RunSummary::new(),
             final_regret: 3,
             final_loads: vec![5, 7],
         }
+    }
+
+    #[test]
+    fn labeled_params_serialize_in_both_formats() {
+        let mut o = outcome(0, 1);
+        o.params = vec![(
+            "controller".into(),
+            crate::scenario::AxisValue::Text("ant, desync".into()),
+        )];
+        let mut csv = CsvSink::new(Vec::new());
+        csv.on_outcome(&o).unwrap();
+        let text = String::from_utf8(csv.out).unwrap();
+        // Commas inside the label are sanitized, keeping the row shape.
+        assert!(
+            text.lines().nth(1).unwrap().contains("ant_ desync"),
+            "{text}"
+        );
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.on_outcome(&o).unwrap();
+        let text = String::from_utf8(jsonl.out).unwrap();
+        assert!(
+            text.contains("\"controller\":\"ant, desync\""),
+            "labels must be quoted JSON strings: {text}"
+        );
     }
 
     #[test]

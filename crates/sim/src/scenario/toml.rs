@@ -4,9 +4,11 @@
 //! Supported: `[section]` / `[nested.section]` headers, `key = value`
 //! pairs, bare and quoted keys, strings with the common escapes,
 //! integers (sign, underscores, `0x`/`0o`/`0b`), floats (including
-//! `inf`/`nan` forms), booleans, (possibly multiline) arrays, and
-//! inline tables. Not supported: array-of-tables headers (`[[x]]`),
-//! dotted keys, datetimes, multi-line strings.
+//! `inf`/`nan` forms), booleans, (possibly multiline) arrays, inline
+//! tables, and array-of-tables headers (`[[x]]`, the natural syntax
+//! for `[[timeline]]` event scripts; keys after one address its last
+//! element, including through nested paths). Not supported: dotted
+//! keys, datetimes, multi-line strings.
 
 use crate::scenario::value::Value;
 use crate::scenario::ConfigError;
@@ -32,18 +34,43 @@ pub fn parse(text: &str) -> Result<Value, ConfigError> {
         }
         if parser.peek() == Some('[') {
             parser.bump();
-            if parser.peek() == Some('[') {
-                return Err(parser.error("array-of-tables headers are not supported"));
+            let array_of_tables = parser.peek() == Some('[');
+            if array_of_tables {
+                parser.bump();
             }
             path = parser.key_path()?;
             parser.expect(']')?;
-            parser.expect_line_end()?;
-            if seen_headers.contains(&path) {
-                return Err(parser.error(format!("duplicate section `[{}]`", path.join("."))));
+            if array_of_tables {
+                parser.expect(']')?;
             }
-            seen_headers.push(path.clone());
-            // Create the table eagerly so empty sections round-trip.
-            navigate(&mut root, &path, &mut |_t| Ok(()))?;
+            parser.expect_line_end()?;
+            if array_of_tables {
+                // Append a fresh element; subsequent keys land in it.
+                push_array_element(&mut root, &path)?;
+            } else if plain_header_reopens_array(&root, &path) {
+                // Real TOML rejects `[x]` once `[[x]]` defined an
+                // array; accepting it would silently merge the keys
+                // into the last element.
+                return Err(parser.error(format!(
+                    "`[{}]` conflicts with an array of tables; use `[[{}]]`",
+                    path.join("."),
+                    path.join(".")
+                )));
+            } else {
+                // Create the table eagerly so empty sections round-trip.
+                // Headers that traverse an array address its *last*
+                // element and may legitimately repeat (`[a.b]` after
+                // each `[[a]]`); plain table headers may not.
+                let through_array = navigate(&mut root, &path, &mut |_t| Ok(()))?;
+                if !through_array {
+                    if seen_headers.contains(&path) {
+                        return Err(
+                            parser.error(format!("duplicate section `[{}]`", path.join(".")))
+                        );
+                    }
+                    seen_headers.push(path.clone());
+                }
+            }
         } else {
             let key = parser.key()?;
             parser.skip_inline_ws();
@@ -66,9 +93,12 @@ pub fn parse(text: &str) -> Result<Value, ConfigError> {
 
 /// Serializes a [`Value::Table`] as TOML.
 ///
-/// Scalars and arrays print inline at their table's level; sub-tables
-/// become `[section]` headers (depth-first, insertion order). Tables
-/// nested inside arrays print as inline tables.
+/// Scalars and plain arrays print inline at their table's level;
+/// sub-tables become `[section]` headers and non-empty arrays of
+/// tables become `[[section]]` blocks (depth-first, insertion order;
+/// values inside a `[[section]]` element print inline, so the writer
+/// never needs dotted element paths). Tables nested inside plain
+/// arrays print as inline tables.
 pub fn write(root: &Value) -> String {
     let mut out = String::new();
     let Value::Table(_) = root else {
@@ -81,12 +111,37 @@ pub fn write(root: &Value) -> String {
     out
 }
 
+/// Whether a value prints as `[[section]]` blocks rather than inline.
+fn is_array_of_tables(value: &Value) -> bool {
+    match value {
+        Value::Array(items) => {
+            !items.is_empty() && items.iter().all(|v| matches!(v, Value::Table(_)))
+        }
+        _ => false,
+    }
+}
+
+fn header(path: &[String], double: bool, out: &mut String) {
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(if double { "[[" } else { "[" });
+    out.push_str(
+        &path
+            .iter()
+            .map(|k| key_text(k))
+            .collect::<Vec<_>>()
+            .join("."),
+    );
+    out.push_str(if double { "]]\n" } else { "]\n" });
+}
+
 fn write_table(table: &Value, path: &mut Vec<String>, out: &mut String) {
     let Value::Table(pairs) = table else {
         unreachable!()
     };
     for (key, value) in pairs {
-        if !matches!(value, Value::Table(_)) {
+        if !matches!(value, Value::Table(_)) && !is_array_of_tables(value) {
             out.push_str(&key_text(key));
             out.push_str(" = ");
             write_inline(value, out);
@@ -96,19 +151,29 @@ fn write_table(table: &Value, path: &mut Vec<String>, out: &mut String) {
     for (key, value) in pairs {
         if let Value::Table(_) = value {
             path.push(key.clone());
-            if !out.is_empty() {
-                out.push('\n');
-            }
-            out.push('[');
-            out.push_str(
-                &path
-                    .iter()
-                    .map(|k| key_text(k))
-                    .collect::<Vec<_>>()
-                    .join("."),
-            );
-            out.push_str("]\n");
+            header(path, false, out);
             write_table(value, path, out);
+            path.pop();
+        } else if is_array_of_tables(value) {
+            let Value::Array(items) = value else {
+                unreachable!()
+            };
+            path.push(key.clone());
+            for item in items {
+                header(path, true, out);
+                let Value::Table(entries) = item else {
+                    unreachable!()
+                };
+                // Everything inside an element prints inline — nested
+                // tables as `{ .. }` — so element boundaries stay
+                // unambiguous without dotted sub-headers.
+                for (k, v) in entries {
+                    out.push_str(&key_text(k));
+                    out.push_str(" = ");
+                    write_inline(v, out);
+                    out.push('\n');
+                }
+            }
             path.pop();
         }
     }
@@ -192,32 +257,109 @@ fn float_text(x: f64) -> String {
     }
 }
 
+/// Walks `path` from `root` (creating missing tables), descending into
+/// the **last element** of any array-of-tables met on the way, and
+/// applies `f` to the final table. Returns whether the walk passed
+/// through an array (callers use this to relax duplicate-header rules).
 fn navigate(
     root: &mut Value,
     path: &[String],
     f: &mut dyn FnMut(&mut Value) -> Result<(), ConfigError>,
-) -> Result<(), ConfigError> {
+) -> Result<bool, ConfigError> {
+    let mut through_array = false;
     let mut node = root;
     for part in path {
-        if node.get(part).is_none() {
-            node.insert(part.clone(), Value::table());
-        }
+        node = descend_arrays(node, part, &mut through_array)?;
         let Value::Table(pairs) = node else {
-            unreachable!()
+            return Err(ConfigError::Parse(format!(
+                "key `{part}` is both a value and a table"
+            )));
         };
+        if !pairs.iter().any(|(k, _)| k == part) {
+            pairs.push((part.clone(), Value::table()));
+        }
         let slot = pairs
             .iter_mut()
             .find(|(k, _)| k == part)
             .map(|(_, v)| v)
             .expect("just inserted");
-        if !matches!(slot, Value::Table(_)) {
+        if !matches!(slot, Value::Table(_) | Value::Array(_)) {
             return Err(ConfigError::Parse(format!(
                 "key `{part}` is both a value and a table"
             )));
         }
         node = slot;
     }
-    f(node)
+    node = descend_arrays(node, "section", &mut through_array)?;
+    if !matches!(node, Value::Table(_)) {
+        return Err(ConfigError::Parse(
+            "section header addresses a non-table value".into(),
+        ));
+    }
+    f(node)?;
+    Ok(through_array)
+}
+
+/// Descends into the last element of nested arrays-of-tables.
+fn descend_arrays<'a>(
+    mut node: &'a mut Value,
+    part: &str,
+    through_array: &mut bool,
+) -> Result<&'a mut Value, ConfigError> {
+    while let Value::Array(items) = node {
+        *through_array = true;
+        node = items.last_mut().ok_or_else(|| {
+            ConfigError::Parse(format!("`{part}` addresses an element of an empty array"))
+        })?;
+    }
+    Ok(node)
+}
+
+/// Whether a plain `[path]` header addresses an existing array of
+/// tables — invalid TOML (the single-bracket form may not reopen an
+/// `[[path]]` array). Intermediate parts still descend into last
+/// elements, so `[a.b]` after `[[a]]` stays legal.
+fn plain_header_reopens_array(root: &Value, path: &[String]) -> bool {
+    let mut node = root;
+    for (i, part) in path.iter().enumerate() {
+        while let Value::Array(items) = node {
+            match items.last() {
+                Some(last) => node = last,
+                None => return false,
+            }
+        }
+        match node.get(part) {
+            Some(slot) if i + 1 == path.len() => return matches!(slot, Value::Array(_)),
+            Some(slot) => node = slot,
+            None => return false,
+        }
+    }
+    false
+}
+
+/// Handles a `[[path]]` header: appends a fresh table element to the
+/// array at `path` (creating the array on first use).
+fn push_array_element(root: &mut Value, path: &[String]) -> Result<(), ConfigError> {
+    let (last, parent) = path.split_last().expect("key_path is non-empty");
+    navigate(root, parent, &mut |table| {
+        let Value::Table(pairs) = table else {
+            unreachable!("navigate lands on tables")
+        };
+        match pairs.iter_mut().find(|(k, _)| k == last) {
+            None => {
+                pairs.push((last.clone(), Value::Array(vec![Value::table()])));
+                Ok(())
+            }
+            Some((_, Value::Array(items))) => {
+                items.push(Value::table());
+                Ok(())
+            }
+            Some(_) => Err(ConfigError::Parse(format!(
+                "`[[{last}]]` conflicts with an existing non-array value"
+            ))),
+        }
+    })?;
+    Ok(())
 }
 
 struct Parser {
@@ -609,16 +751,109 @@ period = 1_000
             "n = ",
             "n 4",
             "[unclosed",
+            "[[unclosed]",
             "x = [1, 2",
             "s = \"oops",
             "t = { a = 1",
-            "[[aot]]\n",
             "n = 1 extra",
             "e = @",
+            "x = 1\n[[x]]\n",             // array-of-tables vs existing scalar
+            "[x]\n[[x]]\n",               // array-of-tables vs existing table
+            "[[x]]\na = 1\n[x]\nb = 2\n", // plain header reopening an array
         ] {
             let err = parse(bad).unwrap_err();
             assert!(matches!(err, ConfigError::Parse(_)), "`{bad}` gave {err:?}");
         }
+    }
+
+    #[test]
+    fn parses_array_of_tables_headers() {
+        let doc = parse(
+            r#"
+n = 10
+
+[[timeline]]
+at = 4000
+kind = "set-demands"
+demands = [1200, 800]
+
+[[timeline]]
+at = 6000
+kind = "kill"
+count = 2000
+
+[[timeline]]
+kind = "cycle"
+start = 8000
+period = 500
+events = [ { kind = "scramble" } ]
+
+[initial]
+kind = "inverted"
+"#,
+        )
+        .unwrap();
+        let timeline = doc.get("timeline").unwrap().as_array("timeline").unwrap();
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline[0].get("at"), Some(&Value::Int(4000)));
+        assert_eq!(timeline[1].get("count"), Some(&Value::Int(2000)));
+        assert_eq!(
+            timeline[2]
+                .get("events")
+                .unwrap()
+                .as_array("events")
+                .unwrap()[0]
+                .get("kind"),
+            Some(&Value::Str("scramble".into()))
+        );
+        // A plain section after the blocks lands back at the root.
+        assert_eq!(
+            doc.get("initial").unwrap().get("kind"),
+            Some(&Value::Str("inverted".into()))
+        );
+    }
+
+    #[test]
+    fn nested_array_of_tables_and_sub_headers() {
+        // `[[a.b]]` nests under `[a]`, and `[a.b.c]` addresses the last
+        // element of `a.b` (repeating per element is legal).
+        let doc = parse(
+            "[a]\nx = 1\n\n[[a.b]]\nv = 1\n[a.b.c]\nw = 1\n\n[[a.b]]\nv = 2\n[a.b.c]\nw = 2\n",
+        )
+        .unwrap();
+        let b = doc
+            .get("a")
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .as_array("b")
+            .unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].get("v"), Some(&Value::Int(1)));
+        assert_eq!(b[0].get("c").unwrap().get("w"), Some(&Value::Int(1)));
+        assert_eq!(b[1].get("c").unwrap().get("w"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn array_of_tables_roundtrips_through_writer() {
+        let mut entry1 = Value::table();
+        entry1.insert("at", Value::Int(10));
+        entry1.insert("kind", Value::Str("kill".into()));
+        entry1.insert("count", Value::Int(5));
+        let mut noise = Value::table();
+        noise.insert("kind", Value::Str("sigmoid".into()));
+        noise.insert("lambda", Value::Float(2.0));
+        let mut entry2 = Value::table();
+        entry2.insert("at", Value::Int(20));
+        entry2.insert("kind", Value::Str("set-noise".into()));
+        entry2.insert("noise", noise);
+        let mut doc = Value::table();
+        doc.insert("n", Value::Int(100));
+        doc.insert("timeline", Value::Array(vec![entry1, entry2]));
+        let text = write(&doc);
+        assert!(text.contains("[[timeline]]"), "{text}");
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(back, doc, "{text}");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use antalloc_noise::NoiseModel;
 use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
 
 use crate::config::SimConfig;
-use crate::engine::RoundRecord;
+use crate::engine::{apply_event, event_seeder, RoundRecord};
 use crate::observer::Observer;
 use crate::population::Population;
 
@@ -20,15 +20,22 @@ use crate::population::Population;
 /// Owns the same banked [`Population`] as [`crate::SyncEngine`] — one
 /// homogeneous bank per controller kind plus the ant → (bank, slot)
 /// index — so `ControllerSpec::Mix` colonies run under the sequential
-/// model too; only one ant (bank slot) steps per round.
+/// model too; only one ant (bank slot) steps per round. Timeline
+/// events fire at the start of their round exactly as in the
+/// synchronous engine, drawing from the same reserved per-round
+/// streams, so scripted scenarios are model-portable.
 pub struct SequentialEngine {
     config: SimConfig,
     colony: ColonyState,
     population: Population,
     noise: NoiseModel,
+    seeder: StreamSeeder,
+    event_seeder: StreamSeeder,
     scheduler_rng: AntRng,
     init_rng: AntRng,
     round: u64,
+    cursor: usize,
+    next_stream: u64,
     deficits: Vec<i64>,
     post_deficits: Vec<i64>,
 }
@@ -43,9 +50,13 @@ impl SequentialEngine {
             colony: ColonyState::new(n, demands),
             population,
             noise: config.noise.clone(),
+            seeder,
+            event_seeder: event_seeder(config.seed),
             scheduler_rng: seeder.stream(reserved::ENGINE),
             init_rng: seeder.stream(reserved::INIT),
             round: 0,
+            cursor: 0,
+            next_stream: n as u64,
             deficits: vec![0; k],
             post_deficits: vec![0; k],
             config,
@@ -71,11 +82,27 @@ impl SequentialEngine {
         &self.colony
     }
 
-    /// One sequential round: a uniformly random ant observes and acts.
+    /// One sequential round: timeline events fire first, then a
+    /// uniformly random ant observes and acts.
     pub fn step(&mut self, observer: &mut impl Observer) {
         self.round += 1;
-        if let Some(new) = self.config.schedule.update(self.round) {
-            self.colony.demands_mut().set(new);
+        let mut fired = Vec::new();
+        self.config
+            .timeline
+            .fire_into(self.round, &mut self.cursor, &mut fired);
+        if !fired.is_empty() {
+            let mut rng = self.event_seeder.stream(self.round);
+            for event in &fired {
+                apply_event(
+                    event,
+                    &mut self.colony,
+                    &mut self.population,
+                    &mut self.noise,
+                    &mut rng,
+                    &self.seeder,
+                    &mut self.next_stream,
+                );
+            }
         }
         self.colony.deficits_into(&mut self.deficits);
         let prepared =

@@ -4,7 +4,7 @@
 //! survive kill/spawn/checkpoint/restore with exact replays.
 
 use antalloc_core::Controller as _;
-use antalloc_env::{ColonyState, DemandVector, Perturbation};
+use antalloc_env::{ColonyState, DemandVector, Event, Perturbation, Timeline};
 use antalloc_noise::{FeedbackProbe, NoiseModel};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
 use antalloc_sim::{Checkpoint, ControllerSpec, FnObserver, NullObserver, RoundRecord, SimConfig};
@@ -32,9 +32,19 @@ fn reference_trace(cfg: &SimConfig, rounds: u64) -> (Trace, Vec<u32>) {
     let mut rngs: Vec<AntRng> = (0..cfg.n).map(|i| seeder.ant(i)).collect();
     let mut deficits = vec![0i64; colony.num_tasks()];
     let mut trace = Trace::new();
+    let mut cursor = 0usize;
+    let mut fired: Vec<Event> = Vec::new();
     for round in 1..=rounds {
-        if let Some(new) = cfg.schedule.update(round) {
-            colony.demands_mut().set(new);
+        // The per-ant reference models the pure environment events
+        // (demand rewrites); population shocks are exercised by the
+        // dedicated timeline replay tests instead.
+        fired.clear();
+        cfg.timeline.fire_into(round, &mut cursor, &mut fired);
+        for event in fired.drain(..) {
+            match event {
+                Event::SetDemands(new) => colony.demands_mut().set(&new),
+                other => panic!("reference trace cannot apply {other:?}"),
+            }
         }
         colony.deficits_into(&mut deficits);
         let prepared = cfg
@@ -178,6 +188,81 @@ mod properties {
             let (banked, bank_loads) = banked_trace(&cfg, rounds);
             prop_assert_eq!(reference, banked);
             prop_assert_eq!(ref_loads, bank_loads);
+        }
+
+        /// Timeline-bearing specs: with a random demand-step script in
+        /// the config, bank-stepping still matches the per-ant
+        /// reference round for round (demand events are pure, so the
+        /// reference can replay them).
+        #[test]
+        fn bank_equals_reference_under_demand_timelines(
+            which in 0usize..9,
+            n in 20usize..160,
+            seed: u64,
+            first_at in 1u64..12,
+            gap in 1u64..12,
+            rounds in 1u64..30,
+        ) {
+            let (spec, k) = every_spec().swap_remove(which);
+            let mut cfg = config_for(&spec, k, n, seed, NoiseModel::Sigmoid { lambda: 1.5 });
+            let bumped: Vec<u64> = cfg.demands.iter().map(|d| d + 1).collect();
+            let original = cfg.demands.clone();
+            cfg.timeline = Timeline::new()
+                .at(first_at, Event::SetDemands(bumped))
+                .at(first_at + gap, Event::SetDemands(original));
+            let (reference, ref_loads) = reference_trace(&cfg, rounds);
+            let (banked, bank_loads) = banked_trace(&cfg, rounds);
+            prop_assert_eq!(reference, banked);
+            prop_assert_eq!(ref_loads, bank_loads);
+        }
+
+        /// Timeline-bearing specs survive checkpoint-restore mid-script:
+        /// capture at a random phase boundary between shocks (kills,
+        /// spawns, demand steps), restore, and the continuation must be
+        /// bit-identical to the uninterrupted run.
+        #[test]
+        fn mid_timeline_checkpoint_replay_is_exact(
+            which in 0usize..4,
+            seed: u64,
+            boundary in 1u64..30,
+            tail in 1u64..30,
+        ) {
+            // Phase-2 specs so every even round is a capture point.
+            let specs: [(ControllerSpec, usize); 4] = [
+                (ControllerSpec::Ant(AntParams::new(1.0 / 16.0)), 2),
+                (ControllerSpec::Trivial, 2),
+                (ControllerSpec::ExactGreedy(ExactGreedyParams::default()), 2),
+                (
+                    ControllerSpec::Mix(vec![
+                        (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                        (1.0, ControllerSpec::Trivial),
+                    ]),
+                    2,
+                ),
+            ];
+            let (spec, k) = specs[which].clone();
+            let mut cfg = config_for(&spec, k, 120, seed, NoiseModel::Sigmoid { lambda: 1.5 });
+            cfg.timeline = Timeline::new()
+                .at(7, Event::Kill { count: 30 })
+                .at(19, Event::SetDemands(vec![40, 20]))
+                .at(33, Event::Spawn { count: 25 })
+                .at(47, Event::Scramble);
+            let split = boundary * 2; // ant/mix phase length is 2
+            let total = split + tail;
+
+            let mut obs = NullObserver;
+            let mut full = cfg.build();
+            full.run(total, &mut obs);
+
+            let mut head = cfg.build();
+            head.run(split, &mut obs);
+            let cp = Checkpoint::capture(&head).expect("phase boundary");
+            let mut resumed = Checkpoint::from_bytes(&cp.to_bytes()).expect("decodes").restore();
+            resumed.run(tail, &mut obs);
+
+            prop_assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+            prop_assert_eq!(full.colony().loads(), resumed.colony().loads());
+            prop_assert_eq!(full.colony().num_ants(), resumed.colony().num_ants());
         }
     }
 }

@@ -90,11 +90,19 @@ fn invalid_scenarios_yield_config_errors_not_panics() {
             "`{expect}` should have been rejected"
         );
     }
-    // Schedule/colony task-count mismatch.
+    // Timeline/colony task-count mismatch (via the legacy section).
     let text = format!("{SCENARIO_TOML}\n[schedule]\nkind = \"step\"\nat = 5\ndemands = [1, 2]\n");
     assert!(matches!(
         Scenario::from_toml(&text).unwrap_err(),
-        ConfigError::Schedule(_)
+        ConfigError::Timeline(_)
+    ));
+    // ...and via a [[timeline]] block directly.
+    let text = format!(
+        "{SCENARIO_TOML}\n[[timeline]]\nat = 5\nkind = \"set-demands\"\ndemands = [1, 2]\n"
+    );
+    assert!(matches!(
+        Scenario::from_toml(&text).unwrap_err(),
+        ConfigError::Timeline(_)
     ));
     // Syntax garbage.
     assert!(matches!(

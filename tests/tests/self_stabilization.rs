@@ -64,10 +64,11 @@ fn spawned_ants_integrate() {
 #[test]
 fn tracks_step_demand_changes() {
     let mut cfg = config(4);
-    cfg.schedule = DemandSchedule::Step {
+    cfg.timeline = DemandSchedule::Step {
         at: 5000,
         demands: vec![400, 300],
-    };
+    }
+    .into();
     let mut engine = cfg.build();
     let before = steady_regret(&mut engine, 4000, 900); // rounds 1..4900
     let after = steady_regret(&mut engine, 4000, 1000); // past the step
@@ -82,11 +83,12 @@ fn tracks_step_demand_changes() {
 #[test]
 fn survives_alternating_demands() {
     let mut cfg = config(5);
-    cfg.schedule = DemandSchedule::Alternating {
+    cfg.timeline = DemandSchedule::Alternating {
         a: vec![300, 400],
         b: vec![400, 300],
         half_period: 3000,
-    };
+    }
+    .into();
     let mut engine = cfg.build();
     let mut warm = NullObserver;
     engine.run(3500, &mut warm);

@@ -1,0 +1,345 @@
+//! The timeline subsystem end to end: a pure-TOML shock script runs
+//! under the batch runner bit-identically to serial runs, survives
+//! checkpoint-restore mid-timeline, fires identically under both
+//! engines, and v2 checkpoints (pre-timeline) still load.
+
+use antalloc_core::AntParams;
+use antalloc_env::{DemandSchedule, Event, Timeline};
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{
+    Batch, Checkpoint, ControllerSpec, FnObserver, NullObserver, RoundRecord, RunSummary, Scenario,
+    SimConfig,
+};
+
+/// A declarative shock script: kill-half → demand step → scramble →
+/// noise switch → spawn. Five event kinds, two population changes.
+const SHOCK_SCRIPT: &str = r#"
+name = "shock-script"
+n = 1200
+demands = [200, 300]
+seed = 42
+
+[controller]
+kind = "ant"
+gamma = 0.0625
+
+[noise]
+kind = "sigmoid"
+lambda = 2.0
+
+[[timeline]]
+at = 40
+kind = "kill"
+count = 600
+
+[[timeline]]
+at = 80
+kind = "set-demands"
+demands = [300, 100]
+
+[[timeline]]
+at = 120
+kind = "scramble"
+
+[[timeline]]
+at = 160
+kind = "set-noise"
+noise = { kind = "exact" }
+
+[[timeline]]
+at = 200
+kind = "spawn"
+count = 400
+"#;
+
+fn shock_config() -> SimConfig {
+    let scenario = Scenario::from_toml(SHOCK_SCRIPT).expect("shock script validates");
+    assert_eq!(scenario.name.as_deref(), Some("shock-script"));
+    assert_eq!(scenario.config.timeline.events.len(), 5);
+    scenario.config
+}
+
+#[test]
+fn toml_timeline_roundtrips_with_array_of_tables_syntax() {
+    let config = shock_config();
+    let toml = config.to_toml();
+    assert!(toml.contains("[[timeline]]"), "{toml}");
+    assert_eq!(SimConfig::from_toml(&toml).expect("reparses"), config);
+    let json = config.to_json();
+    assert_eq!(SimConfig::from_json(&json).expect("reparses"), config);
+}
+
+#[test]
+fn toml_timeline_batch_across_8_seeds_is_bit_identical_to_serial_runs() {
+    // The acceptance scenario: a pure-TOML timeline with population
+    // changes, fanned over 8 seeds by the batch runner; every per-seed
+    // result must equal a by-hand serial run of that seed.
+    let rounds = 260u64;
+    let outcomes = Batch::new(shock_config(), rounds)
+        .seeds(0..8)
+        .threads(4)
+        .run()
+        .expect("batch runs");
+    assert_eq!(outcomes.len(), 8);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let mut config = shock_config();
+        config.seed = outcome.seed;
+        let mut engine = config.build();
+        let mut summary = RunSummary::new();
+        engine.run(rounds, &mut summary);
+        assert_eq!(
+            outcome.summary.total_regret(),
+            summary.total_regret(),
+            "seed {i}: batch diverged from serial"
+        );
+        assert_eq!(outcome.final_regret, engine.colony().instant_regret());
+        let loads: Vec<u64> = (0..engine.colony().num_tasks())
+            .map(|j| engine.colony().load(j))
+            .collect();
+        assert_eq!(outcome.final_loads, loads, "seed {i}");
+        // The script really ran: 1200 − 600 + 400 ants remain.
+        assert_eq!(engine.colony().num_ants(), 1000);
+    }
+}
+
+#[test]
+fn timeline_runs_are_bit_identical_across_serial_parallel_and_interleaving() {
+    let config = shock_config();
+    let mut serial = config.build();
+    let mut parallel = config.build();
+    let mut interleaved = config.build();
+    let mut obs = NullObserver;
+    serial.run(260, &mut obs);
+    // The pooled path must segment around the five event rounds.
+    parallel.run_parallel_forced(260, 4, &mut obs);
+    // Switching paths mid-script must not matter either.
+    interleaved.run(100, &mut obs);
+    interleaved.run_parallel_forced(100, 3, &mut obs);
+    interleaved.run(60, &mut obs);
+    assert_eq!(
+        serial.colony().assignments(),
+        parallel.colony().assignments()
+    );
+    assert_eq!(serial.colony().loads(), parallel.colony().loads());
+    assert_eq!(
+        serial.colony().assignments(),
+        interleaved.colony().assignments()
+    );
+    assert_eq!(serial.round(), 260);
+    assert_eq!(serial.colony().num_ants(), 1000);
+}
+
+#[test]
+fn mid_timeline_checkpoint_restore_replays_bit_identically() {
+    let config = shock_config();
+    let mut obs = NullObserver;
+
+    // Uninterrupted reference over the whole script.
+    let mut full = config.build();
+    full.run(100, &mut obs);
+    // Capture at round 100: the kill and the demand step have fired,
+    // the scramble / noise switch / spawn are still ahead.
+    let cp = Checkpoint::capture(&full).expect("round 100 is a phase boundary");
+    let bytes = cp.to_bytes();
+    let restored = Checkpoint::from_bytes(&bytes).expect("decodes");
+    assert_eq!(cp, restored);
+    assert_eq!(restored.config(), &config);
+
+    let mut full_trace = Vec::new();
+    {
+        let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+            full_trace.push((r.round, r.loads.to_vec(), r.idle, r.switches));
+        });
+        full.run(160, &mut obs);
+    }
+    let mut replay_trace = Vec::new();
+    {
+        let mut resumed = restored.restore();
+        assert_eq!(resumed.round(), 100);
+        let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+            replay_trace.push((r.round, r.loads.to_vec(), r.idle, r.switches));
+        });
+        resumed.run(160, &mut obs);
+        assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+        assert_eq!(full.colony().loads(), resumed.colony().loads());
+        assert_eq!(
+            resumed.colony().num_ants(),
+            1000,
+            "spawn fired after restore"
+        );
+    }
+    assert_eq!(full_trace, replay_trace);
+}
+
+#[test]
+fn checkpoint_after_noise_switch_keeps_the_live_model() {
+    // Capture *after* the set-noise event: the restored engine must
+    // keep feeding ants from the switched model, not config.noise.
+    let config = shock_config();
+    let mut obs = NullObserver;
+    let mut full = config.build();
+    full.run(180, &mut obs); // past set-noise at 160
+    let cp = Checkpoint::capture(&full).unwrap();
+    let mut resumed = Checkpoint::from_bytes(&cp.to_bytes()).unwrap().restore();
+    full.run(40, &mut obs);
+    resumed.run(40, &mut obs);
+    assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+}
+
+#[test]
+fn sequential_engine_consumes_the_same_timeline() {
+    let mut config = shock_config();
+    // The sequential model moves one ant per round; keep the script's
+    // rounds but drop the steep demands so the run stays meaningful.
+    config.controller = ControllerSpec::Trivial;
+    let mut a = config.build_sequential();
+    let mut b = config.build_sequential();
+    let mut obs = NullObserver;
+    a.run(260, &mut obs);
+    b.run(260, &mut obs);
+    assert_eq!(a.colony().assignments(), b.colony().assignments());
+    assert_eq!(a.colony().num_ants(), 1000, "kill and spawn fired");
+    assert!(a.colony().recount_consistent());
+    // Demands were rewritten by the script.
+    assert_eq!(a.colony().demands().as_slice(), &[300, 100]);
+}
+
+#[test]
+fn cycles_subsume_alternating_demands() {
+    // An alternating schedule and its compiled cycle must be the same
+    // timeline, and the engine must flip demands at every half-period.
+    let schedule = DemandSchedule::Alternating {
+        a: vec![60, 90],
+        b: vec![90, 60],
+        half_period: 50,
+    };
+    let timeline: Timeline = schedule.into();
+    assert_eq!(timeline.cycles.len(), 1);
+    let cfg = SimConfig::builder(600, vec![60, 90])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(9)
+        .timeline(timeline)
+        .build()
+        .unwrap();
+    let mut engine = cfg.build();
+    let mut demand_trace = Vec::new();
+    let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+        if r.round.is_multiple_of(50) {
+            demand_trace.push(r.demands.to_vec());
+        }
+    });
+    engine.run(200, &mut obs);
+    assert_eq!(
+        demand_trace,
+        vec![
+            vec![90, 60], // flipped at 50
+            vec![60, 90], // back at 100
+            vec![90, 60],
+            vec![60, 90],
+        ]
+    );
+}
+
+#[test]
+fn v2_checkpoints_still_load_and_continue_exactly() {
+    // Fixtures written by the v2 (pre-timeline) format: the schedule
+    // section compiles to a timeline on load and the continuation must
+    // match a fresh run of the equivalent config.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+
+    // Homogeneous Ant colony with a two-step schedule, captured at 40.
+    let cp = Checkpoint::load(&dir.join("checkpoint_v2_ant.ckpt")).expect("v2 fixture loads");
+    assert_eq!(cp.round(), 40);
+    let expected = SimConfig::builder(300, vec![40, 60])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(0xF1C)
+        .schedule(DemandSchedule::Steps(vec![
+            (20, vec![60, 40]),
+            (60, vec![50, 50]),
+        ]))
+        .build()
+        .unwrap();
+    assert_eq!(cp.config(), &expected, "schedule compiled to timeline");
+    let mut obs = NullObserver;
+    let mut resumed = cp.restore();
+    resumed.run(60, &mut obs); // crosses the second step at round 60
+    let mut fresh = expected.build();
+    fresh.run(100, &mut obs);
+    assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
+    assert_eq!(fresh.colony().loads(), resumed.colony().loads());
+    assert_eq!(resumed.colony().demands().as_slice(), &[50, 50]);
+
+    // Mixed colony (v2 membership section), captured at 30.
+    let cp = Checkpoint::load(&dir.join("checkpoint_v2_mix.ckpt")).expect("v2 mix fixture loads");
+    assert_eq!(cp.round(), 30);
+    let expected = SimConfig::builder(200, vec![30, 30])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Mix(vec![
+            (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+            (1.0, ControllerSpec::Trivial),
+        ]))
+        .seed(0xF2C)
+        .build()
+        .unwrap();
+    assert_eq!(cp.config(), &expected);
+    let mut resumed = cp.restore();
+    resumed.run(30, &mut obs);
+    let mut fresh = expected.build();
+    fresh.run(60, &mut obs);
+    assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
+    // And a v2 checkpoint re-saved today is a v3 byte stream that
+    // round-trips.
+    let cp2 = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+    assert_eq!(&cp2, &cp);
+}
+
+#[test]
+fn imperative_perturb_still_works_for_programmatic_use() {
+    // engine.perturb stays for interactive exploration; scripted runs
+    // use timelines. Both shrink/grow the same machinery.
+    let cfg = SimConfig::builder(400, vec![60, 80])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(7)
+        .build()
+        .unwrap();
+    let mut engine = cfg.build();
+    let mut obs = NullObserver;
+    engine.run(20, &mut obs);
+    engine.perturb(&antalloc_env::Perturbation::KillRandom { count: 100 });
+    engine.run(20, &mut obs);
+    assert_eq!(engine.colony().num_ants(), 300);
+    assert!(engine.colony().recount_consistent());
+}
+
+#[test]
+fn event_rounds_match_between_timeline_and_legacy_schedule_semantics() {
+    // A Steps schedule and the equivalent explicit timeline must
+    // produce bit-identical runs (the conversion is exact, and demand
+    // events consume no randomness).
+    let base = |timeline: Timeline| {
+        SimConfig::builder(500, vec![80, 120])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+            .seed(11)
+            .timeline(timeline)
+            .build()
+            .unwrap()
+    };
+    let via_schedule =
+        base(DemandSchedule::Steps(vec![(30, vec![120, 80]), (60, vec![100, 100])]).into());
+    let via_events = base(
+        Timeline::new()
+            .at(30, Event::SetDemands(vec![120, 80]))
+            .at(60, Event::SetDemands(vec![100, 100])),
+    );
+    assert_eq!(via_schedule, via_events);
+    let mut a = via_schedule.build();
+    let mut b = via_events.build();
+    let mut obs = NullObserver;
+    a.run(100, &mut obs);
+    b.run(100, &mut obs);
+    assert_eq!(a.colony().assignments(), b.colony().assignments());
+}
