@@ -1,0 +1,175 @@
+//! ADV — adversarial robustness: every controller kind raced across
+//! generated shock ensembles plus a state-reactive trigger.
+//!
+//! The paper's self-stabilization guarantee (Theorem 3.1, §6) is about
+//! recovery from *arbitrary* states — which a fixed shock script probes
+//! only at the rounds its author chose. This experiment stresses the
+//! regime the dynamic-environment swarm literature actually evaluates
+//! (Balachandran–Harasha–Lynch 2024; Silva–Edwards–Hsieh 2022): shock
+//! schedules drawn from a seeded distribution, plus an adversary that
+//! *reacts* — a trigger that scrambles the colony the moment it has
+//! looked settled for a stretch of rounds.
+//!
+//! One declarative scenario carries the whole threat model: a
+//! `[[timeline.trigger]]` regret-reactive scramble and
+//! `[[timeline.generate]]` Poisson kill / demand-step schedules. A
+//! `Sweep::product` axis races (controller × shock intensity) with
+//! shared labels, 8 seeds each — every seed draws a different schedule
+//! from the reserved TIMELINE stream, so each row aggregates an
+//! *ensemble*, not one handpicked script.
+//!
+//! `PERF_QUICK=1` shrinks the colony and horizon for CI; the table
+//! lands in `target/experiments/exp_adversarial_robustness.csv`
+//! (uploaded by the `perf-smoke` job).
+
+use antalloc_bench::{banner, fmt, perf_quick as quick, Table};
+use antalloc_core::{AntParams, ExactGreedyParams, PreciseSigmoidParams};
+use antalloc_sim::{ControllerSpec, RunOutcome, Scenario, Sweep};
+
+const SEEDS: u64 = 8;
+
+fn main() {
+    banner(
+        "ADV",
+        "adversarial robustness: generated Poisson shocks + regret-reactive scramble",
+        "self-stabilizing controllers keep the ensemble-average regret bounded \
+         under randomized kill/demand schedules; fragile baselines degrade",
+    );
+
+    let (n, horizon) = if quick() {
+        (1500usize, 1200u64)
+    } else {
+        (6000, 6000)
+    };
+    let warmup = horizon / 6;
+    let d = n as u64 / 8;
+    // The base scenario: settled start, regret-reactive scramble, and
+    // shock generators whose intensity the sweep scales below.
+    let scenario_toml = format!(
+        r#"
+name = "adversarial-robustness"
+n = {n}
+demands = [{d}, {d}]
+seed = 9090
+
+[controller]
+kind = "ant"
+gamma = 0.0625
+
+[noise]
+kind = "sigmoid"
+lambda = 2.0
+
+[initial]
+kind = "saturated-plus"
+extra = 4
+
+[[timeline.trigger]]
+kind = "scramble"
+when = {{ kind = "regret-below", threshold = {settle}, for_rounds = 20 }}
+cooldown = {cooldown}
+max_firings = 0
+
+[[timeline.generate]]
+kind = "kill"
+until = {horizon}
+mean_gap = {kill_gap}
+min_frac = 0.1
+max_frac = 0.3
+
+[[timeline.generate]]
+kind = "demand-step"
+until = {horizon}
+mean_gap = {demand_gap}
+min_factor = 0.6
+max_factor = 1.5
+"#,
+        settle = d / 2,
+        cooldown = horizon / 8,
+        kill_gap = horizon as f64 / 4.0,
+        demand_gap = horizon as f64 / 3.0,
+    );
+    let scenario = Scenario::from_toml(&scenario_toml).expect("adversarial scenario validates");
+
+    let controllers: Vec<(&str, ControllerSpec)> = vec![
+        ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+        (
+            "ant-desync",
+            ControllerSpec::AntDesync(AntParams::new(1.0 / 16.0)),
+        ),
+        (
+            "precise-sigmoid",
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+        ),
+        (
+            "exact-greedy",
+            ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+        ),
+        ("trivial", ControllerSpec::Trivial),
+    ];
+    // Shock intensity rescales every generator's mean gap: `calm`
+    // disables the generated shocks entirely (the trigger still bites),
+    // `storm` fires them twice as often as the base scenario.
+    let intensities: Vec<(&str, Option<f64>)> =
+        vec![("calm", None), ("shocks", Some(1.0)), ("storm", Some(0.5))];
+
+    let grid = Sweep::product(controllers.clone(), intensities.clone());
+    let outcomes = Sweep::new(scenario.config.clone())
+        .axis_labeled("controller×shocks", grid, |cfg, (spec, intensity)| {
+            cfg.controller = spec.clone();
+            match intensity {
+                None => cfg.timeline.generators.clear(),
+                Some(scale) => {
+                    for generator in &mut cfg.timeline.generators {
+                        generator.mean_gap *= scale;
+                    }
+                }
+            }
+        })
+        .seeds(0..SEEDS)
+        .warmup(warmup)
+        .rounds(horizon - warmup)
+        .run()
+        .expect("sweep runs");
+
+    let mut table = Table::new(
+        "exp_adversarial_robustness",
+        &[
+            "controller",
+            "shocks",
+            "avg regret",
+            "max regret",
+            "final regret",
+        ],
+    );
+    let cell = |runs: &[RunOutcome]| {
+        let avg = runs.iter().map(|o| o.summary.average_regret()).sum::<f64>() / runs.len() as f64;
+        let max = runs
+            .iter()
+            .map(|o| o.summary.max_instant_regret())
+            .max()
+            .unwrap_or(0);
+        let fin = runs.iter().map(|o| o.final_regret).sum::<u64>() as f64 / runs.len() as f64;
+        (avg, max, fin)
+    };
+    for (c, (controller, _)) in controllers.iter().enumerate() {
+        for (i, (intensity, _)) in intensities.iter().enumerate() {
+            let slot = (c * intensities.len() + i) * SEEDS as usize;
+            let (avg, max, fin) = cell(&outcomes[slot..slot + SEEDS as usize]);
+            table.row(vec![
+                controller.to_string(),
+                intensity.to_string(),
+                fmt(avg),
+                fmt(max as f64),
+                fmt(fin),
+            ]);
+        }
+    }
+    table.finish();
+    println!(
+        "\nshape check: per controller, avg regret should grow modestly from calm \
+         → storm for\nself-stabilizing algorithms (they re-converge between shocks) \
+         and blow up for the\nnoise-fragile baselines; every row aggregates {SEEDS} \
+         independently drawn schedules."
+    );
+}

@@ -12,6 +12,30 @@
 //! Heterogeneous (mixed-controller) colonies are a `Vec` of banks; the
 //! engine layer owns the ant → (bank, slot) index. Parallel engines
 //! split a bank into disjoint [`BankSliceMut`] chunks, one per worker.
+//!
+//! # Examples
+//!
+//! Stepping a two-ant bank by hand against exact feedback:
+//!
+//! ```
+//! use antalloc_core::{AnyController, ControllerBank, ExactGreedy, ExactGreedyParams};
+//! use antalloc_env::Assignment;
+//! use antalloc_noise::NoiseModel;
+//! use antalloc_rng::StreamSeeder;
+//!
+//! let mut bank = ControllerBank::ExactGreedy(vec![
+//!     ExactGreedy::new(1, ExactGreedyParams { p_join: 1.0, p_leave: 0.0 }),
+//!     ExactGreedy::new(1, ExactGreedyParams { p_join: 1.0, p_leave: 0.0 }),
+//! ]);
+//! assert_eq!(bank.len(), 2);
+//! let seeder = StreamSeeder::new(7);
+//! let mut rngs = vec![seeder.ant(0), seeder.ant(1)];
+//! // Task 0 lacks two workers; deterministic joiners both sign up.
+//! let prepared = NoiseModel::Exact.prepare(1, &[2], &[2]);
+//! let mut out = vec![Assignment::Idle; 2];
+//! bank.step_batch(prepared.view(), &mut rngs, &mut out);
+//! assert_eq!(out, vec![Assignment::Task(0), Assignment::Task(0)]);
+//! ```
 
 use antalloc_env::Assignment;
 use antalloc_noise::{FeedbackProbe, RoundView};

@@ -16,9 +16,12 @@
 //! round, before any ant observes feedback.
 
 use antalloc_noise::NoiseModel;
+use antalloc_rng::{reserved, StreamSeeder};
 
+use crate::gen::TimelineGen;
 use crate::perturb::Perturbation;
 use crate::schedule::DemandSchedule;
+use crate::trigger::{ColonyView, Trigger, TriggerState};
 
 /// One typed mid-run change to the environment.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,7 +63,7 @@ impl Event {
     }
 
     /// Checks the event against a colony with `num_tasks` tasks.
-    fn validate(&self, num_tasks: usize) -> Result<(), String> {
+    pub(crate) fn validate(&self, num_tasks: usize) -> Result<(), String> {
         match self {
             Event::SetDemands(demands) => {
                 if demands.len() != num_tasks {
@@ -135,9 +138,15 @@ impl Cycle {
     }
 }
 
-/// An ordered stream of one-shot events plus periodic generators.
+/// An ordered stream of one-shot events, periodic generators,
+/// state-conditional [`Trigger`]s, and seeded random shock-schedule
+/// [`TimelineGen`]s.
 ///
-/// Empty timelines (the default) describe a static environment.
+/// Empty timelines (the default) describe a static environment. Before
+/// stepping, engines call [`Timeline::compile`] to expand the random
+/// generators into concrete one-shot events (a pure function of the
+/// scenario and the master seed); triggers keep their runtime state in
+/// engine-owned [`TriggerState`]s.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Timeline {
     /// One-shot events, sorted by non-decreasing `at` (several events
@@ -145,6 +154,13 @@ pub struct Timeline {
     pub events: Vec<TimedEvent>,
     /// Periodic generators, evaluated after the one-shots each round.
     pub cycles: Vec<Cycle>,
+    /// Conditional events, evaluated from the end-of-round
+    /// [`ColonyView`] and fired (after one-shots and cycles) at the
+    /// start of the next round.
+    pub triggers: Vec<Trigger>,
+    /// Seeded random shock schedules, expanded into one-shot events by
+    /// [`Timeline::compile`].
+    pub generators: Vec<TimelineGen>,
 }
 
 impl Timeline {
@@ -170,20 +186,108 @@ impl Timeline {
         self
     }
 
+    /// Appends a conditional trigger (builder style); see [`Trigger`].
+    pub fn trigger(mut self, trigger: Trigger) -> Self {
+        self.triggers.push(trigger);
+        self
+    }
+
+    /// Appends a seeded shock-schedule generator (builder style); see
+    /// [`TimelineGen`].
+    pub fn generate(mut self, generator: TimelineGen) -> Self {
+        self.generators.push(generator);
+        self
+    }
+
     /// Whether the timeline contains no events at all.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.cycles.is_empty()
+        self.events.is_empty()
+            && self.cycles.is_empty()
+            && self.triggers.is_empty()
+            && self.generators.is_empty()
+    }
+
+    /// Whether any entry can fire at a round not known from the config
+    /// alone (engines must then evaluate state after every round).
+    pub fn has_triggers(&self) -> bool {
+        !self.triggers.is_empty()
+    }
+
+    /// Expands the random generators into concrete one-shot events — a
+    /// pure function of `(self, master_seed, n, base_demands)`, so the
+    /// compiled timeline is identical however many times it is rebuilt
+    /// (engine construction, checkpoint restore, parallel workers).
+    ///
+    /// Generator randomness comes from the reserved `TIMELINE` stream
+    /// (one sub-stream per generator), never from ant streams; the
+    /// merged one-shot list is stably sorted by round, scripted events
+    /// ahead of generated ones at ties.
+    pub fn compile(&self, master_seed: u64, n: usize, base_demands: &[u64]) -> Timeline {
+        if self.generators.is_empty() {
+            return self.clone();
+        }
+        let sub = StreamSeeder::new(
+            StreamSeeder::new(master_seed)
+                .stream(reserved::TIMELINE)
+                .next_u64(),
+        );
+        let mut events = self.events.clone();
+        for (i, generator) in self.generators.iter().enumerate() {
+            let mut rng = sub.stream(i as u64);
+            generator.events_into(&mut rng, n, base_demands, &mut events);
+        }
+        events.sort_by_key(|timed| timed.at);
+        Timeline {
+            events,
+            cycles: self.cycles.clone(),
+            triggers: self.triggers.clone(),
+            generators: Vec::new(),
+        }
+    }
+
+    /// Fresh runtime state for every trigger, in timeline order.
+    pub fn initial_trigger_states(&self) -> Vec<TriggerState> {
+        self.triggers.iter().map(TriggerState::new).collect()
+    }
+
+    /// Collects the events of every trigger armed at the end of the
+    /// previous round (in timeline order, after one-shots and cycles),
+    /// recording the firing in its state.
+    pub fn fire_triggers_into(
+        &self,
+        round: u64,
+        states: &mut [TriggerState],
+        out: &mut Vec<Event>,
+    ) {
+        for (trigger, state) in self.triggers.iter().zip(states) {
+            if state.pending {
+                trigger.fire(state, round);
+                out.push(trigger.event.clone());
+            }
+        }
+    }
+
+    /// Feeds one end-of-round view to every trigger. Returns whether
+    /// any trigger is now armed (an event fires next round).
+    pub fn observe_triggers(&self, states: &mut [TriggerState], view: &ColonyView) -> bool {
+        let mut armed = false;
+        for (trigger, state) in self.triggers.iter().zip(states) {
+            armed |= trigger.observe(state, view);
+        }
+        armed
     }
 
     /// Validates the timeline against a colony of `n` ants and
     /// `num_tasks` tasks. Returns a description of the first problem:
     /// unsorted or round-zero events, demand-length mismatches, task
     /// indices out of range, kills that would empty the colony, bad
-    /// noise parameters, degenerate cycles.
+    /// noise parameters, degenerate cycles or generators. (Triggers are
+    /// checked separately by [`Timeline::validate_triggers`].)
     ///
-    /// Population tracking is exact over the one-shot stream; kills
-    /// inside cycles cannot be tracked statically and instead clamp at
-    /// runtime (at least one ant always survives).
+    /// Population tracking is exact over the scripted one-shot stream;
+    /// kills inside cycles, triggers and generators cannot be tracked
+    /// statically and instead clamp at runtime (at least one ant always
+    /// survives).
     pub fn validate(&self, num_tasks: usize, n: usize) -> Result<(), String> {
         let mut prev = 0u64;
         let mut population = n as i128;
@@ -235,6 +339,24 @@ impl Timeline {
                     .validate(num_tasks)
                     .map_err(|e| format!("cycle {i} event {j}: {e}"))?;
             }
+        }
+        for (i, generator) in self.generators.iter().enumerate() {
+            generator
+                .validate()
+                .map_err(|e| format!("generator {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Validates the conditional triggers against a colony with
+    /// `num_tasks` tasks (reported separately from
+    /// [`Timeline::validate`] so callers can surface trigger problems
+    /// as their own error class).
+    pub fn validate_triggers(&self, num_tasks: usize) -> Result<(), String> {
+        for (i, trigger) in self.triggers.iter().enumerate() {
+            trigger
+                .validate(num_tasks)
+                .map_err(|e| format!("trigger {i}: {e}"))?;
         }
         Ok(())
     }
@@ -420,6 +542,97 @@ mod tests {
         assert!(t.validate(k, n).unwrap_err().contains("period"));
         let t = Timeline::new().every(4, 4, vec![]);
         assert!(t.validate(k, n).unwrap_err().contains("at least one"));
+    }
+
+    #[test]
+    fn compile_merges_generated_events_stably_sorted() {
+        use crate::gen::{GenShock, TimelineGen};
+
+        let t = Timeline::new()
+            .at(5, Event::SetDemands(vec![1, 1]))
+            .at(900, Event::Scramble)
+            .generate(TimelineGen {
+                start: 1,
+                until: 1000,
+                mean_gap: 50.0,
+                shock: GenShock::Kill {
+                    min_frac: 0.05,
+                    max_frac: 0.1,
+                },
+            });
+        let compiled = t.compile(99, 400, &[1, 1]);
+        assert!(compiled.generators.is_empty());
+        assert!(compiled.events.len() > 2, "generator produced arrivals");
+        assert!(
+            compiled.events.windows(2).all(|w| w[0].at <= w[1].at),
+            "merged stream is sorted"
+        );
+        // Deterministic in the master seed; different seeds differ.
+        assert_eq!(compiled, t.compile(99, 400, &[1, 1]));
+        assert_ne!(compiled, t.compile(100, 400, &[1, 1]));
+        // A generator-free timeline compiles to itself.
+        let static_t = Timeline::new().at(5, Event::Scramble);
+        assert_eq!(static_t.compile(99, 400, &[1, 1]), static_t);
+    }
+
+    #[test]
+    fn triggers_arm_at_end_of_round_and_fire_next_round() {
+        use crate::trigger::{ColonyView, Condition, Trigger};
+
+        let t = Timeline::new().trigger(Trigger::once(
+            Condition::RegretBelow {
+                threshold: 10,
+                for_rounds: 2,
+            },
+            Event::Scramble,
+        ));
+        let mut states = t.initial_trigger_states();
+        let view = |round, regret| ColonyView {
+            round,
+            regret,
+            population: 100,
+            idle: 0,
+        };
+        assert!(!t.observe_triggers(&mut states, &view(1, 5)));
+        assert!(t.observe_triggers(&mut states, &view(2, 5)));
+        let mut out = Vec::new();
+        t.fire_triggers_into(3, &mut states, &mut out);
+        assert_eq!(out, vec![Event::Scramble]);
+        assert!(!states[0].pending);
+        assert_eq!(states[0].firings, 1);
+        // One-shot budget spent: it never arms again.
+        assert!(!t.observe_triggers(&mut states, &view(3, 5)));
+        assert!(!t.observe_triggers(&mut states, &view(4, 5)));
+    }
+
+    #[test]
+    fn trigger_and_generator_validation_is_routed() {
+        use crate::gen::{GenShock, TimelineGen};
+        use crate::trigger::{Condition, Trigger};
+
+        let bad_trigger = Timeline::new().trigger(Trigger::once(
+            Condition::RoundReached { round: 0 },
+            Event::Scramble,
+        ));
+        assert!(
+            bad_trigger.validate(2, 100).is_ok(),
+            "triggers validate separately"
+        );
+        assert!(bad_trigger
+            .validate_triggers(2)
+            .unwrap_err()
+            .contains("trigger 0"));
+
+        let bad_gen = Timeline::new().generate(TimelineGen {
+            start: 1,
+            until: 0,
+            mean_gap: 10.0,
+            shock: GenShock::Scramble,
+        });
+        assert!(bad_gen
+            .validate(2, 100)
+            .unwrap_err()
+            .contains("generator 0"));
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub mod reserved {
     /// scripted shocks replay bit-identically across serial, parallel
     /// and checkpoint-restored runs).
     pub const EVENT: u64 = u64::MAX - 4;
+    /// Timeline *generation*: the stream whose first output re-seeds
+    /// the dedicated sub-seeder that hands each shock-schedule
+    /// generator its own generator (a pure function of
+    /// `(master seed, generator index)`, so a generated timeline is
+    /// fully determined by the scenario plus the seed and re-expands
+    /// identically on checkpoint restore).
+    pub const TIMELINE: u64 = u64::MAX - 5;
 }
 
 impl StreamSeeder {

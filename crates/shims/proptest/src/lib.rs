@@ -245,7 +245,7 @@ pub mod collection {
 
     use super::{SampleRange, Strategy, TestRng};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -280,7 +280,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

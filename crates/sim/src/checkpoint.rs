@@ -2,11 +2,14 @@
 //!
 //! A checkpoint captures everything a [`SyncEngine`] needs to continue a
 //! run bit-identically: the config (including noise model, controller
-//! spec and the full event timeline), the current demands, the noise
-//! model currently in force, the timeline cursor, every ant's
-//! assignment and RNG state, and the round counter — so a capture taken
-//! *mid-timeline* (after kills, spawns, demand steps or noise switches)
-//! resumes exactly where the script left off.
+//! spec and the full event timeline — triggers and generators
+//! included), the current demands, the noise model currently in force,
+//! the timeline cursor, the runtime state of every trigger, every
+//! ant's assignment and RNG state, and the round counter — so a
+//! capture taken *mid-timeline* (after kills, spawns, demand steps,
+//! noise switches or trigger firings) resumes exactly where the script
+//! left off. The byte layout, the v2 → v3 → v4 version history and the
+//! read-compat policy live in `docs/CHECKPOINTS.md`.
 //!
 //! **Exactness contract.** Controllers are rebuilt from their spec and
 //! `reset_to(assignment)` — their *per-phase scratch* (partial samples,
@@ -26,7 +29,8 @@ use std::path::Path;
 
 use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
 use antalloc_env::{
-    Assignment, Cycle, DemandSchedule, DemandVector, Event, InitialConfig, TimedEvent, Timeline,
+    Assignment, Condition, Cycle, DemandSchedule, DemandVector, Event, GenShock, InitialConfig,
+    TimedEvent, Timeline, TimelineGen, Trigger, TriggerState,
 };
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 use bytes::{Buf, BufMut};
@@ -35,15 +39,15 @@ use crate::config::{ControllerSpec, SimConfig};
 use crate::engine::SyncEngine;
 
 const MAGIC: u32 = 0x414E_5441; // "ANTA"
-/// Format history: v1 was homogeneous-only; v2 appended the per-ant
-/// bank membership vector for `ControllerSpec::Mix` colonies (kills
-/// permute memberships, so they cannot be recomputed from the seed);
-/// v3 replaced the demand schedule with the event timeline and added
-/// the live noise model plus the timeline cursor, so mid-timeline
-/// captures replay exactly. v2 checkpoints still load: their schedule
-/// compiles to the equivalent timeline and the cursor is recomputed
-/// from the round.
-const VERSION: u32 = 3;
+/// The current format version. The v2 → v3 → v4 evolution, what each
+/// version carries, and the read-compat policy are documented in
+/// `docs/CHECKPOINTS.md`; in short: v4 added timeline triggers and
+/// generators to the timeline codec plus the per-trigger runtime state
+/// section, v3 replaced the demand schedule with the event timeline
+/// (plus live noise model and cursor), v2 appended mixed-colony bank
+/// membership. Writers always emit the current version; readers accept
+/// everything back to [`MIN_VERSION`].
+const VERSION: u32 = 4;
 const MIN_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured or decoded.
@@ -82,8 +86,11 @@ pub struct Checkpoint {
     /// The noise model in force at capture time (a timeline `SetNoise`
     /// event may have switched it away from `config.noise`).
     current_noise: NoiseModel,
-    /// One-shot timeline events consumed before the captured round.
+    /// One-shot timeline events consumed before the captured round
+    /// (indexes the *compiled* stream: scripted plus generated events).
     cursor: u64,
+    /// Runtime state of every timeline trigger (v4; empty before).
+    trigger_states: Vec<TriggerState>,
     assignments: Vec<Assignment>,
     rng_states: Vec<[u64; 4]>,
     round: u64,
@@ -109,6 +116,7 @@ impl Checkpoint {
             current_demands: state.colony.demands().as_slice().to_vec(),
             current_noise: state.noise.clone(),
             cursor: state.cursor,
+            trigger_states: state.trigger_states,
             assignments: state.colony.assignments().to_vec(),
             rng_states: state.rng_states,
             round: state.round,
@@ -129,6 +137,7 @@ impl Checkpoint {
             self.next_stream,
             self.cursor,
             &self.members,
+            self.trigger_states.clone(),
         )
     }
 
@@ -163,6 +172,17 @@ impl Checkpoint {
         put_spec(&mut out, &self.config.controller);
         put_timeline(&mut out, &self.config.timeline);
         out.put_u64_le(self.cursor);
+        // v4: the runtime state of every trigger, in timeline order.
+        out.put_u64_le(self.trigger_states.len() as u64);
+        for state in &self.trigger_states {
+            out.put_u64_le(u64::from(state.firings));
+            out.put_u64_le(state.last_fired);
+            out.put_u8(u8::from(state.pending));
+            out.put_u64_le(state.streaks.len() as u64);
+            for &streak in &state.streaks {
+                out.put_u32_le(streak);
+            }
+        }
         put_initial(&mut out, &self.config.initial);
         out.put_u64_le(self.assignments.len() as u64);
         for a in &self.assignments {
@@ -210,12 +230,23 @@ impl Checkpoint {
         };
         let controller = get_spec(&mut buf)?;
         let (timeline, cursor) = if version >= 3 {
-            let timeline = get_timeline(&mut buf)?;
+            let timeline = get_timeline(&mut buf, version)?;
             let cursor = get_u64(&mut buf)?;
-            if cursor as usize > timeline.events.len() {
+            // Reject structurally invalid timelines *before* compiling:
+            // any captured config passed build-time validation, so a
+            // failure here means crafted or corrupted bytes — and a
+            // crafted generator section (start = 0, absurd windows)
+            // must never drive the expansion loop.
+            timeline
+                .validate(demands.len(), n)
+                .and_then(|()| timeline.validate_triggers(demands.len()))
+                .map_err(|e| corrupt(format!("invalid timeline: {e}")))?;
+            // The cursor indexes the *compiled* stream (generated
+            // events included), which re-expands deterministically.
+            let compiled_events = timeline.compile(seed, n, &demands).events.len();
+            if cursor as usize > compiled_events {
                 return Err(corrupt(format!(
-                    "timeline cursor {cursor} exceeds {} events",
-                    timeline.events.len()
+                    "timeline cursor {cursor} exceeds {compiled_events} compiled events"
                 )));
             }
             (timeline, cursor)
@@ -226,6 +257,48 @@ impl Checkpoint {
             let timeline: Timeline = get_schedule(&mut buf)?.into();
             let cursor = timeline.cursor_at(round) as u64;
             (timeline, cursor)
+        };
+        let trigger_states = if version >= 4 {
+            let count = get_u64(&mut buf)? as usize;
+            if count != timeline.triggers.len() {
+                return Err(corrupt(format!(
+                    "{count} trigger states for {} triggers",
+                    timeline.triggers.len()
+                )));
+            }
+            let mut states = Vec::with_capacity(count.min(1 << 10));
+            for i in 0..count {
+                let firings = get_u64(&mut buf)?;
+                let firings = u32::try_from(firings)
+                    .map_err(|_| corrupt(format!("implausible firing count {firings}")))?;
+                let last_fired = get_u64(&mut buf)?;
+                let pending = get_bool(&mut buf)?;
+                let streak_len = get_u64(&mut buf)? as usize;
+                if streak_len > 1 << 16 {
+                    return Err(corrupt("implausible streak count"));
+                }
+                let mut streaks = Vec::with_capacity(streak_len.min(1 << 10));
+                for _ in 0..streak_len {
+                    streaks.push(get_u32(&mut buf)?);
+                }
+                let state = TriggerState {
+                    streaks,
+                    firings,
+                    last_fired,
+                    pending,
+                };
+                if !state.matches(&timeline.triggers[i]) {
+                    return Err(corrupt(format!(
+                        "trigger state {i} disagrees with its condition shape"
+                    )));
+                }
+                states.push(state);
+            }
+            states
+        } else {
+            // Pre-v4 formats cannot encode triggers, so there is no
+            // state to restore.
+            Vec::new()
         };
         let initial = get_initial(&mut buf)?;
         let ants = get_u64(&mut buf)? as usize;
@@ -293,6 +366,7 @@ impl Checkpoint {
             current_demands,
             current_noise,
             cursor,
+            trigger_states,
             assignments,
             rng_states,
             round,
@@ -644,9 +718,24 @@ fn put_timeline(out: &mut Vec<u8>, timeline: &Timeline) {
             put_event(out, event);
         }
     }
+    // v4: triggers and generators follow the cycles.
+    out.put_u64_le(timeline.triggers.len() as u64);
+    for trigger in &timeline.triggers {
+        put_condition(out, &trigger.when);
+        put_event(out, &trigger.event);
+        out.put_u64_le(trigger.cooldown);
+        out.put_u64_le(u64::from(trigger.max_firings));
+    }
+    out.put_u64_le(timeline.generators.len() as u64);
+    for generator in &timeline.generators {
+        out.put_u64_le(generator.start);
+        out.put_u64_le(generator.until);
+        out.put_f64_le(generator.mean_gap);
+        put_gen_shock(out, &generator.shock);
+    }
 }
 
-fn get_timeline(buf: &mut &[u8]) -> Result<Timeline, CheckpointError> {
+fn get_timeline(buf: &mut &[u8], version: u32) -> Result<Timeline, CheckpointError> {
     let len = get_u64(buf)? as usize;
     if len > 1 << 32 {
         return Err(corrupt("implausible timeline length"));
@@ -680,7 +769,165 @@ fn get_timeline(buf: &mut &[u8]) -> Result<Timeline, CheckpointError> {
             events: cycle_events,
         });
     }
-    Ok(Timeline { events, cycles })
+    // v3 timelines end here; v4 appended triggers and generators.
+    let (triggers, generators) = if version >= 4 {
+        let trigger_len = get_u64(buf)? as usize;
+        if trigger_len > 1 << 16 {
+            return Err(corrupt("implausible trigger count"));
+        }
+        let mut triggers = Vec::with_capacity(trigger_len.min(1 << 10));
+        for _ in 0..trigger_len {
+            let when = get_condition(buf, 0)?;
+            let event = get_event(buf)?;
+            let cooldown = get_u64(buf)?;
+            let max_firings = get_u64(buf)?;
+            let max_firings = u32::try_from(max_firings)
+                .map_err(|_| corrupt(format!("implausible max_firings {max_firings}")))?;
+            triggers.push(Trigger {
+                when,
+                event,
+                cooldown,
+                max_firings,
+            });
+        }
+        let gen_len = get_u64(buf)? as usize;
+        if gen_len > 1 << 16 {
+            return Err(corrupt("implausible generator count"));
+        }
+        let mut generators = Vec::with_capacity(gen_len.min(1 << 10));
+        for _ in 0..gen_len {
+            generators.push(TimelineGen {
+                start: get_u64(buf)?,
+                until: get_u64(buf)?,
+                mean_gap: get_f64(buf)?,
+                shock: get_gen_shock(buf)?,
+            });
+        }
+        (triggers, generators)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    Ok(Timeline {
+        events,
+        cycles,
+        triggers,
+        generators,
+    })
+}
+
+fn put_condition(out: &mut Vec<u8>, condition: &Condition) {
+    match condition {
+        Condition::RegretAbove {
+            threshold,
+            for_rounds,
+        } => {
+            out.put_u8(0);
+            out.put_u64_le(*threshold);
+            out.put_u32_le(*for_rounds);
+        }
+        Condition::RegretBelow {
+            threshold,
+            for_rounds,
+        } => {
+            out.put_u8(1);
+            out.put_u64_le(*threshold);
+            out.put_u32_le(*for_rounds);
+        }
+        Condition::PopulationBelow { threshold } => {
+            out.put_u8(2);
+            out.put_u64_le(*threshold as u64);
+        }
+        Condition::RoundReached { round } => {
+            out.put_u8(3);
+            out.put_u64_le(*round);
+        }
+        Condition::And(a, b) => {
+            out.put_u8(4);
+            put_condition(out, a);
+            put_condition(out, b);
+        }
+        Condition::Or(a, b) => {
+            out.put_u8(5);
+            put_condition(out, a);
+            put_condition(out, b);
+        }
+    }
+}
+
+/// `depth` guards the recursion: a crafted byte stream of nested
+/// `And` tags must error out, not blow the stack.
+fn get_condition(buf: &mut &[u8], depth: u32) -> Result<Condition, CheckpointError> {
+    if depth > 64 {
+        return Err(corrupt("condition nesting too deep"));
+    }
+    Ok(match get_u8(buf)? {
+        0 => Condition::RegretAbove {
+            threshold: get_u64(buf)?,
+            for_rounds: get_u32(buf)?,
+        },
+        1 => Condition::RegretBelow {
+            threshold: get_u64(buf)?,
+            for_rounds: get_u32(buf)?,
+        },
+        2 => Condition::PopulationBelow {
+            threshold: get_u64(buf)? as usize,
+        },
+        3 => Condition::RoundReached {
+            round: get_u64(buf)?,
+        },
+        4 => Condition::And(
+            Box::new(get_condition(buf, depth + 1)?),
+            Box::new(get_condition(buf, depth + 1)?),
+        ),
+        5 => Condition::Or(
+            Box::new(get_condition(buf, depth + 1)?),
+            Box::new(get_condition(buf, depth + 1)?),
+        ),
+        t => return Err(corrupt(format!("unknown condition tag {t}"))),
+    })
+}
+
+fn put_gen_shock(out: &mut Vec<u8>, shock: &GenShock) {
+    match shock {
+        GenShock::Kill { min_frac, max_frac } => {
+            out.put_u8(0);
+            out.put_f64_le(*min_frac);
+            out.put_f64_le(*max_frac);
+        }
+        GenShock::Spawn { min_frac, max_frac } => {
+            out.put_u8(1);
+            out.put_f64_le(*min_frac);
+            out.put_f64_le(*max_frac);
+        }
+        GenShock::Scramble => out.put_u8(2),
+        GenShock::DemandStep {
+            min_factor,
+            max_factor,
+        } => {
+            out.put_u8(3);
+            out.put_f64_le(*min_factor);
+            out.put_f64_le(*max_factor);
+        }
+    }
+}
+
+fn get_gen_shock(buf: &mut &[u8]) -> Result<GenShock, CheckpointError> {
+    Ok(match get_u8(buf)? {
+        0 => GenShock::Kill {
+            min_frac: get_f64(buf)?,
+            max_frac: get_f64(buf)?,
+        },
+        1 => GenShock::Spawn {
+            min_frac: get_f64(buf)?,
+            max_frac: get_f64(buf)?,
+        },
+        2 => GenShock::Scramble,
+        3 => GenShock::DemandStep {
+            min_factor: get_f64(buf)?,
+            max_factor: get_f64(buf)?,
+        },
+        t => return Err(corrupt(format!("unknown generator shock tag {t}"))),
+    })
 }
 
 fn put_initial(out: &mut Vec<u8>, initial: &InitialConfig) {
@@ -849,6 +1096,81 @@ mod tests {
         for len in [0usize, 1, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
             let _ = Checkpoint::from_bytes(&bytes[..len]);
         }
+    }
+
+    #[test]
+    fn trigger_state_roundtrips_and_rejects_shape_mismatch() {
+        use antalloc_env::{Condition, GenShock, TimelineGen, Trigger};
+
+        let cfg = SimConfig::builder(300, vec![40, 60])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::default()))
+            .seed(31)
+            .trigger(Trigger {
+                when: Condition::And(
+                    Box::new(Condition::RegretBelow {
+                        threshold: 30,
+                        for_rounds: 4,
+                    }),
+                    Box::new(Condition::RoundReached { round: 10 }),
+                ),
+                event: Event::Scramble,
+                cooldown: 25,
+                max_firings: 3,
+            })
+            .generate(TimelineGen {
+                start: 5,
+                until: 500,
+                mean_gap: 60.0,
+                shock: GenShock::DemandStep {
+                    min_factor: 0.5,
+                    max_factor: 2.0,
+                },
+            })
+            .build()
+            .unwrap();
+        let mut e = cfg.build();
+        let mut obs = NullObserver;
+        e.run(60, &mut obs);
+        let cp = Checkpoint::capture(&e).unwrap();
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(back.config(), &cfg, "triggers and generators survive");
+        // The restored engine continues bit-identically through later
+        // trigger firings and generated demand steps.
+        let mut resumed = back.restore();
+        e.run(120, &mut obs);
+        resumed.run(120, &mut obs);
+        assert_eq!(e.colony().assignments(), resumed.colony().assignments());
+        assert_eq!(e.colony().demands(), resumed.colony().demands());
+    }
+
+    #[test]
+    fn deeply_nested_condition_bytes_error_instead_of_overflowing() {
+        // A byte stream of 100 nested `and` tags must come back as a
+        // clean corrupt error, not a stack overflow.
+        let mut e = {
+            let cfg = SimConfig::builder(50, vec![10])
+                .noise(NoiseModel::Exact)
+                .controller(ControllerSpec::Trivial)
+                .build()
+                .unwrap();
+            cfg.build()
+        };
+        let mut obs = NullObserver;
+        e.run(2, &mut obs);
+        let mut bytes = Checkpoint::capture(&e).unwrap().to_bytes();
+        // Patch the timeline's trigger section: locate it by rebuilding
+        // the prefix is brittle, so instead decode-and-cross-check via a
+        // synthetic buffer fed straight to the condition reader.
+        let mut cond = vec![4u8; 100]; // 100 nested `And` left arms
+        cond.push(0xFF);
+        let mut slice: &[u8] = &cond;
+        assert!(super::get_condition(&mut slice, 0).is_err());
+        // And a truncated tail still errors cleanly end-to-end.
+        bytes.truncate(bytes.len() - 1);
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -33,7 +33,10 @@
 //! `tests/banks.rs` hold this contract down.
 
 use antalloc_core::AnyController;
-use antalloc_env::{Assignment, ColonyState, DemandVector, Event, InitialConfig, Perturbation};
+use antalloc_env::{
+    Assignment, ColonyState, ColonyView, DemandVector, Event, InitialConfig, Perturbation,
+    Timeline, TriggerState,
+};
 use antalloc_noise::{NoiseModel, PreparedRound};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
 
@@ -87,6 +90,17 @@ pub(crate) fn apply_perturbation(
     debug_assert!(colony.recount_consistent());
     debug_assert_eq!(population.len(), colony.num_ants());
     debug_assert!(population.check_invariants());
+}
+
+/// The end-of-round summary timeline triggers are evaluated over,
+/// shared by both engines so triggered scenarios are model-portable.
+pub(crate) fn colony_view(round: u64, post_deficits: &[i64], colony: &ColonyState) -> ColonyView {
+    ColonyView {
+        round,
+        regret: post_deficits.iter().map(|d| d.unsigned_abs()).sum(),
+        population: colony.num_ants(),
+        idle: colony.idle_count(),
+    }
 }
 
 /// Applies one timeline event. Population shocks route through
@@ -151,10 +165,13 @@ pub(crate) struct EngineState<'a> {
     pub round: u64,
     /// Next RNG stream id for spawned ants.
     pub next_stream: u64,
-    /// One-shot timeline events already consumed.
+    /// One-shot timeline events already consumed (indexes the
+    /// *compiled* timeline: scripted plus generated events).
     pub cursor: u64,
     /// Per-ant bank membership for mixed colonies.
     pub members: Option<Vec<u16>>,
+    /// Runtime state of every timeline trigger, in timeline order.
+    pub trigger_states: Vec<TriggerState>,
 }
 
 /// One bank's slice of the colony, as seen by [`SyncEngine::bank_census`].
@@ -175,6 +192,10 @@ pub struct BankCensus {
 /// feedback; sub-round 2 applies all decisions simultaneously.
 pub struct SyncEngine {
     config: SimConfig,
+    /// The config's timeline with random generators expanded into
+    /// concrete one-shot events (identical to `config.timeline` when no
+    /// generators are declared). All stepping reads this one.
+    compiled: Timeline,
     colony: ColonyState,
     population: Population,
     noise: NoiseModel,
@@ -182,8 +203,11 @@ pub struct SyncEngine {
     event_seeder: StreamSeeder,
     init_rng: AntRng,
     round: u64,
-    /// One-shot timeline events consumed so far (monotone cursor).
+    /// One-shot timeline events consumed so far (monotone cursor over
+    /// the compiled stream).
     cursor: usize,
+    /// Runtime state of every timeline trigger.
+    trigger_states: Vec<TriggerState>,
     /// Deficits frozen at the end of the previous round (sensing input).
     pre_deficits: Vec<i64>,
     /// Deficits after this round's decisions (observation output).
@@ -198,6 +222,8 @@ impl SyncEngine {
         let k = demands.num_tasks();
         let seeder = StreamSeeder::new(config.seed);
         let population = Population::build(&config.controller, config.seed, k, n);
+        let compiled = config.timeline.compile(config.seed, n, demands.as_slice());
+        let trigger_states = compiled.initial_trigger_states();
         let mut engine = Self {
             colony: ColonyState::new(n, demands),
             population,
@@ -207,9 +233,11 @@ impl SyncEngine {
             init_rng: seeder.stream(reserved::INIT),
             round: 0,
             cursor: 0,
+            trigger_states,
             pre_deficits: vec![0; k],
             post_deficits: vec![0; k],
             next_stream: n as u64,
+            compiled,
             config,
         };
         let initial = engine.config.initial.clone();
@@ -249,6 +277,13 @@ impl SyncEngine {
         }
     }
 
+    /// The runtime state of every timeline trigger, in timeline order
+    /// (empty for trigger-free scenarios). Benches use this to report
+    /// how many conditional shocks a run actually absorbed.
+    pub fn trigger_states(&self) -> &[TriggerState] {
+        &self.trigger_states
+    }
+
     /// Per-bank population and load census: which controller kind holds
     /// how much of the colony right now. Homogeneous colonies report a
     /// single bank.
@@ -279,14 +314,16 @@ impl SyncEngine {
     }
 
     /// Fires every timeline event scheduled for the current round:
-    /// one-shots past the cursor, then cycle generators. All events of
-    /// one round share a generator derived purely from
-    /// `(master seed, round)`, so firing is stepping-path independent.
+    /// one-shots past the cursor, then cycle generators, then triggers
+    /// armed at the end of the previous round. All events of one round
+    /// share a generator derived purely from `(master seed, round)`, so
+    /// firing is stepping-path independent.
     fn fire_events(&mut self) {
         let mut fired = Vec::new();
-        self.config
-            .timeline
+        self.compiled
             .fire_into(self.round, &mut self.cursor, &mut fired);
+        self.compiled
+            .fire_triggers_into(self.round, &mut self.trigger_states, &mut fired);
         if fired.is_empty() {
             return;
         }
@@ -326,6 +363,17 @@ impl SyncEngine {
             switches,
         };
         observer.on_round(&record);
+        if self.compiled.has_triggers() {
+            let view = colony_view(self.round, &self.post_deficits, &self.colony);
+            self.compiled
+                .observe_triggers(&mut self.trigger_states, &view);
+        }
+    }
+
+    /// Whether a trigger armed at the end of the last round (its event
+    /// fires at the start of the next one — which must step serially).
+    fn trigger_pending(&self) -> bool {
+        self.trigger_states.iter().any(|s| s.pending)
     }
 
     /// Runs one synchronous round on the current thread.
@@ -393,6 +441,13 @@ impl SyncEngine {
     /// splits into event-free parallel segments, and each event round
     /// steps serially (bit-identical to the pooled path by the engine's
     /// contract). Timelines are sparse, so the serial rounds are noise.
+    ///
+    /// Trigger firing rounds are not known from the config alone, so a
+    /// segment also ends the moment a trigger *arms* (its event fires
+    /// at the start of the next round): [`Self::run_parallel_segment`]
+    /// evaluates triggers in the coordinator's exclusive end-of-round
+    /// window and returns early, and the firing round steps serially
+    /// here — the identical firing path the serial engine takes.
     fn run_parallel_impl(
         &mut self,
         rounds: u64,
@@ -402,32 +457,57 @@ impl SyncEngine {
     ) {
         let mut remaining = rounds;
         while remaining > 0 {
-            match self.config.timeline.next_firing(self.round, self.cursor) {
+            if self.trigger_pending() {
+                // A triggered event fires this round; step it serially
+                // (it may resize the population under a partition).
+                self.step(observer);
+                remaining -= 1;
+                continue;
+            }
+            match self.compiled.next_firing(self.round, self.cursor) {
                 Some(r) if r - self.round <= remaining => {
                     let quiet = r - self.round - 1;
                     if quiet > 0 {
-                        self.run_parallel_segment(quiet, threads, min_ants_per_worker, observer);
+                        let done = self.run_parallel_segment(
+                            quiet,
+                            threads,
+                            min_ants_per_worker,
+                            observer,
+                        );
+                        remaining -= done;
+                        if done < quiet {
+                            // A trigger armed mid-segment; re-plan.
+                            continue;
+                        }
                     }
                     self.step(observer);
-                    remaining -= quiet + 1;
+                    remaining -= 1;
                 }
                 _ => {
-                    self.run_parallel_segment(remaining, threads, min_ants_per_worker, observer);
-                    remaining = 0;
+                    let done = self.run_parallel_segment(
+                        remaining,
+                        threads,
+                        min_ants_per_worker,
+                        observer,
+                    );
+                    remaining -= done;
                 }
             }
         }
     }
 
-    /// Runs `rounds` event-free rounds on the worker pool (the caller
-    /// guarantees no timeline event fires inside the segment).
+    /// Runs up to `rounds` scheduled-event-free rounds on the worker
+    /// pool (the caller guarantees no one-shot or cycle fires inside
+    /// the segment). Returns the rounds actually completed: fewer than
+    /// `rounds` when a trigger arms, since its event must fire — and
+    /// therefore step — outside the pooled partition.
     fn run_parallel_segment(
         &mut self,
         rounds: u64,
         threads: usize,
         min_ants_per_worker: usize,
         observer: &mut impl Observer,
-    ) {
+    ) -> u64 {
         use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
         assert!(threads >= 1);
@@ -438,7 +518,10 @@ impl SyncEngine {
         // workers runs serially.
         let workers = (n / min_ants_per_worker.max(1)).min(threads);
         if workers < 2 {
-            return self.run(rounds, observer);
+            // The serial path handles trigger rounds inline, so the
+            // whole segment always completes here.
+            self.run(rounds, observer);
+            return rounds;
         }
         let chunk = n.div_ceil(workers);
 
@@ -466,6 +549,8 @@ impl SyncEngine {
         let round = &mut self.round;
         let pre_deficits = &mut self.pre_deficits;
         let post_deficits = &mut self.post_deficits;
+        let compiled = &self.compiled;
+        let trigger_states = &mut self.trigger_states;
 
         let store = |decisions: &[AtomicU32], ids: &[u32], out: &[Assignment]| {
             for (&id, &next) in ids.iter().zip(out) {
@@ -513,6 +598,7 @@ impl SyncEngine {
             }
 
             let mut own_out: Vec<Assignment> = Vec::new();
+            let mut completed = 0u64;
             for _ in 0..rounds {
                 // Exclusive window: begin the round (event-free by the
                 // segment contract).
@@ -553,11 +639,23 @@ impl SyncEngine {
                     switches,
                 };
                 observer.on_round(&record);
+                completed += 1;
+                // Still inside the exclusive window: evaluate triggers
+                // exactly as the serial path's finish_round does. An
+                // armed trigger ends the segment — its event fires at
+                // the start of the next round, outside the partition.
+                if compiled.has_triggers() {
+                    let view = colony_view(*round, post_deficits, colony);
+                    if compiled.observe_triggers(trigger_states, &view) {
+                        break;
+                    }
+                }
             }
             stop.store(true, Ordering::Release);
             start.wait();
+            completed
         })
-        .expect("worker thread panicked");
+        .expect("worker thread panicked")
     }
 
     /// Applies a mid-run perturbation, keeping controllers, RNG streams
@@ -594,6 +692,7 @@ impl SyncEngine {
             next_stream: self.next_stream,
             cursor: self.cursor as u64,
             members,
+            trigger_states: self.trigger_states.clone(),
         }
     }
 
@@ -601,7 +700,11 @@ impl SyncEngine {
     /// per-ant bank membership for mixed colonies (empty otherwise);
     /// `noise` is the model in force at capture time (it may differ
     /// from `config.noise` after a `SetNoise` event); `cursor` is the
-    /// number of one-shot timeline events already consumed.
+    /// number of one-shot events of the *compiled* timeline already
+    /// consumed (generators re-expand identically from the seed);
+    /// `trigger_states` is the captured runtime state of every trigger
+    /// (empty for pre-trigger checkpoint formats, which cannot carry
+    /// triggers in the first place).
     #[allow(clippy::too_many_arguments)] // checkpoint-internal plumbing
     pub(crate) fn from_parts(
         config: SimConfig,
@@ -613,6 +716,7 @@ impl SyncEngine {
         next_stream: u64,
         cursor: u64,
         members: &[u16],
+        trigger_states: Vec<TriggerState>,
     ) -> Self {
         let n = assignments.len();
         let k = demands.num_tasks();
@@ -628,6 +732,18 @@ impl SyncEngine {
         }
         population.reset_to_colony(&colony);
         population.set_rng_states(&rng_states);
+        // The compiled stream is a pure function of (config, seed):
+        // magnitudes scale off the *initial* n and demands, not the
+        // possibly-shrunk captured colony.
+        let compiled = config
+            .timeline
+            .compile(config.seed, config.n, &config.demands);
+        let trigger_states = if trigger_states.is_empty() {
+            compiled.initial_trigger_states()
+        } else {
+            debug_assert_eq!(trigger_states.len(), compiled.triggers.len());
+            trigger_states
+        };
         Self {
             colony,
             population,
@@ -637,9 +753,11 @@ impl SyncEngine {
             init_rng: seeder.stream(reserved::INIT),
             round,
             cursor: cursor as usize,
+            trigger_states,
             pre_deficits: vec![0; k],
             post_deficits: vec![0; k],
             next_stream,
+            compiled,
             config,
         }
     }
@@ -850,6 +968,96 @@ mod tests {
             assert!((1..=5).contains(&round));
             assert_eq!(mass, 800);
         }
+    }
+
+    #[test]
+    fn triggered_runs_are_bit_identical_serial_vs_parallel() {
+        use antalloc_env::Condition;
+
+        // A repeating stampede that strikes whenever the colony has
+        // settled for 8 rounds: the firing rounds are state-dependent,
+        // so the parallel path must discover them mid-segment. Starting
+        // saturated puts the colony inside the trigger band right away.
+        let cfg = SimConfig::builder(900, vec![120, 180])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::default()))
+            .seed(17)
+            .initial(InitialConfig::SaturatedPlus { extra: 2 })
+            .trigger(antalloc_env::Trigger {
+                when: Condition::RegretBelow {
+                    threshold: 60,
+                    for_rounds: 8,
+                },
+                event: Event::StampedeTo(0),
+                cooldown: 40,
+                max_firings: 0,
+            })
+            .build()
+            .unwrap();
+        let mut serial = cfg.build();
+        let mut parallel = cfg.build();
+        let mut serial_trace = Vec::new();
+        let mut parallel_trace = Vec::new();
+        {
+            let mut obs = crate::observer::FnObserver::new(|r: &RoundRecord<'_>| {
+                serial_trace.push((r.round, r.instant_regret(), r.switches));
+            });
+            serial.run(400, &mut obs);
+        }
+        {
+            let mut obs = crate::observer::FnObserver::new(|r: &RoundRecord<'_>| {
+                parallel_trace.push((r.round, r.instant_regret(), r.switches));
+            });
+            parallel.run_parallel_forced(400, 3, &mut obs);
+        }
+        assert_eq!(serial_trace, parallel_trace);
+        assert_eq!(
+            serial.colony().assignments(),
+            parallel.colony().assignments()
+        );
+        assert_eq!(serial.trigger_states, parallel.trigger_states);
+        // The trigger really struck (otherwise this test is vacuous).
+        assert!(serial.trigger_states[0].firings > 0, "trigger never fired");
+    }
+
+    #[test]
+    fn generated_timelines_are_deterministic_and_seed_dependent() {
+        use antalloc_env::{GenShock, TimelineGen};
+
+        let cfg = |seed| {
+            SimConfig::builder(600, vec![80, 120])
+                .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+                .controller(ControllerSpec::Ant(AntParams::default()))
+                .seed(seed)
+                .generate(TimelineGen {
+                    start: 1,
+                    until: 150,
+                    mean_gap: 30.0,
+                    shock: GenShock::Kill {
+                        min_frac: 0.05,
+                        max_frac: 0.1,
+                    },
+                })
+                .build()
+                .unwrap()
+        };
+        let mut obs = NullObserver;
+        let mut a = cfg(5).build();
+        let mut b = cfg(5).build();
+        let mut par = cfg(5).build();
+        a.run(200, &mut obs);
+        b.run(200, &mut obs);
+        par.run_parallel_forced(200, 4, &mut obs);
+        assert_eq!(a.colony().assignments(), b.colony().assignments());
+        assert_eq!(a.colony().assignments(), par.colony().assignments());
+        // The generated kills really shrank the colony, and a different
+        // master seed expands a different schedule.
+        assert!(a.colony().num_ants() < 600, "no generated kill fired");
+        let timeline = &cfg(5).timeline;
+        assert_ne!(
+            timeline.compile(5, 600, &[80, 120]),
+            timeline.compile(6, 600, &[80, 120]),
+        );
     }
 
     #[test]

@@ -301,6 +301,66 @@ impl Sweep {
         self
     }
 
+    /// Crosses two labeled point lists into the point list of a single
+    /// labeled axis — the `(controller × timeline)` grids the
+    /// robustness benches sweep, with one shared `a×b` label per cell
+    /// instead of two separate columns.
+    ///
+    /// Use it when the two dimensions are *applied together* (one
+    /// setter sees both values) or when downstream tooling groups by
+    /// one combined key; use two [`Sweep::axis_labeled`] calls when the
+    /// dimensions should stay separate outcome columns.
+    ///
+    /// ```
+    /// use antalloc_core::{AntParams, ExactGreedyParams};
+    /// use antalloc_env::{Event, Timeline};
+    /// use antalloc_sim::{ControllerSpec, SimConfig, Sweep};
+    ///
+    /// let base = SimConfig::builder(400, vec![60, 80]).build().unwrap();
+    /// let controllers = [
+    ///     ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+    ///     ("greedy", ControllerSpec::ExactGreedy(ExactGreedyParams::default())),
+    /// ];
+    /// let shocks = [
+    ///     ("calm", Timeline::new()),
+    ///     ("kill", Timeline::new().at(10, Event::Kill { count: 100 })),
+    /// ];
+    /// let outcomes = Sweep::new(base)
+    ///     .axis_labeled(
+    ///         "controller×shock",
+    ///         Sweep::product(controllers, shocks),
+    ///         |cfg, (spec, timeline)| {
+    ///             cfg.controller = spec.clone();
+    ///             cfg.timeline = timeline.clone();
+    ///         },
+    ///     )
+    ///     .rounds(20)
+    ///     .threads(2)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(outcomes.len(), 4); // the full 2 × 2 grid
+    /// ```
+    pub fn product<A: Clone, B: Clone>(
+        a: impl IntoIterator<Item = (impl Into<AxisValue>, A)>,
+        b: impl IntoIterator<Item = (impl Into<AxisValue>, B)>,
+    ) -> Vec<(AxisValue, (A, B))> {
+        let b: Vec<(AxisValue, B)> = b
+            .into_iter()
+            .map(|(label, value)| (label.into(), value))
+            .collect();
+        let mut points = Vec::new();
+        for (a_label, a_value) in a {
+            let a_label = a_label.into();
+            for (b_label, b_value) in &b {
+                points.push((
+                    AxisValue::Text(format!("{a_label}×{b_label}")),
+                    (a_value.clone(), b_value.clone()),
+                ));
+            }
+        }
+        points
+    }
+
     /// Replaces the seed list.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -665,6 +725,46 @@ mod tests {
         // The timeline axis really applied: the kill shrank the colony.
         let total = |o: &RunOutcome| o.final_loads.iter().sum::<u64>();
         assert!(total(&outcomes[1]) <= total(&outcomes[0]));
+    }
+
+    #[test]
+    fn product_crosses_labels_and_values() {
+        let points = Sweep::product(
+            [("a", 1u32), ("b", 2)],
+            [("x", 10u32), ("y", 20), ("z", 30)],
+        );
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].0, AxisValue::Text("a×x".into()));
+        assert_eq!(points[0].1, (1, 10));
+        assert_eq!(points[5].0, AxisValue::Text("b×z".into()));
+        assert_eq!(points[5].1, (2, 30));
+        // Order: the first list is the outer loop.
+        assert_eq!(points[3].0, AxisValue::Text("b×x".into()));
+    }
+
+    #[test]
+    fn product_axis_runs_the_full_grid() {
+        let outcomes = Sweep::new(base())
+            .axis_labeled(
+                "controller×gamma",
+                Sweep::product([("ant", ())], [("slow", 1.0 / 32.0), ("fast", 1.0 / 16.0)]),
+                |cfg, (_, gamma)| {
+                    cfg.controller = ControllerSpec::Ant(AntParams::new(*gamma));
+                },
+            )
+            .seeds([1, 2])
+            .rounds(20)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(
+            outcomes[0].params,
+            vec![(
+                "controller×gamma".into(),
+                AxisValue::Text("ant×slow".into())
+            )]
+        );
     }
 
     #[test]

@@ -101,6 +101,22 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Appends one conditional trigger to the timeline (builder sugar;
+    /// see [`antalloc_env::Trigger`]).
+    pub fn trigger(mut self, trigger: antalloc_env::Trigger) -> Self {
+        let timeline = std::mem::take(&mut self.config.timeline);
+        self.config.timeline = timeline.trigger(trigger);
+        self
+    }
+
+    /// Appends one seeded shock-schedule generator to the timeline
+    /// (builder sugar; see [`antalloc_env::TimelineGen`]).
+    pub fn generate(mut self, generator: antalloc_env::TimelineGen) -> Self {
+        let timeline = std::mem::take(&mut self.config.timeline);
+        self.config.timeline = timeline.generate(generator);
+        self
+    }
+
     /// Sets the timeline from a legacy demand schedule (thin
     /// constructor: steps become `SetDemands` events, alternation a
     /// two-event cycle). Replaces any previous timeline.
@@ -170,6 +186,10 @@ pub(crate) fn validate(config: &SimConfig, strictness: Strictness) -> Result<(),
         .timeline
         .validate(k, config.n)
         .map_err(ConfigError::Timeline)?;
+    config
+        .timeline
+        .validate_triggers(k)
+        .map_err(ConfigError::Trigger)?;
     validate_initial(&config.initial, k)?;
     Ok(())
 }

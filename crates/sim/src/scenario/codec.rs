@@ -42,6 +42,30 @@
 //! extra = 10
 //! ```
 //!
+//! A timeline with conditional triggers or random shock generators uses
+//! the *table* form instead: scripted entries move under
+//! `[[timeline.events]]` (same shape as above) and the new sections sit
+//! beside them:
+//!
+//! ```toml
+//! [[timeline.trigger]]       # fire on colony state, not a round number
+//! kind = "scramble"
+//! when = { kind = "regret-below", threshold = 40, for_rounds = 16 }
+//! cooldown = 500             # optional (default 0)
+//! max_firings = 2            # optional (default 1; 0 = unlimited)
+//!
+//! [timeline.generate]        # a seeded random shock schedule
+//! kind = "kill"              # kill | spawn | scramble | demand-step
+//! until = 20000
+//! mean_gap = 2000.0
+//! min_frac = 0.1
+//! max_frac = 0.4
+//! ```
+//!
+//! Conditions compose with `kind = "and"` / `"or"` over sub-conditions
+//! `a` and `b`; `[[timeline.generate]]` (array form) declares several
+//! generators. `docs/SCENARIOS.md` documents every table and key.
+//!
 //! Every enum uses a `kind` discriminant with kebab-case variant names;
 //! optional parameters fall back to the same defaults the Rust
 //! constructors use, so minimal files stay minimal. The legacy
@@ -49,7 +73,10 @@
 //! equivalent timeline); output always uses `[[timeline]]`.
 
 use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
-use antalloc_env::{Cycle, DemandSchedule, Event, InitialConfig, TimedEvent, Timeline};
+use antalloc_env::{
+    Condition, Cycle, DemandSchedule, Event, GenShock, InitialConfig, TimedEvent, Timeline,
+    TimelineGen, Trigger,
+};
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 
 use crate::config::{ControllerSpec, SimConfig};
@@ -618,9 +645,10 @@ pub fn event_from_value(v: &Value) -> Result<Event, ConfigError> {
     event_from_table(v, "event")
 }
 
-/// Encodes a timeline as an array of entry tables: one-shot events
-/// carry an `at` round, cycles use `kind = "cycle"`.
-pub fn timeline_to_value(timeline: &Timeline) -> Value {
+/// Encodes the scripted (one-shot + cycle) entries as an array of
+/// entry tables: one-shot events carry an `at` round, cycles use
+/// `kind = "cycle"`.
+fn scripted_entries_to_value(timeline: &Timeline) -> Value {
     let mut entries = Vec::with_capacity(timeline.events.len() + timeline.cycles.len());
     for timed in &timeline.events {
         let mut t = Value::table();
@@ -642,10 +670,37 @@ pub fn timeline_to_value(timeline: &Timeline) -> Value {
     Value::Array(entries)
 }
 
-/// Decodes a timeline from an array of entry tables.
-pub fn timeline_from_value(v: &Value) -> Result<Timeline, ConfigError> {
+/// Encodes a timeline. Purely scripted timelines stay in the classic
+/// `[[timeline]]` array form; timelines with triggers or generators use
+/// the table form (`[[timeline.events]]` / `[[timeline.trigger]]` /
+/// `[[timeline.generate]]`) — both forms decode.
+pub fn timeline_to_value(timeline: &Timeline) -> Value {
+    if timeline.triggers.is_empty() && timeline.generators.is_empty() {
+        return scripted_entries_to_value(timeline);
+    }
+    let mut t = Value::table();
+    if !(timeline.events.is_empty() && timeline.cycles.is_empty()) {
+        t.insert("events", scripted_entries_to_value(timeline));
+    }
+    if !timeline.triggers.is_empty() {
+        t.insert(
+            "trigger",
+            Value::Array(timeline.triggers.iter().map(trigger_to_value).collect()),
+        );
+    }
+    if !timeline.generators.is_empty() {
+        t.insert(
+            "generate",
+            Value::Array(timeline.generators.iter().map(gen_to_value).collect()),
+        );
+    }
+    t
+}
+
+/// Decodes the scripted entries of a timeline from an array of entry
+/// tables, appending into `timeline`.
+fn scripted_entries_from_value(v: &Value, timeline: &mut Timeline) -> Result<(), ConfigError> {
     let what = "timeline";
-    let mut timeline = Timeline::new();
     for entry in v.as_array(what)? {
         let kind = entry.want("kind")?.as_str("timeline.kind")?;
         if kind == "cycle" {
@@ -675,7 +730,283 @@ pub fn timeline_from_value(v: &Value) -> Result<Timeline, ConfigError> {
             });
         }
     }
+    Ok(())
+}
+
+/// Decodes a timeline from either the classic array form or the table
+/// form with `events` / `trigger` / `generate` sections.
+pub fn timeline_from_value(v: &Value) -> Result<Timeline, ConfigError> {
+    let mut timeline = Timeline::new();
+    match v {
+        Value::Table(_) => {
+            check_keys(v, "timeline", &["events", "trigger", "generate"])?;
+            if let Some(entries) = v.get("events") {
+                scripted_entries_from_value(entries, &mut timeline)?;
+            }
+            // `[timeline.trigger]` / `[timeline.generate]` declare one
+            // entry, `[[…]]` blocks an ensemble of them.
+            match v.get("trigger") {
+                Some(single @ Value::Table(_)) => {
+                    timeline.triggers.push(trigger_from_value(single)?);
+                }
+                Some(many) => {
+                    for entry in many.as_array("timeline.trigger")? {
+                        timeline.triggers.push(trigger_from_value(entry)?);
+                    }
+                }
+                None => {}
+            }
+            match v.get("generate") {
+                Some(single @ Value::Table(_)) => {
+                    timeline.generators.push(gen_from_value(single)?);
+                }
+                Some(many) => {
+                    for entry in many.as_array("timeline.generate")? {
+                        timeline.generators.push(gen_from_value(entry)?);
+                    }
+                }
+                None => {}
+            }
+        }
+        _ => scripted_entries_from_value(v, &mut timeline)?,
+    }
     Ok(timeline)
+}
+
+// ---- Trigger ------------------------------------------------------------
+
+/// Encodes a trigger condition.
+pub fn condition_to_value(condition: &Condition) -> Value {
+    let mut t = Value::table();
+    match condition {
+        Condition::RegretAbove {
+            threshold,
+            for_rounds,
+        }
+        | Condition::RegretBelow {
+            threshold,
+            for_rounds,
+        } => {
+            t.insert(
+                "kind",
+                Value::Str(
+                    if matches!(condition, Condition::RegretAbove { .. }) {
+                        "regret-above"
+                    } else {
+                        "regret-below"
+                    }
+                    .into(),
+                ),
+            );
+            t.insert("threshold", int(*threshold));
+            if *for_rounds != 1 {
+                t.insert("for_rounds", int(u64::from(*for_rounds)));
+            }
+        }
+        Condition::PopulationBelow { threshold } => {
+            t.insert("kind", Value::Str("population-below".into()));
+            t.insert("threshold", int(*threshold as u64));
+        }
+        Condition::RoundReached { round } => {
+            t.insert("kind", Value::Str("round-reached".into()));
+            t.insert("round", int(*round));
+        }
+        Condition::And(a, b) | Condition::Or(a, b) => {
+            t.insert(
+                "kind",
+                Value::Str(
+                    if matches!(condition, Condition::And(..)) {
+                        "and"
+                    } else {
+                        "or"
+                    }
+                    .into(),
+                ),
+            );
+            t.insert("a", condition_to_value(a));
+            t.insert("b", condition_to_value(b));
+        }
+    }
+    t
+}
+
+/// Decodes a trigger condition.
+pub fn condition_from_value(v: &Value) -> Result<Condition, ConfigError> {
+    let what = "condition";
+    let kind = v.want("kind")?.as_str("condition.kind")?;
+    let allowed: &[&str] = match kind {
+        "regret-above" | "regret-below" => &["kind", "threshold", "for_rounds"],
+        "population-below" => &["kind", "threshold"],
+        "round-reached" => &["kind", "round"],
+        "and" | "or" => &["kind", "a", "b"],
+        _ => &["kind"],
+    };
+    check_keys(v, what, allowed)?;
+    match kind {
+        "regret-above" | "regret-below" => {
+            let threshold = v.want("threshold")?.as_u64("condition.threshold")?;
+            let for_rounds = match v.get("for_rounds") {
+                Some(x) => {
+                    let raw = x.as_u64("condition.for_rounds")?;
+                    u32::try_from(raw)
+                        .map_err(|_| bad(what, format!("for_rounds {raw} exceeds u32")))?
+                }
+                None => 1,
+            };
+            Ok(if kind == "regret-above" {
+                Condition::RegretAbove {
+                    threshold,
+                    for_rounds,
+                }
+            } else {
+                Condition::RegretBelow {
+                    threshold,
+                    for_rounds,
+                }
+            })
+        }
+        "population-below" => Ok(Condition::PopulationBelow {
+            threshold: v.want("threshold")?.as_usize("condition.threshold")?,
+        }),
+        "round-reached" => Ok(Condition::RoundReached {
+            round: v.want("round")?.as_u64("condition.round")?,
+        }),
+        "and" | "or" => {
+            let a = Box::new(condition_from_value(v.want("a")?)?);
+            let b = Box::new(condition_from_value(v.want("b")?)?);
+            Ok(if kind == "and" {
+                Condition::And(a, b)
+            } else {
+                Condition::Or(a, b)
+            })
+        }
+        other => Err(bad(what, format!("unknown kind `{other}`"))),
+    }
+}
+
+/// Encodes a trigger: the event's own keys plus `when` and the
+/// optional `cooldown` / `max_firings` budget.
+pub fn trigger_to_value(trigger: &Trigger) -> Value {
+    let mut t = Value::table();
+    event_into_table(&trigger.event, &mut t);
+    t.insert("when", condition_to_value(&trigger.when));
+    if trigger.cooldown != 0 {
+        t.insert("cooldown", int(trigger.cooldown));
+    }
+    if trigger.max_firings != 1 {
+        t.insert("max_firings", int(u64::from(trigger.max_firings)));
+    }
+    t
+}
+
+/// Decodes a trigger.
+pub fn trigger_from_value(v: &Value) -> Result<Trigger, ConfigError> {
+    let what = "trigger";
+    if let Some(kind) = v.get("kind").and_then(|k| k.as_str("kind").ok()) {
+        if let Some(mut keys) = event_keys(kind, false) {
+            keys.extend(["when", "cooldown", "max_firings"]);
+            check_keys(v, what, &keys)?;
+        }
+    }
+    let event = event_from_table(v, what)?;
+    let when = condition_from_value(v.want("when")?)?;
+    let cooldown = match v.get("cooldown") {
+        Some(x) => x.as_u64("trigger.cooldown")?,
+        None => 0,
+    };
+    let max_firings = match v.get("max_firings") {
+        Some(x) => {
+            let raw = x.as_u64("trigger.max_firings")?;
+            u32::try_from(raw).map_err(|_| bad(what, format!("max_firings {raw} exceeds u32")))?
+        }
+        None => 1,
+    };
+    Ok(Trigger {
+        when,
+        event,
+        cooldown,
+        max_firings,
+    })
+}
+
+// ---- TimelineGen --------------------------------------------------------
+
+/// Encodes a shock-schedule generator.
+pub fn gen_to_value(generator: &TimelineGen) -> Value {
+    let mut t = Value::table();
+    let kind = match &generator.shock {
+        GenShock::Kill { .. } => "kill",
+        GenShock::Spawn { .. } => "spawn",
+        GenShock::Scramble => "scramble",
+        GenShock::DemandStep { .. } => "demand-step",
+    };
+    t.insert("kind", Value::Str(kind.into()));
+    if generator.start != 1 {
+        t.insert("start", int(generator.start));
+    }
+    t.insert("until", int(generator.until));
+    t.insert("mean_gap", float(generator.mean_gap));
+    match &generator.shock {
+        GenShock::Kill { min_frac, max_frac } | GenShock::Spawn { min_frac, max_frac } => {
+            t.insert("min_frac", float(*min_frac));
+            t.insert("max_frac", float(*max_frac));
+        }
+        GenShock::Scramble => {}
+        GenShock::DemandStep {
+            min_factor,
+            max_factor,
+        } => {
+            t.insert("min_factor", float(*min_factor));
+            t.insert("max_factor", float(*max_factor));
+        }
+    }
+    t
+}
+
+/// Decodes a shock-schedule generator.
+pub fn gen_from_value(v: &Value) -> Result<TimelineGen, ConfigError> {
+    let what = "generate";
+    let kind = v.want("kind")?.as_str("generate.kind")?;
+    let allowed: &[&str] = match kind {
+        "kill" | "spawn" => &["kind", "start", "until", "mean_gap", "min_frac", "max_frac"],
+        "scramble" => &["kind", "start", "until", "mean_gap"],
+        "demand-step" => &[
+            "kind",
+            "start",
+            "until",
+            "mean_gap",
+            "min_factor",
+            "max_factor",
+        ],
+        _ => &["kind"],
+    };
+    check_keys(v, what, allowed)?;
+    let shock = match kind {
+        "kill" | "spawn" => {
+            let min_frac = v.want("min_frac")?.as_f64("generate.min_frac")?;
+            let max_frac = v.want("max_frac")?.as_f64("generate.max_frac")?;
+            if kind == "kill" {
+                GenShock::Kill { min_frac, max_frac }
+            } else {
+                GenShock::Spawn { min_frac, max_frac }
+            }
+        }
+        "scramble" => GenShock::Scramble,
+        "demand-step" => GenShock::DemandStep {
+            min_factor: v.want("min_factor")?.as_f64("generate.min_factor")?,
+            max_factor: v.want("max_factor")?.as_f64("generate.max_factor")?,
+        },
+        other => return Err(bad(what, format!("unknown kind `{other}`"))),
+    };
+    Ok(TimelineGen {
+        start: match v.get("start") {
+            Some(x) => x.as_u64("generate.start")?,
+            None => 1,
+        },
+        until: v.want("until")?.as_u64("generate.until")?,
+        mean_gap: v.want("mean_gap")?.as_f64("generate.mean_gap")?,
+        shock,
+    })
 }
 
 #[cfg(test)]
@@ -828,6 +1159,142 @@ mod tests {
             let back = timeline_from_value(&timeline_to_value(&timeline)).unwrap();
             assert_eq!(back, timeline);
         }
+    }
+
+    #[test]
+    fn triggers_and_generators_roundtrip() {
+        let timelines = [
+            // Triggers only.
+            Timeline::new().trigger(Trigger {
+                when: Condition::RegretBelow {
+                    threshold: 40,
+                    for_rounds: 16,
+                },
+                event: Event::Scramble,
+                cooldown: 500,
+                max_firings: 2,
+            }),
+            // Composite conditions, every event payload, defaults.
+            Timeline::new()
+                .trigger(Trigger::once(
+                    Condition::And(
+                        Box::new(Condition::RegretAbove {
+                            threshold: 100,
+                            for_rounds: 1,
+                        }),
+                        Box::new(Condition::Or(
+                            Box::new(Condition::PopulationBelow { threshold: 300 }),
+                            Box::new(Condition::RoundReached { round: 800 }),
+                        )),
+                    ),
+                    Event::Spawn { count: 50 },
+                ))
+                .trigger(Trigger {
+                    when: Condition::PopulationBelow { threshold: 100 },
+                    event: Event::SetNoise(NoiseModel::Exact),
+                    cooldown: 0,
+                    max_firings: 0,
+                }),
+            // Generators of every shock kind, mixed with scripted
+            // events and cycles.
+            Timeline::new()
+                .at(10, Event::Kill { count: 5 })
+                .every(100, 50, vec![Event::Scramble])
+                .generate(TimelineGen {
+                    start: 1,
+                    until: 9_000,
+                    mean_gap: 750.0,
+                    shock: GenShock::Kill {
+                        min_frac: 0.1,
+                        max_frac: 0.4,
+                    },
+                })
+                .generate(TimelineGen {
+                    start: 500,
+                    until: 8_000,
+                    mean_gap: 1_000.0,
+                    shock: GenShock::Spawn {
+                        min_frac: 0.05,
+                        max_frac: 0.2,
+                    },
+                })
+                .generate(TimelineGen {
+                    start: 1,
+                    until: 9_000,
+                    mean_gap: 2_000.0,
+                    shock: GenShock::Scramble,
+                })
+                .generate(TimelineGen {
+                    start: 1,
+                    until: 9_000,
+                    mean_gap: 1_500.0,
+                    shock: GenShock::DemandStep {
+                        min_factor: 0.5,
+                        max_factor: 2.0,
+                    },
+                }),
+        ];
+        for timeline in timelines {
+            let back = timeline_from_value(&timeline_to_value(&timeline)).unwrap();
+            assert_eq!(back, timeline);
+        }
+    }
+
+    #[test]
+    fn single_trigger_and_generate_tables_decode_as_one_entry() {
+        // `[timeline.generate]` / `[timeline.trigger]` (tables, not
+        // arrays) are accepted alongside the `[[…]]` forms.
+        let mut generate = Value::table();
+        generate.insert("kind", Value::Str("scramble".into()));
+        generate.insert("until", Value::Int(1000));
+        generate.insert("mean_gap", Value::Float(100.0));
+        let mut timeline = Value::table();
+        timeline.insert("generate", generate);
+        let decoded = timeline_from_value(&timeline).unwrap();
+        assert_eq!(decoded.generators.len(), 1);
+        assert_eq!(decoded.generators[0].shock, GenShock::Scramble);
+        assert_eq!(decoded.generators[0].start, 1, "start defaults to 1");
+
+        let trigger = trigger_to_value(&Trigger::once(
+            Condition::RegretBelow {
+                threshold: 5,
+                for_rounds: 2,
+            },
+            Event::Scramble,
+        ));
+        let mut timeline = Value::table();
+        timeline.insert("trigger", trigger);
+        let decoded = timeline_from_value(&timeline).unwrap();
+        assert_eq!(decoded.triggers.len(), 1);
+        assert_eq!(decoded.triggers[0].max_firings, 1);
+    }
+
+    #[test]
+    fn trigger_typos_and_unknown_condition_kinds_are_parse_errors() {
+        let trigger = Trigger::once(
+            Condition::RegretBelow {
+                threshold: 5,
+                for_rounds: 2,
+            },
+            Event::Scramble,
+        );
+        let mut v = trigger_to_value(&trigger);
+        v.insert("cooldwn", Value::Int(5)); // typo'd key
+        assert!(trigger_from_value(&v).is_err());
+        let mut c = Value::table();
+        c.insert("kind", Value::Str("regret-sideways".into()));
+        assert!(condition_from_value(&c).is_err());
+        // A trigger without a condition is rejected.
+        let mut v = trigger_to_value(&trigger);
+        let Value::Table(pairs) = &mut v else {
+            unreachable!()
+        };
+        pairs.retain(|(k, _)| k != "when");
+        assert!(trigger_from_value(&v).is_err());
+        // Unknown keys inside the timeline table form fail loudly.
+        let mut t = Value::table();
+        t.insert("triger", Value::Array(vec![]));
+        assert!(timeline_from_value(&t).is_err());
     }
 
     #[test]

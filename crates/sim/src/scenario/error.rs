@@ -27,8 +27,11 @@ pub enum ConfigError {
     Noise(String),
     /// The event timeline is inconsistent (unsorted events, wrong
     /// demand length, kills below zero population, task index out of
-    /// range, degenerate cycle, bad noise switch).
+    /// range, degenerate cycle or shock generator, bad noise switch).
     Timeline(String),
+    /// A timeline trigger is inconsistent (degenerate condition
+    /// parameters, bad event payload).
+    Trigger(String),
     /// The initial configuration references a nonexistent task.
     Initial(String),
     /// A scenario file could not be parsed.
@@ -48,6 +51,7 @@ impl core::fmt::Display for ConfigError {
             ConfigError::Controller(msg) => write!(f, "invalid controller: {msg}"),
             ConfigError::Noise(msg) => write!(f, "invalid noise model: {msg}"),
             ConfigError::Timeline(msg) => write!(f, "invalid timeline: {msg}"),
+            ConfigError::Trigger(msg) => write!(f, "invalid trigger: {msg}"),
             ConfigError::Initial(msg) => write!(f, "invalid initial configuration: {msg}"),
             ConfigError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
             ConfigError::Io(msg) => write!(f, "scenario io error: {msg}"),

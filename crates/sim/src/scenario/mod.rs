@@ -6,7 +6,7 @@
 //! makes that the unit of work:
 //!
 //! * [`ScenarioBuilder`] — fluent, `Result`-returning construction of
-//!   [`SimConfig`](crate::SimConfig) with a typed [`ConfigError`] for
+//!   [`crate::SimConfig`] with a typed [`ConfigError`] for
 //!   everything that used to panic at run time;
 //! * [`Scenario`] — a named config that round-trips through TOML or
 //!   JSON text ([`Scenario::from_toml`], [`Scenario::to_toml`], …) and
@@ -47,9 +47,11 @@ use std::path::Path;
 pub use batch::{AxisValue, Batch, RunOutcome, Sweep};
 pub use builder::ScenarioBuilder;
 pub use codec::{
-    config_from_value, config_to_value, controller_from_value, controller_to_value,
-    event_from_value, event_to_value, initial_from_value, initial_to_value, noise_from_value,
-    noise_to_value, schedule_from_value, timeline_from_value, timeline_to_value,
+    condition_from_value, condition_to_value, config_from_value, config_to_value,
+    controller_from_value, controller_to_value, event_from_value, event_to_value, gen_from_value,
+    gen_to_value, initial_from_value, initial_to_value, noise_from_value, noise_to_value,
+    schedule_from_value, timeline_from_value, timeline_to_value, trigger_from_value,
+    trigger_to_value,
 };
 pub use error::ConfigError;
 pub use sink::{CsvSink, JsonlSink, RunSink};

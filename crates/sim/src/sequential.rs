@@ -6,18 +6,18 @@
 //! sequential colony settles near the demands, the synchronous one
 //! flip-flops with amplitude `Θ(n)`.
 
-use antalloc_env::{ColonyState, DemandVector, InitialConfig};
+use antalloc_env::{ColonyState, DemandVector, InitialConfig, Timeline, TriggerState};
 use antalloc_noise::NoiseModel;
 use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
 
 use crate::config::SimConfig;
-use crate::engine::{apply_event, event_seeder, RoundRecord};
+use crate::engine::{apply_event, colony_view, event_seeder, RoundRecord};
 use crate::observer::Observer;
 use crate::population::Population;
 
 /// The sequential-model engine.
 ///
-/// Owns the same banked [`Population`] as [`crate::SyncEngine`] — one
+/// Owns the same banked `Population` as [`crate::SyncEngine`] — one
 /// homogeneous bank per controller kind plus the ant → (bank, slot)
 /// index — so `ControllerSpec::Mix` colonies run under the sequential
 /// model too; only one ant (bank slot) steps per round. Timeline
@@ -26,6 +26,9 @@ use crate::population::Population;
 /// streams, so scripted scenarios are model-portable.
 pub struct SequentialEngine {
     config: SimConfig,
+    /// The config's timeline with generators expanded (see
+    /// [`Timeline::compile`]); all stepping reads this one.
+    compiled: Timeline,
     colony: ColonyState,
     population: Population,
     noise: NoiseModel,
@@ -35,6 +38,7 @@ pub struct SequentialEngine {
     init_rng: AntRng,
     round: u64,
     cursor: usize,
+    trigger_states: Vec<TriggerState>,
     next_stream: u64,
     deficits: Vec<i64>,
     post_deficits: Vec<i64>,
@@ -46,6 +50,8 @@ impl SequentialEngine {
         let k = demands.num_tasks();
         let seeder = StreamSeeder::new(config.seed);
         let population = Population::build(&config.controller, config.seed, k, n);
+        let compiled = config.timeline.compile(config.seed, n, demands.as_slice());
+        let trigger_states = compiled.initial_trigger_states();
         let mut engine = Self {
             colony: ColonyState::new(n, demands),
             population,
@@ -56,9 +62,11 @@ impl SequentialEngine {
             init_rng: seeder.stream(reserved::INIT),
             round: 0,
             cursor: 0,
+            trigger_states,
             next_stream: n as u64,
             deficits: vec![0; k],
             post_deficits: vec![0; k],
+            compiled,
             config,
         };
         let initial = engine.config.initial.clone();
@@ -82,14 +90,22 @@ impl SequentialEngine {
         &self.colony
     }
 
-    /// One sequential round: timeline events fire first, then a
-    /// uniformly random ant observes and acts.
+    /// The runtime state of every timeline trigger, in timeline order
+    /// (empty for trigger-free scenarios).
+    pub fn trigger_states(&self) -> &[TriggerState] {
+        &self.trigger_states
+    }
+
+    /// One sequential round: timeline events fire first (one-shots,
+    /// cycles, then triggers armed at the end of the previous round),
+    /// then a uniformly random ant observes and acts.
     pub fn step(&mut self, observer: &mut impl Observer) {
         self.round += 1;
         let mut fired = Vec::new();
-        self.config
-            .timeline
+        self.compiled
             .fire_into(self.round, &mut self.cursor, &mut fired);
+        self.compiled
+            .fire_triggers_into(self.round, &mut self.trigger_states, &mut fired);
         if !fired.is_empty() {
             let mut rng = self.event_seeder.stream(self.round);
             for event in &fired {
@@ -122,6 +138,11 @@ impl SequentialEngine {
             switches,
         };
         observer.on_round(&record);
+        if self.compiled.has_triggers() {
+            let view = colony_view(self.round, &self.post_deficits, &self.colony);
+            self.compiled
+                .observe_triggers(&mut self.trigger_states, &view);
+        }
     }
 
     /// Runs `rounds` sequential rounds.

@@ -8,23 +8,24 @@
 //! ```
 
 use antalloc_core::AntParams;
-use antalloc_env::DemandSchedule;
+use antalloc_env::Event;
 use antalloc_metrics::SaturationDetector;
 use antalloc_noise::NoiseModel;
 use antalloc_sim::{ControllerSpec, FnObserver, SimConfig};
 
 fn main() {
     let gamma = 1.0 / 16.0;
+    // Demand changes are ordinary timeline events (`set-demands` in
+    // scenario files); the legacy `DemandSchedule` survives only as a
+    // `From<>` shim onto the same events.
     let config = SimConfig::builder(6000, vec![800, 1200])
         .noise(NoiseModel::Sigmoid { lambda: 2.0 })
         .controller(ControllerSpec::Ant(AntParams::new(gamma)))
         .seed(42)
         // At round 4000 the environment flips the two demands; at 8000
         // both shrink (a "cold snap": less foraging needed).
-        .schedule(DemandSchedule::Steps(vec![
-            (4000, vec![1200, 800]),
-            (8000, vec![500, 500]),
-        ]))
+        .event(4000, Event::SetDemands(vec![1200, 800]))
+        .event(8000, Event::SetDemands(vec![500, 500]))
         .build()
         .expect("valid scenario");
 

@@ -201,7 +201,10 @@ fn main() {
     engine.run(6000, &mut shock_obs);
     println!(
         "the colony re-converges after every scripted event — \
-         Theorem 3.1's\nself-stabilization, reproducible from a config file."
+         Theorem 3.1's\nself-stabilization, reproducible from a config file.\n\
+         (Shocks can also be *triggered* by colony state or drawn from \
+         seeded random\nschedules — see docs/SCENARIOS.md and \
+         `exp_adversarial_robustness`.)"
     );
 }
 

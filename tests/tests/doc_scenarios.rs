@@ -1,0 +1,116 @@
+//! Every fenced snippet in `docs/SCENARIOS.md` must load: the scenario
+//! reference is executable documentation, not prose that can rot.
+//!
+//! Each ```toml block is parsed with `Scenario::from_toml`, each
+//! ```json block with `Scenario::from_json`, and every parsed scenario
+//! is round-tripped through its own serializer — so the reference can
+//! never document a key the codec does not accept, and the writer can
+//! never emit a form the reference does not show.
+
+use antalloc_sim::Scenario;
+
+fn scenarios_md() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("docs")
+        .join("SCENARIOS.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Extracts the bodies of fenced code blocks with the given language.
+fn fenced_blocks(text: &str, lang: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match &mut current {
+            None => {
+                if line.trim_end() == format!("```{lang}") {
+                    current = Some(String::new());
+                }
+            }
+            Some(body) => {
+                if line.trim_end() == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```{lang} block");
+    blocks
+}
+
+#[test]
+fn every_toml_snippet_parses_and_roundtrips() {
+    let doc = scenarios_md();
+    let snippets = fenced_blocks(&doc, "toml");
+    assert!(
+        snippets.len() >= 10,
+        "expected the reference to document at least 10 TOML scenarios, found {}",
+        snippets.len()
+    );
+    for (i, snippet) in snippets.iter().enumerate() {
+        let scenario = Scenario::from_toml(snippet).unwrap_or_else(|e| {
+            panic!("SCENARIOS.md toml snippet {i} does not load: {e}\n---\n{snippet}")
+        });
+        let reparsed = Scenario::from_toml(&scenario.to_toml()).unwrap_or_else(|e| {
+            panic!(
+                "snippet {i} (`{:?}`) does not re-load from its own serialization: {e}",
+                scenario.name
+            )
+        });
+        assert_eq!(
+            reparsed, scenario,
+            "snippet {i} drifted through a round-trip"
+        );
+        // And the TOML/JSON codecs agree on every documented scenario.
+        let via_json = Scenario::from_json(&scenario.to_json()).unwrap_or_else(|e| {
+            panic!(
+                "snippet {i} (`{:?}`) does not survive the JSON codec: {e}",
+                scenario.name
+            )
+        });
+        assert_eq!(via_json, scenario, "snippet {i} drifted through JSON");
+    }
+}
+
+#[test]
+fn every_json_snippet_parses_and_roundtrips() {
+    let doc = scenarios_md();
+    let snippets = fenced_blocks(&doc, "json");
+    assert!(
+        !snippets.is_empty(),
+        "the reference documents the JSON form"
+    );
+    for (i, snippet) in snippets.iter().enumerate() {
+        let scenario = Scenario::from_json(snippet).unwrap_or_else(|e| {
+            panic!("SCENARIOS.md json snippet {i} does not load: {e}\n---\n{snippet}")
+        });
+        let reparsed = Scenario::from_json(&scenario.to_json()).unwrap();
+        assert_eq!(
+            reparsed, scenario,
+            "json snippet {i} drifted through a round-trip"
+        );
+    }
+}
+
+#[test]
+fn documented_scenarios_cover_the_new_timeline_sections() {
+    // The reference must actually exercise the trigger and generator
+    // tables (guards against the docs regressing to scripted-only).
+    let doc = scenarios_md();
+    let mut has_trigger = false;
+    let mut has_generator = false;
+    let mut has_mix = false;
+    for snippet in fenced_blocks(&doc, "toml") {
+        let scenario = Scenario::from_toml(&snippet).unwrap();
+        has_trigger |= !scenario.config.timeline.triggers.is_empty();
+        has_generator |= !scenario.config.timeline.generators.is_empty();
+        has_mix |= scenario.config.controller.mix_parts().is_some();
+    }
+    assert!(has_trigger, "no documented scenario declares a trigger");
+    assert!(has_generator, "no documented scenario declares a generator");
+    assert!(has_mix, "no documented scenario declares a mix");
+}

@@ -1,7 +1,14 @@
 //! The timeline subsystem end to end: a pure-TOML shock script runs
 //! under the batch runner bit-identically to serial runs, survives
 //! checkpoint-restore mid-timeline, fires identically under both
-//! engines, and v2 checkpoints (pre-timeline) still load.
+//! engines, and older checkpoints (v3 pre-trigger, v2 pre-timeline)
+//! still load.
+//!
+//! The second half pins the PR-4 adversarial layer: a pure-TOML
+//! scenario with a regret-*triggered* scramble and a *generated*
+//! Poisson kill schedule runs under `Batch` across 8 seeds bit-identical
+//! to serial, and survives mid-timeline checkpoint-restore in the v4
+//! format (trigger state included).
 
 use antalloc_core::AntParams;
 use antalloc_env::{DemandSchedule, Event, Timeline};
@@ -241,6 +248,216 @@ fn cycles_subsume_alternating_demands() {
     );
 }
 
+/// The PR-4 acceptance scenario: the adversary scrambles the colony
+/// whenever it has looked settled for 10 straight rounds (at most 3
+/// times, 60 rounds apart), while a seeded Poisson schedule kills
+/// 5–15% of the initial colony every ~60 rounds. Pure TOML, table-form
+/// timeline.
+const ADVERSARIAL_SCRIPT: &str = r#"
+name = "adversarial-acceptance"
+n = 1000
+demands = [150, 250]
+seed = 4242
+
+[controller]
+kind = "ant"
+gamma = 0.0625
+
+[noise]
+kind = "sigmoid"
+lambda = 2.0
+
+[initial]
+kind = "saturated-plus"
+extra = 3
+
+[[timeline.events]]
+at = 30
+kind = "set-demands"
+demands = [250, 150]
+
+[[timeline.trigger]]
+kind = "scramble"
+when = { kind = "regret-below", threshold = 120, for_rounds = 10 }
+cooldown = 60
+max_firings = 3
+
+[timeline.generate]
+kind = "kill"
+until = 240
+mean_gap = 60.0
+min_frac = 0.05
+max_frac = 0.15
+"#;
+
+fn adversarial_config() -> SimConfig {
+    let scenario = Scenario::from_toml(ADVERSARIAL_SCRIPT).expect("adversarial script validates");
+    assert_eq!(scenario.name.as_deref(), Some("adversarial-acceptance"));
+    assert_eq!(scenario.config.timeline.triggers.len(), 1);
+    assert_eq!(scenario.config.timeline.generators.len(), 1);
+    scenario.config
+}
+
+#[test]
+fn adversarial_toml_roundtrips_with_trigger_and_generate_tables() {
+    let config = adversarial_config();
+    let toml = config.to_toml();
+    assert!(toml.contains("[[timeline.events]]"), "{toml}");
+    assert!(toml.contains("[[timeline.trigger]]"), "{toml}");
+    assert!(toml.contains("[[timeline.generate]]"), "{toml}");
+    assert_eq!(SimConfig::from_toml(&toml).expect("reparses"), config);
+    let json = config.to_json();
+    assert_eq!(SimConfig::from_json(&json).expect("reparses"), config);
+}
+
+#[test]
+fn adversarial_toml_batch_across_8_seeds_is_bit_identical_to_serial_runs() {
+    // The acceptance criterion: triggered + generated timelines, fanned
+    // over 8 seeds by the batch runner; every per-seed result must
+    // equal a by-hand serial run of that seed.
+    let rounds = 260u64;
+    let outcomes = Batch::new(adversarial_config(), rounds)
+        .seeds(0..8)
+        .threads(4)
+        .run()
+        .expect("batch runs");
+    assert_eq!(outcomes.len(), 8);
+    let mut shrunk = 0;
+    let mut triggered = 0;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let mut config = adversarial_config();
+        config.seed = outcome.seed;
+        let mut engine = config.build();
+        let mut summary = RunSummary::new();
+        engine.run(rounds, &mut summary);
+        assert_eq!(
+            outcome.summary.total_regret(),
+            summary.total_regret(),
+            "seed {i}: batch diverged from serial"
+        );
+        assert_eq!(outcome.final_regret, engine.colony().instant_regret());
+        let loads: Vec<u64> = (0..engine.colony().num_tasks())
+            .map(|j| engine.colony().load(j))
+            .collect();
+        assert_eq!(outcome.final_loads, loads, "seed {i}");
+        // Every seed draws its own kill schedule off the reserved
+        // TIMELINE stream and its own trigger firing rounds.
+        if engine.colony().num_ants() < 1000 {
+            shrunk += 1;
+        }
+        triggered += u64::from(engine.trigger_states()[0].firings > 0);
+    }
+    assert!(shrunk >= 6, "only {shrunk}/8 seeds saw a generated kill");
+    assert!(
+        triggered >= 6,
+        "only {triggered}/8 seeds fired the regret trigger"
+    );
+}
+
+#[test]
+fn adversarial_runs_are_bit_identical_across_parallel_and_interleaving() {
+    let config = adversarial_config();
+    let mut serial = config.build();
+    let mut parallel = config.build();
+    let mut interleaved = config.build();
+    let mut obs = NullObserver;
+    serial.run(260, &mut obs);
+    // The pooled path must cut segments at trigger arming rounds it
+    // cannot predict from the config.
+    parallel.run_parallel_forced(260, 4, &mut obs);
+    interleaved.run(90, &mut obs);
+    interleaved.run_parallel_forced(110, 3, &mut obs);
+    interleaved.run(60, &mut obs);
+    assert_eq!(
+        serial.colony().assignments(),
+        parallel.colony().assignments()
+    );
+    assert_eq!(serial.trigger_states(), parallel.trigger_states());
+    assert_eq!(
+        serial.colony().assignments(),
+        interleaved.colony().assignments()
+    );
+    assert_eq!(serial.trigger_states(), interleaved.trigger_states());
+}
+
+#[test]
+fn adversarial_mid_timeline_v4_checkpoint_restore_replays_bit_identically() {
+    let config = adversarial_config();
+    let mut obs = NullObserver;
+
+    let mut full = config.build();
+    full.run(100, &mut obs);
+    let cp = Checkpoint::capture(&full).expect("round 100 is a phase boundary");
+    let bytes = cp.to_bytes();
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        4,
+        "trigger-bearing checkpoints are format v4"
+    );
+    let restored = Checkpoint::from_bytes(&bytes).expect("decodes");
+    assert_eq!(cp, restored);
+    assert_eq!(restored.config(), &config);
+
+    let mut full_trace = Vec::new();
+    {
+        let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+            full_trace.push((r.round, r.loads.to_vec(), r.idle, r.switches));
+        });
+        full.run(160, &mut obs);
+    }
+    let mut replay_trace = Vec::new();
+    {
+        let mut resumed = restored.restore();
+        assert_eq!(resumed.round(), 100);
+        let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+            replay_trace.push((r.round, r.loads.to_vec(), r.idle, r.switches));
+        });
+        resumed.run(160, &mut obs);
+        assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+        assert_eq!(full.trigger_states(), resumed.trigger_states());
+    }
+    assert_eq!(full_trace, replay_trace);
+}
+
+#[test]
+fn sequential_engine_consumes_triggers_and_generators_deterministically() {
+    let mut config = adversarial_config();
+    config.controller = ControllerSpec::Trivial;
+    let mut a = config.build_sequential();
+    let mut b = config.build_sequential();
+    let mut obs = NullObserver;
+    a.run(260, &mut obs);
+    b.run(260, &mut obs);
+    assert_eq!(a.colony().assignments(), b.colony().assignments());
+    assert_eq!(a.trigger_states(), b.trigger_states());
+    assert!(a.colony().recount_consistent());
+}
+
+#[test]
+fn v3_checkpoints_still_load_and_continue_exactly() {
+    // Fixture written by the v3 (pre-trigger) format: the shock-script
+    // scenario captured at round 100. It must decode, carry the same
+    // config, and continue bit-identically to an uninterrupted run.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let cp = Checkpoint::load(&dir.join("checkpoint_v3_timeline.ckpt")).expect("v3 fixture loads");
+    assert_eq!(cp.round(), 100);
+    assert_eq!(cp.config(), &shock_config());
+
+    let mut obs = NullObserver;
+    let mut resumed = cp.restore();
+    resumed.run(160, &mut obs); // crosses the scramble, noise switch, spawn
+    let mut fresh = shock_config().build();
+    fresh.run(260, &mut obs);
+    assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
+    assert_eq!(fresh.colony().loads(), resumed.colony().loads());
+    assert_eq!(resumed.colony().num_ants(), 1000);
+    // A v3 checkpoint re-saved today is a v4 byte stream that
+    // round-trips.
+    let resaved = cp.to_bytes();
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 4);
+    assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
+}
+
 #[test]
 fn v2_checkpoints_still_load_and_continue_exactly() {
     // Fixtures written by the v2 (pre-timeline) format: the schedule
@@ -289,8 +506,8 @@ fn v2_checkpoints_still_load_and_continue_exactly() {
     let mut fresh = expected.build();
     fresh.run(60, &mut obs);
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
-    // And a v2 checkpoint re-saved today is a v3 byte stream that
-    // round-trips.
+    // And a v2 checkpoint re-saved today is a current-format byte
+    // stream that round-trips.
     let cp2 = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
     assert_eq!(&cp2, &cp);
 }
