@@ -25,11 +25,13 @@ use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 use crate::ant::{AlgorithmAnt, AntBankState};
 use crate::params::AntParams;
 
-/// `current`/`assignment` encoding: task index, or `IDLE`.
-const IDLE: u32 = u32::MAX;
+/// `current`/`assignment` encoding: task index, or `IDLE`. Shared by
+/// every structure-of-arrays bank (see also [`crate::TrivialBank`],
+/// [`crate::ExactGreedyBank`], [`crate::PreciseSigmoidBank`]).
+pub(crate) const IDLE: u32 = u32::MAX;
 
 #[inline(always)]
-fn enc(a: Assignment) -> u32 {
+pub(crate) fn enc(a: Assignment) -> u32 {
     match a {
         Assignment::Idle => IDLE,
         Assignment::Task(j) => j,
@@ -37,7 +39,7 @@ fn enc(a: Assignment) -> u32 {
 }
 
 #[inline(always)]
-fn dec(x: u32) -> Assignment {
+pub(crate) fn dec(x: u32) -> Assignment {
     if x == IDLE {
         Assignment::Idle
     } else {
@@ -47,11 +49,30 @@ fn dec(x: u32) -> Assignment {
 
 /// The `pick`-th (0-based) set bit of `mask`, as a bit index.
 #[inline(always)]
-fn nth_set_bit(mut mask: u64, pick: usize) -> usize {
+pub(crate) fn nth_set_bit(mut mask: u64, pick: usize) -> usize {
     for _ in 0..pick {
         mask &= mask - 1;
     }
     mask.trailing_zeros() as usize
+}
+
+/// Number of `lack` entries in a `0/1` signal row.
+#[inline(always)]
+pub(crate) fn count_lacking(row: &[u8]) -> usize {
+    row.iter().filter(|&&l| l == 1).count()
+}
+
+/// The `pick`-th (0-based) `lack` entry of a `0/1` signal row, in task
+/// order — the same selection the per-ant reference controllers make
+/// with `filter(..).nth(pick)`.
+#[inline(always)]
+pub(crate) fn nth_lacking(row: &[u8], pick: usize) -> u32 {
+    row.iter()
+        .enumerate()
+        .filter(|(_, &l)| l == 1)
+        .nth(pick)
+        .map(|(j, _)| j as u32)
+        .expect("pick < count")
 }
 
 /// A homogeneous, phase-synchronized Algorithm Ant population in
@@ -310,10 +331,8 @@ impl<'a> AntSliceMut<'a> {
                 self.assignment[i] = IDLE;
             }
         } else {
-            let row = &mut self.s1_all[i * k..i * k + k];
-            for (j, slot) in row.iter_mut().enumerate() {
-                *slot = u8::from(view.sample(j, rng).is_lack());
-            }
+            // Batched full-vector sample straight into the ant's row.
+            view.fill_lack(rng, &mut self.s1_all[i * k..i * k + k]);
             self.have_s1[i] = 1;
         }
         dec(self.assignment[i])
@@ -340,12 +359,14 @@ impl<'a> AntSliceMut<'a> {
         } else {
             let row = &self.s1_all[i * k..i * k + k];
             self.assignment[i] = if k <= 64 {
-                // Bit-packed join: sample all tasks (every draw must
-                // happen), AND the two sample vectors, pick uniformly.
+                // Bit-packed join: batch-sample all tasks (every draw
+                // must happen), AND the two sample vectors, pick
+                // uniformly.
+                let mut s2 = [0u8; 64];
+                view.fill_lack(rng, &mut s2[..k]);
                 let mut joinable = 0u64;
                 for (j, &s1) in row.iter().enumerate() {
-                    let s2 = view.sample(j, rng).is_lack();
-                    joinable |= u64::from(s2 && s1 == 1) << j;
+                    joinable |= u64::from(s2[j] == 1 && s1 == 1) << j;
                 }
                 if self.have_s1[i] == 0 {
                     joinable = 0;
@@ -356,9 +377,7 @@ impl<'a> AntSliceMut<'a> {
                 }
             } else {
                 let mut s2 = vec![0u8; k];
-                for (j, slot) in s2.iter_mut().enumerate() {
-                    *slot = u8::from(view.sample(j, rng).is_lack());
-                }
+                view.fill_lack(rng, &mut s2);
                 let joinable = |j: usize| row[j] == 1 && s2[j] == 1;
                 let count = if self.have_s1[i] == 1 {
                     (0..k).filter(|&j| joinable(j)).count()

@@ -9,6 +9,14 @@
 //! stepping because every ant consumes only its own RNG stream, in the
 //! same order).
 //!
+//! Every shipped homogeneous kind has a **structure-of-arrays fast
+//! layout**: [`AntBank`] for synchronized §4 Ant colonies,
+//! [`crate::PreciseSigmoidBank`] for §5 (transposed counter planes),
+//! and the flat [`crate::TrivialBank`] / [`crate::ExactGreedyBank`]
+//! (one `u32` per ant — the shape of Ant's idle path). Only
+//! desynchronized Ant, Precise Adversarial and table-FSM banks keep the
+//! per-ant `Vec` layout.
+//!
 //! Heterogeneous (mixed-controller) colonies are a `Vec` of banks; the
 //! engine layer owns the ant → (bank, slot) index. Parallel engines
 //! split a bank into disjoint [`BankSliceMut`] chunks, one per worker.
@@ -23,10 +31,10 @@
 //! use antalloc_noise::NoiseModel;
 //! use antalloc_rng::StreamSeeder;
 //!
-//! let mut bank = ControllerBank::ExactGreedy(vec![
-//!     ExactGreedy::new(1, ExactGreedyParams { p_join: 1.0, p_leave: 0.0 }),
-//!     ExactGreedy::new(1, ExactGreedyParams { p_join: 1.0, p_leave: 0.0 }),
-//! ]);
+//! let params = ExactGreedyParams { p_join: 1.0, p_leave: 0.0 };
+//! let mut bank: ControllerBank = (0..2)
+//!     .map(|_| AnyController::from(ExactGreedy::new(1, params)))
+//!     .collect();
 //! assert_eq!(bank.len(), 2);
 //! let seeder = StreamSeeder::new(7);
 //! let mut rngs = vec![seeder.ant(0), seeder.ant(1)];
@@ -44,11 +52,23 @@ use antalloc_rng::AntRng;
 use crate::ant::AlgorithmAnt;
 use crate::ant_bank::{AntBank, AntSliceMut};
 use crate::controller::{AnyController, Controller};
-use crate::exact_greedy::ExactGreedy;
+use crate::flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
 use crate::precise_adversarial::PreciseAdversarial;
-use crate::precise_sigmoid::PreciseSigmoid;
+use crate::precise_sigmoid::SigmoidScratch;
+use crate::sigmoid_bank::{PreciseSigmoidBank, SigmoidSliceMut};
 use crate::table_fsm::TableFsm;
-use crate::trivial::Trivial;
+
+/// Per-ant controller state beyond the assignment, extracted per kind —
+/// what a checkpoint must carry to capture *between* the kind's phase
+/// boundaries. Kinds whose entire state is the assignment (or whose
+/// phase is short enough that boundary-only capture costs nothing)
+/// have no scratch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControllerScratch {
+    /// Precise Sigmoid's mid-phase counters (phases are `2m = O(1/ε)`
+    /// rounds long, so boundary-only capture is a real restriction).
+    PreciseSigmoid(SigmoidScratch),
+}
 
 /// A contiguous, homogeneous population of controllers of one kind.
 ///
@@ -64,27 +84,32 @@ pub enum ControllerBank {
     AntSoA(AntBank),
     /// §4 Algorithm Ant with per-ant phase offsets (`AntDesync`).
     Ant(Vec<AlgorithmAnt>),
-    /// §5 Algorithm Precise Sigmoid.
-    PreciseSigmoid(Vec<PreciseSigmoid>),
+    /// §5 Algorithm Precise Sigmoid, in the structure-of-arrays fast
+    /// layout (see [`PreciseSigmoidBank`]).
+    PreciseSigmoid(PreciseSigmoidBank),
     /// Appendix C Algorithm Precise Adversarial.
     PreciseAdversarial(Vec<PreciseAdversarial>),
-    /// Appendix D trivial algorithm.
-    Trivial(Vec<Trivial>),
-    /// Exact-feedback baseline.
-    ExactGreedy(Vec<ExactGreedy>),
+    /// Appendix D trivial algorithm, in the flat fast layout (see
+    /// [`TrivialBank`]).
+    Trivial(TrivialBank),
+    /// Exact-feedback baseline, in the flat fast layout (see
+    /// [`ExactGreedyBank`]).
+    ExactGreedy(ExactGreedyBank),
     /// Explicit finite-state machines.
     Table(Vec<TableFsm>),
 }
 
+/// Dispatches to the structure-of-arrays banks (`$b`) and the per-ant
+/// `Vec` banks (`$v`) with one body each.
 macro_rules! each_bank {
-    ($self:ident, $soa:ident => $soa_body:expr, $v:ident => $body:expr) => {
+    ($self:ident, $b:ident => $soa_body:expr, $v:ident => $body:expr) => {
         match $self {
-            ControllerBank::AntSoA($soa) => $soa_body,
+            ControllerBank::AntSoA($b) => $soa_body,
+            ControllerBank::PreciseSigmoid($b) => $soa_body,
+            ControllerBank::Trivial($b) => $soa_body,
+            ControllerBank::ExactGreedy($b) => $soa_body,
             ControllerBank::Ant($v) => $body,
-            ControllerBank::PreciseSigmoid($v) => $body,
             ControllerBank::PreciseAdversarial($v) => $body,
-            ControllerBank::Trivial($v) => $body,
-            ControllerBank::ExactGreedy($v) => $body,
             ControllerBank::Table($v) => $body,
         }
     };
@@ -93,17 +118,24 @@ macro_rules! each_bank {
 impl ControllerBank {
     /// An empty bank of the same kind as `c` (for engines that create
     /// banks lazily from a prototype controller). Offset-0 Ant
-    /// controllers get the SoA layout.
+    /// controllers and every Precise Sigmoid / Trivial / ExactGreedy
+    /// colony get the structure-of-arrays layouts.
     pub fn empty_like(c: &AnyController) -> Self {
         match c {
             AnyController::Ant(a) if a.phase_offset() == 0 => {
                 ControllerBank::AntSoA(AntBank::new(a.num_tasks(), *a.params(), 0))
             }
             AnyController::Ant(_) => ControllerBank::Ant(Vec::new()),
-            AnyController::PreciseSigmoid(_) => ControllerBank::PreciseSigmoid(Vec::new()),
+            AnyController::PreciseSigmoid(c) => ControllerBank::PreciseSigmoid(
+                PreciseSigmoidBank::new(c.num_tasks(), *c.params(), 0),
+            ),
             AnyController::PreciseAdversarial(_) => ControllerBank::PreciseAdversarial(Vec::new()),
-            AnyController::Trivial(_) => ControllerBank::Trivial(Vec::new()),
-            AnyController::ExactGreedy(_) => ControllerBank::ExactGreedy(Vec::new()),
+            AnyController::Trivial(c) => {
+                ControllerBank::Trivial(TrivialBank::new(c.num_tasks(), 0))
+            }
+            AnyController::ExactGreedy(c) => {
+                ControllerBank::ExactGreedy(ExactGreedyBank::new(c.num_tasks(), *c.params(), 0))
+            }
             AnyController::Table(_) => ControllerBank::Table(Vec::new()),
         }
     }
@@ -132,10 +164,10 @@ impl ControllerBank {
         match self {
             ControllerBank::AntSoA(b) => BankSliceMut::AntSoA(b.as_slice_mut()),
             ControllerBank::Ant(v) => BankSliceMut::Ant(v),
-            ControllerBank::PreciseSigmoid(v) => BankSliceMut::PreciseSigmoid(v),
+            ControllerBank::PreciseSigmoid(b) => BankSliceMut::PreciseSigmoid(b.as_slice_mut()),
             ControllerBank::PreciseAdversarial(v) => BankSliceMut::PreciseAdversarial(v),
-            ControllerBank::Trivial(v) => BankSliceMut::Trivial(v),
-            ControllerBank::ExactGreedy(v) => BankSliceMut::ExactGreedy(v),
+            ControllerBank::Trivial(b) => BankSliceMut::Trivial(b.as_slice_mut()),
+            ControllerBank::ExactGreedy(b) => BankSliceMut::ExactGreedy(b.as_slice_mut()),
             ControllerBank::Table(v) => BankSliceMut::Table(v),
         }
     }
@@ -165,6 +197,33 @@ impl ControllerBank {
         each_bank!(self, b => { let _ = slot; b.memory_bits() }, v => v[slot].memory_bits())
     }
 
+    /// The mid-phase scratch of the ant at `slot` — `Some` only for
+    /// kinds a checkpoint must carry counters for (currently Precise
+    /// Sigmoid; see [`ControllerScratch`]).
+    pub fn scratch(&self, slot: usize) -> Option<ControllerScratch> {
+        match self {
+            ControllerBank::PreciseSigmoid(b) => {
+                Some(ControllerScratch::PreciseSigmoid(b.scratch(slot)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Overwrites the mid-phase scratch of the ant at `slot` (checkpoint
+    /// restore; apply *after* [`ControllerBank::reset_slot`]).
+    ///
+    /// # Panics
+    /// If the scratch kind does not match the bank's kind, or its shape
+    /// does not match the bank's task count.
+    pub fn apply_scratch(&mut self, slot: usize, scratch: &ControllerScratch) {
+        match (self, scratch) {
+            (ControllerBank::PreciseSigmoid(b), ControllerScratch::PreciseSigmoid(s)) => {
+                b.apply_scratch(slot, s)
+            }
+            _ => panic!("scratch kind does not match bank kind"),
+        }
+    }
+
     /// Appends a controller to the bank.
     ///
     /// # Panics
@@ -174,12 +233,16 @@ impl ControllerBank {
         match (self, c) {
             (ControllerBank::AntSoA(b), AnyController::Ant(c)) => b.push_controller(&c),
             (ControllerBank::Ant(v), AnyController::Ant(c)) => v.push(c),
-            (ControllerBank::PreciseSigmoid(v), AnyController::PreciseSigmoid(c)) => v.push(c),
+            (ControllerBank::PreciseSigmoid(b), AnyController::PreciseSigmoid(c)) => {
+                b.push_controller(&c)
+            }
             (ControllerBank::PreciseAdversarial(v), AnyController::PreciseAdversarial(c)) => {
                 v.push(c)
             }
-            (ControllerBank::Trivial(v), AnyController::Trivial(c)) => v.push(c),
-            (ControllerBank::ExactGreedy(v), AnyController::ExactGreedy(c)) => v.push(c),
+            (ControllerBank::Trivial(b), AnyController::Trivial(c)) => b.push_controller(&c),
+            (ControllerBank::ExactGreedy(b), AnyController::ExactGreedy(c)) => {
+                b.push_controller(&c)
+            }
             (ControllerBank::Table(v), AnyController::Table(c)) => v.push(c),
             _ => panic!("controller kind does not match bank kind"),
         }
@@ -212,18 +275,20 @@ pub enum BankSliceMut<'a> {
     AntSoA(AntSliceMut<'a>),
     /// Chunk of a per-ant Algorithm Ant bank (desynchronized offsets).
     Ant(&'a mut [AlgorithmAnt]),
-    /// Chunk of a Precise Sigmoid bank.
-    PreciseSigmoid(&'a mut [PreciseSigmoid]),
+    /// Chunk of a structure-of-arrays Precise Sigmoid bank.
+    PreciseSigmoid(SigmoidSliceMut<'a>),
     /// Chunk of a Precise Adversarial bank.
     PreciseAdversarial(&'a mut [PreciseAdversarial]),
-    /// Chunk of a trivial bank.
-    Trivial(&'a mut [Trivial]),
-    /// Chunk of an exact-greedy bank.
-    ExactGreedy(&'a mut [ExactGreedy]),
+    /// Chunk of a flat trivial bank.
+    Trivial(TrivialSliceMut<'a>),
+    /// Chunk of a flat exact-greedy bank.
+    ExactGreedy(ExactGreedySliceMut<'a>),
     /// Chunk of a table-machine bank.
     Table(&'a mut [TableFsm]),
 }
 
+/// Dispatches over every chunk kind with one body (all chunk types
+/// share the `len`/`is_empty` surface).
 macro_rules! each_slice {
     ($self:ident, $v:ident => $body:expr) => {
         match $self {
@@ -295,12 +360,12 @@ impl<'a> BankSliceMut<'a> {
         match self {
             BankSliceMut::AntSoA(v) => v.step_batch(view, rngs, out),
             BankSliceMut::Ant(v) => AlgorithmAnt::step_bank(v, view, rngs, out),
-            BankSliceMut::PreciseSigmoid(v) => PreciseSigmoid::step_bank(v, view, rngs, out),
+            BankSliceMut::PreciseSigmoid(v) => v.step_batch(view, rngs, out),
             BankSliceMut::PreciseAdversarial(v) => {
                 PreciseAdversarial::step_bank(v, view, rngs, out)
             }
-            BankSliceMut::Trivial(v) => Trivial::step_bank(v, view, rngs, out),
-            BankSliceMut::ExactGreedy(v) => ExactGreedy::step_bank(v, view, rngs, out),
+            BankSliceMut::Trivial(v) => v.step_batch(view, rngs, out),
+            BankSliceMut::ExactGreedy(v) => v.step_batch(view, rngs, out),
             BankSliceMut::Table(v) => TableFsm::step_bank(v, view, rngs, out),
         }
     }
@@ -327,7 +392,9 @@ impl FromIterator<AnyController> for ControllerBank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::AntParams;
+    use crate::params::{AntParams, PreciseSigmoidParams};
+    use crate::precise_sigmoid::PreciseSigmoid;
+    use crate::trivial::Trivial;
     use antalloc_noise::NoiseModel;
     use antalloc_rng::StreamSeeder;
 
@@ -357,8 +424,7 @@ mod tests {
 
     #[test]
     fn split_chunks_cover_the_bank() {
-        let bank_vec: Vec<Trivial> = (0..10).map(|_| Trivial::new(1)).collect();
-        let mut bank = ControllerBank::Trivial(bank_vec);
+        let mut bank = ControllerBank::Trivial(TrivialBank::new(1, 10));
         let slice = bank.as_slice_mut();
         assert_eq!(slice.len(), 10);
         let (a, b) = slice.split_at_mut(4);
@@ -369,7 +435,24 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not match")]
     fn mismatched_push_panics() {
-        let mut bank = ControllerBank::Trivial(Vec::new());
+        let mut bank = ControllerBank::Trivial(TrivialBank::new(1, 0));
         bank.push(AlgorithmAnt::new(1, AntParams::default()).into());
+    }
+
+    #[test]
+    fn scratch_roundtrips_for_sigmoid_banks_only() {
+        let params = PreciseSigmoidParams::new(0.05, 0.5);
+        let mut bank: ControllerBank = (0..3)
+            .map(|_| AnyController::from(PreciseSigmoid::new(2, params)))
+            .collect();
+        let scratch = bank.scratch(1).expect("sigmoid banks carry scratch");
+        bank.reset_slot(1, Assignment::Task(0));
+        bank.apply_scratch(1, &scratch);
+        assert_eq!(bank.scratch(1).unwrap(), scratch);
+        // Scratch-free kinds report None.
+        let bank: ControllerBank = (0..2)
+            .map(|_| AnyController::from(Trivial::new(2)))
+            .collect();
+        assert_eq!(bank.scratch(0), None);
     }
 }

@@ -1,0 +1,462 @@
+//! Flat structure-of-arrays banks for the single-sample controllers.
+//!
+//! [`Trivial`] (Appendix D) and [`ExactGreedy`] (the \[11\]-style
+//! baseline) carry no cross-round state besides their assignment, so
+//! their fast layout is one `u32` per ant — the same shape as the idle
+//! path of [`crate::AntBank`]. Stepping streams a single flat array
+//! instead of a `Vec` of per-ant structs (each dragging a heap-allocated
+//! scratch bitmap), and the idle path's full-vector sample goes through
+//! the batched [`RoundView::fill_lack`] draw.
+//!
+//! **Reference semantics.** The per-ant [`crate::Controller`] impls are
+//! the truth: each bank consumes every ant's RNG stream in exactly the
+//! order `Controller::step` would (samples in task order, then the
+//! join/leave coins with the same short-circuits), so bank runs are
+//! bit-identical to per-ant runs — pinned by the parity property tests
+//! in `tests/banks.rs`.
+
+use antalloc_env::Assignment;
+use antalloc_noise::RoundView;
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
+
+use crate::ant_bank::{count_lacking, dec, enc, nth_lacking, nth_set_bit, IDLE};
+use crate::controller::Controller;
+use crate::exact_greedy::{ExactGreedy, ExactGreedyParams};
+use crate::trivial::Trivial;
+
+/// Row buffer for the > 64-task fallback paths; the bit-packed common
+/// case never reads it, so it stays unallocated there.
+#[inline]
+fn scratch_row(num_tasks: usize) -> Vec<u8> {
+    if num_tasks <= 64 {
+        Vec::new()
+    } else {
+        vec![0u8; num_tasks]
+    }
+}
+
+/// A homogeneous [`Trivial`] population in flat layout.
+#[derive(Clone, Debug)]
+pub struct TrivialBank {
+    num_tasks: usize,
+    /// Assignment per ant (`IDLE` when idle).
+    assignment: Vec<u32>,
+}
+
+impl TrivialBank {
+    /// An all-idle bank of `n` fresh ants.
+    pub fn new(num_tasks: usize, n: usize) -> Self {
+        assert!(num_tasks >= 1, "at least one task");
+        Self {
+            num_tasks,
+            assignment: vec![IDLE; n],
+        }
+    }
+
+    /// Number of ants.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff the bank holds no ants.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Appends a per-ant controller, transposing its state in.
+    pub fn push_controller(&mut self, ant: &Trivial) {
+        assert_eq!(ant.num_tasks(), self.num_tasks, "task count mismatch");
+        self.assignment.push(enc(ant.assignment()));
+    }
+
+    /// Reconstructs the per-ant controller at `slot` (reference
+    /// extraction; lossless — the assignment is the whole state).
+    pub fn to_controller(&self, slot: usize) -> Trivial {
+        let mut ant = Trivial::new(self.num_tasks);
+        ant.reset_to(dec(self.assignment[slot]));
+        ant
+    }
+
+    /// The assignment of the ant at `slot`.
+    pub fn assignment(&self, slot: usize) -> Assignment {
+        dec(self.assignment[slot])
+    }
+
+    /// Forces the ant at `slot` into `a`.
+    pub fn reset_slot(&mut self, slot: usize, a: Assignment) {
+        self.assignment[slot] = enc(a);
+    }
+
+    /// Persistent memory in bits (same accounting as the per-ant impl).
+    pub fn memory_bits(&self) -> u32 {
+        crate::memory::bits_for_states(self.num_tasks + 1)
+    }
+
+    /// Removes the ant at `slot` by swap-removal.
+    pub fn swap_remove(&mut self, slot: usize) {
+        self.assignment.swap_remove(slot);
+    }
+
+    /// The whole bank as a splittable mutable slice.
+    pub fn as_slice_mut(&mut self) -> TrivialSliceMut<'_> {
+        TrivialSliceMut {
+            num_tasks: self.num_tasks,
+            assignment: &mut self.assignment,
+        }
+    }
+
+    /// Steps the single ant at `slot` (the sequential model's path).
+    pub fn step_slot(&mut self, slot: usize, view: RoundView<'_>, rng: &mut AntRng) -> Assignment {
+        // The row buffer backs only the > 64-task fallback; the common
+        // bit-packed path must not allocate per sequential round.
+        let mut row = scratch_row(self.num_tasks);
+        TrivialSliceMut {
+            num_tasks: self.num_tasks,
+            assignment: &mut self.assignment[slot..slot + 1],
+        }
+        .step_one(0, view, rng, &mut row)
+    }
+}
+
+/// A disjoint mutable chunk of a [`TrivialBank`].
+#[derive(Debug)]
+pub struct TrivialSliceMut<'a> {
+    num_tasks: usize,
+    assignment: &'a mut [u32],
+}
+
+impl<'a> TrivialSliceMut<'a> {
+    /// Number of ants in the chunk.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Splits the chunk at `mid` into two disjoint chunks.
+    pub fn split_at_mut(self, mid: usize) -> (TrivialSliceMut<'a>, TrivialSliceMut<'a>) {
+        let (a, b) = self.assignment.split_at_mut(mid);
+        (
+            TrivialSliceMut {
+                num_tasks: self.num_tasks,
+                assignment: a,
+            },
+            TrivialSliceMut {
+                num_tasks: self.num_tasks,
+                assignment: b,
+            },
+        )
+    }
+
+    /// Steps every ant in the chunk; bit-identical to per-ant
+    /// [`Controller::step`] on [`Trivial`].
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, out.len(), "one decision slot per ant");
+        let mut row = scratch_row(self.num_tasks);
+        for i in 0..n {
+            out[i] = self.step_one(i, view, &mut rngs[i], &mut row);
+        }
+    }
+
+    /// One ant's round: idle → sample all tasks, join a uniformly random
+    /// lacking one; working → sample own task, leave on `overload`.
+    /// The idle path's full-vector draw is the bit-packed batched form
+    /// for ≤ 64 tasks (one pass, one register) and the row-buffer form
+    /// beyond; both consume draws in task order like the reference.
+    #[inline(always)]
+    fn step_one(
+        &mut self,
+        i: usize,
+        view: RoundView<'_>,
+        rng: &mut AntRng,
+        row: &mut [u8],
+    ) -> Assignment {
+        let cur = self.assignment[i];
+        if cur == IDLE {
+            if self.num_tasks <= 64 {
+                let mask = view.lack_mask(rng);
+                if mask != 0 {
+                    let pick = uniform_index(rng, mask.count_ones() as usize);
+                    self.assignment[i] = nth_set_bit(mask, pick) as u32;
+                }
+            } else {
+                view.fill_lack(rng, row);
+                let count = count_lacking(row);
+                if count > 0 {
+                    self.assignment[i] = nth_lacking(row, uniform_index(rng, count));
+                }
+            }
+        } else if !view.sample(cur as usize, rng).is_lack() {
+            self.assignment[i] = IDLE;
+        }
+        dec(self.assignment[i])
+    }
+}
+
+/// A homogeneous [`ExactGreedy`] population in flat layout.
+#[derive(Clone, Debug)]
+pub struct ExactGreedyBank {
+    params: ExactGreedyParams,
+    join: Bernoulli,
+    leave: Bernoulli,
+    num_tasks: usize,
+    /// Assignment per ant (`IDLE` when idle).
+    assignment: Vec<u32>,
+}
+
+impl ExactGreedyBank {
+    /// An all-idle bank of `n` fresh ants.
+    pub fn new(num_tasks: usize, params: ExactGreedyParams, n: usize) -> Self {
+        assert!(num_tasks >= 1, "at least one task");
+        Self {
+            params,
+            join: Bernoulli::new(params.p_join),
+            leave: Bernoulli::new(params.p_leave),
+            num_tasks,
+            assignment: vec![IDLE; n],
+        }
+    }
+
+    /// The parameters every ant in the bank runs.
+    pub fn params(&self) -> &ExactGreedyParams {
+        &self.params
+    }
+
+    /// Number of ants.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff the bank holds no ants.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Appends a per-ant controller, transposing its state in.
+    pub fn push_controller(&mut self, ant: &ExactGreedy) {
+        assert_eq!(ant.num_tasks(), self.num_tasks, "task count mismatch");
+        self.assignment.push(enc(ant.assignment()));
+    }
+
+    /// Reconstructs the per-ant controller at `slot` (reference
+    /// extraction; lossless — the assignment is the whole state).
+    pub fn to_controller(&self, slot: usize) -> ExactGreedy {
+        let mut ant = ExactGreedy::new(self.num_tasks, self.params);
+        ant.reset_to(dec(self.assignment[slot]));
+        ant
+    }
+
+    /// The assignment of the ant at `slot`.
+    pub fn assignment(&self, slot: usize) -> Assignment {
+        dec(self.assignment[slot])
+    }
+
+    /// Forces the ant at `slot` into `a`.
+    pub fn reset_slot(&mut self, slot: usize, a: Assignment) {
+        self.assignment[slot] = enc(a);
+    }
+
+    /// Persistent memory in bits (same accounting as the per-ant impl).
+    pub fn memory_bits(&self) -> u32 {
+        crate::memory::bits_for_states(self.num_tasks + 1)
+    }
+
+    /// Removes the ant at `slot` by swap-removal.
+    pub fn swap_remove(&mut self, slot: usize) {
+        self.assignment.swap_remove(slot);
+    }
+
+    /// The whole bank as a splittable mutable slice.
+    pub fn as_slice_mut(&mut self) -> ExactGreedySliceMut<'_> {
+        ExactGreedySliceMut {
+            join: self.join,
+            leave: self.leave,
+            num_tasks: self.num_tasks,
+            assignment: &mut self.assignment,
+        }
+    }
+
+    /// Steps the single ant at `slot` (the sequential model's path).
+    pub fn step_slot(&mut self, slot: usize, view: RoundView<'_>, rng: &mut AntRng) -> Assignment {
+        // See TrivialBank::step_slot: no allocation on the ≤ 64 path.
+        let mut row = scratch_row(self.num_tasks);
+        ExactGreedySliceMut {
+            join: self.join,
+            leave: self.leave,
+            num_tasks: self.num_tasks,
+            assignment: &mut self.assignment[slot..slot + 1],
+        }
+        .step_one(0, view, rng, &mut row)
+    }
+}
+
+/// A disjoint mutable chunk of an [`ExactGreedyBank`].
+#[derive(Debug)]
+pub struct ExactGreedySliceMut<'a> {
+    join: Bernoulli,
+    leave: Bernoulli,
+    num_tasks: usize,
+    assignment: &'a mut [u32],
+}
+
+impl<'a> ExactGreedySliceMut<'a> {
+    /// Number of ants in the chunk.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Splits the chunk at `mid` into two disjoint chunks.
+    pub fn split_at_mut(self, mid: usize) -> (ExactGreedySliceMut<'a>, ExactGreedySliceMut<'a>) {
+        let (a, b) = self.assignment.split_at_mut(mid);
+        (
+            ExactGreedySliceMut {
+                join: self.join,
+                leave: self.leave,
+                num_tasks: self.num_tasks,
+                assignment: a,
+            },
+            ExactGreedySliceMut {
+                join: self.join,
+                leave: self.leave,
+                num_tasks: self.num_tasks,
+                assignment: b,
+            },
+        )
+    }
+
+    /// Steps every ant in the chunk; bit-identical to per-ant
+    /// [`Controller::step`] on [`ExactGreedy`].
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, out.len(), "one decision slot per ant");
+        let mut row = scratch_row(self.num_tasks);
+        for i in 0..n {
+            out[i] = self.step_one(i, view, &mut rngs[i], &mut row);
+        }
+    }
+
+    /// One ant's round. The coin order is the reference's: samples in
+    /// task order, then the join coin *only* when something lacks, then
+    /// the uniform pick; workers draw the leave coin only on `overload`.
+    /// Idle-path sampling is the bit-packed batched draw for ≤ 64 tasks
+    /// (see [`TrivialSliceMut::step_one`]).
+    #[inline(always)]
+    fn step_one(
+        &mut self,
+        i: usize,
+        view: RoundView<'_>,
+        rng: &mut AntRng,
+        row: &mut [u8],
+    ) -> Assignment {
+        let cur = self.assignment[i];
+        if cur == IDLE {
+            if self.num_tasks <= 64 {
+                let mask = view.lack_mask(rng);
+                if mask != 0 && self.join.sample(rng) {
+                    let pick = uniform_index(rng, mask.count_ones() as usize);
+                    self.assignment[i] = nth_set_bit(mask, pick) as u32;
+                }
+            } else {
+                view.fill_lack(rng, row);
+                let count = count_lacking(row);
+                if count > 0 && self.join.sample(rng) {
+                    self.assignment[i] = nth_lacking(row, uniform_index(rng, count));
+                }
+            }
+        } else if !view.sample(cur as usize, rng).is_lack() && self.leave.sample(rng) {
+            self.assignment[i] = IDLE;
+        }
+        dec(self.assignment[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_noise::{FeedbackProbe, NoiseModel};
+    use antalloc_rng::StreamSeeder;
+
+    /// Both flat banks against their per-ant references, round for
+    /// round, under sigmoid noise (every code path: joins, leaves,
+    /// coins, rejections).
+    #[test]
+    fn flat_banks_match_per_ant_stepping() {
+        let n = 150;
+        let k = 3;
+        let seeder = StreamSeeder::new(11);
+        let model = NoiseModel::Sigmoid { lambda: 1.5 };
+
+        let mut trivial_bank = TrivialBank::new(k, n);
+        let mut trivial_ref: Vec<Trivial> = (0..n).map(|_| Trivial::new(k)).collect();
+        let mut greedy_bank = ExactGreedyBank::new(k, ExactGreedyParams::default(), n);
+        let mut greedy_ref: Vec<ExactGreedy> = (0..n)
+            .map(|_| ExactGreedy::new(k, ExactGreedyParams::default()))
+            .collect();
+
+        let mut bank_rngs: Vec<AntRng> = (0..2 * n).map(|i| seeder.ant(i)).collect();
+        let mut ref_rngs: Vec<AntRng> = (0..2 * n).map(|i| seeder.ant(i)).collect();
+        let mut out = vec![Assignment::Idle; n];
+        for round in 1..=50u64 {
+            let prepared = model.prepare(round, &[2, 0, -3], &[15, 15, 15]);
+            trivial_bank
+                .as_slice_mut()
+                .step_batch(prepared.view(), &mut bank_rngs[..n], &mut out);
+            for (i, ant) in trivial_ref.iter_mut().enumerate() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[i]);
+                assert_eq!(
+                    ant.step(&mut probe),
+                    out[i],
+                    "trivial ant {i} round {round}"
+                );
+            }
+            greedy_bank
+                .as_slice_mut()
+                .step_batch(prepared.view(), &mut bank_rngs[n..], &mut out);
+            for (i, ant) in greedy_ref.iter_mut().enumerate() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[n + i]);
+                assert_eq!(ant.step(&mut probe), out[i], "greedy ant {i} round {round}");
+            }
+        }
+        for i in 0..n {
+            assert_eq!(trivial_bank.assignment(i), trivial_ref[i].assignment());
+            assert_eq!(greedy_bank.assignment(i), greedy_ref[i].assignment());
+        }
+    }
+
+    #[test]
+    fn push_and_reconstruct_roundtrip() {
+        let mut bank = TrivialBank::new(2, 0);
+        let mut ant = Trivial::new(2);
+        ant.reset_to(Assignment::Task(1));
+        bank.push_controller(&ant);
+        assert_eq!(bank.len(), 1);
+        assert_eq!(bank.to_controller(0).assignment(), Assignment::Task(1));
+
+        let mut bank = ExactGreedyBank::new(2, ExactGreedyParams::default(), 0);
+        let mut ant = ExactGreedy::new(2, ExactGreedyParams::default());
+        ant.reset_to(Assignment::Task(0));
+        bank.push_controller(&ant);
+        assert_eq!(bank.to_controller(0).assignment(), Assignment::Task(0));
+    }
+
+    #[test]
+    fn swap_remove_moves_last_slot() {
+        let mut bank = TrivialBank::new(1, 3);
+        bank.reset_slot(0, Assignment::Task(0));
+        bank.reset_slot(2, Assignment::Idle);
+        bank.swap_remove(0);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.assignment(0), Assignment::Idle);
+    }
+}

@@ -34,21 +34,25 @@ mod ant_bank;
 mod bank;
 mod controller;
 mod exact_greedy;
+mod flat_bank;
 mod memory;
 mod params;
 mod precise_adversarial;
 mod precise_sigmoid;
+mod sigmoid_bank;
 mod table_fsm;
 mod trivial;
 
 pub use ant::AlgorithmAnt;
 pub use ant_bank::{AntBank, AntSliceMut};
-pub use bank::{BankSliceMut, ControllerBank};
+pub use bank::{BankSliceMut, ControllerBank, ControllerScratch};
 pub use controller::{step_slice, AnyController, Controller};
 pub use exact_greedy::{ExactGreedy, ExactGreedyParams};
+pub use flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
 pub use memory::{bits_for_states, closeness_floor, MemoryFootprint};
 pub use params::{AntParams, PreciseAdversarialParams, PreciseSigmoidParams};
 pub use precise_adversarial::PreciseAdversarial;
-pub use precise_sigmoid::PreciseSigmoid;
+pub use precise_sigmoid::{PreciseSigmoid, SigmoidScratch};
+pub use sigmoid_bank::{PreciseSigmoidBank, SigmoidSliceMut};
 pub use table_fsm::{FsmSpec, ReachabilityError, TableFsm};
 pub use trivial::Trivial;

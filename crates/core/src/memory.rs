@@ -11,6 +11,18 @@ pub fn bits_for_states(states: usize) -> u32 {
     usize::BITS - (states - 1).leading_zeros()
 }
 
+/// Precise Sigmoid's memory accounting, shared by the per-ant
+/// controller and its structure-of-arrays bank so the two can never
+/// report different figures: `currentTask` (one of `k + 1` values) +
+/// two counters of `⌈log2(m + 1)⌉` bits per task + the frozen median
+/// bit per task + the phase flag. The paper's `O(log 1/ε)` is the
+/// per-task counter width; `k` is a constant in its accounting.
+pub(crate) fn sigmoid_memory_bits(num_tasks: usize, m: u64) -> u32 {
+    let k = num_tasks as u32;
+    let counter_bits = u64::BITS - (m + 1).leading_zeros();
+    bits_for_states(num_tasks + 1) + 2 * k * counter_bits + k + 1
+}
+
 /// The closeness floor Theorem 3.3 predicts for a memory budget.
 ///
 /// Reading the theorem contrapositively: with `b` bits, no algorithm can

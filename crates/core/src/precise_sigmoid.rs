@@ -16,6 +16,27 @@ use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 use crate::controller::Controller;
 use crate::params::PreciseSigmoidParams;
 
+/// The mid-phase counter state of one Precise Sigmoid ant: everything
+/// the controller remembers besides its assignment. Extracted for bank
+/// transposition ([`crate::PreciseSigmoidBank`]) and carried by
+/// checkpoints so a capture between phase boundaries (phases are
+/// `2m = O(1/ε)` rounds long) resumes bit-identically instead of
+/// idling out the partial phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SigmoidScratch {
+    /// `currentTask`: the task this phase observes (kept across the
+    /// half-phase pause), or idle.
+    pub current_task: Assignment,
+    /// Whether the running phase was observed from its start.
+    pub have_phase: bool,
+    /// Per-task `lack` counts of the first half-phase.
+    pub count1: Vec<u16>,
+    /// Per-task `lack` counts of the second half-phase.
+    pub count2: Vec<u16>,
+    /// First-half medians, frozen at `r = m`.
+    pub shat1_lack: Vec<bool>,
+}
+
 /// The Algorithm Precise Sigmoid controller for one ant.
 #[derive(Clone, Debug)]
 pub struct PreciseSigmoid {
@@ -62,9 +83,17 @@ impl PreciseSigmoid {
         &self.params
     }
 
+    /// Number of tasks this controller observes.
+    pub fn num_tasks(&self) -> usize {
+        self.count1.len()
+    }
+
     /// Bank-loop entry point: steps a homogeneous slice of Precise
     /// Sigmoid controllers against one shared [`RoundView`].
-    /// Bit-identical to per-ant [`Controller::step`].
+    /// Bit-identical to per-ant [`Controller::step`]. Colonies use the
+    /// structure-of-arrays layout instead — see
+    /// [`crate::PreciseSigmoidBank`]; this per-ant loop remains as the
+    /// reference semantics.
     pub fn step_bank(
         ants: &mut [Self],
         view: RoundView<'_>,
@@ -72,6 +101,43 @@ impl PreciseSigmoid {
         out: &mut [Assignment],
     ) {
         crate::controller::step_slice(ants, view, rngs, out)
+    }
+
+    /// Copies the mid-phase counter state out — for transposition into
+    /// [`crate::PreciseSigmoidBank`] and for checkpoints that capture
+    /// between phase boundaries. Lossless together with
+    /// [`PreciseSigmoid::apply_scratch`]: the counters and the frozen
+    /// medians are the controller's *entire* state beyond its
+    /// assignment.
+    pub fn scratch(&self) -> SigmoidScratch {
+        SigmoidScratch {
+            current_task: self.current_task,
+            have_phase: self.have_phase,
+            count1: self.count1.clone(),
+            count2: self.count2.clone(),
+            shat1_lack: self.shat1_lack.clone(),
+        }
+    }
+
+    /// Overwrites the mid-phase counter state (restore path; the
+    /// assignment is restored separately via
+    /// [`crate::Controller::reset_to`] *before* this).
+    ///
+    /// # Panics
+    /// If the scratch's task count disagrees with this controller's.
+    pub fn apply_scratch(&mut self, s: &SigmoidScratch) {
+        assert_eq!(s.count1.len(), self.count1.len(), "task count mismatch");
+        assert_eq!(s.count2.len(), self.count2.len(), "task count mismatch");
+        assert_eq!(
+            s.shat1_lack.len(),
+            self.shat1_lack.len(),
+            "task count mismatch"
+        );
+        self.current_task = s.current_task;
+        self.have_phase = s.have_phase;
+        self.count1.copy_from_slice(&s.count1);
+        self.count2.copy_from_slice(&s.count2);
+        self.shat1_lack.copy_from_slice(&s.shat1_lack);
     }
 
     /// Median threshold: a batch of `m` samples is `lack` iff strictly
@@ -187,12 +253,10 @@ impl Controller for PreciseSigmoid {
     }
 
     fn memory_bits(&self) -> u32 {
-        // currentTask + two counters of ⌈log2(m+1)⌉ bits per task + the
-        // frozen median bit per task. The paper's O(log 1/ε) is the
-        // per-task counter width; k is a constant in its accounting.
-        let k = self.count1.len() as u32;
-        let counter_bits = u64::BITS - (self.m + 1).leading_zeros();
-        crate::memory::bits_for_states(k as usize + 1) + 2 * k * counter_bits + k + 1
+        // The shared accounting (see `memory::sigmoid_memory_bits`):
+        // the bank layout reports through the same function, so the two
+        // figures cannot drift apart.
+        crate::memory::sigmoid_memory_bits(self.count1.len(), self.m)
     }
 }
 

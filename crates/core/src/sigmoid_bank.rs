@@ -1,0 +1,480 @@
+//! Structure-of-arrays bank for §5 Algorithm Precise Sigmoid.
+//!
+//! A Precise Sigmoid ant is mostly counters: two `u16` `lack` counts
+//! and one frozen median bit per task, incremented every round of a
+//! `2m`-round phase. The per-ant struct layout scatters those counters
+//! across three heap allocations per ant; this bank transposes them
+//! into flat planes — `count1`/`count2` as `n × k` `u16` arrays and
+//! `shat1_lack` as an `n × k` byte array, each ant's `k`-row contiguous
+//! so the idle path (which touches all `k` entries) streams one cache
+//! line instead of chasing three pointers. The idle path's full-vector
+//! sample draws through the batched [`RoundView::fill_lack`].
+//!
+//! **Reference semantics.** [`crate::PreciseSigmoid`] is the truth; the
+//! bank consumes every ant's RNG stream in exactly the order
+//! `Controller::step` would (samples in task order, then the
+//! pause/leave/join coins with the same short-circuits), so bank runs
+//! are bit-identical to per-ant runs — pinned by `tests/banks.rs`.
+//!
+//! The counter planes are also what checkpoints serialize (per ant, as
+//! [`SigmoidScratch`]) so a capture *between* phase boundaries — phases
+//! are `2m = O(1/ε)` rounds long — resumes mid-phase bit-identically.
+
+use antalloc_env::Assignment;
+use antalloc_noise::RoundView;
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
+
+use crate::ant_bank::{dec, enc, IDLE};
+use crate::controller::Controller;
+use crate::params::PreciseSigmoidParams;
+use crate::precise_sigmoid::{PreciseSigmoid, SigmoidScratch};
+
+/// A homogeneous Precise Sigmoid population in structure-of-arrays
+/// layout.
+#[derive(Clone, Debug)]
+pub struct PreciseSigmoidBank {
+    params: PreciseSigmoidParams,
+    m: u64,
+    pause: Bernoulli,
+    leave: Bernoulli,
+    num_tasks: usize,
+    /// `currentTask` per ant (`IDLE` when idle).
+    current: Vec<u32>,
+    /// Output assignment `a_t` per ant.
+    assignment: Vec<u32>,
+    /// Phase-observed-from-start flag per ant.
+    have_phase: Vec<u8>,
+    /// First-half `lack` counts, ant-major `num_tasks` entries per ant.
+    count1: Vec<u16>,
+    /// Second-half `lack` counts, same shape.
+    count2: Vec<u16>,
+    /// Frozen first-half medians (1 = lack), same shape.
+    shat1: Vec<u8>,
+}
+
+impl PreciseSigmoidBank {
+    /// An all-idle bank of `n` fresh ants.
+    pub fn new(num_tasks: usize, params: PreciseSigmoidParams, n: usize) -> Self {
+        assert!(num_tasks >= 1, "at least one task");
+        let m = params.m();
+        assert!(m <= u64::from(u16::MAX), "m too large for u16 counters");
+        Self {
+            params,
+            m,
+            pause: Bernoulli::new(params.pause_probability()),
+            leave: Bernoulli::new(params.leave_probability()),
+            num_tasks,
+            current: vec![IDLE; n],
+            assignment: vec![IDLE; n],
+            have_phase: vec![0; n],
+            count1: vec![0; n * num_tasks],
+            count2: vec![0; n * num_tasks],
+            shat1: vec![0; n * num_tasks],
+        }
+    }
+
+    /// The parameters every ant in the bank runs.
+    pub fn params(&self) -> &PreciseSigmoidParams {
+        &self.params
+    }
+
+    /// Number of ants.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True iff the bank holds no ants.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Appends a per-ant controller, transposing its state in.
+    pub fn push_controller(&mut self, ant: &PreciseSigmoid) {
+        assert_eq!(ant.num_tasks(), self.num_tasks, "task count mismatch");
+        debug_assert_eq!(ant.params(), &self.params, "parameter mismatch");
+        let s = ant.scratch();
+        self.current.push(enc(s.current_task));
+        self.assignment.push(enc(ant.assignment()));
+        self.have_phase.push(u8::from(s.have_phase));
+        self.count1.extend_from_slice(&s.count1);
+        self.count2.extend_from_slice(&s.count2);
+        self.shat1.extend(s.shat1_lack.iter().map(|&l| u8::from(l)));
+    }
+
+    /// Reconstructs the per-ant controller at `slot` (reference
+    /// extraction; lossless for the whole state, counters included).
+    pub fn to_controller(&self, slot: usize) -> PreciseSigmoid {
+        let mut ant = PreciseSigmoid::new(self.num_tasks, self.params);
+        ant.reset_to(dec(self.assignment[slot]));
+        ant.apply_scratch(&self.scratch(slot));
+        ant
+    }
+
+    /// The mid-phase counter state of the ant at `slot` (checkpoint
+    /// capture; see [`SigmoidScratch`]).
+    pub fn scratch(&self, slot: usize) -> SigmoidScratch {
+        let k = self.num_tasks;
+        let row = slot * k..slot * k + k;
+        SigmoidScratch {
+            current_task: dec(self.current[slot]),
+            have_phase: self.have_phase[slot] == 1,
+            count1: self.count1[row.clone()].to_vec(),
+            count2: self.count2[row.clone()].to_vec(),
+            shat1_lack: self.shat1[row].iter().map(|&b| b == 1).collect(),
+        }
+    }
+
+    /// Overwrites the mid-phase counter state of the ant at `slot`
+    /// (checkpoint restore; the assignment is restored separately via
+    /// [`PreciseSigmoidBank::reset_slot`] *before* this).
+    ///
+    /// # Panics
+    /// If the scratch's task count disagrees with the bank's.
+    pub fn apply_scratch(&mut self, slot: usize, s: &SigmoidScratch) {
+        let k = self.num_tasks;
+        assert_eq!(s.count1.len(), k, "task count mismatch");
+        assert_eq!(s.count2.len(), k, "task count mismatch");
+        assert_eq!(s.shat1_lack.len(), k, "task count mismatch");
+        let row = slot * k..slot * k + k;
+        self.current[slot] = enc(s.current_task);
+        self.have_phase[slot] = u8::from(s.have_phase);
+        self.count1[row.clone()].copy_from_slice(&s.count1);
+        self.count2[row.clone()].copy_from_slice(&s.count2);
+        for (dst, &lack) in self.shat1[row].iter_mut().zip(&s.shat1_lack) {
+            *dst = u8::from(lack);
+        }
+    }
+
+    /// The assignment of the ant at `slot`.
+    pub fn assignment(&self, slot: usize) -> Assignment {
+        dec(self.assignment[slot])
+    }
+
+    /// Forces the ant at `slot` into `a` (see
+    /// [`crate::Controller::reset_to`]).
+    pub fn reset_slot(&mut self, slot: usize, a: Assignment) {
+        let x = enc(a);
+        self.assignment[slot] = x;
+        self.current[slot] = x;
+        self.have_phase[slot] = 0;
+    }
+
+    /// Persistent memory in bits (the shared accounting — identical to
+    /// the per-ant impl by construction).
+    pub fn memory_bits(&self) -> u32 {
+        crate::memory::sigmoid_memory_bits(self.num_tasks, self.m)
+    }
+
+    /// Removes the ant at `slot` by swap-removal.
+    pub fn swap_remove(&mut self, slot: usize) {
+        let k = self.num_tasks;
+        let last = self.len() - 1;
+        self.current.swap_remove(slot);
+        self.assignment.swap_remove(slot);
+        self.have_phase.swap_remove(slot);
+        for plane in [&mut self.count1, &mut self.count2] {
+            if slot != last {
+                let (head, tail) = plane.split_at_mut(last * k);
+                head[slot * k..slot * k + k].copy_from_slice(&tail[..k]);
+            }
+            plane.truncate(last * k);
+        }
+        if slot != last {
+            let (head, tail) = self.shat1.split_at_mut(last * k);
+            head[slot * k..slot * k + k].copy_from_slice(&tail[..k]);
+        }
+        self.shat1.truncate(last * k);
+    }
+
+    /// The whole bank as a splittable mutable slice.
+    pub fn as_slice_mut(&mut self) -> SigmoidSliceMut<'_> {
+        SigmoidSliceMut {
+            m: self.m,
+            pause: self.pause,
+            leave: self.leave,
+            num_tasks: self.num_tasks,
+            current: &mut self.current,
+            assignment: &mut self.assignment,
+            have_phase: &mut self.have_phase,
+            count1: &mut self.count1,
+            count2: &mut self.count2,
+            shat1: &mut self.shat1,
+        }
+    }
+
+    /// Steps the single ant at `slot` (the sequential model's path) —
+    /// the same kernel as the bank loop, on a one-ant chunk.
+    pub fn step_slot(&mut self, slot: usize, view: RoundView<'_>, rng: &mut AntRng) -> Assignment {
+        let k = self.num_tasks;
+        // Stack scratch for the common ≤ 64-task case: this is the
+        // sequential model's per-round path, so no per-call allocation.
+        let mut stack = [0u8; 64];
+        let mut heap = Vec::new();
+        let row: &mut [u8] = if k <= 64 {
+            &mut stack[..k]
+        } else {
+            heap.resize(k, 0);
+            &mut heap
+        };
+        let mut slice = SigmoidSliceMut {
+            m: self.m,
+            pause: self.pause,
+            leave: self.leave,
+            num_tasks: k,
+            current: &mut self.current[slot..slot + 1],
+            assignment: &mut self.assignment[slot..slot + 1],
+            have_phase: &mut self.have_phase[slot..slot + 1],
+            count1: &mut self.count1[slot * k..slot * k + k],
+            count2: &mut self.count2[slot * k..slot * k + k],
+            shat1: &mut self.shat1[slot * k..slot * k + k],
+        };
+        let r = view.round() % (2 * slice.m);
+        slice.step_one(0, r, view, rng, row)
+    }
+}
+
+/// A disjoint mutable chunk of a [`PreciseSigmoidBank`].
+#[derive(Debug)]
+pub struct SigmoidSliceMut<'a> {
+    m: u64,
+    pause: Bernoulli,
+    leave: Bernoulli,
+    num_tasks: usize,
+    current: &'a mut [u32],
+    assignment: &'a mut [u32],
+    have_phase: &'a mut [u8],
+    count1: &'a mut [u16],
+    count2: &'a mut [u16],
+    shat1: &'a mut [u8],
+}
+
+impl<'a> SigmoidSliceMut<'a> {
+    /// Number of ants in the chunk.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True iff the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Splits the chunk at `mid` into two disjoint chunks.
+    pub fn split_at_mut(self, mid: usize) -> (SigmoidSliceMut<'a>, SigmoidSliceMut<'a>) {
+        let k = self.num_tasks;
+        let (cu1, cu2) = self.current.split_at_mut(mid);
+        let (a1, a2) = self.assignment.split_at_mut(mid);
+        let (h1, h2) = self.have_phase.split_at_mut(mid);
+        let (c11, c12) = self.count1.split_at_mut(mid * k);
+        let (c21, c22) = self.count2.split_at_mut(mid * k);
+        let (s1, s2) = self.shat1.split_at_mut(mid * k);
+        (
+            SigmoidSliceMut {
+                m: self.m,
+                pause: self.pause,
+                leave: self.leave,
+                num_tasks: k,
+                current: cu1,
+                assignment: a1,
+                have_phase: h1,
+                count1: c11,
+                count2: c21,
+                shat1: s1,
+            },
+            SigmoidSliceMut {
+                m: self.m,
+                pause: self.pause,
+                leave: self.leave,
+                num_tasks: k,
+                current: cu2,
+                assignment: a2,
+                have_phase: h2,
+                count1: c12,
+                count2: c22,
+                shat1: s2,
+            },
+        )
+    }
+
+    /// Steps every ant in the chunk; bit-identical to per-ant
+    /// [`Controller::step`] on [`PreciseSigmoid`]. The phase position is
+    /// computed once for the whole chunk (all ants share the global
+    /// clock).
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, out.len(), "one decision slot per ant");
+        let r = view.round() % (2 * self.m);
+        // Stack scratch for the common ≤ 64-task case; one heap buffer
+        // per bank-round beyond that.
+        let mut stack = [0u8; 64];
+        let mut heap = Vec::new();
+        let row: &mut [u8] = if self.num_tasks <= 64 {
+            &mut stack[..self.num_tasks]
+        } else {
+            heap.resize(self.num_tasks, 0);
+            &mut heap
+        };
+        for i in 0..n {
+            out[i] = self.step_one(i, r, view, &mut rngs[i], row);
+        }
+    }
+
+    /// One ant's round at phase position `r = round mod 2m`, mirroring
+    /// [`PreciseSigmoid::step`] clause for clause.
+    #[inline(always)]
+    fn step_one(
+        &mut self,
+        i: usize,
+        r: u64,
+        view: RoundView<'_>,
+        rng: &mut AntRng,
+        row: &mut [u8],
+    ) -> Assignment {
+        let k = self.num_tasks;
+        if r == 1 {
+            // Phase start: adopt a_{t−1} as currentTask, reset counters.
+            self.current[i] = self.assignment[i];
+            self.count1[i * k..i * k + k].fill(0);
+            self.count2[i * k..i * k + k].fill(0);
+            self.have_phase[i] = 1;
+        }
+        if self.have_phase[i] == 0 {
+            // Joined mid-phase (reset); idle out the remainder.
+            return dec(self.assignment[i]);
+        }
+        let first_half = (1..=self.m).contains(&r);
+        let cur = self.current[i];
+        {
+            // sample_into: one draw for the current task, or the batched
+            // full-vector draw on the idle path.
+            let counts = if first_half {
+                &mut self.count1[i * k..i * k + k]
+            } else {
+                &mut self.count2[i * k..i * k + k]
+            };
+            if cur != IDLE {
+                counts[cur as usize] += u16::from(view.sample(cur as usize, rng).is_lack());
+            } else {
+                view.fill_lack(rng, row);
+                for (c, &lack) in counts.iter_mut().zip(row.iter()) {
+                    *c += u16::from(lack);
+                }
+            }
+        }
+        let m = self.m;
+        let median_is_lack = move |count: u16| u64::from(count) * 2 > m;
+        if r == self.m {
+            // Freeze ŝ1 and take the temporary pause.
+            for j in 0..k {
+                self.shat1[i * k + j] = u8::from(median_is_lack(self.count1[i * k + j]));
+            }
+            if cur != IDLE {
+                self.assignment[i] = if self.pause.sample(rng) { IDLE } else { cur };
+            }
+        } else if r == 0 {
+            // Phase end: compute ŝ2 and decide, exactly as Algorithm Ant.
+            if cur == IDLE {
+                let joinable = |this: &Self, j: usize| {
+                    this.shat1[i * k + j] == 1 && median_is_lack(this.count2[i * k + j])
+                };
+                let count = (0..k).filter(|&j| joinable(self, j)).count();
+                self.assignment[i] = if count == 0 {
+                    IDLE
+                } else {
+                    let pick = uniform_index(rng, count);
+                    (0..k)
+                        .filter(|&j| joinable(self, j))
+                        .nth(pick)
+                        .expect("pick < count") as u32
+                };
+            } else {
+                let ju = i * k + cur as usize;
+                let both_overload = self.shat1[ju] == 0 && !median_is_lack(self.count2[ju]);
+                self.assignment[i] = if both_overload && self.leave.sample(rng) {
+                    IDLE
+                } else {
+                    cur
+                };
+            }
+            self.have_phase[i] = 0;
+        }
+        // All other rounds: keep the current assignment (a_t ← a_{t−1}).
+        dec(self.assignment[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_noise::{FeedbackProbe, NoiseModel};
+    use antalloc_rng::StreamSeeder;
+
+    /// The SoA bank against the per-ant reference, round for round,
+    /// across several full phases (joins, leaves, pauses, mid-phase
+    /// resets) — including reconstruction losslessness mid-phase.
+    #[test]
+    fn soa_bank_matches_per_ant_stepping() {
+        let n = 80;
+        let k = 2;
+        let params = PreciseSigmoidParams::new(0.05, 0.5); // phase 82
+        let seeder = StreamSeeder::new(23);
+        let mut bank = PreciseSigmoidBank::new(k, params, n);
+        let mut reference: Vec<PreciseSigmoid> =
+            (0..n).map(|_| PreciseSigmoid::new(k, params)).collect();
+        let mut bank_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let mut ref_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let model = NoiseModel::Sigmoid { lambda: 1.0 };
+        let mut out = vec![Assignment::Idle; n];
+        for round in 1..=200u64 {
+            let prepared = model.prepare(round, &[5, -5], &[25, 25]);
+            bank.as_slice_mut()
+                .step_batch(prepared.view(), &mut bank_rngs, &mut out);
+            for (i, ant) in reference.iter_mut().enumerate() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[i]);
+                assert_eq!(ant.step(&mut probe), out[i], "ant {i} round {round}");
+                assert_eq!(ant.assignment(), bank.assignment(i), "ant {i}");
+            }
+            if round == 137 {
+                // Mid-phase reconstruction: counters must come out
+                // losslessly, so a rebuilt ant continues in lockstep.
+                for (i, ant) in reference.iter().enumerate() {
+                    let rebuilt = bank.to_controller(i);
+                    assert_eq!(rebuilt.scratch(), ant.scratch(), "ant {i}");
+                    assert_eq!(rebuilt.assignment(), ant.assignment());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_and_reconstruct_roundtrip_mid_phase() {
+        let params = PreciseSigmoidParams::new(0.05, 0.5);
+        let mut ant = PreciseSigmoid::new(2, params);
+        let mut rng = StreamSeeder::new(3).ant(0);
+        let model = NoiseModel::Sigmoid { lambda: 1.0 };
+        for round in 1..=37 {
+            let prepared = model.prepare(round, &[3, -3], &[10, 10]);
+            let mut probe = FeedbackProbe::new(&prepared, &mut rng);
+            ant.step(&mut probe);
+        }
+        let mut bank = PreciseSigmoidBank::new(2, params, 0);
+        bank.push_controller(&ant);
+        let back = bank.to_controller(0);
+        assert_eq!(back.scratch(), ant.scratch());
+        assert_eq!(back.assignment(), ant.assignment());
+    }
+
+    #[test]
+    fn swap_remove_moves_all_planes() {
+        let params = PreciseSigmoidParams::new(0.05, 0.5);
+        let mut bank = PreciseSigmoidBank::new(2, params, 3);
+        bank.reset_slot(0, Assignment::Task(0));
+        bank.reset_slot(2, Assignment::Task(1));
+        bank.count1[2 * 2] = 7; // slot 2, task 0
+        bank.swap_remove(0);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.assignment(0), Assignment::Task(1)); // old slot 2
+        assert_eq!(bank.count1[0], 7, "slot 2's counter row moved into slot 0");
+    }
+}

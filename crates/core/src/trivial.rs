@@ -34,9 +34,16 @@ impl Trivial {
         }
     }
 
+    /// Number of tasks this controller observes.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
     /// Bank-loop entry point: steps a homogeneous slice of trivial
     /// controllers against one shared [`RoundView`]. Bit-identical to
-    /// per-ant [`Controller::step`].
+    /// per-ant [`Controller::step`]. Colonies use the flat
+    /// structure-of-arrays layout instead — see [`crate::TrivialBank`];
+    /// this per-ant loop remains as the reference semantics.
     pub fn step_bank(
         ants: &mut [Self],
         view: RoundView<'_>,

@@ -225,15 +225,17 @@ impl NoiseModel {
 #[inline]
 fn bernoulli_task(p: f64) -> TaskFeedback {
     let b = Bernoulli::new(p);
+    let (lack_threshold, always) = b.raw_threshold();
     if b.never() {
         TaskFeedback::Fixed(Feedback::Overload)
-    } else if b.probability() >= 1.0 {
+    } else if always {
         TaskFeedback::Fixed(Feedback::Lack)
     } else {
-        // Recover the raw threshold; Bernoulli guarantees p ∈ (0, 1) here.
-        TaskFeedback::Random {
-            lack_threshold: (b.probability() * 18_446_744_073_709_551_616.0) as u64,
-        }
+        // The raw 2^64-scaled threshold, taken losslessly: recovering it
+        // through `probability()` would round the 64-bit threshold to an
+        // f64 mantissa and re-truncate, shifting realized probabilities
+        // near 1 by up to 2^-54.
+        TaskFeedback::Random { lack_threshold }
     }
 }
 
@@ -277,6 +279,55 @@ impl RoundView<'_> {
                 }
             }
         }
+    }
+
+    /// Draws one ant's **full signal vector** in one pass: `out[j] = 1`
+    /// iff the signal for task `j` is `lack`, for every task in index
+    /// order. This is the batched sampling step the structure-of-arrays
+    /// bank loops use for their idle paths (an idle ant samples every
+    /// task), hoisting the per-call dispatch out of the per-task loop —
+    /// the generator advance + threshold compare run as one tight,
+    /// vectorizable loop, like [`antalloc_rng::Bernoulli::fill`].
+    ///
+    /// Bit-identical to calling [`RoundView::sample`] per task in index
+    /// order: the same draws are consumed from `rng` (none for `Fixed`
+    /// signals), with the same results.
+    ///
+    /// # Panics
+    /// If `out.len() != self.num_tasks()`.
+    #[inline]
+    pub fn fill_lack(&self, rng: &mut AntRng, out: &mut [u8]) {
+        assert_eq!(out.len(), self.tasks.len(), "one slot per task");
+        for (slot, task) in out.iter_mut().zip(self.tasks) {
+            *slot = match *task {
+                TaskFeedback::Fixed(f) => u8::from(f.is_lack()),
+                TaskFeedback::Random { lack_threshold } => {
+                    u8::from(rng.next_u64() < lack_threshold)
+                }
+            };
+        }
+    }
+
+    /// Bit-packed [`RoundView::fill_lack`]: bit `j` is set iff task
+    /// `j`'s signal is `lack`. Same draws consumed, in the same task
+    /// order, but the result lands in one register instead of a row
+    /// buffer — the form the flat bank loops fold straight into a
+    /// popcount + nth-set-bit uniform pick.
+    ///
+    /// # Panics
+    /// If the view holds more than 64 tasks (use [`RoundView::fill_lack`]).
+    #[inline]
+    pub fn lack_mask(&self, rng: &mut AntRng) -> u64 {
+        assert!(self.tasks.len() <= 64, "lack_mask: more than 64 tasks");
+        let mut mask = 0u64;
+        for (j, task) in self.tasks.iter().enumerate() {
+            let lack = match *task {
+                TaskFeedback::Fixed(f) => f.is_lack(),
+                TaskFeedback::Random { lack_threshold } => rng.next_u64() < lack_threshold,
+            };
+            mask |= u64::from(lack) << j;
+        }
+        mask
     }
 }
 

@@ -4,14 +4,23 @@
 //! whose success probabilities are fixed for a whole round (feedback
 //! probabilities, pause/leave probabilities). Precomputing the probability
 //! as a 64-bit integer threshold turns each draw into one generator call
-//! and one compare.
+//! and one compare — and [`Bernoulli::fill`] amortizes even the call
+//! overhead by drawing a whole batch against one threshold (the
+//! SIMD-width sampling step the bank loops build on).
 
 use crate::xoshiro::Xoshiro256pp;
 
 /// A Bernoulli distribution with precomputed integer threshold.
 ///
-/// `sample` returns `true` with probability `p` up to a quantization error
-/// of at most `2^-64` (exact for `p ∈ {0, 1}`).
+/// # Quantization guarantee
+///
+/// The requested probability is quantized to the grid `t/2^64` with
+/// `t = round_to_nearest(p · 2^64)` (ties away from zero), so the
+/// probability the sampler *realizes* differs from `p` by at most
+/// `2^-65` — half a grid step. `p ∈ {0, 1}` is exact, and the
+/// quantization never crosses the degenerate endpoints: `0 < p` small
+/// enough still quantizes to "never" only when `p < 2^-65`, and no
+/// `p < 1` quantizes to "always".
 ///
 /// ```
 /// use antalloc_rng::{Bernoulli, Xoshiro256pp};
@@ -47,13 +56,29 @@ impl Bernoulli {
                 always: true,
             };
         }
-        // p * 2^64, computed in f64. For p in (0,1) this fits in u64
-        // because p <= 1 - 2^-53 implies p * 2^64 <= 2^64 - 2^11.
-        let threshold = (p * 18_446_744_073_709_551_616.0) as u64;
+        // p * 2^64 is exact (scaling by a power of two), so the only
+        // rounding is the conversion to the integer grid — which must be
+        // to-nearest: an `as u64` cast truncates, biasing every realized
+        // probability low by up to one whole grid step for p < 2^-12
+        // (where the product has a fractional part). For p in (0,1) the
+        // rounded product fits in u64 because p <= 1 - 2^-53 implies
+        // p * 2^64 <= 2^64 - 2^11.
+        let threshold = (p * 18_446_744_073_709_551_616.0).round() as u64;
         Self {
             threshold,
             always: false,
         }
+    }
+
+    /// The probability as its raw `2^64`-scaled threshold, with the
+    /// probability-1 case flagged separately (it cannot be encoded as a
+    /// finite threshold). Lossless, unlike [`Bernoulli::probability`],
+    /// which rounds the 64-bit threshold through an `f64` mantissa —
+    /// consumers that re-derive sampling state (the noise models) must
+    /// use this.
+    #[inline]
+    pub fn raw_threshold(&self) -> (u64, bool) {
+        (self.threshold, self.always)
     }
 
     /// The success probability the sampler actually realizes.
@@ -70,6 +95,35 @@ impl Bernoulli {
     #[inline(always)]
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> bool {
         self.always || rng.next_u64() < self.threshold
+    }
+
+    /// Draws `out.len()` variates from one stream against the one
+    /// precomputed threshold — the batched form of [`Bernoulli::sample`],
+    /// bit-identical to calling it `out.len()` times in slice order
+    /// (same draws consumed, same results). The monomorphic loop lets
+    /// the compiler unroll and vectorize the generator advance + compare,
+    /// which per-call sampling defeats.
+    ///
+    /// ```
+    /// use antalloc_rng::{Bernoulli, Xoshiro256pp};
+    /// let b = Bernoulli::new(0.25);
+    /// let mut a = Xoshiro256pp::seed_from_u64(7);
+    /// let mut c = a.clone();
+    /// let mut batch = [false; 32];
+    /// b.fill(&mut a, &mut batch);
+    /// for (i, &got) in batch.iter().enumerate() {
+    ///     assert_eq!(got, b.sample(&mut c), "draw {i}");
+    /// }
+    /// ```
+    #[inline]
+    pub fn fill(&self, rng: &mut Xoshiro256pp, out: &mut [bool]) {
+        if self.always {
+            out.fill(true);
+            return;
+        }
+        for slot in out.iter_mut() {
+            *slot = rng.next_u64() < self.threshold;
+        }
     }
 
     /// True iff the probability is exactly 0 (useful to skip whole loops).
@@ -123,11 +177,58 @@ mod tests {
         }
     }
 
+    #[test]
+    fn threshold_rounds_to_nearest_not_down() {
+        // Regression: the truncating cast biased every probability whose
+        // 2^64-scaled value has a fractional part (p ≲ 2^-12, where the
+        // f64 mantissa extends below the grid — exactly the regime of
+        // the paper's n^-8 feedback-error probabilities) low by up to
+        // one ulp. 1e-5 * 2^64 = …095.516… must round up to …096.
+        let b = Bernoulli::new(1e-5);
+        assert_eq!(b.raw_threshold(), (184_467_440_737_096, false));
+        // Exactly representable probabilities stay exact.
+        let b = Bernoulli::new(0.5);
+        assert_eq!(b.raw_threshold(), (1u64 << 63, false));
+        let b = Bernoulli::new(2f64.powi(-20));
+        assert_eq!(b.raw_threshold(), (1u64 << 44, false));
+        // Half a grid step rounds away from zero, not to never.
+        let b = Bernoulli::new(2f64.powi(-65));
+        assert_eq!(b.raw_threshold(), (1, false));
+        assert!(!b.never());
+    }
+
     proptest! {
         #[test]
         fn probability_roundtrip(p in 0.0f64..1.0) {
+            // Quantization is at most half a grid step (2^-65); reading
+            // the threshold back through `probability()`'s f64 division
+            // adds at most 2^-54. Total well under 2^-53 — the old
+            // truncating constructor fails this bound for small p.
             let b = Bernoulli::new(p);
-            prop_assert!((b.probability() - p).abs() < 1e-15);
+            prop_assert!((b.probability() - p).abs() <= 2f64.powi(-53));
+            // And the realized probability is *exactly* the documented
+            // grid point.
+            let (t, always) = b.raw_threshold();
+            prop_assert!(!always);
+            prop_assert_eq!(t, (p * 18_446_744_073_709_551_616.0).round() as u64);
+        }
+
+        #[test]
+        fn fill_is_bit_identical_to_repeated_sampling(
+            p in 0.0f64..1.0,
+            n in 0usize..70,
+            seed: u64,
+        ) {
+            let b = Bernoulli::new(p);
+            let mut batched = Xoshiro256pp::seed_from_u64(seed);
+            let mut single = batched.clone();
+            let mut out = vec![false; n];
+            b.fill(&mut batched, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                prop_assert_eq!(got, b.sample(&mut single), "draw {}", i);
+            }
+            // Both consumed the same number of draws.
+            prop_assert_eq!(batched.next_u64(), single.next_u64());
         }
 
         #[test]

@@ -11,7 +11,12 @@
 //!    cryptographic expansion.
 //! 3. **Branch-light sampling.** The hot loop draws one Bernoulli variate
 //!    per (ant, task) pair per round; [`Bernoulli`] reduces that to a
-//!    64-bit compare against a precomputed threshold.
+//!    64-bit compare against a precomputed threshold, quantized
+//!    round-to-nearest onto the `2^-64` grid (realized probability within
+//!    `2^-65` of the request). [`Bernoulli::fill`] is the batched form —
+//!    N draws against one threshold in one monomorphic loop, bit-identical
+//!    to repeated `sample` calls — which the structure-of-arrays bank
+//!    loops in `antalloc-core` build their full-vector sampling step on.
 //!
 //! The generators are the public-domain reference designs:
 //! [`SplitMix64`] (stream derivation / state expansion) and

@@ -9,21 +9,27 @@ use crate::xoshiro::Xoshiro256pp;
 /// Draws a uniform index in `[0, bound)`. Panics if `bound == 0`.
 ///
 /// Lemire's widening-multiply rejection method: unbiased, and in the
-/// common case costs one multiply and no division.
+/// common case costs one multiply and no division. The rare rejection
+/// path delegates to [`UniformRange::sample`] — there is exactly one
+/// implementation of the accept/reject loop, so the two entry points
+/// cannot drift apart (they must consume identical draws and return
+/// identical indices for bit-identity to hold across call sites).
 #[inline]
 pub fn uniform_index(rng: &mut Xoshiro256pp, bound: usize) -> usize {
     assert!(bound > 0, "uniform_index: empty range");
     let bound = bound as u64;
-    let mut x = rng.next_u64();
-    let mut m = (x as u128).wrapping_mul(bound as u128);
-    let mut low = m as u64;
+    let m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+    let low = m as u64;
     if low < bound {
-        // Rejection zone: 2^64 mod bound.
-        let threshold = bound.wrapping_neg() % bound;
-        while low < threshold {
-            x = rng.next_u64();
-            m = (x as u128).wrapping_mul(bound as u128);
-            low = m as u64;
+        // Possibly in the rejection zone (2^64 mod bound < bound):
+        // compute the threshold — deferred until here so the common
+        // case pays no division — and let the shared loop finish.
+        let range = UniformRange {
+            bound,
+            threshold: bound.wrapping_neg() % bound,
+        };
+        if low < range.threshold {
+            return range.sample(rng);
         }
     }
     (m >> 64) as usize
@@ -135,6 +141,36 @@ mod tests {
         fn uniform_index_in_bounds(seed: u64, bound in 1usize..1_000_000) {
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
             prop_assert!(uniform_index(&mut rng, bound) < bound);
+        }
+
+        /// The lock-step contract behind the delegation: from identical
+        /// generator state, the free function and the precomputed range
+        /// must return the same index *and* leave the generator in the
+        /// same state (same number of draws consumed) — including across
+        /// rejection-path bounds like `(2^63) + 1` where nearly half of
+        /// all draws reject.
+        #[test]
+        fn free_fn_and_range_consume_identical_draws(
+            seed: u64,
+            pick in 0usize..7,
+            small in 1usize..100,
+        ) {
+            let bound = [
+                small,
+                3,
+                7,
+                (1usize << 20) - 1,
+                (1usize << 31) + 1,
+                usize::MAX / 2 + 2, // huge rejection zone
+                usize::MAX,
+            ][pick];
+            let mut a = Xoshiro256pp::seed_from_u64(seed);
+            let mut b = a.clone();
+            let range = UniformRange::new(bound);
+            for _ in 0..32 {
+                prop_assert_eq!(uniform_index(&mut a, bound), range.sample(&mut b));
+                prop_assert_eq!(a.state(), b.state());
+            }
         }
     }
 }

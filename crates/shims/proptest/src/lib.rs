@@ -6,9 +6,16 @@
 //! tuple strategies, [`Just`], [`Strategy::prop_map`],
 //! [`collection::vec`], [`num::f64::NORMAL`], and [`arbitrary::any`].
 //!
-//! No shrinking: a failing case panics with the sampled inputs'
-//! recorded seed so the run reproduces exactly (the generator is
-//! deterministic per test name). Case count defaults to 64 and is
+//! Failing cases **shrink**: the runner repeatedly replaces the failing
+//! input with the first still-failing candidate from
+//! [`Strategy::shrinks`] — halving/bisection toward the range origin
+//! for numeric strategies, length halving plus element-wise shrinking
+//! for collections, component-wise shrinking for tuples — and reports
+//! the minimal failing input alongside the recorded generator state, so
+//! a counterexample sampled as a million-element spec arrives as the
+//! few elements that matter. Strategies that cannot shrink (mapped,
+//! one-of, `Just`) report the sampled value unshrunk. The generator is
+//! deterministic per test name; case count defaults to 64 and is
 //! overridable via `PROPTEST_CASES`.
 
 #![forbid(unsafe_code)]
@@ -79,7 +86,19 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
-    /// Maps produced values through `f`.
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner keeps the first candidate that still fails and
+    /// repeats until none do, so candidates should move toward the
+    /// strategy's origin (range start, empty-ish collection). The
+    /// default — no candidates — is correct for any strategy and merely
+    /// skips shrinking.
+    fn shrinks(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Maps produced values through `f`. Mapped strategies do not
+    /// shrink (the mapping is not invertible in general).
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -95,6 +114,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (**self).sample(rng)
     }
+
+    fn shrinks(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrinks(value)
+    }
 }
 
 impl<V> Strategy for Box<dyn Strategy<Value = V>> {
@@ -102,6 +125,10 @@ impl<V> Strategy for Box<dyn Strategy<Value = V>> {
 
     fn sample(&self, rng: &mut TestRng) -> V {
         (**self).sample(rng)
+    }
+
+    fn shrinks(&self, value: &V) -> Vec<V> {
+        (**self).shrinks(value)
     }
 }
 
@@ -132,6 +159,7 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
 }
 
 /// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+/// Does not shrink: the producing arm of a sampled value is unknown.
 pub struct Union<V> {
     choices: Vec<Box<dyn Strategy<Value = V>>>,
 }
@@ -159,6 +187,9 @@ pub trait SampleRange: Sized + Copy + PartialOrd {
     fn sample_range(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
     /// Uniform draw from `[lo, hi]`.
     fn sample_range_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Shrink candidates for `value`, moving toward `origin` (the range
+    /// start): the origin itself, the bisection midpoint, one step.
+    fn shrink_toward(origin: Self, value: Self) -> Vec<Self>;
 }
 
 macro_rules! impl_sample_int {
@@ -176,6 +207,18 @@ macro_rules! impl_sample_int {
                 let span = (hi as i128 - lo as i128) as u128 + 1;
                 let off = (u128::from(rng.next_u64()) % span) as i128;
                 (lo as i128 + off) as $t
+            }
+
+            fn shrink_toward(origin: Self, value: Self) -> Vec<Self> {
+                if value == origin {
+                    return Vec::new();
+                }
+                let (o, v) = (origin as i128, value as i128);
+                let step = if v > o { -1 } else { 1 };
+                let mut out = vec![origin, (o + (v - o) / 2) as $t, (v + step) as $t];
+                out.dedup();
+                out.retain(|&c| c != value);
+                out
             }
         }
     )*};
@@ -197,6 +240,16 @@ macro_rules! impl_sample_float {
                 let u = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
                 lo + u * (hi - lo)
             }
+
+            fn shrink_toward(origin: Self, value: Self) -> Vec<Self> {
+                if !value.is_finite() || value == origin {
+                    return Vec::new();
+                }
+                let mut out = vec![origin, origin + (value - origin) / 2.0];
+                out.retain(|&c| c != value && c.is_finite());
+                out.dedup_by(|a, b| a == b);
+                out
+            }
         }
     )*};
 }
@@ -209,6 +262,10 @@ impl<T: SampleRange> Strategy for Range<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::sample_range(self.start, self.end, rng)
     }
+
+    fn shrinks(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(self.start, *value)
+    }
 }
 
 impl<T: SampleRange> Strategy for RangeInclusive<T> {
@@ -217,11 +274,25 @@ impl<T: SampleRange> Strategy for RangeInclusive<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::sample_range_inclusive(*self.start(), *self.end(), rng)
     }
+
+    fn shrinks(&self, value: &T) -> Vec<T> {
+        T::shrink_toward(*self.start(), *value)
+    }
+}
+
+/// The unit strategy (parameterless properties).
+impl Strategy for () {
+    type Value = ();
+
+    fn sample(&self, _rng: &mut TestRng) -> Self::Value {}
 }
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -229,16 +300,31 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.sample(rng),)+)
             }
+
+            /// Component-wise: shrink one coordinate, keep the rest.
+            fn shrinks(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrinks(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
 
 pub mod collection {
     //! Collection strategies.
@@ -294,12 +380,44 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = usize::sample_range_inclusive(self.size.lo, self.size.hi_inclusive, rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        /// Length halving toward the minimum size, then dropping single
+        /// elements, then shrinking elements in place — so an oversized
+        /// counterexample collapses to the few elements that matter.
+        fn shrinks(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            if len > self.size.lo {
+                let half = (len / 2).max(self.size.lo);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                // Drop one element at a time (front bias: later elements
+                // often depend on earlier ones staying put).
+                for i in 0..len {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrinks(elem) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -332,6 +450,15 @@ pub mod num {
                     }
                 }
             }
+
+            fn shrinks(&self, value: &core::primitive::f64) -> Vec<core::primitive::f64> {
+                // Stay inside the normal domain: halve toward ±1.0.
+                let origin = value.signum();
+                let mut out = vec![origin, origin + (value - origin) / 2.0];
+                out.retain(|c| c.is_normal() && c != value);
+                out.dedup_by(|a, b| a == b);
+                out
+            }
         }
     }
 }
@@ -339,13 +466,19 @@ pub mod num {
 pub mod arbitrary {
     //! `any::<T>()` support for the `name: Type` parameter form.
 
-    use super::{Strategy, TestRng};
+    use super::{SampleRange, Strategy, TestRng};
     use std::marker::PhantomData;
 
     /// Types with a canonical full-domain strategy.
     pub trait Arbitrary: Sized {
         /// Draws one arbitrary value.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Shrink candidates toward the type's origin (0 / `false`).
+        fn shrink(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     /// The strategy returned by [`any`].
@@ -362,6 +495,10 @@ pub mod arbitrary {
         fn sample(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
         }
+
+        fn shrinks(&self, value: &T) -> Vec<T> {
+            T::shrink(value)
+        }
     }
 
     macro_rules! impl_arbitrary_int {
@@ -369,6 +506,10 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.next_u64() as $t
+                }
+
+                fn shrink(value: &Self) -> Vec<Self> {
+                    <$t as SampleRange>::shrink_toward(0, *value)
                 }
             }
         )*};
@@ -380,22 +521,62 @@ pub mod arbitrary {
         fn arbitrary(rng: &mut TestRng) -> Self {
             rng.next_u64() & 1 == 1
         }
+
+        fn shrink(value: &Self) -> Vec<Self> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     impl Arbitrary for f64 {
         fn arbitrary(rng: &mut TestRng) -> Self {
             f64::from_bits(rng.next_u64())
         }
+
+        fn shrink(value: &Self) -> Vec<Self> {
+            <f64 as SampleRange>::shrink_toward(0.0, *value)
+        }
     }
 }
 
-/// Runs one property: samples cases until the target count passes,
-/// skipping rejects, panicking on the first failure. Used by the
-/// [`proptest!`] expansion; not part of the public surface.
-#[doc(hidden)]
-pub fn __run_proptest<F>(name: &str, mut case: F)
+/// Hard cap on accepted shrink steps, so a pathological strategy cannot
+/// loop forever minimizing (each accepted step re-runs the case).
+const MAX_SHRINK_STEPS: u32 = 4096;
+
+/// Runs one case, converting a panic in the property body (a plain
+/// `assert!`/`expect` rather than `prop_assert!`) into a normal
+/// failure, so panicking inputs shrink like asserting ones instead of
+/// aborting the minimizer mid-search.
+fn run_case<V, F>(case: &mut F, value: V) -> Result<(), TestCaseError>
 where
-    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    F: FnMut(V) -> Result<(), TestCaseError>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(value))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("property body panicked");
+            Err(TestCaseError::Fail(format!("panicked: {msg}")))
+        }
+    }
+}
+
+/// Runs one property over `strategy`: samples cases until the target
+/// count passes, skipping rejects; on the first failure, shrinks the
+/// input to a minimal still-failing value and panics with it. Used by
+/// the [`proptest!`] expansion; not part of the public surface.
+#[doc(hidden)]
+pub fn __run_proptest<S, F>(name: &str, strategy: &S, mut case: F)
+where
+    S: Strategy,
+    S::Value: Clone + core::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
 {
     let cases: u32 = std::env::var("PROPTEST_CASES")
         .ok()
@@ -412,16 +593,51 @@ where
              ({accepted}/{cases} cases after {attempts} attempts)"
         );
         let state_before = rng.clone();
-        match case(&mut rng) {
+        let value = strategy.sample(&mut rng);
+        match run_case(&mut case, value.clone()) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject) => {}
-            Err(TestCaseError::Fail(msg)) => panic!(
-                "property `{name}` failed at case {accepted} \
-                 (rng state {:#x}): {msg}",
-                state_before.state
-            ),
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, msg, steps) = minimize(strategy, value, msg, &mut case);
+                panic!(
+                    "property `{name}` failed at case {accepted} \
+                     (rng state {:#x}, {steps} shrink steps)\n\
+                     minimal failing input: {minimal:?}\n{msg}",
+                    state_before.state
+                )
+            }
         }
     }
+}
+
+/// Greedy shrink: take the first candidate that still fails, repeat
+/// until no candidate fails (or the step budget runs out). Rejected
+/// candidates (via `prop_assume!`) count as passing — they are not
+/// valid counterexamples.
+fn minimize<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    case: &mut F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    'minimizing: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrinks(&value) {
+            if let Err(TestCaseError::Fail(m)) = run_case(case, candidate.clone()) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'minimizing;
+            }
+        }
+        break; // No candidate fails: `value` is locally minimal.
+    }
+    (value, msg, steps)
 }
 
 /// Defines property tests. See module docs for the supported surface.
@@ -431,35 +647,47 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::__run_proptest(
-                    stringify!($name),
-                    |__proptest_rng: &mut $crate::TestRng|
-                        -> ::std::result::Result<(), $crate::TestCaseError> {
-                        $crate::__proptest_bind!(__proptest_rng, $($params)*);
-                        $body
-                        Ok(())
-                    },
-                );
+                $crate::__proptest_case!($name, $body; (); (); $($params)*);
             }
         )*
     };
 }
 
-/// Parameter-list muncher for [`proptest!`]; internal.
+/// Parameter-list muncher for [`proptest!`]: accumulates one strategy
+/// tuple and one pattern tuple, then hands both to the runner; internal.
 #[doc(hidden)]
 #[macro_export]
-macro_rules! __proptest_bind {
-    ($rng:ident $(,)?) => {};
-    ($rng:ident, $p:ident : $t:ty $(, $($rest:tt)*)?) => {
-        let $p: $t = $crate::Strategy::sample(
-            &$crate::arbitrary::any::<$t>(),
-            $rng,
+macro_rules! __proptest_case {
+    // All parameters consumed: run.
+    ($name:ident, $body:block; ($($strat:expr,)*); ($($pat:pat,)*);) => {
+        $crate::__run_proptest(
+            stringify!($name),
+            &($($strat,)*),
+            |($($pat,)*)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                $body
+                Ok(())
+            },
         );
-        $crate::__proptest_bind!($rng $(, $($rest)*)?);
     };
-    ($rng:ident, $p:pat in $s:expr $(, $($rest:tt)*)?) => {
-        let $p = $crate::Strategy::sample(&($s), $rng);
-        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    // `name: Type` parameter → the type's canonical strategy.
+    ($name:ident, $body:block; ($($strat:expr,)*); ($($pat:pat,)*);
+     $p:ident : $t:ty $(, $($rest:tt)*)?) => {
+        $crate::__proptest_case!(
+            $name, $body;
+            ($($strat,)* $crate::arbitrary::any::<$t>(),);
+            ($($pat,)* $p,);
+            $($($rest)*)?
+        );
+    };
+    // `pat in strategy` parameter.
+    ($name:ident, $body:block; ($($strat:expr,)*); ($($pat:pat,)*);
+     $p:pat in $s:expr $(, $($rest:tt)*)?) => {
+        $crate::__proptest_case!(
+            $name, $body;
+            ($($strat,)* $s,);
+            ($($pat,)* $p,);
+            $($($rest)*)?
+        );
     };
 }
 
@@ -498,6 +726,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b,
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
 /// Property-scoped inequality assertion.
@@ -511,6 +752,18 @@ macro_rules! prop_assert_ne {
                 stringify!($a),
                 stringify!($b),
                 __a
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                format!($($fmt)+)
             )));
         }
     }};
@@ -590,10 +843,90 @@ mod tests {
     #[test]
     #[should_panic(expected = "property `always_fails` failed")]
     fn failures_panic_with_context() {
-        crate::__run_proptest("always_fails", |_rng| {
+        crate::__run_proptest("always_fails", &(0u32..10,), |(_x,)| {
             prop_assert!(false, "boom");
             #[allow(unreachable_code)]
             Ok(())
         });
+    }
+
+    /// Shrinking drives a range failure to its boundary: any x ≥ 10
+    /// fails, so the minimal counterexample is exactly 10.
+    #[test]
+    fn numeric_failures_shrink_to_the_boundary() {
+        let err = std::panic::catch_unwind(|| {
+            crate::__run_proptest("shrink_numeric", &(0u64..1_000_000,), |(x,)| {
+                prop_assert!(x < 10, "too big: {x}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("minimal failing input: (10,)"),
+            "not shrunk to the boundary: {msg}"
+        );
+    }
+
+    /// A million-element-style collection counterexample shrinks to the
+    /// one element that matters.
+    #[test]
+    fn collection_failures_shrink_to_one_element() {
+        let strategy = (crate::collection::vec(0u32..1000, 0..300),);
+        let err = std::panic::catch_unwind(|| {
+            crate::__run_proptest("shrink_vec", &strategy, |(xs,)| {
+                prop_assert!(xs.iter().all(|&x| x < 500), "bad element");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("minimal failing input: ([500],)"),
+            "not shrunk to the minimal element: {msg}"
+        );
+    }
+
+    /// Property bodies that panic outright (plain `assert!`/`expect`
+    /// rather than `prop_assert!`) still shrink to the minimal input
+    /// instead of aborting the minimizer with the candidate's panic.
+    #[test]
+    fn panicking_bodies_shrink_like_asserting_ones() {
+        let err = std::panic::catch_unwind(|| {
+            crate::__run_proptest("shrink_panic", &(0u64..100_000,), |(x,)| {
+                assert!(x < 10, "plain panic at {x}");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("minimal failing input: (10,)"),
+            "not shrunk to the boundary: {msg}"
+        );
+        assert!(msg.contains("plain panic at 10"), "wrong message: {msg}");
+    }
+
+    /// Component-wise tuple shrinking leaves passing coordinates at
+    /// their origins.
+    #[test]
+    fn tuple_failures_shrink_componentwise() {
+        let err = std::panic::catch_unwind(|| {
+            crate::__run_proptest("shrink_tuple", &(0i64..100, 0i64..100), |(a, b)| {
+                prop_assert!(a + b < 50, "sum too big");
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        // Greedy bisection lands on a locally minimal pair: both
+        // coordinates unable to move toward 0 without passing.
+        let start = msg.find("minimal failing input: (").expect("has input") + 24;
+        let end = msg[start..].find(')').unwrap() + start;
+        let parts: Vec<i64> = msg[start..end]
+            .split(", ")
+            .map(|s| s.trim().parse().unwrap())
+            .collect();
+        assert_eq!(parts[0] + parts[1], 50, "not locally minimal: {msg}");
     }
 }

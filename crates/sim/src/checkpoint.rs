@@ -12,12 +12,20 @@
 //! read-compat policy live in `docs/CHECKPOINTS.md`.
 //!
 //! **Exactness contract.** Controllers are rebuilt from their spec and
-//! `reset_to(assignment)` — their *per-phase scratch* (partial samples,
-//! medians in progress) is not serialized. At a phase boundary
-//! (`round % phase_len == 0`) that scratch is empty by construction, so
-//! [`Checkpoint::capture`] refuses to snapshot anywhere else; restored
-//! runs then replay exactly (`tests/checkpoint_replay.rs` asserts
-//! bit-identical trajectories).
+//! `reset_to(assignment)`, plus — since format v5 — a per-kind
+//! **scratch section** carrying mid-phase state for kinds that
+//! serialize it: Precise Sigmoid's half-phase counters
+//! ([`SigmoidScratch`]), whose `2m = O(1/ε)`-round phases previously
+//! restricted captures to every 2m-th round (and a restore landing
+//! mid-phase silently idled out the partial phase). Kinds *without* a
+//! scratch codec still capture only at their phase boundaries
+//! (`round % capture_phase == 0`, see
+//! [`crate::ControllerSpec::capture_phase_len`]), where their per-phase
+//! scratch is empty by construction; [`Checkpoint::capture`] refuses to
+//! snapshot anywhere else. Restored runs replay exactly
+//! (`tests/checkpoint_replay.rs` and `tests/banks.rs` assert
+//! bit-identical trajectories, including mid-phase Precise Sigmoid
+//! restores).
 //!
 //! Exceptions: `ControllerSpec::AntDesync` has, by construction, no
 //! global phase boundary — the offset half of the colony is always
@@ -27,7 +35,10 @@
 
 use std::path::Path;
 
-use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
+use antalloc_core::{
+    AntParams, ControllerScratch, ExactGreedyParams, PreciseAdversarialParams,
+    PreciseSigmoidParams, SigmoidScratch,
+};
 use antalloc_env::{
     Assignment, Condition, Cycle, DemandSchedule, DemandVector, Event, GenShock, InitialConfig,
     TimedEvent, Timeline, TimelineGen, Trigger, TriggerState,
@@ -39,15 +50,16 @@ use crate::config::{ControllerSpec, SimConfig};
 use crate::engine::SyncEngine;
 
 const MAGIC: u32 = 0x414E_5441; // "ANTA"
-/// The current format version. The v2 → v3 → v4 evolution, what each
-/// version carries, and the read-compat policy are documented in
-/// `docs/CHECKPOINTS.md`; in short: v4 added timeline triggers and
-/// generators to the timeline codec plus the per-trigger runtime state
-/// section, v3 replaced the demand schedule with the event timeline
-/// (plus live noise model and cursor), v2 appended mixed-colony bank
-/// membership. Writers always emit the current version; readers accept
-/// everything back to [`MIN_VERSION`].
-const VERSION: u32 = 4;
+/// The current format version. The v2 → v3 → v4 → v5 evolution, what
+/// each version carries, and the read-compat policy are documented in
+/// `docs/CHECKPOINTS.md`; in short: v5 appended the per-kind controller
+/// scratch section (Precise Sigmoid mid-phase counters), v4 added
+/// timeline triggers and generators to the timeline codec plus the
+/// per-trigger runtime state section, v3 replaced the demand schedule
+/// with the event timeline (plus live noise model and cursor), v2
+/// appended mixed-colony bank membership. Writers always emit the
+/// current version; readers accept everything back to [`MIN_VERSION`].
+const VERSION: u32 = 5;
 const MIN_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured or decoded.
@@ -98,13 +110,23 @@ pub struct Checkpoint {
     /// Per-ant bank membership for `ControllerSpec::Mix` colonies
     /// (which sub-spec each global ant id runs); empty otherwise.
     members: Vec<u16>,
+    /// Mid-phase controller scratch in ascending global-ant order (v5;
+    /// empty before). Only kinds with a scratch codec — Precise
+    /// Sigmoid counters — produce entries.
+    scratch: Vec<(u32, ControllerScratch)>,
 }
 
 impl Checkpoint {
-    /// Snapshots the engine. Fails off phase boundaries (see module docs).
+    /// Snapshots the engine. Fails off *capture* phase boundaries —
+    /// kinds whose mid-phase state is serialized (Precise Sigmoid) can
+    /// capture at any round; the rest only where their per-phase
+    /// scratch is empty (see module docs).
     pub fn capture(engine: &SyncEngine) -> Result<Self, CheckpointError> {
         let state = engine.state_parts();
-        let phase = state.config.controller.phase_len(state.colony.num_tasks());
+        let phase = state
+            .config
+            .controller
+            .capture_phase_len(state.colony.num_tasks());
         if !state.round.is_multiple_of(phase) {
             return Err(CheckpointError::NotAtPhaseBoundary {
                 round: state.round,
@@ -122,6 +144,7 @@ impl Checkpoint {
             round: state.round,
             next_stream: state.next_stream,
             members: state.members.unwrap_or_default(),
+            scratch: state.scratch,
         })
     }
 
@@ -138,6 +161,7 @@ impl Checkpoint {
             self.cursor,
             &self.members,
             self.trigger_states.clone(),
+            &self.scratch,
         )
     }
 
@@ -201,6 +225,30 @@ impl Checkpoint {
             out.put_u64_le(self.members.len() as u64);
             for &m in &self.members {
                 out.put_u16_le(m);
+            }
+        }
+        // v5: per-kind controller scratch, ascending global-ant order.
+        out.put_u64_le(self.scratch.len() as u64);
+        for (ant, scratch) in &self.scratch {
+            out.put_u32_le(*ant);
+            match scratch {
+                ControllerScratch::PreciseSigmoid(s) => {
+                    out.put_u8(0);
+                    out.put_u32_le(match s.current_task {
+                        Assignment::Idle => u32::MAX,
+                        Assignment::Task(j) => j,
+                    });
+                    out.put_u8(u8::from(s.have_phase));
+                    for &c in &s.count1 {
+                        out.put_u16_le(c);
+                    }
+                    for &c in &s.count2 {
+                        out.put_u16_le(c);
+                    }
+                    for &l in &s.shat1_lack {
+                        out.put_u8(u8::from(l));
+                    }
+                }
             }
         }
         out
@@ -350,6 +398,100 @@ impl Checkpoint {
         } else {
             Vec::new()
         };
+        let scratch = if version >= 5 {
+            let k = demands.len();
+            let count = get_u64(&mut buf)? as usize;
+            // Per-entry size: ant id + tag + currentTask + have_phase +
+            // two u16 counter rows + one median-bit row. Validate the
+            // claimed count against the bytes present before any
+            // allocation.
+            let per_entry = 4 + 1 + 4 + 1 + k * 5;
+            if count > ants || buf.remaining() / per_entry < count {
+                return Err(corrupt(format!(
+                    "scratch count {count} exceeds payload or ant count {ants}"
+                )));
+            }
+            // Which ants may legally carry Precise Sigmoid scratch (and
+            // the phase half-length m bounding their counters): crafted
+            // bytes must fail here, not panic in `restore()`.
+            let sigmoid_m_for = |ant: usize| -> Option<u64> {
+                match &controller {
+                    ControllerSpec::PreciseSigmoid(p) => Some(p.m()),
+                    ControllerSpec::Mix(parts) => {
+                        let b = usize::from(*members.get(ant)?);
+                        match parts.get(b) {
+                            Some((_, ControllerSpec::PreciseSigmoid(p))) => Some(p.m()),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                }
+            };
+            let mut scratch: Vec<(u32, ControllerScratch)> = Vec::with_capacity(count);
+            for _ in 0..count {
+                let ant = get_u32(&mut buf)?;
+                if ant as usize >= ants {
+                    return Err(corrupt(format!("scratch ant {ant} out of range")));
+                }
+                if let Some(&(prev, _)) = scratch.last() {
+                    if ant <= prev {
+                        return Err(corrupt("scratch entries out of order"));
+                    }
+                }
+                match get_u8(&mut buf)? {
+                    0 => {
+                        let Some(m) = sigmoid_m_for(ant as usize) else {
+                            return Err(corrupt(format!(
+                                "scratch for ant {ant}, which runs no Precise Sigmoid"
+                            )));
+                        };
+                        let raw = get_u32(&mut buf)?;
+                        let current_task = if raw == u32::MAX {
+                            Assignment::Idle
+                        } else if (raw as usize) < k {
+                            Assignment::Task(raw)
+                        } else {
+                            return Err(corrupt(format!("scratch task {raw} out of range")));
+                        };
+                        let have_phase = get_bool(&mut buf)?;
+                        let mut counts = [Vec::with_capacity(k), Vec::with_capacity(k)];
+                        for half in &mut counts {
+                            for _ in 0..k {
+                                need(&buf, 2)?;
+                                let c = buf.get_u16_le();
+                                if u64::from(c) > m {
+                                    return Err(corrupt(format!(
+                                        "scratch counter {c} exceeds half-phase length {m}"
+                                    )));
+                                }
+                                half.push(c);
+                            }
+                        }
+                        let [count1, count2] = counts;
+                        let mut shat1_lack = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            shat1_lack.push(get_u8(&mut buf)? != 0);
+                        }
+                        scratch.push((
+                            ant,
+                            ControllerScratch::PreciseSigmoid(SigmoidScratch {
+                                current_task,
+                                have_phase,
+                                count1,
+                                count2,
+                                shat1_lack,
+                            }),
+                        ));
+                    }
+                    t => return Err(corrupt(format!("unknown scratch tag {t}"))),
+                }
+            }
+            scratch
+        } else {
+            // Pre-v5 captures were phase-boundary-only: no mid-phase
+            // state existed to serialize.
+            Vec::new()
+        };
         if !buf.is_empty() {
             return Err(corrupt("trailing bytes"));
         }
@@ -372,6 +514,7 @@ impl Checkpoint {
             round,
             next_stream,
             members,
+            scratch,
         })
     }
 
@@ -1096,6 +1239,58 @@ mod tests {
         for len in [0usize, 1, 7, 8, 9, bytes.len() / 2, bytes.len() - 1] {
             let _ = Checkpoint::from_bytes(&bytes[..len]);
         }
+    }
+
+    #[test]
+    fn scratch_for_non_sigmoid_colonies_is_rejected_not_panicked() {
+        // A crafted v5 stream that claims Precise Sigmoid scratch for an
+        // Ant colony must come back as a clean corrupt error — reaching
+        // `restore()` would panic in `apply_scratch`.
+        let mut e = config().build(); // Ant colony, 2 tasks
+        let mut obs = NullObserver;
+        e.run(2, &mut obs);
+        let mut bytes = Checkpoint::capture(&e).unwrap().to_bytes();
+        // The scratch section is the stream's tail: count (u64) then
+        // entries. Rewrite the zero count to 1 and append one entry.
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ant 0
+        bytes.push(0); // tag: precise sigmoid
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // currentTask idle
+        bytes.push(1); // have_phase
+        bytes.extend_from_slice(&[0u8; 2 * 2 + 2 * 2 + 2]); // counters + medians, k = 2
+        let err = Checkpoint::from_bytes(&bytes).expect_err("must reject");
+        assert!(err.to_string().contains("no Precise Sigmoid"), "{err}");
+    }
+
+    #[test]
+    fn scratch_counters_beyond_the_half_phase_are_rejected() {
+        // Counter values above m could overflow the bank's u16 adds
+        // during later stepping; the decoder bounds them.
+        let cfg = SimConfig::builder(50, vec![10])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(
+                0.05, 0.5,
+            )))
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut e = cfg.build();
+        let mut obs = NullObserver;
+        e.run(37, &mut obs); // mid-phase: every ant carries scratch
+        let cp = Checkpoint::capture(&e).unwrap();
+        let bytes = cp.to_bytes();
+        assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), cp);
+        // Patch ant 0's first counter (right after the scratch count,
+        // ant id, tag, currentTask and have_phase) to u16::MAX.
+        let k = 1usize;
+        let entry_head = 4 + 1 + 4 + 1;
+        let entries = 50 * (entry_head + k * 5);
+        let first_counter = bytes.len() - entries - 8 + 8 + entry_head;
+        let mut bad = bytes.clone();
+        bad[first_counter..first_counter + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bad).expect_err("must reject");
+        assert!(err.to_string().contains("half-phase"), "{err}");
     }
 
     #[test]

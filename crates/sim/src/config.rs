@@ -3,9 +3,9 @@
 use std::sync::Arc;
 
 use antalloc_core::{
-    AlgorithmAnt, AntBank, AntParams, AnyController, ControllerBank, ExactGreedy,
+    AlgorithmAnt, AntBank, AntParams, AnyController, ControllerBank, ExactGreedy, ExactGreedyBank,
     ExactGreedyParams, FsmSpec, PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid,
-    PreciseSigmoidParams, TableFsm, Trivial,
+    PreciseSigmoidBank, PreciseSigmoidParams, TableFsm, Trivial, TrivialBank,
 };
 use antalloc_env::{DemandVector, InitialConfig, Timeline};
 use antalloc_noise::NoiseModel;
@@ -123,24 +123,22 @@ impl ControllerSpec {
                     .map(|&i| AlgorithmAnt::with_phase_offset(num_tasks, *p, u64::from(i % 2)))
                     .collect(),
             ),
-            ControllerSpec::PreciseSigmoid(p) => ControllerBank::PreciseSigmoid(
-                ids.iter()
-                    .map(|_| PreciseSigmoid::new(num_tasks, *p))
-                    .collect(),
-            ),
+            // The remaining synchronized kinds get their SoA fast
+            // layouts too (bit-identical to the per-ant references).
+            ControllerSpec::PreciseSigmoid(p) => {
+                ControllerBank::PreciseSigmoid(PreciseSigmoidBank::new(num_tasks, *p, ids.len()))
+            }
             ControllerSpec::PreciseAdversarial(p) => ControllerBank::PreciseAdversarial(
                 ids.iter()
                     .map(|_| PreciseAdversarial::new(num_tasks, *p))
                     .collect(),
             ),
             ControllerSpec::Trivial => {
-                ControllerBank::Trivial(ids.iter().map(|_| Trivial::new(num_tasks)).collect())
+                ControllerBank::Trivial(TrivialBank::new(num_tasks, ids.len()))
             }
-            ControllerSpec::ExactGreedy(p) => ControllerBank::ExactGreedy(
-                ids.iter()
-                    .map(|_| ExactGreedy::new(num_tasks, *p))
-                    .collect(),
-            ),
+            ControllerSpec::ExactGreedy(p) => {
+                ControllerBank::ExactGreedy(ExactGreedyBank::new(num_tasks, *p, ids.len()))
+            }
             ControllerSpec::Hysteresis { depth, lazy } => {
                 let spec = Arc::new(Self::hysteresis_spec(*depth, *lazy));
                 ControllerBank::Table(ids.iter().map(|_| TableFsm::new(spec.clone())).collect())
@@ -173,6 +171,23 @@ impl ControllerSpec {
                 .iter()
                 .map(|(_, spec)| spec.phase_len(num_tasks))
                 .fold(1u64, lcm),
+        }
+    }
+
+    /// The phase granularity at which **checkpoints** can capture —
+    /// like [`ControllerSpec::phase_len`], except that kinds whose
+    /// mid-phase state is fully serialized as
+    /// [`antalloc_core::ControllerScratch`] contribute 1: Precise
+    /// Sigmoid's counters travel in the checkpoint (format v5), so its
+    /// `2m = O(1/ε)`-round phase no longer restricts capture rounds.
+    pub fn capture_phase_len(&self, num_tasks: usize) -> u64 {
+        match self {
+            ControllerSpec::PreciseSigmoid(_) => 1,
+            ControllerSpec::Mix(parts) => parts
+                .iter()
+                .map(|(_, spec)| spec.capture_phase_len(num_tasks))
+                .fold(1u64, lcm),
+            other => other.phase_len(num_tasks),
         }
     }
 
@@ -354,6 +369,34 @@ mod tests {
             ])
             .phase_len(2),
             2
+        );
+    }
+
+    #[test]
+    fn capture_phase_lengths_drop_serialized_scratch_kinds_to_one() {
+        // Precise Sigmoid's counters travel in the checkpoint, so its
+        // 82-round phase no longer gates capture — alone or in a mix.
+        let sigmoid = ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.03, 0.5));
+        assert_eq!(sigmoid.capture_phase_len(2), 1);
+        assert_eq!(
+            ControllerSpec::Mix(vec![
+                (1.0, ControllerSpec::Ant(AntParams::default())),
+                (1.0, sigmoid),
+            ])
+            .capture_phase_len(2),
+            2,
+            "lcm(ant 2, sigmoid 1)"
+        );
+        // Scratch-free kinds keep their stepping phase.
+        assert_eq!(
+            ControllerSpec::Ant(AntParams::default()).capture_phase_len(2),
+            2
+        );
+        assert_eq!(
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5))
+                .capture_phase_len(2),
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5))
+                .phase_len(2),
         );
     }
 }

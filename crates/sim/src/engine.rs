@@ -172,6 +172,9 @@ pub(crate) struct EngineState<'a> {
     pub members: Option<Vec<u16>>,
     /// Runtime state of every timeline trigger, in timeline order.
     pub trigger_states: Vec<TriggerState>,
+    /// Mid-phase controller scratch (Precise Sigmoid counters), in
+    /// global ant order; empty for scratch-free colonies.
+    pub scratch: Vec<(u32, antalloc_core::ControllerScratch)>,
 }
 
 /// One bank's slice of the colony, as seen by [`SyncEngine::bank_census`].
@@ -693,6 +696,7 @@ impl SyncEngine {
             cursor: self.cursor as u64,
             members,
             trigger_states: self.trigger_states.clone(),
+            scratch: self.population.scratches(),
         }
     }
 
@@ -704,7 +708,10 @@ impl SyncEngine {
     /// consumed (generators re-expand identically from the seed);
     /// `trigger_states` is the captured runtime state of every trigger
     /// (empty for pre-trigger checkpoint formats, which cannot carry
-    /// triggers in the first place).
+    /// triggers in the first place); `scratch` carries mid-phase
+    /// controller counters (Precise Sigmoid) for captures between phase
+    /// boundaries (empty for pre-v5 formats, whose captures were
+    /// boundary-only and therefore scratch-free).
     #[allow(clippy::too_many_arguments)] // checkpoint-internal plumbing
     pub(crate) fn from_parts(
         config: SimConfig,
@@ -717,6 +724,7 @@ impl SyncEngine {
         cursor: u64,
         members: &[u16],
         trigger_states: Vec<TriggerState>,
+        scratch: &[(u32, antalloc_core::ControllerScratch)],
     ) -> Self {
         let n = assignments.len();
         let k = demands.num_tasks();
@@ -732,6 +740,9 @@ impl SyncEngine {
         }
         population.reset_to_colony(&colony);
         population.set_rng_states(&rng_states);
+        for (i, s) in scratch {
+            population.apply_scratch(*i as usize, s);
+        }
         // The compiled stream is a pure function of (config, seed):
         // magnitudes scale off the *initial* n and demands, not the
         // possibly-shrunk captured colony.

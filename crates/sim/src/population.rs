@@ -33,7 +33,7 @@
 //! stream keyed by their RNG stream id, so checkpoint + spawn replays
 //! bit-identically to an uninterrupted run.
 
-use antalloc_core::{AnyController, BankSliceMut, ControllerBank};
+use antalloc_core::{AnyController, BankSliceMut, ControllerBank, ControllerScratch};
 use antalloc_env::{Assignment, ColonyState};
 use antalloc_noise::PreparedRound;
 use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
@@ -331,6 +331,29 @@ impl Population {
         self.index.push((b as u32, bank.ants.len() as u32));
         bank.ants.push(id);
         debug_assert!(self.check_invariants());
+    }
+
+    /// Every ant's mid-phase controller scratch, in global ant order —
+    /// only ants of kinds that carry scratch (Precise Sigmoid counters)
+    /// produce entries. This is what lets checkpoints capture *between*
+    /// those kinds' phase boundaries.
+    pub fn scratches(&self) -> Vec<(u32, ControllerScratch)> {
+        let mut out = Vec::new();
+        for (i, &(b, s)) in self.index.iter().enumerate() {
+            if let Some(scratch) = self.banks[b as usize].controllers.scratch(s as usize) {
+                out.push((i as u32, scratch));
+            }
+        }
+        out
+    }
+
+    /// Overwrites ant `i`'s mid-phase controller scratch (checkpoint
+    /// restore; apply after [`Population::reset_to_colony`]).
+    pub fn apply_scratch(&mut self, i: usize, scratch: &ControllerScratch) {
+        let (b, s) = self.index[i];
+        self.banks[b as usize]
+            .controllers
+            .apply_scratch(s as usize, scratch);
     }
 
     /// Every ant's RNG state, in global ant order (checkpoint capture).

@@ -130,6 +130,23 @@ fn every_spec() -> Vec<(ControllerSpec, usize)> {
             ]),
             1,
         ),
+        // Every SoA-banked kind at once: Ant, Precise Sigmoid, Trivial
+        // and ExactGreedy racing inside one colony.
+        (
+            ControllerSpec::Mix(vec![
+                (1.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                (
+                    1.0,
+                    ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+                ),
+                (1.0, ControllerSpec::Trivial),
+                (
+                    1.0,
+                    ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+                ),
+            ]),
+            2,
+        ),
     ]
 }
 
@@ -171,7 +188,7 @@ mod properties {
         /// reproduce the per-ant reference round for round.
         #[test]
         fn bank_equals_reference(
-            which in 0usize..9,
+            which in 0usize..10,
             noise_pick in 0usize..3,
             n in 20usize..160,
             seed: u64,
@@ -196,7 +213,7 @@ mod properties {
         /// reference can replay them).
         #[test]
         fn bank_equals_reference_under_demand_timelines(
-            which in 0usize..9,
+            which in 0usize..10,
             n in 20usize..160,
             seed: u64,
             first_at in 1u64..12,
@@ -222,13 +239,17 @@ mod properties {
         /// bit-identical to the uninterrupted run.
         #[test]
         fn mid_timeline_checkpoint_replay_is_exact(
-            which in 0usize..4,
+            which in 0usize..5,
             seed: u64,
             boundary in 1u64..30,
             tail in 1u64..30,
         ) {
-            // Phase-2 specs so every even round is a capture point.
-            let specs: [(ControllerSpec, usize); 4] = [
+            // Capture-phase-2 specs so every even round is a capture
+            // point (Precise Sigmoid contributes 1: its counters are
+            // serialized, so its 82-round phase doesn't gate capture —
+            // the last mix checkpoints mid-sigmoid-phase across kills,
+            // spawns and scrambles).
+            let specs: [(ControllerSpec, usize); 5] = [
                 (ControllerSpec::Ant(AntParams::new(1.0 / 16.0)), 2),
                 (ControllerSpec::Trivial, 2),
                 (ControllerSpec::ExactGreedy(ExactGreedyParams::default()), 2),
@@ -236,6 +257,21 @@ mod properties {
                     ControllerSpec::Mix(vec![
                         (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
                         (1.0, ControllerSpec::Trivial),
+                    ]),
+                    2,
+                ),
+                (
+                    ControllerSpec::Mix(vec![
+                        (1.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                        (
+                            1.0,
+                            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+                        ),
+                        (1.0, ControllerSpec::Trivial),
+                        (
+                            1.0,
+                            ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+                        ),
                     ]),
                     2,
                 ),
@@ -263,6 +299,35 @@ mod properties {
             prop_assert_eq!(full.colony().assignments(), resumed.colony().assignments());
             prop_assert_eq!(full.colony().loads(), resumed.colony().loads());
             prop_assert_eq!(full.colony().num_ants(), resumed.colony().num_ants());
+        }
+
+        /// Precise Sigmoid checkpoints capture at **any** round — the
+        /// half-phase counters travel in the v5 scratch section — and
+        /// the restored continuation is bit-identical to the
+        /// uninterrupted run, wherever inside the 82-round phase the
+        /// capture lands (phase start, first half, the pause round
+        /// `r = m`, second half, decision round).
+        #[test]
+        fn sigmoid_mid_phase_checkpoint_restore_is_exact(
+            seed: u64,
+            split in 1u64..170,
+            tail in 1u64..100,
+        ) {
+            let spec = ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5));
+            let cfg = config_for(&spec, 2, 100, seed, NoiseModel::Sigmoid { lambda: 1.5 });
+
+            let mut obs = NullObserver;
+            let mut full = cfg.build();
+            full.run(split + tail, &mut obs);
+
+            let mut head = cfg.build();
+            head.run(split, &mut obs);
+            let cp = Checkpoint::capture(&head).expect("any round is a capture point");
+            let mut resumed = Checkpoint::from_bytes(&cp.to_bytes()).expect("decodes").restore();
+            resumed.run(tail, &mut obs);
+
+            prop_assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+            prop_assert_eq!(full.colony().loads(), resumed.colony().loads());
         }
     }
 }

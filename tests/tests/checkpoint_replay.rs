@@ -62,7 +62,12 @@ fn precise_adversarial_replays_under_adversarial_noise() {
 }
 
 #[test]
-fn off_boundary_capture_is_refused() {
+fn precise_sigmoid_captures_mid_phase_and_replays_exactly() {
+    // The half-phase counters travel in the checkpoint (format v5), so
+    // a capture *between* phase boundaries — previously refused, and
+    // silently lossy to restore — now resumes bit-identically. Round
+    // 83 is one round into a fresh 82-round phase; round 123 is right
+    // after the half-phase pause coin.
     let params = PreciseSigmoidParams::new(0.05, 0.5); // phase 82
     let cfg = SimConfig::builder(100, vec![20])
         .noise(NoiseModel::Sigmoid { lambda: 2.0 })
@@ -70,14 +75,27 @@ fn off_boundary_capture_is_refused() {
         .seed(6)
         .build()
         .expect("valid scenario");
+    for split in [83u64, 123] {
+        replay_equivalence(cfg.clone(), split, 200);
+    }
+}
+
+#[test]
+fn off_boundary_capture_is_still_refused_without_a_scratch_codec() {
+    // Kinds whose mid-phase scratch is *not* serialized (here: §4 Ant,
+    // whose first-sample state lives only in the bank) keep the
+    // phase-boundary rule.
+    let cfg = SimConfig::builder(100, vec![20])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(6)
+        .build()
+        .expect("valid scenario");
     let mut engine = cfg.build();
     let mut obs = NullObserver;
-    engine.run(83, &mut obs);
+    engine.run(3, &mut obs);
     match Checkpoint::capture(&engine) {
-        Err(CheckpointError::NotAtPhaseBoundary {
-            round: 83,
-            phase: 82,
-        }) => {}
+        Err(CheckpointError::NotAtPhaseBoundary { round: 3, phase: 2 }) => {}
         other => panic!("expected boundary refusal, got {other:?}"),
     }
 }

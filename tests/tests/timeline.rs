@@ -11,7 +11,7 @@
 //! format (trigger state included).
 
 use antalloc_core::AntParams;
-use antalloc_env::{DemandSchedule, Event, Timeline};
+use antalloc_env::{Condition, DemandSchedule, Event, GenShock, Timeline, TimelineGen, Trigger};
 use antalloc_noise::NoiseModel;
 use antalloc_sim::{
     Batch, Checkpoint, ControllerSpec, FnObserver, NullObserver, RoundRecord, RunSummary, Scenario,
@@ -381,7 +381,7 @@ fn adversarial_runs_are_bit_identical_across_parallel_and_interleaving() {
 }
 
 #[test]
-fn adversarial_mid_timeline_v4_checkpoint_restore_replays_bit_identically() {
+fn adversarial_mid_timeline_checkpoint_restore_replays_bit_identically() {
     let config = adversarial_config();
     let mut obs = NullObserver;
 
@@ -391,8 +391,8 @@ fn adversarial_mid_timeline_v4_checkpoint_restore_replays_bit_identically() {
     let bytes = cp.to_bytes();
     assert_eq!(
         u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-        4,
-        "trigger-bearing checkpoints are format v4"
+        5,
+        "current checkpoints are format v5"
     );
     let restored = Checkpoint::from_bytes(&bytes).expect("decodes");
     assert_eq!(cp, restored);
@@ -451,10 +451,60 @@ fn v3_checkpoints_still_load_and_continue_exactly() {
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
     assert_eq!(fresh.colony().loads(), resumed.colony().loads());
     assert_eq!(resumed.colony().num_ants(), 1000);
-    // A v3 checkpoint re-saved today is a v4 byte stream that
+    // A v3 checkpoint re-saved today is a v5 byte stream that
     // round-trips.
     let resaved = cp.to_bytes();
-    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 4);
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 5);
+    assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
+}
+
+#[test]
+fn v4_checkpoints_still_load_and_continue_exactly() {
+    // Fixture written by the v4 (pre-scratch) format: an Ant colony
+    // under a trigger and a generated kill schedule, captured at round
+    // 80. It must decode (empty scratch section), carry the same
+    // config — triggers and generators included — and continue
+    // bit-identically to an uninterrupted run.
+    let expected = SimConfig::builder(400, vec![60, 90])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(0xF4C)
+        .trigger(Trigger {
+            when: Condition::RegretBelow {
+                threshold: 40,
+                for_rounds: 4,
+            },
+            event: Event::StampedeTo(0),
+            cooldown: 30,
+            max_firings: 2,
+        })
+        .generate(TimelineGen {
+            start: 5,
+            until: 400,
+            mean_gap: 50.0,
+            shock: GenShock::Kill {
+                min_frac: 0.02,
+                max_frac: 0.05,
+            },
+        })
+        .build()
+        .unwrap();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let cp = Checkpoint::load(&dir.join("checkpoint_v4_trigger.ckpt")).expect("v4 fixture loads");
+    assert_eq!(cp.round(), 80);
+    assert_eq!(cp.config(), &expected);
+
+    let mut obs = NullObserver;
+    let mut resumed = cp.restore();
+    resumed.run(120, &mut obs); // crosses later generated kills
+    let mut fresh = expected.build();
+    fresh.run(200, &mut obs);
+    assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
+    assert_eq!(fresh.colony().loads(), resumed.colony().loads());
+    assert_eq!(fresh.trigger_states(), resumed.trigger_states());
+    // Re-saved today it is a v5 byte stream that round-trips.
+    let resaved = cp.to_bytes();
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 5);
     assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
 }
 
