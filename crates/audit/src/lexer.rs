@@ -1,0 +1,414 @@
+//! A lightweight Rust lexer that masks non-code text.
+//!
+//! The rule engine works on *masked* source: every character that lives
+//! inside a comment (line, block, doc), a string literal (plain, raw,
+//! byte), or a char literal is replaced with a space, while code
+//! characters keep their exact positions. Substring scans over the
+//! masked text therefore never fire on `"HashMap"` appearing in a doc
+//! comment or an error message.
+//!
+//! On top of the mask, [`lex`] classifies lines as test-only (inside a
+//! `#[cfg(test)]` item or a `#[test]` function, found by brace matching
+//! on the masked text) and extracts `// audit:allow(rule): reason`
+//! pragmas from the comment text it masked out.
+
+/// One source line, raw and masked.
+#[derive(Debug)]
+pub struct Line {
+    /// The original text (no trailing newline).
+    pub raw: String,
+    /// Same length in chars as `raw`, with comment/string/char-literal
+    /// characters blanked to spaces.
+    pub code: String,
+    /// True when the line sits inside a `#[cfg(test)]` item or a
+    /// `#[test]` function body.
+    pub in_test: bool,
+}
+
+/// A `// audit:allow(rule): reason` suppression found in a comment.
+#[derive(Debug)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the colon (may be empty — flagged).
+    pub reason: String,
+    /// Set by the engine when the pragma suppresses a diagnostic.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A fully lexed source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Lines in order.
+    pub lines: Vec<Line>,
+    /// All pragmas, in line order.
+    pub pragmas: Vec<Pragma>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    Block(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Masks `text` and classifies its lines.
+pub fn lex(text: &str) -> Lexed {
+    let masked = mask(text);
+    let raw_lines: Vec<&str> = text.split('\n').collect();
+    let code_lines: Vec<&str> = masked.split('\n').collect();
+    let mut in_test = vec![false; raw_lines.len()];
+    mark_test_regions(&code_lines, &mut in_test);
+
+    let mut pragmas = Vec::new();
+    for (i, raw) in raw_lines.iter().enumerate() {
+        if let Some(p) = parse_pragma(raw, i + 1) {
+            pragmas.push(p);
+        }
+    }
+
+    let lines = raw_lines
+        .iter()
+        .zip(code_lines.iter())
+        .zip(in_test.iter())
+        .map(|((raw, code), t)| Line {
+            raw: (*raw).to_string(),
+            code: (*code).to_string(),
+            in_test: *t,
+        })
+        .collect();
+    Lexed { lines, pragmas }
+}
+
+/// Replaces comment, string-literal and char-literal characters with
+/// spaces, preserving newlines and the position of every code char.
+fn mask(text: &str) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut state = State::Code;
+    let mut i = 0usize;
+    // Number of '#' marks delimiting the current raw string.
+    let mut raw_hashes = 0u32;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::Block(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // Consume the prefix (r, br, rb?) and hashes up to the
+                    // opening quote.
+                    let mut j = i;
+                    while chars.get(j) == Some(&'r') || chars.get(j) == Some(&'b') {
+                        out.push(' ');
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        out.push(' ');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        out.push(' ');
+                        j += 1;
+                        if hashes == 0 {
+                            state = State::Str;
+                        } else {
+                            raw_hashes = hashes;
+                            state = State::RawStr(hashes);
+                        }
+                    }
+                    i = j;
+                    continue;
+                }
+                'b' if next == Some('\'') => {
+                    out.push(' ');
+                    out.push(' ');
+                    state = State::Char;
+                    i += 2;
+                    continue;
+                }
+                '\'' if is_char_literal(&chars, i) => {
+                    state = State::Char;
+                    out.push(' ');
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Block(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push(' ');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                    let _ = raw_hashes;
+                    continue;
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '\'' => {
+                    state = State::Code;
+                    out.push(' ');
+                }
+                '\n' => {
+                    // Unterminated char (should not happen in valid Rust);
+                    // fail open back to code.
+                    state = State::Code;
+                    out.push('\n');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` … introduce a raw string at `i`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    // Accept `r`, `br` (and be lenient about `rb`, which is not valid
+    // Rust but harmless to mask).
+    while matches!(chars.get(j), Some('r') | Some('b')) {
+        saw_r |= chars[j] == 'r';
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `i` terminate a raw string delimited by `hashes` marks?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if chars.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Distinguishes a char literal from a lifetime at the `'` in `chars[i]`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]` item or `#[test]` fn body.
+///
+/// Attributes are found in the masked text; the item extent is the next
+/// `{` after the attribute through its matching `}` (brace-counted on
+/// masked text, so braces in strings/comments never unbalance it).
+fn mark_test_regions(code_lines: &[&str], in_test: &mut [bool]) {
+    let starts: Vec<usize> = code_lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim_start();
+            t.starts_with("#[cfg(test)")
+                || t.starts_with("#[cfg(all(test")
+                || t.starts_with("#[test]")
+                || t.starts_with("#[test(")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for start in starts {
+        // Find the first `{` at or after the attribute line, then match.
+        let mut depth = 0i64;
+        let mut opened = false;
+        'outer: for (li, line) in code_lines.iter().enumerate().skip(start) {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // An item ending without a body (`;` at depth 0, e.g.
+                    // `#[cfg(test)] mod tests;`) covers just its own lines.
+                    ';' if !opened && depth == 0 => {
+                        for t in in_test.iter_mut().take(li + 1).skip(start) {
+                            *t = true;
+                        }
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+                if opened && depth == 0 {
+                    for t in in_test.iter_mut().take(li + 1).skip(start) {
+                        *t = true;
+                    }
+                    break 'outer;
+                }
+            }
+        }
+        if opened && depth > 0 {
+            // Unclosed (truncated fixture): everything to EOF is test.
+            for t in in_test.iter_mut().skip(start) {
+                *t = true;
+            }
+        }
+    }
+}
+
+/// Parses `// audit:allow(rule): reason` out of a raw line, if present.
+///
+/// Doc comments (`///`, `//!`) never carry pragmas — they are prose
+/// about the syntax, not suppressions — so lines starting with one are
+/// skipped.
+fn parse_pragma(raw: &str, line: usize) -> Option<Pragma> {
+    let lead = raw.trim_start();
+    if lead.starts_with("///") || lead.starts_with("//!") {
+        return None;
+    }
+    let marker = "audit:allow(";
+    let at = raw.find(marker)?;
+    // Must be inside a line comment.
+    let before = &raw[..at];
+    before.rfind("//")?;
+    let rest = &raw[at + marker.len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+    Some(Pragma {
+        line,
+        rule,
+        reason,
+        used: std::cell::Cell::new(false),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let l = lex("let a = \"HashMap\"; // HashMap\nlet b = HashMap::new();");
+        assert!(!l.lines[0].code.contains("HashMap"));
+        assert!(l.lines[1].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let l = lex("let a = r#\"Instant::now\"#; let c = 'x'; let t: &'static str = \"y\";");
+        assert!(!l.lines[0].code.contains("Instant"));
+        assert!(l.lines[0].code.contains("static"), "lifetime kept as code");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ HashMap */ code");
+        assert!(!l.lines[0].code.contains("HashMap"));
+        assert!(l.lines[0].code.contains("code"));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn x() {}\n}\nfn after() {}\n";
+        let l = lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(l.lines[1].in_test && l.lines[2].in_test && l.lines[3].in_test);
+        assert!(l.lines[4].in_test);
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn pragma_parses() {
+        let l = lex("let x = y as u32; // audit:allow(cast): fits by construction\n");
+        assert_eq!(l.pragmas.len(), 1);
+        assert_eq!(l.pragmas[0].rule, "cast");
+        assert_eq!(l.pragmas[0].reason, "fits by construction");
+    }
+}

@@ -1,0 +1,89 @@
+//! CLI entry point: `cargo run -p antalloc-audit --release`.
+//!
+//! Finds the workspace root (the nearest ancestor of the current
+//! directory holding `audit.toml`, or `--root DIR`), runs the full
+//! rule catalog, prints `file:line: [rule] message` diagnostics, and
+//! exits nonzero when anything fires — the CI contract.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use antalloc_audit::{config::Config, run};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "antalloc-audit: workspace determinism & safety analyzer\n\n\
+                     Usage: antalloc-audit [--root DIR]\n\n\
+                     Reads audit.toml at the workspace root and checks every workspace\n\
+                     source file against the determinism rule catalog documented in\n\
+                     docs/DETERMINISM.md. Exits 1 when any diagnostic fires."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("antalloc-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match find_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("antalloc-audit: no audit.toml found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let cfg = match Config::load(&root.join("audit.toml")) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("antalloc-audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&root, &cfg) {
+        Ok(diags) if diags.is_empty() => {
+            println!("antalloc-audit: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "antalloc-audit: {} diagnostic{} — see docs/DETERMINISM.md for the rule \
+                 catalog and pragma syntax",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("antalloc-audit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("audit.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

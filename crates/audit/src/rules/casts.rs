@@ -1,0 +1,107 @@
+//! The cast audit for kernel hot files.
+//!
+//! A silently truncating or wrapping `as` cast inside a sampling or
+//! bank kernel is exactly the kind of bug the parity tests only catch
+//! when a colony gets big enough: everything agrees at test sizes and
+//! diverges at 2^32 ants or at probabilities below one ulp. In the
+//! configured hot files, every numeric `as` cast must therefore be one
+//! of:
+//!
+//! * a **registered widening idiom** — the operand's source type is
+//!   syntactically evident and the target strictly contains it (e.g.
+//!   `mask.count_ones() as usize`: `u32 → usize`);
+//! * rewritten as `From`/`try_from`/a documented helper (no `as`, so
+//!   nothing fires); or
+//! * carrying an `// audit:allow(cast): reason` pragma that records
+//!   why the cast cannot lose bits.
+
+use crate::config::Config;
+use crate::lexer::Lexed;
+use crate::walk::FileInfo;
+use crate::Emitter;
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Operand tails whose source type is syntactically certain: the bit
+/// ops return `u32`, so these targets strictly widen.
+const WIDENING_IDIOMS: &[(&str, &[&str])] = &[
+    (
+        ".count_ones()",
+        &["u32", "u64", "u128", "usize", "i64", "i128", "f64"],
+    ),
+    (
+        ".leading_zeros()",
+        &["u32", "u64", "u128", "usize", "i64", "i128", "f64"],
+    ),
+    (
+        ".trailing_zeros()",
+        &["u32", "u64", "u128", "usize", "i64", "i128", "f64"],
+    ),
+];
+
+/// Scans one hot file for unaudited numeric `as` casts.
+pub fn check(info: &FileInfo, lexed: &Lexed, cfg: &Config, emitter: &mut Emitter<'_>) {
+    if !cfg.cast_audit_files.contains(&info.rel) {
+        return;
+    }
+    for (i, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (at, target) in as_casts(&line.code) {
+            let operand = line.code[..at].trim_end();
+            let widening = WIDENING_IDIOMS
+                .iter()
+                .any(|(tail, targets)| operand.ends_with(tail) && targets.contains(&target));
+            if !widening {
+                emitter.emit(
+                    "cast",
+                    i + 1,
+                    format!(
+                        "numeric `as {target}` cast in a kernel hot file — widen via \
+                         `From`/`try_from`, use a documented helper, or pragma with the reason \
+                         it cannot lose bits"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Yields `(byte offset of the `as` keyword, target type)` for every
+/// numeric `as` cast on a masked line.
+fn as_casts(code: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for at in super::find_word(code, "as") {
+        let rest = code[at + 2..].trim_start();
+        if let Some(ty) = NUMERIC_TYPES.iter().find(|t| {
+            rest.starts_with(**t)
+                && !rest[t.len()..]
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphanumeric() || c == '_')
+                    .unwrap_or(false)
+        }) {
+            out.push((at, *ty));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_casts_and_widening_idioms() {
+        assert_eq!(as_casts("let x = y as u32;"), vec![(10, "u32")]);
+        assert_eq!(as_casts("let x = y as usize;"), vec![(10, "usize")]);
+        assert!(as_casts("let x = y.as_ref();").is_empty());
+        assert!(as_casts("let x = base;").is_empty());
+        // u1288 is not a numeric type token.
+        assert!(as_casts("let x = y as u1288;").is_empty());
+    }
+}

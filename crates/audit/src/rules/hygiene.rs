@@ -1,0 +1,85 @@
+//! Unsafe/panic hygiene.
+//!
+//! * Every crate root carries `#![forbid(unsafe_code)]` unless the
+//!   crate is allowlisted (with a recorded reason) in `audit.toml` —
+//!   and an allowlist entry for a crate that *does* forbid is itself
+//!   flagged, so the list cannot rot.
+//! * Engine step/apply paths must not `unwrap`/`expect`/`panic!`: a
+//!   panic mid-round tears down a worker while the colony is
+//!   half-stepped, and checkpoint-bearing services must degrade to
+//!   errors, not aborts. Sites whose invariants genuinely cannot fail
+//!   record that as an `// audit:allow(panic-path): reason` pragma.
+
+use crate::config::Config;
+use crate::lexer::Lexed;
+use crate::walk::FileInfo;
+use crate::Emitter;
+
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap"),
+    (".expect(", "expect"),
+    ("panic!", "panic!"),
+    ("unreachable!", "unreachable!"),
+    ("todo!", "todo!"),
+    ("unimplemented!", "unimplemented!"),
+];
+
+/// Runs both hygiene checks over one file.
+pub fn check(info: &FileInfo, lexed: &Lexed, cfg: &Config, emitter: &mut Emitter<'_>) {
+    if info.is_crate_root {
+        check_forbid(info, lexed, cfg, emitter);
+    }
+    if cfg.panic_path_files.contains(&info.rel) {
+        check_panics(lexed, emitter);
+    }
+}
+
+fn check_forbid(info: &FileInfo, lexed: &Lexed, cfg: &Config, emitter: &mut Emitter<'_>) {
+    let has_forbid = lexed
+        .lines
+        .iter()
+        .any(|l| l.code.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+    let allowlisted = cfg.unsafe_allowlist.contains_key(&info.crate_name);
+    if !has_forbid && !allowlisted {
+        emitter.emit(
+            "forbid-unsafe",
+            1,
+            format!(
+                "crate root of `{}` is missing `#![forbid(unsafe_code)]` (allowlist it in \
+                 audit.toml with a reason if unsafe is genuinely required)",
+                info.crate_name
+            ),
+        );
+    }
+    if has_forbid && allowlisted {
+        emitter.emit(
+            "forbid-unsafe",
+            1,
+            format!(
+                "crate `{}` forbids unsafe but still has an audit.toml unsafe-allowlist entry — \
+                 remove the stale entry",
+                info.crate_name
+            ),
+        );
+    }
+}
+
+fn check_panics(lexed: &Lexed, emitter: &mut Emitter<'_>) {
+    for (i, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (pat, name) in PANIC_PATTERNS {
+            if line.code.contains(pat) {
+                emitter.emit(
+                    "panic-path",
+                    i + 1,
+                    format!(
+                        "`{name}` in an engine step/apply path — return an error, or pragma \
+                         with the invariant that makes it unreachable"
+                    ),
+                );
+            }
+        }
+    }
+}

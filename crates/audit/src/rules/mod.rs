@@ -1,0 +1,30 @@
+//! The rule catalog. Each submodule implements one family; shared
+//! text-scanning helpers live here.
+
+pub mod casts;
+pub mod consistency;
+pub mod hygiene;
+pub mod nondet;
+pub mod streams;
+
+/// Yields the byte offsets of word-bounded occurrences of `pat` in
+/// `code`: the characters adjacent to the match must not be
+/// identifier characters.
+pub fn find_word(code: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(pat) {
+        let at = from + at;
+        let before_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + pat.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident(after) {
+            out.push(at);
+        }
+        from = at + pat.len();
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}

@@ -1,0 +1,221 @@
+//! Reserved-stream discipline.
+//!
+//! Determinism rests on every randomness consumer owning its own
+//! stream. Two static guarantees keep the namespace sound:
+//!
+//! 1. **Call discipline** — every `StreamSeeder::stream(..)` call in
+//!    non-test code passes either an ant-index *expression* or a named
+//!    constant from the `reserved` registry. A bare numeric literal is
+//!    an unregistered stream id: the next subsystem to pick the same
+//!    number silently correlates two consumers.
+//! 2. **Registry soundness** — registered ids are unique and sit at or
+//!    above the documented ant-index ceiling, so they can never collide
+//!    with an ant stream.
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed};
+use crate::walk::FileInfo;
+use crate::{Diagnostic, Emitter};
+
+/// One `pub const NAME: u64 = ..;` entry from the `reserved` module.
+#[derive(Debug, Clone)]
+pub struct ReservedConst {
+    /// Constant name (`ENGINE`, `NOISE`, …).
+    pub name: String,
+    /// Evaluated id.
+    pub value: u64,
+    /// 1-based line of the declaration.
+    pub line: usize,
+}
+
+/// Parses the registry source and validates uniqueness + ceiling,
+/// pushing `stream-registry` diagnostics against the registry file.
+pub fn check_registry(text: &str, cfg: &Config, diags: &mut Vec<Diagnostic>) -> Vec<ReservedConst> {
+    let lexed = lex(text);
+    let consts = parse_registry(&lexed);
+    let rel = cfg.stream_registry.clone();
+    for (i, a) in consts.iter().enumerate() {
+        if a.value < cfg.ant_index_ceiling {
+            diags.push(Diagnostic {
+                rule: "stream-registry".into(),
+                path: rel.clone(),
+                line: a.line,
+                message: format!(
+                    "reserved stream `{}` = {:#x} sits below the ant-index ceiling {:#x}",
+                    a.name, a.value, cfg.ant_index_ceiling
+                ),
+            });
+        }
+        for b in &consts[..i] {
+            if a.value == b.value {
+                diags.push(Diagnostic {
+                    rule: "stream-registry".into(),
+                    path: rel.clone(),
+                    line: a.line,
+                    message: format!(
+                        "reserved streams `{}` and `{}` share id {:#x}",
+                        b.name, a.name, a.value
+                    ),
+                });
+            }
+        }
+    }
+    if consts.is_empty() {
+        diags.push(Diagnostic {
+            rule: "stream-registry".into(),
+            path: rel,
+            line: 1,
+            message: "no `pub const NAME: u64 = ..;` entries found in the reserved module".into(),
+        });
+    }
+    consts
+}
+
+/// Extracts `pub const NAME: u64 = EXPR;` entries (masked text).
+fn parse_registry(lexed: &Lexed) -> Vec<ReservedConst> {
+    let mut out = Vec::new();
+    for (i, line) in lexed.lines.iter().enumerate() {
+        let code = line.code.trim();
+        let Some(rest) = code.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once(':') else {
+            continue;
+        };
+        if !rest.trim_start().starts_with("u64") {
+            continue;
+        }
+        let Some((_, expr)) = rest.split_once('=') else {
+            continue;
+        };
+        let expr = expr.trim().trim_end_matches(';').trim();
+        if let Some(value) = eval_u64(expr) {
+            out.push(ReservedConst {
+                name: name.trim().to_string(),
+                value,
+                line: i + 1,
+            });
+        }
+    }
+    out
+}
+
+/// Evaluates the tiny const-expression language the registry uses:
+/// `u64::MAX`, integer literals, and left-to-right `-` chains.
+fn eval_u64(expr: &str) -> Option<u64> {
+    let mut total: Option<u64> = None;
+    for term in expr.split('-') {
+        let term = term.trim();
+        let v = if term == "u64::MAX" {
+            u64::MAX
+        } else {
+            let digits = term.replace('_', "");
+            if let Some(hex) = digits.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()?
+            } else {
+                digits.parse().ok()?
+            }
+        };
+        total = Some(match total {
+            None => v,
+            Some(t) => t.checked_sub(v)?,
+        });
+    }
+    total
+}
+
+/// Checks every `.stream(..)` call site in one file.
+pub fn check_calls(
+    info: &FileInfo,
+    lexed: &Lexed,
+    registry: &[ReservedConst],
+    emitter: &mut Emitter<'_>,
+) {
+    if info.relaxed {
+        return;
+    }
+    for (i, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut from = 0;
+        while let Some(at) = line.code[from..].find(".stream(") {
+            let at = from + at;
+            from = at + ".stream(".len();
+            let arg = match call_argument(lexed, i, at + ".stream(".len()) {
+                Some(a) => a,
+                None => continue,
+            };
+            inspect_argument(&arg, i + 1, registry, emitter);
+        }
+    }
+}
+
+/// Extracts the argument text of a call whose open paren has just been
+/// consumed at `(line_ix, col)`; spans up to 8 masked lines.
+fn call_argument(lexed: &Lexed, line_ix: usize, col: usize) -> Option<String> {
+    let mut depth = 1i32;
+    let mut arg = String::new();
+    for (k, line) in lexed.lines.iter().enumerate().skip(line_ix).take(8) {
+        let start = if k == line_ix { col } else { 0 };
+        for c in line.code.chars().skip(start) {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(arg);
+                    }
+                }
+                _ => {}
+            }
+            arg.push(c);
+        }
+        arg.push(' ');
+    }
+    None
+}
+
+fn inspect_argument(arg: &str, line: usize, registry: &[ReservedConst], emitter: &mut Emitter<'_>) {
+    let trimmed = arg.trim();
+    if is_integer_literal(trimmed) {
+        emitter.emit(
+            "stream-literal",
+            line,
+            format!(
+                "`.stream({trimmed})` passes a raw numeric id — use an ant-index expression or \
+                 register a named constant in the `reserved` module"
+            ),
+        );
+        return;
+    }
+    let mut from = 0;
+    while let Some(at) = trimmed[from..].find("reserved::") {
+        let at = from + at + "reserved::".len();
+        let name: String = trimmed[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        from = at + name.len().max(1);
+        if !name.is_empty() && !registry.is_empty() && !registry.iter().any(|c| c.name == name) {
+            emitter.emit(
+                "stream-unknown-const",
+                line,
+                format!("`reserved::{name}` is not declared in the stream registry"),
+            );
+        }
+    }
+}
+
+fn is_integer_literal(s: &str) -> bool {
+    let s = s
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("usize");
+    let s = s.replace('_', "");
+    let body = s.strip_prefix("0x").unwrap_or(&s);
+    !body.is_empty()
+        && body
+            .chars()
+            .all(|c| c.is_ascii_digit() || (s.starts_with("0x") && c.is_ascii_hexdigit()))
+}

@@ -1,0 +1,20 @@
+//! Known-bad fixture for the cast audit.
+
+fn truncating(n: usize) -> u32 {
+    // usize -> u32 silently truncates above 2^32 ants.
+    n as u32
+}
+
+fn lossy(x: u64) -> f64 {
+    x as f64
+}
+
+fn widening_idiom(mask: u64) -> usize {
+    // Registered widening idiom: must NOT fire.
+    mask.count_ones() as usize
+}
+
+fn pragma_with_reason(n: usize) -> u64 {
+    // audit:allow(cast): usize -> u64 is lossless on every supported target.
+    n as u64
+}

@@ -1,0 +1,5 @@
+//! Fixture checkpoint codec whose version has drifted from its doc.
+
+const MAGIC: u32 = 0x414E_5441;
+const VERSION: u32 = 99;
+const MIN_VERSION: u32 = 2;

@@ -1,0 +1,31 @@
+//! Known-bad fixture for panic hygiene (as an engine-path file) and,
+//! doubling as a crate root with no `#![forbid(unsafe_code)]`, for the
+//! forbid rule.
+
+fn tears_down_a_worker(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn with_message(x: Option<u32>) -> u32 {
+    x.expect("mid-round abort")
+}
+
+fn aborts() {
+    panic!("boom");
+}
+
+fn unfinished() {
+    todo!()
+}
+
+fn excused(x: Option<u32>) -> u32 {
+    // audit:allow(panic-path): fixture invariant — x is Some by construction.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_unwrap(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture for the registry soundness checks: a duplicate id
+//! and an id below the ant-index ceiling.
+
+pub mod reserved {
+    /// Fine.
+    pub const ENGINE: u64 = u64::MAX;
+    /// Duplicate of ENGINE.
+    pub const NOISE: u64 = u64::MAX;
+    /// Collides with ant index 7.
+    pub const LOW: u64 = 7;
+}

@@ -1,0 +1,24 @@
+//! Known-bad fixture for the stream-discipline family.
+
+use antalloc_rng::{reserved, StreamSeeder};
+
+fn raw_literal(seeder: &StreamSeeder) {
+    // An unregistered magic number: the next subsystem that picks 42
+    // silently shares this stream.
+    let _ = seeder.stream(42);
+}
+
+fn hex_literal(seeder: &StreamSeeder) {
+    let _ = seeder.stream(0xDEAD_BEEF);
+}
+
+fn unknown_const(seeder: &StreamSeeder) {
+    let _ = seeder.stream(reserved::BOGUS);
+}
+
+fn fine_expression(seeder: &StreamSeeder, ant: usize) {
+    // Ant-index expressions and registered constants are the two
+    // allowed shapes.
+    let _ = seeder.stream(ant as u64);
+    let _ = seeder.stream(reserved::ENGINE);
+}

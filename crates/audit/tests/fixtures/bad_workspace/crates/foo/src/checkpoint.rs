@@ -1,0 +1,1 @@
+const VERSION: u32 = 7;

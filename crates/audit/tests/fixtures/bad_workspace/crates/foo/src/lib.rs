@@ -1,0 +1,10 @@
+// Deliberately bad crate root: no #![forbid(unsafe_code)], a
+// default-hasher collection, a truncating cast and an unwrap, all in
+// one sim-path file.
+
+use std::collections::HashMap;
+
+pub fn census(m: &HashMap<u32, u64>, n: usize) -> u64 {
+    let _ = n as u32;
+    m.values().copied().next().unwrap()
+}

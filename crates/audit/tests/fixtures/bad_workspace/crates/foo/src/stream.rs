@@ -1,0 +1,6 @@
+//! Fixture registry: one entry below the ceiling.
+
+pub mod reserved {
+    /// Collides with ant index 3.
+    pub const ENGINE: u64 = 3;
+}

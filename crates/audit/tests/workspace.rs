@@ -1,0 +1,77 @@
+//! End-to-end tests: the real workspace must audit clean (library API
+//! and binary), and the deliberately-bad fixture workspace must make
+//! the binary exit nonzero with a diagnostic from every rule family.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use antalloc_audit::config::Config;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn bad_workspace() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace")
+}
+
+#[test]
+fn real_workspace_audits_clean() {
+    let root = repo_root();
+    let cfg = Config::load(&root.join("audit.toml")).unwrap();
+    let diags = antalloc_audit::run(&root, &cfg).unwrap();
+    assert!(
+        diags.is_empty(),
+        "workspace must audit clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_antalloc-audit"))
+        .arg("--root")
+        .arg(repo_root())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("workspace clean"));
+}
+
+#[test]
+fn binary_exits_nonzero_on_bad_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_antalloc-audit"))
+        .arg("--root")
+        .arg(bad_workspace())
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "bad fixture workspace must fail the audit"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One diagnostic from every rule family.
+    for rule in [
+        "[nondet-collection]",
+        "[stream-registry]",
+        "[cast]",
+        "[panic-path]",
+        "[forbid-unsafe]",
+        "[doc-version]",
+        "[doc-stream-table]",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}

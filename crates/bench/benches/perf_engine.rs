@@ -10,6 +10,10 @@
 //! the artifact the `perf-smoke` CI job uploads so the repo keeps a
 //! perf trajectory. Set `PERF_QUICK=1` for a CI-sized run.
 
+// disallowed_methods: a bench exists to read the wall clock; timing
+// here never feeds a simulation (audit.toml relaxes bench files too).
+#![allow(clippy::disallowed_methods)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::io::Write as _;

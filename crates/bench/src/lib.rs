@@ -127,6 +127,9 @@ pub fn steady_state(cfg: &SimConfig, gamma: f64, warmup: u64, measure: u64) -> M
 /// Whether `PERF_QUICK` asks for a CI-sized run (`0`/empty = off).
 /// Shared by every bench that scales its workload down for the
 /// `perf-smoke` job.
+// disallowed_methods: PERF_QUICK only scales workload size; it cannot
+// change any simulated trajectory (audit.toml relaxes bench too).
+#[allow(clippy::disallowed_methods)]
 pub fn perf_quick() -> bool {
     std::env::var("PERF_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }

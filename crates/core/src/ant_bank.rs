@@ -48,12 +48,16 @@ pub(crate) fn dec(x: u32) -> Assignment {
 }
 
 /// The `pick`-th (0-based) set bit of `mask`, as a bit index.
+///
+/// Returns `u32` — the native width of `trailing_zeros`, and the width
+/// of the assignment columns the callers store into — so no call site
+/// needs a narrowing cast.
 #[inline(always)]
-pub(crate) fn nth_set_bit(mut mask: u64, pick: usize) -> usize {
+pub(crate) fn nth_set_bit(mut mask: u64, pick: usize) -> u32 {
     for _ in 0..pick {
         mask &= mask - 1;
     }
-    mask.trailing_zeros() as usize
+    mask.trailing_zeros()
 }
 
 /// Number of `lack` entries in a `0/1` signal row.
@@ -71,7 +75,8 @@ pub(crate) fn nth_lacking(row: &[u8], pick: usize) -> u32 {
         .enumerate()
         .filter(|(_, &l)| l == 1)
         .nth(pick)
-        .map(|(j, _)| j as u32)
+        .map(|(j, _)| crate::cast::task_col(j))
+        // audit:allow(panic-path): callers draw `pick` via uniform_index(count_lacking(row)), so pick < count.
         .expect("pick < count")
 }
 
@@ -184,7 +189,7 @@ impl AntBank {
     /// Persistent memory in bits (same accounting as
     /// [`crate::Controller::memory_bits`] on [`AlgorithmAnt`]).
     pub fn memory_bits(&self) -> u32 {
-        let k = self.num_tasks as u32;
+        let k = crate::cast::task_col(self.num_tasks);
         crate::memory::bits_for_states(self.num_tasks + 1) + k + 1
     }
 
@@ -325,7 +330,7 @@ impl<'a> AntSliceMut<'a> {
         let cur = self.assignment[i];
         self.current[i] = cur;
         if cur != IDLE {
-            self.s1_current[i] = u8::from(view.sample(cur as usize, rng).is_lack());
+            self.s1_current[i] = u8::from(view.sample(crate::cast::task_ix(cur), rng).is_lack());
             self.have_s1[i] = 1;
             if self.pause.sample(rng) {
                 self.assignment[i] = IDLE;
@@ -349,7 +354,7 @@ impl<'a> AntSliceMut<'a> {
         let k = self.num_tasks;
         let cur = self.current[i];
         if cur != IDLE {
-            let s2_lack = view.sample(cur as usize, rng).is_lack();
+            let s2_lack = view.sample(crate::cast::task_ix(cur), rng).is_lack();
             let both_overload = self.have_s1[i] == 1 && self.s1_current[i] == 0 && !s2_lack;
             self.assignment[i] = if both_overload && self.leave.sample(rng) {
                 IDLE
@@ -373,7 +378,7 @@ impl<'a> AntSliceMut<'a> {
                 }
                 match joinable.count_ones() as usize {
                     0 => IDLE,
-                    count => nth_set_bit(joinable, uniform_index(rng, count)) as u32,
+                    count => nth_set_bit(joinable, uniform_index(rng, count)),
                 }
             } else {
                 let mut s2 = vec![0u8; k];
@@ -388,10 +393,12 @@ impl<'a> AntSliceMut<'a> {
                     0 => IDLE,
                     count => {
                         let pick = uniform_index(rng, count);
-                        (0..k)
+                        let j = (0..k)
                             .filter(|&j| joinable(j))
                             .nth(pick)
-                            .expect("pick < count") as u32
+                            // audit:allow(panic-path): pick was drawn as uniform_index(count) over this very filter.
+                            .expect("pick < count");
+                        crate::cast::task_col(j)
                     }
                 }
             };

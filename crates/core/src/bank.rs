@@ -220,6 +220,7 @@ impl ControllerBank {
             (ControllerBank::PreciseSigmoid(b), ControllerScratch::PreciseSigmoid(s)) => {
                 b.apply_scratch(slot, s)
             }
+            // audit:allow(panic-path): documented precondition — scratch kinds are matched to banks by the checkpoint codec before apply.
             _ => panic!("scratch kind does not match bank kind"),
         }
     }
@@ -244,6 +245,7 @@ impl ControllerBank {
                 b.push_controller(&c)
             }
             (ControllerBank::Table(v), AnyController::Table(c)) => v.push(c),
+            // audit:allow(panic-path): documented precondition — Population routes controllers to the bank of their own kind.
             _ => panic!("controller kind does not match bank kind"),
         }
     }
@@ -379,6 +381,7 @@ impl FromIterator<AnyController> for ControllerBank {
     /// mismatch.
     fn from_iter<T: IntoIterator<Item = AnyController>>(iter: T) -> Self {
         let mut iter = iter.into_iter();
+        // audit:allow(panic-path): documented precondition — FromIterator cannot name a kind for zero controllers.
         let first = iter.next().expect("cannot infer the kind of an empty bank");
         let mut bank = ControllerBank::empty_like(&first);
         bank.push(first);

@@ -1,0 +1,41 @@
+//! Documented index conversions for the bank kernels.
+//!
+//! The SoA banks store task assignments as `u32` columns (half the
+//! memory traffic of `usize` at 1M+ ants) while slices and counters are
+//! `usize`-indexed, so the kernels convert in both directions on every
+//! step. Raw `as` casts are banned in the hot files by `antalloc-audit`
+//! (rule `cast` — a silent truncation only shows up at colony sizes the
+//! parity tests never reach); these helpers are the two blessed
+//! conversions, each carrying its justification exactly once.
+
+/// Widens a task-index column value to a slice index.
+#[inline(always)]
+pub(crate) fn task_ix(col: u32) -> usize {
+    // audit:allow(cast): u32 → usize is lossless on every supported (64-bit) target.
+    col as usize
+}
+
+/// Narrows a task index to a `u32` column value.
+///
+/// Task counts are bounded far below `u32::MAX` (config validation
+/// rejects colonies with more tasks than ants, and demand vectors are
+/// materialized per round), so the narrowing cannot truncate; the
+/// debug assertion keeps that claim checked in every `cargo test` run.
+#[inline(always)]
+pub(crate) fn task_col(ix: usize) -> u32 {
+    debug_assert!(u32::try_from(ix).is_ok(), "task index {ix} overflows u32");
+    // audit:allow(cast): task indices are < the validated task count, far below 2^32.
+    ix as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(task_ix(0), 0);
+        assert_eq!(task_ix(u32::MAX), u32::MAX as usize);
+        assert_eq!(task_col(7), 7);
+    }
+}

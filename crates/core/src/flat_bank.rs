@@ -182,7 +182,7 @@ impl<'a> TrivialSliceMut<'a> {
                 let mask = view.lack_mask(rng);
                 if mask != 0 {
                     let pick = uniform_index(rng, mask.count_ones() as usize);
-                    self.assignment[i] = nth_set_bit(mask, pick) as u32;
+                    self.assignment[i] = nth_set_bit(mask, pick);
                 }
             } else {
                 view.fill_lack(rng, row);
@@ -191,7 +191,7 @@ impl<'a> TrivialSliceMut<'a> {
                     self.assignment[i] = nth_lacking(row, uniform_index(rng, count));
                 }
             }
-        } else if !view.sample(cur as usize, rng).is_lack() {
+        } else if !view.sample(crate::cast::task_ix(cur), rng).is_lack() {
             self.assignment[i] = IDLE;
         }
         dec(self.assignment[i])
@@ -365,7 +365,7 @@ impl<'a> ExactGreedySliceMut<'a> {
                 let mask = view.lack_mask(rng);
                 if mask != 0 && self.join.sample(rng) {
                     let pick = uniform_index(rng, mask.count_ones() as usize);
-                    self.assignment[i] = nth_set_bit(mask, pick) as u32;
+                    self.assignment[i] = nth_set_bit(mask, pick);
                 }
             } else {
                 view.fill_lack(rng, row);
@@ -374,7 +374,7 @@ impl<'a> ExactGreedySliceMut<'a> {
                     self.assignment[i] = nth_lacking(row, uniform_index(rng, count));
                 }
             }
-        } else if !view.sample(cur as usize, rng).is_lack() && self.leave.sample(rng) {
+        } else if !view.sample(crate::cast::task_ix(cur), rng).is_lack() && self.leave.sample(rng) {
             self.assignment[i] = IDLE;
         }
         dec(self.assignment[i])

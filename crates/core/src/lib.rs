@@ -32,6 +32,7 @@
 mod ant;
 mod ant_bank;
 mod bank;
+mod cast;
 mod controller;
 mod exact_greedy;
 mod flat_bank;

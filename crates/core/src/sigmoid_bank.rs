@@ -354,7 +354,8 @@ impl<'a> SigmoidSliceMut<'a> {
                 &mut self.count2[i * k..i * k + k]
             };
             if cur != IDLE {
-                counts[cur as usize] += u16::from(view.sample(cur as usize, rng).is_lack());
+                let t = crate::cast::task_ix(cur);
+                counts[t] += u16::from(view.sample(t, rng).is_lack());
             } else {
                 view.fill_lack(rng, row);
                 for (c, &lack) in counts.iter_mut().zip(row.iter()) {
@@ -383,13 +384,15 @@ impl<'a> SigmoidSliceMut<'a> {
                     IDLE
                 } else {
                     let pick = uniform_index(rng, count);
-                    (0..k)
+                    let j = (0..k)
                         .filter(|&j| joinable(self, j))
                         .nth(pick)
-                        .expect("pick < count") as u32
+                        // audit:allow(panic-path): pick was drawn as uniform_index(count) over this very filter.
+                        .expect("pick < count");
+                    crate::cast::task_col(j)
                 };
             } else {
-                let ju = i * k + cur as usize;
+                let ju = i * k + crate::cast::task_ix(cur);
                 let both_overload = self.shat1[ju] == 0 && !median_is_lack(self.count2[ju]);
                 self.assignment[i] = if both_overload && self.leave.sample(rng) {
                     IDLE

@@ -63,6 +63,7 @@ impl Bernoulli {
         // (where the product has a fractional part). For p in (0,1) the
         // rounded product fits in u64 because p <= 1 - 2^-53 implies
         // p * 2^64 <= 2^64 - 2^11.
+        // audit:allow(cast): saturating float→int IS the quantization — p ∈ (0,1) here, so the rounded product fits u64 (proof above).
         let threshold = (p * 18_446_744_073_709_551_616.0).round() as u64;
         Self {
             threshold,
@@ -87,6 +88,7 @@ impl Bernoulli {
         if self.always {
             1.0
         } else {
+            // audit:allow(cast): u64 → f64 rounds to nearest; probability() is documented lossy (2^-53) — raw_threshold is the lossless readback.
             self.threshold as f64 / 18_446_744_073_709_551_616.0
         }
     }

@@ -97,6 +97,9 @@ impl StreamSeeder {
 }
 
 #[cfg(test)]
+// disallowed_types: the collision test only needs membership, never
+// iteration order, so the randomized hasher is harmless here.
+#[allow(clippy::disallowed_types)]
 mod tests {
     use super::*;
     use std::collections::HashSet;

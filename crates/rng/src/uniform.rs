@@ -17,8 +17,10 @@ use crate::xoshiro::Xoshiro256pp;
 #[inline]
 pub fn uniform_index(rng: &mut Xoshiro256pp, bound: usize) -> usize {
     assert!(bound > 0, "uniform_index: empty range");
+    // audit:allow(cast): usize → u64 is lossless on every supported (≤64-bit) target.
     let bound = bound as u64;
-    let m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+    let m = u128::from(rng.next_u64()).wrapping_mul(u128::from(bound));
+    // audit:allow(cast): intentional — the low 64 bits of the 128-bit product select the rejection zone (Lemire).
     let low = m as u64;
     if low < bound {
         // Possibly in the rejection zone (2^64 mod bound < bound):
@@ -32,6 +34,7 @@ pub fn uniform_index(rng: &mut Xoshiro256pp, bound: usize) -> usize {
             return range.sample(rng);
         }
     }
+    // audit:allow(cast): the high word of the product is < bound, which came from a usize.
     (m >> 64) as usize
 }
 
@@ -48,6 +51,7 @@ impl UniformRange {
     #[inline]
     pub fn new(bound: usize) -> Self {
         assert!(bound > 0, "UniformRange: empty range");
+        // audit:allow(cast): usize → u64 is lossless on every supported (≤64-bit) target.
         let bound = bound as u64;
         Self {
             bound,
@@ -59,8 +63,10 @@ impl UniformRange {
     #[inline]
     pub fn sample(&self, rng: &mut Xoshiro256pp) -> usize {
         loop {
-            let m = (rng.next_u64() as u128).wrapping_mul(self.bound as u128);
+            let m = u128::from(rng.next_u64()).wrapping_mul(u128::from(self.bound));
+            // audit:allow(cast): intentional — the low 64 bits of the 128-bit product select the rejection zone (Lemire).
             if (m as u64) >= self.threshold {
+                // audit:allow(cast): the high word of the product is < bound, which came from a usize.
                 return (m >> 64) as usize;
             }
         }

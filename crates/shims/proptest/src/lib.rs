@@ -572,6 +572,9 @@ where
 /// input to a minimal still-failing value and panics with it. Used by
 /// the [`proptest!`] expansion; not part of the public surface.
 #[doc(hidden)]
+// disallowed_methods: PROPTEST_CASES only scales the case count for
+// local soak runs; the per-case RNG stays seeded from the test name.
+#[allow(clippy::disallowed_methods)]
 pub fn __run_proptest<S, F>(name: &str, strategy: &S, mut case: F)
 where
     S: Strategy,

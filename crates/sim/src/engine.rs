@@ -120,6 +120,7 @@ pub(crate) fn apply_event(
         shock => {
             let p = shock
                 .as_perturbation()
+                // audit:allow(panic-path): exhaustive by construction — the match above consumed both pure event kinds.
                 .expect("non-pure events are perturbations");
             apply_perturbation(&p, colony, population, rng, seeder, next_stream);
         }
@@ -570,6 +571,7 @@ impl SyncEngine {
             // run uses exactly `workers` OS threads (no oversubscription
             // from a dedicated coordinator).
             let mut parts = parts.into_iter();
+            // audit:allow(panic-path): the partitioner always emits >= 1 chunk for a non-empty colony (checked above).
             let mut own_part = parts.next().expect("at least one chunk");
             for part in parts {
                 let decisions = &decisions;
@@ -587,6 +589,7 @@ impl SyncEngine {
                             return;
                         }
                         let guard = shared.read();
+                        // audit:allow(panic-path): the coordinator publishes the prepared round before releasing the start barrier.
                         let prepared = guard.as_ref().expect("round prepared");
                         for (slice, rngs, ids) in part.iter_mut() {
                             out.clear();
@@ -658,6 +661,7 @@ impl SyncEngine {
             start.wait();
             completed
         })
+        // audit:allow(panic-path): propagating a worker panic is the only sane response — the round state is torn.
         .expect("worker thread panicked")
     }
 

@@ -135,7 +135,7 @@ pub(crate) fn mix_quotas(weights: &[f64], n: usize) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let fa = exact[a] - exact[a].floor();
         let fb = exact[b] - exact[b].floor();
-        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        fb.total_cmp(&fa).then(a.cmp(&b))
     });
     for i in 0..n.saturating_sub(assigned) {
         quotas[order[i % order.len()]] += 1;

@@ -3,6 +3,8 @@
 //! The examples live at the package root (`examples/*.rs`) and are run
 //! with `cargo run --release -p colony-examples --example <name>`.
 
+#![forbid(unsafe_code)]
+
 /// Formats a deficit vector as a compact signed list, e.g. `[+3 -1 0]`.
 pub fn fmt_deficits(deficits: &[i64]) -> String {
     let body: Vec<String> = deficits

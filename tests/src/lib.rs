@@ -4,6 +4,8 @@
 //! multiple workspace crates; this small library holds builders they
 //! share so each test file stays focused on one claim.
 
+#![forbid(unsafe_code)]
+
 /// A standard small colony used across integration tests: big enough for
 /// concentration to visibly kick in, small enough to run in CI seconds.
 pub struct SmallColony {
