@@ -195,7 +195,18 @@ struct KindResult {
     banks_par_tput: f64,
     kernel_generic_tput: f64,
     kernel_soa_tput: f64,
+    /// `(threads, ant_rounds_per_sec)` for the fused parallel path.
+    scaling: Vec<(usize, f64)>,
 }
+
+/// Colony size above which the fused parallel path is documented to
+/// beat the serial path (given > 2 hardware threads). The scaling
+/// guard in [`banks_vs_seed`] enforces this; `docs/ARCHITECTURE.md`
+/// and the README state it.
+const PARALLEL_CROSSOVER_N: usize = 100_000;
+
+/// Thread counts for the per-kind parallel scaling curve.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// Like-for-like kernel race: the SoA bank's `step_batch` against the
 /// generic monomorphic per-ant loop (`step_slice` over a `Vec` of
@@ -334,6 +345,21 @@ fn banks_vs_seed(_c: &mut Criterion) {
             "{kind}: layouts diverged during measurement"
         );
 
+        // Parallel scaling curve: the fused path at fixed thread counts
+        // (requested threads — the engine still clamps to its
+        // min-ants-per-worker floor, and 1 requested thread takes the
+        // serial fallback). Bit-identity across thread counts is pinned
+        // by the determinism proptests; here we only measure.
+        let scaling: Vec<(usize, f64)> = SCALING_THREADS
+            .iter()
+            .map(|&t| {
+                let tput = measure(n, rounds, samples, |r| {
+                    banked.run_parallel(r, t, &mut NullObserver)
+                });
+                (t, tput)
+            })
+            .collect();
+
         // Like-for-like kernel race: SoA step_batch vs the generic
         // monomorphic per-ant loop it replaced, no engine around
         // either — this is the number the regression guard watches
@@ -372,6 +398,7 @@ fn banks_vs_seed(_c: &mut Criterion) {
             banks_par_tput,
             kernel_generic_tput,
             kernel_soa_tput,
+            scaling,
         });
     }
 
@@ -410,12 +437,25 @@ fn banks_vs_seed(_c: &mut Criterion) {
             format!("{:.3e}", r.kernel_soa_tput),
             format!("{:.2}", r.kernel_soa_tput / r.kernel_generic_tput),
         ]);
+        for &(t, tput) in &r.scaling {
+            table.row(vec![
+                r.kind.into(),
+                format!("engine_scaling_threads_{t}"),
+                format!("{tput:.3e}"),
+                format!("{:.2}", tput / r.banks_tput),
+            ]);
+        }
     }
     table.finish();
 
     let kinds_json: Vec<String> = results
         .iter()
         .map(|r| {
+            let curve: Vec<String> = r
+                .scaling
+                .iter()
+                .map(|&(t, tput)| format!("\"threads_{t}\": {tput:.1}"))
+                .collect();
             format!(
                 "    \"{}\": {{\n      \
                  \"engine_seed_per_ant\": {{ \"ant_rounds_per_sec\": {:.1} }},\n      \
@@ -423,6 +463,7 @@ fn banks_vs_seed(_c: &mut Criterion) {
                  \"engine_banks_parallel\": {{ \"ant_rounds_per_sec\": {:.1} }},\n      \
                  \"kernel_generic_loop\": {{ \"ant_rounds_per_sec\": {:.1} }},\n      \
                  \"kernel_soa_bank\": {{ \"ant_rounds_per_sec\": {:.1} }},\n      \
+                 \"parallel_scaling\": {{ {} }},\n      \
                  \"speedup_engine_serial_vs_seed\": {:.3},\n      \
                  \"speedup_engine_parallel_vs_seed\": {:.3},\n      \
                  \"speedup_kernel_soa_vs_generic\": {:.3}\n    }}",
@@ -432,6 +473,7 @@ fn banks_vs_seed(_c: &mut Criterion) {
                 r.banks_par_tput,
                 r.kernel_generic_tput,
                 r.kernel_soa_tput,
+                curve.join(", "),
                 r.banks_tput / r.seed_tput,
                 r.banks_par_tput / r.seed_tput,
                 r.kernel_soa_tput / r.kernel_generic_tput,
@@ -444,7 +486,8 @@ fn banks_vs_seed(_c: &mut Criterion) {
         out,
         "{{\n  \"bench\": \"perf_engine/banks_vs_seed\",\n  \"quick\": {},\n  \
          \"n\": {n},\n  \"tasks\": 3,\n  \"rounds_per_sample\": {rounds},\n  \
-         \"samples\": {samples},\n  \"threads\": {threads},\n  \"kinds\": {{\n{}\n  }}\n}}",
+         \"samples\": {samples},\n  \"threads\": {threads},\n  \
+         \"parallel_crossover_n\": {PARALLEL_CROSSOVER_N},\n  \"kinds\": {{\n{}\n  }}\n}}",
         quick(),
         kinds_json.join(",\n"),
     )
@@ -471,6 +514,30 @@ fn banks_vs_seed(_c: &mut Criterion) {
                 "{}: SoA bank kernel is {kernel_speedup:.2}x the generic per-ant loop — \
                  slower than the layout it replaces",
                 r.kind
+            );
+        }
+        // The scaling guard: above the documented crossover size and
+        // given real hardware parallelism (> 2 threads, matching
+        // `worker_threads`' own floor), the best point on the fused
+        // parallel scaling curve must not lose to the serial path.
+        // On 1–2-thread boxes requested-parallel degenerates to the
+        // serial fallback and the curve is flat, so there is nothing
+        // to enforce.
+        let hw = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        if n >= PARALLEL_CROSSOVER_N && hw > 2 {
+            let best = r
+                .scaling
+                .iter()
+                .map(|&(_, tput)| tput)
+                .fold(0.0f64, f64::max);
+            assert!(
+                best >= r.banks_tput,
+                "{}: parallel scaling curve peaks at {best:.3e} ant-rounds/s, below the \
+                 serial path's {:.3e} at n = {n} (>= documented crossover {PARALLEL_CROSSOVER_N})",
+                r.kind,
+                r.banks_tput
             );
         }
     }

@@ -18,7 +18,7 @@
 //! Only phase-offset-0 ants live here; desynchronized (`AntDesync`)
 //! colonies keep the per-ant layout.
 
-use antalloc_env::Assignment;
+use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::RoundView;
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
@@ -27,24 +27,20 @@ use crate::params::AntParams;
 
 /// `current`/`assignment` encoding: task index, or `IDLE`. Shared by
 /// every structure-of-arrays bank (see also [`crate::TrivialBank`],
-/// [`crate::ExactGreedyBank`], [`crate::PreciseSigmoidBank`]).
-pub(crate) const IDLE: u32 = u32::MAX;
+/// [`crate::ExactGreedyBank`], [`crate::PreciseSigmoidBank`]) — and,
+/// by construction, identical to [`Assignment::RAW_IDLE`], so bank
+/// columns write into the engine's fused [`antalloc_env::TaskColumn`]
+/// without re-encoding.
+pub(crate) const IDLE: u32 = Assignment::RAW_IDLE;
 
 #[inline(always)]
 pub(crate) fn enc(a: Assignment) -> u32 {
-    match a {
-        Assignment::Idle => IDLE,
-        Assignment::Task(j) => j,
-    }
+    a.to_raw()
 }
 
 #[inline(always)]
 pub(crate) fn dec(x: u32) -> Assignment {
-    if x == IDLE {
-        Assignment::Idle
-    } else {
-        Assignment::Task(x)
-    }
+    Assignment::from_raw(x)
 }
 
 /// The `pick`-th (0-based) set bit of `mask`, as a bit index.
@@ -314,6 +310,36 @@ impl<'a> AntSliceMut<'a> {
         } else {
             for i in 0..n {
                 out[i] = self.second_sample_round(i, view, &mut rngs[i]);
+            }
+        }
+    }
+
+    /// Fused-apply variant of [`AntSliceMut::step_batch`]: steps every
+    /// ant (same draws, same order) and routes each transition through
+    /// `writer` — storing the next assignment into the shared column at
+    /// the ant's colony id (`ids[i]`) and folding the switch/load/idle
+    /// change into the writer's local delta. The previous assignment is
+    /// read from the bank's own column (banks mirror the colony), so
+    /// the kernel never touches `ColonyState`.
+    pub fn step_batch_fused(
+        &mut self,
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, ids.len(), "one colony id per ant");
+        if view.round() % 2 == 1 {
+            for i in 0..n {
+                self.first_sample_round(i, view, &mut rngs[i]);
+                writer.write(ids[i], self.assignment[i]);
+            }
+        } else {
+            for i in 0..n {
+                self.second_sample_round(i, view, &mut rngs[i]);
+                writer.write(ids[i], self.assignment[i]);
             }
         }
     }

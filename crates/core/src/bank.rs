@@ -45,13 +45,13 @@
 //! assert_eq!(out, vec![Assignment::Task(0), Assignment::Task(0)]);
 //! ```
 
-use antalloc_env::Assignment;
+use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::{FeedbackProbe, RoundView};
 use antalloc_rng::AntRng;
 
 use crate::ant::AlgorithmAnt;
 use crate::ant_bank::{AntBank, AntSliceMut};
-use crate::controller::{AnyController, Controller};
+use crate::controller::{step_slice_fused, AnyController, Controller};
 use crate::flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
 use crate::precise_adversarial::PreciseAdversarial;
 use crate::precise_sigmoid::SigmoidScratch;
@@ -156,6 +156,23 @@ impl ControllerBank {
     /// Bit-identical to calling [`Controller::step`] per ant.
     pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
         self.as_slice_mut().step_batch(view, rngs, out)
+    }
+
+    /// Fused-apply variant of [`ControllerBank::step_batch`]: steps
+    /// every ant and routes each transition through `writer` — the
+    /// engine's shared next-state column plus a local
+    /// [`antalloc_env::RoundDelta`] — at the ants' colony ids (`ids`,
+    /// one per ant, bank order). Same draws, same streams; see
+    /// [`BankSliceMut::step_batch_fused`].
+    pub fn step_batch_fused(
+        &mut self,
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        self.as_slice_mut()
+            .step_batch_fused(view, rngs, ids, writer)
     }
 
     /// The whole bank as a splittable mutable slice (for partitioning
@@ -369,6 +386,31 @@ impl<'a> BankSliceMut<'a> {
             BankSliceMut::Trivial(v) => v.step_batch(view, rngs, out),
             BankSliceMut::ExactGreedy(v) => v.step_batch(view, rngs, out),
             BankSliceMut::Table(v) => TableFsm::step_bank(v, view, rngs, out),
+        }
+    }
+
+    /// Fused-apply stepping: every ant's next assignment goes straight
+    /// into the engine's shared next-state column (at `ids[i]`, the
+    /// ant's colony id) and its transition into the writer's local
+    /// delta — no decisions buffer, no apply sweep. Draw-for-draw
+    /// identical to [`BankSliceMut::step_batch`]: the fused kernels run
+    /// the same per-ant code and only change where the result is
+    /// stored.
+    pub fn step_batch_fused(
+        &mut self,
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        match self {
+            BankSliceMut::AntSoA(v) => v.step_batch_fused(view, rngs, ids, writer),
+            BankSliceMut::Ant(v) => step_slice_fused(v, view, rngs, ids, writer),
+            BankSliceMut::PreciseSigmoid(v) => v.step_batch_fused(view, rngs, ids, writer),
+            BankSliceMut::PreciseAdversarial(v) => step_slice_fused(v, view, rngs, ids, writer),
+            BankSliceMut::Trivial(v) => v.step_batch_fused(view, rngs, ids, writer),
+            BankSliceMut::ExactGreedy(v) => v.step_batch_fused(view, rngs, ids, writer),
+            BankSliceMut::Table(v) => step_slice_fused(v, view, rngs, ids, writer),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! The controller abstraction and the static-dispatch enum.
 
-use antalloc_env::Assignment;
+use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::{FeedbackProbe, RoundView};
 use antalloc_rng::AntRng;
 
@@ -60,6 +60,28 @@ pub fn step_slice<C: Controller>(
     for ((ant, rng), slot) in ants.iter_mut().zip(rngs.iter_mut()).zip(out.iter_mut()) {
         let mut probe = FeedbackProbe::from_view(view, rng);
         *slot = ant.step(&mut probe);
+    }
+}
+
+/// Fused-apply variant of [`step_slice`]: same draws, same order, with
+/// each ant's decision routed through `writer` — storing the next
+/// assignment into the shared next-state column at the ant's colony id
+/// (`ids[i]`) and folding the switch/load/idle change into the writer's
+/// local delta against the authoritative previous column. The loop
+/// never touches `ColonyState` itself.
+pub fn step_slice_fused<C: Controller>(
+    ants: &mut [C],
+    view: RoundView<'_>,
+    rngs: &mut [AntRng],
+    ids: &[u32],
+    writer: &mut ColumnWriter<'_>,
+) {
+    assert_eq!(ants.len(), rngs.len(), "one RNG stream per ant");
+    assert_eq!(ants.len(), ids.len(), "one colony id per ant");
+    for ((ant, rng), &id) in ants.iter_mut().zip(rngs.iter_mut()).zip(ids.iter()) {
+        let mut probe = FeedbackProbe::from_view(view, rng);
+        let next = ant.step(&mut probe).to_raw();
+        writer.write(id, next);
     }
 }
 

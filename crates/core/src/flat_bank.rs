@@ -15,7 +15,7 @@
 //! bit-identical to per-ant runs — pinned by the parity property tests
 //! in `tests/banks.rs`.
 
-use antalloc_env::Assignment;
+use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::RoundView;
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
@@ -160,6 +160,26 @@ impl<'a> TrivialSliceMut<'a> {
         let mut row = scratch_row(self.num_tasks);
         for i in 0..n {
             out[i] = self.step_one(i, view, &mut rngs[i], &mut row);
+        }
+    }
+
+    /// Fused-apply variant of [`TrivialSliceMut::step_batch`]: same
+    /// draws, with each transition routed through `writer` (shared next
+    /// column + local delta) at the ant's colony id (`ids[i]`).
+    pub fn step_batch_fused(
+        &mut self,
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, ids.len(), "one colony id per ant");
+        let mut row = scratch_row(self.num_tasks);
+        for i in 0..n {
+            self.step_one(i, view, &mut rngs[i], &mut row);
+            writer.write(ids[i], self.assignment[i]);
         }
     }
 
@@ -343,6 +363,26 @@ impl<'a> ExactGreedySliceMut<'a> {
         let mut row = scratch_row(self.num_tasks);
         for i in 0..n {
             out[i] = self.step_one(i, view, &mut rngs[i], &mut row);
+        }
+    }
+
+    /// Fused-apply variant of [`ExactGreedySliceMut::step_batch`]: same
+    /// draws, with each transition routed through `writer` (shared next
+    /// column + local delta) at the ant's colony id (`ids[i]`).
+    pub fn step_batch_fused(
+        &mut self,
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, ids.len(), "one colony id per ant");
+        let mut row = scratch_row(self.num_tasks);
+        for i in 0..n {
+            self.step_one(i, view, &mut rngs[i], &mut row);
+            writer.write(ids[i], self.assignment[i]);
         }
     }
 

@@ -47,7 +47,7 @@ mod trivial;
 pub use ant::AlgorithmAnt;
 pub use ant_bank::{AntBank, AntSliceMut};
 pub use bank::{BankSliceMut, ControllerBank, ControllerScratch};
-pub use controller::{step_slice, AnyController, Controller};
+pub use controller::{step_slice, step_slice_fused, AnyController, Controller};
 pub use exact_greedy::{ExactGreedy, ExactGreedyParams};
 pub use flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
 pub use memory::{bits_for_states, closeness_floor, MemoryFootprint};

@@ -20,7 +20,7 @@
 //! [`SigmoidScratch`]) so a capture *between* phase boundaries — phases
 //! are `2m = O(1/ε)` rounds long — resumes mid-phase bit-identically.
 
-use antalloc_env::Assignment;
+use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::RoundView;
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
@@ -317,6 +317,34 @@ impl<'a> SigmoidSliceMut<'a> {
         };
         for i in 0..n {
             out[i] = self.step_one(i, r, view, &mut rngs[i], row);
+        }
+    }
+
+    /// Fused-apply variant of [`SigmoidSliceMut::step_batch`]: same
+    /// draws, with each transition routed through `writer` (shared next
+    /// column + local delta) at the ant's colony id (`ids[i]`).
+    pub fn step_batch_fused(
+        &mut self,
+        view: RoundView<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, ids.len(), "one colony id per ant");
+        let r = view.round() % (2 * self.m);
+        let mut stack = [0u8; 64];
+        let mut heap = Vec::new();
+        let row: &mut [u8] = if self.num_tasks <= 64 {
+            &mut stack[..self.num_tasks]
+        } else {
+            heap.resize(self.num_tasks, 0);
+            &mut heap
+        };
+        for i in 0..n {
+            self.step_one(i, r, view, &mut rngs[i], row);
+            writer.write(ids[i], self.assignment[i]);
         }
     }
 

@@ -1,0 +1,259 @@
+//! Fused-apply primitives: the double-buffered next-state column and
+//! the commutative per-round delta.
+//!
+//! The synchronous engine no longer runs a separate apply pass over a
+//! decisions buffer. Instead every step kernel writes each ant's next
+//! assignment straight into a shared [`TaskColumn`] (the *next* column
+//! of a double buffer) through a [`ColumnWriter`], which also folds the
+//! transition into a local [`RoundDelta`]. Committing a round is then
+//! an O(1) column swap plus an O(k) delta application — no O(n) sweep.
+//!
+//! Determinism: all of a round's column writes target disjoint slots
+//! (one per ant), every delta field is a commutative sum, and each ant
+//! flips idleness at most once per round, so the packed-mask XOR flips
+//! commute too. Merge order therefore cannot affect the result — the
+//! property the bit-identity contract rests on (see
+//! `docs/DETERMINISM.md`).
+
+use core::sync::atomic::{AtomicU32, Ordering};
+
+use crate::assignment::Assignment;
+
+/// Converts an ant id to a column index.
+#[inline]
+fn ix(id: u32) -> usize {
+    id as usize // audit:allow(cast): u32 → usize widening (usize ≥ 32 bits on supported targets)
+}
+
+/// One u32-per-ant assignment column ([`Assignment::RAW_IDLE`] = idle).
+///
+/// Slots are atomics only so that scoped workers can write disjoint
+/// slots of a shared column without `unsafe`; all accesses are
+/// `Relaxed` (per-slot writers are disjoint within a round, and the
+/// engine's barriers / scope join provide the cross-thread ordering).
+#[derive(Debug)]
+pub struct TaskColumn {
+    slots: Vec<AtomicU32>,
+}
+
+impl TaskColumn {
+    /// A column of `n` slots, all idle.
+    pub fn new(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || AtomicU32::new(Assignment::RAW_IDLE));
+        Self { slots }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff the column has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Resizes to `n` slots; new slots start idle.
+    pub fn resize(&mut self, n: usize) {
+        self.slots
+            .resize_with(n, || AtomicU32::new(Assignment::RAW_IDLE));
+    }
+
+    /// Appends one slot holding `raw`.
+    pub fn push(&mut self, raw: u32) {
+        self.slots.push(AtomicU32::new(raw));
+    }
+
+    /// Swap-removes slot `i`, returning its raw value (mirrors
+    /// `Vec::swap_remove`).
+    pub fn swap_remove(&mut self, i: usize) -> u32 {
+        self.slots.swap_remove(i).into_inner()
+    }
+
+    /// Raw value of slot `id`.
+    #[inline]
+    pub fn load(&self, id: u32) -> u32 {
+        self.slots[ix(id)].load(Ordering::Relaxed)
+    }
+
+    /// Stores `raw` into slot `id`.
+    #[inline]
+    pub fn store(&self, id: u32, raw: u32) {
+        self.slots[ix(id)].store(raw, Ordering::Relaxed);
+    }
+}
+
+impl Clone for TaskColumn {
+    fn clone(&self) -> Self {
+        let slots = self
+            .slots
+            .iter()
+            .map(|s| AtomicU32::new(s.load(Ordering::Relaxed)))
+            .collect();
+        Self { slots }
+    }
+}
+
+/// The commutative summary of one round's transitions over some set of
+/// ants: switch count, signed load/idle deltas, and the ids whose
+/// idleness flipped (for the packed idle mask).
+///
+/// Every field is order-independent under merging — integer sums
+/// commute, and `idle_flips` drives XOR bit flips that each touch a
+/// distinct ant at most once per round — so per-worker deltas can be
+/// applied in any order with a bit-identical result.
+#[derive(Clone, Debug)]
+pub struct RoundDelta {
+    pub(crate) switches: u64,
+    pub(crate) idle_delta: i64,
+    pub(crate) load_deltas: Vec<i64>,
+    pub(crate) idle_flips: Vec<u32>,
+}
+
+impl RoundDelta {
+    /// An empty delta over `k` tasks.
+    pub fn new(k: usize) -> Self {
+        Self {
+            switches: 0,
+            idle_delta: 0,
+            load_deltas: vec![0; k],
+            idle_flips: Vec::new(),
+        }
+    }
+
+    /// Clears all accumulators, resizing to `k` tasks.
+    pub fn reset(&mut self, k: usize) {
+        self.switches = 0;
+        self.idle_delta = 0;
+        self.load_deltas.clear();
+        self.load_deltas.resize(k, 0);
+        self.idle_flips.clear();
+    }
+
+    /// Folds one ant's transition (raw-encoded) into the delta.
+    #[inline]
+    pub fn record(&mut self, id: u32, prev: u32, next: u32) {
+        if prev == next {
+            return;
+        }
+        self.switches += 1;
+        match (prev == Assignment::RAW_IDLE, next == Assignment::RAW_IDLE) {
+            (true, false) => {
+                self.idle_delta -= 1;
+                self.load_deltas[ix(next)] += 1;
+                self.idle_flips.push(id);
+            }
+            (false, true) => {
+                self.load_deltas[ix(prev)] -= 1;
+                self.idle_delta += 1;
+                self.idle_flips.push(id);
+            }
+            (false, false) => {
+                self.load_deltas[ix(prev)] -= 1;
+                self.load_deltas[ix(next)] += 1;
+            }
+            (true, true) => unreachable!("prev == next was handled above"),
+        }
+    }
+
+    /// Number of ants that changed assignment.
+    #[inline]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+/// A kernel's fused output port: one `write` per ant stores the next
+/// assignment into the *next* column and folds the transition into the
+/// local delta, reading the prior assignment from the *previous*
+/// column.
+///
+/// The previous column is the authoritative ground truth — the same
+/// source the unfused engine's apply sweep compared against — so the
+/// fused path counts switches and load deltas identically even when a
+/// controller's internal state momentarily disagrees with the colony
+/// (e.g. right after a population shock).
+pub struct ColumnWriter<'a> {
+    prev: &'a TaskColumn,
+    next: &'a TaskColumn,
+    delta: &'a mut RoundDelta,
+}
+
+impl<'a> ColumnWriter<'a> {
+    /// A writer reading prior assignments from `prev`, storing into
+    /// `next`, accumulating into `delta`.
+    pub fn new(prev: &'a TaskColumn, next: &'a TaskColumn, delta: &'a mut RoundDelta) -> Self {
+        Self { prev, next, delta }
+    }
+
+    /// Records ant `id` stepping to `next` (raw-encoded): stores it
+    /// into the next column unconditionally and updates the delta iff
+    /// the assignment changed relative to the previous column.
+    #[inline]
+    pub fn write(&mut self, id: u32, next: u32) {
+        let prev = self.prev.load(id);
+        self.next.store(id, next);
+        self.delta.record(id, prev, next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const I: u32 = Assignment::RAW_IDLE;
+
+    #[test]
+    fn column_basics() {
+        let mut col = TaskColumn::new(3);
+        assert_eq!(col.len(), 3);
+        assert!(!col.is_empty());
+        assert_eq!(col.load(1), I);
+        col.store(1, 7);
+        assert_eq!(col.load(1), 7);
+        let cloned = col.clone();
+        assert_eq!(cloned.load(1), 7);
+        col.push(2);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.swap_remove(0), I);
+        assert_eq!(col.load(0), 2);
+        col.resize(1);
+        assert_eq!(col.len(), 1);
+    }
+
+    #[test]
+    fn delta_records_transitions() {
+        let mut d = RoundDelta::new(2);
+        d.record(0, I, 1); // idle → task 1
+        d.record(1, 0, 1); // task 0 → task 1
+        d.record(2, 1, I); // task 1 → idle
+        d.record(3, I, I); // no-op
+        d.record(4, 0, 0); // no-op
+        assert_eq!(d.switches(), 3);
+        assert_eq!(d.idle_delta, 0);
+        assert_eq!(d.load_deltas, vec![-1, 1]);
+        assert_eq!(d.idle_flips, vec![0, 2]);
+        d.reset(3);
+        assert_eq!(d.switches(), 0);
+        assert_eq!(d.load_deltas, vec![0, 0, 0]);
+        assert!(d.idle_flips.is_empty());
+    }
+
+    #[test]
+    fn writer_stores_and_records() {
+        let prev = TaskColumn::new(2);
+        prev.store(1, 0);
+        let next = TaskColumn::new(2);
+        let mut d = RoundDelta::new(1);
+        let mut w = ColumnWriter::new(&prev, &next, &mut d);
+        w.write(0, 0); // idle → task 0
+        w.write(1, 0); // task 0 → task 0 (no switch)
+        assert_eq!(next.load(0), 0);
+        assert_eq!(next.load(1), 0);
+        assert_eq!(d.switches(), 1);
+        assert_eq!(d.idle_flips, vec![0]);
+    }
+}

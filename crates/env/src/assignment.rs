@@ -36,6 +36,34 @@ impl Assignment {
             Some(j) => Assignment::Task(j as u32),
         }
     }
+
+    /// The packed `u32` wire/column encoding: the task index, or
+    /// [`Assignment::RAW_IDLE`] for idle. This is the encoding the
+    /// checkpoint codec, the SoA bank columns and the engine's
+    /// double-buffered next-state column all share.
+    #[inline]
+    pub fn to_raw(self) -> u32 {
+        match self {
+            Assignment::Idle => Self::RAW_IDLE,
+            Assignment::Task(j) => j,
+        }
+    }
+
+    /// Decodes the packed `u32` encoding; inverse of
+    /// [`Assignment::to_raw`].
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        if raw == Self::RAW_IDLE {
+            Assignment::Idle
+        } else {
+            Assignment::Task(raw)
+        }
+    }
+
+    /// The raw-encoding sentinel for idle. Valid task indices are
+    /// strictly below it (colony sizes fit `u32`, so no task column can
+    /// collide).
+    pub const RAW_IDLE: u32 = u32::MAX;
 }
 
 impl core::fmt::Display for Assignment {
@@ -59,6 +87,17 @@ mod tests {
         assert_eq!(Assignment::Idle.task(), None);
         assert!(Assignment::Idle.is_idle());
         assert!(!Assignment::Task(0).is_idle());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        assert_eq!(Assignment::Idle.to_raw(), u32::MAX);
+        assert_eq!(Assignment::Task(7).to_raw(), 7);
+        assert_eq!(Assignment::from_raw(u32::MAX), Assignment::Idle);
+        assert_eq!(Assignment::from_raw(0), Assignment::Task(0));
+        for a in [Assignment::Idle, Assignment::Task(0), Assignment::Task(41)] {
+            assert_eq!(Assignment::from_raw(a.to_raw()), a);
+        }
     }
 
     #[test]

@@ -1,19 +1,32 @@
 //! Ground-truth colony bookkeeping: assignments, loads, deficits.
 
+use crate::apply::{RoundDelta, TaskColumn};
 use crate::assignment::Assignment;
 use crate::demand::DemandVector;
 
 /// The observable-by-nobody global state: who works where.
 ///
-/// Loads are maintained incrementally — applying one ant's decision is
-/// O(1) — and a full recount is available as a (debug-asserted)
-/// consistency check.
+/// Assignments live in a packed u32 [`TaskColumn`] (idle =
+/// [`Assignment::RAW_IDLE`]) shadowed by a packed idle bitmask — the
+/// *current* half of the engine's double buffer. Step kernels write the
+/// engine-owned *next* column directly; [`ColonyState::commit_round`]
+/// swaps the columns in O(1) and folds in the round's commutative
+/// [`RoundDelta`]. Loads are maintained incrementally — applying one
+/// ant's decision is O(1) — and a full recount is available as a
+/// (debug-asserted) consistency check.
 #[derive(Clone, Debug)]
 pub struct ColonyState {
-    assignments: Vec<Assignment>,
+    tasks: TaskColumn,
+    idle_words: Vec<u64>,
     loads: Vec<u32>,
     demands: DemandVector,
     idle: u32,
+}
+
+/// Packed-mask word index and bit for ant `i`.
+#[inline]
+fn mask_slot(i: usize) -> (usize, u64) {
+    (i / 64, 1u64 << (i % 64))
 }
 
 impl ColonyState {
@@ -25,8 +38,14 @@ impl ColonyState {
             "colony size must fit in u32 loads"
         );
         let k = demands.num_tasks();
+        let mut idle_words = vec![u64::MAX; n.div_ceil(64)];
+        if !n.is_multiple_of(64) {
+            // Bits past `n` stay zero so popcounts stay honest.
+            *idle_words.last_mut().expect("n > 0") = (1u64 << (n % 64)) - 1;
+        }
         Self {
-            assignments: vec![Assignment::Idle; n],
+            tasks: TaskColumn::new(n),
+            idle_words,
             loads: vec![0; k],
             demands,
             idle: n as u32,
@@ -36,7 +55,7 @@ impl ColonyState {
     /// Number of ants `n`.
     #[inline]
     pub fn num_ants(&self) -> usize {
-        self.assignments.len()
+        self.tasks.len()
     }
 
     /// Number of tasks `k`.
@@ -78,13 +97,47 @@ impl ColonyState {
     /// Assignment of ant `i`.
     #[inline]
     pub fn assignment(&self, i: usize) -> Assignment {
-        self.assignments[i]
+        Assignment::from_raw(self.tasks.load(i as u32))
     }
 
-    /// All assignments.
+    /// All assignments, decoded from the packed column.
+    pub fn assignments(&self) -> Vec<Assignment> {
+        (0..self.num_ants()).map(|i| self.assignment(i)).collect()
+    }
+
+    /// The packed idle bitmask (bit `i` of word `i / 64` set iff ant
+    /// `i` is idle; bits past `n` are zero).
     #[inline]
-    pub fn assignments(&self) -> &[Assignment] {
-        &self.assignments
+    pub fn idle_mask(&self) -> &[u64] {
+        &self.idle_words
+    }
+
+    /// The current packed assignment column (the step kernels' *prev*
+    /// source in the serial fused path).
+    #[inline]
+    pub fn task_column(&self) -> &TaskColumn {
+        &self.tasks
+    }
+
+    /// Takes the task column out of the colony for the duration of a
+    /// parallel segment (workers share it immutably while the
+    /// coordinator keeps `&mut` access to the load/idle bookkeeping).
+    /// The colony's per-ant accessors are unusable until
+    /// [`ColonyState::restore_column`] puts a column back.
+    pub fn take_column(&mut self) -> TaskColumn {
+        core::mem::replace(&mut self.tasks, TaskColumn::new(0))
+    }
+
+    /// Restores the (possibly parity-swapped) current column after a
+    /// parallel segment; the per-round deltas were already applied via
+    /// [`ColonyState::apply_round_delta`].
+    pub fn restore_column(&mut self, column: TaskColumn) {
+        debug_assert!(self.tasks.is_empty(), "column already present");
+        let mass: u64 =
+            u64::from(self.idle) + self.loads.iter().map(|&w| u64::from(w)).sum::<u64>();
+        assert_eq!(column.len() as u64, mass, "column length mismatch");
+        self.tasks = column;
+        debug_assert!(self.recount_consistent());
     }
 
     /// Deficit `Δ(j) = d(j) − W(j)` of task `j`.
@@ -108,7 +161,7 @@ impl ColonyState {
     /// Moves ant `i` to `next`, updating loads incrementally.
     #[inline]
     pub fn apply(&mut self, i: usize, next: Assignment) {
-        let prev = self.assignments[i];
+        let prev = self.assignment(i);
         if prev == next {
             return;
         }
@@ -120,68 +173,105 @@ impl ColonyState {
             Assignment::Idle => self.idle += 1,
             Assignment::Task(j) => self.loads[j as usize] += 1,
         }
-        self.assignments[i] = next;
+        if prev.is_idle() != next.is_idle() {
+            let (w, bit) = mask_slot(i);
+            self.idle_words[w] ^= bit;
+        }
+        self.tasks.store(i as u32, next.to_raw());
     }
 
-    /// Applies a batch of per-thread load deltas plus the new assignment
-    /// array contents for a contiguous chunk — the parallel engine's
-    /// reduce step. `deltas[j]` is the signed change to `W(j)`;
-    /// `idle_delta` the signed change to the idle count.
-    pub fn apply_deltas(&mut self, deltas: &[i64], idle_delta: i64) {
-        assert_eq!(deltas.len(), self.loads.len());
-        for (load, &delta) in self.loads.iter_mut().zip(deltas) {
-            let next = i64::from(*load) + delta;
-            assert!(next >= 0, "load went negative");
-            *load = u32::try_from(next).expect("load fits u32");
+    /// Commits a fully-written next column (the serial round path):
+    /// swaps it with the current column in O(1), then folds in the
+    /// round's delta. `next` receives the previous column, becoming the
+    /// scratch for the following round.
+    pub fn commit_round(&mut self, next: &mut TaskColumn, delta: &RoundDelta) {
+        assert_eq!(next.len(), self.num_ants(), "next column length mismatch");
+        core::mem::swap(&mut self.tasks, next);
+        self.apply_round_delta(delta);
+        debug_assert!(self.recount_consistent());
+    }
+
+    /// Folds one round delta into loads, idle count and the idle mask
+    /// **without** touching the task column (the parallel round path,
+    /// where the column is on loan via [`ColonyState::take_column`] and
+    /// double-buffered by parity until [`ColonyState::restore_column`]
+    /// returns it). Mid-segment the task column is absent; loads, idle
+    /// count and mask are current.
+    pub fn apply_round_delta(&mut self, delta: &RoundDelta) {
+        assert_eq!(delta.load_deltas.len(), self.loads.len());
+        for (load, &d) in self.loads.iter_mut().zip(&delta.load_deltas) {
+            let nxt = i64::from(*load) + d;
+            assert!(nxt >= 0, "load went negative");
+            *load = u32::try_from(nxt).expect("load fits u32");
         }
-        let idle = i64::from(self.idle) + idle_delta;
+        let idle = i64::from(self.idle) + delta.idle_delta;
         assert!(idle >= 0, "idle count went negative");
         self.idle = u32::try_from(idle).expect("idle fits u32");
-    }
-
-    /// Overwrites ant `i`'s assignment **without** touching loads; pair
-    /// with [`ColonyState::apply_deltas`] (parallel engine only).
-    #[inline]
-    pub fn set_assignment_raw(&mut self, i: usize, next: Assignment) {
-        self.assignments[i] = next;
+        for &id in &delta.idle_flips {
+            let (w, bit) = mask_slot(id as usize);
+            self.idle_words[w] ^= bit;
+        }
     }
 
     /// Adds an idle ant; returns its index (self-stabilization under
     /// births).
     pub fn spawn_ant(&mut self) -> usize {
-        self.assignments.push(Assignment::Idle);
+        let i = self.tasks.len();
+        self.tasks.push(Assignment::RAW_IDLE);
+        let (w, bit) = mask_slot(i);
+        if w == self.idle_words.len() {
+            self.idle_words.push(0);
+        }
+        self.idle_words[w] |= bit;
         self.idle += 1;
-        self.assignments.len() - 1
+        i
     }
 
     /// Removes ant `i` by swap-removal; returns the index of the ant that
     /// moved into slot `i` (the previous last ant), if any. Callers must
     /// mirror the swap in any parallel per-ant arrays (controllers, RNGs).
     pub fn kill_ant(&mut self, i: usize) -> Option<usize> {
-        match self.assignments[i] {
+        match self.assignment(i) {
             Assignment::Idle => self.idle -= 1,
             Assignment::Task(j) => self.loads[j as usize] -= 1,
         }
-        self.assignments.swap_remove(i);
-        if i < self.assignments.len() {
-            Some(self.assignments.len())
+        let last = self.tasks.len() - 1;
+        let (lw, lbit) = mask_slot(last);
+        let last_idle = self.idle_words[lw] & lbit != 0;
+        self.idle_words[lw] &= !lbit;
+        self.tasks.swap_remove(i);
+        self.idle_words.truncate(self.tasks.len().div_ceil(64));
+        if i < self.tasks.len() {
+            let (w, bit) = mask_slot(i);
+            if last_idle {
+                self.idle_words[w] |= bit;
+            } else {
+                self.idle_words[w] &= !bit;
+            }
+            Some(last)
         } else {
             None
         }
     }
 
-    /// Full recount of loads and idle from assignments; true iff the
-    /// incremental bookkeeping matches. Used by tests and debug asserts.
+    /// Full recount of loads, idle count and the packed idle mask from
+    /// the task column; true iff the incremental bookkeeping matches.
+    /// Used by tests and debug asserts.
     pub fn recount_consistent(&self) -> bool {
         let mut loads = vec![0u32; self.loads.len()];
         let mut idle = 0u32;
-        for a in &self.assignments {
-            match a {
-                Assignment::Idle => idle += 1,
-                Assignment::Task(j) => loads[*j as usize] += 1,
+        let mut words = vec![0u64; self.num_ants().div_ceil(64)];
+        for i in 0..self.num_ants() {
+            match self.assignment(i) {
+                Assignment::Idle => {
+                    idle += 1;
+                    let (w, bit) = mask_slot(i);
+                    words[w] |= bit;
+                }
+                Assignment::Task(j) => loads[j as usize] += 1,
             }
         }
-        loads == self.loads && idle == self.idle
+        loads == self.loads && idle == self.idle && words == self.idle_words
     }
 
     /// Regret of the current configuration: `r = Σ_j |Δ(j)|`.
@@ -198,6 +288,7 @@ impl ColonyState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::apply::ColumnWriter;
     use proptest::prelude::*;
 
     fn colony() -> ColonyState {
@@ -213,6 +304,7 @@ mod tests {
         assert_eq!(c.load(0), 0);
         assert_eq!(c.deficit(0), 3);
         assert_eq!(c.instant_regret(), 7);
+        assert_eq!(c.idle_mask(), &[0x3FF]);
         assert!(c.recount_consistent());
     }
 
@@ -270,29 +362,98 @@ mod tests {
     }
 
     #[test]
-    fn apply_deltas_reduces() {
-        let mut c = colony();
-        // Pretend a parallel chunk moved 3 ants to task 0, 1 to task 1.
-        c.set_assignment_raw(0, Assignment::Task(0));
-        c.set_assignment_raw(1, Assignment::Task(0));
-        c.set_assignment_raw(2, Assignment::Task(0));
-        c.set_assignment_raw(3, Assignment::Task(1));
-        c.apply_deltas(&[3, 1], -4);
+    fn spawn_kill_across_word_boundary() {
+        let mut c = ColonyState::new(64, DemandVector::new(vec![10]));
+        assert_eq!(c.idle_mask().len(), 1);
+        let idx = c.spawn_ant();
+        assert_eq!(idx, 64);
+        assert_eq!(c.idle_mask().len(), 2);
         assert!(c.recount_consistent());
+        c.apply(64, Assignment::Task(0));
+        // Kill inside the first word: working ant 64 swaps into slot 0.
+        assert_eq!(c.kill_ant(0), Some(64));
+        assert_eq!(c.idle_mask().len(), 1);
+        assert_eq!(c.load(0), 1);
+        assert_eq!(c.assignment(0), Assignment::Task(0));
+        assert!(c.recount_consistent());
+    }
+
+    #[test]
+    fn commit_round_swaps_and_applies() {
+        let mut c = colony();
+        let mut next = TaskColumn::new(10);
+        let mut delta = RoundDelta::new(2);
+        {
+            let prev = c.task_column().clone();
+            let mut w = ColumnWriter::new(&prev, &next, &mut delta);
+            // Ants 0..3 go to task 0, ant 3 to task 1, rest stay idle.
+            for i in 0u32..10 {
+                let target = match i {
+                    0..=2 => 0,
+                    3 => 1,
+                    _ => Assignment::RAW_IDLE,
+                };
+                w.write(i, target);
+            }
+        }
+        c.commit_round(&mut next, &delta);
+        assert_eq!(delta.switches(), 4);
         assert_eq!(c.load(0), 3);
+        assert_eq!(c.load(1), 1);
         assert_eq!(c.idle_count(), 6);
+        assert_eq!(c.assignment(3), Assignment::Task(1));
+        assert!(c.recount_consistent());
+    }
+
+    #[test]
+    fn apply_round_delta_with_loaned_column() {
+        let mut c = colony();
+        // The parallel segment lends the column out and double-buffers
+        // by parity; the colony tracks loads/idle/mask via deltas only.
+        let columns = [c.take_column(), TaskColumn::new(10)];
+        assert_eq!(c.num_ants(), 0, "column is on loan");
+        let mut d0 = RoundDelta::new(2);
+        let mut d1 = RoundDelta::new(2);
+        {
+            let mut w = ColumnWriter::new(&columns[0], &columns[1], &mut d0);
+            for i in 0u32..5 {
+                w.write(i, 0);
+            }
+        }
+        {
+            let mut w = ColumnWriter::new(&columns[0], &columns[1], &mut d1);
+            for i in 5u32..10 {
+                let t = if i == 5 { 1 } else { Assignment::RAW_IDLE };
+                w.write(i, t);
+            }
+        }
+        // Worker deltas merge in either order; the written column is
+        // restored as authoritative at segment end (parity 1).
+        c.apply_round_delta(&d1);
+        c.apply_round_delta(&d0);
+        assert_eq!(c.load(0), 5);
+        assert_eq!(c.load(1), 1);
+        assert_eq!(c.idle_count(), 4);
+        let [_, written] = columns;
+        c.restore_column(written);
+        assert_eq!(c.assignment(5), Assignment::Task(1));
+        assert!(c.recount_consistent());
     }
 
     #[test]
     #[should_panic(expected = "negative")]
-    fn apply_deltas_rejects_negative_load() {
+    fn apply_round_delta_rejects_negative_load() {
         let mut c = colony();
-        c.apply_deltas(&[-1, 0], 1);
+        let mut d = RoundDelta::new(2);
+        d.load_deltas[0] = -1;
+        d.idle_delta = 1;
+        c.apply_round_delta(&d);
     }
 
     proptest! {
         /// Any sequence of assignment moves keeps incremental bookkeeping
-        /// consistent with a recount, and total mass conserved.
+        /// (loads, idle count and packed mask) consistent with a recount,
+        /// and total mass conserved.
         #[test]
         fn bookkeeping_is_consistent(moves in proptest::collection::vec((0usize..10, 0u32..3), 0..200)) {
             let mut c = colony();
@@ -303,6 +464,31 @@ mod tests {
                 let mass = c.idle_count() + c.load(0) + c.load(1);
                 prop_assert_eq!(mass, 10);
             }
+        }
+
+        /// A fused round (column writes + one delta) ends in the same
+        /// state as the equivalent sequence of per-ant `apply` calls.
+        #[test]
+        fn fused_round_matches_apply(targets in proptest::collection::vec(0u32..4, 10)) {
+            let mut fused = colony();
+            let mut reference = colony();
+            let mut next = TaskColumn::new(10);
+            let mut delta = RoundDelta::new(2);
+            {
+                let prev = fused.task_column().clone();
+                let mut w = ColumnWriter::new(&prev, &next, &mut delta);
+                for (i, &t) in targets.iter().enumerate() {
+                    let a = if t >= 2 { Assignment::Idle } else { Assignment::Task(t) };
+                    w.write(i as u32, a.to_raw());
+                    reference.apply(i, a);
+                }
+            }
+            fused.commit_round(&mut next, &delta);
+            prop_assert_eq!(fused.assignments(), reference.assignments());
+            prop_assert_eq!(fused.loads(), reference.loads());
+            prop_assert_eq!(fused.idle_count(), reference.idle_count());
+            prop_assert_eq!(fused.idle_mask(), reference.idle_mask());
+            prop_assert!(fused.recount_consistent());
         }
     }
 }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod apply;
 mod assignment;
 mod colony;
 mod demand;
@@ -57,6 +58,7 @@ mod schedule;
 mod timeline;
 mod trigger;
 
+pub use apply::{ColumnWriter, RoundDelta, TaskColumn};
 pub use assignment::Assignment;
 pub use colony::ColonyState;
 pub use demand::{AssumptionReport, DemandVector};

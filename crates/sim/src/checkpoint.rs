@@ -139,7 +139,7 @@ impl Checkpoint {
             current_noise: state.noise.clone(),
             cursor: state.cursor,
             trigger_states: state.trigger_states,
-            assignments: state.colony.assignments().to_vec(),
+            assignments: state.colony.assignments(),
             rng_states: state.rng_states,
             round: state.round,
             next_stream: state.next_stream,

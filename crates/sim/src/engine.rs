@@ -25,17 +25,23 @@
 //! * a checkpoint captured at a phase boundary, restored and resumed,
 //!   versus the uninterrupted run.
 //!
-//! Decisions are double-buffered per round (sub-round 1 observes, sub-
-//! round 2 applies), so *application* order is immaterial: per-ant load
-//! transitions commute and the switch count is a sum. Consumption order
-//! of randomness is what matters, and that is per-ant by construction.
-//! `tests/determinism.rs` and the bank property tests in
-//! `tests/banks.rs` hold this contract down.
+//! Rounds are double-buffered through a fused apply: sub-round 1 steps
+//! kernels that write every ant's next assignment straight into the
+//! engine-owned next-state [`antalloc_env::TaskColumn`] (accumulating a
+//! commutative [`antalloc_env::RoundDelta`]), sub-round 2 is an O(1)
+//! column swap plus an O(k) delta application — there is no separate
+//! apply sweep. *Write* order is therefore immaterial: column slots are
+//! disjoint per ant, load/idle transitions commute, and the switch
+//! count is a sum. Consumption order of randomness is what matters, and
+//! that is per-ant by construction. `tests/determinism.rs` and the bank
+//! property tests in `tests/banks.rs` hold this contract down.
+
+use std::sync::Arc;
 
 use antalloc_core::AnyController;
 use antalloc_env::{
-    Assignment, ColonyState, ColonyView, DemandVector, Event, InitialConfig, Perturbation,
-    Timeline, TriggerState,
+    Assignment, ColonyState, ColonyView, ColumnWriter, DemandVector, Event, InitialConfig,
+    Perturbation, RoundDelta, TaskColumn, Timeline, TriggerState,
 };
 use antalloc_noise::{NoiseModel, PreparedRound};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
@@ -218,6 +224,18 @@ pub struct SyncEngine {
     post_deficits: Vec<i64>,
     /// Stream ids handed out so far (spawned ants get fresh streams).
     next_stream: u64,
+    /// The *next* half of the double-buffered assignment column: step
+    /// kernels write it, committing swaps it with the colony's current
+    /// column. Engine-owned so workers can share it immutably while the
+    /// coordinator keeps `&mut` access to the colony.
+    next_column: TaskColumn,
+    /// Serial-path round-delta scratch (reused every round).
+    round_delta: RoundDelta,
+    /// Per-worker round-delta scratch for the pooled path, slot 0 being
+    /// the coordinator's. Reused across rounds and segments; each
+    /// worker locks only its own slot between the round barriers, the
+    /// coordinator merges in its exclusive window.
+    worker_deltas: Vec<parking_lot::Mutex<RoundDelta>>,
 }
 
 impl SyncEngine {
@@ -241,6 +259,9 @@ impl SyncEngine {
             pre_deficits: vec![0; k],
             post_deficits: vec![0; k],
             next_stream: n as u64,
+            next_column: TaskColumn::new(n),
+            round_delta: RoundDelta::new(k),
+            worker_deltas: Vec::new(),
             compiled,
             config,
         };
@@ -380,10 +401,23 @@ impl SyncEngine {
         self.trigger_states.iter().any(|s| s.pending)
     }
 
-    /// Runs one synchronous round on the current thread.
+    /// Runs one synchronous round on the current thread: kernels write
+    /// the next-state column fused, then the round commits as an O(1)
+    /// column swap plus the accumulated delta.
     pub fn step(&mut self, observer: &mut impl Observer) {
         let prepared = self.begin_round();
-        let switches = self.population.step_round(&prepared, &mut self.colony);
+        // Events fired in begin_round may have resized the population.
+        self.next_column.resize(self.population.len());
+        self.round_delta.reset(self.colony.num_tasks());
+        self.population.step_round(
+            &prepared,
+            self.colony.task_column(),
+            &self.next_column,
+            &mut self.round_delta,
+        );
+        let switches = self.round_delta.switches();
+        self.colony
+            .commit_round(&mut self.next_column, &self.round_delta);
         self.finish_round(switches, observer);
     }
 
@@ -410,12 +444,16 @@ impl SyncEngine {
     /// call for a static timeline) and synchronize with the coordinator
     /// through two [`std::sync::Barrier`] crossings per round: the
     /// coordinator prepares the round's feedback state, workers step
-    /// their fixed bank chunks — writing decisions into a shared atomic
-    /// buffer — and the coordinator applies decisions in ant order.
-    /// Rounds at which a timeline event fires step serially (events may
-    /// resize the population under the workers' partition); determinism
-    /// is unconditional either way, because every ant consumes only its
-    /// own RNG stream and events only reserved per-round streams.
+    /// their fixed bank chunks — each writing its ants' next
+    /// assignments straight into a cache-line-sharded slice of the
+    /// shared next-state column while folding switch/load/idle changes
+    /// into a worker-local delta — and the coordinator merges the
+    /// per-worker deltas in its exclusive window (no global re-read
+    /// sweep). Rounds at which a timeline event fires step serially
+    /// (events may resize the population under the workers' partition);
+    /// determinism is unconditional either way, because every ant
+    /// consumes only its own RNG stream and events only reserved
+    /// per-round streams.
     ///
     /// Falls back to the serial path when the colony is too small for
     /// the per-round synchronization to pay off.
@@ -512,7 +550,7 @@ impl SyncEngine {
         min_ants_per_worker: usize,
         observer: &mut impl Observer,
     ) -> u64 {
-        use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+        use std::sync::atomic::{AtomicBool, Ordering};
 
         assert!(threads >= 1);
         let n = self.population.len();
@@ -527,15 +565,36 @@ impl SyncEngine {
             self.run(rounds, observer);
             return rounds;
         }
-        let chunk = n.div_ceil(workers);
+        // Round chunk boundaries up to 16 ants (16 × u32 = one 64-byte
+        // cache line in the next-state column) so no two workers ever
+        // write the same destination line.
+        let chunk = n.div_ceil(workers).next_multiple_of(16);
 
-        // Decision buffer: u32 task index with MAX = idle. Workers store
-        // with relaxed ordering; the `done` barrier orders those stores
-        // before the coordinator's reads.
-        let decisions: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-        // The coordinator publishes each round's prepared feedback here;
-        // workers only read it between the two barriers of a round.
-        let shared: parking_lot::RwLock<Option<PreparedRound>> = parking_lot::RwLock::new(None);
+        self.next_column.resize(n);
+        let k = self.colony.num_tasks();
+        // Per-worker delta scratch (slot 0 = coordinator), reused
+        // across rounds and segments.
+        if self.worker_deltas.len() < workers {
+            self.worker_deltas
+                .resize_with(workers, || parking_lot::Mutex::new(RoundDelta::new(k)));
+        }
+        // The double buffer, shared immutably with every worker: on a
+        // round with parity `p` kernels read prior assignments from
+        // `columns[p]` and write next assignments into `columns[p ^ 1]`
+        // (relaxed stores into disjoint slots; the `done` barrier
+        // orders them before the coordinator's merge). Flipping the
+        // parity in the coordinator's exclusive window *is* the apply
+        // pass — no data moves. The colony's task column is lent into
+        // slot 0 for the segment and restored afterwards.
+        let columns = [
+            self.colony.take_column(),
+            core::mem::replace(&mut self.next_column, TaskColumn::new(0)),
+        ];
+        // The coordinator publishes each round's prepared feedback and
+        // parity here — one Arc bump per round, no deep clone; workers
+        // only read it between the two barriers of a round.
+        let shared: parking_lot::RwLock<Option<(Arc<PreparedRound>, usize)>> =
+            parking_lot::RwLock::new(None);
         // Participants: (workers − 1) spawned threads + the coordinator,
         // which steps chunk 0 itself.
         let start = std::sync::Barrier::new(workers);
@@ -555,86 +614,90 @@ impl SyncEngine {
         let post_deficits = &mut self.post_deficits;
         let compiled = &self.compiled;
         let trigger_states = &mut self.trigger_states;
+        let worker_deltas = &self.worker_deltas;
+        let columns_ref = &columns;
 
-        let store = |decisions: &[AtomicU32], ids: &[u32], out: &[Assignment]| {
-            for (&id, &next) in ids.iter().zip(out) {
-                let raw = match next {
-                    Assignment::Idle => u32::MAX,
-                    Assignment::Task(j) => j,
-                };
-                decisions[id as usize].store(raw, Ordering::Relaxed);
-            }
-        };
-
-        crossbeam::thread::scope(|scope| {
+        let completed = crossbeam::thread::scope(|scope| {
             // The coordinator doubles as the worker for chunk 0, so the
             // run uses exactly `workers` OS threads (no oversubscription
             // from a dedicated coordinator).
             let mut parts = parts.into_iter();
             // audit:allow(panic-path): the partitioner always emits >= 1 chunk for a non-empty colony (checked above).
             let mut own_part = parts.next().expect("at least one chunk");
-            for part in parts {
-                let decisions = &decisions;
+            for (w, part) in parts.enumerate() {
+                let slot = &worker_deltas[w + 1];
                 let shared = &shared;
                 let start = &start;
                 let done = &done;
                 let stop = &stop;
-                let store = &store;
+                let columns = columns_ref;
                 let mut part = part;
-                scope.spawn(move |_| {
-                    let mut out: Vec<Assignment> = Vec::new();
-                    loop {
-                        start.wait();
-                        if stop.load(Ordering::Acquire) {
-                            return;
-                        }
+                scope.spawn(move |_| loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let (prepared, parity) = {
                         let guard = shared.read();
                         // audit:allow(panic-path): the coordinator publishes the prepared round before releasing the start barrier.
-                        let prepared = guard.as_ref().expect("round prepared");
+                        let (prepared, parity) = guard.as_ref().expect("round prepared");
+                        (Arc::clone(prepared), *parity)
+                    };
+                    {
+                        // Only this worker touches its slot between the
+                        // barriers, so the lock is uncontended; it must
+                        // drop before `done` so the coordinator's merge
+                        // can take it.
+                        let mut delta = slot.lock();
+                        delta.reset(k);
+                        let mut writer =
+                            ColumnWriter::new(&columns[parity], &columns[parity ^ 1], &mut delta);
                         for (slice, rngs, ids) in part.iter_mut() {
-                            out.clear();
-                            out.resize(slice.len(), Assignment::Idle);
-                            slice.step_batch(prepared.view(), rngs, &mut out);
-                            store(decisions, ids, &out);
+                            slice.step_batch_fused(prepared.view(), rngs, ids, &mut writer);
                         }
-                        drop(guard);
-                        done.wait();
                     }
+                    done.wait();
                 });
             }
 
-            let mut own_out: Vec<Assignment> = Vec::new();
             let mut completed = 0u64;
+            let mut parity = 0usize;
             for _ in 0..rounds {
                 // Exclusive window: begin the round (event-free by the
                 // segment contract).
                 *round += 1;
                 colony.deficits_into(pre_deficits);
-                let prepared = noise.prepare(*round, pre_deficits, colony.demands().as_slice());
-                *shared.write() = Some(prepared.clone());
+                let prepared =
+                    Arc::new(noise.prepare(*round, pre_deficits, colony.demands().as_slice()));
+                *shared.write() = Some((Arc::clone(&prepared), parity));
                 start.wait();
                 // Step the coordinator's own chunks alongside the workers.
-                for (slice, rngs, ids) in own_part.iter_mut() {
-                    own_out.clear();
-                    own_out.resize(slice.len(), Assignment::Idle);
-                    slice.step_batch(prepared.view(), rngs, &mut own_out);
-                    store(&decisions, ids, &own_out);
-                }
-                done.wait();
-                // Exclusive window: apply decisions in ant order.
-                let mut switches = 0u64;
-                for (i, slot) in decisions.iter().enumerate() {
-                    let raw = slot.load(Ordering::Relaxed);
-                    let next = if raw == u32::MAX {
-                        Assignment::Idle
-                    } else {
-                        Assignment::Task(raw)
-                    };
-                    if next != colony.assignment(i) {
-                        switches += 1;
-                        colony.apply(i, next);
+                {
+                    let mut delta = worker_deltas[0].lock();
+                    delta.reset(k);
+                    let mut writer = ColumnWriter::new(
+                        &columns_ref[parity],
+                        &columns_ref[parity ^ 1],
+                        &mut delta,
+                    );
+                    for (slice, rngs, ids) in own_part.iter_mut() {
+                        slice.step_batch_fused(prepared.view(), rngs, ids, &mut writer);
                     }
                 }
+                done.wait();
+                // Exclusive window: merge the per-worker deltas. All
+                // delta fields are commutative (sums and disjoint XOR
+                // flips), so merge order is immaterial. Flipping the
+                // parity afterwards IS the apply pass: the column the
+                // workers just filled becomes the authoritative
+                // previous column for the next round — no data moves.
+                let mut switches = 0u64;
+                for slot in &worker_deltas[..workers] {
+                    let delta = slot.lock();
+                    switches += delta.switches();
+                    colony.apply_round_delta(&delta);
+                }
+                parity ^= 1;
                 colony.deficits_into(post_deficits);
                 let record = RoundRecord {
                     round: *round,
@@ -651,7 +714,16 @@ impl SyncEngine {
                 // armed trigger ends the segment — its event fires at
                 // the start of the next round, outside the partition.
                 if compiled.has_triggers() {
-                    let view = colony_view(*round, post_deficits, colony);
+                    // The colony's task column is on loan to `columns`
+                    // for the whole segment, so `colony.num_ants()`
+                    // would read 0 here — build the view from the
+                    // segment's own population count instead.
+                    let view = ColonyView {
+                        round: *round,
+                        regret: post_deficits.iter().map(|d| d.unsigned_abs()).sum(),
+                        population: n,
+                        idle: colony.idle_count(),
+                    };
                     if compiled.observe_triggers(trigger_states, &view) {
                         break;
                     }
@@ -659,10 +731,20 @@ impl SyncEngine {
             }
             stop.store(true, Ordering::Release);
             start.wait();
-            completed
+            (completed, parity)
         })
         // audit:allow(panic-path): propagating a worker panic is the only sane response — the round state is torn.
-        .expect("worker thread panicked")
+        .expect("worker thread panicked");
+        let (completed, parity) = completed;
+        // Return the loaned columns: the parity-current one becomes the
+        // colony's authoritative column again (O(1) move — the parity
+        // flips already "applied" every round), the other becomes the
+        // engine's reusable next-state scratch.
+        let [a, b] = columns;
+        let (current, scratch) = if parity == 0 { (a, b) } else { (b, a) };
+        self.colony.restore_column(current);
+        self.next_column = scratch;
+        completed
     }
 
     /// Applies a mid-run perturbation, keeping controllers, RNG streams
@@ -772,6 +854,9 @@ impl SyncEngine {
             pre_deficits: vec![0; k],
             post_deficits: vec![0; k],
             next_stream,
+            next_column: TaskColumn::new(n),
+            round_delta: RoundDelta::new(k),
+            worker_deltas: Vec::new(),
             compiled,
             config,
         }

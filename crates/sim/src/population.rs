@@ -13,8 +13,8 @@
 //! * `index.len()` equals the colony population `n`;
 //! * `index[i] == (b, s)`  ⇔  `banks[b].ants[s] == i` (the two maps are
 //!   mutual inverses);
-//! * within a bank, `controllers`, `rngs`, `ants` and the `decisions`
-//!   scratch all share one length;
+//! * within a bank, `controllers`, `rngs` and `ants` all share one
+//!   length;
 //! * a homogeneous colony has exactly one bank and (absent kills that
 //!   are later refilled) `ants[s] == s`;
 //! * banks may be empty (a mix fraction can be killed off entirely) but
@@ -34,7 +34,7 @@
 //! bit-identically to an uninterrupted run.
 
 use antalloc_core::{AnyController, BankSliceMut, ControllerBank, ControllerScratch};
-use antalloc_env::{Assignment, ColonyState};
+use antalloc_env::{Assignment, ColonyState, ColumnWriter, RoundDelta, TaskColumn};
 use antalloc_noise::PreparedRound;
 use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
 
@@ -55,21 +55,17 @@ pub(crate) struct Bank {
     pub rngs: Vec<AntRng>,
     /// Slot → global ant id.
     pub ants: Vec<u32>,
-    /// Per-slot decision scratch for the serial step path.
-    pub decisions: Vec<Assignment>,
 }
 
 impl Bank {
     fn new(spec: ControllerSpec, num_tasks: usize, ids: Vec<u32>, seeder: &StreamSeeder) -> Self {
         let controllers = spec.build_bank(num_tasks, &ids);
         let rngs = ids.iter().map(|&i| seeder.ant(i as usize)).collect();
-        let decisions = vec![Assignment::Idle; ids.len()];
         Self {
             spec,
             controllers,
             rngs,
             ants: ids,
-            decisions,
         }
     }
 
@@ -239,29 +235,37 @@ impl Population {
         self.mix.is_some()
     }
 
-    /// One synchronous round over every bank: sub-round 1 steps a
-    /// bank's ants against `prepared` (decisions buffered in the bank's
-    /// scratch — no ant observes another's move), sub-round 2 applies
-    /// that bank's buffer to the colony while it is still cache-hot.
-    /// Returns the number of ants whose assignment changed.
+    /// One synchronous round over every bank, fused: each bank's step
+    /// kernels write every ant's next assignment straight into the
+    /// `next` column (at the ant's colony id) and fold the transition
+    /// into `delta`, reading prior assignments from the authoritative
+    /// `prev` column — no decisions buffer and no apply sweep. No ant
+    /// observes another's move: kernels read only their own bank state,
+    /// the frozen `prev` column and the shared frozen `prepared`
+    /// feedback. The caller commits with
+    /// [`ColonyState::commit_round`] (O(1) column swap + O(k) delta).
     ///
-    /// Application order (bank-major here, ant-major in the parallel
-    /// engine) is immaterial: decisions were fixed before any apply,
-    /// per-ant load transitions commute, and the switch count is a sum.
-    pub fn step_round(&mut self, prepared: &PreparedRound, colony: &mut ColonyState) -> u64 {
-        let mut switches = 0u64;
+    /// Write order (bank-major here, worker-sharded in the parallel
+    /// engine) is immaterial: slots are disjoint, delta fields are
+    /// commutative sums, and the switch count is a sum. Randomness
+    /// consumption stays per-ant, so fused rounds are draw-for-draw
+    /// identical to the buffered path they replaced.
+    pub fn step_round(
+        &mut self,
+        prepared: &PreparedRound,
+        prev: &TaskColumn,
+        next: &TaskColumn,
+        delta: &mut RoundDelta,
+    ) {
         for bank in &mut self.banks {
-            bank.controllers
-                .step_batch(prepared.view(), &mut bank.rngs, &mut bank.decisions);
-            for (&id, &next) in bank.ants.iter().zip(&bank.decisions) {
-                let i = id as usize;
-                if next != colony.assignment(i) {
-                    switches += 1;
-                    colony.apply(i, next);
-                }
-            }
+            let mut writer = ColumnWriter::new(prev, next, delta);
+            bank.controllers.step_batch_fused(
+                prepared.view(),
+                &mut bank.rngs,
+                &bank.ants,
+                &mut writer,
+            );
         }
-        switches
     }
 
     /// Steps the single ant `i` (the sequential model's round).
@@ -298,7 +302,6 @@ impl Population {
         let bank = &mut self.banks[b];
         bank.controllers.swap_remove(s);
         bank.rngs.swap_remove(s);
-        bank.decisions.pop();
         bank.ants.swap_remove(s);
         if s < bank.ants.len() {
             // The bank's last ant moved into slot `s`.
@@ -327,7 +330,6 @@ impl Population {
         // get offset 0, matching the pre-bank engines).
         bank.controllers.push(bank.spec.build(num_tasks));
         bank.rngs.push(rng);
-        bank.decisions.push(Assignment::Idle);
         self.index.push((b as u32, bank.ants.len() as u32));
         bank.ants.push(id);
         debug_assert!(self.check_invariants());
@@ -428,10 +430,7 @@ impl Population {
             return false;
         }
         for (b, bank) in self.banks.iter().enumerate() {
-            if bank.controllers.len() != bank.ants.len()
-                || bank.rngs.len() != bank.ants.len()
-                || bank.decisions.len() != bank.ants.len()
-            {
+            if bank.controllers.len() != bank.ants.len() || bank.rngs.len() != bank.ants.len() {
                 return false;
             }
             for (s, &id) in bank.ants.iter().enumerate() {

@@ -72,6 +72,187 @@ fn precise_sigmoid_parallel_determinism() {
     assert_eq!(serial.colony().assignments(), par.colony().assignments());
 }
 
+/// Property coverage for the fused-apply round loop: the parallel
+/// path's double-buffered column writes and per-worker delta merges
+/// must be invisible — bit-identical to serial — at every thread
+/// count, for every chunk seam the partitioner can produce, with
+/// population shocks, state-dependent triggers and checkpoint-restore
+/// in the mix.
+mod fused_properties {
+    use super::*;
+    use antalloc_core::{ExactGreedyParams, PreciseSigmoidParams};
+    use antalloc_env::{Condition, Event, InitialConfig, Timeline, Trigger};
+    use antalloc_sim::{Checkpoint, FnObserver, RoundRecord};
+    use proptest::prelude::*;
+
+    /// Thread counts the fused path is pinned at (1 exercises the
+    /// forced single-worker parallel harness, not the serial fallback).
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+    /// Homogeneous and mixed colonies; mixes make bank boundaries land
+    /// mid-chunk so worker seams cross bank seams.
+    fn spec_for(which: usize) -> ControllerSpec {
+        match which {
+            0 => ControllerSpec::Ant(AntParams::new(1.0 / 16.0)),
+            1 => ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+            2 => ControllerSpec::Mix(vec![
+                (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                (1.0, ControllerSpec::Trivial),
+            ]),
+            _ => ControllerSpec::Mix(vec![
+                (1.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                (
+                    1.0,
+                    ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+                ),
+                (1.0, ControllerSpec::Trivial),
+                (
+                    1.0,
+                    ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+                ),
+            ]),
+        }
+    }
+
+    fn cfg_for(which: usize, n: usize, seed: u64) -> SimConfig {
+        let k = 3usize;
+        let demands: Vec<u64> = (0..k).map(|j| (n / (2 * k) + j + 1) as u64).collect();
+        SimConfig::builder(n, demands)
+            .noise(NoiseModel::Sigmoid { lambda: 1.5 })
+            .controller(spec_for(which))
+            .seed(seed)
+            .build()
+            .expect("valid scenario")
+    }
+
+    proptest! {
+        /// Serial vs forced-parallel at every thread count, with colony
+        /// sizes drawn to split unevenly across workers (the chunk is
+        /// rounded to cache-line multiples, so almost any n exercises a
+        /// ragged tail chunk).
+        #[test]
+        fn fused_parallel_is_bit_identical_across_thread_counts(
+            which in 0usize..4,
+            n in 97usize..400,
+            seed: u64,
+            rounds in 1u64..50,
+        ) {
+            let mut obs = NullObserver;
+            let mut serial = cfg_for(which, n, seed).build();
+            serial.run(rounds, &mut obs);
+            for threads in THREADS {
+                let mut par = cfg_for(which, n, seed).build();
+                par.run_parallel_forced(rounds, threads, &mut obs);
+                prop_assert_eq!(
+                    serial.colony().assignments(),
+                    par.colony().assignments(),
+                    "threads = {}", threads
+                );
+                prop_assert_eq!(serial.colony().loads(), par.colony().loads());
+                prop_assert_eq!(serial.colony().idle_count(), par.colony().idle_count());
+            }
+        }
+
+        /// A state-dependent trigger arms mid-segment: the parallel
+        /// coordinator must observe it in the exclusive window (while
+        /// the task column is on loan to the workers), end the segment
+        /// on the same round the serial path does, and fire the event
+        /// identically.
+        #[test]
+        fn fused_parallel_triggers_arm_mid_segment_identically(
+            n in 300usize..600,
+            seed: u64,
+            for_rounds in 4u32..10,
+        ) {
+            let cfg = |()| {
+                SimConfig::builder(n, vec![(n / 6) as u64, (n / 4) as u64])
+                    .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+                    .controller(ControllerSpec::Ant(AntParams::default()))
+                    .seed(seed)
+                    .initial(InitialConfig::SaturatedPlus { extra: 2 })
+                    .trigger(Trigger {
+                        when: Condition::RegretBelow {
+                            threshold: (n / 8) as u64,
+                            for_rounds,
+                        },
+                        event: Event::StampedeTo(0),
+                        cooldown: 40,
+                        max_firings: 0,
+                    })
+                    .build()
+                    .expect("valid scenario")
+            };
+            let mut serial_trace = Vec::new();
+            {
+                let mut engine = cfg(()).build();
+                let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+                    serial_trace.push((r.round, r.instant_regret(), r.switches));
+                });
+                engine.run(200, &mut obs);
+            }
+            // The stampede really fired (regret jumps to ~n scale).
+            prop_assert!(
+                serial_trace.iter().any(|&(_, regret, _)| regret > (n / 2) as u64),
+                "trigger never fired — the case is vacuous"
+            );
+            for threads in THREADS {
+                let mut par_trace = Vec::new();
+                let mut engine = cfg(()).build();
+                let mut obs = FnObserver::new(|r: &RoundRecord<'_>| {
+                    par_trace.push((r.round, r.instant_regret(), r.switches));
+                });
+                engine.run_parallel_forced(200, threads, &mut obs);
+                prop_assert_eq!(&serial_trace, &par_trace, "threads = {}", threads);
+            }
+        }
+
+        /// Checkpoint-restore mid-run at each thread count, across a
+        /// timeline of kills, demand steps, spawns and scrambles: the
+        /// fused path must leave the engine in a state whose capture
+        /// resumes bit-identically under both serial and parallel
+        /// continuation.
+        #[test]
+        fn checkpoint_restore_mid_parallel_run_is_exact(
+            which in 0usize..4,
+            seed: u64,
+            boundary in 1u64..26,
+            tail in 1u64..40,
+        ) {
+            // Specs above all have capture phase 2 (Precise Sigmoid's
+            // counters travel in the v5 scratch, so it doesn't gate).
+            let n = 120usize;
+            let mut cfg = cfg_for(which, n, seed);
+            cfg.timeline = Timeline::new()
+                .at(7, Event::Kill { count: 30 })
+                .at(19, Event::SetDemands(vec![40, 20, 15]))
+                .at(33, Event::Spawn { count: 25 })
+                .at(47, Event::Scramble);
+            let split = boundary * 2;
+            let total = split + tail;
+
+            let mut obs = NullObserver;
+            let mut full = cfg.build();
+            full.run(total, &mut obs);
+
+            for threads in THREADS {
+                let mut head = cfg.build();
+                head.run_parallel_forced(split, threads, &mut obs);
+                let cp = Checkpoint::capture(&head).expect("phase boundary");
+                let mut resumed =
+                    Checkpoint::from_bytes(&cp.to_bytes()).expect("decodes").restore();
+                resumed.run_parallel_forced(tail, threads, &mut obs);
+                prop_assert_eq!(
+                    full.colony().assignments(),
+                    resumed.colony().assignments(),
+                    "threads = {}", threads
+                );
+                prop_assert_eq!(full.colony().loads(), resumed.colony().loads());
+                prop_assert_eq!(full.colony().num_ants(), resumed.colony().num_ants());
+            }
+        }
+    }
+}
+
 #[test]
 fn sequential_engine_is_deterministic() {
     let cfg = SimConfig::builder(500, vec![120])
