@@ -58,6 +58,14 @@ pub(crate) fn nth_set_bit(mut mask: u64, pick: usize) -> u32 {
 
 /// Number of `lack` entries in a `0/1` signal row.
 #[inline(always)]
+/// Clears and refills a column with `n` copies of `value`, reusing the
+/// allocation when it suffices — the shared primitive behind every
+/// bank's `reinit` (shrink-to-reuse, grow reallocates).
+pub(crate) fn refill<T: Copy>(column: &mut Vec<T>, value: T, n: usize) {
+    column.clear();
+    column.resize(n, value);
+}
+
 pub(crate) fn count_lacking(row: &[u8]) -> usize {
     row.iter().filter(|&&l| l == 1).count()
 }
@@ -111,6 +119,23 @@ impl AntBank {
             have_s1: vec![0; n],
             s1_all: vec![0; n * num_tasks],
         }
+    }
+
+    /// Rebuilds the bank in place to `n` fresh all-idle ants, reusing
+    /// the column allocations (shrink keeps capacity, grow
+    /// reallocates). State after the call is bit-identical to
+    /// `AntBank::new(num_tasks, params, n)`.
+    pub fn reinit(&mut self, num_tasks: usize, params: AntParams, n: usize) {
+        assert!(num_tasks >= 1, "at least one task");
+        self.params = params;
+        self.pause = Bernoulli::new(params.pause_probability());
+        self.leave = Bernoulli::new(params.leave_probability());
+        self.num_tasks = num_tasks;
+        refill(&mut self.current, IDLE, n);
+        refill(&mut self.assignment, IDLE, n);
+        refill(&mut self.s1_current, 0, n);
+        refill(&mut self.have_s1, 0, n);
+        refill(&mut self.s1_all, 0, n * num_tasks);
     }
 
     /// Number of ants.

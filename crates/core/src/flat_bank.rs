@@ -19,7 +19,7 @@ use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::RoundView;
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
-use crate::ant_bank::{count_lacking, dec, enc, nth_lacking, nth_set_bit, IDLE};
+use crate::ant_bank::{count_lacking, dec, enc, nth_lacking, nth_set_bit, refill, IDLE};
 use crate::controller::Controller;
 use crate::exact_greedy::{ExactGreedy, ExactGreedyParams};
 use crate::trivial::Trivial;
@@ -51,6 +51,16 @@ impl TrivialBank {
             num_tasks,
             assignment: vec![IDLE; n],
         }
+    }
+
+    /// Rebuilds the bank in place to `n` fresh all-idle ants, reusing
+    /// the assignment allocation (shrink keeps capacity, grow
+    /// reallocates). State after the call is bit-identical to
+    /// `TrivialBank::new(num_tasks, n)`.
+    pub fn reinit(&mut self, num_tasks: usize, n: usize) {
+        assert!(num_tasks >= 1, "at least one task");
+        self.num_tasks = num_tasks;
+        refill(&mut self.assignment, IDLE, n);
     }
 
     /// Number of ants.
@@ -240,6 +250,19 @@ impl ExactGreedyBank {
             num_tasks,
             assignment: vec![IDLE; n],
         }
+    }
+
+    /// Rebuilds the bank in place to `n` fresh all-idle ants, reusing
+    /// the assignment allocation (shrink keeps capacity, grow
+    /// reallocates). State after the call is bit-identical to
+    /// `ExactGreedyBank::new(num_tasks, params, n)`.
+    pub fn reinit(&mut self, num_tasks: usize, params: ExactGreedyParams, n: usize) {
+        assert!(num_tasks >= 1, "at least one task");
+        self.params = params;
+        self.join = Bernoulli::new(params.p_join);
+        self.leave = Bernoulli::new(params.p_leave);
+        self.num_tasks = num_tasks;
+        refill(&mut self.assignment, IDLE, n);
     }
 
     /// The parameters every ant in the bank runs.

@@ -24,7 +24,7 @@ use antalloc_env::{Assignment, ColumnWriter};
 use antalloc_noise::RoundView;
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
-use crate::ant_bank::{dec, enc, IDLE};
+use crate::ant_bank::{dec, enc, refill, IDLE};
 use crate::controller::Controller;
 use crate::params::PreciseSigmoidParams;
 use crate::precise_sigmoid::{PreciseSigmoid, SigmoidScratch};
@@ -71,6 +71,27 @@ impl PreciseSigmoidBank {
             count2: vec![0; n * num_tasks],
             shat1: vec![0; n * num_tasks],
         }
+    }
+
+    /// Rebuilds the bank in place to `n` fresh all-idle ants, reusing
+    /// the column allocations (shrink keeps capacity, grow
+    /// reallocates). State after the call is bit-identical to
+    /// `PreciseSigmoidBank::new(num_tasks, params, n)`.
+    pub fn reinit(&mut self, num_tasks: usize, params: PreciseSigmoidParams, n: usize) {
+        assert!(num_tasks >= 1, "at least one task");
+        let m = params.m();
+        assert!(m <= u64::from(u16::MAX), "m too large for u16 counters");
+        self.params = params;
+        self.m = m;
+        self.pause = Bernoulli::new(params.pause_probability());
+        self.leave = Bernoulli::new(params.leave_probability());
+        self.num_tasks = num_tasks;
+        refill(&mut self.current, IDLE, n);
+        refill(&mut self.assignment, IDLE, n);
+        refill(&mut self.have_phase, 0, n);
+        refill(&mut self.count1, 0, n * num_tasks);
+        refill(&mut self.count2, 0, n * num_tasks);
+        refill(&mut self.shat1, 0, n * num_tasks);
     }
 
     /// The parameters every ant in the bank runs.

@@ -62,6 +62,22 @@ impl TaskColumn {
             .resize_with(n, || AtomicU32::new(Assignment::RAW_IDLE));
     }
 
+    /// Resets to `n` slots, all idle, reusing the allocation when the
+    /// column shrinks or keeps its length (grow reallocates).
+    ///
+    /// Unlike [`TaskColumn::resize`], which only idles *new* slots,
+    /// this re-idles every retained slot — the invariant an engine
+    /// rebuilt in place (`SyncEngine::reset_from`) relies on to be
+    /// bit-identical to a freshly constructed one.
+    pub fn reset(&mut self, n: usize) {
+        self.slots.truncate(n);
+        for slot in &self.slots {
+            slot.store(Assignment::RAW_IDLE, Ordering::Relaxed);
+        }
+        self.slots
+            .resize_with(n, || AtomicU32::new(Assignment::RAW_IDLE));
+    }
+
     /// Appends one slot holding `raw`.
     pub fn push(&mut self, raw: u32) {
         self.slots.push(AtomicU32::new(raw));

@@ -52,6 +52,31 @@ impl ColonyState {
         }
     }
 
+    /// Rebuilds the colony in place to `n` all-idle ants over `demands`,
+    /// reusing the task column, idle mask and load allocations (shrink
+    /// keeps capacity, grow reallocates). The result is bit-identical to
+    /// `ColonyState::new(n, DemandVector::new(demands.to_vec()))` — the
+    /// contract the engine's `reset_from` reuse path rests on.
+    pub fn rebuild_in(&mut self, n: usize, demands: &[u64]) {
+        assert!(n > 0, "empty colony");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "colony size must fit in u32 loads"
+        );
+        self.tasks.reset(n);
+        self.idle_words.clear();
+        self.idle_words.resize(n.div_ceil(64), u64::MAX);
+        if !n.is_multiple_of(64) {
+            // Bits past `n` stay zero so popcounts stay honest.
+            *self.idle_words.last_mut().expect("n > 0") = (1u64 << (n % 64)) - 1;
+        }
+        self.loads.clear();
+        self.loads.resize(demands.len(), 0);
+        self.demands.rebuild_in(demands);
+        self.idle = n as u32;
+        debug_assert!(self.recount_consistent());
+    }
+
     /// Number of ants `n`.
     #[inline]
     pub fn num_ants(&self) -> usize {

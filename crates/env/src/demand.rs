@@ -108,6 +108,16 @@ impl DemandVector {
         self.demands.copy_from_slice(new);
     }
 
+    /// Replaces the demands in place, allowing the task count to change
+    /// (engine reuse across sweep jobs rebuilds the vector wholesale);
+    /// reuses the allocation when the count shrinks or stays put.
+    pub fn rebuild_in(&mut self, new: &[u64]) {
+        assert!(!new.is_empty(), "at least one task");
+        assert!(new.iter().all(|&d| d > 0), "demands must be positive");
+        self.demands.clear();
+        self.demands.extend_from_slice(new);
+    }
+
     /// Checks Assumptions 2.1 for a colony of `n` ants.
     ///
     /// * `d(j) = Ω(log n)` — compared against `log_constant · ln n`.

@@ -150,19 +150,33 @@ impl Checkpoint {
 
     /// Rebuilds a running engine.
     pub fn restore(&self) -> SyncEngine {
-        SyncEngine::from_parts(
+        let mut engine = SyncEngine::new(
             self.config.clone(),
-            DemandVector::new(self.current_demands.clone()),
-            self.current_noise.clone(),
+            DemandVector::new(self.config.demands.clone()),
+        );
+        self.restore_into(&mut engine);
+        engine
+    }
+
+    /// Restores the captured state into an existing engine in place,
+    /// reusing its allocations (the sweep fast path's engine-reuse
+    /// counterpart for resumed runs). Bit-identical to
+    /// [`Checkpoint::restore`] regardless of what the engine ran
+    /// before.
+    pub fn restore_into(&self, engine: &mut SyncEngine) {
+        engine.restore_parts_in(
+            &self.config,
+            &self.current_demands,
+            &self.current_noise,
             &self.assignments,
-            self.rng_states.clone(),
+            &self.rng_states,
             self.round,
             self.next_stream,
             self.cursor,
             &self.members,
-            self.trigger_states.clone(),
+            &self.trigger_states,
             &self.scratch,
-        )
+        );
     }
 
     /// The captured round.

@@ -147,6 +147,49 @@ impl ControllerSpec {
         }
     }
 
+    /// Rebuilds `bank` in place to the state [`ControllerSpec::build_bank`]
+    /// would produce for `ids`, reusing its allocations when the bank is
+    /// already of the matching kind (the engine-reuse fast path for
+    /// sweeps). On a kind mismatch the bank is rebuilt from scratch.
+    ///
+    /// # Panics
+    /// For `Mix`: banks are rebuilt per sub-spec.
+    pub fn rebuild_bank(&self, num_tasks: usize, ids: &[u32], bank: &mut ControllerBank) {
+        match (self, &mut *bank) {
+            (ControllerSpec::Ant(p), ControllerBank::AntSoA(b)) => {
+                b.reinit(num_tasks, *p, ids.len());
+            }
+            (ControllerSpec::AntDesync(p), ControllerBank::Ant(ants)) => {
+                ants.clear();
+                ants.extend(
+                    ids.iter()
+                        .map(|&i| AlgorithmAnt::with_phase_offset(num_tasks, *p, u64::from(i % 2))),
+                );
+            }
+            (ControllerSpec::PreciseSigmoid(p), ControllerBank::PreciseSigmoid(b)) => {
+                b.reinit(num_tasks, *p, ids.len());
+            }
+            (ControllerSpec::PreciseAdversarial(p), ControllerBank::PreciseAdversarial(ants)) => {
+                ants.clear();
+                ants.extend(ids.iter().map(|_| PreciseAdversarial::new(num_tasks, *p)));
+            }
+            (ControllerSpec::Trivial, ControllerBank::Trivial(b)) => {
+                b.reinit(num_tasks, ids.len());
+            }
+            (ControllerSpec::ExactGreedy(p), ControllerBank::ExactGreedy(b)) => {
+                b.reinit(num_tasks, *p, ids.len());
+            }
+            (ControllerSpec::Hysteresis { depth, lazy }, ControllerBank::Table(machines)) => {
+                let spec = Arc::new(Self::hysteresis_spec(*depth, *lazy));
+                machines.clear();
+                machines.extend(ids.iter().map(|_| TableFsm::new(spec.clone())));
+            }
+            (ControllerSpec::Mix(_), _) => panic!("Mix rebuilds one bank per sub-spec"),
+            // Kind changed between jobs: fall back to a fresh build.
+            (spec, slot) => *slot = spec.build_bank(num_tasks, ids),
+        }
+    }
+
     fn hysteresis_spec(depth: u16, lazy: Option<f64>) -> FsmSpec {
         match lazy {
             None => FsmSpec::hysteresis(depth),

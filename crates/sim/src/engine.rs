@@ -270,6 +270,44 @@ impl SyncEngine {
         engine
     }
 
+    /// Rebuilds this engine in place to the state `config.build()`
+    /// would produce, reusing allocations wherever shapes allow (shrink
+    /// keeps capacity, grow reallocates; a controller-kind change
+    /// rebuilds just that bank). The result is **bit-identical** to a
+    /// freshly built engine — the sweep runner leans on this to keep
+    /// one engine per worker across an entire ensemble.
+    ///
+    /// Unlike [`SimConfig::build`] this performs no validation: callers
+    /// (the sweep's per-grid-point precheck) are expected to have
+    /// validated `config` already.
+    pub fn reset_from(&mut self, config: &SimConfig) {
+        let n = config.n;
+        let k = config.demands.len();
+        self.config.clone_from(config);
+        self.colony.rebuild_in(n, &config.demands);
+        self.population
+            .rebuild_in(&config.controller, config.seed, k, n);
+        self.noise.clone_from(&config.noise);
+        self.seeder = StreamSeeder::new(config.seed);
+        self.event_seeder = event_seeder(config.seed);
+        self.init_rng = self.seeder.stream(reserved::INIT);
+        self.round = 0;
+        self.cursor = 0;
+        self.compiled = config.timeline.compile(config.seed, n, &config.demands);
+        self.trigger_states = self.compiled.initial_trigger_states();
+        self.pre_deficits.clear();
+        self.pre_deficits.resize(k, 0);
+        self.post_deficits.clear();
+        self.post_deficits.resize(k, 0);
+        self.next_stream = n as u64;
+        self.next_column.reset(n);
+        self.round_delta.reset(k);
+        // worker_deltas are pure scratch: grown on demand, reset at
+        // every segment start, so stale capacity cannot leak state.
+        let initial = self.config.initial.clone();
+        self.set_initial(&initial);
+    }
+
     /// Applies an initial configuration (Theorem 3.1's "arbitrary
     /// initial allocation"), syncing controllers to the environment.
     pub fn set_initial(&mut self, initial: &InitialConfig) {
@@ -786,7 +824,10 @@ impl SyncEngine {
         }
     }
 
-    /// Rebuilds an engine from checkpointed parts. `members` carries the
+    /// Rebuilds this engine in place from checkpointed parts, reusing
+    /// allocations like [`SyncEngine::reset_from`] (the restore-into-a-
+    /// reused-engine path; `Checkpoint::restore` routes through it too,
+    /// via a freshly built shell). `members` carries the
     /// per-ant bank membership for mixed colonies (empty otherwise);
     /// `noise` is the model in force at capture time (it may differ
     /// from `config.noise` after a `SetNoise` event); `cursor` is the
@@ -799,67 +840,64 @@ impl SyncEngine {
     /// boundaries (empty for pre-v5 formats, whose captures were
     /// boundary-only and therefore scratch-free).
     #[allow(clippy::too_many_arguments)] // checkpoint-internal plumbing
-    pub(crate) fn from_parts(
-        config: SimConfig,
-        demands: DemandVector,
-        noise: NoiseModel,
+    pub(crate) fn restore_parts_in(
+        &mut self,
+        config: &SimConfig,
+        demands: &[u64],
+        noise: &NoiseModel,
         assignments: &[Assignment],
-        rng_states: Vec<[u64; 4]>,
+        rng_states: &[[u64; 4]],
         round: u64,
         next_stream: u64,
         cursor: u64,
         members: &[u16],
-        trigger_states: Vec<TriggerState>,
+        trigger_states: &[TriggerState],
         scratch: &[(u32, antalloc_core::ControllerScratch)],
-    ) -> Self {
+    ) {
         let n = assignments.len();
-        let k = demands.num_tasks();
-        let seeder = StreamSeeder::new(config.seed);
-        let mut population = if members.is_empty() {
-            Population::build(&config.controller, config.seed, k, n)
-        } else {
-            Population::from_members(&config.controller, config.seed, k, members)
-        };
-        let mut colony = ColonyState::new(n, demands);
+        let k = demands.len();
+        self.config.clone_from(config);
+        self.colony.rebuild_in(n, demands);
         for (i, &a) in assignments.iter().enumerate() {
-            colony.apply(i, a);
+            self.colony.apply(i, a);
         }
-        population.reset_to_colony(&colony);
-        population.set_rng_states(&rng_states);
+        if members.is_empty() {
+            self.population
+                .rebuild_in(&config.controller, config.seed, k, n);
+        } else {
+            self.population
+                .rebuild_from_members_in(&config.controller, config.seed, k, members);
+        }
+        self.population.reset_to_colony(&self.colony);
+        self.population.set_rng_states(rng_states);
         for (i, s) in scratch {
-            population.apply_scratch(*i as usize, s);
+            self.population.apply_scratch(*i as usize, s);
         }
+        self.noise.clone_from(noise);
+        self.seeder = StreamSeeder::new(config.seed);
+        self.event_seeder = event_seeder(config.seed);
+        self.init_rng = self.seeder.stream(reserved::INIT);
+        self.round = round;
+        self.cursor = cursor as usize;
         // The compiled stream is a pure function of (config, seed):
         // magnitudes scale off the *initial* n and demands, not the
         // possibly-shrunk captured colony.
-        let compiled = config
+        self.compiled = config
             .timeline
             .compile(config.seed, config.n, &config.demands);
-        let trigger_states = if trigger_states.is_empty() {
-            compiled.initial_trigger_states()
+        self.trigger_states = if trigger_states.is_empty() {
+            self.compiled.initial_trigger_states()
         } else {
-            debug_assert_eq!(trigger_states.len(), compiled.triggers.len());
-            trigger_states
+            debug_assert_eq!(trigger_states.len(), self.compiled.triggers.len());
+            trigger_states.to_vec()
         };
-        Self {
-            colony,
-            population,
-            noise,
-            seeder,
-            event_seeder: event_seeder(config.seed),
-            init_rng: seeder.stream(reserved::INIT),
-            round,
-            cursor: cursor as usize,
-            trigger_states,
-            pre_deficits: vec![0; k],
-            post_deficits: vec![0; k],
-            next_stream,
-            next_column: TaskColumn::new(n),
-            round_delta: RoundDelta::new(k),
-            worker_deltas: Vec::new(),
-            compiled,
-            config,
-        }
+        self.pre_deficits.clear();
+        self.pre_deficits.resize(k, 0);
+        self.post_deficits.clear();
+        self.post_deficits.resize(k, 0);
+        self.next_stream = next_stream;
+        self.next_column.reset(n);
+        self.round_delta.reset(k);
     }
 }
 

@@ -214,6 +214,125 @@ impl Population {
         }
     }
 
+    /// Rebuilds this population in place to the state
+    /// [`Population::build`] would produce, reusing bank, RNG and index
+    /// allocations whenever the bank structure carries over (the
+    /// engine-reuse fast path for sweeps; shrink keeps capacity, grow
+    /// reallocates). Falls back to a fresh build when the number of
+    /// banks changes (e.g. homogeneous ↔ mix, or a different mix
+    /// arity).
+    pub fn rebuild_in(&mut self, spec: &ControllerSpec, seed: u64, num_tasks: usize, n: usize) {
+        match spec.mix_parts() {
+            None => self.rebuild_homogeneous(spec, seed, num_tasks, n),
+            Some(_) => {
+                // Membership is a pure function of (seed, weights, n);
+                // the O(n) vector is transient, unlike the banks.
+                let members = Self::initial_members(spec, seed, n);
+                self.rebuild_with_members(spec, seed, num_tasks, &members);
+            }
+        }
+    }
+
+    /// In-place counterpart of [`Population::from_members`] (the
+    /// checkpoint-restore-into-a-reused-engine path).
+    pub fn rebuild_from_members_in(
+        &mut self,
+        spec: &ControllerSpec,
+        seed: u64,
+        num_tasks: usize,
+        members: &[u16],
+    ) {
+        match spec.mix_parts() {
+            None => self.rebuild_homogeneous(spec, seed, num_tasks, members.len()),
+            Some(_) => self.rebuild_with_members(spec, seed, num_tasks, members),
+        }
+    }
+
+    /// The deterministic initial membership vector for a mix spec.
+    fn initial_members(spec: &ControllerSpec, seed: u64, n: usize) -> Vec<u16> {
+        let weights: Vec<f64> = match spec.mix_parts() {
+            Some(parts) => parts.iter().map(|(w, _)| *w).collect(),
+            None => Vec::new(),
+        };
+        assert!(!weights.is_empty(), "initial_members requires a mix spec");
+        mix_members(seed, &weights, n)
+    }
+
+    fn rebuild_homogeneous(
+        &mut self,
+        spec: &ControllerSpec,
+        seed: u64,
+        num_tasks: usize,
+        n: usize,
+    ) {
+        let seeder = StreamSeeder::new(seed);
+        self.mix = None;
+        self.banks.truncate(1);
+        match self.banks.first_mut() {
+            Some(bank) => {
+                if bank.spec != *spec {
+                    bank.spec = spec.clone();
+                }
+                bank.ants.clear();
+                bank.ants.extend(0..n as u32);
+                spec.rebuild_bank(num_tasks, &bank.ants, &mut bank.controllers);
+                bank.rngs.clear();
+                bank.rngs.extend((0..n).map(|i| seeder.ant(i)));
+            }
+            None => {
+                let ids: Vec<u32> = (0..n as u32).collect();
+                self.banks
+                    .push(Bank::new(spec.clone(), num_tasks, ids, &seeder));
+            }
+        }
+        self.index.clear();
+        self.index.extend((0..n as u32).map(|s| (0, s)));
+        debug_assert!(self.check_invariants());
+    }
+
+    fn rebuild_with_members(
+        &mut self,
+        spec: &ControllerSpec,
+        seed: u64,
+        num_tasks: usize,
+        members: &[u16],
+    ) {
+        let Some(parts) = spec.mix_parts() else {
+            // audit:allow(panic-path): both callers route homogeneous specs to rebuild_homogeneous.
+            unreachable!("rebuild_with_members requires a mix spec");
+        };
+        if self.banks.len() != parts.len() {
+            // Bank structure changed wholesale; nothing worth salvaging.
+            *self = Self::from_members(spec, seed, num_tasks, members);
+            return;
+        }
+        let n = members.len();
+        let seeder = StreamSeeder::new(seed);
+        for bank in &mut self.banks {
+            bank.ants.clear();
+        }
+        self.index.clear();
+        self.index.resize(n, (0, 0));
+        for (i, &b) in members.iter().enumerate() {
+            let b = b as usize;
+            assert!(b < parts.len(), "membership references unknown sub-spec");
+            self.index[i] = (b as u32, self.banks[b].ants.len() as u32);
+            self.banks[b].ants.push(i as u32);
+        }
+        for (bank, (_, sub)) in self.banks.iter_mut().zip(parts) {
+            if bank.spec != *sub {
+                bank.spec = sub.clone();
+            }
+            sub.rebuild_bank(num_tasks, &bank.ants, &mut bank.controllers);
+            bank.rngs.clear();
+            bank.rngs
+                .extend(bank.ants.iter().map(|&i| seeder.ant(i as usize)));
+        }
+        let weights = parts.iter().map(|(w, _)| *w).collect();
+        self.mix = Some(MixMembership::new(seed, weights));
+        debug_assert!(self.check_invariants());
+    }
+
     /// Number of ants.
     pub fn len(&self) -> usize {
         self.index.len()

@@ -8,12 +8,27 @@
 //! running that seed alone. Results stream to the caller in completion
 //! order via [`Batch::run_with`] / [`Sweep::run_with`], or arrive
 //! sorted in job order from `run()`.
+//!
+//! ## The sweep fast path
+//!
+//! Jobs are never materialized: job `i` of the `grid × seeds` matrix is
+//! *derived on demand* from (base config, axis setters, seed list), so
+//! a million-run sweep holds O(workers) configs, not a million clones.
+//! Each worker keeps one scratch [`SimConfig`] (re-derived only when
+//! its grid point changes), one shared per-grid-point `params` arc, and
+//! one [`SyncEngine`] reused across jobs via
+//! [`SyncEngine::reset_from`] — bit-identical to building a fresh
+//! engine per job, which [`Sweep::engine_reuse`] can force for A/B
+//! measurement. Setter-broken configs are caught by a
+//! one-pass-per-grid-point structural precheck before any worker
+//! starts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
 use crate::config::SimConfig;
+use crate::engine::SyncEngine;
 use crate::observer::{NullObserver, RunSummary};
 use crate::scenario::sink::RunSink;
 use crate::scenario::ConfigError;
@@ -66,8 +81,10 @@ pub struct RunOutcome {
     /// The seed this run used.
     pub seed: u64,
     /// Sweep-axis values applied to the base config (empty for plain
-    /// batches), as `(axis name, value)` pairs.
-    pub params: Vec<(String, AxisValue)>,
+    /// batches), as `(axis name, value)` pairs. Shared per grid point:
+    /// every outcome of the same grid point holds the same arc rather
+    /// than its own clone of the label vector.
+    pub params: Arc<[(String, AxisValue)]>,
     /// Rounds measured (after warmup).
     pub rounds: u64,
     /// Regret summary over the measured window.
@@ -87,6 +104,7 @@ pub struct Batch {
     rounds: u64,
     threads: usize,
     threads_per_job: usize,
+    reuse_engines: bool,
 }
 
 impl Batch {
@@ -102,6 +120,7 @@ impl Batch {
             rounds,
             threads: default_threads(),
             threads_per_job: 1,
+            reuse_engines: true,
         }
     }
 
@@ -142,6 +161,13 @@ impl Batch {
         self
     }
 
+    /// Whether workers reuse their engine across jobs (default `true`);
+    /// see [`Sweep::engine_reuse`].
+    pub fn engine_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_engines = reuse;
+        self
+    }
+
     /// Runs every seed; results are in seed-list order.
     pub fn run(&self) -> Result<Vec<RunOutcome>, ConfigError> {
         self.as_sweep().run()
@@ -178,6 +204,7 @@ impl Batch {
             rounds: self.rounds,
             threads: self.threads,
             threads_per_job: self.threads_per_job,
+            reuse_engines: self.reuse_engines,
         }
     }
 }
@@ -220,6 +247,7 @@ pub struct Sweep {
     rounds: u64,
     threads: usize,
     threads_per_job: usize,
+    reuse_engines: bool,
 }
 
 impl Sweep {
@@ -235,6 +263,7 @@ impl Sweep {
             rounds: 0,
             threads: default_threads(),
             threads_per_job: 1,
+            reuse_engines: true,
         }
     }
 
@@ -392,6 +421,17 @@ impl Sweep {
         self
     }
 
+    /// Whether each worker reuses its engine across jobs via
+    /// [`SyncEngine::reset_from`] (default `true`). Reused engines are
+    /// bit-identical to freshly built ones under the determinism
+    /// contract; `false` forces a fresh build per job — the `perf_sweep`
+    /// bench's baseline, kept as a knob so any reuse suspicion can be
+    /// A/B-tested in place.
+    pub fn engine_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_engines = reuse;
+        self
+    }
+
     /// Runs the full grid × seed matrix; results in job order (grid
     /// outermost, seeds innermost).
     pub fn run(&self) -> Result<Vec<RunOutcome>, ConfigError> {
@@ -413,11 +453,12 @@ impl Sweep {
             outcomes[slot] = Some(outcome);
             true
         })?;
-        debug_assert_eq!(count, outcomes.len());
-        Ok(outcomes
-            .into_iter()
-            .map(|o| o.expect("every job ran"))
-            .collect())
+        // Structurally total: collect exactly the outcomes that were
+        // delivered, so a future abort path shortens the list instead
+        // of panicking on a hole.
+        let collected: Vec<RunOutcome> = outcomes.into_iter().flatten().collect();
+        debug_assert_eq!(count, collected.len());
+        Ok(collected)
     }
 
     /// Streams every outcome to `on_outcome` (completion order) and
@@ -453,34 +494,65 @@ impl Sweep {
         }
     }
 
-    /// The shared worker pool: runs every job, handing each outcome to
-    /// `on_outcome` in completion order. Returning `false` from the
-    /// callback aborts the pool: no further jobs are claimed, and
-    /// in-flight outcomes are discarded.
+    /// The shared worker pool: runs every job of the `grid × seeds`
+    /// matrix, handing each outcome to `on_outcome` in completion
+    /// order. Returning `false` from the callback aborts the pool: no
+    /// further jobs are claimed, and in-flight outcomes are discarded.
+    ///
+    /// Jobs are streamed, not materialized: each worker derives job
+    /// `i`'s config on demand into its own scratch (see
+    /// [`Sweep::run_job`]), so peak memory is O(workers) regardless of
+    /// `grid × seeds`.
     fn run_pool(
         &self,
         mut on_outcome: impl FnMut(RunOutcome) -> bool,
     ) -> Result<usize, ConfigError> {
-        let jobs = self.jobs()?;
+        let lens: Vec<usize> = self.axes.iter().map(|a| a.points.len()).collect();
+        let grid_points: usize = lens.iter().product();
+        let total = grid_points * self.seeds.len();
+
+        // One-pass-per-grid-point structural precheck through a single
+        // scratch config: a setter may have produced an unusable
+        // config; catch it here once rather than panicking inside a
+        // worker.
+        {
+            let mut probe = self.base.clone();
+            for g in 0..grid_points {
+                probe.clone_from(&self.base);
+                self.apply_point(g, &lens, &mut probe);
+                probe.validate_structure()?;
+            }
+        }
+        if total == 0 {
+            return Ok(0);
+        }
+
         let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
         let (tx, rx) = mpsc::channel::<RunOutcome>();
-        let workers = self.threads.min(jobs.len()).max(1);
-        let warmup = self.warmup;
-        let rounds = self.rounds;
-        let threads_per_job = self.threads_per_job;
+        let workers = self.threads.min(total).max(1);
         let mut delivered = 0usize;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let jobs = &jobs;
+                let lens = &lens;
                 let next = &next;
+                let stop = &stop;
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(i) else { return };
-                    let outcome = run_one(i, job, warmup, rounds, threads_per_job);
-                    if tx.send(outcome).is_err() {
-                        return;
+                scope.spawn(move || {
+                    let mut worker = WorkerState::new(&self.base);
+                    loop {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            return;
+                        }
+                        let outcome = self.run_job(i, lens, &mut worker);
+                        if tx.send(outcome).is_err() {
+                            return;
+                        }
                     }
                 });
             }
@@ -494,9 +566,9 @@ impl Sweep {
                 if on_outcome(outcome) {
                     delivered += 1;
                 } else {
-                    // Park the job cursor past the end: idle workers
-                    // stop claiming; at most `workers` runs finish.
-                    next.store(usize::MAX - workers, Ordering::Relaxed);
+                    // Raise the stop flag: idle workers stop claiming;
+                    // at most `workers` in-flight runs still finish.
+                    stop.store(true, Ordering::Release);
                     aborted = true;
                 }
             }
@@ -504,58 +576,106 @@ impl Sweep {
         Ok(delivered)
     }
 
-    /// Materializes and validates the job list.
-    fn jobs(&self) -> Result<Vec<Job>, ConfigError> {
-        let mut grid: Vec<(SimConfig, Vec<(String, AxisValue)>)> =
-            vec![(self.base.clone(), Vec::new())];
-        for axis in &self.axes {
-            let mut expanded = Vec::with_capacity(grid.len() * axis.points.len());
-            for (config, params) in &grid {
-                for (label, setter) in &axis.points {
-                    let mut config = config.clone();
-                    setter(&mut config);
-                    let mut params = params.clone();
-                    params.push((axis.name.clone(), label.clone()));
-                    expanded.push((config, params));
-                }
-            }
-            grid = expanded;
+    /// Runs job `i` on a worker's local state: re-derives the scratch
+    /// config when the grid point changed, overwrites the seed, and
+    /// reuses the worker's engine unless [`Sweep::engine_reuse`] turned
+    /// that off.
+    fn run_job(&self, i: usize, lens: &[usize], worker: &mut WorkerState) -> RunOutcome {
+        let g = i / self.seeds.len();
+        let s = i % self.seeds.len();
+        if worker.grid_point != Some(g) {
+            worker.scratch.clone_from(&self.base);
+            self.apply_point(g, lens, &mut worker.scratch);
+            worker.params = self.point_params(g, lens);
+            worker.grid_point = Some(g);
         }
-        let mut jobs = Vec::with_capacity(grid.len() * self.seeds.len());
-        for (config, params) in grid {
-            // A setter may have produced an unusable config; catch it
-            // here once rather than panicking inside a worker.
-            config.validate_structure()?;
-            for &seed in &self.seeds {
-                let mut config = config.clone();
-                config.seed = seed;
-                jobs.push(Job {
-                    config,
-                    params: params.clone(),
-                    seed,
-                });
-            }
+        worker.scratch.seed = self.seeds[s];
+        if !self.reuse_engines {
+            worker.engine = None; // drop before building, like the old per-job path
         }
-        Ok(jobs)
+        run_one(
+            i,
+            &worker.scratch,
+            worker.params.clone(),
+            self.warmup,
+            self.rounds,
+            self.threads_per_job,
+            &mut worker.engine,
+        )
+    }
+
+    /// Applies grid point `g`'s setters to `cfg` (first axis
+    /// outermost, matching the job order `run` documents).
+    fn apply_point(&self, g: usize, lens: &[usize], cfg: &mut SimConfig) {
+        for (a, axis) in self.axes.iter().enumerate() {
+            let (_, setter) = &axis.points[point_index(lens, a, g)];
+            setter(cfg);
+        }
+    }
+
+    /// The shared `(axis name, value)` labels of grid point `g`.
+    fn point_params(&self, g: usize, lens: &[usize]) -> Arc<[(String, AxisValue)]> {
+        let params: Vec<(String, AxisValue)> = self
+            .axes
+            .iter()
+            .enumerate()
+            .map(|(a, axis)| {
+                let (label, _) = &axis.points[point_index(lens, a, g)];
+                (axis.name.clone(), label.clone())
+            })
+            .collect();
+        Arc::from(params)
     }
 }
 
-struct Job {
-    config: SimConfig,
-    params: Vec<(String, AxisValue)>,
-    seed: u64,
+/// The point index of axis `a` at grid point `g`: the first axis is
+/// the outermost loop of the flattened grid.
+fn point_index(lens: &[usize], a: usize, g: usize) -> usize {
+    let stride: usize = lens[a + 1..].iter().product();
+    (g / stride) % lens[a]
+}
+
+/// One worker's job-streaming state: a scratch config re-derived per
+/// grid point, the grid point's shared params, and the engine reused
+/// across jobs.
+struct WorkerState {
+    scratch: SimConfig,
+    grid_point: Option<usize>,
+    params: Arc<[(String, AxisValue)]>,
+    engine: Option<SyncEngine>,
+}
+
+impl WorkerState {
+    fn new(base: &SimConfig) -> Self {
+        Self {
+            scratch: base.clone(),
+            grid_point: None,
+            params: Arc::from(Vec::new()),
+            engine: None,
+        }
+    }
 }
 
 fn run_one(
     index: usize,
-    job: &Job,
+    config: &SimConfig,
+    params: Arc<[(String, AxisValue)]>,
     warmup: u64,
     rounds: u64,
     threads_per_job: usize,
+    engine_slot: &mut Option<SyncEngine>,
 ) -> RunOutcome {
+    // Reuse the worker's engine when one is parked in the slot —
+    // `reset_from` is bit-identical to a fresh build — else build one.
+    let mut engine = match engine_slot.take() {
+        Some(mut engine) => {
+            engine.reset_from(config);
+            engine
+        }
+        None => config.build(),
+    };
     // Serial by default — and bit-identical when a job parallelizes
     // internally, because the engine's parallel path guarantees it.
-    let mut engine = job.config.build();
     let mut sink = NullObserver;
     let mut summary = RunSummary::new();
     if threads_per_job > 1 {
@@ -566,15 +686,17 @@ fn run_one(
         engine.run(rounds, &mut summary);
     }
     let colony = engine.colony();
-    RunOutcome {
+    let outcome = RunOutcome {
         index,
-        seed: job.seed,
-        params: job.params.clone(),
+        seed: config.seed,
+        params,
         rounds,
         final_regret: colony.instant_regret(),
         final_loads: (0..colony.num_tasks()).map(|j| colony.load(j)).collect(),
         summary,
-    }
+    };
+    *engine_slot = Some(engine);
+    outcome
 }
 
 fn default_threads() -> usize {
@@ -648,8 +770,8 @@ mod tests {
         assert_eq!(outcomes.len(), 2 * 3 * 2);
         // Job order: gamma outermost, then lambda, then seeds.
         assert_eq!(
-            outcomes[0].params,
-            vec![
+            &outcomes[0].params[..],
+            &[
                 ("gamma".into(), AxisValue::Float(0.03125)),
                 ("lambda".into(), AxisValue::Float(1.0))
             ]
@@ -657,15 +779,15 @@ mod tests {
         assert_eq!(outcomes[0].seed, 7);
         assert_eq!(outcomes[1].seed, 8);
         assert_eq!(
-            outcomes[5].params,
-            vec![
+            &outcomes[5].params[..],
+            &[
                 ("gamma".into(), AxisValue::Float(0.03125)),
                 ("lambda".into(), AxisValue::Float(4.0))
             ]
         );
         assert_eq!(
-            outcomes[11].params,
-            vec![
+            &outcomes[11].params[..],
+            &[
                 ("gamma".into(), AxisValue::Float(0.0625)),
                 ("lambda".into(), AxisValue::Float(4.0))
             ]
@@ -709,15 +831,15 @@ mod tests {
             .unwrap();
         assert_eq!(outcomes.len(), 4);
         assert_eq!(
-            outcomes[0].params,
-            vec![
+            &outcomes[0].params[..],
+            &[
                 ("controller".into(), AxisValue::Text("ant".into())),
                 ("shock".into(), AxisValue::Text("none".into()))
             ]
         );
         assert_eq!(
-            outcomes[3].params,
-            vec![
+            &outcomes[3].params[..],
+            &[
                 ("controller".into(), AxisValue::Text("greedy".into())),
                 ("shock".into(), AxisValue::Text("kill-a-third".into()))
             ]
@@ -759,8 +881,8 @@ mod tests {
             .unwrap();
         assert_eq!(outcomes.len(), 4);
         assert_eq!(
-            outcomes[0].params,
-            vec![(
+            &outcomes[0].params[..],
+            &[(
                 "controller×gamma".into(),
                 AxisValue::Text("ant×slow".into())
             )]

@@ -97,7 +97,7 @@ impl<W: Write> RunSink for CsvSink<W> {
             ));
         }
         write!(self.out, "{},{}", outcome.index, outcome.seed)?;
-        for (_, value) in &outcome.params {
+        for (_, value) in outcome.params.iter() {
             // Labeled axis values may contain arbitrary text; keep the
             // row parseable.
             write!(
@@ -224,7 +224,7 @@ mod tests {
         RunOutcome {
             index,
             seed,
-            params: vec![("lambda".into(), crate::scenario::AxisValue::Float(2.0))],
+            params: vec![("lambda".into(), crate::scenario::AxisValue::Float(2.0))].into(),
             rounds: 10,
             summary: RunSummary::new(),
             final_regret: 3,
@@ -238,7 +238,8 @@ mod tests {
         o.params = vec![(
             "controller".into(),
             crate::scenario::AxisValue::Text("ant, desync".into()),
-        )];
+        )]
+        .into();
         let mut csv = CsvSink::new(Vec::new());
         csv.on_outcome(&o).unwrap();
         let text = String::from_utf8(csv.out).unwrap();
