@@ -1,0 +1,278 @@
+//! PERF — durable-store sweep resume throughput (runs/second).
+//!
+//! Measures the cost/benefit curve of attaching a [`CheckpointStore`]
+//! to an ensemble sweep on the acceptance shape (n = 400, k = 2,
+//! 200 rounds, 4 grid points):
+//!
+//! - **no_store** — the plain sweep, the baseline everything is
+//!   relative to;
+//! - **cold** — an empty store: every run computes *and* is captured
+//!   (fingerprint + encode + two atomic publishes per run). The tax of
+//!   durability; guarded so capture can never silently eat the sweep;
+//! - **warm** — a fully populated archive: every run is served from
+//!   verified entries (fingerprint + manifest/payload verification +
+//!   decode). The resume payoff; guarded to actually beat recomputing;
+//! - **resume60** — an archive holding 60% of the runs, the
+//!   killed-at-60% restart: it must sit at or above cold throughput
+//!   (skipping finished work cannot cost).
+//!
+//! Every warm pass is cross-checked outcome-for-outcome bit-identical
+//! against its cold pass. Emits `target/experiments/BENCH_store.json`
+//! (uploaded by the `perf-smoke` CI job next to `BENCH_sweep.json`).
+//! Set `PERF_QUICK=1` for a CI-sized run.
+
+// disallowed_methods: a bench exists to read the wall clock; timing
+// here never feeds a simulation (audit.toml relaxes bench files too).
+#![allow(clippy::disallowed_methods)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use antalloc_bench::perf_quick as quick;
+use antalloc_core::AntParams;
+use antalloc_noise::NoiseModel;
+use antalloc_sim::{ControllerSpec, RunOutcome, SimConfig, Sweep};
+use antalloc_store::CheckpointStore;
+
+/// Sweep worker counts the cold/warm curves are measured at.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Serving a verified entry must beat recomputing a 200-round run by
+/// at least this factor (it measures orders of magnitude higher; the
+/// guard is a conservative floor so machine variance cannot flake CI).
+const WARM_MIN_SPEEDUP: f64 = 2.0;
+
+/// Capture overhead floor: a cold store-attached sweep must keep at
+/// least this fraction of the no-store throughput.
+const COLD_MIN_FRACTION: f64 = 0.5;
+
+/// A 60% archive must not be slower than a cold start beyond noise.
+const RESUME_MIN_VS_COLD: f64 = 0.9;
+
+fn base_config() -> SimConfig {
+    SimConfig::builder(400, vec![120, 80])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+        .seed(11)
+        .build()
+        .expect("valid scenario")
+}
+
+/// The same 4-point gamma grid `perf_sweep` uses.
+fn sweep_for(seeds: u64, workers: usize) -> Sweep {
+    Sweep::new(base_config())
+        .axis(
+            "gamma",
+            [1.0 / 64.0, 1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0],
+            |cfg, gamma| cfg.controller = ControllerSpec::Ant(AntParams::new(gamma)),
+        )
+        .seeds(0..seeds)
+        .rounds(200)
+        .threads(workers)
+}
+
+/// A scratch store root under the experiments dir, wiped on open.
+fn store_at(root: &PathBuf) -> Arc<CheckpointStore> {
+    Arc::new(CheckpointStore::local(root).expect("open store root"))
+}
+
+fn wipe(root: &PathBuf) {
+    let _ = std::fs::remove_dir_all(root);
+}
+
+/// Runs one sweep pass, returns (runs/sec, outcomes).
+fn timed(sweep: Sweep) -> (f64, Vec<RunOutcome>) {
+    let t0 = Instant::now();
+    let outcomes = sweep.run().expect("sweep runs");
+    let dt = t0.elapsed().as_secs_f64();
+    (outcomes.len() as f64 / dt, outcomes)
+}
+
+fn assert_identical(label: &str, a: &[RunOutcome], b: &[RunOutcome]) {
+    assert_eq!(a.len(), b.len(), "{label}: outcome counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(
+            (
+                x.index,
+                x.seed,
+                x.final_regret,
+                &x.final_loads,
+                x.summary.total_regret()
+            ),
+            (
+                y.index,
+                y.seed,
+                y.final_regret,
+                &y.final_loads,
+                y.summary.total_regret()
+            ),
+            "{label}: stored outcome diverged from computed at job {}",
+            x.index
+        );
+    }
+}
+
+struct Point {
+    workers: usize,
+    cold: f64,
+    warm: f64,
+}
+
+fn sweep_resume_throughput(_c: &mut Criterion) {
+    let (seeds, samples) = if quick() {
+        (16u64, 2usize)
+    } else {
+        (64u64, 2usize)
+    };
+    let total = 4 * seeds as usize;
+    let root = antalloc_bench::out_dir().join("perf_store_scratch");
+
+    // Plain-sweep baseline (best over the worker curve).
+    let mut no_store = 0.0f64;
+    for &workers in &WORKERS {
+        for _ in 0..samples {
+            no_store = no_store.max(timed(sweep_for(seeds, workers)).0);
+        }
+    }
+
+    let mut points = Vec::new();
+    for &workers in &WORKERS {
+        let mut cold = 0.0f64;
+        let mut warm = 0.0f64;
+        for _ in 0..samples {
+            wipe(&root);
+            let (cold_rate, cold_outcomes) =
+                timed(sweep_for(seeds, workers).store(store_at(&root)));
+            assert!(cold_outcomes.iter().all(|o| !o.cached));
+            // Re-open the archive as a restarted process would.
+            let (warm_rate, warm_outcomes) =
+                timed(sweep_for(seeds, workers).store(store_at(&root)));
+            assert!(
+                warm_outcomes.iter().all(|o| o.cached),
+                "warm pass recomputed archived runs"
+            );
+            assert_identical("warm replay", &cold_outcomes, &warm_outcomes);
+            cold = cold.max(cold_rate);
+            warm = warm.max(warm_rate);
+        }
+        points.push(Point {
+            workers,
+            cold,
+            warm,
+        });
+    }
+
+    // The killed-at-60% restart: archive the first 60% of seeds, then
+    // time the full sweep over that archive (fixed 4 workers).
+    let archived_seeds = seeds * 6 / 10;
+    let mut resume = 0.0f64;
+    let mut archived_runs = 0usize;
+    for _ in 0..samples {
+        wipe(&root);
+        sweep_for(seeds, 4)
+            .seeds(0..archived_seeds)
+            .store(store_at(&root))
+            .run()
+            .expect("archive the 60% prefix");
+        let (rate, outcomes) = timed(sweep_for(seeds, 4).store(store_at(&root)));
+        archived_runs = outcomes.iter().filter(|o| o.cached).count();
+        assert_eq!(archived_runs, 4 * archived_seeds as usize);
+        resume = resume.max(rate);
+    }
+    wipe(&root);
+
+    let best = |f: fn(&Point) -> f64| points.iter().map(f).fold(0.0, f64::max);
+    let (cold_best, warm_best) = (best(|p| p.cold), best(|p| p.warm));
+
+    println!("\nbenchmark group: store_sweep_resume (n = 400, k = 2, 200 rounds, 4 grid points)");
+    let mut table = antalloc_bench::Table::new(
+        "perf_store_resume",
+        &[
+            "workers",
+            "cold_runs_per_sec",
+            "warm_runs_per_sec",
+            "warm_speedup",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            p.workers.to_string(),
+            format!("{:.1}", p.cold),
+            format!("{:.1}", p.warm),
+            format!("{:.2}", p.warm / p.cold),
+        ]);
+    }
+    table.row(vec![
+        "no_store(best)".into(),
+        format!("{no_store:.1}"),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "resume60(w=4)".into(),
+        format!("{resume:.1}"),
+        "-".into(),
+        format!("{:.2}", resume / cold_best),
+    ]);
+    table.finish();
+
+    let curve: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"workers_{}\": {{ \"cold_runs_per_sec\": {:.1}, \
+                 \"warm_runs_per_sec\": {:.1}, \"warm_speedup\": {:.3} }}",
+                p.workers,
+                p.cold,
+                p.warm,
+                p.warm / p.cold,
+            )
+        })
+        .collect();
+    let path = antalloc_bench::out_dir().join("BENCH_store.json");
+    let mut out = std::fs::File::create(&path).expect("create BENCH_store.json");
+    writeln!(
+        out,
+        "{{\n  \"bench\": \"perf_store/sweep_resume\",\n  \"quick\": {},\n  \
+         \"guards\": {{ \"warm_min_speedup\": {WARM_MIN_SPEEDUP}, \
+         \"cold_min_fraction\": {COLD_MIN_FRACTION}, \
+         \"resume_min_vs_cold\": {RESUME_MIN_VS_COLD} }},\n  \
+         \"shape\": {{ \"n\": 400, \"tasks\": 2, \"rounds\": 200, \"grid_points\": 4, \
+         \"seeds\": {seeds}, \"total_runs\": {total} }},\n  \
+         \"no_store_runs_per_sec\": {no_store:.1},\n  \"workers\": {{\n{}\n  }},\n  \
+         \"warm_speedup_best\": {:.3},\n  \
+         \"resume60\": {{ \"workers\": 4, \"archived_runs\": {archived_runs}, \
+         \"recomputed_runs\": {}, \"runs_per_sec\": {resume:.1}, \"vs_cold\": {:.3} }}\n}}",
+        quick(),
+        curve.join(",\n"),
+        warm_best / cold_best,
+        total - archived_runs,
+        resume / cold_best,
+    )
+    .expect("write BENCH_store.json");
+    println!("  [json: {}]", path.display());
+
+    // Regression guards.
+    assert!(
+        warm_best >= WARM_MIN_SPEEDUP * cold_best,
+        "serving archived runs peaks at {:.2}x cold throughput, below the \
+         {WARM_MIN_SPEEDUP}x guard",
+        warm_best / cold_best
+    );
+    assert!(
+        cold_best >= COLD_MIN_FRACTION * no_store,
+        "capture overhead: cold store sweep at {cold_best:.1} runs/s vs {no_store:.1} \
+         without a store, below the {COLD_MIN_FRACTION} floor"
+    );
+    assert!(
+        resume >= RESUME_MIN_VS_COLD * cold_best,
+        "a 60% archive restart at {resume:.1} runs/s is slower than a cold start \
+         ({cold_best:.1}) beyond the {RESUME_MIN_VS_COLD} noise margin"
+    );
+}
+
+criterion_group!(benches, sweep_resume_throughput);
+criterion_main!(benches);

@@ -53,7 +53,7 @@ use crate::ant::AlgorithmAnt;
 use crate::ant_bank::{AntBank, AntSliceMut};
 use crate::controller::{step_slice_fused, AnyController, Controller};
 use crate::flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
-use crate::precise_adversarial::PreciseAdversarial;
+use crate::precise_adversarial::{AdversarialScratch, PreciseAdversarial};
 use crate::precise_sigmoid::SigmoidScratch;
 use crate::sigmoid_bank::{PreciseSigmoidBank, SigmoidSliceMut};
 use crate::table_fsm::TableFsm;
@@ -68,6 +68,10 @@ pub enum ControllerScratch {
     /// Precise Sigmoid's mid-phase counters (phases are `2m = O(1/ε)`
     /// rounds long, so boundary-only capture is a real restriction).
     PreciseSigmoid(SigmoidScratch),
+    /// Precise Adversarial's mid-phase trackers (phases are
+    /// `5·r_1 = O(1/ε)` rounds long — the last long-phase kind to gain
+    /// mid-phase capture).
+    PreciseAdversarial(AdversarialScratch),
 }
 
 /// A contiguous, homogeneous population of controllers of one kind.
@@ -215,12 +219,15 @@ impl ControllerBank {
     }
 
     /// The mid-phase scratch of the ant at `slot` — `Some` only for
-    /// kinds a checkpoint must carry counters for (currently Precise
-    /// Sigmoid; see [`ControllerScratch`]).
+    /// kinds a checkpoint must carry counters for (Precise Sigmoid and
+    /// Precise Adversarial; see [`ControllerScratch`]).
     pub fn scratch(&self, slot: usize) -> Option<ControllerScratch> {
         match self {
             ControllerBank::PreciseSigmoid(b) => {
                 Some(ControllerScratch::PreciseSigmoid(b.scratch(slot)))
+            }
+            ControllerBank::PreciseAdversarial(v) => {
+                Some(ControllerScratch::PreciseAdversarial(v[slot].scratch()))
             }
             _ => None,
         }
@@ -236,6 +243,9 @@ impl ControllerBank {
         match (self, scratch) {
             (ControllerBank::PreciseSigmoid(b), ControllerScratch::PreciseSigmoid(s)) => {
                 b.apply_scratch(slot, s)
+            }
+            (ControllerBank::PreciseAdversarial(v), ControllerScratch::PreciseAdversarial(s)) => {
+                v[slot].apply_scratch(s)
             }
             // audit:allow(panic-path): documented precondition — scratch kinds are matched to banks by the checkpoint codec before apply.
             _ => panic!("scratch kind does not match bank kind"),

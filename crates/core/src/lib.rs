@@ -52,7 +52,7 @@ pub use exact_greedy::{ExactGreedy, ExactGreedyParams};
 pub use flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
 pub use memory::{bits_for_states, closeness_floor, MemoryFootprint};
 pub use params::{AntParams, PreciseAdversarialParams, PreciseSigmoidParams};
-pub use precise_adversarial::PreciseAdversarial;
+pub use precise_adversarial::{AdversarialScratch, PreciseAdversarial};
 pub use precise_sigmoid::{PreciseSigmoid, SigmoidScratch};
 pub use sigmoid_bank::{PreciseSigmoidBank, SigmoidSliceMut};
 pub use table_fsm::{FsmSpec, ReachabilityError, TableFsm};

@@ -26,6 +26,34 @@ use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 use crate::controller::Controller;
 use crate::params::PreciseAdversarialParams;
 
+/// The mid-phase state of one Precise Adversarial ant: everything the
+/// controller remembers besides its assignment. Carried by checkpoints
+/// so a capture inside the `5·r_1 = O(1/ε)`-round phase resumes
+/// bit-identically instead of idling out the partial phase (the same
+/// contract as [`crate::SigmoidScratch`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdversarialScratch {
+    /// `currentTask`: the task this phase observes (kept across ramp
+    /// pauses), or idle.
+    pub current_task: Assignment,
+    /// Whether the running phase was observed from its start.
+    pub have_phase: bool,
+    /// Idle path: per task, whether every sample this phase said `lack`.
+    pub all_lack: Vec<bool>,
+    /// Working path: whether every sample this phase said `overload`.
+    pub all_overload: bool,
+    /// At the first ramp `lack`, was the ant still working? `None`
+    /// until a lack is seen. Encoded as a tri-state by the checkpoint
+    /// codec.
+    pub working_at_first_lack: Option<bool>,
+    /// Whether a first-lack classification is pending this round
+    /// (always `false` between rounds — it is resolved within every
+    /// step — but carried so the scratch is a pure state copy).
+    pub pending_first_lack: bool,
+    /// The frozen sub-phase-2 behaviour: work iff true.
+    pub frozen_working: bool,
+}
+
 /// The Algorithm Precise Adversarial controller for one ant.
 #[derive(Clone, Debug)]
 pub struct PreciseAdversarial {
@@ -117,6 +145,39 @@ impl PreciseAdversarial {
             self.working_at_first_lack = Some(self.assignment == self.current_task);
             self.pending_first_lack = false;
         }
+    }
+
+    /// Copies the mid-phase state out for checkpoints that capture
+    /// inside a phase. Lossless together with
+    /// [`PreciseAdversarial::apply_scratch`]: these fields are the
+    /// controller's *entire* state beyond its assignment.
+    pub fn scratch(&self) -> AdversarialScratch {
+        AdversarialScratch {
+            current_task: self.current_task,
+            have_phase: self.have_phase,
+            all_lack: self.all_lack.clone(),
+            all_overload: self.all_overload,
+            working_at_first_lack: self.working_at_first_lack,
+            pending_first_lack: self.pending_first_lack,
+            frozen_working: self.frozen_working,
+        }
+    }
+
+    /// Overwrites the mid-phase state (restore path; the assignment is
+    /// restored separately via [`crate::Controller::reset_to`] *before*
+    /// this).
+    ///
+    /// # Panics
+    /// If the scratch's task count disagrees with this controller's.
+    pub fn apply_scratch(&mut self, s: &AdversarialScratch) {
+        assert_eq!(s.all_lack.len(), self.all_lack.len(), "task count mismatch");
+        self.current_task = s.current_task;
+        self.have_phase = s.have_phase;
+        self.all_lack.copy_from_slice(&s.all_lack);
+        self.all_overload = s.all_overload;
+        self.working_at_first_lack = s.working_at_first_lack;
+        self.pending_first_lack = s.pending_first_lack;
+        self.frozen_working = s.frozen_working;
     }
 }
 
@@ -383,6 +444,30 @@ mod tests {
         // Land mid-phase (round 100 of 320): nothing should fire at 0.
         let a = run_rounds(&mut ant, 100..=320, |_| vec![O, O], 11);
         assert_eq!(a, Assignment::Task(1));
+    }
+
+    #[test]
+    fn scratch_roundtrips_mid_phase_exactly() {
+        // Capture mid-ramp (pauses and trackers in flight), copy the
+        // scratch into a fresh controller, and check both continue
+        // bit-identically to the end of the phase.
+        let mut ant = controller(true);
+        ant.reset_to(Assignment::Task(0));
+        run_rounds(
+            &mut ant,
+            1..=37,
+            |t| if t >= 10 { vec![L, O] } else { vec![O, O] },
+            21,
+        );
+        let scratch = ant.scratch();
+        let mut copy = controller(true);
+        copy.reset_to(ant.assignment());
+        copy.apply_scratch(&scratch);
+        assert_eq!(copy.scratch(), scratch);
+        let a = run_rounds(&mut ant, 38..=320, |_| vec![L, O], 22);
+        let b = run_rounds(&mut copy, 38..=320, |_| vec![L, O], 22);
+        assert_eq!(a, b);
+        assert_eq!(ant.scratch(), copy.scratch());
     }
 
     #[test]

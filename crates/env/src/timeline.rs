@@ -399,6 +399,46 @@ impl Timeline {
     pub fn cursor_at(&self, round: u64) -> usize {
         self.events.partition_point(|timed| timed.at <= round)
     }
+
+    /// Whether running `self` through round `round` produces the same
+    /// environment history an uninterrupted run of `other` would have —
+    /// the precondition for grafting a prefix of one timeline onto a
+    /// continuation under another (sweep warm starts). Returns the
+    /// first divergence as a human-readable reason, or `None` when the
+    /// prefixes agree.
+    ///
+    /// Scripted one-shots with `at ≤ round` and cycles with
+    /// `start ≤ round` must match exactly (they already fired, or
+    /// started firing, in the prefix); later ones are free to differ.
+    /// Triggers and generators must match *in full*: triggers carry
+    /// runtime state accumulated over every round, and generators
+    /// expand from the whole-run seed, so neither can be swapped
+    /// mid-run.
+    pub fn prefix_divergence(&self, other: &Timeline, round: u64) -> Option<String> {
+        if self.triggers != other.triggers {
+            return Some("triggers differ (trigger runtime state spans the whole run)".into());
+        }
+        if self.generators != other.generators {
+            return Some("generators differ (schedules expand from the whole-run seed)".into());
+        }
+        let prefix = |t: &Timeline| -> Vec<TimedEvent> {
+            t.events.iter().filter(|e| e.at <= round).cloned().collect()
+        };
+        if prefix(self) != prefix(other) {
+            return Some(format!("one-shot events at or before round {round} differ"));
+        }
+        let started = |t: &Timeline| -> Vec<Cycle> {
+            t.cycles
+                .iter()
+                .filter(|c| c.start <= round)
+                .cloned()
+                .collect()
+        };
+        if started(self) != started(other) {
+            return Some(format!("cycles starting at or before round {round} differ"));
+        }
+        None
+    }
 }
 
 /// The legacy demand-schedule vocabulary compiles down to a timeline:
@@ -573,6 +613,62 @@ mod tests {
         // A generator-free timeline compiles to itself.
         let static_t = Timeline::new().at(5, Event::Scramble);
         assert_eq!(static_t.compile(99, 400, &[1, 1]), static_t);
+    }
+
+    #[test]
+    fn prefix_divergence_splits_past_from_future() {
+        use crate::gen::{GenShock, TimelineGen};
+        use crate::trigger::{Condition, Trigger};
+
+        let base = Timeline::new()
+            .at(10, Event::Kill { count: 5 })
+            .at(80, Event::Scramble)
+            .every(20, 40, vec![Event::Scramble]);
+
+        // Identical timelines agree at any split.
+        assert_eq!(base.prefix_divergence(&base, 50), None);
+
+        // Differences strictly after the split round are fine…
+        let later = Timeline::new()
+            .at(10, Event::Kill { count: 5 })
+            .at(81, Event::SetDemands(vec![9, 9]))
+            .every(20, 40, vec![Event::Scramble])
+            .every(60, 10, vec![Event::Scramble]);
+        assert_eq!(base.prefix_divergence(&later, 50), None);
+
+        // …but the same differences inside the prefix are not.
+        assert!(base.prefix_divergence(&later, 80).is_some());
+        let early_cycle =
+            Timeline::new()
+                .at(10, Event::Kill { count: 5 })
+                .every(30, 40, vec![Event::Scramble]);
+        assert!(base.prefix_divergence(&early_cycle, 50).is_some());
+
+        // An event *at* the split round has already fired: it is part
+        // of the prefix.
+        let at_split = Timeline::new().at(50, Event::Scramble);
+        assert!(Timeline::new().prefix_divergence(&at_split, 50).is_some());
+        assert_eq!(Timeline::new().prefix_divergence(&at_split, 49), None);
+
+        // Triggers and generators diverge regardless of position.
+        let with_trigger = base.clone().trigger(Trigger::once(
+            Condition::RegretBelow {
+                threshold: 10,
+                for_rounds: 2,
+            },
+            Event::Scramble,
+        ));
+        assert!(base.prefix_divergence(&with_trigger, 1).is_some());
+        let with_gen = base.clone().generate(TimelineGen {
+            start: 900,
+            until: 1000,
+            mean_gap: 50.0,
+            shock: GenShock::Kill {
+                min_frac: 0.05,
+                max_frac: 0.1,
+            },
+        });
+        assert!(base.prefix_divergence(&with_gen, 1).is_some());
     }
 
     #[test]

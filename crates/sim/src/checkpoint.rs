@@ -17,7 +17,10 @@
 //! serialize it: Precise Sigmoid's half-phase counters
 //! ([`SigmoidScratch`]), whose `2m = O(1/ε)`-round phases previously
 //! restricted captures to every 2m-th round (and a restore landing
-//! mid-phase silently idled out the partial phase). Kinds *without* a
+//! mid-phase silently idled out the partial phase), and — since v6 —
+//! Precise Adversarial's phase trackers
+//! ([`antalloc_core::AdversarialScratch`]), closing the last long-phase
+//! capture gap. Kinds *without* a
 //! scratch codec still capture only at their phase boundaries
 //! (`round % capture_phase == 0`, see
 //! [`crate::ControllerSpec::capture_phase_len`]), where their per-phase
@@ -36,7 +39,7 @@
 use std::path::Path;
 
 use antalloc_core::{
-    AntParams, ControllerScratch, ExactGreedyParams, PreciseAdversarialParams,
+    AdversarialScratch, AntParams, ControllerScratch, ExactGreedyParams, PreciseAdversarialParams,
     PreciseSigmoidParams, SigmoidScratch,
 };
 use antalloc_env::{
@@ -50,16 +53,18 @@ use crate::config::{ControllerSpec, SimConfig};
 use crate::engine::SyncEngine;
 
 const MAGIC: u32 = 0x414E_5441; // "ANTA"
-/// The current format version. The v2 → v3 → v4 → v5 evolution, what
-/// each version carries, and the read-compat policy are documented in
-/// `docs/CHECKPOINTS.md`; in short: v5 appended the per-kind controller
+/// The current format version. The v2 → v3 → v4 → v5 → v6 evolution,
+/// what each version carries, and the read-compat policy are documented
+/// in `docs/CHECKPOINTS.md`; in short: v6 added the Precise Adversarial
+/// scratch tag to the scratch section (every shipped long-phase kind
+/// now captures mid-phase), v5 appended the per-kind controller
 /// scratch section (Precise Sigmoid mid-phase counters), v4 added
 /// timeline triggers and generators to the timeline codec plus the
 /// per-trigger runtime state section, v3 replaced the demand schedule
 /// with the event timeline (plus live noise model and cursor), v2
 /// appended mixed-colony bank membership. Writers always emit the
 /// current version; readers accept everything back to [`MIN_VERSION`].
-const VERSION: u32 = 5;
+const VERSION: u32 = 6;
 const MIN_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured or decoded.
@@ -112,7 +117,8 @@ pub struct Checkpoint {
     members: Vec<u16>,
     /// Mid-phase controller scratch in ascending global-ant order (v5;
     /// empty before). Only kinds with a scratch codec — Precise
-    /// Sigmoid counters — produce entries.
+    /// Sigmoid counters (v5) and Precise Adversarial phase trackers
+    /// (v6) — produce entries.
     scratch: Vec<(u32, ControllerScratch)>,
 }
 
@@ -173,6 +179,53 @@ impl Checkpoint {
             self.round,
             self.next_stream,
             self.cursor,
+            &self.members,
+            &self.trigger_states,
+            &self.scratch,
+        );
+    }
+
+    /// Rebases the captured state onto a *different* configuration —
+    /// the sweep warm-start path (`Sweep::from_round`): one prefix run
+    /// of the base scenario is captured once, then forked into every
+    /// grid point, whose parameters take effect from the captured
+    /// round onward.
+    ///
+    /// Callers must have prechecked the fork (the sweep does): same
+    /// controller, colony size, initial configuration and task count,
+    /// same triggers and generators, identical timeline prefix through
+    /// the captured round, and the same seed as the prefix run. Within
+    /// that envelope the rebase is mechanical: swept `demands`/`noise`
+    /// replace the captured values only when the fork config actually
+    /// changes them from the *base* config (a prefix timeline event
+    /// that already overrode them wins otherwise, exactly as it would
+    /// in an uninterrupted run), and the one-shot cursor is recomputed
+    /// against the fork's compiled timeline. With an unchanged config
+    /// this is [`Checkpoint::restore_into`] bit for bit.
+    pub fn fork_into(&self, config: &SimConfig, engine: &mut SyncEngine) {
+        let demands = if config.demands != self.config.demands {
+            &config.demands
+        } else {
+            &self.current_demands
+        };
+        let noise = if config.noise != self.config.noise {
+            &config.noise
+        } else {
+            &self.current_noise
+        };
+        let compiled = config
+            .timeline
+            .compile(config.seed, config.n, &config.demands);
+        let cursor = compiled.cursor_at(self.round) as u64;
+        engine.restore_parts_in(
+            config,
+            demands,
+            noise,
+            &self.assignments,
+            &self.rng_states,
+            self.round,
+            self.next_stream,
+            cursor,
             &self.members,
             &self.trigger_states,
             &self.scratch,
@@ -260,6 +313,26 @@ impl Checkpoint {
                         out.put_u16_le(c);
                     }
                     for &l in &s.shat1_lack {
+                        out.put_u8(u8::from(l));
+                    }
+                }
+                // v6: Precise Adversarial phase trackers.
+                ControllerScratch::PreciseAdversarial(s) => {
+                    out.put_u8(1);
+                    out.put_u32_le(match s.current_task {
+                        Assignment::Idle => u32::MAX,
+                        Assignment::Task(j) => j,
+                    });
+                    out.put_u8(u8::from(s.have_phase));
+                    out.put_u8(u8::from(s.all_overload));
+                    out.put_u8(u8::from(s.frozen_working));
+                    out.put_u8(u8::from(s.pending_first_lack));
+                    out.put_u8(match s.working_at_first_lack {
+                        None => 0,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    });
+                    for &l in &s.all_lack {
                         out.put_u8(u8::from(l));
                     }
                 }
@@ -415,11 +488,13 @@ impl Checkpoint {
         let scratch = if version >= 5 {
             let k = demands.len();
             let count = get_u64(&mut buf)? as usize;
-            // Per-entry size: ant id + tag + currentTask + have_phase +
-            // two u16 counter rows + one median-bit row. Validate the
-            // claimed count against the bytes present before any
-            // allocation.
-            let per_entry = 4 + 1 + 4 + 1 + k * 5;
+            // Minimum per-entry size across the scratch kinds: Precise
+            // Sigmoid is ant id + tag + currentTask + have_phase + two
+            // u16 counter rows + one median-bit row (10 + 5k); Precise
+            // Adversarial is ant id + tag + currentTask + five flag
+            // bytes + one lack-bit row (14 + k). Validate the claimed
+            // count against the bytes present before any allocation.
+            let per_entry = (4 + 1 + 4 + 1 + k * 5).min(4 + 1 + 4 + 5 + k);
             if count > ants || buf.remaining() / per_entry < count {
                 return Err(corrupt(format!(
                     "scratch count {count} exceeds payload or ant count {ants}"
@@ -439,6 +514,23 @@ impl Checkpoint {
                         }
                     }
                     _ => None,
+                }
+            };
+            // Likewise for Precise Adversarial (v6 scratch): which ants
+            // may legally carry its phase trackers.
+            let adversarial_for = |ant: usize| -> bool {
+                match &controller {
+                    ControllerSpec::PreciseAdversarial(_) => true,
+                    ControllerSpec::Mix(parts) => {
+                        let Some(&m) = members.get(ant) else {
+                            return false;
+                        };
+                        matches!(
+                            parts.get(usize::from(m)),
+                            Some((_, ControllerSpec::PreciseAdversarial(_)))
+                        )
+                    }
+                    _ => false,
                 }
             };
             let mut scratch: Vec<(u32, ControllerScratch)> = Vec::with_capacity(count);
@@ -494,6 +586,47 @@ impl Checkpoint {
                                 count1,
                                 count2,
                                 shat1_lack,
+                            }),
+                        ));
+                    }
+                    1 => {
+                        if !adversarial_for(ant as usize) {
+                            return Err(corrupt(format!(
+                                "scratch for ant {ant}, which runs no Precise Adversarial"
+                            )));
+                        }
+                        let raw = get_u32(&mut buf)?;
+                        let current_task = if raw == u32::MAX {
+                            Assignment::Idle
+                        } else if (raw as usize) < k {
+                            Assignment::Task(raw)
+                        } else {
+                            return Err(corrupt(format!("scratch task {raw} out of range")));
+                        };
+                        let have_phase = get_bool(&mut buf)?;
+                        let all_overload = get_bool(&mut buf)?;
+                        let frozen_working = get_bool(&mut buf)?;
+                        let pending_first_lack = get_bool(&mut buf)?;
+                        let working_at_first_lack = match get_u8(&mut buf)? {
+                            0 => None,
+                            1 => Some(false),
+                            2 => Some(true),
+                            t => return Err(corrupt(format!("unknown first-lack tri-state {t}"))),
+                        };
+                        let mut all_lack = Vec::with_capacity(k);
+                        for _ in 0..k {
+                            all_lack.push(get_u8(&mut buf)? != 0);
+                        }
+                        scratch.push((
+                            ant,
+                            ControllerScratch::PreciseAdversarial(AdversarialScratch {
+                                current_task,
+                                have_phase,
+                                all_lack,
+                                all_overload,
+                                working_at_first_lack,
+                                pending_first_lack,
+                                frozen_working,
                             }),
                         ));
                     }
@@ -1305,6 +1438,57 @@ mod tests {
         bad[first_counter..first_counter + 2].copy_from_slice(&u16::MAX.to_le_bytes());
         let err = Checkpoint::from_bytes(&bad).expect_err("must reject");
         assert!(err.to_string().contains("half-phase"), "{err}");
+    }
+
+    #[test]
+    fn adversarial_scratch_roundtrips_and_restores_mid_phase() {
+        // ε = 0.5 → phase 320. Capture deep inside the ramp and inside
+        // the frozen sub-phase: both must roundtrip and continue
+        // bit-identically to an uninterrupted run.
+        let cfg = SimConfig::builder(80, vec![12, 18])
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::PreciseAdversarial(
+                PreciseAdversarialParams::new(0.05, 0.5),
+            ))
+            .seed(17)
+            .build()
+            .unwrap();
+        let mut obs = NullObserver;
+        for split in [37u64, 150, 319] {
+            let mut full = cfg.build();
+            full.run(split + 200, &mut obs);
+            let mut head = cfg.build();
+            head.run(split, &mut obs);
+            let cp = Checkpoint::capture(&head).expect("mid-phase capture");
+            let back = Checkpoint::from_bytes(&cp.to_bytes()).unwrap();
+            assert_eq!(cp, back, "split {split}");
+            let mut resumed = back.restore();
+            resumed.run(200, &mut obs);
+            assert_eq!(
+                full.colony().assignments(),
+                resumed.colony().assignments(),
+                "split {split}"
+            );
+            assert_eq!(full.colony().loads(), resumed.colony().loads());
+        }
+    }
+
+    #[test]
+    fn adversarial_scratch_for_wrong_colony_is_rejected() {
+        // Tag-1 scratch claimed for an Ant colony must error cleanly.
+        let mut e = config().build(); // Ant colony, 2 tasks
+        let mut obs = NullObserver;
+        e.run(2, &mut obs);
+        let mut bytes = Checkpoint::capture(&e).unwrap().to_bytes();
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ant 0
+        bytes.push(1); // tag: precise adversarial
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // currentTask idle
+        bytes.extend_from_slice(&[1, 1, 0, 0, 0]); // flags + tri-state
+        bytes.extend_from_slice(&[1u8; 2]); // all_lack, k = 2
+        let err = Checkpoint::from_bytes(&bytes).expect_err("must reject");
+        assert!(err.to_string().contains("no Precise Adversarial"), "{err}");
     }
 
     #[test]

@@ -221,11 +221,12 @@ impl ControllerSpec {
     /// like [`ControllerSpec::phase_len`], except that kinds whose
     /// mid-phase state is fully serialized as
     /// [`antalloc_core::ControllerScratch`] contribute 1: Precise
-    /// Sigmoid's counters travel in the checkpoint (format v5), so its
-    /// `2m = O(1/ε)`-round phase no longer restricts capture rounds.
+    /// Sigmoid's counters travel in the checkpoint (format v5) and
+    /// Precise Adversarial's phase trackers since v6, so their
+    /// `O(1/ε)`-round phases no longer restrict capture rounds.
     pub fn capture_phase_len(&self, num_tasks: usize) -> u64 {
         match self {
-            ControllerSpec::PreciseSigmoid(_) => 1,
+            ControllerSpec::PreciseSigmoid(_) | ControllerSpec::PreciseAdversarial(_) => 1,
             ControllerSpec::Mix(parts) => parts
                 .iter()
                 .map(|(_, spec)| spec.capture_phase_len(num_tasks))
@@ -430,16 +431,17 @@ mod tests {
             2,
             "lcm(ant 2, sigmoid 1)"
         );
+        // Precise Adversarial gained its scratch codec in v6: capture
+        // anywhere, even though its stepping phase is 5·r1 rounds.
+        assert_eq!(
+            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5))
+                .capture_phase_len(2),
+            1
+        );
         // Scratch-free kinds keep their stepping phase.
         assert_eq!(
             ControllerSpec::Ant(AntParams::default()).capture_phase_len(2),
             2
-        );
-        assert_eq!(
-            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5))
-                .capture_phase_len(2),
-            ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5))
-                .phase_len(2),
         );
     }
 }

@@ -62,7 +62,7 @@ pub use engine::{BankCensus, RoundRecord, SyncEngine};
 pub use observer::{BasicObserver, Both, FnObserver, NullObserver, Observer, RunSummary};
 pub use recorder::TraceRecorder;
 pub use scenario::{
-    AxisValue, Batch, ConfigError, CsvSink, JsonlSink, RunOutcome, RunSink, Scenario,
-    ScenarioBuilder, Sweep,
+    AxisValue, Batch, CapturePolicy, ConfigError, CsvSink, JsonlSink, RunOutcome, RunSink,
+    Scenario, ScenarioBuilder, Sweep, UsePolicy,
 };
 pub use sequential::SequentialEngine;

@@ -70,6 +70,17 @@ impl RunSummary {
         Self::default()
     }
 
+    /// Reassembles a summary from its accumulated counters — the
+    /// decode half of the sweep store's outcome codec. Pairs with the
+    /// accessors; observing further rounds continues normally.
+    pub fn from_parts(rounds: u64, total_regret: u128, max_instant_regret: u64) -> Self {
+        Self {
+            rounds,
+            total_regret,
+            max_instant_regret,
+        }
+    }
+
     /// Rounds observed.
     pub fn rounds(&self) -> u64 {
         self.rounds

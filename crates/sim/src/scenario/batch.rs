@@ -22,16 +22,48 @@
 //! measurement. Setter-broken configs are caught by a
 //! one-pass-per-grid-point structural precheck before any worker
 //! starts.
+//!
+//! ## The durable store
+//!
+//! [`Sweep::store`] attaches an `antalloc_store::CheckpointStore`:
+//! each run's outcome is keyed by a fingerprint of (canonical scenario
+//! TOML, seed, warmup, rounds), verified entries are served without
+//! running, and computed results are written back per
+//! [`CapturePolicy`] — so a sweep killed partway restarts and
+//! recomputes only what is missing, bit-identically (cached outcomes
+//! *are* the bytes the original run produced). Any unusable entry —
+//! truncated, bit-flipped, version-skewed, torn — degrades to a
+//! recomputed run under [`UsePolicy::IfFresh`]; only
+//! [`UsePolicy::Require`] turns a miss into an error.
+//! [`Sweep::from_round`] adds a warm start: one shared prefix run of
+//! the base scenario per seed (itself cached as a checkpoint entry)
+//! is forked into every grid point via [`Checkpoint::fork_into`]. See
+//! docs/CHECKPOINTS.md § Durable store.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
+pub use antalloc_store::{CapturePolicy, UsePolicy};
+use antalloc_store::{CheckpointStore, EntryKind, Fingerprint, FingerprintBuilder};
+use parking_lot::Mutex;
+
+use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
 use crate::engine::SyncEngine;
 use crate::observer::{NullObserver, RunSummary};
 use crate::scenario::sink::RunSink;
 use crate::scenario::ConfigError;
+
+/// Domain tag of outcome fingerprints; bump when the outcome payload
+/// layout changes so stale entries become misses, not misreads.
+const OUTCOME_DOMAIN: &str = "antalloc.outcome.v1";
+
+/// Domain tag of shared-prefix checkpoint fingerprints. The payload is
+/// a self-versioned checkpoint stream, so this only needs bumping if
+/// the *inputs* to the key change meaning.
+const PREFIX_DOMAIN: &str = "antalloc.prefix-checkpoint.v1";
 
 /// One sweep-axis coordinate as recorded in a [`RunOutcome`].
 ///
@@ -93,6 +125,9 @@ pub struct RunOutcome {
     pub final_regret: u64,
     /// Final per-task loads.
     pub final_loads: Vec<u64>,
+    /// Whether this outcome was served from the durable store instead
+    /// of being computed (always `false` without [`Sweep::store`]).
+    pub cached: bool,
 }
 
 /// Runs one scenario across many seeds.
@@ -105,6 +140,9 @@ pub struct Batch {
     threads: usize,
     threads_per_job: usize,
     reuse_engines: bool,
+    store: Option<Arc<CheckpointStore>>,
+    use_policy: UsePolicy,
+    capture_policy: CapturePolicy,
 }
 
 impl Batch {
@@ -121,12 +159,33 @@ impl Batch {
             threads: default_threads(),
             threads_per_job: 1,
             reuse_engines: true,
+            store: None,
+            use_policy: UsePolicy::default(),
+            capture_policy: CapturePolicy::default(),
         }
     }
 
     /// Replaces the seed list (e.g. `0..32`).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Attaches a durable result store; see [`Sweep::store`].
+    pub fn store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// When to serve runs from the store; see [`Sweep::use_policy`].
+    pub fn use_policy(mut self, policy: UsePolicy) -> Self {
+        self.use_policy = policy;
+        self
+    }
+
+    /// When to write results back; see [`Sweep::capture_policy`].
+    pub fn capture_policy(mut self, policy: CapturePolicy) -> Self {
+        self.capture_policy = policy;
         self
     }
 
@@ -195,6 +254,15 @@ impl Batch {
         self.as_sweep().stream_into(sink)
     }
 
+    /// Runs seeds until `on_outcome` returns `false`; see
+    /// [`Sweep::run_while`].
+    pub fn run_while(
+        &self,
+        on_outcome: impl FnMut(&RunOutcome) -> bool,
+    ) -> Result<usize, ConfigError> {
+        self.as_sweep().run_while(on_outcome)
+    }
+
     fn as_sweep(&self) -> Sweep {
         Sweep {
             base: self.config.clone(),
@@ -205,6 +273,10 @@ impl Batch {
             threads: self.threads,
             threads_per_job: self.threads_per_job,
             reuse_engines: self.reuse_engines,
+            store: self.store.clone(),
+            use_policy: self.use_policy,
+            capture_policy: self.capture_policy,
+            from_round: None,
         }
     }
 }
@@ -248,6 +320,10 @@ pub struct Sweep {
     threads: usize,
     threads_per_job: usize,
     reuse_engines: bool,
+    store: Option<Arc<CheckpointStore>>,
+    use_policy: UsePolicy,
+    capture_policy: CapturePolicy,
+    from_round: Option<u64>,
 }
 
 impl Sweep {
@@ -264,6 +340,10 @@ impl Sweep {
             threads: default_threads(),
             threads_per_job: 1,
             reuse_engines: true,
+            store: None,
+            use_policy: UsePolicy::default(),
+            capture_policy: CapturePolicy::default(),
+            from_round: None,
         }
     }
 
@@ -432,6 +512,57 @@ impl Sweep {
         self
     }
 
+    /// Attaches a durable result store. Each run's outcome is keyed by
+    /// a fingerprint of (canonical scenario TOML, seed, warmup,
+    /// rounds); verified hits are delivered without running (with
+    /// [`RunOutcome::cached`] set) and computed results are written
+    /// back, so an interrupted sweep restarted with the same store
+    /// recomputes only the missing runs — bit-identically, since
+    /// cached entries hold exactly the bytes the original run
+    /// produced. Corrupt or stale entries degrade to recomputed runs;
+    /// see [`Sweep::use_policy`].
+    pub fn store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// When runs may be served from the store (default
+    /// [`UsePolicy::IfFresh`]: use entries that verify end to end,
+    /// recompute on any miss). [`UsePolicy::Require`] turns misses
+    /// into [`ConfigError::Store`] and aborts — the replay-only mode
+    /// where recomputation would hide an incomplete archive.
+    pub fn use_policy(mut self, policy: UsePolicy) -> Self {
+        self.use_policy = policy;
+        self
+    }
+
+    /// When computed results are written back (default
+    /// [`CapturePolicy::IfMissing`]). Write failures abort the sweep
+    /// as [`ConfigError::Store`] — a full disk must not silently
+    /// produce an archive that cannot resume.
+    pub fn capture_policy(mut self, policy: CapturePolicy) -> Self {
+        self.capture_policy = policy;
+        self
+    }
+
+    /// Warm-starts every run from round `r` of the *base* scenario:
+    /// one shared prefix run per seed (cached in the store as a
+    /// checkpoint entry when one is attached) is forked into every
+    /// grid point via [`Checkpoint::fork_into`], so a `g`-point grid
+    /// pays for its common prefix once instead of `g` times. Grid
+    /// parameters take effect from round `r`; the prefix itself must
+    /// be shared, which [`Sweep::run`] prechecks — the controller,
+    /// colony size, task count, initial configuration, triggers,
+    /// generators, and every timeline entry at or before `r` must be
+    /// constant across the grid, and `r` must be a capture boundary of
+    /// the base controller. With no axes this is bit-identical to a
+    /// plain run of `r + warmup + rounds` rounds measured over the
+    /// last `rounds`.
+    pub fn from_round(mut self, round: u64) -> Self {
+        self.from_round = Some(round);
+        self
+    }
+
     /// Runs the full grid × seed matrix; results in job order (grid
     /// outermost, seeds innermost).
     pub fn run(&self) -> Result<Vec<RunOutcome>, ConfigError> {
@@ -469,6 +600,19 @@ impl Sweep {
             on_outcome(&outcome);
             true
         })
+    }
+
+    /// Streams outcomes (completion order) until `on_outcome` returns
+    /// `false`, which aborts the pool: no further jobs are claimed and
+    /// in-flight outcomes are discarded. Returns the number delivered.
+    /// This is the cancellation point a supervised sweep hangs its
+    /// stop flag on — combined with [`Sweep::store`], a sweep stopped
+    /// here resumes from where it left off.
+    pub fn run_while(
+        &self,
+        mut on_outcome: impl FnMut(&RunOutcome) -> bool,
+    ) -> Result<usize, ConfigError> {
+        self.run_pool(|outcome| on_outcome(&outcome))
     }
 
     /// Streams every outcome into `sink` without accumulating; sink IO
@@ -523,21 +667,30 @@ impl Sweep {
                 probe.validate_structure()?;
             }
         }
+        if let Some(r) = self.from_round {
+            self.fork_precheck(r, &lens, grid_points)?;
+        }
         if total == 0 {
             return Ok(0);
         }
 
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        let (tx, rx) = mpsc::channel::<RunOutcome>();
+        let (tx, rx) = mpsc::channel::<Result<RunOutcome, ConfigError>>();
+        // Shared-prefix checkpoints by seed: the in-process half of the
+        // `from_round` amortization (the durable store, when attached,
+        // is the cross-process half).
+        let prefixes: Mutex<BTreeMap<u64, Arc<Checkpoint>>> = Mutex::new(BTreeMap::new());
         let workers = self.threads.min(total).max(1);
         let mut delivered = 0usize;
+        let mut first_error: Option<ConfigError> = None;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let lens = &lens;
                 let next = &next;
                 let stop = &stop;
+                let prefixes = &prefixes;
                 let tx = tx.clone();
                 scope.spawn(move || {
                     let mut worker = WorkerState::new(&self.base);
@@ -549,8 +702,9 @@ impl Sweep {
                         if i >= total {
                             return;
                         }
-                        let outcome = self.run_job(i, lens, &mut worker);
-                        if tx.send(outcome).is_err() {
+                        let result = self.run_job(i, lens, &mut worker, prefixes);
+                        let failed = result.is_err();
+                        if tx.send(result).is_err() || failed {
                             return;
                         }
                     }
@@ -559,28 +713,47 @@ impl Sweep {
             drop(tx);
             // Stream results on the caller's thread as workers finish.
             let mut aborted = false;
-            for outcome in rx {
+            for result in rx {
                 if aborted {
                     continue; // drain so workers' sends don't block
                 }
-                if on_outcome(outcome) {
-                    delivered += 1;
-                } else {
-                    // Raise the stop flag: idle workers stop claiming;
-                    // at most `workers` in-flight runs still finish.
-                    stop.store(true, Ordering::Release);
-                    aborted = true;
+                match result {
+                    Ok(outcome) => {
+                        if on_outcome(outcome) {
+                            delivered += 1;
+                        } else {
+                            // Raise the stop flag: idle workers stop
+                            // claiming; at most `workers` in-flight
+                            // runs still finish.
+                            stop.store(true, Ordering::Release);
+                            aborted = true;
+                        }
+                    }
+                    Err(e) => {
+                        first_error = Some(e);
+                        stop.store(true, Ordering::Release);
+                        aborted = true;
+                    }
                 }
             }
         });
-        Ok(delivered)
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(delivered),
+        }
     }
 
     /// Runs job `i` on a worker's local state: re-derives the scratch
-    /// config when the grid point changed, overwrites the seed, and
-    /// reuses the worker's engine unless [`Sweep::engine_reuse`] turned
-    /// that off.
-    fn run_job(&self, i: usize, lens: &[usize], worker: &mut WorkerState) -> RunOutcome {
+    /// config when the grid point changed, overwrites the seed, checks
+    /// the store, and reuses the worker's engine unless
+    /// [`Sweep::engine_reuse`] turned that off.
+    fn run_job(
+        &self,
+        i: usize,
+        lens: &[usize],
+        worker: &mut WorkerState,
+        prefixes: &Mutex<BTreeMap<u64, Arc<Checkpoint>>>,
+    ) -> Result<RunOutcome, ConfigError> {
         let g = i / self.seeds.len();
         let s = i % self.seeds.len();
         if worker.grid_point != Some(g) {
@@ -590,18 +763,280 @@ impl Sweep {
             worker.grid_point = Some(g);
         }
         worker.scratch.seed = self.seeds[s];
+        // Fingerprinting costs a TOML render, so only with a store.
+        let fp = self
+            .store
+            .as_ref()
+            .map(|_| self.outcome_fingerprint(&worker.scratch));
+        if let Some(hit) = self.cached_outcome(i, fp.as_ref(), &worker.scratch, &worker.params)? {
+            return Ok(hit);
+        }
         if !self.reuse_engines {
             worker.engine = None; // drop before building, like the old per-job path
         }
-        run_one(
-            i,
-            &worker.scratch,
-            worker.params.clone(),
-            self.warmup,
-            self.rounds,
-            self.threads_per_job,
-            &mut worker.engine,
-        )
+        let outcome = match self.from_round {
+            Some(r) => self.run_forked(i, r, worker, prefixes)?,
+            None => run_one(
+                i,
+                &worker.scratch,
+                worker.params.clone(),
+                self.warmup,
+                self.rounds,
+                self.threads_per_job,
+                &mut worker.engine,
+            ),
+        };
+        self.store_outcome(fp.as_ref(), &outcome)?;
+        Ok(outcome)
+    }
+
+    /// The store key of one run: canonical scenario bytes (TOML
+    /// re-emission normalizes key order), seed, and the measurement
+    /// window. `from_round` folds in the fork round and the prefix
+    /// scenario, since those change what the run computes;
+    /// `threads`/`threads_per_job`/`engine_reuse` do not (bit-identity
+    /// contract) and are deliberately excluded.
+    fn outcome_fingerprint(&self, cfg: &SimConfig) -> Fingerprint {
+        let mut b = FingerprintBuilder::new(OUTCOME_DOMAIN)
+            .bytes("scenario", cfg.to_toml().as_bytes())
+            .u64("seed", cfg.seed)
+            .u64("warmup", self.warmup)
+            .u64("rounds", self.rounds);
+        if let Some(r) = self.from_round {
+            let mut base = self.base.clone();
+            base.seed = cfg.seed;
+            b = b
+                .u64("from-round", r)
+                .bytes("prefix-scenario", base.to_toml().as_bytes());
+        }
+        b.finish()
+    }
+
+    /// Serves job `i` from the store if policy and entry allow.
+    /// Returns `Ok(None)` on any miss under [`UsePolicy::IfFresh`]
+    /// (the caller recomputes); a miss under [`UsePolicy::Require`] is
+    /// an error.
+    fn cached_outcome(
+        &self,
+        index: usize,
+        fp: Option<&Fingerprint>,
+        cfg: &SimConfig,
+        params: &Arc<[(String, AxisValue)]>,
+    ) -> Result<Option<RunOutcome>, ConfigError> {
+        let require = matches!(self.use_policy, UsePolicy::Require);
+        let (Some(store), Some(fp)) = (self.store.as_deref(), fp) else {
+            if require {
+                return Err(ConfigError::Store(
+                    "UsePolicy::Require needs an attached store (Sweep::store)".into(),
+                ));
+            }
+            return Ok(None);
+        };
+        if matches!(self.use_policy, UsePolicy::Never) {
+            return Ok(None);
+        }
+        let reason = match store.load(fp, EntryKind::Outcome) {
+            Ok(bytes) => match decode_outcome(&bytes) {
+                Some(row) if row.seed == cfg.seed && row.rounds == self.rounds => {
+                    return Ok(Some(row.into_outcome(index, params.clone())));
+                }
+                Some(_) => "entry disagrees with the requested seed/rounds".to_string(),
+                None => "outcome payload failed to decode (layout skew)".to_string(),
+            },
+            Err(miss) => miss.to_string(),
+        };
+        if require {
+            return Err(ConfigError::Store(format!(
+                "required entry {} unusable: {reason}",
+                fp.short_hex()
+            )));
+        }
+        Ok(None)
+    }
+
+    /// Writes a computed outcome back per [`CapturePolicy`].
+    fn store_outcome(
+        &self,
+        fp: Option<&Fingerprint>,
+        outcome: &RunOutcome,
+    ) -> Result<(), ConfigError> {
+        let (Some(store), Some(fp)) = (self.store.as_deref(), fp) else {
+            return Ok(());
+        };
+        match self.capture_policy {
+            CapturePolicy::Never => return Ok(()),
+            CapturePolicy::Always => {}
+            CapturePolicy::IfMissing => {
+                // Reaching here after a consulted store means the entry
+                // already failed verification; only `UsePolicy::Never`
+                // left it unprobed.
+                if matches!(self.use_policy, UsePolicy::Never)
+                    && store.probe(fp, EntryKind::Outcome).is_ok()
+                {
+                    return Ok(());
+                }
+            }
+        }
+        store
+            .save(fp, EntryKind::Outcome, &encode_outcome(outcome))
+            .map_err(|e| ConfigError::Store(format!("writing outcome entry: {e}")))
+    }
+
+    /// Validates a [`Sweep::from_round`] warm start: round `r` state
+    /// under the base scenario must be a faithful prefix of every grid
+    /// point's uninterrupted run, and `r` must be capturable.
+    fn fork_precheck(&self, r: u64, lens: &[usize], grid_points: usize) -> Result<(), ConfigError> {
+        let k = self.base.demands.len();
+        let phase = self.base.controller.capture_phase_len(k);
+        if !r.is_multiple_of(phase) {
+            return Err(ConfigError::Fork(format!(
+                "from_round({r}) is not a capture boundary of the base controller \
+                 (capture phase {phase})"
+            )));
+        }
+        let mut probe = self.base.clone();
+        for g in 0..grid_points {
+            probe.clone_from(&self.base);
+            self.apply_point(g, lens, &mut probe);
+            let fail = |what: &str| {
+                Err(ConfigError::Fork(format!(
+                    "grid point {g}: {what} — the shared prefix through round {r} must be \
+                     identical across the grid (sweep it without from_round instead)"
+                )))
+            };
+            if probe.controller != self.base.controller {
+                return fail("the controller axis changes the prefix");
+            }
+            if probe.n != self.base.n {
+                return fail("the colony size changes the prefix");
+            }
+            if probe.demands.len() != k {
+                return fail("the task count changes the prefix");
+            }
+            if probe.initial != self.base.initial {
+                return fail("the initial configuration changes the prefix");
+            }
+            if let Some(why) = self.base.timeline.prefix_divergence(&probe.timeline, r) {
+                return fail(&why);
+            }
+            if !probe.timeline.generators.is_empty() && probe.demands != self.base.demands {
+                return fail(
+                    "swept demands with generators (generated magnitudes scale off demands)",
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs job `i` by forking the shared prefix at round `r` into the
+    /// job's config — the compute path of [`Sweep::from_round`].
+    fn run_forked(
+        &self,
+        index: usize,
+        r: u64,
+        worker: &mut WorkerState,
+        prefixes: &Mutex<BTreeMap<u64, Arc<Checkpoint>>>,
+    ) -> Result<RunOutcome, ConfigError> {
+        let seed = worker.scratch.seed;
+        let memo = prefixes.lock().get(&seed).cloned();
+        let ckpt = match memo {
+            Some(c) => c,
+            None => {
+                // Workers racing on the same fresh seed duplicate the
+                // prefix run; both compute identical checkpoints, so
+                // last-insert-wins is benign.
+                let c = self.prefix_checkpoint(seed, r, &mut worker.engine)?;
+                prefixes.lock().insert(seed, c.clone());
+                c
+            }
+        };
+        let mut engine = match worker.engine.take() {
+            Some(e) => e,
+            None => worker.scratch.build(),
+        };
+        ckpt.fork_into(&worker.scratch, &mut engine);
+        let (summary, final_regret, final_loads) =
+            measure(&mut engine, self.warmup, self.rounds, self.threads_per_job);
+        worker.engine = Some(engine);
+        Ok(RunOutcome {
+            index,
+            seed,
+            params: worker.params.clone(),
+            rounds: self.rounds,
+            summary,
+            final_regret,
+            final_loads,
+            cached: false,
+        })
+    }
+
+    /// The shared prefix state for `seed`: loaded from the store when
+    /// a verified checkpoint entry exists, else computed by running
+    /// the base scenario `r` rounds and captured back per policy.
+    fn prefix_checkpoint(
+        &self,
+        seed: u64,
+        r: u64,
+        engine_slot: &mut Option<SyncEngine>,
+    ) -> Result<Arc<Checkpoint>, ConfigError> {
+        let mut base = self.base.clone();
+        base.seed = seed;
+        let fp = self.store.as_ref().map(|_| {
+            FingerprintBuilder::new(PREFIX_DOMAIN)
+                .bytes("scenario", base.to_toml().as_bytes())
+                .u64("seed", seed)
+                .u64("round", r)
+                .finish()
+        });
+        let mut known_missing = false;
+        if let (Some(store), Some(fp)) = (self.store.as_deref(), fp.as_ref()) {
+            if !matches!(self.use_policy, UsePolicy::Never) {
+                known_missing = true;
+                if let Ok(bytes) = store.load(fp, EntryKind::Checkpoint) {
+                    // The checkpoint stream is self-validating; any
+                    // residual shape skew degrades to recomputation.
+                    if let Ok(ckpt) = Checkpoint::from_bytes(&bytes) {
+                        if ckpt.round() == r && ckpt.config() == &base {
+                            return Ok(Arc::new(ckpt));
+                        }
+                    }
+                }
+            }
+        }
+        let mut engine = match engine_slot.take() {
+            Some(mut e) => {
+                e.reset_from(&base);
+                e
+            }
+            None => base.build(),
+        };
+        let mut sink = NullObserver;
+        if self.threads_per_job > 1 {
+            engine.run_parallel(r, self.threads_per_job, &mut sink);
+        } else {
+            engine.run(r, &mut sink);
+        }
+        let ckpt = Checkpoint::capture(&engine).map_err(|e| {
+            ConfigError::Fork(format!("capturing the shared prefix at round {r}: {e}"))
+        })?;
+        *engine_slot = Some(engine);
+        if let (Some(store), Some(fp)) = (self.store.as_deref(), fp.as_ref()) {
+            let write = match self.capture_policy {
+                CapturePolicy::Never => false,
+                CapturePolicy::Always => true,
+                CapturePolicy::IfMissing => {
+                    known_missing || store.probe(fp, EntryKind::Checkpoint).is_err()
+                }
+            };
+            if write {
+                store
+                    .save(fp, EntryKind::Checkpoint, &ckpt.to_bytes())
+                    .map_err(|e| {
+                        ConfigError::Store(format!("writing prefix checkpoint entry: {e}"))
+                    })?;
+            }
+        }
+        Ok(Arc::new(ckpt))
     }
 
     /// Applies grid point `g`'s setters to `cfg` (first axis
@@ -674,8 +1109,31 @@ fn run_one(
         }
         None => config.build(),
     };
-    // Serial by default — and bit-identical when a job parallelizes
-    // internally, because the engine's parallel path guarantees it.
+    let (summary, final_regret, final_loads) =
+        measure(&mut engine, warmup, rounds, threads_per_job);
+    let outcome = RunOutcome {
+        index,
+        seed: config.seed,
+        params,
+        rounds,
+        final_regret,
+        final_loads,
+        summary,
+        cached: false,
+    };
+    *engine_slot = Some(engine);
+    outcome
+}
+
+/// Warmup + measured window on an already-positioned engine. Serial by
+/// default — and bit-identical when a job parallelizes internally,
+/// because the engine's parallel path guarantees it.
+fn measure(
+    engine: &mut SyncEngine,
+    warmup: u64,
+    rounds: u64,
+    threads_per_job: usize,
+) -> (RunSummary, u64, Vec<u64>) {
     let mut sink = NullObserver;
     let mut summary = RunSummary::new();
     if threads_per_job > 1 {
@@ -686,17 +1144,94 @@ fn run_one(
         engine.run(rounds, &mut summary);
     }
     let colony = engine.colony();
-    let outcome = RunOutcome {
-        index,
-        seed: config.seed,
-        params,
-        rounds,
-        final_regret: colony.instant_regret(),
-        final_loads: (0..colony.num_tasks()).map(|j| colony.load(j)).collect(),
-        summary,
+    let final_loads = (0..colony.num_tasks()).map(|j| colony.load(j)).collect();
+    (summary, colony.instant_regret(), final_loads)
+}
+
+/// One decoded outcome entry, before the live sweep re-attaches its
+/// positional `index` and shared `params`.
+struct OutcomeRow {
+    seed: u64,
+    rounds: u64,
+    summary: RunSummary,
+    final_regret: u64,
+    final_loads: Vec<u64>,
+}
+
+impl OutcomeRow {
+    fn into_outcome(self, index: usize, params: Arc<[(String, AxisValue)]>) -> RunOutcome {
+        RunOutcome {
+            index,
+            seed: self.seed,
+            params,
+            rounds: self.rounds,
+            summary: self.summary,
+            final_regret: self.final_regret,
+            final_loads: self.final_loads,
+            cached: true,
+        }
+    }
+}
+
+/// Outcome payload: every measured field, little-endian, in a fixed
+/// order — `seed`, `rounds`, the summary's three counters, the final
+/// regret, then the length-prefixed final loads. The store's manifest
+/// already guards integrity (length + SHA-256), so decode failures
+/// here mean layout skew and degrade to recomputation.
+fn encode_outcome(o: &RunOutcome) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + 8 * o.final_loads.len());
+    out.extend_from_slice(&o.seed.to_le_bytes());
+    out.extend_from_slice(&o.rounds.to_le_bytes());
+    out.extend_from_slice(&o.summary.rounds().to_le_bytes());
+    out.extend_from_slice(&o.summary.total_regret().to_le_bytes());
+    out.extend_from_slice(&o.summary.max_instant_regret().to_le_bytes());
+    out.extend_from_slice(&o.final_regret.to_le_bytes());
+    out.extend_from_slice(&(o.final_loads.len() as u64).to_le_bytes());
+    for &load in &o.final_loads {
+        out.extend_from_slice(&load.to_le_bytes());
+    }
+    out
+}
+
+fn decode_outcome(bytes: &[u8]) -> Option<OutcomeRow> {
+    let mut cur = bytes;
+    let mut u64_field = || -> Option<u64> {
+        let (head, tail) = cur.split_first_chunk::<8>()?;
+        cur = tail;
+        Some(u64::from_le_bytes(*head))
     };
-    *engine_slot = Some(engine);
-    outcome
+    let seed = u64_field()?;
+    let rounds = u64_field()?;
+    let summary_rounds = u64_field()?;
+    let (total, tail) = cur.split_first_chunk::<16>()?;
+    let total_regret = u128::from_le_bytes(*total);
+    cur = tail;
+    let mut u64_field = || -> Option<u64> {
+        let (head, tail) = cur.split_first_chunk::<8>()?;
+        cur = tail;
+        Some(u64::from_le_bytes(*head))
+    };
+    let max_instant_regret = u64_field()?;
+    let final_regret = u64_field()?;
+    let count = u64_field()?;
+    // Hostile-length guard: the remaining bytes bound the load count.
+    if count != (cur.len() / 8) as u64 {
+        return None;
+    }
+    let final_loads: Vec<u64> = cur
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap_or([0; 8])))
+        .collect();
+    if !cur.chunks_exact(8).remainder().is_empty() {
+        return None;
+    }
+    Some(OutcomeRow {
+        seed,
+        rounds,
+        summary: RunSummary::from_parts(summary_rounds, total_regret, max_instant_regret),
+        final_regret,
+        final_loads,
+    })
 }
 
 fn default_threads() -> usize {
@@ -965,6 +1500,295 @@ mod tests {
         assert!(matches!(err, ConfigError::Io(_)), "{err:?}");
         // The pool aborted: nowhere near all 64 outcomes were offered.
         assert!(sink.rows < 64, "sink saw {} rows", sink.rows);
+    }
+
+    fn same_outcome(a: &RunOutcome, b: &RunOutcome) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.summary.rounds(), b.summary.rounds());
+        assert_eq!(a.summary.total_regret(), b.summary.total_regret());
+        assert_eq!(
+            a.summary.max_instant_regret(),
+            b.summary.max_instant_regret()
+        );
+        assert_eq!(a.final_regret, b.final_regret);
+        assert_eq!(a.final_loads, b.final_loads);
+    }
+
+    #[test]
+    fn outcome_codec_roundtrips() {
+        let o = RunOutcome {
+            index: 3,
+            seed: 0xDEAD,
+            params: Arc::from(Vec::new()),
+            rounds: 40,
+            summary: RunSummary::from_parts(40, 123_456_789_000, 777),
+            final_regret: 42,
+            final_loads: vec![10, 0, 99],
+            cached: false,
+        };
+        let bytes = encode_outcome(&o);
+        let row = decode_outcome(&bytes).unwrap();
+        let back = row.into_outcome(3, o.params.clone());
+        same_outcome(&o, &back);
+        assert!(back.cached);
+        // Truncations and trailing garbage decode to None, never panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_outcome(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_outcome(&long).is_none());
+    }
+
+    #[test]
+    fn store_serves_second_sweep_from_cache_bit_identically() {
+        let store = Arc::new(antalloc_store::CheckpointStore::in_memory());
+        let sweep = || {
+            Sweep::new(base())
+                .axis("lambda", [1.0, 3.0], |cfg, lambda| {
+                    cfg.noise = NoiseModel::Sigmoid { lambda };
+                })
+                .seeds(0..3)
+                .rounds(40)
+                .threads(2)
+        };
+        let cold = sweep().store(store.clone()).run().unwrap();
+        assert!(cold.iter().all(|o| !o.cached), "first pass computes");
+        let warm = sweep().store(store.clone()).run().unwrap();
+        assert!(warm.iter().all(|o| o.cached), "second pass is all hits");
+        let plain = sweep().run().unwrap();
+        for ((c, w), p) in cold.iter().zip(&warm).zip(&plain) {
+            same_outcome(c, w);
+            same_outcome(c, p);
+        }
+        // Hits replay under Require; an absent entry aborts instead of
+        // silently recomputing.
+        let replayed = sweep()
+            .store(store.clone())
+            .use_policy(UsePolicy::Require)
+            .run()
+            .unwrap();
+        assert!(replayed.iter().all(|o| o.cached));
+        let err = sweep()
+            .seeds(100..101)
+            .store(store)
+            .use_policy(UsePolicy::Require)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Store(_)), "{err:?}");
+    }
+
+    #[test]
+    fn aborted_sweep_resumes_from_store_and_recomputes_only_the_rest() {
+        let store = Arc::new(antalloc_store::CheckpointStore::in_memory());
+        let batch = || Batch::new(base(), 30).seeds(0..10).threads(2);
+        // Kill the sweep after 4 delivered outcomes.
+        let mut seen = 0;
+        let delivered = batch()
+            .store(store.clone())
+            .run_while(|_| {
+                seen += 1;
+                seen < 4
+            })
+            .unwrap();
+        assert_eq!(delivered, 3, "callback aborted on the 4th outcome");
+        let captured = store.entries().unwrap().len();
+        assert!(captured >= 4, "aborted runs still captured ({captured})");
+        // The restart serves every captured run from the store and
+        // computes only the remainder.
+        let resumed = batch().store(store.clone()).run().unwrap();
+        assert_eq!(resumed.len(), 10);
+        assert_eq!(resumed.iter().filter(|o| o.cached).count(), captured);
+        let fresh = batch().run().unwrap();
+        for (r, f) in resumed.iter().zip(&fresh) {
+            same_outcome(r, f);
+        }
+    }
+
+    #[test]
+    fn corrupt_store_entries_degrade_to_recomputed_runs() {
+        use antalloc_store::CheckpointStore;
+        let store = Arc::new(CheckpointStore::in_memory());
+        let batch = || Batch::new(base(), 25).seeds(0..4).threads(2);
+        let cold = batch().store(store.clone()).run().unwrap();
+        // Bit-flip every payload in place.
+        for prefix in store.entries().unwrap() {
+            let path = format!("entries/{prefix}/payload");
+            let mut bytes = store.backend().read(&path).unwrap().unwrap();
+            bytes[0] ^= 0xFF;
+            store.backend().publish(&path, &bytes).unwrap();
+        }
+        let recomputed = batch().store(store.clone()).run().unwrap();
+        assert!(
+            recomputed.iter().all(|o| !o.cached),
+            "nothing served corrupt"
+        );
+        for (a, b) in cold.iter().zip(&recomputed) {
+            same_outcome(a, b);
+        }
+        // The recomputation healed the store (CapturePolicy::IfMissing).
+        assert!(batch().store(store).run().unwrap().iter().all(|o| o.cached));
+    }
+
+    #[test]
+    fn from_round_with_no_axes_matches_a_plain_run() {
+        let outcomes = Sweep::new(base())
+            .seeds(0..3)
+            .from_round(100)
+            .warmup(10)
+            .rounds(50)
+            .threads(2)
+            .run()
+            .unwrap();
+        let plain = Sweep::new(base())
+            .seeds(0..3)
+            .warmup(110)
+            .rounds(50)
+            .threads(2)
+            .run()
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (a, b) in outcomes.iter().zip(&plain) {
+            same_outcome(a, b);
+        }
+    }
+
+    #[test]
+    fn from_round_fork_equals_a_set_noise_event_at_the_fork() {
+        // Warm-started grid points take their swept noise from round
+        // r+1 on — exactly a SetNoise timeline event there.
+        use antalloc_env::{Event, Timeline};
+        let r = 80;
+        let forked = Sweep::new(base())
+            .axis("lambda", [1.0, 4.0], |cfg, lambda| {
+                cfg.noise = NoiseModel::Sigmoid { lambda };
+            })
+            .seeds([5, 6])
+            .from_round(r)
+            .rounds(60)
+            .threads(2)
+            .run()
+            .unwrap();
+        for (point, lambda) in [(0, 1.0), (1, 4.0)] {
+            for (offset, seed) in [(0, 5u64), (1, 6u64)] {
+                let mut cfg = base();
+                cfg.timeline =
+                    Timeline::new().at(r + 1, Event::SetNoise(NoiseModel::Sigmoid { lambda }));
+                let scripted = Batch::new(cfg, 60)
+                    .seeds([seed])
+                    .warmup(r)
+                    .threads(1)
+                    .run()
+                    .unwrap();
+                let forked_one = &forked[point * 2 + offset];
+                assert_eq!(forked_one.seed, seed);
+                assert_eq!(
+                    forked_one.summary.total_regret(),
+                    scripted[0].summary.total_regret(),
+                    "lambda {lambda} seed {seed}"
+                );
+                assert_eq!(forked_one.final_loads, scripted[0].final_loads);
+            }
+        }
+    }
+
+    #[test]
+    fn from_round_prefix_is_shared_through_the_store() {
+        let store = Arc::new(antalloc_store::CheckpointStore::in_memory());
+        let sweep = || {
+            Sweep::new(base())
+                .axis("lambda", [1.0, 2.0, 4.0], |cfg, lambda| {
+                    cfg.noise = NoiseModel::Sigmoid { lambda };
+                })
+                .seeds([3])
+                .from_round(60)
+                .rounds(30)
+                .threads(2)
+        };
+        let cold = sweep().store(store.clone()).run().unwrap();
+        // 3 outcome entries + 1 shared prefix checkpoint for the seed.
+        assert_eq!(store.entries().unwrap().len(), 4);
+        // Drop the outcomes but keep the checkpoint: the restart must
+        // fork the *stored* prefix into freshly recomputed runs.
+        for prefix in store.entries().unwrap() {
+            let path = format!("entries/{prefix}/manifest");
+            let manifest = store.backend().read(&path).unwrap().unwrap();
+            if manifest[8] == 1 {
+                store.backend().remove(&path).unwrap();
+            }
+        }
+        let warm = sweep().store(store.clone()).run().unwrap();
+        assert!(warm.iter().all(|o| !o.cached), "outcomes recomputed");
+        for (a, b) in cold.iter().zip(&warm) {
+            same_outcome(a, b);
+        }
+        let no_store = sweep().run().unwrap();
+        for (a, b) in cold.iter().zip(&no_store) {
+            same_outcome(a, b);
+        }
+    }
+
+    #[test]
+    fn fork_precheck_rejects_prefix_divergence() {
+        use antalloc_env::{Event, Timeline};
+        // A controller axis changes the prefix.
+        let err = Sweep::new(base())
+            .axis("gamma", [0.03125, 0.0625], |cfg, g| {
+                cfg.controller = ControllerSpec::Ant(AntParams::new(g));
+            })
+            .from_round(50)
+            .rounds(10)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Fork(_)), "{err:?}");
+        // A timeline event inside the prefix differs across the grid.
+        let err = Sweep::new(base())
+            .axis("kill", [10.0, 20.0], |cfg, count| {
+                cfg.timeline = Timeline::new().at(
+                    30,
+                    Event::Kill {
+                        count: count as usize,
+                    },
+                );
+            })
+            .from_round(50)
+            .rounds(10)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Fork(_)), "{err:?}");
+        // The same event *after* the fork is fine.
+        let ok = Sweep::new(base())
+            .axis("kill", [10.0, 20.0], |cfg, count| {
+                cfg.timeline = Timeline::new().at(
+                    70,
+                    Event::Kill {
+                        count: count as usize,
+                    },
+                );
+            })
+            .from_round(50)
+            .rounds(30)
+            .run();
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn fork_precheck_rejects_off_boundary_rounds() {
+        use antalloc_core::PreciseSigmoidParams;
+        // Ant controllers checkpoint at even rounds only (phase 2).
+        assert_eq!(base().controller.capture_phase_len(2), 2);
+        let err = Sweep::new(base())
+            .from_round(3)
+            .rounds(10)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::Fork(_)), "{err:?}");
+        // Scratch-serialized kinds capture anywhere: any round works.
+        let mut sig = base();
+        sig.controller = ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5));
+        assert!(Sweep::new(sig).from_round(7).rounds(5).run().is_ok());
     }
 
     #[test]

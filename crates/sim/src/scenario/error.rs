@@ -38,6 +38,14 @@ pub enum ConfigError {
     Parse(String),
     /// A scenario file could not be read or written.
     Io(String),
+    /// The durable result store failed in a way recomputation must not
+    /// paper over: a required entry was missing or unusable
+    /// (`UsePolicy::Require`), or a capture could not be written.
+    Store(String),
+    /// A sweep warm start (`Sweep::from_round`) is invalid: the grid
+    /// diverges from the base scenario inside the shared prefix, so
+    /// forking the prefix run would not match an uninterrupted run.
+    Fork(String),
 }
 
 impl core::fmt::Display for ConfigError {
@@ -55,6 +63,8 @@ impl core::fmt::Display for ConfigError {
             ConfigError::Initial(msg) => write!(f, "invalid initial configuration: {msg}"),
             ConfigError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
             ConfigError::Io(msg) => write!(f, "scenario io error: {msg}"),
+            ConfigError::Store(msg) => write!(f, "result store error: {msg}"),
+            ConfigError::Fork(msg) => write!(f, "invalid sweep warm start: {msg}"),
         }
     }
 }

@@ -44,7 +44,7 @@ mod value;
 
 use std::path::Path;
 
-pub use batch::{AxisValue, Batch, RunOutcome, Sweep};
+pub use batch::{AxisValue, Batch, CapturePolicy, RunOutcome, Sweep, UsePolicy};
 pub use builder::ScenarioBuilder;
 pub use codec::{
     condition_from_value, condition_to_value, config_from_value, config_to_value,

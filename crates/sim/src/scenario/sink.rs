@@ -229,6 +229,7 @@ mod tests {
             summary: RunSummary::new(),
             final_regret: 3,
             final_loads: vec![5, 7],
+            cached: false,
         }
     }
 

@@ -1,0 +1,267 @@
+//! Pluggable byte-level storage behind the checkpoint store.
+//!
+//! A [`StoreBackend`] is a flat namespace of `/`-separated string
+//! paths mapping to byte blobs. The store layers its manifest/payload
+//! discipline on top, so a backend only has to promise one thing:
+//! [`publish`](StoreBackend::publish) is atomic — a concurrent reader
+//! sees either the previous blob (or absence) or the complete new
+//! blob, never a torn prefix. Two backends ship: [`LocalDirBackend`]
+//! (one file per path, temp-file + rename publishes) and
+//! [`MemBackend`] (a mutexed map, for tests).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Byte-level storage: string paths to blobs.
+///
+/// Paths use `/` separators; segments are validated by implementations
+/// (no `..`, no absolute paths). All methods take `&self` — backends
+/// are shared across sweep workers.
+pub trait StoreBackend: Send + Sync {
+    /// Reads a blob. `Ok(None)` means the path does not exist;
+    /// `Err` is reserved for real I/O failures.
+    fn read(&self, path: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Atomically replaces (or creates) the blob at `path`.
+    fn publish(&self, path: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Removes the blob at `path`; absent paths are not an error.
+    fn remove(&self, path: &str) -> io::Result<()>;
+
+    /// All stored paths starting with `prefix`, sorted, so listings
+    /// are deterministic across backends and filesystems.
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>>;
+}
+
+fn validate(path: &str) -> io::Result<()> {
+    let ok = !path.is_empty()
+        && path
+            .split('/')
+            .all(|seg| !seg.is_empty() && seg != "." && seg != ".." && !seg.contains('\\'));
+    if ok {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("invalid store path {path:?}"),
+        ))
+    }
+}
+
+/// Backend storing one file per path under a root directory.
+///
+/// Publishes write a uniquely named temp file (process id + a global
+/// counter — no clocks or randomness, which the sim-path audit bans)
+/// in the destination directory, then `rename` it into place, so
+/// concurrent writers race to an intact winner and readers never
+/// observe a half-written blob. A crash *between* the store's payload
+/// and manifest publishes leaves an orphaned payload, which the store
+/// reports as a plain miss.
+pub struct LocalDirBackend {
+    root: PathBuf,
+}
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl LocalDirBackend {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory backing this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> io::Result<PathBuf> {
+        validate(path)?;
+        Ok(self.root.join(path))
+    }
+}
+
+impl StoreBackend for LocalDirBackend {
+    fn read(&self, path: &str) -> io::Result<Option<Vec<u8>>> {
+        let full = self.resolve(path)?;
+        match std::fs::read(&full) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn publish(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        let full = self.resolve(path)?;
+        let dir = full.parent().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "store path has no parent")
+        })?;
+        std::fs::create_dir_all(dir)?;
+        let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".tmp.{}.{}", std::process::id(), seq));
+        std::fs::write(&tmp, bytes)?;
+        match std::fs::rename(&tmp, &full) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        let full = self.resolve(path)?;
+        match std::fs::remove_file(&full) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                    let rel: Vec<_> = rel
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                        .collect();
+                    let rel = rel.join("/");
+                    // In-flight temp files are not published blobs.
+                    if rel.starts_with(prefix) && !rel.rsplit('/').next().is_some_and(is_temp) {
+                        out.push(rel);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+fn is_temp(name: &str) -> bool {
+    name.starts_with(".tmp.")
+}
+
+/// In-memory backend for tests: a mutexed ordered map.
+#[derive(Default)]
+pub struct MemBackend {
+    map: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemBackend {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        // A panicked holder can only have been mid-`insert`/`remove`
+        // on a std BTreeMap, which leaves the map structurally intact.
+        self.map.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl StoreBackend for MemBackend {
+    fn read(&self, path: &str) -> io::Result<Option<Vec<u8>>> {
+        validate(path)?;
+        Ok(self.lock().get(path).cloned())
+    }
+
+    fn publish(&self, path: &str, bytes: &[u8]) -> io::Result<()> {
+        validate(path)?;
+        self.lock().insert(path.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        validate(path)?;
+        self.lock().remove(path);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> io::Result<Vec<String>> {
+        Ok(self
+            .lock()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "antalloc_store_backend_{}_{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(backend: &dyn StoreBackend) {
+        assert_eq!(backend.read("a/b").unwrap(), None);
+        backend.publish("a/b", b"one").unwrap();
+        backend.publish("a/c", b"two").unwrap();
+        backend.publish("z", b"three").unwrap();
+        assert_eq!(backend.read("a/b").unwrap().as_deref(), Some(&b"one"[..]));
+        backend.publish("a/b", b"replaced").unwrap();
+        assert_eq!(
+            backend.read("a/b").unwrap().as_deref(),
+            Some(&b"replaced"[..])
+        );
+        assert_eq!(backend.list("").unwrap(), vec!["a/b", "a/c", "z"]);
+        assert_eq!(backend.list("a/").unwrap(), vec!["a/b", "a/c"]);
+        backend.remove("a/b").unwrap();
+        backend.remove("a/b").unwrap(); // idempotent
+        assert_eq!(backend.read("a/b").unwrap(), None);
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(&MemBackend::new());
+    }
+
+    #[test]
+    fn local_backend_contract() {
+        let root = temp_root("contract");
+        exercise(&LocalDirBackend::new(&root).unwrap());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn invalid_paths_are_rejected() {
+        let backend = MemBackend::new();
+        for bad in ["", "..", "a/../b", "a//b", "/abs", "a/."] {
+            assert!(backend.publish(bad, b"x").is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn local_list_skips_temp_files() {
+        let root = temp_root("temps");
+        let backend = LocalDirBackend::new(&root).unwrap();
+        backend.publish("entry/manifest", b"m").unwrap();
+        std::fs::write(root.join("entry/.tmp.1.2"), b"torn").unwrap();
+        assert_eq!(backend.list("").unwrap(), vec!["entry/manifest"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

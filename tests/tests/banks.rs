@@ -329,6 +329,47 @@ mod properties {
             prop_assert_eq!(full.colony().assignments(), resumed.colony().assignments());
             prop_assert_eq!(full.colony().loads(), resumed.colony().loads());
         }
+
+        /// Precise Adversarial checkpoints capture at **any** round —
+        /// the ramp/freeze trackers travel in the v6 scratch section —
+        /// and the restored continuation is bit-identical to the
+        /// uninterrupted run, wherever inside the 320-round phase the
+        /// capture lands (ramp, the freeze round `r = r1`, the frozen
+        /// sub-phase, the unanimity decision round). This mirrors the
+        /// sigmoid coverage above: the last long-phase capture gap.
+        #[test]
+        fn adversarial_mid_phase_checkpoint_restore_is_exact(
+            seed: u64,
+            split in 1u64..340,
+            tail in 1u64..100,
+        ) {
+            let spec = ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.05, 0.5));
+            let cfg = config_for(&spec, 2, 100, seed, NoiseModel::Sigmoid { lambda: 1.5 });
+
+            let mut obs = NullObserver;
+            let mut full = cfg.build();
+            full.run(split + tail, &mut obs);
+
+            let mut head = cfg.build();
+            head.run(split, &mut obs);
+            let cp = Checkpoint::capture(&head).expect("any round is a capture point");
+            // Pin both restore paths: a fresh engine and restore_into a
+            // reused one that just ran something unrelated.
+            let decoded = Checkpoint::from_bytes(&cp.to_bytes()).expect("decodes");
+            let mut resumed = decoded.restore();
+            resumed.run(tail, &mut obs);
+            let mut reused = config_for(
+                &ControllerSpec::Trivial, 2, 40, seed ^ 1, NoiseModel::Exact,
+            ).build();
+            reused.run(5, &mut obs);
+            decoded.restore_into(&mut reused);
+            reused.run(tail, &mut obs);
+
+            prop_assert_eq!(full.colony().assignments(), resumed.colony().assignments());
+            prop_assert_eq!(full.colony().loads(), resumed.colony().loads());
+            prop_assert_eq!(resumed.colony().assignments(), reused.colony().assignments());
+            prop_assert_eq!(resumed.colony().loads(), reused.colony().loads());
+        }
     }
 }
 

@@ -391,8 +391,8 @@ fn adversarial_mid_timeline_checkpoint_restore_replays_bit_identically() {
     let bytes = cp.to_bytes();
     assert_eq!(
         u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-        5,
-        "current checkpoints are format v5"
+        6,
+        "current checkpoints are format v6"
     );
     let restored = Checkpoint::from_bytes(&bytes).expect("decodes");
     assert_eq!(cp, restored);
@@ -451,10 +451,10 @@ fn v3_checkpoints_still_load_and_continue_exactly() {
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
     assert_eq!(fresh.colony().loads(), resumed.colony().loads());
     assert_eq!(resumed.colony().num_ants(), 1000);
-    // A v3 checkpoint re-saved today is a v5 byte stream that
+    // A v3 checkpoint re-saved today is a v6 byte stream that
     // round-trips.
     let resaved = cp.to_bytes();
-    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 5);
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 6);
     assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
 }
 
@@ -502,9 +502,47 @@ fn v4_checkpoints_still_load_and_continue_exactly() {
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
     assert_eq!(fresh.colony().loads(), resumed.colony().loads());
     assert_eq!(fresh.trigger_states(), resumed.trigger_states());
-    // Re-saved today it is a v5 byte stream that round-trips.
+    // Re-saved today it is a v6 byte stream that round-trips.
     let resaved = cp.to_bytes();
-    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 5);
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 6);
+    assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
+}
+
+#[test]
+fn v5_checkpoints_still_load_and_continue_exactly() {
+    // Fixture written by the v5 format (pre-adversarial-scratch): a
+    // Precise Sigmoid colony captured mid-phase at round 37, with a
+    // kill and a demand step still ahead of it. It must decode (its
+    // sigmoid scratch section intact), carry the same config, and
+    // continue bit-identically to an uninterrupted run.
+    let expected = SimConfig::builder(120, vec![20, 30])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::PreciseSigmoid(
+            antalloc_core::PreciseSigmoidParams::new(0.05, 0.5),
+        ))
+        .seed(0xF5C)
+        .timeline(
+            Timeline::new()
+                .at(25, Event::Kill { count: 20 })
+                .at(55, Event::SetDemands(vec![30, 20])),
+        )
+        .build()
+        .unwrap();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let cp = Checkpoint::load(&dir.join("checkpoint_v5_sigmoid.ckpt")).expect("v5 fixture loads");
+    assert_eq!(cp.round(), 37);
+    assert_eq!(cp.config(), &expected);
+
+    let mut obs = NullObserver;
+    let mut resumed = cp.restore();
+    resumed.run(63, &mut obs); // crosses the demand step at round 55
+    let mut fresh = expected.build();
+    fresh.run(100, &mut obs);
+    assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
+    assert_eq!(fresh.colony().loads(), resumed.colony().loads());
+    // Re-saved today it is a v6 byte stream that round-trips.
+    let resaved = cp.to_bytes();
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 6);
     assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
 }
 
