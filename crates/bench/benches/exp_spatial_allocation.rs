@@ -1,0 +1,213 @@
+//! SPATIAL — the controller-family shootout on the sensing layer: the
+//! paper's ants against a classical proportional controller, well-mixed
+//! and in a spatial arena, under the same shock script.
+//!
+//! The paper's setting is well-mixed — every ant senses every task's
+//! feedback each round. The sensing layer generalizes that: an arena
+//! pins tasks to sites, ants sense only their own site, and idle ants
+//! wander between sites paying travel latency. This experiment asks the
+//! question the refactor exists for: *which controller family degrades
+//! gracefully when global sensing is taken away?* The ants' threshold
+//! machinery only ever consumes local signals, so the arena should cost
+//! them a bounded recruitment delay; the proportional controller's
+//! colony-level gain calculation implicitly assumed the whole colony
+//! reacts, so splitting its sensed error across sites probes how much
+//! of its competitiveness was an artifact of the well-mixed assumption.
+//!
+//! Grid: (controller × environment) with 8 seeds per cell, every cell
+//! under one shock script — a kill, a site-local demand step
+//! (`set-task-demand`, the event arenas motivated), and a scramble.
+//! Environments: well-mixed, the degenerate single-site arena (must
+//! match well-mixed to the bit — a live cross-check of the sensing
+//! refactor inside the experiment itself), and a 3-site arena with
+//! wandering and travel latency.
+//!
+//! `PERF_QUICK=1` shrinks the colony and horizon for CI; the table
+//! lands in `target/experiments/exp_spatial_allocation.csv` (uploaded
+//! by the `perf-smoke` job).
+
+use antalloc_bench::{banner, fmt, perf_quick as quick, Table};
+use antalloc_core::{AntParams, PreciseSigmoidParams, ProportionalParams};
+use antalloc_env::ArenaConfig;
+use antalloc_sim::{ControllerSpec, RunOutcome, Scenario, Sweep};
+
+const SEEDS: u64 = 8;
+
+fn main() {
+    banner(
+        "SPATIAL",
+        "controller-family shootout: ants vs proportional, well-mixed vs arena",
+        "site-local sensing slows recruitment but also damps the well-mixed \
+         pile-on overshoot; the degenerate arena must match well-mixed exactly",
+    );
+
+    let (n, horizon) = if quick() {
+        (1200usize, 900u64)
+    } else {
+        (4800, 4500)
+    };
+    let warmup = horizon / 6;
+    let d = n as u64 / 9;
+    let k = 3usize;
+    // One shock script for every cell: a kill, a site-local demand step
+    // on the last task (its site must recruit through wandering in the
+    // arena cells), and a scramble that tests re-convergence when every
+    // working ant is snapped back to its task's site.
+    let scenario_toml = format!(
+        r#"
+name = "spatial-allocation"
+n = {n}
+demands = [{d}, {d}, {d}]
+seed = 7070
+
+[controller]
+kind = "ant"
+gamma = 0.0625
+
+[noise]
+kind = "sigmoid"
+lambda = 2.0
+
+[[timeline]]
+at = {kill_at}
+kind = "kill"
+count = {kill_count}
+
+[[timeline]]
+at = {step_at}
+kind = "set-task-demand"
+task = 2
+demand = {stepped}
+
+[[timeline]]
+at = {scramble_at}
+kind = "scramble"
+"#,
+        kill_at = warmup + (horizon - warmup) / 5,
+        kill_count = n / 4,
+        step_at = warmup + 2 * (horizon - warmup) / 5,
+        stepped = d * 2,
+        scramble_at = warmup + 3 * (horizon - warmup) / 5,
+    );
+    let scenario = Scenario::from_toml(&scenario_toml).expect("spatial scenario validates");
+
+    let controllers: Vec<(&str, ControllerSpec)> = vec![
+        ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+        (
+            "precise-sigmoid",
+            ControllerSpec::PreciseSigmoid(PreciseSigmoidParams::new(0.05, 0.5)),
+        ),
+        (
+            "proportional",
+            ControllerSpec::Proportional(ProportionalParams {
+                gain: 0.5,
+                deadband: 0,
+            }),
+        ),
+        (
+            "proportional-deadband",
+            ControllerSpec::Proportional(ProportionalParams {
+                gain: 0.5,
+                deadband: 3,
+            }),
+        ),
+    ];
+    let environments: Vec<(&str, Option<ArenaConfig>)> = vec![
+        ("wellmixed", None),
+        ("arena-degenerate", Some(ArenaConfig::single_site(k))),
+        (
+            "arena-3-sites",
+            Some(ArenaConfig {
+                site_of_task: vec![0, 1, 2],
+                travel_rounds: 4,
+                wander_probability: 0.1,
+            }),
+        ),
+    ];
+
+    let grid = Sweep::product(controllers.clone(), environments.clone());
+    let outcomes = Sweep::new(scenario.config.clone())
+        .axis_labeled("controller×env", grid, |cfg, (spec, arena)| {
+            cfg.controller = spec.clone();
+            cfg.arena = arena.clone();
+        })
+        .seeds(0..SEEDS)
+        .warmup(warmup)
+        .rounds(horizon - warmup)
+        .run()
+        .expect("sweep runs");
+
+    let mut table = Table::new(
+        "exp_spatial_allocation",
+        &[
+            "controller",
+            "environment",
+            "avg regret",
+            "max regret",
+            "final regret",
+        ],
+    );
+    let cell = |runs: &[RunOutcome]| {
+        let avg = runs.iter().map(|o| o.summary.average_regret()).sum::<f64>() / runs.len() as f64;
+        let max = runs
+            .iter()
+            .map(|o| o.summary.max_instant_regret())
+            .max()
+            .unwrap_or(0);
+        let fin = runs.iter().map(|o| o.final_regret).sum::<u64>() as f64 / runs.len() as f64;
+        (avg, max, fin)
+    };
+    let mut cells: Vec<(usize, usize, f64)> = Vec::new();
+    for (c, (controller, _)) in controllers.iter().enumerate() {
+        for (e, (environment, _)) in environments.iter().enumerate() {
+            let slot = (c * environments.len() + e) * SEEDS as usize;
+            let runs = &outcomes[slot..slot + SEEDS as usize];
+            let (avg, max, fin) = cell(runs);
+            cells.push((c, e, avg));
+            table.row(vec![
+                controller.to_string(),
+                environment.to_string(),
+                fmt(avg),
+                fmt(max as f64),
+                fmt(fin),
+            ]);
+        }
+    }
+    table.finish();
+
+    // Live cross-check of the sensing refactor: per controller and
+    // seed, the degenerate arena's summaries must equal well-mixed
+    // exactly — not approximately. The integration suite pins this on
+    // small colonies; this asserts it at experiment scale.
+    for (c, (controller, _)) in controllers.iter().enumerate() {
+        let mixed = (c * environments.len()) * SEEDS as usize;
+        let degenerate = (c * environments.len() + 1) * SEEDS as usize;
+        for s in 0..SEEDS as usize {
+            let (a, b) = (&outcomes[mixed + s], &outcomes[degenerate + s]);
+            assert_eq!(
+                (
+                    a.summary.total_regret(),
+                    a.summary.max_instant_regret(),
+                    a.final_regret
+                ),
+                (
+                    b.summary.total_regret(),
+                    b.summary.max_instant_regret(),
+                    b.final_regret
+                ),
+                "{controller}: degenerate arena diverged from well-mixed (seed slot {s})"
+            );
+        }
+    }
+
+    println!(
+        "\nshape check: arena-degenerate must match wellmixed exactly (asserted \
+         above). In the\n3-site arena, site-local sensing cuts both ways: recruitment \
+         after the kill and the\ntask-2 demand step is slower (only local + wandering \
+         ants respond), but sharding the\nresponse also damps the well-mixed pile-on \
+         overshoot — in this script the damping\nwins and every family's average \
+         regret drops. The comparison to read is *within*\neach family: the deadband \
+         narrows proportional's wellmixed→arena gap, and the ants\nstay competitive \
+         in both geometries without any gain to tune."
+    );
+}

@@ -20,8 +20,10 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use antalloc_bench::perf_quick as quick;
-use antalloc_core::{AntParams, AnyController, Controller, PreciseSigmoidParams};
-use antalloc_env::ColonyState;
+use antalloc_core::{
+    AntParams, AnyController, Controller, PreciseSigmoidParams, ProportionalParams,
+};
+use antalloc_env::{ArenaConfig, ColonyState};
 use antalloc_noise::{FeedbackProbe, NoiseModel};
 use antalloc_rng::{AntRng, StreamSeeder};
 use antalloc_sim::{ControllerSpec, NullObserver, SimConfig};
@@ -272,6 +274,52 @@ where
     (generic_best, soa_best)
 }
 
+/// Sensing-layer overhead: the same Ant colony well-mixed, through the
+/// degenerate single-site arena (which must compile to the shared
+/// view — near-zero overhead), and through multi-site geometries where
+/// per-ant sense rows, wandering and travel latency are actually live.
+/// Returns `(label, ant_rounds_per_sec)` rows, well-mixed first.
+fn arena_overhead(n: usize, rounds: u64, samples: usize) -> Vec<(&'static str, f64)> {
+    let k = 4usize;
+    let demands = vec![(n / 10) as u64; k];
+    let geometries: [(&'static str, Option<ArenaConfig>); 4] = [
+        ("wellmixed", None),
+        ("arena_single_site", Some(ArenaConfig::single_site(k))),
+        (
+            "arena_2_sites",
+            Some(ArenaConfig {
+                site_of_task: vec![0, 0, 1, 1],
+                travel_rounds: 2,
+                wander_probability: 0.05,
+            }),
+        ),
+        (
+            "arena_4_sites",
+            Some(ArenaConfig {
+                site_of_task: vec![0, 1, 2, 3],
+                travel_rounds: 2,
+                wander_probability: 0.05,
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, arena) in geometries {
+        let mut builder = SimConfig::builder(n, demands.clone())
+            .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+            .controller(ControllerSpec::Ant(AntParams::new(1.0 / 16.0)))
+            .seed(6);
+        if let Some(a) = arena {
+            builder = builder.arena(a);
+        }
+        let cfg = builder.build().expect("valid scenario");
+        let mut engine = cfg.build();
+        engine.run(16, &mut NullObserver); // warm to steady state
+        let tput = measure(n, rounds, samples, |r| engine.run(r, &mut NullObserver));
+        rows.push((label, tput));
+    }
+    rows
+}
+
 /// Races every SoA-banked controller kind against a faithful replica of
 /// the pre-bank (array-of-enums, per-ant-probe) loop on a million-ant
 /// homogeneous colony, asserting bit-identity along the way, and emits
@@ -288,7 +336,7 @@ fn banks_vs_seed(_c: &mut Criterion) {
     // One spec per kind, shared by the engine comparison AND the kernel
     // race below (via the match on `spec`), so both halves of a
     // per-kind JSON entry always measure the same configuration.
-    let kinds: [(&'static str, ControllerSpec); 4] = [
+    let kinds: [(&'static str, ControllerSpec); 5] = [
         ("ant", ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
         (
             "precise_sigmoid",
@@ -298,6 +346,10 @@ fn banks_vs_seed(_c: &mut Criterion) {
         (
             "exact_greedy",
             ControllerSpec::ExactGreedy(Default::default()),
+        ),
+        (
+            "proportional",
+            ControllerSpec::Proportional(ProportionalParams::default()),
         ),
     ];
 
@@ -389,6 +441,12 @@ fn banks_vs_seed(_c: &mut Criterion) {
                     antalloc_core::ExactGreedy::new(3, p)
                 })
             }
+            ControllerSpec::Proportional(p) => {
+                let p = *p;
+                kernel_race(n, rounds, samples, move || {
+                    antalloc_core::ProportionalController::new(3, p)
+                })
+            }
             other => unreachable!("unknown kind {other:?}"),
         };
         results.push(KindResult {
@@ -401,6 +459,11 @@ fn banks_vs_seed(_c: &mut Criterion) {
             scaling,
         });
     }
+
+    // The arena-vs-well-mixed overhead curve rides in the same JSON
+    // artifact (and carries its own quick-mode guard below).
+    let arena_rows = arena_overhead(n, rounds, samples);
+    let wellmixed_tput = arena_rows[0].1;
 
     let mut table = antalloc_bench::Table::new(
         "perf_engine_banks_vs_seed",
@@ -448,6 +511,24 @@ fn banks_vs_seed(_c: &mut Criterion) {
     }
     table.finish();
 
+    let mut arena_table = antalloc_bench::Table::new(
+        "perf_engine_arena_overhead",
+        &["geometry", "ant_rounds_per_sec", "vs_wellmixed"],
+    );
+    for &(label, tput) in &arena_rows {
+        arena_table.row(vec![
+            label.into(),
+            format!("{tput:.3e}"),
+            format!("{:.2}", tput / wellmixed_tput),
+        ]);
+    }
+    arena_table.finish();
+
+    let arena_json: Vec<String> = arena_rows
+        .iter()
+        .map(|&(label, tput)| format!("\"{label}\": {tput:.1}"))
+        .collect();
+
     let kinds_json: Vec<String> = results
         .iter()
         .map(|r| {
@@ -487,12 +568,35 @@ fn banks_vs_seed(_c: &mut Criterion) {
         "{{\n  \"bench\": \"perf_engine/banks_vs_seed\",\n  \"quick\": {},\n  \
          \"n\": {n},\n  \"tasks\": 3,\n  \"rounds_per_sample\": {rounds},\n  \
          \"samples\": {samples},\n  \"threads\": {threads},\n  \
-         \"parallel_crossover_n\": {PARALLEL_CROSSOVER_N},\n  \"kinds\": {{\n{}\n  }}\n}}",
+         \"parallel_crossover_n\": {PARALLEL_CROSSOVER_N},\n  \
+         \"arena_overhead\": {{ {}, \"ratio_single_site_vs_wellmixed\": {:.3} }},\n  \
+         \"kinds\": {{\n{}\n  }}\n}}",
         quick(),
+        arena_json.join(", "),
+        arena_rows[1].1 / wellmixed_tput,
         kinds_json.join(",\n"),
     )
     .expect("write BENCH_engine.json");
     println!("  [json: {}]", path.display());
+
+    // The well-mixed non-regression guard: the degenerate single-site
+    // arena must compile to the shared view, so its throughput must
+    // stay within noise of the well-mixed path — a big gap means the
+    // sensing layer started taxing colonies that never asked for an
+    // arena geometry. 0.6 is a generous CI-noise margin, not a target.
+    if quick() {
+        let single = arena_rows
+            .iter()
+            .find(|&&(label, _)| label == "arena_single_site")
+            .expect("single-site row")
+            .1;
+        assert!(
+            single >= 0.6 * wellmixed_tput,
+            "single-site arena runs at {single:.3e} ant-rounds/s vs well-mixed \
+             {wellmixed_tput:.3e} — the degenerate geometry no longer compiles to the \
+             shared view"
+        );
+    }
 
     for r in &results {
         let engine_speedup = r.banks_tput / r.seed_tput;

@@ -19,7 +19,7 @@
 //! colonies keep the per-ant layout.
 
 use antalloc_env::{Assignment, ColumnWriter};
-use antalloc_noise::RoundView;
+use antalloc_noise::{RoundView, SensedRound};
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
 use crate::ant::{AlgorithmAnt, AntBankState};
@@ -346,9 +346,15 @@ impl<'a> AntSliceMut<'a> {
     /// change into the writer's local delta. The previous assignment is
     /// read from the bank's own column (banks mirror the colony), so
     /// the kernel never touches `ColonyState`.
+    ///
+    /// Takes the round as a [`SensedRound`]: when every ant senses the
+    /// shared table (well-mixed) this dispatches to the same loops as
+    /// before; otherwise each ant steps against its own sensed view
+    /// (`sensed.view_for(ids[i])`), with the per-ant draw order
+    /// unchanged either way.
     pub fn step_batch_fused(
         &mut self,
-        view: RoundView<'_>,
+        sensed: SensedRound<'_>,
         rngs: &mut [AntRng],
         ids: &[u32],
         writer: &mut ColumnWriter<'_>,
@@ -356,15 +362,33 @@ impl<'a> AntSliceMut<'a> {
         let n = self.len();
         assert_eq!(n, rngs.len(), "one RNG stream per ant");
         assert_eq!(n, ids.len(), "one colony id per ant");
-        if view.round() % 2 == 1 {
-            for i in 0..n {
-                self.first_sample_round(i, view, &mut rngs[i]);
-                writer.write(ids[i], self.assignment[i]);
+        let first = sensed.round() % 2 == 1;
+        match sensed.shared_view() {
+            Some(view) => {
+                if first {
+                    for i in 0..n {
+                        self.first_sample_round(i, view, &mut rngs[i]);
+                        writer.write(ids[i], self.assignment[i]);
+                    }
+                } else {
+                    for i in 0..n {
+                        self.second_sample_round(i, view, &mut rngs[i]);
+                        writer.write(ids[i], self.assignment[i]);
+                    }
+                }
             }
-        } else {
-            for i in 0..n {
-                self.second_sample_round(i, view, &mut rngs[i]);
-                writer.write(ids[i], self.assignment[i]);
+            None => {
+                if first {
+                    for i in 0..n {
+                        self.first_sample_round(i, sensed.view_for(ids[i]), &mut rngs[i]);
+                        writer.write(ids[i], self.assignment[i]);
+                    }
+                } else {
+                    for i in 0..n {
+                        self.second_sample_round(i, sensed.view_for(ids[i]), &mut rngs[i]);
+                        writer.write(ids[i], self.assignment[i]);
+                    }
+                }
             }
         }
     }

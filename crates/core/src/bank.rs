@@ -46,7 +46,7 @@
 //! ```
 
 use antalloc_env::{Assignment, ColumnWriter};
-use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_noise::{FeedbackProbe, RoundView, SensedRound};
 use antalloc_rng::AntRng;
 
 use crate::ant::AlgorithmAnt;
@@ -55,6 +55,7 @@ use crate::controller::{step_slice_fused, AnyController, Controller};
 use crate::flat_bank::{ExactGreedyBank, ExactGreedySliceMut, TrivialBank, TrivialSliceMut};
 use crate::precise_adversarial::{AdversarialScratch, PreciseAdversarial};
 use crate::precise_sigmoid::SigmoidScratch;
+use crate::proportional::{ProportionalBank, ProportionalSliceMut};
 use crate::sigmoid_bank::{PreciseSigmoidBank, SigmoidSliceMut};
 use crate::table_fsm::TableFsm;
 
@@ -72,6 +73,9 @@ pub enum ControllerScratch {
     /// `5·r_1 = O(1/ε)` rounds long — the last long-phase kind to gain
     /// mid-phase capture).
     PreciseAdversarial(AdversarialScratch),
+    /// The proportional controller's persisted-error streak (emitted
+    /// only when non-zero; restore defaults absent entries to 0).
+    Proportional(u16),
 }
 
 /// A contiguous, homogeneous population of controllers of one kind.
@@ -99,6 +103,9 @@ pub enum ControllerBank {
     /// Exact-feedback baseline, in the flat fast layout (see
     /// [`ExactGreedyBank`]).
     ExactGreedy(ExactGreedyBank),
+    /// Proportional-control rival, in the flat fast layout (see
+    /// [`ProportionalBank`]).
+    Proportional(ProportionalBank),
     /// Explicit finite-state machines.
     Table(Vec<TableFsm>),
 }
@@ -112,6 +119,7 @@ macro_rules! each_bank {
             ControllerBank::PreciseSigmoid($b) => $soa_body,
             ControllerBank::Trivial($b) => $soa_body,
             ControllerBank::ExactGreedy($b) => $soa_body,
+            ControllerBank::Proportional($b) => $soa_body,
             ControllerBank::Ant($v) => $body,
             ControllerBank::PreciseAdversarial($v) => $body,
             ControllerBank::Table($v) => $body,
@@ -139,6 +147,9 @@ impl ControllerBank {
             }
             AnyController::ExactGreedy(c) => {
                 ControllerBank::ExactGreedy(ExactGreedyBank::new(c.num_tasks(), *c.params(), 0))
+            }
+            AnyController::Proportional(c) => {
+                ControllerBank::Proportional(ProportionalBank::new(c.num_tasks(), *c.params(), 0))
             }
             AnyController::Table(_) => ControllerBank::Table(Vec::new()),
         }
@@ -168,15 +179,18 @@ impl ControllerBank {
     /// [`antalloc_env::RoundDelta`] — at the ants' colony ids (`ids`,
     /// one per ant, bank order). Same draws, same streams; see
     /// [`BankSliceMut::step_batch_fused`].
+    ///
+    /// Takes the round as a [`SensedRound`]; a shared (well-mixed)
+    /// round runs the same code as before the sensing layer existed.
     pub fn step_batch_fused(
         &mut self,
-        view: RoundView<'_>,
+        sensed: SensedRound<'_>,
         rngs: &mut [AntRng],
         ids: &[u32],
         writer: &mut ColumnWriter<'_>,
     ) {
         self.as_slice_mut()
-            .step_batch_fused(view, rngs, ids, writer)
+            .step_batch_fused(sensed, rngs, ids, writer)
     }
 
     /// The whole bank as a splittable mutable slice (for partitioning
@@ -189,6 +203,7 @@ impl ControllerBank {
             ControllerBank::PreciseAdversarial(v) => BankSliceMut::PreciseAdversarial(v),
             ControllerBank::Trivial(b) => BankSliceMut::Trivial(b.as_slice_mut()),
             ControllerBank::ExactGreedy(b) => BankSliceMut::ExactGreedy(b.as_slice_mut()),
+            ControllerBank::Proportional(b) => BankSliceMut::Proportional(b.as_slice_mut()),
             ControllerBank::Table(v) => BankSliceMut::Table(v),
         }
     }
@@ -229,6 +244,12 @@ impl ControllerBank {
             ControllerBank::PreciseAdversarial(v) => {
                 Some(ControllerScratch::PreciseAdversarial(v[slot].scratch()))
             }
+            // Zero streaks are the reset state; omitting them keeps
+            // checkpoints of settled colonies scratch-free.
+            ControllerBank::Proportional(b) => match b.streak(slot) {
+                0 => None,
+                s => Some(ControllerScratch::Proportional(s)),
+            },
             _ => None,
         }
     }
@@ -246,6 +267,9 @@ impl ControllerBank {
             }
             (ControllerBank::PreciseAdversarial(v), ControllerScratch::PreciseAdversarial(s)) => {
                 v[slot].apply_scratch(s)
+            }
+            (ControllerBank::Proportional(b), ControllerScratch::Proportional(s)) => {
+                b.set_streak(slot, *s)
             }
             // audit:allow(panic-path): documented precondition — scratch kinds are matched to banks by the checkpoint codec before apply.
             _ => panic!("scratch kind does not match bank kind"),
@@ -269,6 +293,9 @@ impl ControllerBank {
             }
             (ControllerBank::Trivial(b), AnyController::Trivial(c)) => b.push_controller(&c),
             (ControllerBank::ExactGreedy(b), AnyController::ExactGreedy(c)) => {
+                b.push_controller(&c)
+            }
+            (ControllerBank::Proportional(b), AnyController::Proportional(c)) => {
                 b.push_controller(&c)
             }
             (ControllerBank::Table(v), AnyController::Table(c)) => v.push(c),
@@ -312,6 +339,8 @@ pub enum BankSliceMut<'a> {
     Trivial(TrivialSliceMut<'a>),
     /// Chunk of a flat exact-greedy bank.
     ExactGreedy(ExactGreedySliceMut<'a>),
+    /// Chunk of a flat proportional-control bank.
+    Proportional(ProportionalSliceMut<'a>),
     /// Chunk of a table-machine bank.
     Table(&'a mut [TableFsm]),
 }
@@ -327,6 +356,7 @@ macro_rules! each_slice {
             BankSliceMut::PreciseAdversarial($v) => $body,
             BankSliceMut::Trivial($v) => $body,
             BankSliceMut::ExactGreedy($v) => $body,
+            BankSliceMut::Proportional($v) => $body,
             BankSliceMut::Table($v) => $body,
         }
     };
@@ -376,6 +406,10 @@ impl<'a> BankSliceMut<'a> {
                 let (a, b) = v.split_at_mut(mid);
                 (BankSliceMut::ExactGreedy(a), BankSliceMut::ExactGreedy(b))
             }
+            BankSliceMut::Proportional(v) => {
+                let (a, b) = v.split_at_mut(mid);
+                (BankSliceMut::Proportional(a), BankSliceMut::Proportional(b))
+            }
             BankSliceMut::Table(v) => {
                 let (a, b) = v.split_at_mut(mid);
                 (BankSliceMut::Table(a), BankSliceMut::Table(b))
@@ -395,6 +429,7 @@ impl<'a> BankSliceMut<'a> {
             }
             BankSliceMut::Trivial(v) => v.step_batch(view, rngs, out),
             BankSliceMut::ExactGreedy(v) => v.step_batch(view, rngs, out),
+            BankSliceMut::Proportional(v) => v.step_batch(view, rngs, out),
             BankSliceMut::Table(v) => TableFsm::step_bank(v, view, rngs, out),
         }
     }
@@ -406,21 +441,26 @@ impl<'a> BankSliceMut<'a> {
     /// identical to [`BankSliceMut::step_batch`]: the fused kernels run
     /// the same per-ant code and only change where the result is
     /// stored.
+    ///
+    /// Takes the round as a [`SensedRound`]; every kernel dispatches on
+    /// [`SensedRound::shared_view`] so well-mixed rounds run the exact
+    /// pre-sensing-layer loops.
     pub fn step_batch_fused(
         &mut self,
-        view: RoundView<'_>,
+        sensed: SensedRound<'_>,
         rngs: &mut [AntRng],
         ids: &[u32],
         writer: &mut ColumnWriter<'_>,
     ) {
         match self {
-            BankSliceMut::AntSoA(v) => v.step_batch_fused(view, rngs, ids, writer),
-            BankSliceMut::Ant(v) => step_slice_fused(v, view, rngs, ids, writer),
-            BankSliceMut::PreciseSigmoid(v) => v.step_batch_fused(view, rngs, ids, writer),
-            BankSliceMut::PreciseAdversarial(v) => step_slice_fused(v, view, rngs, ids, writer),
-            BankSliceMut::Trivial(v) => v.step_batch_fused(view, rngs, ids, writer),
-            BankSliceMut::ExactGreedy(v) => v.step_batch_fused(view, rngs, ids, writer),
-            BankSliceMut::Table(v) => step_slice_fused(v, view, rngs, ids, writer),
+            BankSliceMut::AntSoA(v) => v.step_batch_fused(sensed, rngs, ids, writer),
+            BankSliceMut::Ant(v) => step_slice_fused(v, sensed, rngs, ids, writer),
+            BankSliceMut::PreciseSigmoid(v) => v.step_batch_fused(sensed, rngs, ids, writer),
+            BankSliceMut::PreciseAdversarial(v) => step_slice_fused(v, sensed, rngs, ids, writer),
+            BankSliceMut::Trivial(v) => v.step_batch_fused(sensed, rngs, ids, writer),
+            BankSliceMut::ExactGreedy(v) => v.step_batch_fused(sensed, rngs, ids, writer),
+            BankSliceMut::Proportional(v) => v.step_batch_fused(sensed, rngs, ids, writer),
+            BankSliceMut::Table(v) => step_slice_fused(v, sensed, rngs, ids, writer),
         }
     }
 }

@@ -1,13 +1,14 @@
 //! The controller abstraction and the static-dispatch enum.
 
 use antalloc_env::{Assignment, ColumnWriter};
-use antalloc_noise::{FeedbackProbe, RoundView};
+use antalloc_noise::{FeedbackProbe, RoundView, SensedRound};
 use antalloc_rng::AntRng;
 
 use crate::ant::AlgorithmAnt;
 use crate::exact_greedy::ExactGreedy;
 use crate::precise_adversarial::PreciseAdversarial;
 use crate::precise_sigmoid::PreciseSigmoid;
+use crate::proportional::ProportionalController;
 use crate::table_fsm::TableFsm;
 use crate::trivial::Trivial;
 
@@ -69,19 +70,34 @@ pub fn step_slice<C: Controller>(
 /// (`ids[i]`) and folding the switch/load/idle change into the writer's
 /// local delta against the authoritative previous column. The loop
 /// never touches `ColonyState` itself.
+///
+/// Takes the round as a [`SensedRound`]: the well-mixed (shared) form
+/// hoists one view out of the loop as before; the per-ant form builds
+/// each ant's probe from its own sensed view.
 pub fn step_slice_fused<C: Controller>(
     ants: &mut [C],
-    view: RoundView<'_>,
+    sensed: SensedRound<'_>,
     rngs: &mut [AntRng],
     ids: &[u32],
     writer: &mut ColumnWriter<'_>,
 ) {
     assert_eq!(ants.len(), rngs.len(), "one RNG stream per ant");
     assert_eq!(ants.len(), ids.len(), "one colony id per ant");
-    for ((ant, rng), &id) in ants.iter_mut().zip(rngs.iter_mut()).zip(ids.iter()) {
-        let mut probe = FeedbackProbe::from_view(view, rng);
-        let next = ant.step(&mut probe).to_raw();
-        writer.write(id, next);
+    match sensed.shared_view() {
+        Some(view) => {
+            for ((ant, rng), &id) in ants.iter_mut().zip(rngs.iter_mut()).zip(ids.iter()) {
+                let mut probe = FeedbackProbe::from_view(view, rng);
+                let next = ant.step(&mut probe).to_raw();
+                writer.write(id, next);
+            }
+        }
+        None => {
+            for ((ant, rng), &id) in ants.iter_mut().zip(rngs.iter_mut()).zip(ids.iter()) {
+                let mut probe = FeedbackProbe::from_view(sensed.view_for(id), rng);
+                let next = ant.step(&mut probe).to_raw();
+                writer.write(id, next);
+            }
+        }
     }
 }
 
@@ -101,6 +117,9 @@ pub enum AnyController {
     Trivial(Trivial),
     /// Exact-feedback baseline (\[11\]-style).
     ExactGreedy(ExactGreedy),
+    /// Proportional-control rival (gain/deadband; see
+    /// [`ProportionalController`]).
+    Proportional(ProportionalController),
     /// Explicit finite-state machine (Theorem 3.3 experiments).
     Table(TableFsm),
 }
@@ -113,6 +132,7 @@ macro_rules! delegate {
             AnyController::PreciseAdversarial($inner) => $body,
             AnyController::Trivial($inner) => $body,
             AnyController::ExactGreedy($inner) => $body,
+            AnyController::Proportional($inner) => $body,
             AnyController::Table($inner) => $body,
         }
     };
@@ -161,6 +181,11 @@ impl From<Trivial> for AnyController {
 impl From<ExactGreedy> for AnyController {
     fn from(c: ExactGreedy) -> Self {
         AnyController::ExactGreedy(c)
+    }
+}
+impl From<ProportionalController> for AnyController {
+    fn from(c: ProportionalController) -> Self {
+        AnyController::Proportional(c)
     }
 }
 impl From<TableFsm> for AnyController {

@@ -16,7 +16,7 @@
 //! in `tests/banks.rs`.
 
 use antalloc_env::{Assignment, ColumnWriter};
-use antalloc_noise::RoundView;
+use antalloc_noise::{RoundView, SensedRound};
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
 use crate::ant_bank::{count_lacking, dec, enc, nth_lacking, nth_set_bit, refill, IDLE};
@@ -27,7 +27,7 @@ use crate::trivial::Trivial;
 /// Row buffer for the > 64-task fallback paths; the bit-packed common
 /// case never reads it, so it stays unallocated there.
 #[inline]
-fn scratch_row(num_tasks: usize) -> Vec<u8> {
+pub(crate) fn scratch_row(num_tasks: usize) -> Vec<u8> {
     if num_tasks <= 64 {
         Vec::new()
     } else {
@@ -176,9 +176,13 @@ impl<'a> TrivialSliceMut<'a> {
     /// Fused-apply variant of [`TrivialSliceMut::step_batch`]: same
     /// draws, with each transition routed through `writer` (shared next
     /// column + local delta) at the ant's colony id (`ids[i]`).
+    ///
+    /// Takes the round as a [`SensedRound`]: the well-mixed (shared)
+    /// form runs the pre-existing hoisted-view loop; the per-ant form
+    /// re-selects the view per ant (`sensed.view_for(ids[i])`).
     pub fn step_batch_fused(
         &mut self,
-        view: RoundView<'_>,
+        sensed: SensedRound<'_>,
         rngs: &mut [AntRng],
         ids: &[u32],
         writer: &mut ColumnWriter<'_>,
@@ -187,9 +191,19 @@ impl<'a> TrivialSliceMut<'a> {
         assert_eq!(n, rngs.len(), "one RNG stream per ant");
         assert_eq!(n, ids.len(), "one colony id per ant");
         let mut row = scratch_row(self.num_tasks);
-        for i in 0..n {
-            self.step_one(i, view, &mut rngs[i], &mut row);
-            writer.write(ids[i], self.assignment[i]);
+        match sensed.shared_view() {
+            Some(view) => {
+                for i in 0..n {
+                    self.step_one(i, view, &mut rngs[i], &mut row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
+            None => {
+                for i in 0..n {
+                    self.step_one(i, sensed.view_for(ids[i]), &mut rngs[i], &mut row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
         }
     }
 
@@ -392,9 +406,13 @@ impl<'a> ExactGreedySliceMut<'a> {
     /// Fused-apply variant of [`ExactGreedySliceMut::step_batch`]: same
     /// draws, with each transition routed through `writer` (shared next
     /// column + local delta) at the ant's colony id (`ids[i]`).
+    ///
+    /// Takes the round as a [`SensedRound`]: the well-mixed (shared)
+    /// form runs the pre-existing hoisted-view loop; the per-ant form
+    /// re-selects the view per ant (`sensed.view_for(ids[i])`).
     pub fn step_batch_fused(
         &mut self,
-        view: RoundView<'_>,
+        sensed: SensedRound<'_>,
         rngs: &mut [AntRng],
         ids: &[u32],
         writer: &mut ColumnWriter<'_>,
@@ -403,9 +421,19 @@ impl<'a> ExactGreedySliceMut<'a> {
         assert_eq!(n, rngs.len(), "one RNG stream per ant");
         assert_eq!(n, ids.len(), "one colony id per ant");
         let mut row = scratch_row(self.num_tasks);
-        for i in 0..n {
-            self.step_one(i, view, &mut rngs[i], &mut row);
-            writer.write(ids[i], self.assignment[i]);
+        match sensed.shared_view() {
+            Some(view) => {
+                for i in 0..n {
+                    self.step_one(i, view, &mut rngs[i], &mut row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
+            None => {
+                for i in 0..n {
+                    self.step_one(i, sensed.view_for(ids[i]), &mut rngs[i], &mut row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
         }
     }
 

@@ -15,6 +15,9 @@
 //!   works sequentially but oscillates synchronously.
 //! * [`ExactGreedy`] — an exact-feedback baseline in the style of
 //!   Cornejo et al. \[11\], the noise-free comparison point.
+//! * [`ProportionalController`] — a control-theoretic rival
+//!   (gain/deadband stochastic P-controller) to race against the
+//!   paper's ants under the same noise models.
 //! * [`TableFsm`] — an explicit finite-state machine with an
 //!   Assumption 2.2 reachability checker, used by the Theorem 3.3
 //!   memory-floor experiments.
@@ -40,6 +43,7 @@ mod memory;
 mod params;
 mod precise_adversarial;
 mod precise_sigmoid;
+mod proportional;
 mod sigmoid_bank;
 mod table_fsm;
 mod trivial;
@@ -54,6 +58,9 @@ pub use memory::{bits_for_states, closeness_floor, MemoryFootprint};
 pub use params::{AntParams, PreciseAdversarialParams, PreciseSigmoidParams};
 pub use precise_adversarial::{AdversarialScratch, PreciseAdversarial};
 pub use precise_sigmoid::{PreciseSigmoid, SigmoidScratch};
+pub use proportional::{
+    ProportionalBank, ProportionalController, ProportionalParams, ProportionalSliceMut,
+};
 pub use sigmoid_bank::{PreciseSigmoidBank, SigmoidSliceMut};
 pub use table_fsm::{FsmSpec, ReachabilityError, TableFsm};
 pub use trivial::Trivial;

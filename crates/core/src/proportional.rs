@@ -1,0 +1,622 @@
+//! A proportional-control rival to the paper's self-stabilizing ants.
+//!
+//! Motivated by *Proportional Control for Stochastic Regulation on
+//! Allocation of Multi-Robots* (see PAPERS.md): instead of the paper's
+//! two-sample median machinery, each ant acts on a single sample per
+//! round, and the **expected number of ants that move** is proportional
+//! to the sensed imbalance — every ant that senses `lack` somewhere
+//! (while idle) or `overload` on its own task (while working) flips a
+//! biased coin with probability `gain`. The colony-level correction per
+//! round is therefore `gain × (ants sensing the error)`: a classic
+//! stochastic P-controller, with the gain trading convergence speed
+//! against oscillation under the synchronous flip-flop failure mode of
+//! Appendix D.
+//!
+//! A `deadband` adds hysteresis: an ant acts only after the error
+//! signal has persisted for `deadband + 1` consecutive rounds (its
+//! per-ant streak counter), suppressing reactions to one-round noise
+//! spikes the way a control deadband suppresses chatter.
+//!
+//! **Reference semantics.** [`ProportionalController`] (per ant) is the
+//! truth; [`ProportionalBank`] is its flat structure-of-arrays layout
+//! (one `u32` assignment + one `u16` streak per ant) and consumes every
+//! ant's RNG stream in exactly the order `Controller::step` would:
+//! samples in task order, then the uniform pick, then the gain coin —
+//! pinned bit-identical by the parity tests in `tests/banks.rs`.
+
+use antalloc_env::{Assignment, ColumnWriter};
+use antalloc_noise::{FeedbackProbe, RoundView, SensedRound};
+use antalloc_rng::{uniform_index, AntRng, Bernoulli};
+
+use crate::ant_bank::{count_lacking, dec, enc, nth_lacking, nth_set_bit, refill, IDLE};
+use crate::controller::Controller;
+
+/// Parameters of the proportional controller.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProportionalParams {
+    /// Per-ant action probability once the error persists: the colony's
+    /// expected correction per round is `gain ×` (ants sensing the
+    /// error). Must be in `(0, 1]`.
+    pub gain: f64,
+    /// Consecutive error rounds an ant tolerates before it may act
+    /// (`0` = react immediately, the pure P-controller).
+    pub deadband: u16,
+}
+
+impl Default for ProportionalParams {
+    fn default() -> Self {
+        Self {
+            gain: 0.5,
+            deadband: 0,
+        }
+    }
+}
+
+impl ProportionalParams {
+    /// Checks the parameter window, returning the first problem found
+    /// (scenario validation wraps this in a typed error).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.gain.is_finite() && self.gain > 0.0 && self.gain <= 1.0) {
+            return Err(format!("gain must be in (0, 1], got {}", self.gain));
+        }
+        Ok(())
+    }
+}
+
+/// The proportional controller for one ant.
+#[derive(Clone, Debug)]
+pub struct ProportionalController {
+    num_tasks: usize,
+    params: ProportionalParams,
+    gain: Bernoulli,
+    assignment: Assignment,
+    /// Consecutive rounds the error signal has persisted.
+    streak: u16,
+    /// Scratch bitmap of lacking tasks (reused across rounds).
+    lacking: Vec<bool>,
+}
+
+impl ProportionalController {
+    /// A controller for a colony with `num_tasks` tasks.
+    pub fn new(num_tasks: usize, params: ProportionalParams) -> Self {
+        assert!(num_tasks >= 1, "at least one task");
+        Self {
+            num_tasks,
+            params,
+            gain: Bernoulli::new(params.gain),
+            assignment: Assignment::Idle,
+            streak: 0,
+            lacking: vec![false; num_tasks],
+        }
+    }
+
+    /// Number of tasks this controller observes.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// The controller's parameters.
+    pub fn params(&self) -> &ProportionalParams {
+        &self.params
+    }
+
+    /// The persisted-error streak (checkpoint capture).
+    pub fn streak(&self) -> u16 {
+        self.streak
+    }
+
+    /// Overwrites the persisted-error streak (checkpoint restore; apply
+    /// *after* [`Controller::reset_to`], which clears it).
+    pub fn set_streak(&mut self, streak: u16) {
+        self.streak = streak;
+    }
+}
+
+impl Controller for ProportionalController {
+    fn step(&mut self, probe: &mut FeedbackProbe<'_>) -> Assignment {
+        match self.assignment {
+            Assignment::Idle => {
+                let mut count = 0usize;
+                for j in 0..self.num_tasks {
+                    let lack = probe.sample(j).is_lack();
+                    self.lacking[j] = lack;
+                    count += usize::from(lack);
+                }
+                if count > 0 {
+                    self.streak = self.streak.saturating_add(1);
+                    if self.streak > self.params.deadband {
+                        // Pick first, then the gain coin — the bank
+                        // consumes draws in the same order.
+                        let pick = uniform_index(probe.rng(), count);
+                        if self.gain.sample(probe.rng()) {
+                            let j = self
+                                .lacking
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, &l)| l)
+                                .nth(pick)
+                                .map(|(j, _)| j)
+                                .expect("pick < count"); // audit:allow(panic-path): uniform_index returns < count, and count entries of `lacking` are true by the loop above.
+                            self.assignment = Assignment::Task(crate::cast::task_col(j));
+                            self.streak = 0;
+                        }
+                    }
+                } else {
+                    self.streak = 0;
+                }
+            }
+            Assignment::Task(j) => {
+                if probe.sample(crate::cast::task_ix(j)).is_lack() {
+                    self.streak = 0;
+                } else {
+                    self.streak = self.streak.saturating_add(1);
+                    if self.streak > self.params.deadband && self.gain.sample(probe.rng()) {
+                        self.assignment = Assignment::Idle;
+                        self.streak = 0;
+                    }
+                }
+            }
+        }
+        self.assignment
+    }
+
+    #[inline]
+    fn assignment(&self) -> Assignment {
+        self.assignment
+    }
+
+    fn reset_to(&mut self, a: Assignment) {
+        self.assignment = a;
+        self.streak = 0;
+    }
+
+    fn memory_bits(&self) -> u32 {
+        // The assignment (k+1 states) plus the deadband streak, which
+        // only needs to distinguish 0..=deadband+1.
+        crate::memory::bits_for_states(self.num_tasks + 1)
+            + crate::memory::bits_for_states(usize::from(self.params.deadband) + 2)
+    }
+}
+
+/// A homogeneous [`ProportionalController`] population in flat layout.
+#[derive(Clone, Debug)]
+pub struct ProportionalBank {
+    params: ProportionalParams,
+    gain: Bernoulli,
+    num_tasks: usize,
+    /// Assignment per ant (`IDLE` when idle).
+    assignment: Vec<u32>,
+    /// Persisted-error streak per ant.
+    streak: Vec<u16>,
+}
+
+impl ProportionalBank {
+    /// An all-idle bank of `n` fresh ants.
+    pub fn new(num_tasks: usize, params: ProportionalParams, n: usize) -> Self {
+        assert!(num_tasks >= 1, "at least one task");
+        Self {
+            params,
+            gain: Bernoulli::new(params.gain),
+            num_tasks,
+            assignment: vec![IDLE; n],
+            streak: vec![0; n],
+        }
+    }
+
+    /// Rebuilds the bank in place to `n` fresh all-idle ants, reusing
+    /// the column allocations (shrink keeps capacity, grow
+    /// reallocates). State after the call is bit-identical to
+    /// `ProportionalBank::new(num_tasks, params, n)`.
+    pub fn reinit(&mut self, num_tasks: usize, params: ProportionalParams, n: usize) {
+        assert!(num_tasks >= 1, "at least one task");
+        self.params = params;
+        self.gain = Bernoulli::new(params.gain);
+        self.num_tasks = num_tasks;
+        refill(&mut self.assignment, IDLE, n);
+        refill(&mut self.streak, 0, n);
+    }
+
+    /// The parameters every ant in the bank runs.
+    pub fn params(&self) -> &ProportionalParams {
+        &self.params
+    }
+
+    /// Number of ants.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff the bank holds no ants.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Appends a per-ant controller, transposing its state in.
+    pub fn push_controller(&mut self, ant: &ProportionalController) {
+        assert_eq!(ant.num_tasks(), self.num_tasks, "task count mismatch");
+        debug_assert_eq!(ant.params(), &self.params, "parameter mismatch");
+        self.assignment.push(enc(ant.assignment()));
+        self.streak.push(ant.streak());
+    }
+
+    /// Reconstructs the per-ant controller at `slot` (reference
+    /// extraction; lossless — assignment plus streak is the whole
+    /// state).
+    pub fn to_controller(&self, slot: usize) -> ProportionalController {
+        let mut ant = ProportionalController::new(self.num_tasks, self.params);
+        ant.reset_to(dec(self.assignment[slot]));
+        ant.set_streak(self.streak[slot]);
+        ant
+    }
+
+    /// The persisted-error streak of the ant at `slot` (checkpoint
+    /// capture).
+    pub fn streak(&self, slot: usize) -> u16 {
+        self.streak[slot]
+    }
+
+    /// Overwrites the streak of the ant at `slot` (checkpoint restore;
+    /// apply *after* [`ProportionalBank::reset_slot`], which clears it).
+    pub fn set_streak(&mut self, slot: usize, streak: u16) {
+        self.streak[slot] = streak;
+    }
+
+    /// The assignment of the ant at `slot`.
+    pub fn assignment(&self, slot: usize) -> Assignment {
+        dec(self.assignment[slot])
+    }
+
+    /// Forces the ant at `slot` into `a`.
+    pub fn reset_slot(&mut self, slot: usize, a: Assignment) {
+        self.assignment[slot] = enc(a);
+        self.streak[slot] = 0;
+    }
+
+    /// Persistent memory in bits (same accounting as the per-ant impl).
+    pub fn memory_bits(&self) -> u32 {
+        crate::memory::bits_for_states(self.num_tasks + 1)
+            + crate::memory::bits_for_states(usize::from(self.params.deadband) + 2)
+    }
+
+    /// Removes the ant at `slot` by swap-removal.
+    pub fn swap_remove(&mut self, slot: usize) {
+        self.assignment.swap_remove(slot);
+        self.streak.swap_remove(slot);
+    }
+
+    /// The whole bank as a splittable mutable slice.
+    pub fn as_slice_mut(&mut self) -> ProportionalSliceMut<'_> {
+        ProportionalSliceMut {
+            gain: self.gain,
+            deadband: self.params.deadband,
+            num_tasks: self.num_tasks,
+            assignment: &mut self.assignment,
+            streak: &mut self.streak,
+        }
+    }
+
+    /// Steps the single ant at `slot` (the sequential model's path).
+    pub fn step_slot(&mut self, slot: usize, view: RoundView<'_>, rng: &mut AntRng) -> Assignment {
+        // See TrivialBank::step_slot: no allocation on the ≤ 64 path.
+        let mut row = crate::flat_bank::scratch_row(self.num_tasks);
+        ProportionalSliceMut {
+            gain: self.gain,
+            deadband: self.params.deadband,
+            num_tasks: self.num_tasks,
+            assignment: &mut self.assignment[slot..slot + 1],
+            streak: &mut self.streak[slot..slot + 1],
+        }
+        .step_one(0, view, rng, &mut row)
+    }
+}
+
+/// A disjoint mutable chunk of a [`ProportionalBank`].
+#[derive(Debug)]
+pub struct ProportionalSliceMut<'a> {
+    gain: Bernoulli,
+    deadband: u16,
+    num_tasks: usize,
+    assignment: &'a mut [u32],
+    streak: &'a mut [u16],
+}
+
+impl<'a> ProportionalSliceMut<'a> {
+    /// Number of ants in the chunk.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True iff the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Splits the chunk at `mid` into two disjoint chunks.
+    pub fn split_at_mut(self, mid: usize) -> (ProportionalSliceMut<'a>, ProportionalSliceMut<'a>) {
+        let (a, b) = self.assignment.split_at_mut(mid);
+        let (s, t) = self.streak.split_at_mut(mid);
+        (
+            ProportionalSliceMut {
+                gain: self.gain,
+                deadband: self.deadband,
+                num_tasks: self.num_tasks,
+                assignment: a,
+                streak: s,
+            },
+            ProportionalSliceMut {
+                gain: self.gain,
+                deadband: self.deadband,
+                num_tasks: self.num_tasks,
+                assignment: b,
+                streak: t,
+            },
+        )
+    }
+
+    /// Steps every ant in the chunk; bit-identical to per-ant
+    /// [`Controller::step`] on [`ProportionalController`].
+    pub fn step_batch(&mut self, view: RoundView<'_>, rngs: &mut [AntRng], out: &mut [Assignment]) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, out.len(), "one decision slot per ant");
+        let mut row = crate::flat_bank::scratch_row(self.num_tasks);
+        for i in 0..n {
+            out[i] = self.step_one(i, view, &mut rngs[i], &mut row);
+        }
+    }
+
+    /// Fused-apply variant of [`ProportionalSliceMut::step_batch`]:
+    /// same draws, with each transition routed through `writer` (shared
+    /// next column + local delta) at the ant's colony id (`ids[i]`).
+    ///
+    /// Takes the round as a [`SensedRound`]: the well-mixed (shared)
+    /// form runs the hoisted-view loop; the per-ant form re-selects the
+    /// view per ant (`sensed.view_for(ids[i])`).
+    pub fn step_batch_fused(
+        &mut self,
+        sensed: SensedRound<'_>,
+        rngs: &mut [AntRng],
+        ids: &[u32],
+        writer: &mut ColumnWriter<'_>,
+    ) {
+        let n = self.len();
+        assert_eq!(n, rngs.len(), "one RNG stream per ant");
+        assert_eq!(n, ids.len(), "one colony id per ant");
+        let mut row = crate::flat_bank::scratch_row(self.num_tasks);
+        match sensed.shared_view() {
+            Some(view) => {
+                for i in 0..n {
+                    self.step_one(i, view, &mut rngs[i], &mut row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
+            None => {
+                for i in 0..n {
+                    self.step_one(i, sensed.view_for(ids[i]), &mut rngs[i], &mut row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
+        }
+    }
+
+    /// One ant's round. Draw order matches the reference: samples in
+    /// task order (bit-packed batched draw for ≤ 64 tasks), then the
+    /// uniform pick, then the gain coin; workers draw the gain coin
+    /// only on a persisted `overload`.
+    #[inline(always)]
+    fn step_one(
+        &mut self,
+        i: usize,
+        view: RoundView<'_>,
+        rng: &mut AntRng,
+        row: &mut [u8],
+    ) -> Assignment {
+        let cur = self.assignment[i];
+        if cur == IDLE {
+            if self.num_tasks <= 64 {
+                let mask = view.lack_mask(rng);
+                if mask != 0 {
+                    self.streak[i] = self.streak[i].saturating_add(1);
+                    if self.streak[i] > self.deadband {
+                        let pick = uniform_index(rng, mask.count_ones() as usize);
+                        if self.gain.sample(rng) {
+                            self.assignment[i] = nth_set_bit(mask, pick);
+                            self.streak[i] = 0;
+                        }
+                    }
+                } else {
+                    self.streak[i] = 0;
+                }
+            } else {
+                view.fill_lack(rng, row);
+                let count = count_lacking(row);
+                if count > 0 {
+                    self.streak[i] = self.streak[i].saturating_add(1);
+                    if self.streak[i] > self.deadband {
+                        let pick = uniform_index(rng, count);
+                        if self.gain.sample(rng) {
+                            self.assignment[i] = nth_lacking(row, pick);
+                            self.streak[i] = 0;
+                        }
+                    }
+                } else {
+                    self.streak[i] = 0;
+                }
+            }
+        } else if view.sample(crate::cast::task_ix(cur), rng).is_lack() {
+            self.streak[i] = 0;
+        } else {
+            self.streak[i] = self.streak[i].saturating_add(1);
+            if self.streak[i] > self.deadband && self.gain.sample(rng) {
+                self.assignment[i] = IDLE;
+                self.streak[i] = 0;
+            }
+        }
+        dec(self.assignment[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antalloc_noise::{Feedback, NoiseModel, PreparedRound};
+    use antalloc_rng::{StreamSeeder, Xoshiro256pp};
+
+    use Feedback::{Lack as L, Overload as O};
+
+    fn fixed_round(round: u64, signals: &[Feedback]) -> PreparedRound {
+        let deficits: Vec<i64> = signals
+            .iter()
+            .map(|f| if f.is_lack() { 1 } else { -1 })
+            .collect();
+        NoiseModel::Exact.prepare(round, &deficits, &vec![100u64; signals.len()])
+    }
+
+    fn step_with(
+        ant: &mut ProportionalController,
+        round: u64,
+        signals: &[Feedback],
+        rng: &mut Xoshiro256pp,
+    ) -> Assignment {
+        let prep = fixed_round(round, signals);
+        let mut probe = FeedbackProbe::new(&prep, rng);
+        ant.step(&mut probe)
+    }
+
+    #[test]
+    fn unit_gain_zero_deadband_joins_immediately() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let params = ProportionalParams {
+            gain: 1.0,
+            deadband: 0,
+        };
+        let mut ant = ProportionalController::new(3, params);
+        let a = step_with(&mut ant, 1, &[O, L, O], &mut rng);
+        assert_eq!(a, Assignment::Task(1));
+    }
+
+    #[test]
+    fn deadband_delays_action_by_its_depth() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let params = ProportionalParams {
+            gain: 1.0,
+            deadband: 2,
+        };
+        let mut ant = ProportionalController::new(1, params);
+        ant.reset_to(Assignment::Task(0));
+        // Two overload rounds persist inside the deadband; the third
+        // crosses it and (gain 1) the ant leaves.
+        assert_eq!(step_with(&mut ant, 1, &[O], &mut rng), Assignment::Task(0));
+        assert_eq!(step_with(&mut ant, 2, &[O], &mut rng), Assignment::Task(0));
+        assert_eq!(step_with(&mut ant, 3, &[O], &mut rng), Assignment::Idle);
+    }
+
+    #[test]
+    fn lack_resets_the_deadband_streak() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let params = ProportionalParams {
+            gain: 1.0,
+            deadband: 1,
+        };
+        let mut ant = ProportionalController::new(1, params);
+        ant.reset_to(Assignment::Task(0));
+        assert_eq!(step_with(&mut ant, 1, &[O], &mut rng), Assignment::Task(0));
+        // A lack round clears the streak; the next overload starts over.
+        assert_eq!(step_with(&mut ant, 2, &[L], &mut rng), Assignment::Task(0));
+        assert_eq!(step_with(&mut ant, 3, &[O], &mut rng), Assignment::Task(0));
+        assert_eq!(step_with(&mut ant, 4, &[O], &mut rng), Assignment::Idle);
+    }
+
+    #[test]
+    fn gain_is_the_per_round_action_rate() {
+        let params = ProportionalParams {
+            gain: 0.25,
+            deadband: 0,
+        };
+        let mut leaves = 0u32;
+        let trials = 20_000u64;
+        for seed in 0..trials {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let mut ant = ProportionalController::new(1, params);
+            ant.reset_to(Assignment::Task(0));
+            if step_with(&mut ant, 1, &[O], &mut rng) == Assignment::Idle {
+                leaves += 1;
+            }
+        }
+        let frac = f64::from(leaves) / trials as f64;
+        assert!((frac - 0.25).abs() < 0.02, "leave rate {frac}");
+    }
+
+    /// The flat bank against the per-ant reference, round for round,
+    /// under sigmoid noise (joins, leaves, deadband streaks, coins).
+    #[test]
+    fn bank_matches_per_ant_stepping() {
+        let n = 150;
+        let k = 3;
+        let params = ProportionalParams {
+            gain: 0.4,
+            deadband: 1,
+        };
+        let seeder = StreamSeeder::new(17);
+        let model = NoiseModel::Sigmoid { lambda: 1.5 };
+        let mut bank = ProportionalBank::new(k, params, n);
+        let mut reference: Vec<ProportionalController> = (0..n)
+            .map(|_| ProportionalController::new(k, params))
+            .collect();
+        let mut bank_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let mut ref_rngs: Vec<AntRng> = (0..n).map(|i| seeder.ant(i)).collect();
+        let mut out = vec![Assignment::Idle; n];
+        for round in 1..=60u64 {
+            let prepared = model.prepare(round, &[2, 0, -3], &[15, 15, 15]);
+            bank.as_slice_mut()
+                .step_batch(prepared.view(), &mut bank_rngs, &mut out);
+            for (i, ant) in reference.iter_mut().enumerate() {
+                let mut probe = FeedbackProbe::new(&prepared, &mut ref_rngs[i]);
+                assert_eq!(ant.step(&mut probe), out[i], "ant {i} round {round}");
+                assert_eq!(ant.streak(), bank.streak(i), "ant {i} streak");
+            }
+        }
+        for (i, ant) in reference.iter().enumerate() {
+            assert_eq!(bank.assignment(i), ant.assignment());
+        }
+    }
+
+    #[test]
+    fn push_and_reconstruct_roundtrip() {
+        let params = ProportionalParams::default();
+        let mut bank = ProportionalBank::new(2, params, 0);
+        let mut ant = ProportionalController::new(2, params);
+        ant.reset_to(Assignment::Task(1));
+        ant.set_streak(3);
+        bank.push_controller(&ant);
+        assert_eq!(bank.len(), 1);
+        let back = bank.to_controller(0);
+        assert_eq!(back.assignment(), Assignment::Task(1));
+        assert_eq!(back.streak(), 3);
+    }
+
+    #[test]
+    fn swap_remove_moves_both_columns() {
+        let params = ProportionalParams::default();
+        let mut bank = ProportionalBank::new(1, params, 3);
+        bank.reset_slot(0, Assignment::Task(0));
+        bank.reset_slot(2, Assignment::Idle);
+        bank.set_streak(2, 5);
+        bank.swap_remove(0);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.assignment(0), Assignment::Idle);
+        assert_eq!(bank.streak(0), 5);
+    }
+
+    #[test]
+    fn params_validate_window() {
+        assert!(ProportionalParams::default().validate().is_ok());
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let p = ProportionalParams {
+                gain: bad,
+                deadband: 0,
+            };
+            assert!(p.validate().is_err(), "gain {bad} must be rejected");
+        }
+    }
+}

@@ -21,7 +21,7 @@
 //! are `2m = O(1/ε)` rounds long — resumes mid-phase bit-identically.
 
 use antalloc_env::{Assignment, ColumnWriter};
-use antalloc_noise::RoundView;
+use antalloc_noise::{RoundView, SensedRound};
 use antalloc_rng::{uniform_index, AntRng, Bernoulli};
 
 use crate::ant_bank::{dec, enc, refill, IDLE};
@@ -344,9 +344,13 @@ impl<'a> SigmoidSliceMut<'a> {
     /// Fused-apply variant of [`SigmoidSliceMut::step_batch`]: same
     /// draws, with each transition routed through `writer` (shared next
     /// column + local delta) at the ant's colony id (`ids[i]`).
+    ///
+    /// Takes the round as a [`SensedRound`]: the well-mixed (shared)
+    /// form runs the pre-existing hoisted-view loop; the per-ant form
+    /// re-selects the view per ant (`sensed.view_for(ids[i])`).
     pub fn step_batch_fused(
         &mut self,
-        view: RoundView<'_>,
+        sensed: SensedRound<'_>,
         rngs: &mut [AntRng],
         ids: &[u32],
         writer: &mut ColumnWriter<'_>,
@@ -354,7 +358,7 @@ impl<'a> SigmoidSliceMut<'a> {
         let n = self.len();
         assert_eq!(n, rngs.len(), "one RNG stream per ant");
         assert_eq!(n, ids.len(), "one colony id per ant");
-        let r = view.round() % (2 * self.m);
+        let r = sensed.round() % (2 * self.m);
         let mut stack = [0u8; 64];
         let mut heap = Vec::new();
         let row: &mut [u8] = if self.num_tasks <= 64 {
@@ -363,9 +367,19 @@ impl<'a> SigmoidSliceMut<'a> {
             heap.resize(self.num_tasks, 0);
             &mut heap
         };
-        for i in 0..n {
-            self.step_one(i, r, view, &mut rngs[i], row);
-            writer.write(ids[i], self.assignment[i]);
+        match sensed.shared_view() {
+            Some(view) => {
+                for i in 0..n {
+                    self.step_one(i, r, view, &mut rngs[i], row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
+            None => {
+                for i in 0..n {
+                    self.step_one(i, r, sensed.view_for(ids[i]), &mut rngs[i], row);
+                    writer.write(ids[i], self.assignment[i]);
+                }
+            }
         }
     }
 

@@ -108,6 +108,14 @@ impl DemandVector {
         self.demands.copy_from_slice(new);
     }
 
+    /// Replaces the demand of a single task in place (site-local demand
+    /// steps); the other demands are untouched.
+    pub fn set_task(&mut self, j: usize, d: u64) {
+        assert!(j < self.demands.len(), "task index out of range");
+        assert!(d > 0, "demands must be positive");
+        self.demands[j] = d;
+    }
+
     /// Replaces the demands in place, allowing the task count to change
     /// (engine reuse across sweep jobs rebuilds the vector wholesale);
     /// reuses the allocation when the count shrinks or stays put.
@@ -185,6 +193,20 @@ mod tests {
         let mut d = DemandVector::new(vec![10, 20]);
         d.set(&[15, 25]);
         assert_eq!(d.as_slice(), &[15, 25]);
+    }
+
+    #[test]
+    fn set_task_steps_one_demand() {
+        let mut d = DemandVector::new(vec![10, 20]);
+        d.set_task(1, 35);
+        assert_eq!(d.as_slice(), &[10, 35]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn set_task_rejects_zero() {
+        let mut d = DemandVector::new(vec![10, 20]);
+        d.set_task(0, 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod apply;
+mod arena;
 mod assignment;
 mod colony;
 mod demand;
@@ -59,6 +60,7 @@ mod timeline;
 mod trigger;
 
 pub use apply::{ColumnWriter, RoundDelta, TaskColumn};
+pub use arena::ArenaConfig;
 pub use assignment::Assignment;
 pub use colony::ColonyState;
 pub use demand::{AssumptionReport, DemandVector};

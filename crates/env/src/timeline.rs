@@ -28,6 +28,16 @@ use crate::trigger::{ColonyView, Trigger, TriggerState};
 pub enum Event {
     /// Replace the demand vector (the paper's "changing demands").
     SetDemands(Vec<u64>),
+    /// Step the demand of a single task, leaving the others untouched —
+    /// the site-local demand shock of the arena experiments (a
+    /// whole-vector [`Event::SetDemands`] would have to restate every
+    /// unchanged demand).
+    SetTaskDemand {
+        /// Task whose demand changes (0-based).
+        task: usize,
+        /// Its new demand (must be positive).
+        demand: u64,
+    },
     /// Kill this many ants, chosen uniformly at random (§6 population
     /// changes). Clamped at runtime so at least one ant survives.
     Kill {
@@ -58,7 +68,7 @@ impl Event {
             Event::Spawn { count } => Some(Perturbation::Spawn { count: *count }),
             Event::Scramble => Some(Perturbation::Scramble),
             Event::StampedeTo(j) => Some(Perturbation::StampedeTo(*j)),
-            Event::SetDemands(_) | Event::SetNoise(_) => None,
+            Event::SetDemands(_) | Event::SetTaskDemand { .. } | Event::SetNoise(_) => None,
         }
     }
 
@@ -74,6 +84,18 @@ impl Event {
                 }
                 if demands.contains(&0) {
                     return Err("set-demands contains a zero demand".into());
+                }
+                Ok(())
+            }
+            Event::SetTaskDemand { task, demand } => {
+                if *task >= num_tasks {
+                    return Err(format!(
+                        "set-task-demand references task {task}, colony has \
+                         {num_tasks} tasks"
+                    ));
+                }
+                if *demand == 0 {
+                    return Err("set-task-demand sets a zero demand".into());
                 }
                 Ok(())
             }
@@ -269,7 +291,7 @@ impl Timeline {
 
     /// Feeds one end-of-round view to every trigger. Returns whether
     /// any trigger is now armed (an event fires next round).
-    pub fn observe_triggers(&self, states: &mut [TriggerState], view: &ColonyView) -> bool {
+    pub fn observe_triggers(&self, states: &mut [TriggerState], view: &ColonyView<'_>) -> bool {
         let mut armed = false;
         for (trigger, state) in self.triggers.iter().zip(states) {
             armed |= trigger.observe(state, view);
@@ -572,6 +594,13 @@ mod tests {
         // Task out of range.
         let t = Timeline::new().at(5, Event::StampedeTo(2));
         assert!(t.validate(k, n).unwrap_err().contains("stampede"));
+        // Single-task demand step: bad index, zero demand.
+        let t = Timeline::new().at(5, Event::SetTaskDemand { task: 2, demand: 7 });
+        assert!(t.validate(k, n).unwrap_err().contains("set-task-demand"));
+        let t = Timeline::new().at(5, Event::SetTaskDemand { task: 0, demand: 0 });
+        assert!(t.validate(k, n).unwrap_err().contains("zero"));
+        let t = Timeline::new().at(5, Event::SetTaskDemand { task: 1, demand: 7 });
+        assert_eq!(t.validate(k, n), Ok(()));
         // Bad noise switch.
         let t = Timeline::new().at(5, Event::SetNoise(NoiseModel::Sigmoid { lambda: -1.0 }));
         assert!(t.validate(k, n).unwrap_err().contains("λ"));
@@ -688,6 +717,7 @@ mod tests {
             regret,
             population: 100,
             idle: 0,
+            deficits: &[],
         };
         assert!(!t.observe_triggers(&mut states, &view(1, 5)));
         assert!(t.observe_triggers(&mut states, &view(2, 5)));

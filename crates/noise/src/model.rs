@@ -314,11 +314,16 @@ impl RoundView<'_> {
     /// buffer — the form the flat bank loops fold straight into a
     /// popcount + nth-set-bit uniform pick.
     ///
-    /// # Panics
-    /// If the view holds more than 64 tasks (use [`RoundView::fill_lack`]).
+    /// # Precondition
+    /// At most 64 tasks; callers with more must branch to
+    /// [`RoundView::fill_lack`]. The kernels gate on `num_tasks() <= 64`
+    /// before taking this path, and scenario validation caps the task
+    /// count at build time, so the precondition is checked once up front
+    /// rather than asserted per draw in the hot loop (debug builds still
+    /// assert).
     #[inline]
     pub fn lack_mask(&self, rng: &mut AntRng) -> u64 {
-        assert!(self.tasks.len() <= 64, "lack_mask: more than 64 tasks");
+        debug_assert!(self.tasks.len() <= 64, "lack_mask: more than 64 tasks");
         let mut mask = 0u64;
         for (j, task) in self.tasks.iter().enumerate() {
             let lack = match *task {
@@ -328,6 +333,124 @@ impl RoundView<'_> {
             mask |= u64::from(lack) << j;
         }
         mask
+    }
+}
+
+/// One round's sampling state as *sensed* by each ant.
+///
+/// The sensing layer's core abstraction: where [`RoundView`] is **one**
+/// signal table shared by the whole colony (the well-mixed setting),
+/// a `SensedRound` maps every ant to one of several signal *rows* —
+/// e.g. one row per arena site, so an ant senses only its local tasks.
+///
+/// Two forms, distinguished by [`SensedRound::shared_view`]:
+///
+/// * **Shared** ([`SensedRound::shared`]): a single row, every ant
+///   senses it. Kernels detect this with `shared_view()` and run their
+///   pre-existing shared-view loops — the well-mixed path compiles to
+///   exactly the old code and stays bit-identical (same draws, same
+///   `fill_lack`/`lack_mask` paths).
+/// * **Per-ant** ([`SensedRound::from_parts`]): `sense_of[ant]` selects
+///   the row; kernels call [`SensedRound::view_for`] per ant. Rows are
+///   plain [`TaskFeedback`] tables, so each ant's draw sequence is the
+///   same as if its row were the whole colony's view — determinism per
+///   ant is unchanged, only *which* signals it sees varies.
+///
+/// Like [`RoundView`] this is a few words and `Copy`; build it once per
+/// round and hand it to every bank.
+#[derive(Clone, Copy, Debug)]
+pub struct SensedRound<'a> {
+    /// Concatenated rows, `k` entries each (row `r` at `r*k..(r+1)*k`).
+    site_tasks: &'a [TaskFeedback],
+    /// Global ant id → row index; empty ⇒ every ant senses row 0.
+    sense_of: &'a [u32],
+    k: usize,
+    round: u64,
+}
+
+impl<'a> SensedRound<'a> {
+    /// The well-mixed form: every ant senses `prepared`'s single table.
+    #[inline]
+    pub fn shared(prepared: &'a PreparedRound) -> Self {
+        SensedRound {
+            site_tasks: &prepared.tasks,
+            sense_of: &[],
+            k: prepared.tasks.len(),
+            round: prepared.round,
+        }
+    }
+
+    /// The per-ant form: ant `i` senses row `sense_of[i]` of
+    /// `site_tasks` (rows of `k` entries, concatenated).
+    ///
+    /// # Panics
+    /// If `site_tasks.len()` is not a positive multiple of `k`, or any
+    /// row index in `sense_of` is out of range. Checked here, once per
+    /// round, so [`SensedRound::view_for`] can stay assert-free in the
+    /// per-ant hot loop.
+    pub fn from_parts(
+        site_tasks: &'a [TaskFeedback],
+        sense_of: &'a [u32],
+        k: usize,
+        round: u64,
+    ) -> Self {
+        assert!(k > 0, "sensed round with zero tasks");
+        assert_eq!(site_tasks.len() % k, 0, "rows must be k entries each");
+        let rows = site_tasks.len() / k;
+        assert!(rows > 0, "sensed round with zero rows");
+        assert!(
+            sense_of.iter().all(|&r| (r as usize) < rows),
+            "sense row out of range"
+        );
+        SensedRound {
+            site_tasks,
+            sense_of,
+            k,
+            round,
+        }
+    }
+
+    /// The single shared view, when every ant senses the same row.
+    ///
+    /// Kernels branch on this: `Some` is the well-mixed fast path (one
+    /// view hoisted out of the ant loop — the pre-refactor code path),
+    /// `None` means per-ant views via [`SensedRound::view_for`].
+    #[inline]
+    pub fn shared_view(&self) -> Option<RoundView<'a>> {
+        if self.sense_of.is_empty() {
+            Some(RoundView {
+                tasks: &self.site_tasks[..self.k],
+                round: self.round,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The view ant `ant` (global id) senses this round.
+    #[inline(always)]
+    pub fn view_for(&self, ant: u32) -> RoundView<'a> {
+        let row = if self.sense_of.is_empty() {
+            0
+        } else {
+            self.sense_of[ant as usize] as usize
+        };
+        RoundView {
+            tasks: &self.site_tasks[row * self.k..(row + 1) * self.k],
+            round: self.round,
+        }
+    }
+
+    /// Number of tasks in every row.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.k
+    }
+
+    /// The round these signals describe.
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
     }
 }
 

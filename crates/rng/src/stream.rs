@@ -57,6 +57,12 @@ pub mod reserved {
     /// fully determined by the scenario plus the seed and re-expands
     /// identically on checkpoint restore).
     pub const TIMELINE: u64 = u64::MAX - 5;
+    /// Spatial-arena movement: the stream whose first output re-seeds
+    /// the dedicated sub-seeder that hands each round its own wander
+    /// generator (a pure function of `(master seed, round)`, so ant
+    /// movement between sites replays bit-identically across serial,
+    /// parallel and checkpoint-restored runs).
+    pub const ARENA: u64 = u64::MAX - 6;
 }
 
 impl StreamSeeder {

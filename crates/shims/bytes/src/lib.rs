@@ -20,6 +20,8 @@ pub trait Buf {
     fn get_u32_le(&mut self) -> u32;
     /// Reads a little-endian `u64`.
     fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
     /// Reads a little-endian `f64`.
     fn get_f64_le(&mut self) -> f64;
 }
@@ -59,6 +61,13 @@ impl Buf for &[u8] {
     }
 
     #[inline]
+    fn get_i64_le(&mut self) -> i64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        i64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+
+    #[inline]
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
     }
@@ -74,6 +83,8 @@ pub trait BufMut {
     fn put_u32_le(&mut self, v: u32);
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
     /// Appends a little-endian `f64`.
     fn put_f64_le(&mut self, v: f64);
 }
@@ -100,6 +111,11 @@ impl BufMut for Vec<u8> {
     }
 
     #[inline]
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
     fn put_f64_le(&mut self, v: f64) {
         self.put_u64_le(v.to_bits());
     }
@@ -116,13 +132,15 @@ mod tests {
         out.put_u16_le(0xBEEF);
         out.put_u32_le(0xDEAD_BEEF);
         out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_i64_le(-42);
         out.put_f64_le(-1.5);
         let mut buf = out.as_slice();
-        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 8 + 8);
         assert_eq!(buf.get_u8(), 7);
         assert_eq!(buf.get_u16_le(), 0xBEEF);
         assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
         assert_eq!(buf.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(buf.get_i64_le(), -42);
         assert_eq!(buf.get_f64_le(), -1.5);
         assert_eq!(buf.remaining(), 0);
     }

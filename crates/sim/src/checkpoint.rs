@@ -40,11 +40,11 @@ use std::path::Path;
 
 use antalloc_core::{
     AdversarialScratch, AntParams, ControllerScratch, ExactGreedyParams, PreciseAdversarialParams,
-    PreciseSigmoidParams, SigmoidScratch,
+    PreciseSigmoidParams, ProportionalParams, SigmoidScratch,
 };
 use antalloc_env::{
-    Assignment, Condition, Cycle, DemandSchedule, DemandVector, Event, GenShock, InitialConfig,
-    TimedEvent, Timeline, TimelineGen, Trigger, TriggerState,
+    ArenaConfig, Assignment, Condition, Cycle, DemandSchedule, DemandVector, Event, GenShock,
+    InitialConfig, TimedEvent, Timeline, TimelineGen, Trigger, TriggerState,
 };
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 use bytes::{Buf, BufMut};
@@ -53,9 +53,13 @@ use crate::config::{ControllerSpec, SimConfig};
 use crate::engine::SyncEngine;
 
 const MAGIC: u32 = 0x414E_5441; // "ANTA"
-/// The current format version. The v2 → v3 → v4 → v5 → v6 evolution,
-/// what each version carries, and the read-compat policy are documented
-/// in `docs/CHECKPOINTS.md`; in short: v6 added the Precise Adversarial
+/// The current format version. The v2 → … → v7 evolution, what each
+/// version carries, and the read-compat policy are documented in
+/// `docs/CHECKPOINTS.md`; in short: v7 added the spatial-arena section
+/// (arena config after the initial configuration, per-ant site/travel
+/// columns at the tail), the Proportional controller spec and scratch
+/// tags, the deficit condition tags, the `set-task-demand` event tag,
+/// and per-trigger `prev_deficits`; v6 added the Precise Adversarial
 /// scratch tag to the scratch section (every shipped long-phase kind
 /// now captures mid-phase), v5 appended the per-kind controller
 /// scratch section (Precise Sigmoid mid-phase counters), v4 added
@@ -64,7 +68,7 @@ const MAGIC: u32 = 0x414E_5441; // "ANTA"
 /// with the event timeline (plus live noise model and cursor), v2
 /// appended mixed-colony bank membership. Writers always emit the
 /// current version; readers accept everything back to [`MIN_VERSION`].
-const VERSION: u32 = 6;
+const VERSION: u32 = 7;
 const MIN_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be captured or decoded.
@@ -117,9 +121,15 @@ pub struct Checkpoint {
     members: Vec<u16>,
     /// Mid-phase controller scratch in ascending global-ant order (v5;
     /// empty before). Only kinds with a scratch codec — Precise
-    /// Sigmoid counters (v5) and Precise Adversarial phase trackers
-    /// (v6) — produce entries.
+    /// Sigmoid counters (v5), Precise Adversarial phase trackers (v6)
+    /// and Proportional overload/lack streaks (v7) — produce entries.
     scratch: Vec<(u32, ControllerScratch)>,
+    /// Per-ant arena site column (v7; empty unless the config pins
+    /// tasks to arena sites).
+    arena_site: Vec<u32>,
+    /// Per-ant remaining travel rounds (v7; same shape as
+    /// `arena_site`).
+    arena_travel: Vec<u32>,
 }
 
 impl Checkpoint {
@@ -151,6 +161,8 @@ impl Checkpoint {
             next_stream: state.next_stream,
             members: state.members.unwrap_or_default(),
             scratch: state.scratch,
+            arena_site: state.arena_site,
+            arena_travel: state.arena_travel,
         })
     }
 
@@ -182,7 +194,14 @@ impl Checkpoint {
             &self.members,
             &self.trigger_states,
             &self.scratch,
+            self.arena_columns(),
         );
+    }
+
+    /// The captured arena site/travel columns, if any.
+    fn arena_columns(&self) -> Option<(&[u32], &[u32])> {
+        (!self.arena_site.is_empty())
+            .then_some((self.arena_site.as_slice(), self.arena_travel.as_slice()))
     }
 
     /// Rebases the captured state onto a *different* configuration —
@@ -229,6 +248,7 @@ impl Checkpoint {
             &self.members,
             &self.trigger_states,
             &self.scratch,
+            self.arena_columns(),
         );
     }
 
@@ -273,8 +293,26 @@ impl Checkpoint {
             for &streak in &state.streaks {
                 out.put_u32_le(streak);
             }
+            // v7: last observed deficits of the rate leaves.
+            out.put_u64_le(state.prev_deficits.len() as u64);
+            for &prev in &state.prev_deficits {
+                out.put_i64_le(prev);
+            }
         }
         put_initial(&mut out, &self.config.initial);
+        // v7: the spatial arena, if the scenario pins tasks to sites.
+        match &self.config.arena {
+            None => out.put_u8(0),
+            Some(arena) => {
+                out.put_u8(1);
+                out.put_u64_le(arena.site_of_task.len() as u64);
+                for &site in &arena.site_of_task {
+                    out.put_u32_le(site);
+                }
+                out.put_u32_le(arena.travel_rounds);
+                out.put_f64_le(arena.wander_probability);
+            }
+        }
         out.put_u64_le(self.assignments.len() as u64);
         for a in &self.assignments {
             out.put_u32_le(match a {
@@ -336,6 +374,21 @@ impl Checkpoint {
                         out.put_u8(u8::from(l));
                     }
                 }
+                // v7: Proportional overload/lack streak.
+                ControllerScratch::Proportional(streak) => {
+                    out.put_u8(2);
+                    out.put_u16_le(*streak);
+                }
+            }
+        }
+        // v7: per-ant arena columns (site, then travel), present iff
+        // the config carries an arena; lengths equal the ant count.
+        if self.config.arena.is_some() {
+            for &site in &self.arena_site {
+                out.put_u32_le(site);
+            }
+            for &travel in &self.arena_travel {
+                out.put_u32_le(travel);
             }
         }
         out
@@ -416,11 +469,28 @@ impl Checkpoint {
                 for _ in 0..streak_len {
                     streaks.push(get_u32(&mut buf)?);
                 }
+                // v7 appended the rate leaves' last observed deficits;
+                // older captures cannot hold rate conditions, so the
+                // fresh-state default (all unset) is exact.
+                let prev_deficits = if version >= 7 {
+                    let prev_len = get_u64(&mut buf)? as usize;
+                    if prev_len > 1 << 16 {
+                        return Err(corrupt("implausible prev-deficit count"));
+                    }
+                    let mut prevs = Vec::with_capacity(prev_len.min(1 << 10));
+                    for _ in 0..prev_len {
+                        prevs.push(get_i64(&mut buf)?);
+                    }
+                    prevs
+                } else {
+                    TriggerState::new(&timeline.triggers[i]).prev_deficits
+                };
                 let state = TriggerState {
                     streaks,
                     firings,
                     last_fired,
                     pending,
+                    prev_deficits,
                 };
                 if !state.matches(&timeline.triggers[i]) {
                     return Err(corrupt(format!(
@@ -436,6 +506,33 @@ impl Checkpoint {
             Vec::new()
         };
         let initial = get_initial(&mut buf)?;
+        // v7: the spatial arena (None before v7 — the mode predates it).
+        let arena = if version >= 7 && get_bool(&mut buf)? {
+            let len = get_u64(&mut buf)? as usize;
+            if len != demands.len() {
+                return Err(corrupt(format!(
+                    "arena pins {len} tasks but the scenario has {}",
+                    demands.len()
+                )));
+            }
+            let mut site_of_task = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                site_of_task.push(get_u32(&mut buf)?);
+            }
+            let arena = ArenaConfig {
+                site_of_task,
+                travel_rounds: get_u32(&mut buf)?,
+                wander_probability: get_f64(&mut buf)?,
+            };
+            // Any captured arena passed build-time validation; failure
+            // here means crafted or corrupted bytes.
+            arena
+                .validate(demands.len())
+                .map_err(|e| corrupt(format!("invalid arena: {e}")))?;
+            Some(arena)
+        } else {
+            None
+        };
         let ants = get_u64(&mut buf)? as usize;
         // Validate the claimed count against the bytes actually present
         // (4 per assignment + 32 per RNG state) before any allocation —
@@ -492,9 +589,12 @@ impl Checkpoint {
             // Sigmoid is ant id + tag + currentTask + have_phase + two
             // u16 counter rows + one median-bit row (10 + 5k); Precise
             // Adversarial is ant id + tag + currentTask + five flag
-            // bytes + one lack-bit row (14 + k). Validate the claimed
-            // count against the bytes present before any allocation.
-            let per_entry = (4 + 1 + 4 + 1 + k * 5).min(4 + 1 + 4 + 5 + k);
+            // bytes + one lack-bit row (14 + k); Proportional is ant id
+            // + tag + streak (7). Validate the claimed count against
+            // the bytes present before any allocation.
+            let per_entry = (4 + 1 + 4 + 1 + k * 5)
+                .min(4 + 1 + 4 + 5 + k)
+                .min(4 + 1 + 2);
             if count > ants || buf.remaining() / per_entry < count {
                 return Err(corrupt(format!(
                     "scratch count {count} exceeds payload or ant count {ants}"
@@ -528,6 +628,23 @@ impl Checkpoint {
                         matches!(
                             parts.get(usize::from(m)),
                             Some((_, ControllerSpec::PreciseAdversarial(_)))
+                        )
+                    }
+                    _ => false,
+                }
+            };
+            // And for Proportional (v7 scratch): which ants may legally
+            // carry a deadband streak.
+            let proportional_for = |ant: usize| -> bool {
+                match &controller {
+                    ControllerSpec::Proportional(_) => true,
+                    ControllerSpec::Mix(parts) => {
+                        let Some(&m) = members.get(ant) else {
+                            return false;
+                        };
+                        matches!(
+                            parts.get(usize::from(m)),
+                            Some((_, ControllerSpec::Proportional(_)))
                         )
                     }
                     _ => false,
@@ -630,6 +747,16 @@ impl Checkpoint {
                             }),
                         ));
                     }
+                    2 => {
+                        if !proportional_for(ant as usize) {
+                            return Err(corrupt(format!(
+                                "scratch for ant {ant}, which runs no Proportional controller"
+                            )));
+                        }
+                        need(&buf, 2)?;
+                        let streak = buf.get_u16_le();
+                        scratch.push((ant, ControllerScratch::Proportional(streak)));
+                    }
                     t => return Err(corrupt(format!("unknown scratch tag {t}"))),
                 }
             }
@@ -638,6 +765,36 @@ impl Checkpoint {
             // Pre-v5 captures were phase-boundary-only: no mid-phase
             // state existed to serialize.
             Vec::new()
+        };
+        // v7: the per-ant arena columns close the stream (present iff
+        // the config carries an arena — decided above, so pre-v7 reads
+        // never reach this branch).
+        let (arena_site, arena_travel) = if let Some(cfg) = &arena {
+            let num_sites = cfg.num_sites() as u32;
+            let mut site = Vec::with_capacity(ants);
+            for _ in 0..ants {
+                let s = get_u32(&mut buf)?;
+                if s >= num_sites {
+                    return Err(corrupt(format!(
+                        "arena site {s} out of range (the arena has {num_sites} sites)"
+                    )));
+                }
+                site.push(s);
+            }
+            let mut travel = Vec::with_capacity(ants);
+            for _ in 0..ants {
+                let t = get_u32(&mut buf)?;
+                if t > cfg.travel_rounds {
+                    return Err(corrupt(format!(
+                        "arena travel {t} exceeds the travel latency {}",
+                        cfg.travel_rounds
+                    )));
+                }
+                travel.push(t);
+            }
+            (site, travel)
+        } else {
+            (Vec::new(), Vec::new())
         };
         if !buf.is_empty() {
             return Err(corrupt("trailing bytes"));
@@ -651,6 +808,7 @@ impl Checkpoint {
                 seed,
                 timeline,
                 initial,
+                arena,
             },
             current_demands,
             current_noise,
@@ -662,6 +820,8 @@ impl Checkpoint {
             next_stream,
             members,
             scratch,
+            arena_site,
+            arena_travel,
         })
     }
 
@@ -717,6 +877,11 @@ fn get_u8(buf: &mut &[u8]) -> Result<u8, CheckpointError> {
 
 fn get_bool(buf: &mut &[u8]) -> Result<bool, CheckpointError> {
     Ok(get_u8(buf)? != 0)
+}
+
+fn get_i64(buf: &mut &[u8]) -> Result<i64, CheckpointError> {
+    need(buf, 8)?;
+    Ok(buf.get_i64_le())
 }
 
 fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
@@ -864,6 +1029,12 @@ fn put_spec(out: &mut Vec<u8>, spec: &ControllerSpec) {
                 put_spec(out, sub);
             }
         }
+        // v7: the proportional-control rival.
+        ControllerSpec::Proportional(p) => {
+            out.put_u8(8);
+            out.put_f64_le(p.gain);
+            out.put_u16_le(p.deadband);
+        }
     }
 }
 
@@ -922,6 +1093,12 @@ fn get_spec(buf: &mut &[u8]) -> Result<ControllerSpec, CheckpointError> {
             }
             ControllerSpec::Mix(parts)
         }
+        8 => {
+            let gain = get_f64(buf)?;
+            need(buf, 2)?;
+            let deadband = buf.get_u16_le();
+            ControllerSpec::Proportional(ProportionalParams { gain, deadband })
+        }
         t => return Err(corrupt(format!("unknown controller tag {t}"))),
     })
 }
@@ -974,6 +1151,12 @@ fn put_event(out: &mut Vec<u8>, event: &Event) {
             out.put_u8(5);
             put_noise(out, model);
         }
+        // v7: the arena experiments' site-local demand shock.
+        Event::SetTaskDemand { task, demand } => {
+            out.put_u8(6);
+            out.put_u64_le(*task as u64);
+            out.put_u64_le(*demand);
+        }
     }
 }
 
@@ -989,6 +1172,10 @@ fn get_event(buf: &mut &[u8]) -> Result<Event, CheckpointError> {
         3 => Event::Scramble,
         4 => Event::StampedeTo(get_u64(buf)? as usize),
         5 => Event::SetNoise(get_noise(buf)?),
+        6 => Event::SetTaskDemand {
+            task: get_u64(buf)? as usize,
+            demand: get_u64(buf)?,
+        },
         t => return Err(corrupt(format!("unknown event tag {t}"))),
     })
 }
@@ -1141,6 +1328,27 @@ fn put_condition(out: &mut Vec<u8>, condition: &Condition) {
             put_condition(out, a);
             put_condition(out, b);
         }
+        // v7: per-task deficit conditions.
+        Condition::DeficitAbove {
+            task,
+            threshold,
+            for_rounds,
+        } => {
+            out.put_u8(6);
+            out.put_u64_le(*task as u64);
+            out.put_i64_le(*threshold);
+            out.put_u32_le(*for_rounds);
+        }
+        Condition::DeficitRateAbove {
+            task,
+            min_rise,
+            for_rounds,
+        } => {
+            out.put_u8(7);
+            out.put_u64_le(*task as u64);
+            out.put_i64_le(*min_rise);
+            out.put_u32_le(*for_rounds);
+        }
     }
 }
 
@@ -1173,6 +1381,16 @@ fn get_condition(buf: &mut &[u8], depth: u32) -> Result<Condition, CheckpointErr
             Box::new(get_condition(buf, depth + 1)?),
             Box::new(get_condition(buf, depth + 1)?),
         ),
+        6 => Condition::DeficitAbove {
+            task: get_u64(buf)? as usize,
+            threshold: get_i64(buf)?,
+            for_rounds: get_u32(buf)?,
+        },
+        7 => Condition::DeficitRateAbove {
+            task: get_u64(buf)? as usize,
+            min_rise: get_i64(buf)?,
+            for_rounds: get_u32(buf)?,
+        },
         t => return Err(corrupt(format!("unknown condition tag {t}"))),
     })
 }
@@ -1655,6 +1873,7 @@ mod tests {
                     InitialConfig::SaturatedPlus { extra: 2 },
                 ][i % 6]
                     .clone(),
+                arena: None,
             };
             let e = cfg.build();
             let cp = Checkpoint::capture(&e).unwrap();

@@ -5,9 +5,10 @@ use std::sync::Arc;
 use antalloc_core::{
     AlgorithmAnt, AntBank, AntParams, AnyController, ControllerBank, ExactGreedy, ExactGreedyBank,
     ExactGreedyParams, FsmSpec, PreciseAdversarial, PreciseAdversarialParams, PreciseSigmoid,
-    PreciseSigmoidBank, PreciseSigmoidParams, TableFsm, Trivial, TrivialBank,
+    PreciseSigmoidBank, PreciseSigmoidParams, ProportionalBank, ProportionalController,
+    ProportionalParams, TableFsm, Trivial, TrivialBank,
 };
-use antalloc_env::{DemandVector, InitialConfig, Timeline};
+use antalloc_env::{ArenaConfig, DemandVector, InitialConfig, Timeline};
 use antalloc_noise::NoiseModel;
 
 use crate::engine::SyncEngine;
@@ -35,6 +36,11 @@ pub enum ControllerSpec {
     Trivial,
     /// Exact-feedback baseline.
     ExactGreedy(ExactGreedyParams),
+    /// Proportional-control rival: a gain/deadband threshold controller
+    /// from the engineering-control family (join or quit with
+    /// probability `gain` once a deficit signal persists past the
+    /// deadband), racing the paper's algorithms under identical noise.
+    Proportional(ProportionalParams),
     /// Single-task hysteresis FSM of the given depth; `lazy` makes the
     /// switching edges fire with that probability instead of 1.
     Hysteresis {
@@ -76,6 +82,7 @@ impl ControllerSpec {
             ControllerSpec::PreciseAdversarial(p) => PreciseAdversarial::new(num_tasks, *p).into(),
             ControllerSpec::Trivial => Trivial::new(num_tasks).into(),
             ControllerSpec::ExactGreedy(p) => ExactGreedy::new(num_tasks, *p).into(),
+            ControllerSpec::Proportional(p) => ProportionalController::new(num_tasks, *p).into(),
             ControllerSpec::Hysteresis { depth, lazy } => {
                 TableFsm::new(Arc::new(Self::hysteresis_spec(*depth, *lazy))).into()
             }
@@ -139,6 +146,9 @@ impl ControllerSpec {
             ControllerSpec::ExactGreedy(p) => {
                 ControllerBank::ExactGreedy(ExactGreedyBank::new(num_tasks, *p, ids.len()))
             }
+            ControllerSpec::Proportional(p) => {
+                ControllerBank::Proportional(ProportionalBank::new(num_tasks, *p, ids.len()))
+            }
             ControllerSpec::Hysteresis { depth, lazy } => {
                 let spec = Arc::new(Self::hysteresis_spec(*depth, *lazy));
                 ControllerBank::Table(ids.iter().map(|_| TableFsm::new(spec.clone())).collect())
@@ -179,6 +189,9 @@ impl ControllerSpec {
             (ControllerSpec::ExactGreedy(p), ControllerBank::ExactGreedy(b)) => {
                 b.reinit(num_tasks, *p, ids.len());
             }
+            (ControllerSpec::Proportional(p), ControllerBank::Proportional(b)) => {
+                b.reinit(num_tasks, *p, ids.len());
+            }
             (ControllerSpec::Hysteresis { depth, lazy }, ControllerBank::Table(machines)) => {
                 let spec = Arc::new(Self::hysteresis_spec(*depth, *lazy));
                 machines.clear();
@@ -209,6 +222,7 @@ impl ControllerSpec {
             ControllerSpec::PreciseAdversarial(p) => p.phase_len(),
             ControllerSpec::Trivial
             | ControllerSpec::ExactGreedy(_)
+            | ControllerSpec::Proportional(_)
             | ControllerSpec::Hysteresis { .. } => 1,
             ControllerSpec::Mix(parts) => parts
                 .iter()
@@ -278,6 +292,11 @@ pub struct SimConfig {
     pub timeline: Timeline,
     /// Initial configuration (defaults to all-idle).
     pub initial: InitialConfig,
+    /// Optional spatial arena: tasks pinned to sites, demand sensed
+    /// locally, idle ants wandering between sites (defaults to `None` —
+    /// the paper's well-mixed colony). A single-site arena is
+    /// bit-identical to `None`.
+    pub arena: Option<ArenaConfig>,
 }
 
 impl SimConfig {
@@ -315,6 +334,14 @@ impl SimConfig {
     /// [`crate::ConfigError`].
     pub fn try_build_sequential(&self) -> Result<SequentialEngine, crate::ConfigError> {
         self.validate_structure()?;
+        if self.arena.is_some() {
+            // The sequential model activates one ant per round against
+            // live loads; there is no round-wise sensing pass to hang a
+            // spatial arena on.
+            return Err(crate::ConfigError::Arena(
+                "the sequential model does not support spatial arenas".into(),
+            ));
+        }
         let demands = DemandVector::new(self.demands.clone());
         Ok(SequentialEngine::new(self.clone(), demands))
     }
@@ -334,6 +361,7 @@ mod tests {
             ControllerSpec::PreciseAdversarial(PreciseAdversarialParams::new(0.03, 0.5)),
             ControllerSpec::Trivial,
             ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+            ControllerSpec::Proportional(ProportionalParams::default()),
         ] {
             let c = spec.build(3);
             assert_eq!(c.assignment(), Assignment::Idle, "{spec:?}");
@@ -366,6 +394,7 @@ mod tests {
             }
             .into(),
             initial: InitialConfig::AllIdle,
+            arena: None,
         };
         let sync_err = cfg.try_build().err().expect("sync engine must reject");
         let seq_err = cfg

@@ -43,9 +43,10 @@ use antalloc_env::{
     Assignment, ColonyState, ColonyView, ColumnWriter, DemandVector, Event, InitialConfig,
     Perturbation, RoundDelta, TaskColumn, Timeline, TriggerState,
 };
-use antalloc_noise::{NoiseModel, PreparedRound};
+use antalloc_noise::{NoiseModel, PreparedRound, SensedRound};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
 
+use crate::arena::ArenaState;
 use crate::config::{ControllerSpec, SimConfig};
 use crate::observer::Observer;
 use crate::population::Population;
@@ -65,6 +66,7 @@ pub(crate) fn apply_perturbation(
     p: &Perturbation,
     colony: &mut ColonyState,
     population: &mut Population,
+    mut arena: Option<&mut ArenaState>,
     rng: &mut AntRng,
     seeder: &StreamSeeder,
     next_stream: &mut u64,
@@ -74,11 +76,17 @@ pub(crate) fn apply_perturbation(
         Perturbation::KillRandom { .. } => {
             for &(slot, _) in &swaps {
                 population.remove(slot);
+                if let Some(a) = arena.as_deref_mut() {
+                    a.remove(slot);
+                }
             }
             // Kills without swaps (victim was last) still shrink us.
             while population.len() > colony.num_ants() {
                 let last = population.len() - 1;
                 population.remove(last);
+                if let Some(a) = arena.as_deref_mut() {
+                    a.remove(last);
+                }
             }
         }
         Perturbation::Spawn { count } => {
@@ -87,34 +95,50 @@ pub(crate) fn apply_perturbation(
                 let stream = seeder.stream(*next_stream);
                 population.spawn(k, *next_stream, stream);
                 *next_stream += 1;
+                if let Some(a) = arena.as_deref_mut() {
+                    a.spawn();
+                }
             }
         }
         Perturbation::Scramble | Perturbation::StampedeTo(_) => {
             population.reset_to_colony(colony);
+            // Ants teleported onto a task stand at its site; idle ants
+            // keep their position (and any in-flight travel).
+            if let Some(a) = arena.as_deref_mut() {
+                a.sync_to_colony(colony);
+            }
         }
     }
     debug_assert!(colony.recount_consistent());
     debug_assert_eq!(population.len(), colony.num_ants());
     debug_assert!(population.check_invariants());
+    debug_assert!(arena.is_none_or(|a| a.len() == colony.num_ants()));
 }
 
 /// The end-of-round summary timeline triggers are evaluated over,
 /// shared by both engines so triggered scenarios are model-portable.
-pub(crate) fn colony_view(round: u64, post_deficits: &[i64], colony: &ColonyState) -> ColonyView {
+pub(crate) fn colony_view<'a>(
+    round: u64,
+    post_deficits: &'a [i64],
+    colony: &ColonyState,
+) -> ColonyView<'a> {
     ColonyView {
         round,
         regret: post_deficits.iter().map(|d| d.unsigned_abs()).sum(),
         population: colony.num_ants(),
         idle: colony.idle_count(),
+        deficits: post_deficits,
     }
 }
 
 /// Applies one timeline event. Population shocks route through
 /// [`apply_perturbation`]; demand and noise rewrites are pure.
+#[allow(clippy::too_many_arguments)] // engine-internal plumbing
 pub(crate) fn apply_event(
     event: &Event,
     colony: &mut ColonyState,
     population: &mut Population,
+    arena: Option<&mut ArenaState>,
     noise: &mut NoiseModel,
     rng: &mut AntRng,
     seeder: &StreamSeeder,
@@ -122,13 +146,16 @@ pub(crate) fn apply_event(
 ) {
     match event {
         Event::SetDemands(demands) => colony.demands_mut().set(demands),
+        Event::SetTaskDemand { task, demand } => {
+            colony.demands_mut().set_task(*task, *demand);
+        }
         Event::SetNoise(model) => *noise = model.clone(),
         shock => {
             let p = shock
                 .as_perturbation()
-                // audit:allow(panic-path): exhaustive by construction — the match above consumed both pure event kinds.
+                // audit:allow(panic-path): exhaustive by construction — the match above consumed every pure event kind.
                 .expect("non-pure events are perturbations");
-            apply_perturbation(&p, colony, population, rng, seeder, next_stream);
+            apply_perturbation(&p, colony, population, arena, rng, seeder, next_stream);
         }
     }
 }
@@ -182,6 +209,12 @@ pub(crate) struct EngineState<'a> {
     /// Mid-phase controller scratch (Precise Sigmoid counters), in
     /// global ant order; empty for scratch-free colonies.
     pub scratch: Vec<(u32, antalloc_core::ControllerScratch)>,
+    /// Arena position column (site per ant, global ant order); empty
+    /// for well-mixed scenarios.
+    pub arena_site: Vec<u32>,
+    /// Arena travel column (transit rounds remaining per ant); empty
+    /// for well-mixed scenarios.
+    pub arena_travel: Vec<u32>,
 }
 
 /// One bank's slice of the colony, as seen by [`SyncEngine::bank_census`].
@@ -236,6 +269,12 @@ pub struct SyncEngine {
     /// worker locks only its own slot between the round barriers, the
     /// coordinator merges in its exclusive window.
     worker_deltas: Vec<parking_lot::Mutex<RoundDelta>>,
+    /// Spatial runtime for arena scenarios (`None` for well-mixed).
+    /// Behind a lock only for the pooled path's sake: workers read the
+    /// frozen sense rows between the round barriers, the coordinator
+    /// writes (sense-row rebuild, wander pass) in its exclusive
+    /// windows — the lock is never contended.
+    arena: Option<parking_lot::RwLock<ArenaState>>,
 }
 
 impl SyncEngine {
@@ -262,6 +301,10 @@ impl SyncEngine {
             next_column: TaskColumn::new(n),
             round_delta: RoundDelta::new(k),
             worker_deltas: Vec::new(),
+            arena: config
+                .arena
+                .as_ref()
+                .map(|a| parking_lot::RwLock::new(ArenaState::new(a, n, config.seed))),
             compiled,
             config,
         };
@@ -304,6 +347,10 @@ impl SyncEngine {
         self.round_delta.reset(k);
         // worker_deltas are pure scratch: grown on demand, reset at
         // every segment start, so stale capacity cannot leak state.
+        self.arena = config
+            .arena
+            .as_ref()
+            .map(|a| parking_lot::RwLock::new(ArenaState::new(a, n, config.seed)));
         let initial = self.config.initial.clone();
         self.set_initial(&initial);
     }
@@ -313,6 +360,9 @@ impl SyncEngine {
     pub fn set_initial(&mut self, initial: &InitialConfig) {
         initial.apply(&mut self.colony, &mut self.init_rng);
         self.population.reset_to_colony(&self.colony);
+        if let Some(arena) = &mut self.arena {
+            arena.get_mut().sync_to_colony(&self.colony);
+        }
     }
 
     /// The current round number (rounds are 1-based; 0 before any step).
@@ -391,11 +441,13 @@ impl SyncEngine {
             return;
         }
         let mut rng = self.event_seeder.stream(self.round);
+        let mut arena = self.arena.as_mut().map(|l| l.get_mut());
         for event in &fired {
             apply_event(
                 event,
                 &mut self.colony,
                 &mut self.population,
+                arena.as_deref_mut(),
                 &mut self.noise,
                 &mut rng,
                 &self.seeder,
@@ -447,15 +499,31 @@ impl SyncEngine {
         // Events fired in begin_round may have resized the population.
         self.next_column.resize(self.population.len());
         self.round_delta.reset(self.colony.num_tasks());
+        if let Some(arena) = &mut self.arena {
+            arena.get_mut().build_round(&prepared);
+        }
+        // The read guard is uncontended here (serial path); it exists
+        // so the pooled path can share the identical sensing code.
+        let arena_guard = self.arena.as_ref().map(|l| l.read());
+        let sensed = match &arena_guard {
+            Some(a) => a.sensed(&prepared),
+            None => SensedRound::shared(&prepared),
+        };
         self.population.step_round(
-            &prepared,
+            sensed,
             self.colony.task_column(),
             &self.next_column,
             &mut self.round_delta,
         );
+        drop(arena_guard);
         let switches = self.round_delta.switches();
         self.colony
             .commit_round(&mut self.next_column, &self.round_delta);
+        if let Some(arena) = &mut self.arena {
+            arena
+                .get_mut()
+                .wander(self.round, self.colony.task_column());
+        }
         self.finish_round(switches, observer);
     }
 
@@ -654,6 +722,7 @@ impl SyncEngine {
         let trigger_states = &mut self.trigger_states;
         let worker_deltas = &self.worker_deltas;
         let columns_ref = &columns;
+        let arena = &self.arena;
 
         let completed = crossbeam::thread::scope(|scope| {
             // The coordinator doubles as the worker for chunk 0, so the
@@ -685,13 +754,21 @@ impl SyncEngine {
                         // Only this worker touches its slot between the
                         // barriers, so the lock is uncontended; it must
                         // drop before `done` so the coordinator's merge
-                        // can take it.
+                        // can take it. Same for the arena read guard:
+                        // the coordinator rebuilt the sense rows before
+                        // releasing `start` and next writes only after
+                        // `done`.
                         let mut delta = slot.lock();
                         delta.reset(k);
+                        let arena_guard = arena.as_ref().map(|l| l.read());
+                        let sensed = match &arena_guard {
+                            Some(a) => a.sensed(&prepared),
+                            None => SensedRound::shared(&prepared),
+                        };
                         let mut writer =
                             ColumnWriter::new(&columns[parity], &columns[parity ^ 1], &mut delta);
                         for (slice, rngs, ids) in part.iter_mut() {
-                            slice.step_batch_fused(prepared.view(), rngs, ids, &mut writer);
+                            slice.step_batch_fused(sensed, rngs, ids, &mut writer);
                         }
                     }
                     done.wait();
@@ -707,19 +784,29 @@ impl SyncEngine {
                 colony.deficits_into(pre_deficits);
                 let prepared =
                     Arc::new(noise.prepare(*round, pre_deficits, colony.demands().as_slice()));
+                // Still exclusive: freeze this round's sense rows before
+                // any worker can read them.
+                if let Some(l) = arena {
+                    l.write().build_round(&prepared);
+                }
                 *shared.write() = Some((Arc::clone(&prepared), parity));
                 start.wait();
                 // Step the coordinator's own chunks alongside the workers.
                 {
                     let mut delta = worker_deltas[0].lock();
                     delta.reset(k);
+                    let arena_guard = arena.as_ref().map(|l| l.read());
+                    let sensed = match &arena_guard {
+                        Some(a) => a.sensed(&prepared),
+                        None => SensedRound::shared(&prepared),
+                    };
                     let mut writer = ColumnWriter::new(
                         &columns_ref[parity],
                         &columns_ref[parity ^ 1],
                         &mut delta,
                     );
                     for (slice, rngs, ids) in own_part.iter_mut() {
-                        slice.step_batch_fused(prepared.view(), rngs, ids, &mut writer);
+                        slice.step_batch_fused(sensed, rngs, ids, &mut writer);
                     }
                 }
                 done.wait();
@@ -736,6 +823,12 @@ impl SyncEngine {
                     colony.apply_round_delta(&delta);
                 }
                 parity ^= 1;
+                // Exclusive window: the wander pass runs against the
+                // just-flipped authoritative column, exactly where the
+                // serial path runs it after `commit_round`.
+                if let Some(l) = arena {
+                    l.write().wander(*round, &columns_ref[parity]);
+                }
                 colony.deficits_into(post_deficits);
                 let record = RoundRecord {
                     round: *round,
@@ -761,6 +854,7 @@ impl SyncEngine {
                         regret: post_deficits.iter().map(|d| d.unsigned_abs()).sum(),
                         population: n,
                         idle: colony.idle_count(),
+                        deficits: post_deficits,
                     };
                     if compiled.observe_triggers(trigger_states, &view) {
                         break;
@@ -797,6 +891,7 @@ impl SyncEngine {
             p,
             &mut self.colony,
             &mut self.population,
+            self.arena.as_mut().map(|l| l.get_mut()),
             &mut self.init_rng,
             &self.seeder,
             &mut self.next_stream,
@@ -810,6 +905,13 @@ impl SyncEngine {
         } else {
             None
         };
+        let (arena_site, arena_travel) = match &self.arena {
+            Some(l) => {
+                let a = l.read();
+                (a.site().to_vec(), a.travel().to_vec())
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         EngineState {
             config: &self.config,
             colony: &self.colony,
@@ -821,6 +923,8 @@ impl SyncEngine {
             members,
             trigger_states: self.trigger_states.clone(),
             scratch: self.population.scratches(),
+            arena_site,
+            arena_travel,
         }
     }
 
@@ -853,6 +957,7 @@ impl SyncEngine {
         members: &[u16],
         trigger_states: &[TriggerState],
         scratch: &[(u32, antalloc_core::ControllerScratch)],
+        arena_columns: Option<(&[u32], &[u32])>,
     ) {
         let n = assignments.len();
         let k = demands.len();
@@ -898,6 +1003,17 @@ impl SyncEngine {
         self.next_stream = next_stream;
         self.next_column.reset(n);
         self.round_delta.reset(k);
+        self.arena = config.arena.as_ref().map(|a| {
+            let mut state = ArenaState::new(a, n, config.seed);
+            match arena_columns {
+                Some((site, travel)) => state.set_columns(site, travel),
+                // Defensive: a checkpoint that carries an arena config
+                // always carries its columns; re-derive from the colony
+                // if one somehow does not.
+                None => state.sync_to_colony(&self.colony),
+            }
+            parking_lot::RwLock::new(state)
+        });
     }
 }
 

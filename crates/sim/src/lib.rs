@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod checkpoint;
 mod config;
 mod engine;
@@ -63,6 +64,6 @@ pub use observer::{BasicObserver, Both, FnObserver, NullObserver, Observer, RunS
 pub use recorder::TraceRecorder;
 pub use scenario::{
     AxisValue, Batch, CapturePolicy, ConfigError, CsvSink, JsonlSink, RunOutcome, RunSink,
-    Scenario, ScenarioBuilder, Sweep, UsePolicy,
+    Scenario, ScenarioBuilder, Sweep, UsePolicy, MAX_TASKS,
 };
 pub use sequential::SequentialEngine;

@@ -35,7 +35,7 @@
 
 use antalloc_core::{AnyController, BankSliceMut, ControllerBank, ControllerScratch};
 use antalloc_env::{Assignment, ColonyState, ColumnWriter, RoundDelta, TaskColumn};
-use antalloc_noise::PreparedRound;
+use antalloc_noise::{PreparedRound, SensedRound};
 use antalloc_rng::{reserved, uniform_index, AntRng, StreamSeeder};
 
 use crate::config::ControllerSpec;
@@ -371,19 +371,15 @@ impl Population {
     /// identical to the buffered path they replaced.
     pub fn step_round(
         &mut self,
-        prepared: &PreparedRound,
+        sensed: SensedRound<'_>,
         prev: &TaskColumn,
         next: &TaskColumn,
         delta: &mut RoundDelta,
     ) {
         for bank in &mut self.banks {
             let mut writer = ColumnWriter::new(prev, next, delta);
-            bank.controllers.step_batch_fused(
-                prepared.view(),
-                &mut bank.rngs,
-                &bank.ants,
-                &mut writer,
-            );
+            bank.controllers
+                .step_batch_fused(sensed, &mut bank.rngs, &bank.ants, &mut writer);
         }
     }
 

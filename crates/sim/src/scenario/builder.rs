@@ -1,10 +1,18 @@
 //! The fluent, validating scenario builder.
 
-use antalloc_env::{DemandSchedule, Event, InitialConfig, Timeline};
+use antalloc_env::{ArenaConfig, DemandSchedule, Event, InitialConfig, Timeline};
 use antalloc_noise::NoiseModel;
 
 use crate::config::{ControllerSpec, SimConfig};
 use crate::scenario::ConfigError;
+
+/// Hard cap on the task count `k`. The paper's regime is `k ≪ n`
+/// (single digits in every experiment); the cap keeps pathological
+/// configs from quietly allocating per-task state the engine was never
+/// sized for, and lets the ≤ 64-task bitmask sensing fast path treat
+/// its bound as a checked-once precondition rather than a per-draw
+/// assertion.
+pub const MAX_TASKS: usize = 4096;
 
 /// How much validation a build performs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,6 +64,7 @@ impl ScenarioBuilder {
                 seed: 0,
                 timeline: Timeline::new(),
                 initial: InitialConfig::AllIdle,
+                arena: None,
             },
             strictness: Strictness::Strict,
         }
@@ -131,6 +140,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Pins the tasks to spatial sites (see
+    /// [`antalloc_env::ArenaConfig`]); ants then sense demand locally
+    /// and idle ants wander between sites. `None` (the default) is the
+    /// paper's well-mixed colony.
+    pub fn arena(mut self, arena: ArenaConfig) -> Self {
+        self.config.arena = Some(arena);
+        self
+    }
+
     /// Skips the admissible-parameter-window checks (γ ranges, pause
     /// probabilities, …) while keeping all structural validation.
     ///
@@ -180,7 +198,16 @@ pub(crate) fn validate(config: &SimConfig, strictness: Strictness) -> Result<(),
         return Err(ConfigError::ZeroDemand { task });
     }
     let k = config.demands.len();
+    if k > MAX_TASKS {
+        return Err(ConfigError::TooManyTasks {
+            tasks: k,
+            max: MAX_TASKS,
+        });
+    }
     validate_controller(&config.controller, k, strictness)?;
+    if let Some(arena) = &config.arena {
+        arena.validate(k).map_err(ConfigError::Arena)?;
+    }
     config.noise.validate(k).map_err(ConfigError::Noise)?;
     config
         .timeline
@@ -261,6 +288,11 @@ fn validate_controller(
                 }
             }
         }
+        // A gain outside (0, 1] is not a probability: the draw itself
+        // is ill-defined, so the check is structural, not a window.
+        ControllerSpec::Proportional(p) => {
+            p.validate().map_err(ConfigError::Controller)?;
+        }
         _ => {}
     }
     if strictness == Strictness::OutOfSpec {
@@ -275,6 +307,7 @@ fn validate_controller(
         ControllerSpec::PreciseAdversarial(p) => p.validate().map_err(ConfigError::Controller),
         ControllerSpec::Trivial
         | ControllerSpec::ExactGreedy(_)
+        | ControllerSpec::Proportional(_)
         | ControllerSpec::Hysteresis { .. } => Ok(()),
         // Handled (recursively) by the structural pass above.
         ControllerSpec::Mix(_) => Ok(()),

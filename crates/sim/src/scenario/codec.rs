@@ -13,12 +13,17 @@
 //! [controller]
 //! kind = "ant"               # ant | ant-desync | precise-sigmoid |
 //!                            # precise-adversarial | trivial |
-//!                            # exact-greedy | hysteresis
-//! gamma = 0.0625
+//!                            # exact-greedy | hysteresis |
+//! gamma = 0.0625             # proportional | mix
 //!
 //! [noise]
 //! kind = "sigmoid"           # sigmoid | correlated-sigmoid |
 //! lambda = 2.0               # adversarial | exact
+//!
+//! [arena]                    # optional: spatial sensing (tasks pinned
+//! sites = [0, 0, 1]          # to sites; demand sensed locally)
+//! travel_rounds = 4
+//! wander_probability = 0.02
 //!
 //! [[timeline]]               # optional: scripted mid-run events
 //! at = 4000
@@ -72,10 +77,13 @@
 //! `[schedule]` section is still accepted on input (it compiles to the
 //! equivalent timeline); output always uses `[[timeline]]`.
 
-use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
+use antalloc_core::{
+    AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams,
+    ProportionalParams,
+};
 use antalloc_env::{
-    Condition, Cycle, DemandSchedule, Event, GenShock, InitialConfig, TimedEvent, Timeline,
-    TimelineGen, Trigger,
+    ArenaConfig, Condition, Cycle, DemandSchedule, Event, GenShock, InitialConfig, TimedEvent,
+    Timeline, TimelineGen, Trigger,
 };
 use antalloc_noise::{GreyZonePolicy, NoiseModel};
 
@@ -130,6 +138,9 @@ pub fn config_to_value(config: &SimConfig, name: Option<&str>, out_of_spec: bool
     }
     root.insert("controller", controller_to_value(&config.controller));
     root.insert("noise", noise_to_value(&config.noise));
+    if let Some(arena) = &config.arena {
+        root.insert("arena", arena_to_value(arena));
+    }
     if !config.timeline.is_empty() {
         root.insert("timeline", timeline_to_value(&config.timeline));
     }
@@ -153,6 +164,7 @@ pub fn config_from_value(root: &Value) -> Result<(SimConfig, Option<String>, boo
             "out_of_spec",
             "controller",
             "noise",
+            "arena",
             "timeline",
             "schedule",
             "initial",
@@ -187,6 +199,10 @@ pub fn config_from_value(root: &Value) -> Result<(SimConfig, Option<String>, boo
         },
         controller: controller_from_value(root.want("controller")?)?,
         noise: noise_from_value(root.want("noise")?)?,
+        arena: match root.get("arena") {
+            Some(v) => Some(arena_from_value(v)?),
+            None => None,
+        },
         timeline,
         initial: match root.get("initial") {
             Some(v) => initial_from_value(v)?,
@@ -249,6 +265,13 @@ pub fn controller_to_value(spec: &ControllerSpec) -> Value {
                 t.insert("lazy", float(*p));
             }
         }
+        ControllerSpec::Proportional(p) => {
+            t.insert("kind", Value::Str("proportional".into()));
+            t.insert("gain", float(p.gain));
+            if p.deadband != 0 {
+                t.insert("deadband", int(u64::from(p.deadband)));
+            }
+        }
         ControllerSpec::Mix(parts) => {
             t.insert("kind", Value::Str("mix".into()));
             t.insert(
@@ -289,6 +312,7 @@ pub fn controller_from_value(v: &Value) -> Result<ControllerSpec, ConfigError> {
         "trivial" => &["kind"],
         "exact-greedy" => &["kind", "p_join", "p_leave"],
         "hysteresis" => &["kind", "depth", "lazy"],
+        "proportional" => &["kind", "gain", "deadband"],
         "mix" => &["kind", "parts"],
         _ => &["kind"], // unknown kind errors below
     };
@@ -335,6 +359,16 @@ pub fn controller_from_value(v: &Value) -> Result<ControllerSpec, ConfigError> {
             p.p_join = opt_f64("p_join", p.p_join)?;
             p.p_leave = opt_f64("p_leave", p.p_leave)?;
             Ok(ControllerSpec::ExactGreedy(p))
+        }
+        "proportional" => {
+            let mut p = ProportionalParams::default();
+            p.gain = opt_f64("gain", p.gain)?;
+            if let Some(x) = v.get("deadband") {
+                let raw = x.as_u64("controller.deadband")?;
+                p.deadband = u16::try_from(raw)
+                    .map_err(|_| bad(what, format!("deadband {raw} exceeds u16")))?;
+            }
+            Ok(ControllerSpec::Proportional(p))
         }
         "hysteresis" => {
             let depth64 = v.want("depth")?.as_u64("controller.depth")?;
@@ -467,6 +501,60 @@ fn policy_from_value(v: &Value) -> Result<GreyZonePolicy, ConfigError> {
     }
 }
 
+// ---- ArenaConfig --------------------------------------------------------
+
+/// Encodes a spatial arena as the `[arena]` table.
+pub fn arena_to_value(arena: &ArenaConfig) -> Value {
+    let mut t = Value::table();
+    t.insert(
+        "sites",
+        Value::Array(
+            arena
+                .site_of_task
+                .iter()
+                .map(|&s| int(u64::from(s)))
+                .collect(),
+        ),
+    );
+    if arena.travel_rounds != 0 {
+        t.insert("travel_rounds", int(u64::from(arena.travel_rounds)));
+    }
+    if arena.wander_probability != 0.0 {
+        t.insert("wander_probability", float(arena.wander_probability));
+    }
+    t
+}
+
+/// Decodes a spatial arena. Purely syntactic — the geometry checks
+/// (dense sites, `sites` length vs the task count) run with the rest of
+/// the scenario validation.
+pub fn arena_from_value(v: &Value) -> Result<ArenaConfig, ConfigError> {
+    let what = "arena";
+    check_keys(v, what, &["sites", "travel_rounds", "wander_probability"])?;
+    let site_of_task = v
+        .want("sites")?
+        .as_u64_array("arena.sites")?
+        .into_iter()
+        .map(|s| u32::try_from(s).map_err(|_| bad(what, format!("site id {s} exceeds u32"))))
+        .collect::<Result<Vec<_>, ConfigError>>()?;
+    let travel_rounds = match v.get("travel_rounds") {
+        Some(x) => {
+            let raw = x.as_u64("arena.travel_rounds")?;
+            u32::try_from(raw).map_err(|_| bad(what, format!("travel_rounds {raw} exceeds u32")))?
+        }
+        None => 0,
+    };
+    let wander_probability = match v.get("wander_probability") {
+        Some(x) => x.as_f64("arena.wander_probability")?,
+        None => 0.0,
+    };
+    Ok(ArenaConfig {
+        site_of_task,
+        travel_rounds,
+        wander_probability,
+    })
+}
+
 // ---- DemandSchedule (legacy input sugar) --------------------------------
 
 /// Decodes a legacy `[schedule]` section; callers compile the result to
@@ -583,6 +671,11 @@ fn event_into_table(event: &Event, t: &mut Value) {
             t.insert("kind", Value::Str("set-noise".into()));
             t.insert("noise", noise_to_value(model));
         }
+        Event::SetTaskDemand { task, demand } => {
+            t.insert("kind", Value::Str("set-task-demand".into()));
+            t.insert("task", int(*task as u64));
+            t.insert("demand", int(*demand));
+        }
     }
 }
 
@@ -604,6 +697,7 @@ fn event_keys(kind: &str, with_at: bool) -> Option<Vec<&'static str>> {
     };
     let payload: &[&str] = match kind {
         "set-demands" => &["demands"],
+        "set-task-demand" => &["task", "demand"],
         "kill" | "spawn" => &["count"],
         "stampede-to" => &["task"],
         "set-noise" => &["noise"],
@@ -620,6 +714,10 @@ fn event_from_table(v: &Value, what: &str) -> Result<Event, ConfigError> {
         "set-demands" => Ok(Event::SetDemands(
             v.want("demands")?.as_u64_array("event.demands")?,
         )),
+        "set-task-demand" => Ok(Event::SetTaskDemand {
+            task: v.want("task")?.as_usize("event.task")?,
+            demand: v.want("demand")?.as_u64("event.demand")?,
+        }),
         "kill" => Ok(Event::Kill {
             count: v.want("count")?.as_usize("event.count")?,
         }),
@@ -811,6 +909,30 @@ pub fn condition_to_value(condition: &Condition) -> Value {
             t.insert("kind", Value::Str("round-reached".into()));
             t.insert("round", int(*round));
         }
+        Condition::DeficitAbove {
+            task,
+            threshold,
+            for_rounds,
+        } => {
+            t.insert("kind", Value::Str("deficit-above".into()));
+            t.insert("task", int(*task as u64));
+            t.insert("threshold", Value::Int(i128::from(*threshold)));
+            if *for_rounds != 1 {
+                t.insert("for_rounds", int(u64::from(*for_rounds)));
+            }
+        }
+        Condition::DeficitRateAbove {
+            task,
+            min_rise,
+            for_rounds,
+        } => {
+            t.insert("kind", Value::Str("deficit-rate-above".into()));
+            t.insert("task", int(*task as u64));
+            t.insert("min_rise", Value::Int(i128::from(*min_rise)));
+            if *for_rounds != 1 {
+                t.insert("for_rounds", int(u64::from(*for_rounds)));
+            }
+        }
         Condition::And(a, b) | Condition::Or(a, b) => {
             t.insert(
                 "kind",
@@ -836,23 +958,27 @@ pub fn condition_from_value(v: &Value) -> Result<Condition, ConfigError> {
     let kind = v.want("kind")?.as_str("condition.kind")?;
     let allowed: &[&str] = match kind {
         "regret-above" | "regret-below" => &["kind", "threshold", "for_rounds"],
+        "deficit-above" => &["kind", "task", "threshold", "for_rounds"],
+        "deficit-rate-above" => &["kind", "task", "min_rise", "for_rounds"],
         "population-below" => &["kind", "threshold"],
         "round-reached" => &["kind", "round"],
         "and" | "or" => &["kind", "a", "b"],
         _ => &["kind"],
     };
     check_keys(v, what, allowed)?;
+    let for_rounds = || -> Result<u32, ConfigError> {
+        match v.get("for_rounds") {
+            Some(x) => {
+                let raw = x.as_u64("condition.for_rounds")?;
+                u32::try_from(raw).map_err(|_| bad(what, format!("for_rounds {raw} exceeds u32")))
+            }
+            None => Ok(1),
+        }
+    };
     match kind {
         "regret-above" | "regret-below" => {
             let threshold = v.want("threshold")?.as_u64("condition.threshold")?;
-            let for_rounds = match v.get("for_rounds") {
-                Some(x) => {
-                    let raw = x.as_u64("condition.for_rounds")?;
-                    u32::try_from(raw)
-                        .map_err(|_| bad(what, format!("for_rounds {raw} exceeds u32")))?
-                }
-                None => 1,
-            };
+            let for_rounds = for_rounds()?;
             Ok(if kind == "regret-above" {
                 Condition::RegretAbove {
                     threshold,
@@ -865,6 +991,16 @@ pub fn condition_from_value(v: &Value) -> Result<Condition, ConfigError> {
                 }
             })
         }
+        "deficit-above" => Ok(Condition::DeficitAbove {
+            task: v.want("task")?.as_usize("condition.task")?,
+            threshold: v.want("threshold")?.as_i64("condition.threshold")?,
+            for_rounds: for_rounds()?,
+        }),
+        "deficit-rate-above" => Ok(Condition::DeficitRateAbove {
+            task: v.want("task")?.as_usize("condition.task")?,
+            min_rise: v.want("min_rise")?.as_i64("condition.min_rise")?,
+            for_rounds: for_rounds()?,
+        }),
         "population-below" => Ok(Condition::PopulationBelow {
             threshold: v.want("threshold")?.as_usize("condition.threshold")?,
         }),
@@ -1040,6 +1176,11 @@ mod tests {
                 depth: 2,
                 lazy: Some(0.5),
             },
+            ControllerSpec::Proportional(ProportionalParams::default()),
+            ControllerSpec::Proportional(ProportionalParams {
+                gain: 0.25,
+                deadband: 3,
+            }),
             ControllerSpec::Mix(vec![
                 (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
                 (
@@ -1138,6 +1279,7 @@ mod tests {
             Timeline::new()
                 .at(3, Event::SetDemands(vec![4, 4]))
                 .at(3, Event::Spawn { count: 9 })
+                .at(5, Event::SetTaskDemand { task: 1, demand: 7 })
                 .at(8, Event::Scramble)
                 .at(9, Event::StampedeTo(1))
                 .at(12, Event::SetNoise(NoiseModel::Sigmoid { lambda: 4.0 })),
@@ -1194,6 +1336,30 @@ mod tests {
                     event: Event::SetNoise(NoiseModel::Exact),
                     cooldown: 0,
                     max_firings: 0,
+                }),
+            // Deficit conditions (absolute and rate), negative bounds,
+            // firing the arena experiments' site-local demand step.
+            Timeline::new()
+                .trigger(Trigger::once(
+                    Condition::DeficitAbove {
+                        task: 1,
+                        threshold: -4,
+                        for_rounds: 8,
+                    },
+                    Event::SetTaskDemand {
+                        task: 1,
+                        demand: 20,
+                    },
+                ))
+                .trigger(Trigger {
+                    when: Condition::DeficitRateAbove {
+                        task: 0,
+                        min_rise: 2,
+                        for_rounds: 1,
+                    },
+                    event: Event::Spawn { count: 10 },
+                    cooldown: 100,
+                    max_firings: 5,
                 }),
             // Generators of every shock kind, mixed with scripted
             // events and cycles.
@@ -1334,6 +1500,24 @@ mod tests {
         assert!(initial_from_value(&t).is_err());
         assert!(event_from_value(&t).is_err());
         assert!(timeline_from_value(&Value::Array(vec![t])).is_err());
+    }
+
+    #[test]
+    fn arena_roundtrips_and_rejects_typos() {
+        for arena in [
+            ArenaConfig::single_site(3),
+            ArenaConfig {
+                site_of_task: vec![0, 0, 1, 2],
+                travel_rounds: 4,
+                wander_probability: 0.02,
+            },
+        ] {
+            let back = arena_from_value(&arena_to_value(&arena)).unwrap();
+            assert_eq!(back, arena);
+        }
+        let mut v = arena_to_value(&ArenaConfig::single_site(2));
+        v.insert("travel_round", Value::Int(3)); // typo'd key
+        assert!(arena_from_value(&v).is_err());
     }
 
     #[test]

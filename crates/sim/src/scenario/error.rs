@@ -19,9 +19,22 @@ pub enum ConfigError {
         /// Index of the offending task.
         task: usize,
     },
+    /// The task count exceeds the engine's hard cap (the step kernels'
+    /// bitmask sensing carries at most [`crate::MAX_TASKS`] tasks; the
+    /// paper's regime is `k ≪ n`, single digits in every experiment).
+    TooManyTasks {
+        /// Number of tasks the config declares.
+        tasks: usize,
+        /// The hard cap ([`crate::MAX_TASKS`]).
+        max: usize,
+    },
     /// The controller spec is outside its admissible parameter window
     /// or structurally unusable.
     Controller(String),
+    /// The spatial arena disagrees with the colony: wrong
+    /// `site_of_task` length, sparse site ids, or a wander probability
+    /// outside `[0, 1]`.
+    Arena(String),
     /// The noise model has out-of-range parameters or a policy whose
     /// shape disagrees with the task count.
     Noise(String),
@@ -56,7 +69,11 @@ impl core::fmt::Display for ConfigError {
             ConfigError::ZeroDemand { task } => {
                 write!(f, "task {task} has zero demand (omit zero-demand tasks)")
             }
+            ConfigError::TooManyTasks { tasks, max } => {
+                write!(f, "{tasks} tasks exceeds the engine cap of {max}")
+            }
             ConfigError::Controller(msg) => write!(f, "invalid controller: {msg}"),
+            ConfigError::Arena(msg) => write!(f, "invalid arena: {msg}"),
             ConfigError::Noise(msg) => write!(f, "invalid noise model: {msg}"),
             ConfigError::Timeline(msg) => write!(f, "invalid timeline: {msg}"),
             ConfigError::Trigger(msg) => write!(f, "invalid trigger: {msg}"),

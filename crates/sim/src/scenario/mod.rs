@@ -45,7 +45,7 @@ mod value;
 use std::path::Path;
 
 pub use batch::{AxisValue, Batch, CapturePolicy, RunOutcome, Sweep, UsePolicy};
-pub use builder::ScenarioBuilder;
+pub use builder::{ScenarioBuilder, MAX_TASKS};
 pub use codec::{
     condition_from_value, condition_to_value, config_from_value, config_to_value,
     controller_from_value, controller_to_value, event_from_value, event_to_value, gen_from_value,

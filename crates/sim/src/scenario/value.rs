@@ -85,6 +85,19 @@ impl Value {
         }
     }
 
+    /// Reads this node as an `i64` (signed — deficit thresholds may be
+    /// negative).
+    pub fn as_i64(&self, what: &str) -> Result<i64, ConfigError> {
+        match self {
+            Value::Int(i) => i64::try_from(*i)
+                .map_err(|_| ConfigError::Parse(format!("{what}: {i} is out of range for i64"))),
+            other => Err(ConfigError::Parse(format!(
+                "{what}: expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// Reads this node as a `usize`.
     pub fn as_usize(&self, what: &str) -> Result<usize, ConfigError> {
         self.as_u64(what).and_then(|v| {

@@ -113,6 +113,9 @@ impl SequentialEngine {
                     event,
                     &mut self.colony,
                     &mut self.population,
+                    // The sequential engine rejects arena configs at
+                    // build time (`SimConfig::try_build_sequential`).
+                    None,
                     &mut self.noise,
                     &mut rng,
                     &self.seeder,

@@ -9,7 +9,10 @@ use antalloc_noise::{FeedbackProbe, NoiseModel};
 use antalloc_rng::{reserved, AntRng, StreamSeeder};
 use antalloc_sim::{Checkpoint, ControllerSpec, FnObserver, NullObserver, RoundRecord, SimConfig};
 
-use antalloc_core::{AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams};
+use antalloc_core::{
+    AntParams, ExactGreedyParams, PreciseAdversarialParams, PreciseSigmoidParams,
+    ProportionalParams,
+};
 
 /// One round's observable outcome.
 type Trace = Vec<(u64, Vec<u32>, u64, u64)>; // (round, loads, idle, switches)
@@ -100,6 +103,13 @@ fn every_spec() -> Vec<(ControllerSpec, usize)> {
         (ControllerSpec::Trivial, 3),
         (ControllerSpec::ExactGreedy(ExactGreedyParams::default()), 2),
         (
+            ControllerSpec::Proportional(ProportionalParams {
+                gain: 0.25,
+                deadband: 2,
+            }),
+            3,
+        ),
+        (
             ControllerSpec::Hysteresis {
                 depth: 3,
                 lazy: Some(0.5),
@@ -130,8 +140,8 @@ fn every_spec() -> Vec<(ControllerSpec, usize)> {
             ]),
             1,
         ),
-        // Every SoA-banked kind at once: Ant, Precise Sigmoid, Trivial
-        // and ExactGreedy racing inside one colony.
+        // Every SoA-banked kind at once: Ant, Precise Sigmoid, Trivial,
+        // ExactGreedy and Proportional racing inside one colony.
         (
             ControllerSpec::Mix(vec![
                 (1.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
@@ -143,6 +153,10 @@ fn every_spec() -> Vec<(ControllerSpec, usize)> {
                 (
                     1.0,
                     ControllerSpec::ExactGreedy(ExactGreedyParams::default()),
+                ),
+                (
+                    1.0,
+                    ControllerSpec::Proportional(ProportionalParams::default()),
                 ),
             ]),
             2,
@@ -188,7 +202,7 @@ mod properties {
         /// reproduce the per-ant reference round for round.
         #[test]
         fn bank_equals_reference(
-            which in 0usize..10,
+            which in 0usize..11,
             noise_pick in 0usize..3,
             n in 20usize..160,
             seed: u64,
@@ -213,7 +227,7 @@ mod properties {
         /// reference can replay them).
         #[test]
         fn bank_equals_reference_under_demand_timelines(
-            which in 0usize..10,
+            which in 0usize..11,
             n in 20usize..160,
             seed: u64,
             first_at in 1u64..12,
@@ -239,7 +253,7 @@ mod properties {
         /// bit-identical to the uninterrupted run.
         #[test]
         fn mid_timeline_checkpoint_replay_is_exact(
-            which in 0usize..5,
+            which in 0usize..6,
             seed: u64,
             boundary in 1u64..30,
             tail in 1u64..30,
@@ -249,10 +263,26 @@ mod properties {
             // serialized, so its 82-round phase doesn't gate capture —
             // the last mix checkpoints mid-sigmoid-phase across kills,
             // spawns and scrambles).
-            let specs: [(ControllerSpec, usize); 5] = [
+            let specs: [(ControllerSpec, usize); 6] = [
                 (ControllerSpec::Ant(AntParams::new(1.0 / 16.0)), 2),
                 (ControllerSpec::Trivial, 2),
                 (ControllerSpec::ExactGreedy(ExactGreedyParams::default()), 2),
+                // Proportional contributes capture phase 1: its deadband
+                // streaks travel in the v7 scratch section, so the mix
+                // checkpoints mid-streak across kills and scrambles.
+                (
+                    ControllerSpec::Mix(vec![
+                        (1.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),
+                        (
+                            1.0,
+                            ControllerSpec::Proportional(ProportionalParams {
+                                gain: 0.5,
+                                deadband: 4,
+                            }),
+                        ),
+                    ]),
+                    2,
+                ),
                 (
                     ControllerSpec::Mix(vec![
                         (2.0, ControllerSpec::Ant(AntParams::new(1.0 / 16.0))),

@@ -47,8 +47,8 @@ fn every_toml_snippet_parses_and_roundtrips() {
     let doc = scenarios_md();
     let snippets = fenced_blocks(&doc, "toml");
     assert!(
-        snippets.len() >= 10,
-        "expected the reference to document at least 10 TOML scenarios, found {}",
+        snippets.len() >= 13,
+        "expected the reference to document at least 13 TOML scenarios, found {}",
         snippets.len()
     );
     for (i, snippet) in snippets.iter().enumerate() {
@@ -104,13 +104,36 @@ fn documented_scenarios_cover_the_new_timeline_sections() {
     let mut has_trigger = false;
     let mut has_generator = false;
     let mut has_mix = false;
+    let mut has_arena = false;
+    let mut has_proportional = false;
+    let mut has_deficit_trigger = false;
     for snippet in fenced_blocks(&doc, "toml") {
         let scenario = Scenario::from_toml(&snippet).unwrap();
         has_trigger |= !scenario.config.timeline.triggers.is_empty();
         has_generator |= !scenario.config.timeline.generators.is_empty();
         has_mix |= scenario.config.controller.mix_parts().is_some();
+        has_arena |= scenario.config.arena.is_some();
+        has_proportional |= matches!(
+            scenario.config.controller,
+            antalloc_sim::ControllerSpec::Proportional(_)
+        );
+        has_deficit_trigger |= scenario
+            .config
+            .timeline
+            .triggers
+            .iter()
+            .any(|t| format!("{:?}", t.when).contains("Deficit"));
     }
     assert!(has_trigger, "no documented scenario declares a trigger");
     assert!(has_generator, "no documented scenario declares a generator");
     assert!(has_mix, "no documented scenario declares a mix");
+    assert!(has_arena, "no documented scenario declares an arena");
+    assert!(
+        has_proportional,
+        "no documented scenario runs the proportional controller"
+    );
+    assert!(
+        has_deficit_trigger,
+        "no documented scenario declares a deficit trigger"
+    );
 }

@@ -391,8 +391,8 @@ fn adversarial_mid_timeline_checkpoint_restore_replays_bit_identically() {
     let bytes = cp.to_bytes();
     assert_eq!(
         u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
-        6,
-        "current checkpoints are format v6"
+        7,
+        "current checkpoints are format v7"
     );
     let restored = Checkpoint::from_bytes(&bytes).expect("decodes");
     assert_eq!(cp, restored);
@@ -451,10 +451,10 @@ fn v3_checkpoints_still_load_and_continue_exactly() {
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
     assert_eq!(fresh.colony().loads(), resumed.colony().loads());
     assert_eq!(resumed.colony().num_ants(), 1000);
-    // A v3 checkpoint re-saved today is a v6 byte stream that
+    // A v3 checkpoint re-saved today is a v7 byte stream that
     // round-trips.
     let resaved = cp.to_bytes();
-    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 6);
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 7);
     assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
 }
 
@@ -502,9 +502,9 @@ fn v4_checkpoints_still_load_and_continue_exactly() {
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
     assert_eq!(fresh.colony().loads(), resumed.colony().loads());
     assert_eq!(fresh.trigger_states(), resumed.trigger_states());
-    // Re-saved today it is a v6 byte stream that round-trips.
+    // Re-saved today it is a v7 byte stream that round-trips.
     let resaved = cp.to_bytes();
-    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 6);
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 7);
     assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
 }
 
@@ -540,9 +540,44 @@ fn v5_checkpoints_still_load_and_continue_exactly() {
     fresh.run(100, &mut obs);
     assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
     assert_eq!(fresh.colony().loads(), resumed.colony().loads());
-    // Re-saved today it is a v6 byte stream that round-trips.
+    // Re-saved today it is a v7 byte stream that round-trips.
     let resaved = cp.to_bytes();
-    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 6);
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 7);
+    assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
+}
+
+#[test]
+fn v6_checkpoints_still_load_and_continue_exactly() {
+    // Fixture written by the v6 format (pre-arena, pre-proportional): a
+    // Precise Adversarial colony captured mid-phase at round 37. It
+    // must decode (its adversarial scratch section intact, no arena
+    // section, trigger states without deficit history), carry the same
+    // config, and continue bit-identically to an uninterrupted run.
+    let expected = SimConfig::builder(100, vec![15, 25])
+        .noise(NoiseModel::Sigmoid { lambda: 2.0 })
+        .controller(ControllerSpec::PreciseAdversarial(
+            antalloc_core::PreciseAdversarialParams::new(0.05, 0.5),
+        ))
+        .seed(0xF6C)
+        .timeline(Timeline::new().at(50, Event::Kill { count: 10 }))
+        .build()
+        .unwrap();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let cp =
+        Checkpoint::load(&dir.join("checkpoint_v6_adversarial.ckpt")).expect("v6 fixture loads");
+    assert_eq!(cp.round(), 37);
+    assert_eq!(cp.config(), &expected);
+
+    let mut obs = NullObserver;
+    let mut resumed = cp.restore();
+    resumed.run(63, &mut obs); // crosses the kill at round 50
+    let mut fresh = expected.build();
+    fresh.run(100, &mut obs);
+    assert_eq!(fresh.colony().assignments(), resumed.colony().assignments());
+    assert_eq!(fresh.colony().loads(), resumed.colony().loads());
+    // Re-saved today it is a v7 byte stream that round-trips.
+    let resaved = cp.to_bytes();
+    assert_eq!(u32::from_le_bytes(resaved[4..8].try_into().unwrap()), 7);
     assert_eq!(Checkpoint::from_bytes(&resaved).unwrap(), cp);
 }
 
